@@ -1,0 +1,153 @@
+//! Application-kernel run-log parsing and warehouse loading.
+//!
+//! Runs arrive as a simple line-oriented log emitted by the kernel
+//! launcher:
+//!
+//! ```text
+//! ak <kernel_id> <resource> <nodes> <epoch_ts> <value>
+//! ak nwchem rush 4 1483228800 512.5
+//! ```
+
+use crate::kernel::{fact_schema, KernelRun, FACT_TABLE};
+use xdmod_warehouse::{Database, Result as WhResult, WarehouseError};
+
+/// Parse a run log. Blank lines and `#` comments are skipped; malformed
+/// lines are errors with line numbers.
+pub fn parse_log(log: &str) -> Result<Vec<KernelRun>, String> {
+    let mut runs = Vec::new();
+    for (i, raw) in log.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 6 || fields[0] != "ak" {
+            return Err(format!("line {lineno}: expected 'ak <kernel> <resource> <nodes> <ts> <value>'"));
+        }
+        let nodes: i64 = fields[3]
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad node count {:?}", fields[3]))?;
+        let ts: i64 = fields[4]
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad timestamp {:?}", fields[4]))?;
+        let value: f64 = fields[5]
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad value {:?}", fields[5]))?;
+        if nodes < 1 {
+            return Err(format!("line {lineno}: node count must be positive"));
+        }
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("line {lineno}: value must be finite and non-negative"));
+        }
+        runs.push(KernelRun {
+            kernel: fields[1].to_owned(),
+            resource: fields[2].to_owned(),
+            nodes,
+            ts,
+            value,
+        });
+    }
+    Ok(runs)
+}
+
+/// Install the `akfact` table in a schema (idempotent) and load runs.
+pub fn load_runs(db: &mut Database, schema: &str, runs: &[KernelRun]) -> WhResult<usize> {
+    db.ensure_schema(schema)?;
+    db.ensure_table(schema, fact_schema())?;
+    let rows: Vec<_> = runs.iter().map(KernelRun::to_row).collect();
+    let n = rows.len();
+    db.insert(schema, FACT_TABLE, rows)?;
+    Ok(n)
+}
+
+/// Extract the time-ordered value series of one (kernel, resource,
+/// nodes) combination from the warehouse — the input to
+/// [`crate::control::analyze`].
+pub fn series(
+    db: &Database,
+    schema: &str,
+    kernel: &str,
+    resource: &str,
+    nodes: i64,
+) -> WhResult<Vec<f64>> {
+    let t = db.table(schema, FACT_TABLE)?;
+    let s = t.schema();
+    let k = s.column_index("kernel")?;
+    let r = s.column_index("resource")?;
+    let n = s.column_index("nodes")?;
+    let ts = s.column_index("ts")?;
+    let v = s.column_index("value")?;
+    let mut rows: Vec<(i64, f64)> = t
+        .rows()
+        .iter()
+        .filter(|row| {
+            row[k].as_str() == Some(kernel)
+                && row[r].as_str() == Some(resource)
+                && row[n].as_i64() == Some(nodes)
+        })
+        .filter_map(|row| Some((row[ts].as_time()?, row[v].as_f64()?)))
+        .collect();
+    if rows.is_empty() {
+        return Err(WarehouseError::InvalidQuery(format!(
+            "no runs of {kernel} on {resource} at {nodes} nodes"
+        )));
+    }
+    rows.sort_by_key(|(t, _)| *t);
+    Ok(rows.into_iter().map(|(_, v)| v).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "\
+# nightly kernels
+ak nwchem rush 4 1483228800 512.5
+ak nwchem rush 4 1483315200 508.0
+ak hpcc_dgemm rush 1 1483228800 21.5
+";
+
+    #[test]
+    fn parse_and_load() {
+        let runs = parse_log(LOG).unwrap();
+        assert_eq!(runs.len(), 3);
+        let mut db = Database::new();
+        assert_eq!(load_runs(&mut db, "ak", &runs).unwrap(), 3);
+        assert_eq!(db.table("ak", FACT_TABLE).unwrap().len(), 3);
+        // Idempotent table install.
+        assert_eq!(load_runs(&mut db, "ak", &runs).unwrap(), 3);
+        assert_eq!(db.table("ak", FACT_TABLE).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        for bad in [
+            "ak nwchem rush 4 1483228800",       // missing value
+            "xx nwchem rush 4 1483228800 1.0",   // wrong tag
+            "ak nwchem rush 0 1483228800 1.0",   // zero nodes
+            "ak nwchem rush 4 soon 1.0",         // bad ts
+            "ak nwchem rush 4 1483228800 -1.0",  // negative value
+            "ak nwchem rush 4 1483228800 inf",   // non-finite
+        ] {
+            assert!(parse_log(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn series_is_time_ordered_and_filtered() {
+        let log = "\
+ak nwchem rush 4 300 3.0
+ak nwchem rush 4 100 1.0
+ak nwchem rush 4 200 2.0
+ak nwchem rush 8 100 99.0
+ak nwchem other 4 100 77.0
+";
+        let runs = parse_log(log).unwrap();
+        let mut db = Database::new();
+        load_runs(&mut db, "ak", &runs).unwrap();
+        let s = series(&db, "ak", "nwchem", "rush", 4).unwrap();
+        assert_eq!(s, vec![1.0, 2.0, 3.0]);
+        assert!(series(&db, "ak", "nwchem", "rush", 16).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Application kernel catalog and run records.
+//!
+//! "The Application Kernel module enables quality-of-service monitoring
+//! for HPC resources" (§I-E): small, representative benchmark codes run
+//! periodically on each resource, whose measured performance exposes
+//! regressions that utilization metrics can't see (failed firmware
+//! updates, degraded interconnects, filesystem slowdowns).
+
+use serde::{Deserialize, Serialize};
+use xdmod_warehouse::{ColumnType, Row, SchemaBuilder, TableSchema, Value};
+
+/// A benchmark kernel definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppKernel {
+    /// Stable id (e.g. `nwchem`).
+    pub id: String,
+    /// Display name.
+    pub name: String,
+    /// Unit of the reported figure of merit.
+    pub unit: String,
+    /// Whether larger values are better (throughput) or worse (runtime).
+    pub higher_is_better: bool,
+}
+
+/// The default kernel suite, modeled on the published XDMoD application
+/// kernels (NWChem, HPCC, IOR, Graph500, MPI benchmarks).
+pub fn default_suite() -> Vec<AppKernel> {
+    vec![
+        AppKernel {
+            id: "nwchem".into(),
+            name: "NWChem DFT".into(),
+            unit: "seconds".into(),
+            higher_is_better: false,
+        },
+        AppKernel {
+            id: "hpcc_dgemm".into(),
+            name: "HPCC DGEMM".into(),
+            unit: "GFLOP/s".into(),
+            higher_is_better: true,
+        },
+        AppKernel {
+            id: "ior_write".into(),
+            name: "IOR write bandwidth".into(),
+            unit: "MB/s".into(),
+            higher_is_better: true,
+        },
+        AppKernel {
+            id: "graph500".into(),
+            name: "Graph500 BFS".into(),
+            unit: "MTEPS".into(),
+            higher_is_better: true,
+        },
+        AppKernel {
+            id: "osu_latency".into(),
+            name: "OSU MPI latency".into(),
+            unit: "microseconds".into(),
+            higher_is_better: false,
+        },
+    ]
+}
+
+/// One execution of a kernel on a resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Kernel id.
+    pub kernel: String,
+    /// Resource the run executed on.
+    pub resource: String,
+    /// Node count of the run.
+    pub nodes: i64,
+    /// Completion time, epoch seconds.
+    pub ts: i64,
+    /// Measured figure of merit (in the kernel's unit).
+    pub value: f64,
+}
+
+/// Name of the application-kernel fact table.
+pub const FACT_TABLE: &str = "akfact";
+
+/// Schema of the `akfact` table.
+pub fn fact_schema() -> TableSchema {
+    SchemaBuilder::new(FACT_TABLE)
+        .required("kernel", ColumnType::Str)
+        .required("resource", ColumnType::Str)
+        .required("nodes", ColumnType::Int)
+        .required("ts", ColumnType::Time)
+        .required("value", ColumnType::Float)
+        .build()
+        .expect("akfact schema is valid")
+}
+
+impl KernelRun {
+    /// Convert to an `akfact` row.
+    pub fn to_row(&self) -> Row {
+        vec![
+            Value::Str(self.kernel.clone()),
+            Value::Str(self.resource.clone()),
+            Value::Int(self.nodes),
+            Value::Time(self.ts),
+            Value::Float(self.value),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_unique_ids() {
+        let suite = default_suite();
+        let mut ids: Vec<&str> = suite.iter().map(|k| k.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), suite.len());
+    }
+
+    #[test]
+    fn run_rows_match_schema() {
+        let run = KernelRun {
+            kernel: "nwchem".into(),
+            resource: "rush".into(),
+            nodes: 4,
+            ts: 1_483_228_800,
+            value: 512.5,
+        };
+        fact_schema().check_row(run.to_row()).unwrap();
+    }
+
+    #[test]
+    fn direction_flags_are_sensible() {
+        let suite = default_suite();
+        let latency = suite.iter().find(|k| k.id == "osu_latency").unwrap();
+        assert!(!latency.higher_is_better);
+        let dgemm = suite.iter().find(|k| k.id == "hpcc_dgemm").unwrap();
+        assert!(dgemm.higher_is_better);
+    }
+}

@@ -1,0 +1,24 @@
+//! # xdmod-appkernels
+//!
+//! The **Application Kernel module** — one of the optional modules the
+//! paper lists as extending XDMoD's base capabilities: "the Application
+//! Kernel module enables quality-of-service monitoring for HPC
+//! resources" (§I-E).
+//!
+//! Small benchmark kernels run periodically on each resource
+//! ([`kernel`]); their run logs are parsed and loaded into the warehouse
+//! ([`ingest`]); and a control-chart detector ([`control`]) flags
+//! sustained performance regressions (and recoveries), following the
+//! published variance-analysis methodology (the paper's reference \[30\]).
+//! [`simulate`] generates the periodic campaigns, with injectable
+//! regressions, standing in for a real center's nightly runs.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod ingest;
+pub mod kernel;
+pub mod simulate;
+
+pub use control::{analyze, ControlConfig, ControlReport, QosEvent, RunStatus};
+pub use kernel::{default_suite, AppKernel, KernelRun, FACT_TABLE};

@@ -1,0 +1,107 @@
+//! From-scratch hashing primitives for the authentication **simulation**.
+//!
+//! ⚠️ **Not cryptography.** The paper's §II-D is about authentication
+//! *architecture* — SSO flows, identity/service-provider modes, SAML
+//! assertion exchange — not cipher strength. This workspace reproduces
+//! the architecture; the primitives below (an FNV-1a-based mixing hash,
+//! an iterated salted KDF, and an HMAC-shaped keyed digest) are
+//! structurally faithful stand-ins and must never guard real secrets.
+
+/// 64-bit digest produced by [`mix_hash`].
+pub type Digest = u64;
+
+/// FNV-1a with extra avalanche mixing (splitmix64 finalizer).
+pub fn mix_hash(data: &[u8]) -> Digest {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Finalize.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Iterated, salted password digest (KDF-shaped).
+pub fn kdf(password: &str, salt: u64, iterations: u32) -> Digest {
+    let mut state = salt ^ 0xA076_1D64_78BD_642F;
+    for round in 0..iterations.max(1) {
+        let mut buf = Vec::with_capacity(password.len() + 16);
+        buf.extend_from_slice(&state.to_le_bytes());
+        buf.extend_from_slice(password.as_bytes());
+        buf.extend_from_slice(&round.to_le_bytes());
+        state = mix_hash(&buf);
+    }
+    state
+}
+
+/// HMAC-shaped keyed digest: `H((key ^ opad) || H((key ^ ipad) || msg))`.
+pub fn keyed_digest(key: u64, message: &[u8]) -> Digest {
+    const IPAD: u64 = 0x3636_3636_3636_3636;
+    const OPAD: u64 = 0x5C5C_5C5C_5C5C_5C5C;
+    let mut inner = Vec::with_capacity(message.len() + 8);
+    inner.extend_from_slice(&(key ^ IPAD).to_le_bytes());
+    inner.extend_from_slice(message);
+    let inner_digest = mix_hash(&inner);
+    let mut outer = Vec::with_capacity(16);
+    outer.extend_from_slice(&(key ^ OPAD).to_le_bytes());
+    outer.extend_from_slice(&inner_digest.to_le_bytes());
+    mix_hash(&outer)
+}
+
+/// Fixed-time digest comparison (branchless XOR fold), shaped like a
+/// constant-time equality check.
+pub fn digests_equal(a: Digest, b: Digest) -> bool {
+    (a ^ b) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_input_sensitive() {
+        assert_eq!(mix_hash(b"alice"), mix_hash(b"alice"));
+        assert_ne!(mix_hash(b"alice"), mix_hash(b"alicf"));
+        assert_ne!(mix_hash(b""), mix_hash(b"\0"));
+    }
+
+    #[test]
+    fn kdf_depends_on_salt_and_iterations() {
+        let d = kdf("hunter2", 1, 100);
+        assert_eq!(d, kdf("hunter2", 1, 100));
+        assert_ne!(d, kdf("hunter2", 2, 100));
+        assert_ne!(d, kdf("hunter2", 1, 101));
+        assert_ne!(d, kdf("hunter3", 1, 100));
+    }
+
+    #[test]
+    fn zero_iterations_clamped_to_one() {
+        assert_eq!(kdf("pw", 7, 0), kdf("pw", 7, 1));
+    }
+
+    #[test]
+    fn keyed_digest_depends_on_key_and_message() {
+        let d = keyed_digest(42, b"assertion");
+        assert_eq!(d, keyed_digest(42, b"assertion"));
+        assert_ne!(d, keyed_digest(43, b"assertion"));
+        assert_ne!(d, keyed_digest(42, b"assertioN"));
+    }
+
+    #[test]
+    fn digest_comparison() {
+        assert!(digests_equal(5, 5));
+        assert!(!digests_equal(5, 6));
+    }
+
+    #[test]
+    fn avalanche_flips_many_bits() {
+        let a = mix_hash(b"federation0");
+        let b = mix_hash(b"federation1");
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 16, "only {differing} bits differ");
+    }
+}

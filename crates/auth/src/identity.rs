@@ -1,0 +1,265 @@
+//! Federated identity mapping — the paper's acknowledged gap, implemented.
+//!
+//! "We do not yet offer any automated means of mapping or de-duplicating
+//! users from different XDMoD satellite instances in the federated master
+//! hub. For example: consider a CCR user who also has an XSEDE
+//! allocation. ... At this time, the user would appear twice in the
+//! federation; once as the CCR user, once as the XSEDE user. The work
+//! necessary to federate such user identities must be performed
+//! separately on the federation database; it is not yet handled by the
+//! Federation module, though this is a goal for a future release."
+//! (§II-D4)
+//!
+//! [`IdentityMap`] implements that future release: it assigns each
+//! `(instance, username)` pair to a federation-wide person, proposes
+//! merges automatically by matching email addresses, and supports manual
+//! unification for the cases heuristics can't see.
+
+use crate::user::User;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A federation-wide person identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PersonId(pub u64);
+
+/// One instance-local identity: where the account lives and what it's
+/// called there.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalIdentity {
+    /// Instance name (e.g. `ccr-xdmod`, `xsede-xdmod`).
+    pub instance: String,
+    /// Username on that instance.
+    pub username: String,
+}
+
+impl LocalIdentity {
+    /// Construct from instance and username.
+    pub fn new(instance: &str, username: &str) -> Self {
+        LocalIdentity {
+            instance: instance.to_owned(),
+            username: username.to_owned(),
+        }
+    }
+}
+
+/// A proposed merge of two persons, with the evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeProposal {
+    /// Person to keep.
+    pub keep: PersonId,
+    /// Person to fold into `keep`.
+    pub merge: PersonId,
+    /// Why (e.g. `email:alice@buffalo.edu`).
+    pub evidence: String,
+}
+
+/// The hub-side identity map.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdentityMap {
+    next_id: u64,
+    /// Local identity → person.
+    assignments: BTreeMap<LocalIdentity, PersonId>,
+    /// Known emails per person (merge evidence).
+    emails: BTreeMap<PersonId, Vec<String>>,
+}
+
+impl IdentityMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a user observed on an instance. Without merging, each
+    /// local identity is its own person — exactly the paper's "appears
+    /// twice" behaviour.
+    pub fn register(&mut self, instance: &str, user: &User) -> PersonId {
+        let key = LocalIdentity::new(instance, &user.username);
+        if let Some(&pid) = self.assignments.get(&key) {
+            return pid;
+        }
+        let pid = PersonId(self.next_id);
+        self.next_id += 1;
+        self.assignments.insert(key, pid);
+        if !user.email.is_empty() {
+            self.emails.entry(pid).or_default().push(user.email.clone());
+        }
+        pid
+    }
+
+    /// The person behind a local identity, if registered.
+    pub fn person_of(&self, instance: &str, username: &str) -> Option<PersonId> {
+        self.assignments
+            .get(&LocalIdentity::new(instance, username))
+            .copied()
+    }
+
+    /// All local identities of a person, across every instance.
+    pub fn identities_of(&self, person: PersonId) -> Vec<&LocalIdentity> {
+        self.assignments
+            .iter()
+            .filter(|(_, &p)| p == person)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Number of distinct persons currently known.
+    pub fn person_count(&self) -> usize {
+        let mut ids: Vec<PersonId> = self.assignments.values().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Propose merges: persons sharing an email address are probably the
+    /// same human. Proposals are deterministic (lowest id kept) and
+    /// require explicit application — automated evidence, human decision.
+    pub fn propose_merges(&self) -> Vec<MergeProposal> {
+        let mut by_email: BTreeMap<&str, Vec<PersonId>> = BTreeMap::new();
+        for (pid, emails) in &self.emails {
+            for e in emails {
+                by_email.entry(e.as_str()).or_default().push(*pid);
+            }
+        }
+        let mut proposals = Vec::new();
+        for (email, mut pids) in by_email {
+            pids.sort_unstable();
+            pids.dedup();
+            if pids.len() < 2 {
+                continue;
+            }
+            let keep = pids[0];
+            for &merge in &pids[1..] {
+                proposals.push(MergeProposal {
+                    keep,
+                    merge,
+                    evidence: format!("email:{email}"),
+                });
+            }
+        }
+        proposals
+    }
+
+    /// Apply a merge: every identity of `merge` now belongs to `keep`.
+    pub fn unify(&mut self, keep: PersonId, merge: PersonId) {
+        if keep == merge {
+            return;
+        }
+        for pid in self.assignments.values_mut() {
+            if *pid == merge {
+                *pid = keep;
+            }
+        }
+        if let Some(mut emails) = self.emails.remove(&merge) {
+            self.emails.entry(keep).or_default().append(&mut emails);
+        }
+    }
+
+    /// Apply every proposal from [`propose_merges`](Self::propose_merges)
+    /// — the fully automated mode. Returns how many merges ran.
+    pub fn auto_deduplicate(&mut self) -> usize {
+        // Proposals may chain (A<-B, B<-C); iterate to a fixed point.
+        let mut total = 0;
+        loop {
+            let proposals = self.propose_merges();
+            if proposals.is_empty() {
+                return total;
+            }
+            for p in proposals {
+                self.unify(p.keep, p.merge);
+                total += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice_ccr() -> User {
+        User::member("alice", "alice@buffalo.edu", "buffalo.edu")
+    }
+
+    fn alice_xsede() -> User {
+        User::member("asmith42", "alice@buffalo.edu", "buffalo.edu")
+    }
+
+    #[test]
+    fn unmerged_user_appears_twice_like_the_paper_says() {
+        let mut map = IdentityMap::new();
+        let p1 = map.register("ccr-xdmod", &alice_ccr());
+        let p2 = map.register("xsede-xdmod", &alice_xsede());
+        assert_ne!(p1, p2);
+        assert_eq!(map.person_count(), 2);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut map = IdentityMap::new();
+        let p1 = map.register("ccr-xdmod", &alice_ccr());
+        let p2 = map.register("ccr-xdmod", &alice_ccr());
+        assert_eq!(p1, p2);
+        assert_eq!(map.person_count(), 1);
+    }
+
+    #[test]
+    fn email_evidence_proposes_the_merge() {
+        let mut map = IdentityMap::new();
+        map.register("ccr-xdmod", &alice_ccr());
+        map.register("xsede-xdmod", &alice_xsede());
+        map.register("ccr-xdmod", &User::member("bob", "bob@buffalo.edu", "buffalo.edu"));
+        let proposals = map.propose_merges();
+        assert_eq!(proposals.len(), 1);
+        assert!(proposals[0].evidence.contains("alice@buffalo.edu"));
+    }
+
+    #[test]
+    fn unify_joins_identities_across_instances() {
+        let mut map = IdentityMap::new();
+        let p1 = map.register("ccr-xdmod", &alice_ccr());
+        let p2 = map.register("xsede-xdmod", &alice_xsede());
+        map.unify(p1, p2);
+        assert_eq!(map.person_count(), 1);
+        let ids = map.identities_of(p1);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(map.person_of("xsede-xdmod", "asmith42"), Some(p1));
+    }
+
+    #[test]
+    fn auto_deduplicate_reaches_fixed_point() {
+        let mut map = IdentityMap::new();
+        map.register("a-xdmod", &User::member("u1", "same@x.edu", "x.edu"));
+        map.register("b-xdmod", &User::member("u2", "same@x.edu", "x.edu"));
+        map.register("c-xdmod", &User::member("u3", "same@x.edu", "x.edu"));
+        let merges = map.auto_deduplicate();
+        assert_eq!(merges, 2);
+        assert_eq!(map.person_count(), 1);
+        assert!(map.propose_merges().is_empty());
+    }
+
+    #[test]
+    fn distinct_people_are_never_proposed() {
+        let mut map = IdentityMap::new();
+        map.register("a-xdmod", &User::member("u1", "one@x.edu", "x.edu"));
+        map.register("b-xdmod", &User::member("u2", "two@x.edu", "x.edu"));
+        assert!(map.propose_merges().is_empty());
+        assert_eq!(map.auto_deduplicate(), 0);
+    }
+
+    #[test]
+    fn self_unify_is_a_no_op() {
+        let mut map = IdentityMap::new();
+        let p = map.register("a-xdmod", &alice_ccr());
+        map.unify(p, p);
+        assert_eq!(map.person_count(), 1);
+    }
+
+    #[test]
+    fn empty_email_is_not_evidence() {
+        let mut map = IdentityMap::new();
+        map.register("a-xdmod", &User::member("u1", "", "x.edu"));
+        map.register("b-xdmod", &User::member("u2", "", "x.edu"));
+        assert!(map.propose_merges().is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # xdmod-auth
+//!
+//! Authentication for XDMoD instances and federations (paper §II-D):
+//! local passwords, SAML-style SSO with Shibboleth/Globus/LDAP-shaped
+//! identity providers, single- and multi-source SSO configuration,
+//! service-provider vs. delegated (hub-authenticates) modes, and the
+//! federated identity mapping the paper lists as future work.
+//!
+//! ⚠️ The cryptographic primitives are **simulations** (see
+//! [`hashing`]): structurally faithful, deliberately not secure. The
+//! authentication *architecture* — flows, trust relationships, validity
+//! checking — is the reproduction target.
+
+#![warn(missing_docs)]
+
+pub mod hashing;
+pub mod identity;
+pub mod local;
+pub mod saml;
+pub mod session;
+pub mod sso;
+pub mod user;
+
+pub use identity::{IdentityMap, LocalIdentity, MergeProposal, PersonId};
+pub use local::LocalAuthenticator;
+pub use saml::{Assertion, SamlError};
+pub use session::{AuthMethod, AuthMode, InstanceAuth, Session};
+pub use sso::{GlobusIdp, IdentityProvider, LdapIdp, ShibbolethIdp, SsoGateway};
+pub use user::{Role, User, UserStore};

@@ -1,0 +1,241 @@
+//! SAML-shaped assertions.
+//!
+//! "We have enabled web-browser Single-Sign On (SSO) for XDMoD by means
+//! of Security Assertion Markup Language (SAML), a common standard for
+//! exchanging user authentication and authorization data on the web."
+//! (§II-D)
+//!
+//! An [`Assertion`] carries the SAML trio — issuer, subject, audience —
+//! plus attribute statements (the metadata Shibboleth-style IdPs provide,
+//! used to "pre-populate some filters and fields"), a validity window,
+//! and a keyed signature over the canonical byte encoding. Signing uses
+//! the workspace's simulated HMAC (see [`crate::hashing`]); the
+//! *validation logic* — signature, audience restriction, expiry, clock
+//! skew — mirrors a real SAML service provider's.
+
+use crate::hashing::{digests_equal, keyed_digest, Digest};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Why an assertion was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamlError {
+    /// Signature did not verify under the expected IdP key.
+    BadSignature,
+    /// Assertion expired (or is not yet valid beyond allowed skew).
+    Expired,
+    /// Audience restriction names a different service provider.
+    WrongAudience {
+        /// Audience the assertion was issued for.
+        expected: String,
+        /// Audience we are.
+        got: String,
+    },
+    /// Assertion issued by an IdP this SP does not trust.
+    UnknownIssuer(String),
+}
+
+impl std::fmt::Display for SamlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamlError::BadSignature => f.write_str("assertion signature invalid"),
+            SamlError::Expired => f.write_str("assertion outside its validity window"),
+            SamlError::WrongAudience { expected, got } => {
+                write!(f, "assertion for audience {expected}, not {got}")
+            }
+            SamlError::UnknownIssuer(i) => write!(f, "untrusted issuer {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SamlError {}
+
+/// A signed authentication assertion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assertion {
+    /// IdP entity id (e.g. `shibboleth.buffalo.edu`).
+    pub issuer: String,
+    /// Authenticated subject (username at the IdP).
+    pub subject: String,
+    /// Service provider the assertion is addressed to (an XDMoD instance
+    /// or federation hub id).
+    pub audience: String,
+    /// Attribute statements (email, department, role, ...).
+    pub attributes: BTreeMap<String, String>,
+    /// Issue time, epoch seconds.
+    pub issued_at: i64,
+    /// Expiry, epoch seconds.
+    pub expires_at: i64,
+    /// Keyed digest over the canonical encoding.
+    pub signature: Digest,
+}
+
+/// Allowed clock skew between IdP and SP, seconds.
+pub const CLOCK_SKEW_SECS: i64 = 60;
+
+impl Assertion {
+    /// Canonical byte encoding covered by the signature.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for field in [&self.issuer, &self.subject, &self.audience] {
+            out.extend_from_slice(field.as_bytes());
+            out.push(0x1F);
+        }
+        for (k, v) in &self.attributes {
+            out.extend_from_slice(k.as_bytes());
+            out.push(0x1E);
+            out.extend_from_slice(v.as_bytes());
+            out.push(0x1F);
+        }
+        out.extend_from_slice(&self.issued_at.to_le_bytes());
+        out.extend_from_slice(&self.expires_at.to_le_bytes());
+        out
+    }
+
+    /// Build and sign an assertion with the IdP's key.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        issuer: &str,
+        subject: &str,
+        audience: &str,
+        attributes: BTreeMap<String, String>,
+        issued_at: i64,
+        ttl_secs: i64,
+        idp_key: Digest,
+    ) -> Assertion {
+        let mut a = Assertion {
+            issuer: issuer.to_owned(),
+            subject: subject.to_owned(),
+            audience: audience.to_owned(),
+            attributes,
+            issued_at,
+            expires_at: issued_at + ttl_secs,
+            signature: 0,
+        };
+        a.signature = keyed_digest(idp_key, &a.canonical_bytes());
+        a
+    }
+
+    /// Validate as a service provider: signature under `idp_key`,
+    /// audience equals `expected_audience`, and `now` within the validity
+    /// window (± [`CLOCK_SKEW_SECS`]).
+    pub fn validate(
+        &self,
+        idp_key: Digest,
+        expected_audience: &str,
+        now: i64,
+    ) -> Result<(), SamlError> {
+        if !digests_equal(self.signature, keyed_digest(idp_key, &self.canonical_bytes())) {
+            return Err(SamlError::BadSignature);
+        }
+        if self.audience != expected_audience {
+            return Err(SamlError::WrongAudience {
+                expected: self.audience.clone(),
+                got: expected_audience.to_owned(),
+            });
+        }
+        if now + CLOCK_SKEW_SECS < self.issued_at || now - CLOCK_SKEW_SECS > self.expires_at {
+            return Err(SamlError::Expired);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> BTreeMap<String, String> {
+        BTreeMap::from([
+            ("email".to_owned(), "alice@buffalo.edu".to_owned()),
+            ("department".to_owned(), "physics".to_owned()),
+        ])
+    }
+
+    fn sample(key: Digest) -> Assertion {
+        Assertion::issue(
+            "shibboleth.buffalo.edu",
+            "alice",
+            "ccr-xdmod",
+            attrs(),
+            1_000_000,
+            300,
+            key,
+        )
+    }
+
+    #[test]
+    fn valid_assertion_passes() {
+        let a = sample(42);
+        a.validate(42, "ccr-xdmod", 1_000_100).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_fails_signature() {
+        let a = sample(42);
+        assert_eq!(
+            a.validate(43, "ccr-xdmod", 1_000_100),
+            Err(SamlError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_fields_fail_signature() {
+        let mut a = sample(42);
+        a.subject = "mallory".into();
+        assert_eq!(
+            a.validate(42, "ccr-xdmod", 1_000_100),
+            Err(SamlError::BadSignature)
+        );
+        let mut a = sample(42);
+        a.attributes.insert("role".into(), "admin".into());
+        assert_eq!(
+            a.validate(42, "ccr-xdmod", 1_000_100),
+            Err(SamlError::BadSignature)
+        );
+        let mut a = sample(42);
+        a.expires_at += 1_000_000; // extend validity
+        assert_eq!(
+            a.validate(42, "ccr-xdmod", 1_000_100),
+            Err(SamlError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn audience_restriction_enforced() {
+        let a = sample(42);
+        match a.validate(42, "other-xdmod", 1_000_100) {
+            Err(SamlError::WrongAudience { expected, got }) => {
+                assert_eq!(expected, "ccr-xdmod");
+                assert_eq!(got, "other-xdmod");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expiry_and_skew() {
+        let a = sample(42);
+        // Just past expiry but within skew: ok.
+        a.validate(42, "ccr-xdmod", 1_000_300 + CLOCK_SKEW_SECS)
+            .unwrap();
+        // Beyond skew: rejected.
+        assert_eq!(
+            a.validate(42, "ccr-xdmod", 1_000_300 + CLOCK_SKEW_SECS + 1),
+            Err(SamlError::Expired)
+        );
+        // Before issuance beyond skew: rejected.
+        assert_eq!(
+            a.validate(42, "ccr-xdmod", 1_000_000 - CLOCK_SKEW_SECS - 1),
+            Err(SamlError::Expired)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_signature_validity() {
+        let a = sample(7);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Assertion = serde_json::from_str(&json).unwrap();
+        back.validate(7, "ccr-xdmod", 1_000_050).unwrap();
+    }
+}

@@ -1,0 +1,339 @@
+//! Instance sign-on: the front door combining local passwords and SSO.
+//!
+//! "Users can sign onto an SSO-enabled XDMoD instance using either their
+//! local XDMoD password, or their SSO credentials." (§II-D) — this module
+//! is that front door (Fig. 4's two arrows into the instance), plus
+//! session issuance and the identity-/service-provider mode switch of
+//! §II-D3 ("authentication responsibility may rest with the federation
+//! hub or with the satellite instances").
+
+use crate::hashing::{keyed_digest, mix_hash, Digest};
+use crate::local::LocalAuthenticator;
+use crate::saml::Assertion;
+use crate::sso::SsoGateway;
+use crate::user::{User, UserStore};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a session was established.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuthMethod {
+    /// Local XDMoD password (the paper's User Group R).
+    Local,
+    /// SSO via the named IdP (User Group S).
+    Sso {
+        /// Issuer entity id.
+        idp: String,
+    },
+}
+
+/// An authenticated session on one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// Opaque token (keyed digest).
+    pub token: Digest,
+    /// Authenticated username (instance-local).
+    pub username: String,
+    /// Instance that issued the session.
+    pub instance: String,
+    /// How the user signed on.
+    pub method: AuthMethod,
+    /// Issue time, epoch seconds.
+    pub issued_at: i64,
+    /// Expiry, epoch seconds.
+    pub expires_at: i64,
+}
+
+/// Session lifetime.
+pub const SESSION_TTL_SECS: i64 = 8 * 3600;
+
+/// Where authentication responsibility rests (§II-D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuthMode {
+    /// This instance validates SSO assertions itself.
+    ServiceProvider,
+    /// A federation hub authenticates on behalf of this instance.
+    IdentityProviderDelegated,
+}
+
+/// The authentication front door of one XDMoD instance.
+pub struct InstanceAuth {
+    instance: String,
+    mode: AuthMode,
+    users: UserStore,
+    local: LocalAuthenticator,
+    sso: SsoGateway,
+    session_key: Digest,
+    sessions: BTreeMap<Digest, Session>,
+}
+
+impl InstanceAuth {
+    /// New front door in the given mode. `multi_sso` lifts the
+    /// single-SSO-source restriction (§II-D3's flexible configuration).
+    pub fn new(instance: &str, mode: AuthMode, multi_sso: bool) -> Self {
+        InstanceAuth {
+            instance: instance.to_owned(),
+            mode,
+            users: UserStore::new(),
+            local: LocalAuthenticator::new(),
+            sso: if multi_sso {
+                SsoGateway::multi(instance)
+            } else {
+                SsoGateway::single(instance)
+            },
+            session_key: mix_hash(format!("session:{instance}").as_bytes()),
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// This instance's id (the audience SSO assertions must name).
+    pub fn instance(&self) -> &str {
+        &self.instance
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> AuthMode {
+        self.mode
+    }
+
+    /// The user directory.
+    pub fn users(&self) -> &UserStore {
+        &self.users
+    }
+
+    /// Enroll a user, optionally with a local password.
+    pub fn enroll(&mut self, user: User, password: Option<&str>) {
+        if let Some(pw) = password {
+            self.local.set_password(&user.username, pw);
+        }
+        self.users.upsert(user);
+    }
+
+    /// Trust an SSO IdP.
+    pub fn trust_idp(&mut self, idp: &dyn crate::sso::IdentityProvider) -> Result<(), String> {
+        self.sso.trust(idp)
+    }
+
+    /// Sign on with the local XDMoD password.
+    pub fn login_local(&mut self, username: &str, password: &str, now: i64) -> Option<Session> {
+        if !self.local.verify(username, password) {
+            return None;
+        }
+        self.users.get(username)?;
+        Some(self.issue(username, AuthMethod::Local, now))
+    }
+
+    /// Sign on with an SSO assertion. In
+    /// [`AuthMode::IdentityProviderDelegated`] the instance refuses to
+    /// validate assertions itself — the hub must do it (see
+    /// [`InstanceAuth::login_delegated`]).
+    pub fn login_sso(&mut self, assertion: &Assertion, now: i64) -> Option<Session> {
+        if self.mode == AuthMode::IdentityProviderDelegated {
+            return None;
+        }
+        let subject = self.sso.validate(assertion, now).ok()?;
+        // Unknown SSO subjects are auto-provisioned from assertion
+        // attributes — the paper's "more customized user experience for
+        // first-time XDMoD users" via Shibboleth metadata.
+        if self.users.get(&subject).is_none() {
+            let email = assertion
+                .attributes
+                .get("email")
+                .cloned()
+                .unwrap_or_default();
+            let org = email.split('@').nth(1).unwrap_or("unknown").to_owned();
+            self.users.upsert(User::member(&subject, &email, &org));
+        }
+        Some(self.issue(
+            &subject,
+            AuthMethod::Sso {
+                idp: assertion.issuer.clone(),
+            },
+            now,
+        ))
+    }
+
+    /// Accept a session established by a trusted federation hub on this
+    /// instance's behalf (delegated mode). The hub passes the username it
+    /// authenticated; the instance only checks the user exists locally.
+    pub fn login_delegated(&mut self, hub_session: &Session, now: i64) -> Option<Session> {
+        if self.mode != AuthMode::IdentityProviderDelegated {
+            return None;
+        }
+        if hub_session.expires_at < now {
+            return None;
+        }
+        self.users.get(&hub_session.username)?;
+        let method = hub_session.method.clone();
+        Some(self.issue(&hub_session.username, method, now))
+    }
+
+    fn issue(&mut self, username: &str, method: AuthMethod, now: i64) -> Session {
+        let token = keyed_digest(
+            self.session_key,
+            format!("{username}:{now}:{}", self.sessions.len()).as_bytes(),
+        );
+        let session = Session {
+            token,
+            username: username.to_owned(),
+            instance: self.instance.clone(),
+            method,
+            issued_at: now,
+            expires_at: now + SESSION_TTL_SECS,
+        };
+        self.sessions.insert(token, session.clone());
+        session
+    }
+
+    /// Validate a presented token at time `now`.
+    pub fn validate_session(&self, token: Digest, now: i64) -> Option<&Session> {
+        self.sessions
+            .get(&token)
+            .filter(|s| now <= s.expires_at && now >= s.issued_at)
+    }
+
+    /// Revoke a session.
+    pub fn logout(&mut self, token: Digest) -> bool {
+        self.sessions.remove(&token).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sso::{IdentityProvider, ShibbolethIdp};
+
+    fn instance() -> InstanceAuth {
+        let mut auth = InstanceAuth::new("ccr-xdmod", AuthMode::ServiceProvider, false);
+        auth.enroll(
+            User::member("alice", "alice@buffalo.edu", "buffalo.edu"),
+            Some("local-pw"),
+        );
+        auth
+    }
+
+    fn idp() -> ShibbolethIdp {
+        let mut idp = ShibbolethIdp::new("shibboleth.buffalo.edu", "s");
+        idp.enroll(
+            "alice",
+            "sso-pw",
+            BTreeMap::from([("email".to_owned(), "alice@buffalo.edu".to_owned())]),
+        );
+        idp.enroll(
+            "carol",
+            "sso-pw-c",
+            BTreeMap::from([("email".to_owned(), "carol@buffalo.edu".to_owned())]),
+        );
+        idp
+    }
+
+    #[test]
+    fn fig4_both_paths_reach_the_same_instance() {
+        // User Group R: local password. User Group S: SSO.
+        let mut auth = instance();
+        let idp = idp();
+        auth.trust_idp(&idp).unwrap();
+
+        let local = auth.login_local("alice", "local-pw", 100).unwrap();
+        assert_eq!(local.method, AuthMethod::Local);
+
+        let assertion = idp.authenticate("alice", "sso-pw", "ccr-xdmod", 100).unwrap();
+        let sso = auth.login_sso(&assertion, 110).unwrap();
+        assert_eq!(
+            sso.method,
+            AuthMethod::Sso {
+                idp: "shibboleth.buffalo.edu".into()
+            }
+        );
+        assert_eq!(local.username, sso.username);
+        assert_ne!(local.token, sso.token);
+    }
+
+    #[test]
+    fn wrong_local_password_fails() {
+        let mut auth = instance();
+        assert!(auth.login_local("alice", "nope", 100).is_none());
+        assert!(auth.login_local("mallory", "local-pw", 100).is_none());
+    }
+
+    #[test]
+    fn sso_auto_provisions_first_time_users() {
+        let mut auth = instance();
+        let idp = idp();
+        auth.trust_idp(&idp).unwrap();
+        assert!(auth.users().get("carol").is_none());
+        let assertion = idp
+            .authenticate("carol", "sso-pw-c", "ccr-xdmod", 100)
+            .unwrap();
+        let session = auth.login_sso(&assertion, 105).unwrap();
+        assert_eq!(session.username, "carol");
+        // Pre-populated from assertion metadata.
+        let carol = auth.users().get("carol").unwrap();
+        assert_eq!(carol.email, "carol@buffalo.edu");
+        assert_eq!(carol.organization, "buffalo.edu");
+    }
+
+    #[test]
+    fn session_tokens_validate_and_expire() {
+        let mut auth = instance();
+        let s = auth.login_local("alice", "local-pw", 1_000).unwrap();
+        assert!(auth.validate_session(s.token, 1_000 + 60).is_some());
+        assert!(auth
+            .validate_session(s.token, 1_000 + SESSION_TTL_SECS + 1)
+            .is_none());
+        assert!(auth.validate_session(12345, 1_001).is_none());
+    }
+
+    #[test]
+    fn logout_revokes() {
+        let mut auth = instance();
+        let s = auth.login_local("alice", "local-pw", 1_000).unwrap();
+        assert!(auth.logout(s.token));
+        assert!(auth.validate_session(s.token, 1_001).is_none());
+        assert!(!auth.logout(s.token));
+    }
+
+    #[test]
+    fn delegated_mode_refuses_direct_sso_but_accepts_hub_sessions() {
+        let idp = idp();
+        // Hub validates SSO; satellite is in delegated mode.
+        let mut hub = InstanceAuth::new("federation-hub", AuthMode::ServiceProvider, true);
+        hub.trust_idp(&idp).unwrap();
+        let mut sat = InstanceAuth::new("ccr-xdmod", AuthMode::IdentityProviderDelegated, false);
+        sat.enroll(User::member("alice", "alice@buffalo.edu", "buffalo.edu"), None);
+
+        let assertion = idp
+            .authenticate("alice", "sso-pw", "federation-hub", 100)
+            .unwrap();
+        let hub_session = hub.login_sso(&assertion, 110).unwrap();
+
+        // Direct SSO at the satellite is refused in this mode...
+        let sat_assertion = idp.authenticate("alice", "sso-pw", "ccr-xdmod", 100).unwrap();
+        assert!(sat.login_sso(&sat_assertion, 110).is_none());
+        // ...but the hub's session is honored.
+        let sat_session = sat.login_delegated(&hub_session, 120).unwrap();
+        assert_eq!(sat_session.username, "alice");
+        assert_eq!(sat_session.instance, "ccr-xdmod");
+    }
+
+    #[test]
+    fn delegated_login_requires_known_user_and_fresh_session() {
+        let mut sat = InstanceAuth::new("ccr-xdmod", AuthMode::IdentityProviderDelegated, false);
+        sat.enroll(User::member("alice", "a@b.edu", "b.edu"), None);
+        let stale = Session {
+            token: 1,
+            username: "alice".into(),
+            instance: "federation-hub".into(),
+            method: AuthMethod::Local,
+            issued_at: 0,
+            expires_at: 10,
+        };
+        assert!(sat.login_delegated(&stale, 1_000).is_none()); // expired
+        let unknown = Session {
+            username: "mallory".into(),
+            expires_at: 2_000,
+            ..stale
+        };
+        assert!(sat.login_delegated(&unknown, 1_000).is_none());
+    }
+}

@@ -1,0 +1,451 @@
+//! Identity providers and the per-instance SSO gateway.
+//!
+//! The paper names the IdP technologies in production use: "we have
+//! employed two different approaches, Globus for XSEDE XDMoD, Shibboleth
+//! for Open XDMoD ... In addition to Shibboleth and Globus, we support
+//! other SSO mechanisms, such as institutional LDAP" and "identity
+//! providers such as Keycloak, LDAP, and Shibboleth" (§II-D). Each is
+//! modeled here with its distinguishing behaviour:
+//!
+//! - [`ShibbolethIdp`] — institutional credentials, rich **attribute
+//!   metadata** ("enabling Open XDMoD to pre-populate some filters and
+//!   fields");
+//! - [`GlobusIdp`] — requires users to **link** their institutional
+//!   identity to a Globus account before SSO works ("XSEDE users must
+//!   simply link their Globus account with their XSEDE credentials");
+//! - [`LdapIdp`] — plain directory bind, minimal attributes (also used
+//!   for Keycloak-style deployments).
+//!
+//! [`SsoGateway`] is the instance side: it trusts one or more IdPs
+//! (multiple sources being §II-D3's planned "flexible configuration",
+//! implemented here) and validates their assertions as a SAML service
+//! provider.
+
+use crate::hashing::{mix_hash, Digest};
+use crate::saml::{Assertion, SamlError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Assertion lifetime issued by the IdPs here.
+pub const ASSERTION_TTL_SECS: i64 = 300;
+
+/// Common IdP interface: authenticate a user and, on success, issue a
+/// signed assertion addressed to a service provider.
+pub trait IdentityProvider {
+    /// Entity id (issuer string in assertions).
+    fn entity_id(&self) -> &str;
+
+    /// Signing key shared with service providers that trust this IdP.
+    fn signing_key(&self) -> Digest;
+
+    /// Authenticate `username`/`password` and issue an assertion for
+    /// `audience` at time `now`. `None` on failure.
+    fn authenticate(
+        &self,
+        username: &str,
+        password: &str,
+        audience: &str,
+        now: i64,
+    ) -> Option<Assertion>;
+}
+
+/// A Shibboleth-style institutional IdP with attribute metadata.
+#[derive(Debug, Clone)]
+pub struct ShibbolethIdp {
+    entity_id: String,
+    key: Digest,
+    /// username → (password, attribute map).
+    directory: BTreeMap<String, (String, BTreeMap<String, String>)>,
+}
+
+impl ShibbolethIdp {
+    /// New IdP; the signing key is derived from the entity id and a
+    /// deployment secret.
+    pub fn new(entity_id: &str, deployment_secret: &str) -> Self {
+        ShibbolethIdp {
+            entity_id: entity_id.to_owned(),
+            key: mix_hash(format!("shib:{entity_id}:{deployment_secret}").as_bytes()),
+            directory: BTreeMap::new(),
+        }
+    }
+
+    /// Enroll a user with institutional attributes.
+    pub fn enroll(
+        &mut self,
+        username: &str,
+        password: &str,
+        attributes: BTreeMap<String, String>,
+    ) {
+        self.directory
+            .insert(username.to_owned(), (password.to_owned(), attributes));
+    }
+}
+
+impl IdentityProvider for ShibbolethIdp {
+    fn entity_id(&self) -> &str {
+        &self.entity_id
+    }
+
+    fn signing_key(&self) -> Digest {
+        self.key
+    }
+
+    fn authenticate(
+        &self,
+        username: &str,
+        password: &str,
+        audience: &str,
+        now: i64,
+    ) -> Option<Assertion> {
+        let (stored, attrs) = self.directory.get(username)?;
+        if stored != password {
+            return None;
+        }
+        Some(Assertion::issue(
+            &self.entity_id,
+            username,
+            audience,
+            attrs.clone(),
+            now,
+            ASSERTION_TTL_SECS,
+            self.key,
+        ))
+    }
+}
+
+/// A Globus-style IdP: institutional login plus an explicit
+/// account-linking step before SSO is possible.
+#[derive(Debug, Clone)]
+pub struct GlobusIdp {
+    entity_id: String,
+    key: Digest,
+    /// Globus account → password.
+    accounts: BTreeMap<String, String>,
+    /// Globus account → linked institutional identity (e.g. XSEDE
+    /// username).
+    links: BTreeMap<String, String>,
+}
+
+impl GlobusIdp {
+    /// New Globus-style IdP.
+    pub fn new(entity_id: &str, deployment_secret: &str) -> Self {
+        GlobusIdp {
+            entity_id: entity_id.to_owned(),
+            key: mix_hash(format!("globus:{entity_id}:{deployment_secret}").as_bytes()),
+            accounts: BTreeMap::new(),
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Create a Globus account.
+    pub fn register(&mut self, account: &str, password: &str) {
+        self.accounts.insert(account.to_owned(), password.to_owned());
+    }
+
+    /// Link a Globus account to an institutional identity — the paper's
+    /// prerequisite step ("before they can utilize SSO, XSEDE users must
+    /// simply link their Globus account with their XSEDE credentials").
+    pub fn link(&mut self, account: &str, institutional_identity: &str) -> bool {
+        if !self.accounts.contains_key(account) {
+            return false;
+        }
+        self.links
+            .insert(account.to_owned(), institutional_identity.to_owned());
+        true
+    }
+}
+
+impl IdentityProvider for GlobusIdp {
+    fn entity_id(&self) -> &str {
+        &self.entity_id
+    }
+
+    fn signing_key(&self) -> Digest {
+        self.key
+    }
+
+    fn authenticate(
+        &self,
+        username: &str,
+        password: &str,
+        audience: &str,
+        now: i64,
+    ) -> Option<Assertion> {
+        if self.accounts.get(username)? != password {
+            return None;
+        }
+        // No link, no SSO.
+        let linked = self.links.get(username)?;
+        let attrs = BTreeMap::from([("globus_account".to_owned(), username.to_owned())]);
+        Some(Assertion::issue(
+            &self.entity_id,
+            linked, // subject is the *institutional* identity
+            audience,
+            attrs,
+            now,
+            ASSERTION_TTL_SECS,
+            self.key,
+        ))
+    }
+}
+
+/// An LDAP/Keycloak-style directory bind IdP.
+#[derive(Debug, Clone)]
+pub struct LdapIdp {
+    entity_id: String,
+    key: Digest,
+    binds: BTreeMap<String, String>,
+}
+
+impl LdapIdp {
+    /// New LDAP-style IdP.
+    pub fn new(entity_id: &str, deployment_secret: &str) -> Self {
+        LdapIdp {
+            entity_id: entity_id.to_owned(),
+            key: mix_hash(format!("ldap:{entity_id}:{deployment_secret}").as_bytes()),
+            binds: BTreeMap::new(),
+        }
+    }
+
+    /// Add a directory entry.
+    pub fn add_entry(&mut self, username: &str, password: &str) {
+        self.binds.insert(username.to_owned(), password.to_owned());
+    }
+}
+
+impl IdentityProvider for LdapIdp {
+    fn entity_id(&self) -> &str {
+        &self.entity_id
+    }
+
+    fn signing_key(&self) -> Digest {
+        self.key
+    }
+
+    fn authenticate(
+        &self,
+        username: &str,
+        password: &str,
+        audience: &str,
+        now: i64,
+    ) -> Option<Assertion> {
+        if self.binds.get(username)? != password {
+            return None;
+        }
+        Some(Assertion::issue(
+            &self.entity_id,
+            username,
+            audience,
+            BTreeMap::new(),
+            now,
+            ASSERTION_TTL_SECS,
+            self.key,
+        ))
+    }
+}
+
+/// The service-provider side of SSO on one XDMoD instance (or hub).
+///
+/// Production XDMoD today allows "only a single SSO authentication
+/// source" (§II-D2); the planned flexible configuration (§II-D3) allows
+/// several. [`SsoGateway`] supports both: `single_source` enforces the
+/// current restriction when set.
+#[derive(Debug, Clone)]
+pub struct SsoGateway {
+    /// This instance's entity id (the audience it accepts).
+    audience: String,
+    /// Trusted issuer → signing key.
+    trusted: BTreeMap<String, Digest>,
+    /// Enforce the single-SSO-source restriction.
+    single_source: bool,
+    /// Issuers seen (diagnostics).
+    issuers_seen: BTreeSet<String>,
+}
+
+impl SsoGateway {
+    /// Gateway for an instance, enforcing the single-source restriction.
+    pub fn single(audience: &str) -> Self {
+        SsoGateway {
+            audience: audience.to_owned(),
+            trusted: BTreeMap::new(),
+            single_source: true,
+            issuers_seen: BTreeSet::new(),
+        }
+    }
+
+    /// Gateway allowing multiple SSO sources (§II-D3's future flexible
+    /// configuration, implemented).
+    pub fn multi(audience: &str) -> Self {
+        SsoGateway {
+            single_source: false,
+            ..SsoGateway::single(audience)
+        }
+    }
+
+    /// The audience this gateway accepts assertions for.
+    pub fn audience(&self) -> &str {
+        &self.audience
+    }
+
+    /// Trust an IdP. Errors (with a message) if the single-source
+    /// restriction would be violated.
+    pub fn trust(&mut self, idp: &dyn IdentityProvider) -> Result<(), String> {
+        if self.single_source && !self.trusted.is_empty()
+            && !self.trusted.contains_key(idp.entity_id())
+        {
+            return Err(format!(
+                "instance {} is configured for a single SSO source ({}); \
+                 enable multi-source mode to add {}",
+                self.audience,
+                self.trusted.keys().next().expect("non-empty"),
+                idp.entity_id()
+            ));
+        }
+        self.trusted
+            .insert(idp.entity_id().to_owned(), idp.signing_key());
+        Ok(())
+    }
+
+    /// Validate an incoming assertion. On success returns the subject
+    /// (who the user is) — the caller maps it into its user directory.
+    pub fn validate(&mut self, assertion: &Assertion, now: i64) -> Result<String, SamlError> {
+        let key = self
+            .trusted
+            .get(&assertion.issuer)
+            .copied()
+            .ok_or_else(|| SamlError::UnknownIssuer(assertion.issuer.clone()))?;
+        assertion.validate(key, &self.audience, now)?;
+        self.issuers_seen.insert(assertion.issuer.clone());
+        Ok(assertion.subject.clone())
+    }
+
+    /// Issuers that have successfully authenticated users here.
+    pub fn issuers_seen(&self) -> impl Iterator<Item = &str> {
+        self.issuers_seen.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shib() -> ShibbolethIdp {
+        let mut idp = ShibbolethIdp::new("shibboleth.buffalo.edu", "s3cret");
+        idp.enroll(
+            "alice",
+            "pw-a",
+            BTreeMap::from([
+                ("email".to_owned(), "alice@buffalo.edu".to_owned()),
+                ("department".to_owned(), "physics".to_owned()),
+            ]),
+        );
+        idp
+    }
+
+    #[test]
+    fn shibboleth_flow_with_attributes() {
+        let idp = shib();
+        let mut gw = SsoGateway::single("ccr-xdmod");
+        gw.trust(&idp).unwrap();
+        let assertion = idp.authenticate("alice", "pw-a", "ccr-xdmod", 100).unwrap();
+        // Metadata attributes travel with the assertion.
+        assert_eq!(
+            assertion.attributes.get("department").map(String::as_str),
+            Some("physics")
+        );
+        assert_eq!(gw.validate(&assertion, 120).unwrap(), "alice");
+    }
+
+    #[test]
+    fn wrong_password_yields_no_assertion() {
+        let idp = shib();
+        assert!(idp.authenticate("alice", "nope", "ccr-xdmod", 100).is_none());
+        assert!(idp.authenticate("bob", "pw-a", "ccr-xdmod", 100).is_none());
+    }
+
+    #[test]
+    fn globus_requires_account_linking() {
+        let mut idp = GlobusIdp::new("auth.globus.org", "gsecret");
+        idp.register("alice.globus", "pw");
+        // Unlinked: SSO refused.
+        assert!(idp
+            .authenticate("alice.globus", "pw", "xsede-xdmod", 100)
+            .is_none());
+        // Linking an unknown account fails.
+        assert!(!idp.link("nobody", "xsede_alice"));
+        // After linking, the assertion's subject is the *institutional*
+        // identity.
+        assert!(idp.link("alice.globus", "xsede_alice"));
+        let a = idp
+            .authenticate("alice.globus", "pw", "xsede-xdmod", 100)
+            .unwrap();
+        assert_eq!(a.subject, "xsede_alice");
+        assert_eq!(
+            a.attributes.get("globus_account").map(String::as_str),
+            Some("alice.globus")
+        );
+    }
+
+    #[test]
+    fn ldap_bind_flow() {
+        let mut idp = LdapIdp::new("ldap.example.edu", "lsecret");
+        idp.add_entry("bob", "pw-b");
+        let mut gw = SsoGateway::single("dept-xdmod");
+        gw.trust(&idp).unwrap();
+        let a = idp.authenticate("bob", "pw-b", "dept-xdmod", 50).unwrap();
+        assert_eq!(gw.validate(&a, 60).unwrap(), "bob");
+    }
+
+    #[test]
+    fn single_source_restriction_enforced() {
+        let shib = shib();
+        let ldap = LdapIdp::new("ldap.example.edu", "x");
+        let mut gw = SsoGateway::single("ccr-xdmod");
+        gw.trust(&shib).unwrap();
+        let err = gw.trust(&ldap).unwrap_err();
+        assert!(err.contains("single SSO source"));
+        // Re-trusting the same IdP is fine (key rotation).
+        gw.trust(&shib).unwrap();
+    }
+
+    #[test]
+    fn multi_source_gateway_accepts_several_idps() {
+        let shib = shib();
+        let mut ldap = LdapIdp::new("ldap.example.edu", "x");
+        ldap.add_entry("bob", "pw-b");
+        let mut gw = SsoGateway::multi("federation-hub");
+        gw.trust(&shib).unwrap();
+        gw.trust(&ldap).unwrap();
+        let a1 = shib.authenticate("alice", "pw-a", "federation-hub", 10).unwrap();
+        let a2 = ldap.authenticate("bob", "pw-b", "federation-hub", 10).unwrap();
+        assert_eq!(gw.validate(&a1, 20).unwrap(), "alice");
+        assert_eq!(gw.validate(&a2, 20).unwrap(), "bob");
+        let seen: Vec<&str> = gw.issuers_seen().collect();
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let idp = shib();
+        let mut gw = SsoGateway::single("ccr-xdmod");
+        // Gateway never trusted the IdP.
+        let a = idp.authenticate("alice", "pw-a", "ccr-xdmod", 10).unwrap();
+        assert!(matches!(
+            gw.validate(&a, 20),
+            Err(SamlError::UnknownIssuer(_))
+        ));
+    }
+
+    #[test]
+    fn assertion_for_another_instance_rejected() {
+        let idp = shib();
+        let mut gw = SsoGateway::single("ccr-xdmod");
+        gw.trust(&idp).unwrap();
+        let a = idp
+            .authenticate("alice", "pw-a", "other-instance", 10)
+            .unwrap();
+        assert!(matches!(
+            gw.validate(&a, 20),
+            Err(SamlError::WrongAudience { .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Users, roles, and per-instance directories.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// XDMoD's stakeholder roles (§I-A lists the audiences; XDMoD's ACL model
+/// maps them to these roles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// End user: sees their own jobs and public metrics.
+    User,
+    /// Principal investigator: sees their group's jobs.
+    Pi,
+    /// Center operations staff: sees all metrics on their instance.
+    CenterStaff,
+    /// Center management: staff view plus reporting.
+    CenterDirector,
+    /// Instance administrator.
+    Admin,
+}
+
+impl Role {
+    /// Whether this role may view data belonging to `owner` (a username).
+    pub fn may_view_user(self, me: &str, owner: &str) -> bool {
+        match self {
+            Role::User => me == owner,
+            // PI group membership is checked by the caller against the
+            // directory; the role alone grants nothing more than self.
+            Role::Pi => me == owner,
+            Role::CenterStaff | Role::CenterDirector | Role::Admin => true,
+        }
+    }
+}
+
+/// A user record in an instance's directory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Login name, unique per instance.
+    pub username: String,
+    /// Display name.
+    pub display_name: String,
+    /// Email (the natural join key for federated identity mapping).
+    pub email: String,
+    /// Home organization (e.g. `buffalo.edu`).
+    pub organization: String,
+    /// Role on this instance.
+    pub role: Role,
+    /// PI group, when the user belongs to one.
+    pub pi_group: Option<String>,
+}
+
+impl User {
+    /// A plain end user.
+    pub fn member(username: &str, email: &str, organization: &str) -> Self {
+        User {
+            username: username.to_owned(),
+            display_name: username.to_owned(),
+            email: email.to_owned(),
+            organization: organization.to_owned(),
+            role: Role::User,
+            pi_group: None,
+        }
+    }
+
+    /// Builder: set the role.
+    pub fn with_role(mut self, role: Role) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Builder: set the PI group.
+    pub fn in_group(mut self, group: &str) -> Self {
+        self.pi_group = Some(group.to_owned());
+        self
+    }
+}
+
+/// Per-instance user directory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UserStore {
+    users: BTreeMap<String, User>,
+}
+
+impl UserStore {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a user.
+    pub fn upsert(&mut self, user: User) {
+        self.users.insert(user.username.clone(), user);
+    }
+
+    /// Look up a user.
+    pub fn get(&self, username: &str) -> Option<&User> {
+        self.users.get(username)
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Iterate all users.
+    pub fn iter(&self) -> impl Iterator<Item = &User> {
+        self.users.values()
+    }
+
+    /// Users sharing an email address (candidate duplicates across
+    /// instances).
+    pub fn by_email(&self, email: &str) -> Vec<&User> {
+        self.users.values().filter(|u| u.email == email).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_visibility() {
+        assert!(Role::User.may_view_user("alice", "alice"));
+        assert!(!Role::User.may_view_user("alice", "bob"));
+        assert!(Role::CenterStaff.may_view_user("staff", "bob"));
+        assert!(Role::Admin.may_view_user("root", "bob"));
+    }
+
+    #[test]
+    fn store_upsert_and_lookup() {
+        let mut store = UserStore::new();
+        store.upsert(User::member("alice", "alice@buffalo.edu", "buffalo.edu"));
+        store.upsert(
+            User::member("alice", "alice@buffalo.edu", "buffalo.edu").with_role(Role::Pi),
+        );
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("alice").unwrap().role, Role::Pi);
+        assert!(store.get("bob").is_none());
+    }
+
+    #[test]
+    fn email_lookup_finds_duplicates() {
+        let mut store = UserStore::new();
+        store.upsert(User::member("alice", "a@x.edu", "x.edu"));
+        store.upsert(User::member("asmith", "a@x.edu", "x.edu"));
+        store.upsert(User::member("bob", "b@x.edu", "x.edu"));
+        assert_eq!(store.by_email("a@x.edu").len(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Criterion benches: why XDMoD pre-bins.
+//!
+//! "Data aggregation is a key data processing step in which XDMoD
+//! pre-bins raw dimension data, enabling the application to respond
+//! quickly to complex user queries" (§II-C3). These benches measure that
+//! claim in our reproduction: querying materialized aggregation tables vs
+//! running the same grouping over raw facts, the cost of the daily
+//! materialization itself, and the cost of a full hub re-aggregation
+//! after a level change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xdmod_realms::levels::{hub_walltime, AggregationLevelsConfig, DIM_WALL_TIME};
+use xdmod_realms::{jobs, RealmKind};
+use xdmod_core::XdmodInstance;
+use xdmod_sim::{ClusterSim, ResourceProfile};
+use xdmod_warehouse::{AggFn, Aggregate, Bins, GroupKey, Period, Query};
+
+fn instance_with_jobs(months: u8) -> XdmodInstance {
+    let mut inst = XdmodInstance::new("bench");
+    let mut profile = ResourceProfile::generic("rush", 256, 48.0, 1.0);
+    profile.base_jobs_per_month = 800;
+    let sim = ClusterSim::new(profile, 77);
+    inst.ingest_sacct("rush", &sim.sacct_log(2017, 1..=months))
+        .unwrap();
+    let mut levels = AggregationLevelsConfig::new();
+    levels.set(DIM_WALL_TIME, hub_walltime());
+    inst.set_levels(levels);
+    inst
+}
+
+fn wall_bins() -> Bins {
+    let mut cfg = AggregationLevelsConfig::new();
+    cfg.set(DIM_WALL_TIME, hub_walltime());
+    cfg.bins_for(DIM_WALL_TIME).unwrap()
+}
+
+fn bench_query_raw_vs_materialized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation_query_path");
+    g.sample_size(30);
+    let inst = instance_with_jobs(6);
+    inst.aggregate().unwrap();
+    let db = inst.database();
+    let schema = inst.schema_name();
+
+    // Query-time binning over raw facts (what a non-pre-binned system
+    // would do per chart request).
+    g.bench_function("raw_facts_bin_at_query_time", |b| {
+        let query = Query::new()
+            .group_by_period("end_time", Period::Month)
+            .group(GroupKey::Binned("wall_hours".into(), wall_bins()))
+            .aggregate(Aggregate::count("jobs"))
+            .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "cpu"));
+        b.iter(|| {
+            let db = db.read();
+            let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
+            black_box(query.run(t).unwrap().len())
+        })
+    });
+
+    // Scanning the pre-binned monthly aggregate instead (XDMoD's path).
+    g.bench_function("materialized_aggregate_scan", |b| {
+        let query = Query::new()
+            .group_by_column("period_id")
+            .group_by_column("wall_hours_bin")
+            .aggregate(Aggregate::of(AggFn::Sum, "job_count", "jobs"))
+            .aggregate(Aggregate::of(AggFn::Sum, "total_cpu_hours", "cpu"));
+        b.iter(|| {
+            let db = db.read();
+            let t = db.table(&schema, "jobfact_by_month").unwrap();
+            black_box(query.run(t).unwrap().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_materialization_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation_materialize");
+    g.sample_size(10);
+    for &months in &[3u8, 6, 12] {
+        let inst = instance_with_jobs(months);
+        g.bench_with_input(
+            BenchmarkId::new("daily_aggregation_run", months),
+            &months,
+            |b, _| b.iter(|| inst.aggregate().unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_reaggregation_after_level_change(c: &mut Criterion) {
+    // The administrative "re-aggregate all raw federation data" action:
+    // rebinning the same facts under different levels.
+    let mut g = c.benchmark_group("aggregation_rebin");
+    g.sample_size(20);
+    let inst = instance_with_jobs(6);
+    let db = inst.database();
+    let schema = inst.schema_name();
+    for (name, bins) in [
+        ("3_levels", {
+            let mut cfg = AggregationLevelsConfig::new();
+            cfg.set(
+                DIM_WALL_TIME,
+                xdmod_realms::levels::instance_b_walltime(),
+            );
+            cfg.bins_for(DIM_WALL_TIME).unwrap()
+        }),
+        ("5_levels", wall_bins()),
+    ] {
+        g.bench_function(name, |b| {
+            let query = Query::new()
+                .group(GroupKey::Binned("wall_hours".into(), bins.clone()))
+                .aggregate(Aggregate::count("jobs"));
+            b.iter(|| {
+                let db = db.read();
+                let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
+                black_box(query.run(t).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_by_cardinality(c: &mut Criterion) {
+    // Group-key cardinality is the main cost driver of the parallel
+    // fold/reduce; sweep it.
+    let mut g = c.benchmark_group("aggregation_group_cardinality");
+    g.sample_size(30);
+    let inst = instance_with_jobs(6);
+    let db = inst.database();
+    let schema = inst.schema_name();
+    for (name, key) in [
+        ("by_resource_1", "resource"),
+        ("by_queue_3", "queue"),
+        ("by_user_many", "user"),
+    ] {
+        g.bench_function(name, |b| {
+            let query = Query::new()
+                .group_by_column(key)
+                .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "cpu"));
+            b.iter(|| {
+                let db = db.read();
+                let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
+                black_box(query.run(t).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_su_conversion(c: &mut Criterion) {
+    // Ingest-time SU conversion overhead: parse+shred with and without a
+    // configured conversion factor (the factor path multiplies per row).
+    let mut g = c.benchmark_group("ingest_su_conversion");
+    g.sample_size(20);
+    let sim = ClusterSim::new(ResourceProfile::generic("rush", 256, 48.0, 1.7), 5);
+    let log = sim.sacct_log(2017, 1..=2);
+    let mut with = xdmod_realms::SuConverter::new();
+    with.set_factor("rush", 1.7);
+    let without = xdmod_realms::SuConverter::new();
+    g.bench_function("with_factor", |b| {
+        b.iter(|| black_box(xdmod_ingest::slurm::shred(&log, "rush", &with).unwrap().0.len()))
+    });
+    g.bench_function("unbenchmarked_fallback", |b| {
+        b.iter(|| black_box(xdmod_ingest::slurm::shred(&log, "rush", &without).unwrap().0.len()))
+    });
+    g.finish();
+    let _ = RealmKind::Jobs;
+}
+
+criterion_group!(
+    benches,
+    bench_query_raw_vs_materialized,
+    bench_materialization_cost,
+    bench_reaggregation_after_level_change,
+    bench_group_by_cardinality,
+    bench_su_conversion
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion benches: federated query scaling.
+//!
+//! Federation's value proposition is "reporting on the collection"
+//! without visiting each instance (§II-A). These benches measure the
+//! hub's unified query against (a) the number of satellites federated
+//! and (b) the alternative of querying every satellite separately and
+//! merging by hand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xdmod_core::{Federation, FederationConfig, FederationHub, XdmodInstance};
+use xdmod_realms::RealmKind;
+use xdmod_sim::{ClusterSim, ResourceProfile};
+use xdmod_warehouse::{AggFn, Aggregate, Period, Query};
+
+fn build_federation(n_satellites: usize) -> (Vec<XdmodInstance>, Federation) {
+    let mut instances = Vec::new();
+    for i in 0..n_satellites {
+        let name = format!("sat-{i}");
+        let resource = format!("res-{i}");
+        let mut inst = XdmodInstance::new(&name);
+        let mut profile = ResourceProfile::generic(&resource, 128, 24.0, 1.0);
+        profile.base_jobs_per_month = 400;
+        let sim = ClusterSim::new(profile, 1000 + i as u64);
+        inst.ingest_sacct(&resource, &sim.sacct_log(2017, 1..=3))
+            .unwrap();
+        instances.push(inst);
+    }
+    let mut fed = Federation::new(FederationHub::new("hub"));
+    for inst in &instances {
+        fed.join_tight(inst, FederationConfig::default()).unwrap();
+    }
+    fed.sync().unwrap();
+    (instances, fed)
+}
+
+fn monthly_su_query() -> Query {
+    Query::new()
+        .group_by_period("end_time", Period::Month)
+        .group_by_column("resource")
+        .aggregate(Aggregate::of(AggFn::Sum, "su_charged", "total_su"))
+        .aggregate(Aggregate::count("jobs"))
+}
+
+fn bench_hub_query_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("federated_query_scaling");
+    g.sample_size(20);
+    for &n in &[1usize, 2, 4, 8] {
+        let (_instances, fed) = build_federation(n);
+        g.bench_with_input(BenchmarkId::new("hub_unified", n), &n, |b, _| {
+            let q = monthly_su_query();
+            b.iter(|| {
+                black_box(
+                    fed.hub()
+                        .federated_query(RealmKind::Jobs, &q)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hub_vs_per_satellite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("federated_vs_per_satellite");
+    g.sample_size(20);
+    let (instances, fed) = build_federation(4);
+    let q = monthly_su_query();
+    g.bench_function("hub_single_query", |b| {
+        b.iter(|| {
+            black_box(
+                fed.hub()
+                    .federated_query(RealmKind::Jobs, &q)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("visit_each_satellite_and_merge", |b| {
+        b.iter(|| {
+            // What an operator without federation does: query every
+            // instance, then merge result sets by key.
+            let mut merged = std::collections::BTreeMap::new();
+            for inst in &instances {
+                let rs = inst.query(RealmKind::Jobs, &q).unwrap();
+                let su = rs.column_index("total_su").unwrap();
+                for row in &rs.rows {
+                    let key = (row[0].clone(), row[1].clone());
+                    *merged.entry(key).or_insert(0.0) += row[su].as_f64().unwrap_or(0.0);
+                }
+            }
+            black_box(merged.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sync_cycle(c: &mut Criterion) {
+    // The steady-state federation cycle: new ingest on each satellite,
+    // one sync, hub re-aggregation.
+    let mut g = c.benchmark_group("federation_sync_cycle");
+    g.sample_size(10);
+    for &n in &[2usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let (mut instances, fed) = build_federation(n);
+                    // Stage fresh data on every satellite.
+                    for (i, inst) in instances.iter_mut().enumerate() {
+                        let resource = format!("res-{i}");
+                        let mut profile =
+                            ResourceProfile::generic(&resource, 128, 24.0, 1.0);
+                        profile.base_jobs_per_month = 200;
+                        let sim = ClusterSim::new(profile, 2000 + i as u64);
+                        inst.ingest_sacct(&resource, &sim.sacct_log(2017, 4..=4))
+                            .unwrap();
+                    }
+                    fed
+                },
+                |mut fed| black_box(fed.sync_and_aggregate().unwrap()),
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hub_query_scaling,
+    bench_hub_vs_per_satellite,
+    bench_sync_cycle
+);
+criterion_main!(benches);

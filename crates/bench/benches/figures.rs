@@ -1,0 +1,41 @@
+//! Criterion benches: end-to-end regeneration cost of every table and
+//! figure in the paper. Each bench runs the full pipeline (simulate →
+//! ingest → [federate] → aggregate → query) at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xdmod_bench::experiments as exp;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_top_resources", |b| {
+        b.iter(|| black_box(exp::fig1(exp::SEED, 0.2).ranking))
+    });
+    g.bench_function("table1_aggregation_levels", |b| {
+        b.iter(|| black_box(exp::table1(exp::SEED, 0.2).raw_total_jobs))
+    });
+    g.bench_function("fig2_fanin_topology", |b| {
+        b.iter(|| black_box(exp::fig2(exp::SEED, 0.2).events_applied))
+    });
+    g.bench_function("fig3_dataflow_routing", |b| {
+        b.iter(|| black_box(exp::fig3(exp::SEED, 0.2).hub_view.len()))
+    });
+    g.bench_function("fig4_auth_paths", |b| {
+        b.iter(|| black_box(exp::fig4(10).sessions.len()))
+    });
+    g.bench_function("fig5_federated_auth", |b| {
+        b.iter(|| black_box(exp::fig5().sessions.len()))
+    });
+    g.bench_function("fig6_storage_realm", |b| {
+        b.iter(|| black_box(exp::fig6(exp::SEED, 0.2).dataset.width()))
+    });
+    g.bench_function("fig7_cloud_realm", |b| {
+        b.iter(|| black_box(exp::fig7(exp::SEED, 0.5).bins.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

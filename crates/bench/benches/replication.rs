@@ -1,0 +1,145 @@
+//! Criterion benches: replication-path ablations.
+//!
+//! The paper chose Tungsten-style live binlog replication ("tight") over
+//! periodic dump shipping ("loose") (§II-C1/C2). These benches quantify
+//! that design space in our reproduction: per-event binlog streaming vs
+//! batched binlog files vs full snapshot dumps, plus the cost of
+//! resource-routing filters and multi-hub fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use xdmod_replication::{
+    receive_dump, ship_dump, LinkConfig, LooseReceiver, LooseShipper, ReplicationFilter,
+    Replicator,
+};
+use xdmod_warehouse::{shared, ColumnType, Database, SchemaBuilder, SharedDatabase, Value};
+
+/// Build a satellite with `n` jobfact rows split into `batches` inserts.
+fn satellite(n: usize, batches: usize) -> SharedDatabase {
+    let mut db = Database::new();
+    db.create_schema("xdmod_x").unwrap();
+    db.create_table(
+        "xdmod_x",
+        SchemaBuilder::new("jobfact")
+            .required("resource", ColumnType::Str)
+            .required("cpu_hours", ColumnType::Float)
+            .required("end_time", ColumnType::Time)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let per = (n / batches).max(1);
+    let mut written = 0;
+    while written < n {
+        let take = per.min(n - written);
+        let rows: Vec<Vec<Value>> = (0..take)
+            .map(|i| {
+                vec![
+                    Value::Str(if (written + i) % 7 == 0 { "secret" } else { "open" }.into()),
+                    Value::Float((written + i) as f64),
+                    Value::Time(1_483_228_800 + (written + i) as i64 * 60),
+                ]
+            })
+            .collect();
+        db.insert("xdmod_x", "jobfact", rows).unwrap();
+        written += take;
+    }
+    shared(db)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication_modes");
+    g.sample_size(20);
+    for &rows in &[1_000usize, 10_000] {
+        let src = satellite(rows, 50);
+        g.bench_with_input(BenchmarkId::new("tight_binlog", rows), &rows, |b, _| {
+            b.iter(|| {
+                let dst = shared(Database::new());
+                let mut rep = Replicator::new(
+                    Arc::clone(&src),
+                    dst,
+                    LinkConfig::renaming("xdmod_x", "hub_x"),
+                );
+                black_box(rep.poll().unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("loose_binlog_batch", rows), &rows, |b, _| {
+            b.iter(|| {
+                let dst = shared(Database::new());
+                let mut shipper = LooseShipper::new(Arc::clone(&src));
+                let mut receiver =
+                    LooseReceiver::new(dst, LinkConfig::renaming("xdmod_x", "hub_x"));
+                let batch = shipper.export_batch().unwrap();
+                black_box(receiver.apply_batch(&batch).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("loose_full_dump", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut dst = Database::new();
+                let dump = ship_dump(&src.read(), "xdmod_x", "hub_x").unwrap();
+                black_box(receive_dump(&mut dst, &dump).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication_filters");
+    g.sample_size(20);
+    let src = satellite(10_000, 50);
+    g.bench_function("no_filter", |b| {
+        b.iter(|| {
+            let dst = shared(Database::new());
+            let mut rep = Replicator::new(
+                Arc::clone(&src),
+                dst,
+                LinkConfig::renaming("xdmod_x", "hub_x"),
+            );
+            black_box(rep.poll().unwrap())
+        })
+    });
+    g.bench_function("resource_routing_filter", |b| {
+        b.iter(|| {
+            let dst = shared(Database::new());
+            let filter = ReplicationFilter::all()
+                .with_resource_column("jobfact", "resource")
+                .exclude_resource("secret");
+            let mut rep = Replicator::new(
+                Arc::clone(&src),
+                dst,
+                LinkConfig::renaming("xdmod_x", "hub_x").with_filter(filter),
+            );
+            black_box(rep.poll().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_multi_hub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication_multi_hub");
+    g.sample_size(20);
+    let src = satellite(5_000, 25);
+    for &hubs in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(hubs), &hubs, |b, &hubs| {
+            b.iter(|| {
+                let mut applied = 0;
+                for _ in 0..hubs {
+                    let dst = shared(Database::new());
+                    let mut rep = Replicator::new(
+                        Arc::clone(&src),
+                        dst,
+                        LinkConfig::renaming("xdmod_x", "hub_x"),
+                    );
+                    applied += rep.poll().unwrap();
+                }
+                black_box(applied)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_filters, bench_multi_hub);
+criterion_main!(benches);

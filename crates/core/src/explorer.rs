@@ -1,0 +1,366 @@
+//! The usage explorer: XDMoD's chart-building API.
+//!
+//! "Its web-based interface supports charting, exploration, and reporting
+//! for any time range, across all computing resources" (abstract); users
+//! pick a **realm**, a **metric**, a **group-by dimension**, a time
+//! range, and filters, in either *timeseries* or *aggregate* view
+//! (§I-D). [`ChartRequest`] is that picker; [`XdmodInstance::explore`]
+//! and [`FederationHub::explore_federated`] execute it against the realm
+//! catalogs and return a ready-to-render [`Dataset`].
+
+use crate::hub::FederationHub;
+use crate::instance::XdmodInstance;
+use xdmod_chart::Dataset;
+use xdmod_realms::{all_realms, AggregationLevelsConfig, Realm, RealmKind};
+use xdmod_warehouse::{
+    GroupKey, OrderBy, Period, Predicate, Query, ResultSet, Value,
+};
+
+/// Timeseries vs aggregate view (§I-D: "most metrics can be plotted in
+/// either timeseries or aggregate view").
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChartView {
+    /// One point per calendar period.
+    Timeseries(Period),
+    /// One value per dimension group over the whole range.
+    Aggregate,
+}
+
+/// A chart specification, as the usage tab would assemble it.
+#[derive(Debug, Clone)]
+pub struct ChartRequest {
+    /// Which realm to chart.
+    pub realm: RealmKind,
+    /// Metric id from the realm's catalog (e.g. `total_su`).
+    pub metric: String,
+    /// Optional group-by dimension id from the catalog (e.g. `resource`).
+    /// Numeric dimensions are binned through the instance's aggregation
+    /// levels.
+    pub dimension: Option<String>,
+    /// View mode.
+    pub view: ChartView,
+    /// Inclusive start / exclusive end of the time range (epoch secs).
+    pub time_range: Option<(i64, i64)>,
+    /// Dimension-value filters: (dimension id, value) pairs — XDMoD's
+    /// filter/drill-down mechanism.
+    pub filters: Vec<(String, Value)>,
+    /// Keep only the top N groups by the metric (aggregate view).
+    pub top_n: Option<usize>,
+}
+
+impl ChartRequest {
+    /// A timeseries request for one metric.
+    pub fn timeseries(realm: RealmKind, metric: &str, period: Period) -> Self {
+        ChartRequest {
+            realm,
+            metric: metric.to_owned(),
+            dimension: None,
+            view: ChartView::Timeseries(period),
+            time_range: None,
+            filters: Vec::new(),
+            top_n: None,
+        }
+    }
+
+    /// An aggregate request for one metric.
+    pub fn aggregate(realm: RealmKind, metric: &str) -> Self {
+        ChartRequest {
+            view: ChartView::Aggregate,
+            ..ChartRequest::timeseries(realm, metric, Period::Month)
+        }
+    }
+
+    /// Group by a catalog dimension.
+    pub fn group_by(mut self, dimension: &str) -> Self {
+        self.dimension = Some(dimension.to_owned());
+        self
+    }
+
+    /// Restrict to a time range `[start, end)`.
+    pub fn between(mut self, start: i64, end: i64) -> Self {
+        self.time_range = Some((start, end));
+        self
+    }
+
+    /// Add a drill-down filter on a dimension value.
+    pub fn filter(mut self, dimension: &str, value: impl Into<Value>) -> Self {
+        self.filters.push((dimension.to_owned(), value.into()));
+        self
+    }
+
+    /// Keep only the top N groups (aggregate view).
+    pub fn top(mut self, n: usize) -> Self {
+        self.top_n = Some(n);
+        self
+    }
+
+    /// Resolve against the realm catalogs and build the warehouse query.
+    /// Returns the query plus the metric's output alias and display
+    /// metadata.
+    pub fn compile(
+        &self,
+        levels: &AggregationLevelsConfig,
+    ) -> Result<CompiledChart, String> {
+        let realms = all_realms(levels);
+        let realm: &Realm = realms
+            .iter()
+            .find(|r| r.kind == self.realm)
+            .expect("all realms present");
+        let metric = realm
+            .metric(&self.metric)
+            .ok_or_else(|| format!("realm {} has no metric {}", realm.kind.ident(), self.metric))?;
+        let time_column = realm.default_aggregation.time_column.clone();
+
+        let mut query = Query::new();
+        if let Some((start, end)) = self.time_range {
+            query = query.filter(Predicate::TimeRange {
+                column: time_column.clone(),
+                start,
+                end,
+            });
+        }
+        for (dim_id, value) in &self.filters {
+            let dim = realm
+                .dimension(dim_id)
+                .ok_or_else(|| format!("no dimension {dim_id} to filter on"))?;
+            query = query.filter(Predicate::Eq(dim.column.clone(), value.clone()));
+        }
+        let mut series_column = None;
+        if let ChartView::Timeseries(period) = self.view {
+            query = query.group(GroupKey::PeriodOf(time_column.clone(), period));
+        }
+        if let Some(dim_id) = &self.dimension {
+            let dim = realm
+                .dimension(dim_id)
+                .ok_or_else(|| format!("realm {} has no dimension {dim_id}", realm.kind.ident()))?;
+            let key = if dim.numeric {
+                let bins = levels.bins_for(dim_id)?;
+                GroupKey::Binned(dim.column.clone(), bins)
+            } else {
+                GroupKey::Column(dim.column.clone())
+            };
+            series_column = Some(key.output_name());
+            query = query.group(key);
+        }
+        query = query.aggregate(metric.aggregate.clone());
+        if let (ChartView::Aggregate, Some(n)) = (&self.view, self.top_n) {
+            query = query
+                .order(OrderBy::ColumnDesc(metric.aggregate.alias.clone()))
+                .limit(n);
+        }
+        Ok(CompiledChart {
+            query,
+            metric_alias: metric.aggregate.alias.clone(),
+            metric_label: metric.label.clone(),
+            unit: metric.unit.clone(),
+            series_column,
+            time_column,
+            view: self.view.clone(),
+        })
+    }
+}
+
+/// A compiled chart: the query plus the metadata needed to shape the
+/// result into a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct CompiledChart {
+    /// The warehouse query to run.
+    pub query: Query,
+    /// Output column of the metric.
+    pub metric_alias: String,
+    /// Chart title contribution.
+    pub metric_label: String,
+    /// Y-axis unit.
+    pub unit: String,
+    /// Output column naming the series (when grouped by a dimension).
+    pub series_column: Option<String>,
+    /// The realm's time column.
+    pub time_column: String,
+    /// Requested view.
+    pub view: ChartView,
+}
+
+impl CompiledChart {
+    /// Shape a result set into a chartable dataset.
+    pub fn into_dataset(self, rs: &ResultSet, title_suffix: &str) -> Result<Dataset, String> {
+        let title = if title_suffix.is_empty() {
+            self.metric_label.clone()
+        } else {
+            format!("{} — {title_suffix}", self.metric_label)
+        };
+        match self.view {
+            ChartView::Timeseries(period) => Dataset::timeseries(
+                &title,
+                &self.unit,
+                rs,
+                period,
+                &format!("{}_{}", self.time_column, period.ident()),
+                self.series_column.as_deref(),
+                &self.metric_alias,
+            ),
+            ChartView::Aggregate => {
+                let label_col = self
+                    .series_column
+                    .ok_or_else(|| "aggregate view needs a group-by dimension".to_owned())?;
+                Dataset::aggregate(&title, &self.unit, rs, &label_col, &self.metric_alias)
+            }
+        }
+    }
+}
+
+impl XdmodInstance {
+    /// Execute a chart request against this instance.
+    pub fn explore(&self, request: &ChartRequest) -> Result<Dataset, String> {
+        let compiled = request.compile(self.levels())?;
+        let rs = self
+            .query(request.realm, &compiled.query)
+            .map_err(|e| e.to_string())?;
+        compiled.into_dataset(&rs, self.name())
+    }
+}
+
+impl FederationHub {
+    /// Execute a chart request against the federation's unified view.
+    pub fn explore_federated(&self, request: &ChartRequest) -> Result<Dataset, String> {
+        let compiled = request.compile(self.levels())?;
+        let rs = self
+            .federated_query(request.realm, &compiled.query)
+            .map_err(|e| e.to_string())?;
+        compiled.into_dataset(&rs, &format!("{} (federated)", self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdmod_realms::levels::{instance_a_walltime, DIM_WALL_TIME};
+
+    const SACCT: &str = "\
+JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
+1|alice|g|normal|1|24|2017-01-05T08:00:00|2017-01-05T09:00:00|2017-01-05T11:00:00|COMPLETED|0
+2|bob|g|normal|2|48|2017-02-01T00:00:00|2017-02-01T01:00:00|2017-02-01T05:00:00|COMPLETED|0
+3|alice|g|debug|1|8|2017-02-02T00:00:00|2017-02-02T00:10:00|2017-02-02T03:40:00|COMPLETED|0
+";
+
+    fn instance() -> XdmodInstance {
+        let mut inst = XdmodInstance::new("ccr");
+        inst.set_su_factor("rush", 2.0);
+        inst.ingest_sacct("rush", SACCT).unwrap();
+        let mut levels = AggregationLevelsConfig::new();
+        levels.set(DIM_WALL_TIME, instance_a_walltime());
+        inst.set_levels(levels);
+        inst
+    }
+
+    #[test]
+    fn timeseries_metric_by_dimension() {
+        let inst = instance();
+        let ds = inst
+            .explore(
+                &ChartRequest::timeseries(RealmKind::Jobs, "total_cpu_hours", Period::Month)
+                    .group_by("queue"),
+            )
+            .unwrap();
+        assert!(ds.title.contains("CPU Hours"));
+        assert_eq!(ds.unit, "CPU hours");
+        assert_eq!(ds.series.len(), 2); // normal, debug
+        assert_eq!(ds.labels, vec!["2017-01", "2017-02"]);
+        assert_eq!(ds.series_total("normal"), Some(24.0 * 2.0 + 48.0 * 4.0));
+    }
+
+    #[test]
+    fn aggregate_view_with_top_n() {
+        let inst = instance();
+        let ds = inst
+            .explore(
+                &ChartRequest::aggregate(RealmKind::Jobs, "job_count")
+                    .group_by("user")
+                    .top(1),
+            )
+            .unwrap();
+        assert_eq!(ds.labels, vec!["alice"]); // 2 jobs > bob's 1
+        assert_eq!(ds.series[0].values, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn numeric_dimension_uses_aggregation_levels() {
+        let inst = instance();
+        let ds = inst
+            .explore(
+                &ChartRequest::aggregate(RealmKind::Jobs, "job_count").group_by(DIM_WALL_TIME),
+            )
+            .unwrap();
+        // 2h and 3.5h jobs → 1-5 hours; 4h job also 1-5 hours.
+        assert!(ds.labels.contains(&"1-5 hours".to_owned()));
+    }
+
+    #[test]
+    fn drill_down_filter() {
+        let inst = instance();
+        let ds = inst
+            .explore(
+                &ChartRequest::timeseries(RealmKind::Jobs, "job_count", Period::Month)
+                    .filter("user", "alice"),
+            )
+            .unwrap();
+        assert_eq!(ds.series_total("job_count"), Some(2.0));
+    }
+
+    #[test]
+    fn time_range_restricts() {
+        use xdmod_warehouse::CivilDate;
+        let inst = instance();
+        let ds = inst
+            .explore(
+                &ChartRequest::timeseries(RealmKind::Jobs, "job_count", Period::Month).between(
+                    CivilDate::new(2017, 2, 1).to_epoch(),
+                    CivilDate::new(2017, 3, 1).to_epoch(),
+                ),
+            )
+            .unwrap();
+        assert_eq!(ds.labels, vec!["2017-02"]);
+        assert_eq!(ds.series_total("job_count"), Some(2.0));
+    }
+
+    #[test]
+    fn unknown_metric_and_dimension_error_with_names() {
+        let inst = instance();
+        let err = inst
+            .explore(&ChartRequest::aggregate(RealmKind::Jobs, "bogus_metric"))
+            .unwrap_err();
+        assert!(err.contains("bogus_metric"));
+        let err = inst
+            .explore(
+                &ChartRequest::aggregate(RealmKind::Jobs, "job_count").group_by("bogus_dim"),
+            )
+            .unwrap_err();
+        assert!(err.contains("bogus_dim"));
+    }
+
+    #[test]
+    fn aggregate_view_requires_dimension() {
+        let inst = instance();
+        let err = inst
+            .explore(&ChartRequest::aggregate(RealmKind::Jobs, "job_count"))
+            .unwrap_err();
+        assert!(err.contains("group-by dimension"));
+    }
+
+    #[test]
+    fn federated_explore_matches_local_for_single_member() {
+        use crate::federation::{Federation, FederationConfig};
+        let inst = instance();
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&inst, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        let request =
+            ChartRequest::timeseries(RealmKind::Jobs, "total_su", Period::Month);
+        let local = inst.explore(&request).unwrap();
+        let federated = fed.hub().explore_federated(&request).unwrap();
+        assert_eq!(local.labels, federated.labels);
+        assert_eq!(
+            local.series[0].values,
+            federated.series[0].values
+        );
+    }
+}

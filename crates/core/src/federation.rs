@@ -1,0 +1,604 @@
+//! The Federation module: wiring satellites to a hub.
+//!
+//! "The new XDMoD Federation module further extends the application,
+//! providing the ability for multiple disparate XDMoD installations to
+//! replicate their raw data to a central, federated hub server." (§I-E)
+//!
+//! A [`Federation`] owns the hub plus one replication link per satellite
+//! — **tight** (live binlog tailing) or **loose** (batched shipments),
+//! freely mixed (§II-C2's heterogeneous model). Joining enforces the
+//! version gate; per-satellite [`FederationConfig`] chooses which realms
+//! replicate (the initial release federates only HPC Jobs) and which
+//! resources are excluded from federation (§II-C4).
+
+use crate::hub::FederationHub;
+use crate::instance::XdmodInstance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
+use xdmod_replication::{
+    schemas_match, LinkConfig, LooseReceiver, LooseShipper, ReplicationFilter, Replicator,
+};
+use xdmod_warehouse::WarehouseError;
+
+/// Federation-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederationError {
+    /// Satellite and hub run different XDMoD versions.
+    VersionMismatch {
+        /// Satellite version.
+        satellite: String,
+        /// Hub version.
+        hub: String,
+    },
+    /// A satellite with this name is already a member.
+    DuplicateMember(String),
+    /// No member with this name.
+    UnknownMember(String),
+    /// Underlying warehouse/replication failure.
+    Warehouse(WarehouseError),
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::VersionMismatch { satellite, hub } => write!(
+                f,
+                "satellite runs XDMoD {satellite}, hub runs {hub}: \
+                 every instance must run the same version"
+            ),
+            FederationError::DuplicateMember(n) => write!(f, "{n} is already federated"),
+            FederationError::UnknownMember(n) => write!(f, "{n} is not a federation member"),
+            FederationError::Warehouse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+impl From<WarehouseError> for FederationError {
+    fn from(e: WarehouseError) -> Self {
+        FederationError::Warehouse(e)
+    }
+}
+
+/// Per-satellite federation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationConfig {
+    /// Realms whose raw data replicates to the hub.
+    pub realms: Vec<RealmKind>,
+    /// Resources excluded from federation (sensitive-data routing,
+    /// §II-C4).
+    pub excluded_resources: Vec<String>,
+    /// Replicate the **summarized** SUPReMM monthly aggregates
+    /// (`supremm_summary_by_month`) even though the raw performance realm
+    /// stays local — the paper's "we plan to replicate summarized
+    /// performance data to the federated hub database in a subsequent
+    /// release" (§II-C5), implemented.
+    #[serde(default)]
+    pub supremm_summaries: bool,
+}
+
+impl Default for FederationConfig {
+    /// The paper's initial release: HPC Jobs only, nothing excluded, no
+    /// performance summaries.
+    fn default() -> Self {
+        FederationConfig {
+            realms: vec![RealmKind::Jobs],
+            excluded_resources: Vec::new(),
+            supremm_summaries: false,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// Federate every realm that is federated by default (Jobs, Storage,
+    /// Cloud — SUPReMM stays local, §II-C5).
+    pub fn default_realms() -> Self {
+        FederationConfig {
+            realms: RealmKind::ALL
+                .into_iter()
+                .filter(|r| r.federated_by_default())
+                .collect(),
+            excluded_resources: Vec::new(),
+            supremm_summaries: false,
+        }
+    }
+
+    /// Exclude a resource.
+    pub fn exclude(mut self, resource: &str) -> Self {
+        self.excluded_resources.push(resource.to_owned());
+        self
+    }
+
+    /// Also replicate monthly SUPReMM summaries (not the raw realm).
+    pub fn with_supremm_summaries(mut self) -> Self {
+        self.supremm_summaries = true;
+        self
+    }
+
+    /// Compile into a replication filter.
+    pub fn filter(&self) -> ReplicationFilter {
+        let mut tables: Vec<String> = Vec::new();
+        for realm in &self.realms {
+            match realm {
+                RealmKind::Jobs => tables.push(jobs::FACT_TABLE.into()),
+                RealmKind::Supremm => {
+                    tables.push(supremm::FACT_TABLE.into());
+                    tables.push(supremm::TIMESERIES_TABLE.into());
+                    tables.push(supremm::JOBSCRIPT_TABLE.into());
+                }
+                RealmKind::Storage => tables.push(storage::FACT_TABLE.into()),
+                RealmKind::Cloud => {
+                    tables.push(cloud_realm::FACT_TABLE.into());
+                    tables.push(cloud_realm::RESERVATION_TABLE.into());
+                }
+            }
+        }
+        if self.supremm_summaries {
+            tables.push(
+                supremm::summary_spec().table_name(xdmod_warehouse::Period::Month),
+            );
+        }
+        let mut filter = ReplicationFilter::all()
+            .with_tables(tables)
+            .with_resource_column(jobs::FACT_TABLE, "resource")
+            .with_resource_column(supremm::FACT_TABLE, "resource")
+            .with_resource_column(storage::FACT_TABLE, "filesystem")
+            .with_resource_column(cloud_realm::FACT_TABLE, "resource");
+        for r in &self.excluded_resources {
+            filter = filter.exclude_resource(r);
+        }
+        filter
+    }
+}
+
+/// How a satellite is coupled to the hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FederationMode {
+    /// Live binlog replication.
+    Tight,
+    /// Periodic batch shipping.
+    Loose,
+}
+
+enum Link {
+    Tight(Replicator),
+    Loose {
+        shipper: LooseShipper,
+        receiver: LooseReceiver,
+    },
+}
+
+struct Member {
+    name: String,
+    mode: FederationMode,
+    config: FederationConfig,
+    link: Link,
+}
+
+/// A federation: the hub plus its replication links.
+pub struct Federation {
+    hub: FederationHub,
+    members: Vec<Member>,
+}
+
+impl Federation {
+    /// Create a federation around a hub.
+    pub fn new(hub: FederationHub) -> Self {
+        Federation {
+            hub,
+            members: Vec::new(),
+        }
+    }
+
+    /// The hub.
+    pub fn hub(&self) -> &FederationHub {
+        &self.hub
+    }
+
+    /// Mutable hub access (level changes, identity operations).
+    pub fn hub_mut(&mut self) -> &mut FederationHub {
+        &mut self.hub
+    }
+
+    /// Member names with their coupling modes.
+    pub fn members(&self) -> Vec<(&str, FederationMode)> {
+        self.members
+            .iter()
+            .map(|m| (m.name.as_str(), m.mode))
+            .collect()
+    }
+
+    fn check_joinable(&self, instance: &XdmodInstance) -> Result<(), FederationError> {
+        if !instance.version().federates_with(self.hub.version()) {
+            return Err(FederationError::VersionMismatch {
+                satellite: instance.version().to_string(),
+                hub: self.hub.version().to_string(),
+            });
+        }
+        if self.members.iter().any(|m| m.name == instance.name()) {
+            return Err(FederationError::DuplicateMember(instance.name().to_owned()));
+        }
+        Ok(())
+    }
+
+    fn link_config(instance: &XdmodInstance, config: &FederationConfig) -> LinkConfig {
+        LinkConfig::renaming(
+            &instance.schema_name(),
+            &FederationHub::schema_for(instance.name()),
+        )
+        .with_filter(config.filter())
+    }
+
+    /// Join a satellite with live ("tight") replication.
+    pub fn join_tight(
+        &mut self,
+        instance: &XdmodInstance,
+        config: FederationConfig,
+    ) -> Result<(), FederationError> {
+        self.check_joinable(instance)?;
+        let link = Replicator::new(
+            instance.database(),
+            self.hub.database(),
+            Self::link_config(instance, &config),
+        );
+        self.hub.register_satellite(instance.name());
+        self.members.push(Member {
+            name: instance.name().to_owned(),
+            mode: FederationMode::Tight,
+            config,
+            link: Link::Tight(link),
+        });
+        Ok(())
+    }
+
+    /// Join a satellite with batched ("loose") replication.
+    pub fn join_loose(
+        &mut self,
+        instance: &XdmodInstance,
+        config: FederationConfig,
+    ) -> Result<(), FederationError> {
+        self.check_joinable(instance)?;
+        let shipper = LooseShipper::new(instance.database());
+        let receiver = LooseReceiver::new(
+            self.hub.database(),
+            Self::link_config(instance, &config),
+        );
+        self.hub.register_satellite(instance.name());
+        self.members.push(Member {
+            name: instance.name().to_owned(),
+            mode: FederationMode::Loose,
+            config,
+            link: Link::Loose { shipper, receiver },
+        });
+        Ok(())
+    }
+
+    /// Drive every link once: poll tight links, ship+apply loose batches.
+    /// Returns total events applied at the hub.
+    pub fn sync(&mut self) -> Result<usize, FederationError> {
+        let mut applied = 0;
+        for member in &mut self.members {
+            match &mut member.link {
+                Link::Tight(rep) => applied += rep.poll()?,
+                Link::Loose { shipper, receiver } => {
+                    let batch = shipper.export_batch()?;
+                    applied += receiver.apply_batch(&batch)?;
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Sync, then rebuild the hub's aggregates under its own levels — one
+    /// full federation cycle.
+    pub fn sync_and_aggregate(&mut self) -> Result<usize, FederationError> {
+        let applied = self.sync()?;
+        self.hub.aggregate_all()?;
+        Ok(applied)
+    }
+
+    /// Verify a member's raw data replicated unaltered (checksum
+    /// comparison; excluded tables/resources are ignored by comparing
+    /// only tables present on both sides with no exclusions configured).
+    pub fn verify_member(&self, instance: &XdmodInstance) -> Result<bool, FederationError> {
+        let member = self
+            .members
+            .iter()
+            .find(|m| m.name == instance.name())
+            .ok_or_else(|| FederationError::UnknownMember(instance.name().to_owned()))?;
+        if !member.config.excluded_resources.is_empty() {
+            // Row-level exclusions make checksums legitimately differ;
+            // verification is only meaningful for full replication.
+            return Ok(true);
+        }
+        let sat_db = instance.database();
+        let hub_db = self.hub.database();
+        let sat = sat_db.read();
+        let hub = hub_db.read();
+        let sat_schema = instance.schema_name();
+        let hub_schema = FederationHub::schema_for(instance.name());
+        let filter = member.config.filter();
+        for check in xdmod_replication::verify_schemas(&sat, &sat_schema, &hub, &hub_schema)? {
+            if !filter.table_passes(&check.table) {
+                continue; // excluded realm, expected absent
+            }
+            // Aggregate tables built satellite-side aren't replicated.
+            if check.table.contains("_by_") {
+                continue;
+            }
+            if !check.matches {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Regenerate a member instance's database from the hub (backup use
+    /// case, §II-E4), and re-seed its replication link so already-
+    /// restored data is not re-replicated.
+    pub fn restore_member(
+        &mut self,
+        instance: &mut XdmodInstance,
+    ) -> Result<(), FederationError> {
+        let dump = self.hub.regeneration_dump(instance.name())?;
+        instance.restore_from_dump(&dump)?;
+        let member = self
+            .members
+            .iter_mut()
+            .find(|m| m.name == instance.name())
+            .ok_or_else(|| FederationError::UnknownMember(instance.name().to_owned()))?;
+        let position = instance.database().read().binlog_position();
+        match &mut member.link {
+            Link::Tight(rep) => rep.seek(position),
+            Link::Loose { shipper, .. } => {
+                // Recreate the shipper at the new epoch; the hub-side
+                // receiver keeps its state (the hub data is unchanged).
+                *shipper = LooseShipper::new(instance.database());
+                let mut drained = shipper.export_batch()?; // skip restore replay
+                let _ = &mut drained;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: are satellite and hub fully consistent right now
+    /// (all links drained, checksums equal)? Used in tests and examples.
+    pub fn is_consistent_with(&self, instance: &XdmodInstance) -> Result<bool, FederationError> {
+        let sat_db = instance.database();
+        let hub_db = self.hub.database();
+        let sat = sat_db.read();
+        let hub = hub_db.read();
+        Ok(schemas_match(
+            &sat,
+            &instance.schema_name(),
+            &hub,
+            &FederationHub::schema_for(instance.name()),
+        )
+        .unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::XdmodVersion;
+    use xdmod_warehouse::{Aggregate, Query};
+
+    const SACCT_X: &str = "\
+JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
+1|alice|phys|normal|1|24|2017-01-05T08:00:00|2017-01-05T09:00:00|2017-01-05T11:00:00|COMPLETED|0
+";
+    const SACCT_Y: &str = "\
+JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
+7|bob|chem|normal|2|32|2017-03-01T00:00:00|2017-03-01T01:00:00|2017-03-01T03:00:00|COMPLETED|0
+8|carol|bio|normal|1|16|2017-03-02T00:00:00|2017-03-02T00:30:00|2017-03-02T06:30:00|COMPLETED|0
+";
+
+    fn instance(name: &str, log: &str, resource: &str) -> XdmodInstance {
+        let mut inst = XdmodInstance::new(name);
+        inst.ingest_sacct(resource, log).unwrap();
+        inst
+    }
+
+    #[test]
+    fn fig2_three_satellite_fan_in() {
+        // Figure 2: instances X, Y, Z monitoring resources L, M, N.
+        let x = instance("x", SACCT_X, "resource-l");
+        let y = instance("y", SACCT_Y, "resource-m");
+        let z = instance("z", SACCT_X, "resource-n");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.join_tight(&y, FederationConfig::default()).unwrap();
+        fed.join_tight(&z, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 4);
+        let rs = fed
+            .hub()
+            .federated_query(
+                RealmKind::Jobs,
+                &Query::new()
+                    .group_by_column("resource")
+                    .aggregate(Aggregate::count("jobs")),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn version_gate_rejects_mismatched_satellite() {
+        let old = XdmodInstance::with_version("old", XdmodVersion::new(7, 5, 0));
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        let err = fed.join_tight(&old, FederationConfig::default()).unwrap_err();
+        assert!(matches!(err, FederationError::VersionMismatch { .. }));
+        assert!(err.to_string().contains("same version"));
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        assert!(matches!(
+            fed.join_loose(&x, FederationConfig::default()),
+            Err(FederationError::DuplicateMember(_))
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_tight_and_loose_members() {
+        let x = instance("x", SACCT_X, "r-x");
+        let y = instance("y", SACCT_Y, "r-y");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.join_loose(&y, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 3);
+        assert_eq!(
+            fed.members(),
+            vec![("x", FederationMode::Tight), ("y", FederationMode::Loose)]
+        );
+    }
+
+    #[test]
+    fn initial_release_excludes_supremm() {
+        let mut x = XdmodInstance::new("x");
+        x.ingest_sacct("r", SACCT_X).unwrap();
+        x.ingest_pcp("job 1 r alice 1483700000\nts 1483690000 cpu_user 0.9\nend\n")
+            .unwrap();
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        let hub_db = fed.hub().database();
+        let hub = hub_db.read();
+        let schema = FederationHub::schema_for("x");
+        assert!(hub.table(&schema, "jobfact").is_ok());
+        assert!(hub.table(&schema, "supremm_jobfact").is_err());
+        assert!(hub.table(&schema, "supremm_timeseries").is_err());
+    }
+
+    #[test]
+    fn supremm_summaries_federate_without_raw_performance_data() {
+        // §II-C5's "subsequent release": the heavy per-job data stays
+        // local; the small monthly summary crosses.
+        let mut x = XdmodInstance::new("x");
+        x.ingest_sacct("r", SACCT_X).unwrap();
+        x.ingest_pcp(
+            "job 1 r alice 1483700000\nts 1483690000 cpu_user 0.9\nts 1483690600 memory_used 12.0\nscript #!/bin/sh\nend\n",
+        )
+        .unwrap();
+        x.aggregate().unwrap(); // builds supremm_summary_by_month
+
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default().with_supremm_summaries())
+            .unwrap();
+        fed.sync().unwrap();
+
+        let hub_db = fed.hub().database();
+        let hub = hub_db.read();
+        let schema = FederationHub::schema_for("x");
+        // Summary table crossed, with data.
+        let summary = hub.table(&schema, "supremm_summary_by_month").unwrap();
+        assert_eq!(summary.len(), 1);
+        let cpu_idx = summary.schema().column_index("avg_cpu_user").unwrap();
+        assert_eq!(
+            summary.rows()[0][cpu_idx],
+            xdmod_warehouse::Value::Float(0.9)
+        );
+        // Raw realm tables did not.
+        assert!(hub.table(&schema, "supremm_jobfact").is_err());
+        assert!(hub.table(&schema, "supremm_timeseries").is_err());
+        assert!(hub.table(&schema, "supremm_jobscript").is_err());
+    }
+
+    #[test]
+    fn verify_member_detects_clean_replication() {
+        let x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        assert!(fed.verify_member(&x).unwrap());
+    }
+
+    #[test]
+    fn resource_exclusion_keeps_sensitive_rows_local() {
+        let mut x = XdmodInstance::new("x");
+        x.ingest_sacct("open", SACCT_X).unwrap();
+        x.ingest_sacct("secret", SACCT_Y).unwrap();
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default().exclude("secret"))
+            .unwrap();
+        fed.sync().unwrap();
+        let rs = fed
+            .hub()
+            .federated_query(
+                RealmKind::Jobs,
+                &Query::new()
+                    .group_by_column("resource")
+                    .aggregate(Aggregate::count("jobs")),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], xdmod_warehouse::Value::Str("open".into()));
+    }
+
+    #[test]
+    fn ongoing_ingest_flows_through_sync() {
+        let mut x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 1);
+        x.ingest_sacct("r", SACCT_Y).unwrap();
+        fed.sync().unwrap();
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 3);
+    }
+
+    #[test]
+    fn sync_and_aggregate_builds_hub_aggregates() {
+        let x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync_and_aggregate().unwrap();
+        let hub_db = fed.hub().database();
+        let hub = hub_db.read();
+        let t = hub
+            .table(&FederationHub::schema_for("x"), "jobfact_by_month")
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn restore_member_round_trips_and_does_not_duplicate() {
+        let mut x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        let before = x.fact_rows(RealmKind::Jobs).unwrap();
+
+        // Disaster: satellite loses everything; regenerate from the hub.
+        fed.restore_member(&mut x).unwrap();
+        assert_eq!(x.fact_rows(RealmKind::Jobs).unwrap(), before);
+        // SUPReMM tables (never federated) are back, empty.
+        assert_eq!(x.fact_rows(RealmKind::Supremm).unwrap(), 0);
+
+        // Subsequent sync must not duplicate hub rows.
+        fed.sync().unwrap();
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 1);
+        // And new ingest still replicates.
+        x.ingest_sacct("r", SACCT_Y).unwrap();
+        fed.sync().unwrap();
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 3);
+    }
+
+    #[test]
+    fn restore_unknown_member_errors() {
+        let mut stranger = XdmodInstance::new("stranger");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        assert!(matches!(
+            fed.restore_member(&mut stranger),
+            Err(FederationError::Warehouse(_)) | Err(FederationError::UnknownMember(_))
+        ));
+    }
+}

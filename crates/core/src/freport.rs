@@ -1,0 +1,142 @@
+//! Federation summary reports.
+//!
+//! "The maintenance and management of the individual sites vary by
+//! institution ..., but the funding agency and project partners require
+//! summary reports that describe the project as a whole." (§II-E3). This
+//! module assembles that report from a federation hub: membership
+//! overview, per-realm charts and tables over the unified data, rendered
+//! through `xdmod-chart`'s report engine.
+
+use crate::explorer::ChartRequest;
+use crate::federation::Federation;
+use xdmod_chart::{Report, Section};
+use xdmod_realms::RealmKind;
+use xdmod_warehouse::{CivilDate, Period};
+
+/// Build the project-wide summary report for one calendar year.
+///
+/// Sections are included per realm only when the federation actually
+/// holds data for that realm (a jobs-only federation produces a
+/// jobs-only report).
+pub fn federation_report(federation: &Federation, year: i32) -> Report {
+    let hub = federation.hub();
+    let start = CivilDate::new(year, 1, 1).to_epoch();
+    let end = CivilDate::new(year + 1, 1, 1).to_epoch();
+
+    let members: Vec<String> = federation
+        .members()
+        .iter()
+        .map(|(name, mode)| format!("{name} ({mode:?})"))
+        .collect();
+    let mut report = Report::new(&format!(
+        "{} — {year} annual summary",
+        hub.name()
+    ))
+    .section(Section::Heading("Federation membership".into()))
+    .section(Section::Text(format!(
+        "{} member instances: {}.",
+        members.len(),
+        members.join(", ")
+    )));
+
+    if hub.federated_fact_rows(RealmKind::Jobs) > 0 {
+        report = report.section(Section::Heading("HPC usage".into()));
+        if let Ok(ds) = hub.explore_federated(
+            &ChartRequest::timeseries(RealmKind::Jobs, "total_su", Period::Month)
+                .group_by("resource")
+                .between(start, end),
+        ) {
+            report = report.section(Section::Chart(ds));
+        }
+        if let Ok(ds) = hub.explore_federated(
+            &ChartRequest::aggregate(RealmKind::Jobs, "total_cpu_hours")
+                .group_by("resource")
+                .between(start, end),
+        ) {
+            report = report.section(Section::Table(ds));
+        }
+    }
+
+    if hub.federated_fact_rows(RealmKind::Storage) > 0 {
+        report = report.section(Section::Heading("Storage".into()));
+        if let Ok(ds) = hub.explore_federated(
+            &ChartRequest::timeseries(RealmKind::Storage, "physical_usage", Period::Month)
+                .between(start, end),
+        ) {
+            report = report.section(Section::Chart(ds));
+        }
+    }
+
+    if hub.federated_fact_rows(RealmKind::Cloud) > 0 {
+        report = report.section(Section::Heading("Cloud".into()));
+        if let Ok(ds) = hub.explore_federated(
+            &ChartRequest::aggregate(RealmKind::Cloud, "total_core_hours")
+                .group_by("project")
+                .between(start, end),
+        ) {
+            report = report.section(Section::Bars(ds));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::FederationConfig;
+    use crate::hub::FederationHub;
+    use crate::instance::XdmodInstance;
+    use xdmod_sim::{CloudSim, ClusterSim, ResourceProfile, StorageSim};
+
+    fn aristotle() -> Federation {
+        let mut ccr = XdmodInstance::new("ccr");
+        let hpc = ClusterSim::new(ResourceProfile::generic("rush", 128, 24.0, 1.0), 5);
+        ccr.ingest_sacct("rush", &hpc.sacct_log(2017, 1..=3)).unwrap();
+        ccr.ingest_storage_json(&StorageSim::ccr(5).json_document(2017, 2))
+            .unwrap();
+        let cloud = CloudSim::new("ccr-cloud", 8, 5);
+        ccr.ingest_cloud_feed(&cloud.event_feed(2017), CloudSim::horizon(2017))
+            .unwrap();
+        let mut fed = Federation::new(FederationHub::new("aristotle-hub"));
+        fed.join_tight(&ccr, FederationConfig::default_realms()).unwrap();
+        fed.sync().unwrap();
+        fed
+    }
+
+    #[test]
+    fn full_report_has_all_realm_sections() {
+        let fed = aristotle();
+        let report = federation_report(&fed, 2017);
+        let text = report.render();
+        assert!(text.contains("aristotle-hub — 2017 annual summary"));
+        assert!(text.contains("Federation membership"));
+        assert!(text.contains("ccr (Tight)"));
+        assert!(text.contains("HPC usage"));
+        assert!(text.contains("Storage"));
+        assert!(text.contains("Cloud"));
+        assert!(text.contains("SUs Charged"));
+    }
+
+    #[test]
+    fn jobs_only_federation_yields_jobs_only_report() {
+        let mut x = XdmodInstance::new("x");
+        let hpc = ClusterSim::new(ResourceProfile::generic("r", 64, 24.0, 1.0), 9);
+        x.ingest_sacct("r", &hpc.sacct_log(2017, 1..=1)).unwrap();
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        let text = federation_report(&fed, 2017).render();
+        assert!(text.contains("HPC usage"));
+        assert!(!text.contains("Storage"));
+        assert!(!text.contains("Cloud"));
+    }
+
+    #[test]
+    fn empty_federation_report_is_membership_only() {
+        let fed = Federation::new(FederationHub::new("hub"));
+        let report = federation_report(&fed, 2017);
+        assert_eq!(report.len(), 2); // heading + member text
+        assert!(report.render().contains("0 member instances"));
+    }
+}

@@ -1,0 +1,351 @@
+//! The federation hub.
+//!
+//! "Federation provides a combined, master view of job and performance
+//! data collected from individual XDMoD instances. ... Once data is
+//! ingested on the individual XDMoD instances, it undergoes live
+//! replication to the central federation hub database, where it is then
+//! aggregated as appropriate to the requirements of the whole collection"
+//! (§II-A). The hub holds one warehouse schema per satellite (the
+//! Tungsten rename-on-transfer convention), its **own** aggregation
+//! levels (Table I's "Federation Hub" column), a multi-source SSO
+//! gateway, and the federated identity map.
+
+use crate::instance::XdmodInstance;
+use crate::version::XdmodVersion;
+use std::sync::Arc;
+use xdmod_auth::{AuthMode, IdentityMap, InstanceAuth};
+use xdmod_realms::levels::AggregationLevelsConfig;
+use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
+use xdmod_warehouse::{
+    shared, Database, Query, Result, ResultSet, SharedDatabase, Table, WarehouseError,
+};
+
+/// The central federation hub.
+pub struct FederationHub {
+    name: String,
+    version: XdmodVersion,
+    db: SharedDatabase,
+    levels: AggregationLevelsConfig,
+    satellites: Vec<String>,
+    identity: IdentityMap,
+    auth: InstanceAuth,
+}
+
+impl FederationHub {
+    /// Stand up a hub at [`XdmodVersion::CURRENT`].
+    pub fn new(name: &str) -> Self {
+        Self::with_version(name, XdmodVersion::CURRENT)
+    }
+
+    /// Stand up a hub at a specific version.
+    pub fn with_version(name: &str, version: XdmodVersion) -> Self {
+        FederationHub {
+            name: name.to_owned(),
+            version,
+            db: shared(Database::new()),
+            levels: AggregationLevelsConfig::new(),
+            satellites: Vec::new(),
+            identity: IdentityMap::new(),
+            // The hub's gateway allows multiple SSO sources: "a federated
+            // core instance ... may consist of data originating from
+            // multiple institutions that may use varied protocols"
+            // (§II-D3).
+            auth: InstanceAuth::new(name, AuthMode::ServiceProvider, true),
+        }
+    }
+
+    /// Hub name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hub XDMoD version (satellites must match exactly).
+    pub fn version(&self) -> XdmodVersion {
+        self.version
+    }
+
+    /// Shared handle to the hub database (replication targets this).
+    pub fn database(&self) -> SharedDatabase {
+        Arc::clone(&self.db)
+    }
+
+    /// Hub-side schema name for a satellite: `inst_<name>`.
+    pub fn schema_for(name: &str) -> String {
+        format!("inst_{}", name.replace(['-', '.'], "_"))
+    }
+
+    /// The hub's own aggregation levels (Table I, "Federation Hub").
+    pub fn levels(&self) -> &AggregationLevelsConfig {
+        &self.levels
+    }
+
+    /// Replace the hub's aggregation levels. Follow with
+    /// [`aggregate_all`](Self::aggregate_all) to "re-aggregate all raw
+    /// federation data" (§II-C3).
+    pub fn set_levels(&mut self, levels: AggregationLevelsConfig) {
+        self.levels = levels;
+    }
+
+    /// Record a satellite as a member (called by the federation when a
+    /// link is established).
+    pub fn register_satellite(&mut self, name: &str) {
+        if !self.satellites.iter().any(|s| s == name) {
+            self.satellites.push(name.to_owned());
+        }
+    }
+
+    /// Registered satellites, in join order.
+    pub fn satellites(&self) -> &[String] {
+        &self.satellites
+    }
+
+    /// The federated identity map (§II-D4's future work, implemented).
+    pub fn identity_map(&self) -> &IdentityMap {
+        &self.identity
+    }
+
+    /// Mutable identity map access.
+    pub fn identity_map_mut(&mut self) -> &mut IdentityMap {
+        &mut self.identity
+    }
+
+    /// The hub's authentication front door (multi-source SSO).
+    pub fn auth(&self) -> &InstanceAuth {
+        &self.auth
+    }
+
+    /// Mutable access to the hub's front door.
+    pub fn auth_mut(&mut self) -> &mut InstanceAuth {
+        &mut self.auth
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregation
+    // ------------------------------------------------------------------
+
+    /// Aggregate every satellite's replicated data under the **hub's**
+    /// levels. Raw replicated rows are left untouched ("no data are lost
+    /// or changed"); only `{fact}_by_{period}` tables are written into
+    /// each satellite schema on the hub.
+    pub fn aggregate_all(&self) -> Result<()> {
+        let specs = [
+            jobs::aggregation_spec(&self.levels),
+            supremm::aggregation_spec(),
+            storage::aggregation_spec(),
+            cloud_realm::aggregation_spec(&self.levels),
+        ];
+        let mut db = self.db.write();
+        for sat in &self.satellites {
+            let schema = Self::schema_for(sat);
+            if !db.has_schema(&schema) {
+                continue; // link established but nothing replicated yet
+            }
+            for spec in &specs {
+                // A replication filter may have excluded a realm's fact
+                // table entirely (e.g. SUPReMM); skip those.
+                if db.table(&schema, &spec.fact_table).is_ok() {
+                    spec.materialize(&mut db, &schema)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Federated query
+    // ------------------------------------------------------------------
+
+    /// Run a query against one satellite's replicated fact table.
+    pub fn query_instance(
+        &self,
+        satellite: &str,
+        realm: RealmKind,
+        query: &Query,
+    ) -> Result<ResultSet> {
+        let db = self.db.read();
+        let table = db.table(
+            &Self::schema_for(satellite),
+            XdmodInstance::fact_table(realm),
+        )?;
+        query.run(table)
+    }
+
+    /// Run a query against the **union** of every satellite's fact table
+    /// — "an integrated view of job and performance data collected from
+    /// entirely independent XDMoD instances".
+    pub fn federated_query(&self, realm: RealmKind, query: &Query) -> Result<ResultSet> {
+        let union = self.union_fact_table(realm)?;
+        query.run(&union)
+    }
+
+    /// Materialize the union of a realm's fact rows across satellites.
+    fn union_fact_table(&self, realm: RealmKind) -> Result<Table> {
+        let fact = XdmodInstance::fact_table(realm);
+        let db = self.db.read();
+        let mut union: Option<Table> = None;
+        for sat in &self.satellites {
+            let schema = Self::schema_for(sat);
+            if !db.has_schema(&schema) {
+                continue;
+            }
+            let Ok(table) = db.table(&schema, fact) else {
+                continue; // realm not federated from this satellite
+            };
+            match &mut union {
+                None => {
+                    let mut t = Table::new(table.schema().clone());
+                    t.insert_checked(table.rows().to_vec());
+                    union = Some(t);
+                }
+                Some(u) => {
+                    if u.schema() != table.schema() {
+                        return Err(WarehouseError::SchemaMismatch(format!(
+                            "satellite {sat} has an incompatible {fact} layout"
+                        )));
+                    }
+                    u.insert_checked(table.rows().to_vec());
+                }
+            }
+        }
+        union.ok_or_else(|| {
+            WarehouseError::InvalidQuery(format!(
+                "no satellite has replicated {} data",
+                realm.display_name()
+            ))
+        })
+    }
+
+    /// Total replicated fact rows of a realm across the federation.
+    pub fn federated_fact_rows(&self, realm: RealmKind) -> usize {
+        self.union_fact_table(realm).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Export a satellite's replicated data as a dump renamed back to the
+    /// satellite's own schema — the backup use case: "the hub itself
+    /// could be used to regenerate the databases for the member
+    /// instances" (§II-E4).
+    pub fn regeneration_dump(&self, satellite: &str) -> Result<Vec<u8>> {
+        let db = self.db.read();
+        xdmod_warehouse::Snapshot::capture_schemas(&db, &[Self::schema_for(satellite)])?
+            .into_renamed(&XdmodInstance::schema_name_of(satellite))?
+            .to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdmod_warehouse::{AggFn, Aggregate, ColumnType, SchemaBuilder, Value};
+
+    /// Manually stage replicated-looking data into the hub db.
+    fn hub_with_two_satellites() -> FederationHub {
+        let mut hub = FederationHub::new("federation-hub");
+        hub.register_satellite("x");
+        hub.register_satellite("y");
+        let db = hub.database();
+        let mut db = db.write();
+        for (sat, hours) in [("x", 10.0), ("y", 20.0)] {
+            let schema = FederationHub::schema_for(sat);
+            db.create_schema(&schema).unwrap();
+            db.create_table(
+                &schema,
+                SchemaBuilder::new("jobfact")
+                    .required("resource", ColumnType::Str)
+                    .required("cpu_hours", ColumnType::Float)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            db.insert(
+                &schema,
+                "jobfact",
+                vec![vec![Value::Str(format!("res-{sat}")), Value::Float(hours)]],
+            )
+            .unwrap();
+        }
+        drop(db);
+        hub
+    }
+
+    #[test]
+    fn federated_query_unions_satellites() {
+        let hub = hub_with_two_satellites();
+        let rs = hub
+            .federated_query(
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total")),
+            )
+            .unwrap();
+        assert_eq!(rs.scalar_f64("total"), Some(30.0));
+        assert_eq!(hub.federated_fact_rows(RealmKind::Jobs), 2);
+    }
+
+    #[test]
+    fn query_instance_scopes_to_one_satellite() {
+        let hub = hub_with_two_satellites();
+        let rs = hub
+            .query_instance(
+                "x",
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total")),
+            )
+            .unwrap();
+        assert_eq!(rs.scalar_f64("total"), Some(10.0));
+    }
+
+    #[test]
+    fn register_satellite_is_idempotent() {
+        let mut hub = FederationHub::new("h");
+        hub.register_satellite("x");
+        hub.register_satellite("x");
+        assert_eq!(hub.satellites(), &["x".to_owned()]);
+    }
+
+    #[test]
+    fn federated_query_with_no_data_is_an_error() {
+        let hub = FederationHub::new("h");
+        let err = hub
+            .federated_query(
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::count("n")),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("HPC Jobs"));
+        assert_eq!(hub.federated_fact_rows(RealmKind::Jobs), 0);
+    }
+
+    #[test]
+    fn incompatible_satellite_layouts_are_detected() {
+        let hub = hub_with_two_satellites();
+        {
+            let db = hub.database();
+            let mut db = db.write();
+            let schema = FederationHub::schema_for("z");
+            db.create_schema(&schema).unwrap();
+            db.create_table(
+                &schema,
+                SchemaBuilder::new("jobfact")
+                    .required("different", ColumnType::Int)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            db.insert(&schema, "jobfact", vec![vec![Value::Int(1)]])
+                .unwrap();
+        }
+        let mut hub = hub;
+        hub.register_satellite("z");
+        let err = hub
+            .federated_query(
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::count("n")),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("incompatible"));
+    }
+
+    #[test]
+    fn schema_for_sanitizes() {
+        assert_eq!(FederationHub::schema_for("ccr-x.y"), "inst_ccr_x_y");
+    }
+}

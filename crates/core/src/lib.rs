@@ -1,0 +1,38 @@
+//! # xdmod-core
+//!
+//! The paper's primary contribution: **federated XDMoD**. This crate
+//! wires the substrates (warehouse, ingest, realms, replication, auth,
+//! chart) into the system of Figs. 2 and 3:
+//!
+//! - [`instance::XdmodInstance`] — a fully functional satellite XDMoD
+//!   installation: realm tables, shredders, aggregation levels, SU
+//!   conversion, authentication.
+//! - [`hub::FederationHub`] — the central hub: one schema per satellite,
+//!   hub-local aggregation levels, federated query over the union of
+//!   members, identity mapping, multi-source SSO.
+//! - [`federation::Federation`] — the Federation module: tight/loose
+//!   links, the version gate, resource routing, consistency checks, and
+//!   satellite regeneration from the hub.
+//! - [`config::FederationFile`] — JSON configuration for the whole
+//!   wiring.
+//! - [`version::XdmodVersion`] — the "same version everywhere" rule.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod explorer;
+pub mod federation;
+pub mod freport;
+pub mod hub;
+pub mod instance;
+pub mod version;
+pub mod viewer;
+
+pub use config::{FederationFile, MemberEntry};
+pub use explorer::{ChartRequest, ChartView, CompiledChart};
+pub use freport::federation_report;
+pub use federation::{Federation, FederationConfig, FederationError, FederationMode};
+pub use hub::FederationHub;
+pub use instance::XdmodInstance;
+pub use version::XdmodVersion;
+pub use viewer::{AccessError, JobDetail};

@@ -1,0 +1,112 @@
+//! XDMoD version compatibility.
+//!
+//! "The only requirement is that each individual XDMoD instance must run
+//! the same version of XDMoD." (§II-A). Federation membership is gated on
+//! an exact version match.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An XDMoD release version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct XdmodVersion {
+    /// Major release.
+    pub major: u32,
+    /// Minor release.
+    pub minor: u32,
+    /// Patch release.
+    pub patch: u32,
+}
+
+impl XdmodVersion {
+    /// The version this workspace models: Open XDMoD 8.0, the release
+    /// cycle the federation module was developed in (SSO shipped in 6.5,
+    /// §II-D2).
+    pub const CURRENT: XdmodVersion = XdmodVersion {
+        major: 8,
+        minor: 0,
+        patch: 0,
+    };
+
+    /// First release with SSO support (paper: "since XDMoD version 6.5").
+    pub const SSO_INTRODUCED: XdmodVersion = XdmodVersion {
+        major: 6,
+        minor: 5,
+        patch: 0,
+    };
+
+    /// Construct a version.
+    pub fn new(major: u32, minor: u32, patch: u32) -> Self {
+        XdmodVersion {
+            major,
+            minor,
+            patch,
+        }
+    }
+
+    /// Whether an instance at this version may join a federation whose
+    /// hub runs `hub` — exact match required.
+    pub fn federates_with(self, hub: XdmodVersion) -> bool {
+        self == hub
+    }
+
+    /// Whether this version offers SSO.
+    pub fn supports_sso(self) -> bool {
+        self >= Self::SSO_INTRODUCED
+    }
+
+    /// Parse `MAJOR.MINOR.PATCH`.
+    pub fn parse(s: &str) -> Option<XdmodVersion> {
+        let mut parts = s.split('.');
+        let major = parts.next()?.parse().ok()?;
+        let minor = parts.next()?.parse().ok()?;
+        let patch = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(XdmodVersion::new(major, minor, patch))
+    }
+}
+
+impl fmt::Display for XdmodVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_required_for_federation() {
+        let v = XdmodVersion::CURRENT;
+        assert!(v.federates_with(XdmodVersion::CURRENT));
+        assert!(!v.federates_with(XdmodVersion::new(8, 0, 1)));
+        assert!(!v.federates_with(XdmodVersion::new(7, 5, 0)));
+    }
+
+    #[test]
+    fn sso_supported_since_6_5() {
+        assert!(XdmodVersion::new(6, 5, 0).supports_sso());
+        assert!(XdmodVersion::new(8, 0, 0).supports_sso());
+        assert!(!XdmodVersion::new(6, 0, 0).supports_sso());
+        assert!(!XdmodVersion::new(5, 6, 0).supports_sso());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let v = XdmodVersion::parse("8.0.0").unwrap();
+        assert_eq!(v, XdmodVersion::CURRENT);
+        assert_eq!(v.to_string(), "8.0.0");
+        assert!(XdmodVersion::parse("8.0").is_none());
+        assert!(XdmodVersion::parse("8.0.0.1").is_none());
+        assert!(XdmodVersion::parse("a.b.c").is_none());
+    }
+
+    #[test]
+    fn ordering_is_semver_like() {
+        assert!(XdmodVersion::new(6, 5, 0) > XdmodVersion::new(6, 4, 9));
+        assert!(XdmodVersion::new(7, 0, 0) > XdmodVersion::new(6, 9, 9));
+    }
+}

@@ -1,0 +1,367 @@
+//! The Job Viewer and role-scoped queries.
+//!
+//! "With XDMoD's Job Viewer, users can probe performance data about a
+//! job's executable, its accounting data, job scripts, application, and
+//! timeseries plots of metrics such as CPU user, flops, parallel file
+//! system usage, and memory usage." (§IV). [`XdmodInstance::job_detail`]
+//! assembles exactly that bundle from the Jobs and SUPReMM realms.
+//!
+//! "Users must sign on to XDMoD to use most of its advanced features, to
+//! see their individual job-level performance data, and to access
+//! certain metrics." (§II-D). [`XdmodInstance::query_as`] and
+//! [`XdmodInstance::job_detail_as`] enforce that: end users see their own
+//! data, PIs their group's, center staff everything.
+
+use crate::instance::XdmodInstance;
+use std::collections::BTreeMap;
+use xdmod_auth::{Role, Session};
+use xdmod_realms::{jobs, supremm, RealmKind};
+use xdmod_warehouse::{Predicate, Query, Result, ResultSet, Value, WarehouseError};
+
+/// Everything the Job Viewer shows for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDetail {
+    /// The job id.
+    pub job_id: i64,
+    /// Accounting fields from `jobfact` (column → value).
+    pub accounting: BTreeMap<String, Value>,
+    /// Performance summary from `supremm_jobfact`, when collected.
+    pub performance: Option<BTreeMap<String, Value>>,
+    /// The batch script, when collected.
+    pub script: Option<String>,
+    /// Per-metric timeseries: metric name → `(timestamp, value)` points
+    /// ordered by time.
+    pub timeseries: BTreeMap<String, Vec<(i64, f64)>>,
+}
+
+impl JobDetail {
+    /// The owning user, from the accounting record.
+    pub fn owner(&self) -> Option<&str> {
+        self.accounting.get("user").and_then(Value::as_str)
+    }
+}
+
+/// Why an authorized operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The session's user is not enrolled on this instance.
+    UnknownUser(String),
+    /// The role does not permit viewing the requested data.
+    Forbidden {
+        /// Who asked.
+        user: String,
+        /// What they asked for.
+        wanted: String,
+    },
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::UnknownUser(u) => write!(f, "user {u} is not enrolled here"),
+            AccessError::Forbidden { user, wanted } => {
+                write!(f, "{user} may not view {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl XdmodInstance {
+    /// Assemble the Job Viewer bundle for `job_id`.
+    pub fn job_detail(&self, job_id: i64) -> Result<JobDetail> {
+        let db = self.database();
+        let db = db.read();
+        let schema = self.schema_name();
+
+        let find_row = |table: &str| -> Result<Option<BTreeMap<String, Value>>> {
+            let t = db.table(&schema, table)?;
+            let idx = t.schema().column_index("job_id")?;
+            Ok(t.rows()
+                .iter()
+                .find(|r| r[idx] == Value::Int(job_id))
+                .map(|row| {
+                    t.schema()
+                        .columns
+                        .iter()
+                        .zip(row)
+                        .map(|(c, v)| (c.name.clone(), v.clone()))
+                        .collect()
+                }))
+        };
+
+        let accounting = find_row(jobs::FACT_TABLE)?.ok_or_else(|| {
+            WarehouseError::InvalidQuery(format!("no job {job_id} in the Jobs realm"))
+        })?;
+        let performance = find_row(supremm::FACT_TABLE)?;
+
+        let script = {
+            let t = db.table(&schema, supremm::JOBSCRIPT_TABLE)?;
+            let id_idx = t.schema().column_index("job_id")?;
+            let s_idx = t.schema().column_index("script")?;
+            t.rows()
+                .iter()
+                .find(|r| r[id_idx] == Value::Int(job_id))
+                .and_then(|r| r[s_idx].as_str().map(str::to_owned))
+        };
+
+        let mut timeseries: BTreeMap<String, Vec<(i64, f64)>> = BTreeMap::new();
+        {
+            let t = db.table(&schema, supremm::TIMESERIES_TABLE)?;
+            let id_idx = t.schema().column_index("job_id")?;
+            let ts_idx = t.schema().column_index("ts")?;
+            let m_idx = t.schema().column_index("metric")?;
+            let v_idx = t.schema().column_index("value")?;
+            for row in t.rows() {
+                if row[id_idx] != Value::Int(job_id) {
+                    continue;
+                }
+                if let (Some(ts), Some(metric), Some(value)) = (
+                    row[ts_idx].as_time(),
+                    row[m_idx].as_str(),
+                    row[v_idx].as_f64(),
+                ) {
+                    timeseries
+                        .entry(metric.to_owned())
+                        .or_default()
+                        .push((ts, value));
+                }
+            }
+            for points in timeseries.values_mut() {
+                points.sort_by_key(|(ts, _)| *ts);
+            }
+        }
+
+        Ok(JobDetail {
+            job_id,
+            accounting,
+            performance,
+            script,
+            timeseries,
+        })
+    }
+
+    /// Role of the session's user on this instance, if enrolled.
+    fn role_of(&self, session: &Session) -> std::result::Result<(Role, Option<String>), AccessError> {
+        let user = self
+            .auth()
+            .users()
+            .get(&session.username)
+            .ok_or_else(|| AccessError::UnknownUser(session.username.clone()))?;
+        Ok((user.role, user.pi_group.clone()))
+    }
+
+    /// Run a Jobs-realm query scoped by the session's role:
+    ///
+    /// - `User` → only their own jobs (a `user = <me>` filter is
+    ///   injected);
+    /// - `Pi` → their group's jobs (`pi = <group>`);
+    /// - `CenterStaff` / `CenterDirector` / `Admin` → everything.
+    pub fn query_as(
+        &self,
+        session: &Session,
+        realm: RealmKind,
+        query: &Query,
+    ) -> std::result::Result<ResultSet, Box<dyn std::error::Error>> {
+        let (role, group) = self.role_of(session)?;
+        let scoped = match role {
+            Role::User => query.clone().filter(Predicate::Eq(
+                "user".into(),
+                Value::Str(session.username.clone()),
+            )),
+            Role::Pi => {
+                let group = group.unwrap_or_else(|| session.username.clone());
+                query
+                    .clone()
+                    .filter(Predicate::Eq("pi".into(), Value::Str(group)))
+            }
+            Role::CenterStaff | Role::CenterDirector | Role::Admin => query.clone(),
+        };
+        Ok(self.query(realm, &scoped)?)
+    }
+
+    /// Job Viewer access with role enforcement: end users may open only
+    /// their own jobs.
+    pub fn job_detail_as(
+        &self,
+        session: &Session,
+        job_id: i64,
+    ) -> std::result::Result<JobDetail, Box<dyn std::error::Error>> {
+        let (role, group) = self.role_of(session)?;
+        let detail = self.job_detail(job_id)?;
+        let allowed = match role {
+            Role::User => detail.owner() == Some(session.username.as_str()),
+            Role::Pi => {
+                let job_pi = detail.accounting.get("pi").and_then(Value::as_str);
+                detail.owner() == Some(session.username.as_str())
+                    || (job_pi.is_some() && job_pi == group.as_deref())
+            }
+            Role::CenterStaff | Role::CenterDirector | Role::Admin => true,
+        };
+        if !allowed {
+            return Err(Box::new(AccessError::Forbidden {
+                user: session.username.clone(),
+                wanted: format!("job {job_id}"),
+            }));
+        }
+        Ok(detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdmod_auth::User;
+    use xdmod_warehouse::{AggFn, Aggregate};
+
+    const SACCT: &str = "\
+JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
+1|alice|grp_smith|normal|1|24|2017-01-05T08:00:00|2017-01-05T09:00:00|2017-01-05T11:00:00|COMPLETED|0
+2|bob|grp_smith|normal|2|48|2017-02-01T00:00:00|2017-02-01T01:00:00|2017-02-01T05:00:00|COMPLETED|0
+3|carol|grp_jones|debug|1|8|2017-02-02T00:00:00|2017-02-02T00:10:00|2017-02-02T00:40:00|FAILED|0
+";
+
+    const PCP: &str = "\
+job 1 rush alice 1483606800
+ts 1483600000 cpu_user 0.8
+ts 1483600600 cpu_user 0.9
+ts 1483600000 memory_used 10.0
+script #!/bin/bash\\nsrun ./lammps
+end
+";
+
+    fn instance() -> XdmodInstance {
+        let mut inst = XdmodInstance::new("ccr");
+        inst.ingest_sacct("rush", SACCT).unwrap();
+        inst.ingest_pcp(PCP).unwrap();
+        inst.auth_mut().enroll(
+            User::member("alice", "alice@x.edu", "x.edu"),
+            Some("pw-a"),
+        );
+        inst.auth_mut().enroll(
+            User::member("smith", "smith@x.edu", "x.edu")
+                .with_role(Role::Pi)
+                .in_group("grp_smith"),
+            Some("pw-s"),
+        );
+        inst.auth_mut().enroll(
+            User::member("ops", "ops@x.edu", "x.edu").with_role(Role::CenterStaff),
+            Some("pw-o"),
+        );
+        inst
+    }
+
+    #[test]
+    fn job_detail_bundles_all_four_components() {
+        let inst = instance();
+        let d = inst.job_detail(1).unwrap();
+        assert_eq!(d.owner(), Some("alice"));
+        assert_eq!(
+            d.accounting.get("cores"),
+            Some(&Value::Int(24))
+        );
+        let perf = d.performance.as_ref().expect("supremm collected");
+        assert!((perf["cpu_user"].as_f64().unwrap() - 0.85).abs() < 1e-9);
+        assert!(d.script.as_deref().unwrap().contains("lammps"));
+        let cpu_series = &d.timeseries["cpu_user"];
+        assert_eq!(cpu_series.len(), 2);
+        assert!(cpu_series[0].0 < cpu_series[1].0);
+    }
+
+    #[test]
+    fn job_without_performance_data_still_views() {
+        let inst = instance();
+        let d = inst.job_detail(2).unwrap();
+        assert!(d.performance.is_none());
+        assert!(d.script.is_none());
+        assert!(d.timeseries.is_empty());
+        assert_eq!(d.owner(), Some("bob"));
+    }
+
+    #[test]
+    fn missing_job_reports_error() {
+        let inst = instance();
+        assert!(inst.job_detail(999).is_err());
+    }
+
+    #[test]
+    fn end_user_queries_are_scoped_to_self() {
+        let mut inst = instance();
+        let session = inst.auth_mut().login_local("alice", "pw-a", 100).unwrap();
+        let rs = inst
+            .query_as(
+                &session,
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::count("jobs")),
+            )
+            .unwrap();
+        assert_eq!(rs.scalar_f64("jobs"), Some(1.0)); // only alice's job
+    }
+
+    #[test]
+    fn pi_queries_cover_the_group() {
+        let mut inst = instance();
+        let session = inst.auth_mut().login_local("smith", "pw-s", 100).unwrap();
+        let rs = inst
+            .query_as(
+                &session,
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::count("jobs")),
+            )
+            .unwrap();
+        assert_eq!(rs.scalar_f64("jobs"), Some(2.0)); // alice + bob
+    }
+
+    #[test]
+    fn staff_queries_are_unscoped() {
+        let mut inst = instance();
+        let session = inst.auth_mut().login_local("ops", "pw-o", 100).unwrap();
+        let rs = inst
+            .query_as(
+                &session,
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "cpu")),
+            )
+            .unwrap();
+        // All three jobs: 24*2 + 48*4 + 8*0.5 = 244.
+        assert_eq!(rs.scalar_f64("cpu"), Some(244.0));
+    }
+
+    #[test]
+    fn job_viewer_respects_ownership() {
+        let mut inst = instance();
+        let alice = inst.auth_mut().login_local("alice", "pw-a", 100).unwrap();
+        assert!(inst.job_detail_as(&alice, 1).is_ok()); // own job
+        let err = inst.job_detail_as(&alice, 2).unwrap_err();
+        assert!(err.to_string().contains("may not view"));
+        // PI can open group members' jobs but not other groups'.
+        let smith = inst.auth_mut().login_local("smith", "pw-s", 100).unwrap();
+        assert!(inst.job_detail_as(&smith, 2).is_ok());
+        assert!(inst.job_detail_as(&smith, 3).is_err());
+        // Staff can open anything.
+        let ops = inst.auth_mut().login_local("ops", "pw-o", 100).unwrap();
+        assert!(inst.job_detail_as(&ops, 3).is_ok());
+    }
+
+    #[test]
+    fn unenrolled_session_is_rejected() {
+        let inst = instance();
+        let ghost = Session {
+            token: 1,
+            username: "ghost".into(),
+            instance: "ccr".into(),
+            method: xdmod_auth::AuthMethod::Local,
+            issued_at: 0,
+            expires_at: 10_000,
+        };
+        let err = inst
+            .query_as(
+                &ghost,
+                RealmKind::Jobs,
+                &Query::new().aggregate(Aggregate::count("jobs")),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("not enrolled"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # xdmod-ingest
+//!
+//! The ETL layer of the XDMoD reproduction: shredders that turn raw
+//! source data into warehouse rows for the four realms.
+//!
+//! - [`slurm`] — SLURM `sacct`-style accounting logs → Jobs realm
+//!   (`jobfact`), with XD SU conversion applied at ingest.
+//! - [`pcp`] — PCP / TACC Stats-style performance archives → SUPReMM
+//!   realm (summary fact + per-job timeseries + job scripts).
+//! - [`storage_json`] — JSON storage samples validated against the
+//!   "provided JSON schema" (§III-A) → Storage realm.
+//! - [`cloud`] — OpenStack-style VM lifecycle event feeds, run through a
+//!   full VM state machine and sessionized → Cloud realm.
+//!
+//! All shredders return an [`report::IngestReport`] describing what was
+//! kept and what was skipped, mirroring production shredder behaviour on
+//! noisy logs.
+
+#![warn(missing_docs)]
+
+pub mod cloud;
+pub mod pcp;
+pub mod report;
+pub mod slurm;
+pub mod storage_json;
+
+pub use report::{IngestError, IngestReport};

@@ -1,0 +1,114 @@
+//! Ingestion error and reporting types shared by all shredders.
+
+use std::fmt;
+
+/// Error raised while parsing raw source data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestError {
+    /// 1-based line (or record) number in the source document, when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl IngestError {
+    /// Error at a specific source line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        IngestError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// Error about the document as a whole.
+    pub fn whole(message: impl Into<String>) -> Self {
+        IngestError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "line {n}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Result alias for parsers.
+pub type Result<T> = std::result::Result<T, IngestError>;
+
+/// Summary of one ingestion run.
+///
+/// Production XDMoD's shredders tolerate noisy logs (running jobs, blank
+/// lines) while rejecting structurally broken input; the report records
+/// what was kept, what was skipped, and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records successfully converted into warehouse rows.
+    pub ingested: usize,
+    /// Records intentionally skipped (e.g. still-running jobs).
+    pub skipped: usize,
+    /// Human-readable warnings for skipped or repaired records.
+    pub warnings: Vec<String>,
+}
+
+impl IngestReport {
+    /// Record a skip with a reason.
+    pub fn skip(&mut self, reason: impl Into<String>) {
+        self.skipped += 1;
+        self.warnings.push(reason.into());
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: IngestReport) {
+        self.ingested += other.ingested;
+        self.skipped += other.skipped;
+        self.warnings.extend(other.warnings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(
+            IngestError::at(3, "bad field").to_string(),
+            "line 3: bad field"
+        );
+        assert_eq!(IngestError::whole("empty doc").to_string(), "empty doc");
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = IngestReport {
+            ingested: 2,
+            skipped: 1,
+            warnings: vec!["w1".into()],
+        };
+        let b = IngestReport {
+            ingested: 3,
+            skipped: 0,
+            warnings: vec!["w2".into()],
+        };
+        a.merge(b);
+        assert_eq!(a.ingested, 5);
+        assert_eq!(a.skipped, 1);
+        assert_eq!(a.warnings, vec!["w1".to_owned(), "w2".to_owned()]);
+    }
+
+    #[test]
+    fn skip_records_warning() {
+        let mut r = IngestReport::default();
+        r.skip("job 7 still running");
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.warnings.len(), 1);
+    }
+}

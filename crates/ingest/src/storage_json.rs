@@ -1,0 +1,282 @@
+//! Storage-realm JSON ingestion with schema validation.
+//!
+//! "Storage data will be acquired from monitoring tools (e.g. TACC Stats,
+//! PCP) or filesystem APIs, then populated in a fashion independent of
+//! the storage filesystem. Data from filesystems such as Isilon, GPFS,
+//! Lustre, and Ceph can be accommodated; installations must only ensure
+//! their data validates against our provided JSON schema." (§III-A)
+//!
+//! The document format is a JSON array of sample objects; [`FieldSpec`]
+//! is the hand-rolled schema validator (types, required-ness, and
+//! non-negativity), and [`shred`] converts valid documents into
+//! `storagefact` rows, deriving `quota_utilization` on the way.
+
+use crate::report::{IngestError, IngestReport, Result};
+use serde_json::Value as Json;
+use xdmod_warehouse::time::parse_iso_datetime;
+use xdmod_warehouse::{Row, Value};
+
+/// Kinds a schema field may have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// UTF-8 string.
+    Str,
+    /// Non-negative integer.
+    Count,
+    /// Non-negative float (GB values).
+    Gauge,
+    /// ISO datetime string `YYYY-MM-DDTHH:MM:SS`.
+    Timestamp,
+}
+
+/// One field of the provided JSON schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// JSON object key.
+    pub name: &'static str,
+    /// Expected kind.
+    pub kind: FieldKind,
+    /// Whether the field must be present.
+    pub required: bool,
+}
+
+/// The provided storage-sample schema.
+pub const STORAGE_SCHEMA: [FieldSpec; 12] = [
+    FieldSpec { name: "ts", kind: FieldKind::Timestamp, required: true },
+    FieldSpec { name: "filesystem", kind: FieldKind::Str, required: true },
+    FieldSpec { name: "mountpoint", kind: FieldKind::Str, required: true },
+    FieldSpec { name: "resource_type", kind: FieldKind::Str, required: true },
+    FieldSpec { name: "user", kind: FieldKind::Str, required: true },
+    FieldSpec { name: "pi", kind: FieldKind::Str, required: true },
+    FieldSpec { name: "system_username", kind: FieldKind::Str, required: true },
+    FieldSpec { name: "file_count", kind: FieldKind::Count, required: true },
+    FieldSpec { name: "logical_usage_gb", kind: FieldKind::Gauge, required: true },
+    FieldSpec { name: "physical_usage_gb", kind: FieldKind::Gauge, required: true },
+    FieldSpec { name: "soft_quota_gb", kind: FieldKind::Gauge, required: false },
+    FieldSpec { name: "hard_quota_gb", kind: FieldKind::Gauge, required: false },
+];
+
+/// Validate a single sample object against [`STORAGE_SCHEMA`]. Returns a
+/// description of the first violation, or `Ok(())`.
+pub fn validate_sample(obj: &Json, record: usize) -> Result<()> {
+    let map = obj
+        .as_object()
+        .ok_or_else(|| IngestError::at(record, "sample is not a JSON object"))?;
+    for spec in &STORAGE_SCHEMA {
+        let value = match map.get(spec.name) {
+            Some(Json::Null) | None => {
+                if spec.required {
+                    return Err(IngestError::at(
+                        record,
+                        format!("missing required field {}", spec.name),
+                    ));
+                }
+                continue;
+            }
+            Some(v) => v,
+        };
+        let ok = match spec.kind {
+            FieldKind::Str => value.as_str().is_some_and(|s| !s.is_empty()),
+            FieldKind::Count => value.as_i64().is_some_and(|n| n >= 0),
+            FieldKind::Gauge => value.as_f64().is_some_and(|x| x.is_finite() && x >= 0.0),
+            FieldKind::Timestamp => value
+                .as_str()
+                .is_some_and(|s| parse_iso_datetime(s).is_some()),
+        };
+        if !ok {
+            return Err(IngestError::at(
+                record,
+                format!("field {} fails {:?} validation: {value}", spec.name, spec.kind),
+            ));
+        }
+    }
+    // Unknown keys are rejected: the paper's contract is "validates
+    // against our provided JSON schema", and silent extra fields usually
+    // indicate a collector/schema version skew.
+    for key in map.keys() {
+        if !STORAGE_SCHEMA.iter().any(|s| s.name == key) {
+            return Err(IngestError::at(record, format!("unknown field {key}")));
+        }
+    }
+    // Cross-field rule: hard quota must not be below soft quota.
+    if let (Some(soft), Some(hard)) = (
+        map.get("soft_quota_gb").and_then(Json::as_f64),
+        map.get("hard_quota_gb").and_then(Json::as_f64),
+    ) {
+        if hard < soft {
+            return Err(IngestError::at(record, "hard_quota_gb below soft_quota_gb"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse and validate a storage document, producing `storagefact` rows.
+///
+/// `quota_utilization` is derived as `logical_usage_gb / soft_quota_gb`
+/// when a soft quota is present (NULL otherwise — scratch filesystems).
+pub fn shred(document: &str) -> Result<(Vec<Row>, IngestReport)> {
+    let json: Json = serde_json::from_str(document)
+        .map_err(|e| IngestError::whole(format!("invalid JSON: {e}")))?;
+    let samples = json
+        .as_array()
+        .ok_or_else(|| IngestError::whole("document must be a JSON array of samples"))?;
+    let mut rows = Vec::with_capacity(samples.len());
+    let mut report = IngestReport::default();
+    for (i, sample) in samples.iter().enumerate() {
+        let record = i + 1;
+        validate_sample(sample, record)?;
+        let map = sample.as_object().expect("validated as object");
+        let s = |k: &str| map[k].as_str().expect("validated").to_owned();
+        let ts = parse_iso_datetime(map["ts"].as_str().expect("validated")).expect("validated");
+        let soft = map.get("soft_quota_gb").and_then(Json::as_f64);
+        let hard = map.get("hard_quota_gb").and_then(Json::as_f64);
+        let logical = map["logical_usage_gb"].as_f64().expect("validated");
+        let utilization = soft.filter(|q| *q > 0.0).map(|q| logical / q);
+        let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
+        rows.push(vec![
+            Value::Time(ts),
+            Value::Str(s("filesystem")),
+            Value::Str(s("mountpoint")),
+            Value::Str(s("resource_type")),
+            Value::Str(s("user")),
+            Value::Str(s("pi")),
+            Value::Str(s("system_username")),
+            Value::Int(map["file_count"].as_i64().expect("validated")),
+            Value::Float(logical),
+            Value::Float(map["physical_usage_gb"].as_f64().expect("validated")),
+            opt(soft),
+            opt(hard),
+            opt(utilization),
+        ]);
+        report.ingested += 1;
+    }
+    Ok((rows, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> serde_json::Map<String, Json> {
+        serde_json::from_str::<Json>(
+            r#"{
+            "ts": "2017-03-31T23:59:00",
+            "filesystem": "isilon-home",
+            "mountpoint": "/home",
+            "resource_type": "persistent",
+            "user": "alice",
+            "pi": "prof_smith",
+            "system_username": "alice01",
+            "file_count": 120000,
+            "logical_usage_gb": 51.5,
+            "physical_usage_gb": 64.0,
+            "soft_quota_gb": 100.0,
+            "hard_quota_gb": 120.0
+        }"#,
+        )
+        .unwrap()
+        .as_object()
+        .unwrap()
+        .clone()
+    }
+
+    fn doc_of(objs: Vec<serde_json::Map<String, Json>>) -> String {
+        serde_json::to_string(&objs).unwrap()
+    }
+
+    #[test]
+    fn valid_document_shreds() {
+        let (rows, report) = shred(&doc_of(vec![sample()])).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(report.ingested, 1);
+        let schema = xdmod_realms::storage::fact_schema();
+        let row = schema.check_row(rows[0].clone()).unwrap();
+        let util_idx = schema.column_index("quota_utilization").unwrap();
+        assert_eq!(row[util_idx], Value::Float(0.515));
+    }
+
+    #[test]
+    fn quota_fields_are_optional() {
+        let mut s = sample();
+        s.remove("soft_quota_gb");
+        s.remove("hard_quota_gb");
+        let (rows, _) = shred(&doc_of(vec![s])).unwrap();
+        let schema = xdmod_realms::storage::fact_schema();
+        let row = schema.check_row(rows[0].clone()).unwrap();
+        assert_eq!(row[schema.column_index("soft_quota_gb").unwrap()], Value::Null);
+        assert_eq!(
+            row[schema.column_index("quota_utilization").unwrap()],
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let mut s = sample();
+        s.remove("file_count");
+        let err = shred(&doc_of(vec![s])).unwrap_err();
+        assert!(err.message.contains("file_count"));
+        assert_eq!(err.line, Some(1));
+    }
+
+    #[test]
+    fn wrong_types_rejected() {
+        for (field, bad) in [
+            ("file_count", Json::from(-3)),
+            ("file_count", Json::from("lots")),
+            ("logical_usage_gb", Json::from(-1.0)),
+            ("ts", Json::from("yesterday")),
+            ("user", Json::from("")),
+            ("physical_usage_gb", Json::from("64GB")),
+        ] {
+            let mut s = sample();
+            s.insert(field.to_owned(), bad.clone());
+            let err = shred(&doc_of(vec![s])).unwrap_err();
+            assert!(
+                err.message.contains(field),
+                "{field}={bad} accepted: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let mut s = sample();
+        s.insert("zetta_bytes".into(), Json::from(1));
+        let err = shred(&doc_of(vec![s])).unwrap_err();
+        assert!(err.message.contains("zetta_bytes"));
+    }
+
+    #[test]
+    fn hard_below_soft_rejected() {
+        let mut s = sample();
+        s.insert("hard_quota_gb".into(), Json::from(50.0));
+        let err = shred(&doc_of(vec![s])).unwrap_err();
+        assert!(err.message.contains("hard_quota_gb below"));
+    }
+
+    #[test]
+    fn error_reports_record_number() {
+        let mut bad = sample();
+        bad.remove("user");
+        let err = shred(&doc_of(vec![sample(), bad])).unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn non_array_document_rejected() {
+        assert!(shred("{\"samples\": []}").unwrap_err().message.contains("array"));
+        assert!(shred("not json at all").unwrap_err().message.contains("invalid JSON"));
+    }
+
+    #[test]
+    fn zero_soft_quota_yields_null_utilization() {
+        let mut s = sample();
+        s.insert("soft_quota_gb".into(), Json::from(0.0));
+        s.insert("hard_quota_gb".into(), Json::from(0.0));
+        let (rows, _) = shred(&doc_of(vec![s])).unwrap();
+        let schema = xdmod_realms::storage::fact_schema();
+        let idx = schema.column_index("quota_utilization").unwrap();
+        assert_eq!(rows[0][idx], Value::Null);
+    }
+}

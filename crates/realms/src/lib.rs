@@ -1,0 +1,61 @@
+//! # xdmod-realms
+//!
+//! XDMoD's data realms — "groups [of metrics], based on the type of
+//! information they measure" (§I-D) — plus the two cross-cutting
+//! standardization mechanisms the federation paper depends on:
+//!
+//! - [`levels`]: JSON-configured **aggregation levels** for numeric
+//!   dimensions (Table I), compiled into warehouse bins.
+//! - [`su`]: **XDSU standardization** via HPL-derived per-resource
+//!   conversion factors (§II-C6), so federated metrics compare fairly
+//!   across differently-provisioned systems.
+//!
+//! Realms implemented: [`jobs`] (HPC Jobs), [`supremm`] (job-level
+//! performance, deliberately too heavy to federate), [`storage`]
+//! (§III-A), and [`cloud`] (§III-B).
+
+#![warn(missing_docs)]
+
+pub mod cloud;
+pub mod docs;
+pub mod jobs;
+pub mod levels;
+pub mod realm;
+pub mod storage;
+pub mod su;
+pub mod supremm;
+
+pub use levels::{AggregationLevelsConfig, LevelSpec};
+pub use realm::{DimensionDef, MetricDef, Realm, RealmKind};
+pub use su::{HplResult, SuConverter, NUS_PER_XDSU};
+
+/// All realm descriptions for an instance with the given level config.
+pub fn all_realms(levels: &AggregationLevelsConfig) -> Vec<Realm> {
+    vec![
+        jobs::realm(levels),
+        supremm::realm(),
+        storage::realm(),
+        cloud::realm(levels),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_realms_covers_every_kind() {
+        let realms = all_realms(&AggregationLevelsConfig::new());
+        let kinds: Vec<RealmKind> = realms.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, RealmKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn fact_tables_have_distinct_names() {
+        let realms = all_realms(&AggregationLevelsConfig::new());
+        let mut names: Vec<&str> = realms.iter().map(|r| r.fact_schema.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), realms.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! The Storage realm (§III-A) — in development in the paper, implemented
+//! here.
+//!
+//! "The initial set of Storage realm metrics includes: File Count;
+//! Logical and Physical Usage; Hard and Soft Quota Thresholds; Logical
+//! Quota Utilization; User Count. Supported dimensions for drill-down on
+//! these metrics are Resource (Filesystem), Mountpoint, Resource Type,
+//! User, PI, and System Username."
+//!
+//! Facts are periodic samples of per-user, per-filesystem usage, ingested
+//! from JSON documents validated against the provided schema (see
+//! `xdmod-ingest::storage_json`). Fig. 6 (monthly file count + physical
+//! usage) is a chart over this realm.
+
+use crate::realm::{DimensionDef, MetricDef, Realm, RealmKind};
+use xdmod_warehouse::{
+    AggFn, Aggregate, AggregationSpec, ColumnType, DimSpec, Period, SchemaBuilder, TableSchema,
+};
+
+/// Name of the Storage realm fact table.
+pub const FACT_TABLE: &str = "storagefact";
+
+/// Schema of the `storagefact` table: one row per (sample time,
+/// filesystem, user).
+pub fn fact_schema() -> TableSchema {
+    SchemaBuilder::new(FACT_TABLE)
+        .required("ts", ColumnType::Time)
+        .required("filesystem", ColumnType::Str) // "Resource (Filesystem)"
+        .required("mountpoint", ColumnType::Str)
+        .required("resource_type", ColumnType::Str) // persistent | scratch
+        .required("user", ColumnType::Str)
+        .required("pi", ColumnType::Str)
+        .required("system_username", ColumnType::Str)
+        .required("file_count", ColumnType::Int)
+        .required("logical_usage_gb", ColumnType::Float)
+        .required("physical_usage_gb", ColumnType::Float)
+        .nullable("soft_quota_gb", ColumnType::Float)
+        .nullable("hard_quota_gb", ColumnType::Float)
+        .nullable("quota_utilization", ColumnType::Float) // logical/soft, 0..
+        .build()
+        .expect("storage fact schema is valid")
+}
+
+/// The initial Storage metric set from the paper.
+pub fn metrics() -> Vec<MetricDef> {
+    vec![
+        MetricDef {
+            id: "file_count".into(),
+            label: "File Count".into(),
+            unit: "files".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "file_count", "file_count"),
+        },
+        MetricDef {
+            id: "logical_usage".into(),
+            label: "Logical Usage".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "logical_usage_gb", "logical_usage"),
+        },
+        MetricDef {
+            id: "physical_usage".into(),
+            label: "Physical Usage".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "physical_usage_gb", "physical_usage"),
+        },
+        MetricDef {
+            id: "soft_quota".into(),
+            label: "Soft Quota Threshold".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "soft_quota_gb", "soft_quota"),
+        },
+        MetricDef {
+            id: "hard_quota".into(),
+            label: "Hard Quota Threshold".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "hard_quota_gb", "hard_quota"),
+        },
+        MetricDef {
+            id: "quota_utilization".into(),
+            label: "Logical Quota Utilization".into(),
+            unit: "fraction".into(),
+            aggregate: Aggregate::of(AggFn::Avg, "quota_utilization", "quota_utilization"),
+        },
+        MetricDef {
+            id: "user_count".into(),
+            label: "User Count".into(),
+            unit: "users".into(),
+            aggregate: Aggregate::of(AggFn::CountDistinct, "user", "user_count"),
+        },
+    ]
+}
+
+/// The drill-down dimensions from the paper.
+pub fn dimensions() -> Vec<DimensionDef> {
+    vec![
+        DimensionDef {
+            id: "filesystem".into(),
+            label: "Resource (Filesystem)".into(),
+            column: "filesystem".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "mountpoint".into(),
+            label: "Mountpoint".into(),
+            column: "mountpoint".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "resource_type".into(),
+            label: "Resource Type".into(),
+            column: "resource_type".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "user".into(),
+            label: "User".into(),
+            column: "user".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "pi".into(),
+            label: "PI".into(),
+            column: "pi".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "system_username".into(),
+            label: "System Username".into(),
+            column: "system_username".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "physical_usage_gb".into(),
+            label: "Physical Usage".into(),
+            column: "physical_usage_gb".into(),
+            numeric: true,
+        },
+    ]
+}
+
+/// Default aggregation pipeline for storage samples.
+pub fn aggregation_spec() -> AggregationSpec {
+    AggregationSpec {
+        fact_table: FACT_TABLE.into(),
+        time_column: "ts".into(),
+        dims: vec![
+            DimSpec::Column("filesystem".into()),
+            DimSpec::Column("resource_type".into()),
+        ],
+        measures: vec![
+            Aggregate::of(AggFn::Sum, "file_count", "file_count"),
+            Aggregate::of(AggFn::Sum, "logical_usage_gb", "logical_usage"),
+            Aggregate::of(AggFn::Sum, "physical_usage_gb", "physical_usage"),
+            Aggregate::of(AggFn::Avg, "quota_utilization", "quota_utilization"),
+            Aggregate::of(AggFn::CountDistinct, "user", "user_count"),
+        ],
+        periods: Period::ALL.to_vec(),
+        table_prefix: None,
+    }
+}
+
+/// The complete Storage realm description.
+pub fn realm() -> Realm {
+    Realm {
+        kind: RealmKind::Storage,
+        fact_schema: fact_schema(),
+        aux_schemas: vec![],
+        metrics: metrics(),
+        dimensions: dimensions(),
+        default_aggregation: aggregation_spec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_metric_set_is_present() {
+        let ids: Vec<String> = metrics().into_iter().map(|m| m.id).collect();
+        for want in [
+            "file_count",
+            "logical_usage",
+            "physical_usage",
+            "soft_quota",
+            "hard_quota",
+            "quota_utilization",
+            "user_count",
+        ] {
+            assert!(ids.contains(&want.to_owned()), "missing metric {want}");
+        }
+    }
+
+    #[test]
+    fn paper_dimension_set_is_present() {
+        let ids: Vec<String> = dimensions().into_iter().map(|d| d.id).collect();
+        for want in [
+            "filesystem",
+            "mountpoint",
+            "resource_type",
+            "user",
+            "pi",
+            "system_username",
+        ] {
+            assert!(ids.contains(&want.to_owned()), "missing dimension {want}");
+        }
+    }
+
+    #[test]
+    fn metric_and_dimension_columns_exist() {
+        let s = fact_schema();
+        for m in metrics() {
+            if let Some(c) = &m.aggregate.column {
+                assert!(s.column_index(c).is_ok());
+            }
+        }
+        for d in dimensions() {
+            assert!(s.column_index(&d.column).is_ok());
+        }
+    }
+
+    #[test]
+    fn quota_columns_are_nullable() {
+        // Scratch filesystems often carry no quota.
+        let s = fact_schema();
+        assert!(s.column("soft_quota_gb").unwrap().nullable);
+        assert!(s.column("hard_quota_gb").unwrap().nullable);
+        assert!(s.column("quota_utilization").unwrap().nullable);
+    }
+}

@@ -1,0 +1,165 @@
+//! XDSU standardization across heterogeneous resources.
+//!
+//! "XSEDE has benchmarked disparate systems and then derived appropriate
+//! conversion factors, so that the resources consumed on different
+//! systems can be compared to one another. ... This converted data is
+//! represented in standardized units called XSEDE Service Units (XDSUs)."
+//! (§II-C6). "An XD SU is defined as one CPU-hour on a Phase-1 DTF
+//! cluster; a Phase-1 DTF SU is equal to 21.576 NUs." (footnote 2)
+//!
+//! A [`SuConverter`] holds per-resource conversion factors derived from
+//! HPL benchmark results and converts raw CPU-hours into XD SUs (and NUs)
+//! so federation metrics "make valid comparisons".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// NUs per XD SU (paper footnote 2).
+pub const NUS_PER_XDSU: f64 = 21.576;
+
+/// Per-core HPL throughput of the reference Phase-1 DTF cluster, in
+/// GFLOP/s. The absolute value is a calibration constant; only ratios
+/// matter for conversion factors.
+pub const DTF_REFERENCE_GFLOPS_PER_CORE: f64 = 1.0;
+
+/// An HPL benchmark result for one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HplResult {
+    /// Measured HPL throughput per core, GFLOP/s.
+    pub gflops_per_core: f64,
+}
+
+impl HplResult {
+    /// Conversion factor relative to the Phase-1 DTF reference: XD SUs
+    /// charged per CPU-hour consumed on this resource.
+    pub fn conversion_factor(self) -> f64 {
+        self.gflops_per_core / DTF_REFERENCE_GFLOPS_PER_CORE
+    }
+}
+
+/// Converts raw per-resource CPU-hours into standardized XD SUs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuConverter {
+    factors: BTreeMap<String, f64>,
+}
+
+impl SuConverter {
+    /// Empty converter (unknown resources fall back to factor 1.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a resource's factor directly.
+    pub fn set_factor(&mut self, resource: &str, factor: f64) -> &mut Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "conversion factor must be positive and finite"
+        );
+        self.factors.insert(resource.to_owned(), factor);
+        self
+    }
+
+    /// Register a resource from its HPL benchmark, deriving the factor.
+    pub fn set_from_hpl(&mut self, resource: &str, hpl: HplResult) -> &mut Self {
+        self.set_factor(resource, hpl.conversion_factor())
+    }
+
+    /// The conversion factor for a resource; 1.0 when unbenchmarked.
+    ///
+    /// Falling back to 1.0 mirrors an unconfigured Open XDMoD install,
+    /// where raw CPU-hours are reported unconverted — the paper's warning
+    /// that "similar care must be taken so that federation metrics make
+    /// valid comparisons".
+    pub fn factor(&self, resource: &str) -> f64 {
+        self.factors.get(resource).copied().unwrap_or(1.0)
+    }
+
+    /// Whether a resource has a configured (benchmarked) factor.
+    pub fn is_benchmarked(&self, resource: &str) -> bool {
+        self.factors.contains_key(resource)
+    }
+
+    /// Convert raw CPU-hours on `resource` into XD SUs.
+    pub fn xdsu(&self, resource: &str, cpu_hours: f64) -> f64 {
+        cpu_hours * self.factor(resource)
+    }
+
+    /// Convert raw CPU-hours on `resource` into NUs.
+    pub fn nu(&self, resource: &str, cpu_hours: f64) -> f64 {
+        self.xdsu(resource, cpu_hours) * NUS_PER_XDSU
+    }
+
+    /// All configured resources with factors, sorted by name.
+    pub fn resources(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.factors.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_derived_from_hpl_ratio() {
+        let hpl = HplResult {
+            gflops_per_core: 2.5,
+        };
+        assert_eq!(hpl.conversion_factor(), 2.5);
+    }
+
+    #[test]
+    fn xdsu_scales_cpu_hours() {
+        let mut c = SuConverter::new();
+        c.set_factor("comet", 2.0).set_factor("stampede", 0.5);
+        assert_eq!(c.xdsu("comet", 10.0), 20.0);
+        assert_eq!(c.xdsu("stampede", 10.0), 5.0);
+    }
+
+    #[test]
+    fn unknown_resource_defaults_to_raw_hours() {
+        let c = SuConverter::new();
+        assert_eq!(c.factor("mystery"), 1.0);
+        assert!(!c.is_benchmarked("mystery"));
+        assert_eq!(c.xdsu("mystery", 7.0), 7.0);
+    }
+
+    #[test]
+    fn nu_conversion_uses_published_constant() {
+        let mut c = SuConverter::new();
+        c.set_factor("dtf", 1.0);
+        assert!((c.nu("dtf", 1.0) - 21.576).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardization_makes_disparate_resources_comparable() {
+        // Two resources doing the same "science" (same FLOP count) should
+        // charge the same XD SUs even though their CPU-hour counts differ.
+        let fast = HplResult {
+            gflops_per_core: 4.0,
+        };
+        let slow = HplResult {
+            gflops_per_core: 1.0,
+        };
+        let mut c = SuConverter::new();
+        c.set_from_hpl("fast", fast).set_from_hpl("slow", slow);
+        let flops_needed = 400.0; // arbitrary units
+        let fast_hours = flops_needed / fast.gflops_per_core;
+        let slow_hours = flops_needed / slow.gflops_per_core;
+        assert!((c.xdsu("fast", fast_hours) - c.xdsu("slow", slow_hours)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_factor_panics() {
+        SuConverter::new().set_factor("bad", 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = SuConverter::new();
+        c.set_factor("comet", 1.9).set_factor("stampede2", 2.4);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SuConverter = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

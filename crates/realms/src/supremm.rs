@@ -1,0 +1,247 @@
+//! The SUPReMM (job-level performance) realm.
+//!
+//! "The SUPReMM realm ... contributes metrics describing individual
+//! job-level performance data, such as total memory, CPU usage, memory
+//! bandwidth, I/O bandwidth, block read and block write rates." (§I-D)
+//!
+//! The paper is explicit that this realm is **storage-intensive**:
+//! per-job data includes "timeseries plots of nine individual job metrics
+//! over the life of the job ... and the job script for each job"
+//! (§II-C5) — which is exactly why the initial federation release does
+//! *not* replicate it. This module therefore defines the aggregate fact
+//! table **plus** the two heavyweight auxiliary tables (timeseries and
+//! job scripts), so the "too heavy to federate" design point is real in
+//! this reproduction, and a [`summary_spec`] for the summarized
+//! replication planned "in a subsequent release".
+
+use crate::realm::{DimensionDef, MetricDef, Realm, RealmKind};
+use xdmod_warehouse::{
+    AggFn, Aggregate, AggregationSpec, ColumnType, DimSpec, Period, SchemaBuilder, TableSchema,
+};
+
+/// Name of the SUPReMM fact table (one row per job).
+pub const FACT_TABLE: &str = "supremm_jobfact";
+
+/// Name of the per-job timeseries table (many rows per job).
+pub const TIMESERIES_TABLE: &str = "supremm_timeseries";
+
+/// Name of the job-script table (one row per job).
+pub const JOBSCRIPT_TABLE: &str = "supremm_jobscript";
+
+/// The nine per-job timeseries metrics the paper cites (§II-C5 mentions
+/// "nine individual job metrics ... such as CPU user and memory
+/// bandwidth"; this is the canonical SUPReMM set).
+pub const TIMESERIES_METRICS: [&str; 9] = [
+    "cpu_user",
+    "flops",
+    "memory_used",
+    "memory_bandwidth",
+    "io_read",
+    "io_write",
+    "block_read",
+    "block_write",
+    "parallel_fs",
+];
+
+/// Schema of the per-job summary fact table.
+pub fn fact_schema() -> TableSchema {
+    SchemaBuilder::new(FACT_TABLE)
+        .required("job_id", ColumnType::Int)
+        .required("resource", ColumnType::Str)
+        .required("user", ColumnType::Str)
+        .required("end_time", ColumnType::Time)
+        .required("cpu_user", ColumnType::Float) // mean fraction, 0..1
+        .required("flops_gf", ColumnType::Float)
+        .required("memory_gb", ColumnType::Float)
+        .required("membw_gbs", ColumnType::Float)
+        .required("io_read_gbs", ColumnType::Float)
+        .required("io_write_gbs", ColumnType::Float)
+        .required("block_read_gbs", ColumnType::Float)
+        .required("block_write_gbs", ColumnType::Float)
+        .build()
+        .expect("supremm fact schema is valid")
+}
+
+/// Schema of the heavyweight per-job timeseries table.
+pub fn timeseries_schema() -> TableSchema {
+    SchemaBuilder::new(TIMESERIES_TABLE)
+        .required("job_id", ColumnType::Int)
+        .required("ts", ColumnType::Time)
+        .required("metric", ColumnType::Str)
+        .required("value", ColumnType::Float)
+        .build()
+        .expect("supremm timeseries schema is valid")
+}
+
+/// Schema of the job-script table.
+pub fn jobscript_schema() -> TableSchema {
+    SchemaBuilder::new(JOBSCRIPT_TABLE)
+        .required("job_id", ColumnType::Int)
+        .required("script", ColumnType::Str)
+        .build()
+        .expect("supremm jobscript schema is valid")
+}
+
+/// Chartable metrics of the SUPReMM realm (aggregate view).
+pub fn metrics() -> Vec<MetricDef> {
+    vec![
+        MetricDef {
+            id: "avg_cpu_user".into(),
+            label: "Avg CPU User".into(),
+            unit: "fraction".into(),
+            aggregate: Aggregate::of(AggFn::Avg, "cpu_user", "avg_cpu_user"),
+        },
+        MetricDef {
+            id: "avg_flops".into(),
+            label: "Avg FLOPS".into(),
+            unit: "GFLOP/s".into(),
+            aggregate: Aggregate::of(AggFn::Avg, "flops_gf", "avg_flops"),
+        },
+        MetricDef {
+            id: "avg_memory".into(),
+            label: "Avg Memory Used".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Avg, "memory_gb", "avg_memory"),
+        },
+        MetricDef {
+            id: "avg_membw".into(),
+            label: "Avg Memory Bandwidth".into(),
+            unit: "GB/s".into(),
+            aggregate: Aggregate::of(AggFn::Avg, "membw_gbs", "avg_membw"),
+        },
+        MetricDef {
+            id: "total_block_read".into(),
+            label: "Block Read: Total".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "block_read_gbs", "total_block_read"),
+        },
+        MetricDef {
+            id: "total_block_write".into(),
+            label: "Block Write: Total".into(),
+            unit: "GB".into(),
+            aggregate: Aggregate::of(AggFn::Sum, "block_write_gbs", "total_block_write"),
+        },
+    ]
+}
+
+/// Dimensions of the SUPReMM realm.
+pub fn dimensions() -> Vec<DimensionDef> {
+    vec![
+        DimensionDef {
+            id: "resource".into(),
+            label: "Resource".into(),
+            column: "resource".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "user".into(),
+            label: "User".into(),
+            column: "user".into(),
+            numeric: false,
+        },
+        DimensionDef {
+            id: "cpu_user".into(),
+            label: "CPU User Value".into(),
+            column: "cpu_user".into(),
+            numeric: true,
+        },
+        DimensionDef {
+            id: "memory_gb".into(),
+            label: "Peak Memory Usage".into(),
+            column: "memory_gb".into(),
+            numeric: true,
+        },
+    ]
+}
+
+/// Default aggregation pipeline for the fact table.
+pub fn aggregation_spec() -> AggregationSpec {
+    AggregationSpec {
+        fact_table: FACT_TABLE.into(),
+        time_column: "end_time".into(),
+        dims: vec![DimSpec::Column("resource".into())],
+        measures: vec![
+            Aggregate::count("job_count"),
+            Aggregate::of(AggFn::Avg, "cpu_user", "avg_cpu_user"),
+            Aggregate::of(AggFn::Avg, "memory_gb", "avg_memory"),
+            Aggregate::of(AggFn::Avg, "membw_gbs", "avg_membw"),
+            Aggregate::of(AggFn::Sum, "block_read_gbs", "total_block_read"),
+            Aggregate::of(AggFn::Sum, "block_write_gbs", "total_block_write"),
+        ],
+        periods: Period::ALL.to_vec(),
+        table_prefix: None,
+    }
+}
+
+/// The *summarized* performance aggregation planned for federation in "a
+/// subsequent release" (§II-C5): monthly per-resource summaries only — no
+/// per-job rows, no timeseries, no scripts — small enough to replicate.
+pub fn summary_spec() -> AggregationSpec {
+    AggregationSpec {
+        fact_table: FACT_TABLE.into(),
+        time_column: "end_time".into(),
+        dims: vec![DimSpec::Column("resource".into())],
+        measures: vec![
+            Aggregate::count("job_count"),
+            Aggregate::of(AggFn::Avg, "cpu_user", "avg_cpu_user"),
+            Aggregate::of(AggFn::Avg, "memory_gb", "avg_memory"),
+        ],
+        periods: vec![Period::Month],
+        table_prefix: Some("supremm_summary".into()),
+    }
+}
+
+/// The complete SUPReMM realm description.
+pub fn realm() -> Realm {
+    Realm {
+        kind: RealmKind::Supremm,
+        fact_schema: fact_schema(),
+        aux_schemas: vec![timeseries_schema(), jobscript_schema()],
+        metrics: metrics(),
+        dimensions: dimensions(),
+        default_aggregation: aggregation_spec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_timeseries_metrics() {
+        assert_eq!(TIMESERIES_METRICS.len(), 9);
+        let mut sorted = TIMESERIES_METRICS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9, "timeseries metric names must be unique");
+    }
+
+    #[test]
+    fn realm_carries_heavyweight_aux_tables() {
+        let r = realm();
+        let names: Vec<&str> = r.aux_schemas.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec![TIMESERIES_TABLE, JOBSCRIPT_TABLE]);
+    }
+
+    #[test]
+    fn metric_columns_exist() {
+        let s = fact_schema();
+        for m in metrics() {
+            if let Some(c) = &m.aggregate.column {
+                assert!(s.column_index(c).is_ok(), "{} missing", c);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_spec_is_month_only_and_small() {
+        let spec = summary_spec();
+        assert_eq!(spec.periods, vec![Period::Month]);
+        assert_eq!(spec.dims.len(), 1);
+    }
+
+    #[test]
+    fn supremm_not_federated_by_default() {
+        assert!(!realm().kind.federated_by_default());
+    }
+}

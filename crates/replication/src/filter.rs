@@ -1,0 +1,229 @@
+//! Selective-replication filters.
+//!
+//! Tungsten supports "selective replication of data from satellite
+//! instances" (§II-C1), and the paper's routing strategy (§II-C4) lets
+//! "data from certain resources managed by a member instance ... be
+//! selectively excluded from a federation", e.g. so "potentially
+//! sensitive data does not ever get replicated to the federation hub".
+//!
+//! A [`ReplicationFilter`] implements both axes:
+//!
+//! - **table selection** — only listed tables cross the link (the initial
+//!   federation release replicates only the HPC Jobs realm);
+//! - **resource routing** — rows whose resource column matches an
+//!   excluded resource are dropped before the event leaves the satellite.
+
+use std::collections::{BTreeMap, BTreeSet};
+use xdmod_warehouse::{EventPayload, Value};
+
+/// Decides which events (and which rows inside them) replicate.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationFilter {
+    /// When non-empty, only these tables replicate. DDL and DML for other
+    /// tables is dropped.
+    tables: BTreeSet<String>,
+    /// Resources excluded from replication.
+    excluded_resources: BTreeSet<String>,
+    /// Table name → name of its resource column (used by resource
+    /// routing; tables absent from this map are not resource-filtered).
+    resource_columns: BTreeMap<String, String>,
+}
+
+impl ReplicationFilter {
+    /// A filter that passes everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict replication to the listed tables.
+    pub fn with_tables<I: IntoIterator<Item = S>, S: Into<String>>(mut self, tables: I) -> Self {
+        self.tables = tables.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declare which column holds the resource name for a table, enabling
+    /// resource routing for it.
+    pub fn with_resource_column(mut self, table: &str, column: &str) -> Self {
+        self.resource_columns
+            .insert(table.to_owned(), column.to_owned());
+        self
+    }
+
+    /// Exclude a resource from replication.
+    pub fn exclude_resource(mut self, resource: &str) -> Self {
+        self.excluded_resources.insert(resource.to_owned());
+        self
+    }
+
+    /// Whether a table passes the table-selection axis.
+    pub fn table_passes(&self, table: &str) -> bool {
+        self.tables.is_empty() || self.tables.contains(table)
+    }
+
+    /// Apply the filter to an event. Returns `None` when the whole event
+    /// is dropped; `InsertBatch` events may pass with a reduced row set.
+    pub fn apply(&self, payload: &EventPayload) -> Option<EventPayload> {
+        match payload {
+            EventPayload::CreateSchema { .. } => Some(payload.clone()),
+            EventPayload::CreateTable { def, .. } => {
+                self.table_passes(&def.name).then(|| payload.clone())
+            }
+            EventPayload::Truncate { table, .. } => {
+                self.table_passes(table).then(|| payload.clone())
+            }
+            // Without a schema resolver, resource routing cannot inspect
+            // rows; use `apply_resolved` for full filtering.
+            EventPayload::InsertBatch { table, .. } => {
+                self.table_passes(table).then(|| payload.clone())
+            }
+        }
+    }
+
+    /// Apply the filter to an event, with access to a column resolver
+    /// (table → resource-column index) so resource routing can inspect
+    /// rows. This is the form the replicator uses.
+    pub fn apply_resolved(
+        &self,
+        payload: &EventPayload,
+        column_index: impl Fn(&str, &str) -> Option<usize>,
+    ) -> Option<EventPayload> {
+        match payload {
+            EventPayload::InsertBatch {
+                schema,
+                table,
+                rows,
+            } => {
+                if !self.table_passes(table) {
+                    return None;
+                }
+                let idx = self
+                    .resource_columns
+                    .get(table)
+                    .and_then(|col| column_index(table, col));
+                let rows: Vec<_> = match idx {
+                    Some(i) if !self.excluded_resources.is_empty() => rows
+                        .iter()
+                        .filter(|row| {
+                            !matches!(
+                                &row[i],
+                                Value::Str(s) if self.excluded_resources.contains(s)
+                            )
+                        })
+                        .cloned()
+                        .collect(),
+                    _ => rows.clone(),
+                };
+                if rows.is_empty() {
+                    return None;
+                }
+                Some(EventPayload::InsertBatch {
+                    schema: schema.clone(),
+                    table: table.clone(),
+                    rows,
+                })
+            }
+            other => self.apply(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdmod_warehouse::{ColumnType, SchemaBuilder};
+
+    fn insert(table: &str, resources: &[&str]) -> EventPayload {
+        EventPayload::InsertBatch {
+            schema: "xdmod_x".into(),
+            table: table.into(),
+            rows: resources
+                .iter()
+                .map(|r| vec![Value::Str((*r).to_owned()), Value::Float(1.0)])
+                .collect(),
+        }
+    }
+
+    fn resolver(_table: &str, column: &str) -> Option<usize> {
+        (column == "resource").then_some(0)
+    }
+
+    #[test]
+    fn default_filter_passes_everything() {
+        let f = ReplicationFilter::all();
+        let ev = insert("jobfact", &["a", "b"]);
+        assert_eq!(f.apply_resolved(&ev, resolver), Some(ev));
+    }
+
+    #[test]
+    fn table_selection_drops_other_tables() {
+        let f = ReplicationFilter::all().with_tables(["jobfact"]);
+        assert!(f.apply_resolved(&insert("jobfact", &["a"]), resolver).is_some());
+        assert!(f
+            .apply_resolved(&insert("supremm_timeseries", &["a"]), resolver)
+            .is_none());
+        // DDL follows the same rule.
+        let ddl = EventPayload::CreateTable {
+            schema: "s".into(),
+            def: SchemaBuilder::new("supremm_timeseries")
+                .required("job_id", ColumnType::Int)
+                .build()
+                .unwrap(),
+        };
+        assert!(f.apply(&ddl).is_none());
+    }
+
+    #[test]
+    fn create_schema_always_passes() {
+        let f = ReplicationFilter::all().with_tables(["jobfact"]);
+        let ev = EventPayload::CreateSchema {
+            schema: "s".into(),
+        };
+        assert!(f.apply(&ev).is_some());
+    }
+
+    #[test]
+    fn resource_routing_drops_excluded_rows() {
+        let f = ReplicationFilter::all()
+            .with_resource_column("jobfact", "resource")
+            .exclude_resource("secret-cluster");
+        let ev = insert("jobfact", &["open-cluster", "secret-cluster", "open-cluster"]);
+        let out = f.apply_resolved(&ev, resolver).unwrap();
+        match out {
+            EventPayload::InsertBatch { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                for row in rows {
+                    assert_ne!(row[0], Value::Str("secret-cluster".into()));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_excluded_batch_is_dropped() {
+        let f = ReplicationFilter::all()
+            .with_resource_column("jobfact", "resource")
+            .exclude_resource("secret-cluster");
+        let ev = insert("jobfact", &["secret-cluster"]);
+        assert!(f.apply_resolved(&ev, resolver).is_none());
+    }
+
+    #[test]
+    fn tables_without_resource_column_are_not_routed() {
+        let f = ReplicationFilter::all().exclude_resource("secret-cluster");
+        // No resource column registered for this table: rows pass.
+        let ev = insert("jobfact", &["secret-cluster"]);
+        assert!(f.apply_resolved(&ev, resolver).is_some());
+    }
+
+    #[test]
+    fn unresolvable_column_passes_rows_through() {
+        let f = ReplicationFilter::all()
+            .with_resource_column("jobfact", "not_a_column")
+            .exclude_resource("x");
+        let ev = insert("jobfact", &["x"]);
+        // Resolver fails; routing degrades to pass-through rather than
+        // silently dropping data.
+        assert!(f.apply_resolved(&ev, resolver).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure-injection tests for the replication layer: corrupted streams,
+//! crashed-and-restarted replicators, epoch changes under a live link,
+//! and worker-thread error surfacing.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+use xdmod_replication::{
+    LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, Replicator,
+};
+use xdmod_warehouse::{
+    shared, ColumnType, Database, LogPosition, SchemaBuilder, SharedDatabase, Value,
+};
+
+fn satellite(n_rows: usize) -> SharedDatabase {
+    let mut db = Database::new();
+    db.create_schema("xdmod_x").unwrap();
+    db.create_table(
+        "xdmod_x",
+        SchemaBuilder::new("jobfact")
+            .required("resource", ColumnType::Str)
+            .required("cpu_hours", ColumnType::Float)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for i in 0..n_rows {
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("r".into()), Value::Float(i as f64)]],
+        )
+        .unwrap();
+    }
+    shared(db)
+}
+
+#[test]
+fn replicator_restart_resumes_from_watermark() {
+    let src = satellite(5);
+    let dst = shared(Database::new());
+    let mut rep = Replicator::new(
+        Arc::clone(&src),
+        Arc::clone(&dst),
+        LinkConfig::renaming("xdmod_x", "hub_x"),
+    );
+    rep.poll().unwrap();
+    let watermark = rep.position();
+    drop(rep); // "crash"
+
+    src.write()
+        .insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("r".into()), Value::Float(99.0)]],
+        )
+        .unwrap();
+
+    // Restart from the saved watermark: only the new row crosses.
+    let mut rep2 = Replicator::new(
+        Arc::clone(&src),
+        Arc::clone(&dst),
+        LinkConfig::renaming("xdmod_x", "hub_x"),
+    );
+    rep2.seek(watermark);
+    assert_eq!(rep2.poll().unwrap(), 1);
+    assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 6);
+}
+
+#[test]
+fn corrupted_loose_batch_leaves_receiver_consistent() {
+    let src = satellite(3);
+    let hub = shared(Database::new());
+    let mut shipper = LooseShipper::new(Arc::clone(&src));
+    let mut receiver = LooseReceiver::new(
+        Arc::clone(&hub),
+        LinkConfig::renaming("xdmod_x", "hub_x"),
+    );
+    let batch = shipper.export_batch().unwrap();
+    // Corrupt the middle of the batch in transit.
+    let mut bytes = batch.to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    assert!(receiver.apply_batch(&Bytes::from(bytes)).is_err());
+    // The intact original still applies from the receiver's watermark —
+    // nothing applied from the corrupt copy may be double-applied.
+    let applied = receiver.apply_batch(&batch).unwrap();
+    assert!(applied > 0);
+    assert_eq!(hub.read().table("hub_x", "jobfact").unwrap().len(), 3);
+    assert_eq!(
+        src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
+        hub.read().table("hub_x", "jobfact").unwrap().content_checksum()
+    );
+}
+
+#[test]
+fn source_epoch_rotation_is_surfaced_not_silently_reapplied() {
+    // A satellite restored from backup rotates its binlog epoch; a
+    // replicator holding an old-epoch watermark re-reads everything,
+    // which (by design) would duplicate — Federation::restore_member
+    // re-seeks for exactly this reason. Verify the raw behaviour is
+    // observable.
+    let src = satellite(2);
+    let dst = shared(Database::new());
+    let mut rep = Replicator::new(
+        Arc::clone(&src),
+        Arc::clone(&dst),
+        LinkConfig::renaming("xdmod_x", "hub_x"),
+    );
+    rep.poll().unwrap();
+
+    // Simulate restore: rotate epoch and repopulate.
+    {
+        let mut db = src.write();
+        db.reset_for_restore();
+        db.create_schema("xdmod_x").unwrap();
+        db.create_table(
+            "xdmod_x",
+            SchemaBuilder::new("jobfact")
+                .required("resource", ColumnType::Str)
+                .required("cpu_hours", ColumnType::Float)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("r".into()), Value::Float(0.0)]],
+        )
+        .unwrap();
+    }
+    // Without a re-seek, the whole new generation replays.
+    let applied = rep.poll().unwrap();
+    assert!(applied >= 3); // schema + table + insert
+    assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 3); // 2 old + 1 replayed
+
+    // With a proper re-seek (what Federation::restore_member does), a
+    // fresh link skips the restored history.
+    let dst2 = shared(Database::new());
+    let mut rep2 = Replicator::new(
+        Arc::clone(&src),
+        Arc::clone(&dst2),
+        LinkConfig::renaming("xdmod_x", "hub_x"),
+    );
+    rep2.seek(src.read().binlog_position());
+    assert_eq!(rep2.poll().unwrap(), 0);
+}
+
+#[test]
+fn live_replicator_surfaces_worker_errors() {
+    // Target a database where the schema already exists with a
+    // conflicting definition: the apply side must error, and the worker
+    // must surface it rather than spin.
+    let src = satellite(1);
+    let dst = shared({
+        let mut db = Database::new();
+        db.create_schema("hub_x").unwrap();
+        db.create_table(
+            "hub_x",
+            SchemaBuilder::new("jobfact")
+                .required("different_layout", ColumnType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    });
+    let rep = Replicator::new(src, dst, LinkConfig::renaming("xdmod_x", "hub_x"));
+    let live = LiveReplicator::start(rep, Duration::from_millis(1));
+    // Give the worker a moment to hit the conflict.
+    for _ in 0..100 {
+        if live.last_error().is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let err = live.last_error().expect("worker error surfaced");
+    assert!(err.to_string().contains("different definition"), "actual: {err}");
+    let _ = live.stop();
+}
+
+#[test]
+fn future_epoch_watermark_is_rejected() {
+    let src = satellite(1);
+    let dst = shared(Database::new());
+    let mut rep = Replicator::new(src, dst, LinkConfig::renaming("xdmod_x", "hub_x"));
+    rep.seek(LogPosition { epoch: 42, seqno: 7 });
+    assert!(rep.poll().is_err());
+}

@@ -1,0 +1,31 @@
+//! # xdmod-sim
+//!
+//! Deterministic synthetic workload generators — the stand-in for the
+//! production data sources this paper's figures were drawn from (XSEDE
+//! accounting data, CCR's Isilon/GPFS storage, and CCR's OpenStack
+//! research cloud), none of which are publicly available.
+//!
+//! Every generator is seeded and reproducible, and each emits the *raw
+//! format* the corresponding `xdmod-ingest` shredder consumes, so the
+//! entire XDMoD pipeline (ingest → warehouse → aggregate → federate →
+//! chart) is exercised end-to-end:
+//!
+//! - [`hpc`] — per-resource job traces as `sacct` logs (plus PCP-style
+//!   performance archives), with 2017 profiles shaped after Comet,
+//!   Stampede, and Stampede2 for Fig. 1.
+//! - [`storage_sim`] — monthly per-user filesystem samples as JSON
+//!   documents, with Fig. 6's steady growth.
+//! - [`cloud_sim`] — VM lifecycle event feeds with flavor-dependent
+//!   lifetimes, giving Fig. 7's core-hours-by-memory-size shape.
+
+#![warn(missing_docs)]
+
+pub mod cloud_sim;
+pub mod hpc;
+pub mod rng;
+pub mod storage_sim;
+
+pub use cloud_sim::CloudSim;
+pub use hpc::{ClusterSim, ResourceProfile, SimJob};
+pub use rng::SimRng;
+pub use storage_sim::{FilesystemProfile, StorageSim};

@@ -1,0 +1,222 @@
+//! Deterministic random sampling helpers.
+//!
+//! Every simulator in this crate is seeded, so identical seeds reproduce
+//! identical logs byte-for-byte — the property the benchmark harness
+//! relies on to regenerate the paper's figures stably. Distribution
+//! sampling (exponential, log-normal, Zipf) is implemented here from
+//! uniform draws rather than pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distribution samplers the workload
+/// models need.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second value of the last Box-Muller pair.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child stream (used so per-resource and
+    /// per-month streams don't perturb each other when parameters
+    /// change).
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix the label through splitmix64 so fork(0) and fork(1) differ
+        // substantially.
+        let mut z = self.inner.random::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_int(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        let u = 1.0 - self.uniform(); // (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal (Box-Muller, with caching of the pair's second
+    /// value).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Log-normal with the given median and sigma (of the underlying
+    /// normal). Job runtimes and file sizes are classically log-normal.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        assert!(median > 0.0 && sigma >= 0.0);
+        median * (sigma * self.normal()).exp()
+    }
+
+    /// Zipf-distributed index in `[0, n)` with exponent `s` — heavy-tailed
+    /// user activity (a few users submit most jobs).
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0);
+        // Sample by inverse CDF over precomputable harmonic weights; n is
+        // small (user pools), so a linear scan is fine.
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.uniform() * h;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Pick an index from unnormalized weights.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut target = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_consumption() {
+        // fork(label) must not depend on how much the child consumes.
+        let mut parent1 = SimRng::new(42);
+        let mut c1 = parent1.fork(1);
+        let _ = c1.uniform();
+        let c2 = parent1.fork(2);
+
+        let mut parent2 = SimRng::new(42);
+        let mut d1 = parent2.fork(1);
+        let _ = d1.uniform();
+        let _ = d1.uniform(); // child consumed more...
+        let mut d2 = parent2.fork(2);
+        let mut c2 = c2;
+        assert_eq!(c2.uniform().to_bits(), d2.uniform().to_bits());
+    }
+
+    #[test]
+    fn exponential_mean_approximately_correct() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(13);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = SimRng::new(17);
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.lognormal(2.0, 1.0)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median - 2.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let mut rng = SimRng::new(19);
+        let mut counts = [0usize; 20];
+        for _ in 0..10_000 {
+            counts[rng.zipf(20, 1.1)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > counts[19] * 5);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = SimRng::new(23);
+        let mut counts = [0usize; 3];
+        for _ in 0..9_000 {
+            counts[rng.weighted(&[1.0, 2.0, 0.0])] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!(counts[1] > counts[0]);
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn samplers_stay_in_domain() {
+        let mut rng = SimRng::new(29);
+        for _ in 0..1_000 {
+            assert!(rng.exponential(1.0) >= 0.0);
+            assert!(rng.lognormal(1.0, 0.5) > 0.0);
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let k = rng.uniform_int(5, 9);
+            assert!((5..9).contains(&k));
+        }
+    }
+}

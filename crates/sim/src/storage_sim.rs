@@ -1,0 +1,243 @@
+//! Storage filesystem growth simulator.
+//!
+//! Stands in for CCR's Isilon and GPFS storage (§III-A: "the storage
+//! realm is being developed against CCR's Isilon and GPFS storage, both
+//! persistent and scratch"). Emits monthly per-user usage samples as the
+//! JSON documents `xdmod-ingest::storage_json` validates and shreds.
+//!
+//! The growth model is multiplicative month-over-month with per-user
+//! noise, matching the steady climb of both file count and physical usage
+//! visible in the paper's Fig. 6.
+
+use crate::rng::SimRng;
+use serde_json::json;
+use xdmod_warehouse::time::{days_in_month, format_iso_datetime, CivilDate};
+
+/// One simulated filesystem.
+#[derive(Debug, Clone)]
+pub struct FilesystemProfile {
+    /// Filesystem name (the Storage realm's "Resource (Filesystem)").
+    pub name: String,
+    /// Mount point.
+    pub mountpoint: String,
+    /// `persistent` or `scratch`.
+    pub resource_type: String,
+    /// Number of users with data on this filesystem.
+    pub n_users: usize,
+    /// Mean files per user in January.
+    pub base_files_per_user: f64,
+    /// Mean logical usage per user in January, GB.
+    pub base_usage_gb_per_user: f64,
+    /// Month-over-month multiplicative growth (0.05 = +5%/month).
+    pub monthly_growth: f64,
+    /// Physical/logical overhead ratio (replication, snapshots).
+    pub physical_overhead: f64,
+    /// Per-user (soft, hard) quota in GB, if the filesystem enforces one.
+    pub quota_gb: Option<(f64, f64)>,
+}
+
+impl FilesystemProfile {
+    /// CCR-like Isilon home filesystem: persistent, quota'd.
+    pub fn isilon_home() -> Self {
+        FilesystemProfile {
+            name: "isilon-home".into(),
+            mountpoint: "/home".into(),
+            resource_type: "persistent".into(),
+            n_users: 80,
+            base_files_per_user: 40_000.0,
+            base_usage_gb_per_user: 35.0,
+            monthly_growth: 0.045,
+            physical_overhead: 1.25,
+            quota_gb: Some((100.0, 120.0)),
+        }
+    }
+
+    /// CCR-like GPFS scratch filesystem: volatile, no quota.
+    pub fn gpfs_scratch() -> Self {
+        FilesystemProfile {
+            name: "gpfs-scratch".into(),
+            mountpoint: "/scratch".into(),
+            resource_type: "scratch".into(),
+            n_users: 55,
+            base_files_per_user: 90_000.0,
+            base_usage_gb_per_user: 220.0,
+            monthly_growth: 0.03,
+            physical_overhead: 1.1,
+            quota_gb: None,
+        }
+    }
+}
+
+/// The storage simulator.
+#[derive(Debug, Clone)]
+pub struct StorageSim {
+    filesystems: Vec<FilesystemProfile>,
+    seed: u64,
+}
+
+impl StorageSim {
+    /// Build from explicit filesystem profiles.
+    pub fn new(filesystems: Vec<FilesystemProfile>, seed: u64) -> Self {
+        StorageSim { filesystems, seed }
+    }
+
+    /// CCR-like preset: Isilon home + GPFS scratch.
+    pub fn ccr(seed: u64) -> Self {
+        StorageSim::new(
+            vec![
+                FilesystemProfile::isilon_home(),
+                FilesystemProfile::gpfs_scratch(),
+            ],
+            seed,
+        )
+    }
+
+    /// The configured filesystems.
+    pub fn filesystems(&self) -> &[FilesystemProfile] {
+        &self.filesystems
+    }
+
+    /// Generate the JSON sample document for one month: one sample per
+    /// (filesystem, user), taken at the end of the month.
+    pub fn json_document(&self, year: i32, month: u8) -> String {
+        let last_day = days_in_month(year, month);
+        let ts = CivilDate::new(year, month, last_day).to_epoch() + 23 * 3600 + 59 * 60;
+        let ts_str = format_iso_datetime(ts);
+        let growth_exp = f64::from(month - 1);
+        let mut samples = Vec::new();
+        for (fs_idx, fs) in self.filesystems.iter().enumerate() {
+            let mut rng = SimRng::new(
+                self.seed ^ (fs_idx as u64) << 32 ^ u64::from(month) << 8 ^ year as u64,
+            );
+            let growth = (1.0 + fs.monthly_growth).powf(growth_exp);
+            for user_idx in 0..fs.n_users {
+                // Heavy-tailed per-user scale, stable across months for
+                // the same user.
+                let mut user_rng = SimRng::new(self.seed ^ ((fs_idx as u64) << 48) ^ user_idx as u64);
+                let user_scale = user_rng.lognormal(1.0, 0.9);
+                let wobble = 0.97 + 0.06 * rng.uniform();
+                let files =
+                    (fs.base_files_per_user * user_scale * growth * wobble).round() as i64;
+                let logical = fs.base_usage_gb_per_user * user_scale * growth * wobble;
+                let physical = logical * fs.physical_overhead;
+                let mut obj = json!({
+                    "ts": ts_str,
+                    "filesystem": fs.name,
+                    "mountpoint": fs.mountpoint,
+                    "resource_type": fs.resource_type,
+                    "user": format!("user{user_idx:03}"),
+                    "pi": format!("pi{:02}", user_idx / 5),
+                    "system_username": format!("u{user_idx:05}"),
+                    "file_count": files.max(0),
+                    "logical_usage_gb": round3(logical),
+                    "physical_usage_gb": round3(physical),
+                });
+                if let Some((soft, hard)) = fs.quota_gb {
+                    obj["soft_quota_gb"] = json!(soft);
+                    obj["hard_quota_gb"] = json!(hard);
+                }
+                samples.push(obj);
+            }
+        }
+        serde_json::to_string(&samples).expect("samples serialize")
+    }
+
+    /// Generate documents for every month of a year.
+    pub fn year_documents(&self, year: i32) -> Vec<String> {
+        (1..=12).map(|m| self.json_document(year, m)).collect()
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_deterministic() {
+        let a = StorageSim::ccr(9).json_document(2017, 4);
+        let b = StorageSim::ccr(9).json_document(2017, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, StorageSim::ccr(10).json_document(2017, 4));
+    }
+
+    #[test]
+    fn documents_validate_against_ingest_schema() {
+        let doc = StorageSim::ccr(3).json_document(2017, 6);
+        let (rows, report) = xdmod_ingest::storage_json::shred(&doc).unwrap();
+        assert_eq!(report.skipped, 0);
+        assert_eq!(rows.len(), 80 + 55);
+        let schema = xdmod_realms::storage::fact_schema();
+        for row in rows {
+            schema.check_row(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn fig6_shape_totals_grow_month_over_month() {
+        let sim = StorageSim::ccr(1);
+        let mut prev_files = 0i64;
+        let mut prev_physical = 0.0f64;
+        for month in 1..=12u8 {
+            let doc = sim.json_document(2017, month);
+            let samples: Vec<serde_json::Value> = serde_json::from_str(&doc).unwrap();
+            let files: i64 = samples
+                .iter()
+                .map(|s| s["file_count"].as_i64().unwrap())
+                .sum();
+            let physical: f64 = samples
+                .iter()
+                .map(|s| s["physical_usage_gb"].as_f64().unwrap())
+                .sum();
+            assert!(files > prev_files, "month {month}: files shrank");
+            assert!(physical > prev_physical, "month {month}: usage shrank");
+            prev_files = files;
+            prev_physical = physical;
+        }
+    }
+
+    #[test]
+    fn scratch_has_no_quota_home_does() {
+        let doc = StorageSim::ccr(5).json_document(2017, 1);
+        let samples: Vec<serde_json::Value> = serde_json::from_str(&doc).unwrap();
+        let home = samples
+            .iter()
+            .find(|s| s["filesystem"] == "isilon-home")
+            .unwrap();
+        let scratch = samples
+            .iter()
+            .find(|s| s["filesystem"] == "gpfs-scratch")
+            .unwrap();
+        assert!(home.get("soft_quota_gb").is_some());
+        assert!(scratch.get("soft_quota_gb").is_none());
+    }
+
+    #[test]
+    fn year_documents_cover_twelve_months() {
+        assert_eq!(StorageSim::ccr(2).year_documents(2017).len(), 12);
+    }
+
+    #[test]
+    fn per_user_scale_is_stable_across_months() {
+        // The same user should stay a heavy or light user all year.
+        let sim = StorageSim::ccr(8);
+        let get_user = |month: u8| -> f64 {
+            let doc = sim.json_document(2017, month);
+            let samples: Vec<serde_json::Value> = serde_json::from_str(&doc).unwrap();
+            samples
+                .iter()
+                .find(|s| s["filesystem"] == "isilon-home" && s["user"] == "user007")
+                .unwrap()["logical_usage_gb"]
+                .as_f64()
+                .unwrap()
+        };
+        let jan = get_user(1);
+        let dec = get_user(12);
+        // Growth plus noise, but within a factor reflecting (1.045)^11.
+        let ratio = dec / jan;
+        assert!(ratio > 1.3 && ratio < 2.0, "ratio {ratio}");
+    }
+}

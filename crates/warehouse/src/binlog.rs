@@ -1,0 +1,731 @@
+//! The warehouse binary log.
+//!
+//! Federation in the paper is built on binlog replication: "Tungsten reads
+//! binary logs on the XDMoD instance databases, copying their tables into
+//! new, uniquely named schemas ... on the XDMoD federation hub's database"
+//! (§II-C1). This module provides that binary log: every mutation applied
+//! to a [`crate::database::Database`] is framed, checksummed, and appended
+//! here, and replicators tail it from a saved [`LogPosition`].
+//!
+//! # Wire format
+//!
+//! Each record is:
+//!
+//! ```text
+//! +---------+---------+---------+------------------+---------+
+//! | len u32 | epoch   | seqno   | payload (len-16B)| crc u32 |
+//! |         | u32     | u64     |                  |         |
+//! +---------+---------+---------+------------------+---------+
+//! ```
+//!
+//! `len` counts everything after itself (epoch..crc). The CRC covers
+//! epoch, seqno, and payload. Integers are little-endian. The payload is a
+//! tag byte followed by tag-specific fields; see [`EventPayload`].
+
+use crate::checksum::crc32;
+use crate::error::{Result, WarehouseError};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::value::{ColumnType, Row, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in a binlog: `(epoch, seqno)` lexicographic.
+///
+/// `epoch` increments when a log is truncated/regenerated (e.g. a satellite
+/// database rebuilt from the hub, §II-E4); `seqno` increments per record.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LogPosition {
+    /// Log generation.
+    pub epoch: u32,
+    /// Record sequence number within the generation (first record is 1).
+    pub seqno: u64,
+}
+
+impl LogPosition {
+    /// The position before any record of generation 0.
+    pub const START: LogPosition = LogPosition { epoch: 0, seqno: 0 };
+}
+
+impl fmt::Display for LogPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.epoch, self.seqno)
+    }
+}
+
+/// A logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventPayload {
+    /// A schema (namespace) was created.
+    CreateSchema {
+        /// Schema name.
+        schema: String,
+    },
+    /// A table was created inside a schema.
+    CreateTable {
+        /// Schema name.
+        schema: String,
+        /// Full table definition.
+        def: TableSchema,
+    },
+    /// A batch of rows was inserted into a table.
+    InsertBatch {
+        /// Schema name.
+        schema: String,
+        /// Table name.
+        table: String,
+        /// The inserted rows, already schema-validated.
+        rows: Vec<Row>,
+    },
+    /// A table's rows were deleted (used by re-aggregation).
+    Truncate {
+        /// Schema name.
+        schema: String,
+        /// Table name.
+        table: String,
+    },
+}
+
+impl EventPayload {
+    /// Schema this event touches.
+    pub fn schema(&self) -> &str {
+        match self {
+            EventPayload::CreateSchema { schema }
+            | EventPayload::CreateTable { schema, .. }
+            | EventPayload::InsertBatch { schema, .. }
+            | EventPayload::Truncate { schema, .. } => schema,
+        }
+    }
+
+    /// Table this event touches, if any.
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            EventPayload::CreateSchema { .. } => None,
+            EventPayload::CreateTable { def, .. } => Some(&def.name),
+            EventPayload::InsertBatch { table, .. } | EventPayload::Truncate { table, .. } => {
+                Some(table)
+            }
+        }
+    }
+
+    /// Return a copy with the schema renamed — the Tungsten "rename the
+    /// data schema during transfer" feature the federation hub relies on.
+    pub fn with_schema(&self, new_schema: &str) -> EventPayload {
+        let mut clone = self.clone();
+        match &mut clone {
+            EventPayload::CreateSchema { schema }
+            | EventPayload::CreateTable { schema, .. }
+            | EventPayload::InsertBatch { schema, .. }
+            | EventPayload::Truncate { schema, .. } => {
+                *schema = new_schema.to_owned();
+            }
+        }
+        clone
+    }
+}
+
+/// A decoded binlog record: position plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinlogEvent {
+    /// Where in the log this record sits.
+    pub position: LogPosition,
+    /// The mutation.
+    pub payload: EventPayload,
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------
+
+const TAG_CREATE_SCHEMA: u8 = 1;
+const TAG_CREATE_TABLE: u8 = 2;
+const TAG_INSERT_BATCH: u8 = 3;
+const TAG_TRUNCATE: u8 = 4;
+
+const VTAG_NULL: u8 = 0;
+const VTAG_INT: u8 = 1;
+const VTAG_FLOAT: u8 = 2;
+const VTAG_STR: u8 = 3;
+const VTAG_TIME: u8 = 4;
+const VTAG_BOOL: u8 = 5;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(WarehouseError::CorruptBinlog("short string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(WarehouseError::CorruptBinlog("short string body".into()));
+    }
+    let bytes = buf.split_to(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| WarehouseError::CorruptBinlog("invalid utf8".into()))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(VTAG_NULL),
+        Value::Int(i) => {
+            buf.put_u8(VTAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(VTAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(VTAG_STR);
+            put_str(buf, s);
+        }
+        Value::Time(t) => {
+            buf.put_u8(VTAG_TIME);
+            buf.put_i64_le(*t);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(VTAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(WarehouseError::CorruptBinlog("missing value tag".into()));
+    }
+    let tag = buf.get_u8();
+    let need = |buf: &Bytes, n: usize, what: &str| -> Result<()> {
+        if buf.remaining() < n {
+            Err(WarehouseError::CorruptBinlog(format!("short {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    match tag {
+        VTAG_NULL => Ok(Value::Null),
+        VTAG_INT => {
+            need(buf, 8, "int")?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        VTAG_FLOAT => {
+            need(buf, 8, "float")?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        VTAG_STR => Ok(Value::Str(get_str(buf)?)),
+        VTAG_TIME => {
+            need(buf, 8, "time")?;
+            Ok(Value::Time(buf.get_i64_le()))
+        }
+        VTAG_BOOL => {
+            need(buf, 1, "bool")?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        other => Err(WarehouseError::CorruptBinlog(format!(
+            "unknown value tag {other}"
+        ))),
+    }
+}
+
+fn column_type_code(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Str => 2,
+        ColumnType::Time => 3,
+        ColumnType::Bool => 4,
+    }
+}
+
+fn column_type_from_code(code: u8) -> Result<ColumnType> {
+    Ok(match code {
+        0 => ColumnType::Int,
+        1 => ColumnType::Float,
+        2 => ColumnType::Str,
+        3 => ColumnType::Time,
+        4 => ColumnType::Bool,
+        other => {
+            return Err(WarehouseError::CorruptBinlog(format!(
+                "unknown column type code {other}"
+            )))
+        }
+    })
+}
+
+fn put_table_schema(buf: &mut BytesMut, def: &TableSchema) {
+    put_str(buf, &def.name);
+    buf.put_u32_le(def.columns.len() as u32);
+    for c in &def.columns {
+        put_str(buf, &c.name);
+        buf.put_u8(column_type_code(c.ty));
+        buf.put_u8(u8::from(c.nullable));
+    }
+}
+
+fn get_table_schema(buf: &mut Bytes) -> Result<TableSchema> {
+    let name = get_str(buf)?;
+    if buf.remaining() < 4 {
+        return Err(WarehouseError::CorruptBinlog("short column count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cname = get_str(buf)?;
+        if buf.remaining() < 2 {
+            return Err(WarehouseError::CorruptBinlog("short column def".into()));
+        }
+        let ty = column_type_from_code(buf.get_u8())?;
+        let nullable = buf.get_u8() != 0;
+        columns.push(ColumnDef {
+            name: cname,
+            ty,
+            nullable,
+        });
+    }
+    TableSchema::new(&name, columns)
+        .map_err(|e| WarehouseError::CorruptBinlog(format!("bad schema in log: {e}")))
+}
+
+/// Encode a payload to bytes (without framing).
+pub fn encode_payload(payload: &EventPayload) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match payload {
+        EventPayload::CreateSchema { schema } => {
+            buf.put_u8(TAG_CREATE_SCHEMA);
+            put_str(&mut buf, schema);
+        }
+        EventPayload::CreateTable { schema, def } => {
+            buf.put_u8(TAG_CREATE_TABLE);
+            put_str(&mut buf, schema);
+            put_table_schema(&mut buf, def);
+        }
+        EventPayload::InsertBatch {
+            schema,
+            table,
+            rows,
+        } => {
+            buf.put_u8(TAG_INSERT_BATCH);
+            put_str(&mut buf, schema);
+            put_str(&mut buf, table);
+            buf.put_u32_le(rows.len() as u32);
+            for row in rows {
+                buf.put_u32_le(row.len() as u32);
+                for v in row {
+                    put_value(&mut buf, v);
+                }
+            }
+        }
+        EventPayload::Truncate { schema, table } => {
+            buf.put_u8(TAG_TRUNCATE);
+            put_str(&mut buf, schema);
+            put_str(&mut buf, table);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a payload from bytes (without framing).
+pub fn decode_payload(mut buf: Bytes) -> Result<EventPayload> {
+    if !buf.has_remaining() {
+        return Err(WarehouseError::CorruptBinlog("empty payload".into()));
+    }
+    let tag = buf.get_u8();
+    let payload = match tag {
+        TAG_CREATE_SCHEMA => EventPayload::CreateSchema {
+            schema: get_str(&mut buf)?,
+        },
+        TAG_CREATE_TABLE => {
+            let schema = get_str(&mut buf)?;
+            let def = get_table_schema(&mut buf)?;
+            EventPayload::CreateTable { schema, def }
+        }
+        TAG_INSERT_BATCH => {
+            let schema = get_str(&mut buf)?;
+            let table = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(WarehouseError::CorruptBinlog("short row count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut rows = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                if buf.remaining() < 4 {
+                    return Err(WarehouseError::CorruptBinlog("short row arity".into()));
+                }
+                let arity = buf.get_u32_le() as usize;
+                let mut row = Vec::with_capacity(arity.min(1 << 16));
+                for _ in 0..arity {
+                    row.push(get_value(&mut buf)?);
+                }
+                rows.push(row);
+            }
+            EventPayload::InsertBatch {
+                schema,
+                table,
+                rows,
+            }
+        }
+        TAG_TRUNCATE => {
+            let schema = get_str(&mut buf)?;
+            let table = get_str(&mut buf)?;
+            EventPayload::Truncate { schema, table }
+        }
+        other => {
+            return Err(WarehouseError::CorruptBinlog(format!(
+                "unknown event tag {other}"
+            )))
+        }
+    };
+    if buf.has_remaining() {
+        return Err(WarehouseError::CorruptBinlog(format!(
+            "{} trailing bytes after payload",
+            buf.remaining()
+        )));
+    }
+    Ok(payload)
+}
+
+/// An append-only binary log with framed, checksummed records.
+#[derive(Debug, Default)]
+pub struct Binlog {
+    /// Current generation.
+    epoch: u32,
+    /// Sequence number of the last appended record (0 = none).
+    last_seqno: u64,
+    /// Raw framed bytes of the current generation.
+    bytes: BytesMut,
+    /// Byte offset of each record, indexed by `seqno - 1`.
+    offsets: Vec<usize>,
+}
+
+impl Binlog {
+    /// Empty log at generation 0.
+    pub fn new() -> Self {
+        Binlog::default()
+    }
+
+    /// Position of the last appended record (or `(epoch, 0)` if empty).
+    pub fn position(&self) -> LogPosition {
+        LogPosition {
+            epoch: self.epoch,
+            seqno: self.last_seqno,
+        }
+    }
+
+    /// Number of records in the current generation.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if no records have been appended in this generation.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Total framed size in bytes of the current generation.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Append a payload; returns its position.
+    pub fn append(&mut self, payload: &EventPayload) -> LogPosition {
+        let seqno = self.last_seqno + 1;
+        let pos = LogPosition {
+            epoch: self.epoch,
+            seqno,
+        };
+        let body = encode_payload(payload);
+        let mut framed = BytesMut::with_capacity(body.len() + 20);
+        framed.put_u32_le((body.len() + 16) as u32); // epoch+seqno+payload+crc
+        framed.put_u32_le(pos.epoch);
+        framed.put_u64_le(pos.seqno);
+        framed.put_slice(&body);
+        let crc = {
+            // CRC covers epoch, seqno, payload (bytes after the length).
+            let covered = &framed[4..];
+            crc32(covered)
+        };
+        framed.put_u32_le(crc);
+        self.offsets.push(self.bytes.len());
+        self.bytes.extend_from_slice(&framed);
+        self.last_seqno = seqno;
+        pos
+    }
+
+    /// Start a new generation, discarding all records. Used when a
+    /// database is regenerated (e.g. restored from the federation hub).
+    pub fn rotate_epoch(&mut self) {
+        self.epoch += 1;
+        self.last_seqno = 0;
+        self.bytes.clear();
+        self.offsets.clear();
+    }
+
+    /// Decode and return every record strictly after `after`.
+    ///
+    /// If `after.epoch` predates the current generation the entire log is
+    /// returned (the consumer must resynchronize from scratch); positions
+    /// from a *future* epoch yield an error.
+    pub fn read_after(&self, after: LogPosition) -> Result<Vec<BinlogEvent>> {
+        if after.epoch > self.epoch {
+            return Err(WarehouseError::CorruptBinlog(format!(
+                "position {after} is from a future epoch (log at {})",
+                self.epoch
+            )));
+        }
+        let start_seqno = if after.epoch < self.epoch {
+            0
+        } else {
+            after.seqno
+        };
+        let mut out = Vec::new();
+        for seqno in (start_seqno + 1)..=self.last_seqno {
+            out.push(self.record_at(seqno)?);
+        }
+        Ok(out)
+    }
+
+    /// Decode the record with sequence number `seqno` (1-based).
+    pub fn record_at(&self, seqno: u64) -> Result<BinlogEvent> {
+        let idx = (seqno as usize)
+            .checked_sub(1)
+            .filter(|i| *i < self.offsets.len())
+            .ok_or_else(|| WarehouseError::CorruptBinlog(format!("no record {seqno}")))?;
+        let offset = self.offsets[idx];
+        let mut slice = Bytes::copy_from_slice(&self.bytes[offset..]);
+        decode_framed(&mut slice)
+    }
+
+    /// Export the raw framed bytes of records after `after` — this is what
+    /// "loose" federation ships as files (§II-C2).
+    pub fn export_after(&self, after: LogPosition) -> Result<Bytes> {
+        if after.epoch > self.epoch {
+            return Err(WarehouseError::CorruptBinlog(format!(
+                "position {after} is from a future epoch (log at {})",
+                self.epoch
+            )));
+        }
+        let start_seqno = if after.epoch < self.epoch {
+            0
+        } else {
+            after.seqno
+        };
+        if start_seqno >= self.last_seqno {
+            return Ok(Bytes::new());
+        }
+        let offset = self.offsets[start_seqno as usize];
+        Ok(Bytes::copy_from_slice(&self.bytes[offset..]))
+    }
+}
+
+/// Decode one framed record from the front of `buf`, advancing it.
+pub fn decode_framed(buf: &mut Bytes) -> Result<BinlogEvent> {
+    if buf.remaining() < 4 {
+        return Err(WarehouseError::CorruptBinlog("short frame length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len < 16 || buf.remaining() < len {
+        return Err(WarehouseError::CorruptBinlog(format!(
+            "bad frame length {len}"
+        )));
+    }
+    let frame = buf.split_to(len);
+    let covered = &frame[..len - 4];
+    let stored_crc = u32::from_le_bytes([
+        frame[len - 4],
+        frame[len - 3],
+        frame[len - 2],
+        frame[len - 1],
+    ]);
+    if crc32(covered) != stored_crc {
+        return Err(WarehouseError::CorruptBinlog("crc mismatch".into()));
+    }
+    let mut body = frame.slice(..len - 4);
+    let epoch = body.get_u32_le();
+    let seqno = body.get_u64_le();
+    let payload = decode_payload(body)?;
+    Ok(BinlogEvent {
+        position: LogPosition { epoch, seqno },
+        payload,
+    })
+}
+
+/// Decode every framed record in `buf` (e.g. a shipped loose-federation
+/// file).
+pub fn decode_stream(mut buf: Bytes) -> Result<Vec<BinlogEvent>> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        out.push(decode_framed(&mut buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn sample_schema() -> TableSchema {
+        SchemaBuilder::new("jobfact")
+            .required("resource", ColumnType::Str)
+            .required("cpu_hours", ColumnType::Float)
+            .nullable("queue", ColumnType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_insert() -> EventPayload {
+        EventPayload::InsertBatch {
+            schema: "xdmod_x".into(),
+            table: "jobfact".into(),
+            rows: vec![
+                vec![
+                    Value::Str("comet".into()),
+                    Value::Float(12.5),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Str("stampede".into()),
+                    Value::Float(0.25),
+                    Value::Str("normal".into()),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn payload_round_trip_all_variants() {
+        let payloads = vec![
+            EventPayload::CreateSchema {
+                schema: "xdmod_y".into(),
+            },
+            EventPayload::CreateTable {
+                schema: "xdmod_y".into(),
+                def: sample_schema(),
+            },
+            sample_insert(),
+            EventPayload::Truncate {
+                schema: "xdmod_y".into(),
+                table: "jobfact".into(),
+            },
+        ];
+        for p in payloads {
+            let enc = encode_payload(&p);
+            let dec = decode_payload(enc).unwrap();
+            assert_eq!(dec, p);
+        }
+    }
+
+    #[test]
+    fn append_and_read_after() {
+        let mut log = Binlog::new();
+        assert!(log.is_empty());
+        let p1 = log.append(&EventPayload::CreateSchema {
+            schema: "s".into(),
+        });
+        let p2 = log.append(&sample_insert());
+        assert_eq!(p1.seqno, 1);
+        assert_eq!(p2.seqno, 2);
+        assert_eq!(log.position(), p2);
+
+        let all = log.read_after(LogPosition::START).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].position, p1);
+
+        let tail = log.read_after(p1).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].position, p2);
+
+        let none = log.read_after(p2).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn epoch_rotation_resets_and_invalidates_positions() {
+        let mut log = Binlog::new();
+        log.append(&sample_insert());
+        let old = log.position();
+        log.rotate_epoch();
+        assert_eq!(log.position(), LogPosition { epoch: 1, seqno: 0 });
+        // Reading from an old-epoch position returns the whole new log.
+        log.append(&sample_insert());
+        let events = log.read_after(old).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].position.epoch, 1);
+        // Future-epoch positions are rejected.
+        let future = LogPosition { epoch: 9, seqno: 0 };
+        assert!(log.read_after(future).is_err());
+    }
+
+    #[test]
+    fn export_and_decode_stream() {
+        let mut log = Binlog::new();
+        log.append(&EventPayload::CreateSchema {
+            schema: "s".into(),
+        });
+        let mid = log.position();
+        log.append(&sample_insert());
+        log.append(&sample_insert());
+
+        let full = log.export_after(LogPosition::START).unwrap();
+        assert_eq!(decode_stream(full).unwrap().len(), 3);
+
+        let tail = log.export_after(mid).unwrap();
+        let events = decode_stream(tail).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].position.seqno, 2);
+
+        assert!(log.export_after(log.position()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut log = Binlog::new();
+        log.append(&sample_insert());
+        let mut raw = log.export_after(LogPosition::START).unwrap().to_vec();
+        // Flip a byte in the payload region.
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        let err = decode_stream(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, WarehouseError::CorruptBinlog(_)));
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let mut log = Binlog::new();
+        log.append(&sample_insert());
+        let raw = log.export_after(LogPosition::START).unwrap();
+        let cut = raw.slice(..raw.len() - 3);
+        assert!(decode_stream(cut).is_err());
+    }
+
+    #[test]
+    fn with_schema_renames_every_variant() {
+        for p in [
+            EventPayload::CreateSchema {
+                schema: "old".into(),
+            },
+            EventPayload::CreateTable {
+                schema: "old".into(),
+                def: sample_schema(),
+            },
+            EventPayload::Truncate {
+                schema: "old".into(),
+                table: "t".into(),
+            },
+        ] {
+            assert_eq!(p.with_schema("new").schema(), "new");
+        }
+    }
+
+    #[test]
+    fn record_at_out_of_range() {
+        let log = Binlog::new();
+        assert!(log.record_at(0).is_err());
+        assert!(log.record_at(1).is_err());
+    }
+}

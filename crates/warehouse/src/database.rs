@@ -1,0 +1,406 @@
+//! The warehouse database: named schemas of tables plus a binary log.
+//!
+//! One [`Database`] models one XDMoD instance's MySQL server. Satellite
+//! instances keep their realm tables in a schema named after the instance;
+//! the federation hub holds *one schema per satellite* (the Tungsten
+//! rename-on-transfer pattern, §II-C1) plus its own aggregate schemas.
+
+use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition};
+use crate::error::{Result, WarehouseError};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Row;
+use std::collections::BTreeMap;
+
+/// A database: an ordered map of schemas, each an ordered map of tables,
+/// with every mutation recorded in an embedded binlog.
+#[derive(Debug, Default)]
+pub struct Database {
+    schemas: BTreeMap<String, BTreeMap<String, Table>>,
+    binlog: Binlog,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create a schema (namespace). Errors if it already exists.
+    pub fn create_schema(&mut self, name: &str) -> Result<LogPosition> {
+        if self.schemas.contains_key(name) {
+            return Err(WarehouseError::AlreadyExists(format!("schema {name}")));
+        }
+        self.schemas.insert(name.to_owned(), BTreeMap::new());
+        Ok(self.binlog.append(&EventPayload::CreateSchema {
+            schema: name.to_owned(),
+        }))
+    }
+
+    /// Create a schema if absent; no-op (and no binlog record) otherwise.
+    pub fn ensure_schema(&mut self, name: &str) -> Result<()> {
+        if !self.schemas.contains_key(name) {
+            self.create_schema(name)?;
+        }
+        Ok(())
+    }
+
+    /// Create a table. Errors if the schema is missing or the table exists.
+    pub fn create_table(&mut self, schema: &str, def: TableSchema) -> Result<LogPosition> {
+        let tables = self
+            .schemas
+            .get_mut(schema)
+            .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?;
+        if tables.contains_key(&def.name) {
+            return Err(WarehouseError::AlreadyExists(format!(
+                "table {schema}.{}",
+                def.name
+            )));
+        }
+        let event = EventPayload::CreateTable {
+            schema: schema.to_owned(),
+            def: def.clone(),
+        };
+        tables.insert(def.name.clone(), Table::new(def));
+        Ok(self.binlog.append(&event))
+    }
+
+    /// Create a table if absent, verifying the definition matches when it
+    /// already exists.
+    pub fn ensure_table(&mut self, schema: &str, def: TableSchema) -> Result<()> {
+        if let Ok(existing) = self.table(schema, &def.name) {
+            if *existing.schema() != def {
+                return Err(WarehouseError::SchemaMismatch(format!(
+                    "table {schema}.{} exists with a different definition",
+                    def.name
+                )));
+            }
+            return Ok(());
+        }
+        self.create_table(schema, def)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Insert a batch of rows, validating against the table schema. The
+    /// batch is atomic: either all rows land (and one binlog record is
+    /// written) or none do.
+    pub fn insert(&mut self, schema: &str, table: &str, rows: Vec<Row>) -> Result<LogPosition> {
+        if rows.is_empty() {
+            // Nothing to do; return current position without logging an
+            // empty batch.
+            return Ok(self.binlog.position());
+        }
+        let t = self.table_mut(schema, table)?;
+        let stored = t.insert_batch(rows)?;
+        Ok(self.binlog.append(&EventPayload::InsertBatch {
+            schema: schema.to_owned(),
+            table: table.to_owned(),
+            rows: stored,
+        }))
+    }
+
+    /// Delete all rows of a table (used when rebuilding aggregates).
+    pub fn truncate(&mut self, schema: &str, table: &str) -> Result<LogPosition> {
+        let t = self.table_mut(schema, table)?;
+        t.truncate();
+        Ok(self.binlog.append(&EventPayload::Truncate {
+            schema: schema.to_owned(),
+            table: table.to_owned(),
+        }))
+    }
+
+    /// Apply a replicated event to this database.
+    ///
+    /// This is the *apply* side of Tungsten-style replication: the event
+    /// came from another database's binlog (possibly schema-renamed) and
+    /// is re-executed here, which also re-logs it — enabling chained
+    /// topologies (satellite → hub → backup hub, §II-C4).
+    ///
+    /// `CreateSchema`/`CreateTable` are idempotent on apply so a restarted
+    /// replicator can safely replay from an older position.
+    pub fn apply_event(&mut self, payload: &EventPayload) -> Result<()> {
+        match payload {
+            EventPayload::CreateSchema { schema } => {
+                self.ensure_schema(schema)?;
+            }
+            EventPayload::CreateTable { schema, def } => {
+                self.ensure_schema(schema)?;
+                self.ensure_table(schema, def.clone())?;
+            }
+            EventPayload::InsertBatch {
+                schema,
+                table,
+                rows,
+            } => {
+                self.insert(schema, table, rows.clone())?;
+            }
+            EventPayload::Truncate { schema, table } => {
+                self.truncate(schema, table)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Names of all schemas.
+    pub fn schema_names(&self) -> Vec<&str> {
+        self.schemas.keys().map(String::as_str).collect()
+    }
+
+    /// True if the schema exists.
+    pub fn has_schema(&self, schema: &str) -> bool {
+        self.schemas.contains_key(schema)
+    }
+
+    /// Names of all tables in a schema.
+    pub fn table_names(&self, schema: &str) -> Result<Vec<&str>> {
+        self.schemas
+            .get(schema)
+            .map(|t| t.keys().map(String::as_str).collect())
+            .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, schema: &str, table: &str) -> Result<&Table> {
+        self.schemas
+            .get(schema)
+            .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?
+            .get(table)
+            .ok_or_else(|| WarehouseError::UnknownTable {
+                schema: schema.to_owned(),
+                table: table.to_owned(),
+            })
+    }
+
+    fn table_mut(&mut self, schema: &str, table: &str) -> Result<&mut Table> {
+        self.schemas
+            .get_mut(schema)
+            .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?
+            .get_mut(table)
+            .ok_or_else(|| WarehouseError::UnknownTable {
+                schema: schema.to_owned(),
+                table: table.to_owned(),
+            })
+    }
+
+    /// Total row count across every table (diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.schemas
+            .values()
+            .flat_map(|t| t.values())
+            .map(Table::len)
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Binlog access
+    // ------------------------------------------------------------------
+
+    /// Current binlog position (what a replicator saves as its watermark).
+    pub fn binlog_position(&self) -> LogPosition {
+        self.binlog.position()
+    }
+
+    /// All binlog records strictly after `after`.
+    pub fn binlog_after(&self, after: LogPosition) -> Result<Vec<BinlogEvent>> {
+        self.binlog.read_after(after)
+    }
+
+    /// Raw framed binlog bytes after `after` (loose-federation export).
+    pub fn binlog_export(&self, after: LogPosition) -> Result<bytes::Bytes> {
+        self.binlog.export_after(after)
+    }
+
+    /// Number of records in the current binlog generation.
+    pub fn binlog_len(&self) -> usize {
+        self.binlog.len()
+    }
+
+    /// Wipe all data and start a new binlog generation. Used when a
+    /// database is regenerated from the federation hub (backup use case,
+    /// §II-E4).
+    pub fn reset_for_restore(&mut self) {
+        self.schemas.clear();
+        self.binlog.rotate_epoch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{ColumnType, Value};
+
+    fn jobfact() -> TableSchema {
+        SchemaBuilder::new("jobfact")
+            .required("resource", ColumnType::Str)
+            .required("cpu_hours", ColumnType::Float)
+            .build()
+            .unwrap()
+    }
+
+    fn populated() -> Database {
+        let mut db = Database::new();
+        db.create_schema("xdmod_x").unwrap();
+        db.create_table("xdmod_x", jobfact()).unwrap();
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("comet".into()), Value::Float(3.0)]],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_and_dml_are_logged_in_order() {
+        let db = populated();
+        let events = db.binlog_after(LogPosition::START).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0].payload,
+            EventPayload::CreateSchema { .. }
+        ));
+        assert!(matches!(
+            events[1].payload,
+            EventPayload::CreateTable { .. }
+        ));
+        assert!(matches!(
+            events[2].payload,
+            EventPayload::InsertBatch { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_ddl_rejected() {
+        let mut db = populated();
+        assert!(matches!(
+            db.create_schema("xdmod_x"),
+            Err(WarehouseError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            db.create_table("xdmod_x", jobfact()),
+            Err(WarehouseError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn ensure_table_checks_definition() {
+        let mut db = populated();
+        db.ensure_table("xdmod_x", jobfact()).unwrap(); // same def: ok
+        let other = SchemaBuilder::new("jobfact")
+            .required("resource", ColumnType::Str)
+            .build()
+            .unwrap();
+        assert!(db.ensure_table("xdmod_x", other).is_err());
+    }
+
+    #[test]
+    fn insert_into_missing_table_errors() {
+        let mut db = populated();
+        assert!(db.insert("xdmod_x", "nope", vec![vec![]]).is_err());
+        assert!(db.insert("nope", "jobfact", vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn empty_insert_writes_no_log_record() {
+        let mut db = populated();
+        let before = db.binlog_len();
+        db.insert("xdmod_x", "jobfact", vec![]).unwrap();
+        assert_eq!(db.binlog_len(), before);
+    }
+
+    #[test]
+    fn replaying_binlog_reproduces_database() {
+        let src = populated();
+        let mut dst = Database::new();
+        for ev in src.binlog_after(LogPosition::START).unwrap() {
+            dst.apply_event(&ev.payload).unwrap();
+        }
+        assert_eq!(
+            src.table("xdmod_x", "jobfact").unwrap().content_checksum(),
+            dst.table("xdmod_x", "jobfact").unwrap().content_checksum()
+        );
+        // And the destination's own binlog re-logged everything, so a
+        // second hop replays identically (chained topology).
+        let mut third = Database::new();
+        for ev in dst.binlog_after(LogPosition::START).unwrap() {
+            third.apply_event(&ev.payload).unwrap();
+        }
+        assert_eq!(
+            src.table("xdmod_x", "jobfact").unwrap().content_checksum(),
+            third
+                .table("xdmod_x", "jobfact")
+                .unwrap()
+                .content_checksum()
+        );
+    }
+
+    #[test]
+    fn apply_event_is_idempotent_for_ddl() {
+        let mut db = Database::new();
+        let ev = EventPayload::CreateSchema {
+            schema: "s".into(),
+        };
+        db.apply_event(&ev).unwrap();
+        db.apply_event(&ev).unwrap(); // replay tolerated
+        let ev = EventPayload::CreateTable {
+            schema: "s".into(),
+            def: jobfact(),
+        };
+        db.apply_event(&ev).unwrap();
+        db.apply_event(&ev).unwrap();
+        assert_eq!(db.table_names("s").unwrap(), vec!["jobfact"]);
+    }
+
+    #[test]
+    fn truncate_logs_and_clears() {
+        let mut db = populated();
+        db.truncate("xdmod_x", "jobfact").unwrap();
+        assert!(db.table("xdmod_x", "jobfact").unwrap().is_empty());
+        let events = db.binlog_after(LogPosition::START).unwrap();
+        assert!(matches!(
+            events.last().unwrap().payload,
+            EventPayload::Truncate { .. }
+        ));
+    }
+
+    #[test]
+    fn reset_for_restore_rotates_epoch() {
+        let mut db = populated();
+        let old_pos = db.binlog_position();
+        db.reset_for_restore();
+        assert!(db.schema_names().is_empty());
+        let pos = db.binlog_position();
+        assert_eq!(pos.epoch, old_pos.epoch + 1);
+        assert_eq!(pos.seqno, 0);
+    }
+
+    #[test]
+    fn total_rows_counts_all_tables() {
+        let mut db = populated();
+        db.create_schema("xdmod_y").unwrap();
+        db.create_table("xdmod_y", jobfact()).unwrap();
+        db.insert(
+            "xdmod_y",
+            "jobfact",
+            vec![
+                vec![Value::Str("a".into()), Value::Float(1.0)],
+                vec![Value::Str("b".into()), Value::Float(2.0)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(db.total_rows(), 3);
+    }
+}

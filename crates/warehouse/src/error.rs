@@ -1,0 +1,88 @@
+//! Error types for the warehouse crate.
+
+use std::fmt;
+
+/// Errors raised by warehouse operations.
+///
+/// The warehouse is the substrate under every XDMoD instance, so these
+/// errors surface through ingestion, aggregation, replication, and
+/// federated queries alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarehouseError {
+    /// A schema (namespace) was referenced that does not exist.
+    UnknownSchema(String),
+    /// A table was referenced that does not exist within its schema.
+    UnknownTable {
+        /// Schema that was searched.
+        schema: String,
+        /// Missing table name.
+        table: String,
+    },
+    /// A column was referenced that does not exist within its table.
+    UnknownColumn {
+        /// Table that was searched.
+        table: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// An attempt to create a schema or table that already exists.
+    AlreadyExists(String),
+    /// A row's arity or column types do not match the table schema.
+    SchemaMismatch(String),
+    /// A binlog record failed checksum or framing validation.
+    CorruptBinlog(String),
+    /// A query was structurally invalid (e.g. aggregate over a string column).
+    InvalidQuery(String),
+    /// A snapshot could not be serialized or deserialized.
+    Snapshot(String),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::UnknownSchema(s) => write!(f, "unknown schema: {s}"),
+            WarehouseError::UnknownTable { schema, table } => {
+                write!(f, "unknown table: {schema}.{table}")
+            }
+            WarehouseError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column} in table {table}")
+            }
+            WarehouseError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            WarehouseError::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
+            WarehouseError::CorruptBinlog(s) => write!(f, "corrupt binlog: {s}"),
+            WarehouseError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
+            WarehouseError::Snapshot(s) => write!(f, "snapshot error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WarehouseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = WarehouseError::UnknownTable {
+            schema: "xdmod_x".into(),
+            table: "jobfact".into(),
+        };
+        assert_eq!(e.to_string(), "unknown table: xdmod_x.jobfact");
+        let e = WarehouseError::UnknownColumn {
+            table: "jobfact".into(),
+            column: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+        assert!(e.to_string().contains("jobfact"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&WarehouseError::UnknownSchema("s".into()));
+    }
+}

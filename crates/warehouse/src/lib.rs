@@ -1,0 +1,57 @@
+//! # xdmod-warehouse
+//!
+//! The data warehouse substrate under every XDMoD instance in this
+//! workspace — a from-scratch, embeddable analytic store standing in for
+//! the MySQL/MariaDB server that production Open XDMoD uses.
+//!
+//! It provides exactly the mechanisms the federation paper builds on:
+//!
+//! - **Named schemas** of typed tables ([`database::Database`]), so the
+//!   federation hub can hold "one schema per XDMoD instance".
+//! - A **binary log** ([`binlog::Binlog`]) of every mutation, with framed,
+//!   CRC-checksummed records and `(epoch, seqno)` positions — the stream a
+//!   Tungsten-style replicator tails.
+//! - **Materialized aggregation tables** ([`aggregate::AggregationSpec`])
+//!   built per calendar period with configurable numeric bins
+//!   ([`bins::Bins`]) — XDMoD's "aggregation levels".
+//! - A **group-by/filter query engine** ([`query::Query`]) with
+//!   rayon-parallel execution, powering every chart and report.
+//! - **Snapshots** ([`persist::Snapshot`]) for loose-federation dump
+//!   shipping and hub-side backup/restore.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod binlog;
+pub mod bins;
+pub mod checksum;
+pub mod database;
+pub mod error;
+pub mod persist;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod time;
+pub mod value;
+
+pub use aggregate::{AggregationSpec, DimSpec};
+pub use binlog::{BinlogEvent, EventPayload, LogPosition};
+pub use bins::{Bin, Bins};
+pub use database::Database;
+pub use error::{Result, WarehouseError};
+pub use persist::Snapshot;
+pub use query::{AggFn, Aggregate, GroupKey, OrderBy, Predicate, Query, ResultSet};
+pub use schema::{ColumnDef, RowBuilder, SchemaBuilder, TableSchema};
+pub use table::Table;
+pub use time::{CivilDate, Period};
+pub use value::{ColumnType, Row, Value};
+
+/// A database shared across threads (ingestors, replicators, query
+/// frontends). `parking_lot::RwLock` follows the workspace's concurrency
+/// guide: many readers (queries, binlog tailers) and one writer (ingest).
+pub type SharedDatabase = std::sync::Arc<parking_lot::RwLock<Database>>;
+
+/// Wrap a database for shared use.
+pub fn shared(db: Database) -> SharedDatabase {
+    std::sync::Arc::new(parking_lot::RwLock::new(db))
+}

@@ -1,0 +1,217 @@
+//! Database snapshots (dump/load).
+//!
+//! "Loose" federation ships **database dumps** to the hub instead of a
+//! live binlog stream (§II-C2), and the backup use case (§II-E4)
+//! regenerates a satellite database from the hub's copy. Both are built on
+//! these snapshots: a serializable image of every schema, table, and row.
+
+use crate::database::Database;
+use crate::error::{Result, WarehouseError};
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A serializable image of (part of) a database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Snapshot format version, for forward compatibility.
+    pub version: u32,
+    /// Schema name → table name → full table (schema + rows).
+    pub schemas: BTreeMap<String, BTreeMap<String, Table>>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl Snapshot {
+    /// Capture every schema of the database.
+    pub fn capture(db: &Database) -> Result<Snapshot> {
+        let names: Vec<String> = db.schema_names().iter().map(|s| s.to_string()).collect();
+        Snapshot::capture_schemas(db, &names)
+    }
+
+    /// Capture only the named schemas (loose federation typically ships a
+    /// single instance schema).
+    pub fn capture_schemas(db: &Database, schema_names: &[String]) -> Result<Snapshot> {
+        let mut schemas = BTreeMap::new();
+        for name in schema_names {
+            let mut tables = BTreeMap::new();
+            for t in db.table_names(name)? {
+                tables.insert(t.to_owned(), db.table(name, t)?.clone());
+            }
+            schemas.insert(name.clone(), tables);
+        }
+        Ok(Snapshot {
+            version: SNAPSHOT_VERSION,
+            schemas,
+        })
+    }
+
+    /// Apply the snapshot into `db`, creating schemas/tables as needed and
+    /// **appending** all rows. Errors if a target table exists with a
+    /// different definition.
+    pub fn apply(&self, db: &mut Database) -> Result<()> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(WarehouseError::Snapshot(format!(
+                "unsupported snapshot version {}",
+                self.version
+            )));
+        }
+        for (schema, tables) in &self.schemas {
+            db.ensure_schema(schema)?;
+            for table in tables.values() {
+                db.ensure_table(schema, table.schema().clone())?;
+                db.insert(schema, table.name(), table.rows().to_vec())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace the entire contents of `db` with this snapshot, rotating
+    /// the binlog epoch — the "regenerate a member instance from the hub"
+    /// restore path.
+    pub fn restore_into(&self, db: &mut Database) -> Result<()> {
+        db.reset_for_restore();
+        self.apply(db)
+    }
+
+    /// Serialize to JSON bytes (the shipped dump file).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| WarehouseError::Snapshot(e.to_string()))
+    }
+
+    /// Parse a dump file.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
+        serde_json::from_slice(bytes).map_err(|e| WarehouseError::Snapshot(e.to_string()))
+    }
+
+    /// Rename the single schema in this snapshot (loose-federation
+    /// equivalent of Tungsten's rename-on-transfer). Errors unless the
+    /// snapshot holds exactly one schema.
+    pub fn into_renamed(mut self, new_schema: &str) -> Result<Snapshot> {
+        if self.schemas.len() != 1 {
+            return Err(WarehouseError::Snapshot(format!(
+                "rename requires exactly one schema, snapshot has {}",
+                self.schemas.len()
+            )));
+        }
+        let (_, tables) = self.schemas.pop_first().expect("len checked");
+        self.schemas.insert(new_schema.to_owned(), tables);
+        Ok(self)
+    }
+
+    /// Total rows in the snapshot.
+    pub fn total_rows(&self) -> usize {
+        self.schemas
+            .values()
+            .flat_map(|t| t.values())
+            .map(Table::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{ColumnType, Value};
+
+    fn populated() -> Database {
+        let mut db = Database::new();
+        for schema in ["xdmod_x", "xdmod_y"] {
+            db.create_schema(schema).unwrap();
+            db.create_table(
+                schema,
+                SchemaBuilder::new("jobfact")
+                    .required("resource", ColumnType::Str)
+                    .required("cpu_hours", ColumnType::Float)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            db.insert(
+                schema,
+                "jobfact",
+                vec![vec![Value::Str(format!("res-{schema}")), Value::Float(1.0)]],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn dump_and_restore_round_trip() {
+        let src = populated();
+        let snap = Snapshot::capture(&src).unwrap();
+        let bytes = snap.to_bytes().unwrap();
+        let parsed = Snapshot::from_bytes(&bytes).unwrap();
+
+        let mut dst = Database::new();
+        parsed.restore_into(&mut dst).unwrap();
+        for schema in ["xdmod_x", "xdmod_y"] {
+            assert_eq!(
+                src.table(schema, "jobfact").unwrap().content_checksum(),
+                dst.table(schema, "jobfact").unwrap().content_checksum()
+            );
+        }
+    }
+
+    #[test]
+    fn capture_subset_of_schemas() {
+        let src = populated();
+        let snap = Snapshot::capture_schemas(&src, &["xdmod_x".to_owned()]).unwrap();
+        assert_eq!(snap.schemas.len(), 1);
+        assert_eq!(snap.total_rows(), 1);
+    }
+
+    #[test]
+    fn capture_unknown_schema_errors() {
+        let src = populated();
+        assert!(Snapshot::capture_schemas(&src, &["nope".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn apply_appends_rows() {
+        let src = populated();
+        let snap = Snapshot::capture_schemas(&src, &["xdmod_x".to_owned()]).unwrap();
+        let mut dst = Database::new();
+        snap.apply(&mut dst).unwrap();
+        snap.apply(&mut dst).unwrap(); // loose-federation double-ship
+        assert_eq!(dst.table("xdmod_x", "jobfact").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn restore_rotates_epoch_and_replaces() {
+        let mut db = populated();
+        let snap = Snapshot::capture_schemas(&db, &["xdmod_x".to_owned()]).unwrap();
+        let epoch_before = db.binlog_position().epoch;
+        snap.restore_into(&mut db).unwrap();
+        assert_eq!(db.binlog_position().epoch, epoch_before + 1);
+        assert_eq!(db.schema_names(), vec!["xdmod_x"]); // xdmod_y gone
+    }
+
+    #[test]
+    fn rename_single_schema() {
+        let src = populated();
+        let snap = Snapshot::capture_schemas(&src, &["xdmod_x".to_owned()])
+            .unwrap()
+            .into_renamed("hub_x")
+            .unwrap();
+        assert!(snap.schemas.contains_key("hub_x"));
+
+        let full = Snapshot::capture(&src).unwrap();
+        assert!(full.into_renamed("hub").is_err()); // two schemas
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let src = populated();
+        let mut snap = Snapshot::capture(&src).unwrap();
+        snap.version = 99;
+        let mut dst = Database::new();
+        assert!(matches!(
+            snap.apply(&mut dst),
+            Err(WarehouseError::Snapshot(_))
+        ));
+    }
+}

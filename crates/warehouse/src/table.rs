@@ -1,0 +1,212 @@
+//! In-memory tables: schema-validated row storage.
+
+use crate::binlog::encode_payload;
+use crate::binlog::EventPayload;
+use crate::checksum::crc32;
+use crate::error::Result;
+use crate::schema::TableSchema;
+use crate::value::{Row, Value};
+use serde::{Deserialize, Serialize};
+
+/// A table: a schema plus row storage.
+///
+/// Rows are stored in insertion order. The warehouse is append-only at the
+/// fact level (XDMoD ingests logs; it does not update history); the only
+/// destructive operation is [`Table::truncate`], used when aggregation
+/// tables are rebuilt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Validate and append a batch of rows; returns the validated rows as
+    /// they were stored (after type coercion) so callers can log them.
+    pub fn insert_batch(&mut self, rows: Vec<Row>) -> Result<Vec<Row>> {
+        let mut checked = Vec::with_capacity(rows.len());
+        for row in rows {
+            checked.push(self.schema.check_row(row)?);
+        }
+        self.rows.extend(checked.iter().cloned());
+        Ok(checked)
+    }
+
+    /// Append rows that are already canonical (came out of a binlog and
+    /// were validated at the source). Still re-checked in debug builds.
+    pub fn insert_checked(&mut self, rows: Vec<Row>) {
+        #[cfg(debug_assertions)]
+        for row in &rows {
+            debug_assert!(
+                self.schema.check_row(row.clone()).is_ok(),
+                "insert_checked received an invalid row for {}",
+                self.schema.name
+            );
+        }
+        self.rows.extend(rows);
+    }
+
+    /// Delete all rows (schema is retained).
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Values of one column across all rows.
+    pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.column_index(column)?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Order-independent content checksum.
+    ///
+    /// Each row is binlog-encoded and CRC'd; per-row digests are combined
+    /// with a wrapping sum (so permutations of the same multiset of rows
+    /// agree) and the row count is mixed in. Used to verify that satellite
+    /// data replicated to the federation hub is unaltered ("the federation
+    /// hub does not alter the raw, replicated data", §II-B).
+    pub fn content_checksum(&self) -> u64 {
+        let mut acc: u64 = 0x9E37_79B9_7F4A_7C15 ^ self.rows.len() as u64;
+        for row in &self.rows {
+            let payload = EventPayload::InsertBatch {
+                schema: String::new(),
+                table: String::new(),
+                rows: vec![row.clone()],
+            };
+            let digest = crc32(&encode_payload(&payload)) as u64;
+            // Spread the 32-bit CRC over 64 bits before summing so
+            // collisions require matching both halves.
+            let spread = digest.wrapping_mul(0x0100_0000_01B3);
+            acc = acc.wrapping_add(spread ^ digest.rotate_left(17));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ColumnType;
+
+    fn table() -> Table {
+        Table::new(
+            SchemaBuilder::new("jobfact")
+                .required("resource", ColumnType::Str)
+                .required("cpu_hours", ColumnType::Float)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn row(res: &str, hours: f64) -> Row {
+        vec![Value::Str(res.into()), Value::Float(hours)]
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        t.insert_batch(vec![row("comet", 1.0), row("stampede", 2.0)])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.column_values("resource").unwrap(),
+            vec![Value::Str("comet".into()), Value::Str("stampede".into())]
+        );
+    }
+
+    #[test]
+    fn insert_batch_is_atomic_per_call() {
+        let mut t = table();
+        // Second row is invalid; nothing should be inserted.
+        let res = t.insert_batch(vec![row("comet", 1.0), vec![Value::Int(3)]]);
+        assert!(res.is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_batch_returns_coerced_rows() {
+        let mut t = table();
+        let stored = t
+            .insert_batch(vec![vec![Value::Str("comet".into()), Value::Int(4)]])
+            .unwrap();
+        assert_eq!(stored[0][1], Value::Float(4.0));
+        assert_eq!(t.rows()[0][1], Value::Float(4.0));
+    }
+
+    #[test]
+    fn truncate_keeps_schema() {
+        let mut t = table();
+        t.insert_batch(vec![row("comet", 1.0)]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert_eq!(t.schema().arity(), 2);
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        let mut a = table();
+        let mut b = table();
+        a.insert_batch(vec![row("comet", 1.0), row("stampede", 2.0)])
+            .unwrap();
+        b.insert_batch(vec![row("stampede", 2.0), row("comet", 1.0)])
+            .unwrap();
+        assert_eq!(a.content_checksum(), b.content_checksum());
+    }
+
+    #[test]
+    fn checksum_detects_content_change() {
+        let mut a = table();
+        let mut b = table();
+        a.insert_batch(vec![row("comet", 1.0)]).unwrap();
+        b.insert_batch(vec![row("comet", 1.5)]).unwrap();
+        assert_ne!(a.content_checksum(), b.content_checksum());
+    }
+
+    #[test]
+    fn checksum_detects_multiplicity_change() {
+        let mut a = table();
+        let mut b = table();
+        a.insert_batch(vec![row("comet", 1.0)]).unwrap();
+        b.insert_batch(vec![row("comet", 1.0), row("comet", 1.0)])
+            .unwrap();
+        assert_ne!(a.content_checksum(), b.content_checksum());
+    }
+
+    #[test]
+    fn empty_tables_with_same_schema_agree() {
+        assert_eq!(table().content_checksum(), table().content_checksum());
+    }
+}

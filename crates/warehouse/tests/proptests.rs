@@ -1,0 +1,170 @@
+//! Property-based tests colocated with the warehouse crate, covering the
+//! storage and query invariants the rest of the workspace leans on.
+
+use proptest::prelude::*;
+use xdmod_warehouse::{
+    AggFn, Aggregate, ColumnType, Database, LogPosition, OrderBy, Predicate, Query,
+    SchemaBuilder, Table, Value,
+};
+
+fn small_table(keys: &[u8], values: &[f64]) -> Table {
+    let mut t = Table::new(
+        SchemaBuilder::new("t")
+            .required("k", ColumnType::Str)
+            .required("v", ColumnType::Float)
+            .nullable("opt", ColumnType::Float)
+            .build()
+            .unwrap(),
+    );
+    let n = keys.len().min(values.len());
+    t.insert_batch(
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Str(format!("k{}", keys[i])),
+                    Value::Float(values[i]),
+                    if i % 3 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(values[i] * 2.0)
+                    },
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    t
+}
+
+proptest! {
+    /// Filters can only shrink the matched row set, never grow it.
+    #[test]
+    fn filters_are_monotone(keys in prop::collection::vec(0u8..4, 0..100),
+                            values in prop::collection::vec(-100.0f64..100.0, 0..100),
+                            threshold in -100.0f64..100.0) {
+        let t = small_table(&keys, &values);
+        let all = Query::new()
+            .aggregate(Aggregate::count("n"))
+            .run(&t)
+            .unwrap()
+            .scalar_f64("n")
+            .unwrap();
+        let filtered = Query::new()
+            .filter(Predicate::Range { column: "v".into(), min: Some(threshold), max: None })
+            .aggregate(Aggregate::count("n"))
+            .run(&t)
+            .unwrap()
+            .scalar_f64("n")
+            .unwrap();
+        prop_assert!(filtered <= all);
+        // Complementary filters partition the rows exactly.
+        let complement = Query::new()
+            .filter(Predicate::Range { column: "v".into(), min: None, max: Some(threshold) })
+            .aggregate(Aggregate::count("n"))
+            .run(&t)
+            .unwrap()
+            .scalar_f64("n")
+            .unwrap();
+        prop_assert_eq!(filtered + complement, all);
+    }
+
+    /// MIN ≤ AVG ≤ MAX whenever any non-NULL value exists.
+    #[test]
+    fn min_avg_max_ordering(keys in prop::collection::vec(0u8..3, 1..80),
+                            values in prop::collection::vec(-1e9f64..1e9, 1..80)) {
+        let t = small_table(&keys, &values);
+        let rs = Query::new()
+            .aggregate(Aggregate::of(AggFn::Min, "v", "lo"))
+            .aggregate(Aggregate::of(AggFn::Avg, "v", "mid"))
+            .aggregate(Aggregate::of(AggFn::Max, "v", "hi"))
+            .run(&t)
+            .unwrap();
+        let lo = rs.scalar_f64("lo").unwrap();
+        let mid = rs.scalar_f64("mid").unwrap();
+        let hi = rs.scalar_f64("hi").unwrap();
+        let eps = 1e-9 * (1.0 + hi.abs() + lo.abs());
+        prop_assert!(lo <= mid + eps);
+        prop_assert!(mid <= hi + eps);
+    }
+
+    /// NULLs never contribute to Sum/Avg but Count counts rows.
+    #[test]
+    fn null_semantics(keys in prop::collection::vec(0u8..2, 1..60),
+                      values in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+        let t = small_table(&keys, &values);
+        let n = keys.len().min(values.len());
+        let rs = Query::new()
+            .aggregate(Aggregate::count("rows"))
+            .aggregate(Aggregate::of(AggFn::Sum, "opt", "sum_opt"))
+            .run(&t)
+            .unwrap();
+        prop_assert_eq!(rs.scalar_f64("rows").unwrap() as usize, n);
+        // Sum over "opt" equals 2x the sum of the non-null positions.
+        let expect: f64 = (0..n).filter(|i| i % 3 != 0).map(|i| values[i] * 2.0).sum();
+        let got = rs.scalar_f64("sum_opt").unwrap();
+        prop_assert!((got - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+    }
+
+    /// Top-N via OrderBy+limit agrees with full sort.
+    #[test]
+    fn top_n_agrees_with_full_sort(keys in prop::collection::vec(0u8..6, 1..100),
+                                   values in prop::collection::vec(0.0f64..1e6, 1..100),
+                                   n in 1usize..5) {
+        let t = small_table(&keys, &values);
+        let full = Query::new()
+            .group_by_column("k")
+            .aggregate(Aggregate::of(AggFn::Sum, "v", "total"))
+            .run(&t)
+            .unwrap();
+        let mut totals: Vec<f64> = full
+            .rows
+            .iter()
+            .map(|r| r[1].as_f64().unwrap())
+            .collect();
+        totals.sort_by(|a, b| b.total_cmp(a));
+        let top = Query::new()
+            .group_by_column("k")
+            .aggregate(Aggregate::of(AggFn::Sum, "v", "total"))
+            .order(OrderBy::ColumnDesc("total".into()))
+            .limit(n)
+            .run(&t)
+            .unwrap();
+        let got: Vec<f64> = top.rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
+        prop_assert_eq!(&got[..], &totals[..n.min(totals.len())]);
+    }
+
+    /// Replaying a database's binlog into a fresh database reproduces
+    /// every table's checksum, regardless of the operation mix.
+    #[test]
+    fn binlog_replay_reproduces_database(ops in prop::collection::vec((0u8..3, any::<i64>()), 1..60)) {
+        let mut db = Database::new();
+        db.create_schema("s").unwrap();
+        db.create_table(
+            "s",
+            SchemaBuilder::new("t")
+                .required("a", ColumnType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (op, payload) in &ops {
+            match op % 3 {
+                0 | 1 => {
+                    db.insert("s", "t", vec![vec![Value::Int(*payload)]]).unwrap();
+                }
+                _ => {
+                    db.truncate("s", "t").unwrap();
+                }
+            }
+        }
+        let mut replica = Database::new();
+        for ev in db.binlog_after(LogPosition::START).unwrap() {
+            replica.apply_event(&ev.payload).unwrap();
+        }
+        prop_assert_eq!(
+            db.table("s", "t").unwrap().content_checksum(),
+            replica.table("s", "t").unwrap().content_checksum()
+        );
+        prop_assert_eq!(db.table("s", "t").unwrap().len(), replica.table("s", "t").unwrap().len());
+    }
+}

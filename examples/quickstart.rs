@@ -1,0 +1,70 @@
+//! Quickstart: stand up one XDMoD instance, ingest a simulated month of
+//! SLURM accounting data, aggregate, and chart a metric.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xdmod::chart::{ascii_chart, to_csv, Dataset};
+use xdmod::core::XdmodInstance;
+use xdmod::realms::levels::{instance_a_walltime, AggregationLevelsConfig, DIM_WALL_TIME};
+use xdmod::realms::RealmKind;
+use xdmod::sim::hpc::{ClusterSim, ResourceProfile};
+use xdmod::warehouse::{AggFn, Aggregate, Period, Query};
+
+fn main() {
+    // 1. Simulate three months of jobs on a modest cluster ("rush").
+    //    In production this would be your scheduler's sacct output.
+    let profile = ResourceProfile::generic("rush", 512, 48.0, 1.3);
+    let sim = ClusterSim::new(profile, 2024);
+    let sacct_log = sim.sacct_log(2017, 1..=3);
+    println!(
+        "simulated sacct log: {} lines",
+        sacct_log.lines().count() - 1
+    );
+
+    // 2. Stand up an instance, register the resource's HPL-derived XD SU
+    //    conversion factor, and configure wall-time aggregation levels.
+    let mut instance = XdmodInstance::new("campus-xdmod");
+    instance.set_su_factor("rush", 1.3);
+    let mut levels = AggregationLevelsConfig::new();
+    levels.set(DIM_WALL_TIME, instance_a_walltime());
+    instance.set_levels(levels);
+
+    // 3. Ingest and aggregate (the paper's daily aggregation run).
+    let report = instance
+        .ingest_sacct("rush", &sacct_log)
+        .expect("well-formed log");
+    println!(
+        "ingested {} jobs ({} skipped)",
+        report.ingested, report.skipped
+    );
+    instance.aggregate().expect("aggregation succeeds");
+
+    // 4. Query: monthly CPU hours and job counts.
+    let rs = instance
+        .query(
+            RealmKind::Jobs,
+            &Query::new()
+                .group_by_period("end_time", Period::Month)
+                .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total_cpu_hours"))
+                .aggregate(Aggregate::count("jobs")),
+        )
+        .expect("query succeeds");
+
+    // 5. Chart it like the XDMoD usage tab would.
+    let dataset = Dataset::timeseries(
+        "CPU Hours: Total — rush",
+        "CPU hours",
+        &rs,
+        Period::Month,
+        "end_time_month",
+        None,
+        "total_cpu_hours",
+    )
+    .expect("chartable");
+    println!("\n{}", ascii_chart(&dataset, 12));
+
+    // 6. Export, as the web UI's export button would.
+    println!("CSV export:\n{}", to_csv(&dataset));
+}

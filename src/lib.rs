@@ -1,0 +1,55 @@
+//! # Federated XDMoD (Rust)
+//!
+//! A from-scratch Rust reproduction of *"Federating XDMoD to Monitor
+//! Affiliated Computing Resources"* (Sperhac et al., HPCMASPA @ IEEE
+//! CLUSTER 2018).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`warehouse`] — embeddable analytic data warehouse with a binary log,
+//!   materialized aggregation tables, and a group-by/filter query engine.
+//! - [`ingest`] — ETL shredders for SLURM `sacct` logs, PCP-style
+//!   performance archives, storage JSON documents, and cloud event feeds.
+//! - [`realms`] — the four XDMoD data realms (Jobs, SUPReMM, Storage,
+//!   Cloud), configurable aggregation levels, and XDSU standardization.
+//! - [`replication`] — a Tungsten-like binlog replicator with schema
+//!   renaming, selective replication, and fan-in topology.
+//! - [`auth`] — local-password and SSO (SAML-style) authentication, with
+//!   federated identity mapping.
+//! - [`appkernels`] — the Application Kernel QoS module: periodic
+//!   benchmark kernels and control-chart regression detection.
+//! - [`sim`] — deterministic synthetic workload generators standing in for
+//!   XSEDE/CCR production data.
+//! - [`chart`] — the chart/report layer (timeseries + aggregate datasets,
+//!   ASCII/SVG rendering, CSV/JSON export).
+//! - [`core`] — the paper's contribution: [`core::XdmodInstance`],
+//!   [`core::FederationHub`], and [`core::Federation`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xdmod::core::XdmodInstance;
+//! use xdmod::sim::hpc::{ClusterSim, ResourceProfile};
+//!
+//! // Simulate one month of jobs on a small cluster and ingest them into a
+//! // standalone XDMoD instance.
+//! let profile = ResourceProfile::generic("rush", 512, 12.0, 1.0);
+//! let sim = ClusterSim::new(profile, 42);
+//! let log = sim.sacct_log(2017, 1..=1);
+//!
+//! let mut instance = XdmodInstance::new("ccr-xdmod");
+//! instance.ingest_sacct("rush", &log).unwrap();
+//! instance.aggregate().unwrap();
+//! ```
+//!
+//! See `examples/` for complete federation scenarios.
+
+pub use xdmod_appkernels as appkernels;
+pub use xdmod_auth as auth;
+pub use xdmod_chart as chart;
+pub use xdmod_core as core;
+pub use xdmod_ingest as ingest;
+pub use xdmod_realms as realms;
+pub use xdmod_replication as replication;
+pub use xdmod_sim as sim;
+pub use xdmod_warehouse as warehouse;

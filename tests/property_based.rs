@@ -1,0 +1,287 @@
+//! Property-based tests (proptest) over the workspace's core data
+//! structures and invariants.
+
+use proptest::prelude::*;
+use xdmod::warehouse::binlog::{decode_payload, decode_stream, encode_payload, Binlog};
+use xdmod::warehouse::time::{civil_from_days, days_from_civil, parse_iso_datetime, format_iso_datetime};
+use xdmod::warehouse::{
+    AggFn, Aggregate, Bin, Bins, ColumnType, EventPayload, LogPosition, Period, Query,
+    SchemaBuilder, Snapshot, Table, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[ -~]{0,32}".prop_map(Value::Str),
+        any::<i64>().prop_map(Value::Time),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_value(), 0..6)
+}
+
+proptest! {
+    // ---------------- binlog ----------------
+
+    #[test]
+    fn binlog_payload_roundtrip(schema in "[a-z_]{1,12}", table in "[a-z_]{1,12}",
+                                rows in prop::collection::vec(arb_row(), 0..8)) {
+        let payload = EventPayload::InsertBatch { schema, table, rows };
+        let decoded = decode_payload(encode_payload(&payload)).unwrap();
+        prop_assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn binlog_stream_roundtrip_and_positions(batches in prop::collection::vec(prop::collection::vec(arb_row(), 1..4), 1..6)) {
+        let mut log = Binlog::new();
+        for rows in &batches {
+            log.append(&EventPayload::InsertBatch {
+                schema: "s".into(),
+                table: "t".into(),
+                rows: rows.clone(),
+            });
+        }
+        let events = decode_stream(log.export_after(LogPosition::START).unwrap()).unwrap();
+        prop_assert_eq!(events.len(), batches.len());
+        // Positions are dense and ordered.
+        for (i, ev) in events.iter().enumerate() {
+            prop_assert_eq!(ev.position.seqno, i as u64 + 1);
+        }
+        // Reading after any prefix returns exactly the suffix.
+        for k in 0..batches.len() {
+            let tail = log.read_after(LogPosition { epoch: 0, seqno: k as u64 }).unwrap();
+            prop_assert_eq!(tail.len(), batches.len() - k);
+        }
+    }
+
+    #[test]
+    fn binlog_corruption_never_panics(mut bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must decode to Ok or Err, never panic.
+        let _ = decode_stream(bytes::Bytes::from(std::mem::take(&mut bytes)));
+    }
+
+    // ---------------- bins ----------------
+
+    #[test]
+    fn bins_partition_is_exclusive_and_exhaustive(
+        edges in prop::collection::btree_set(0u32..1000, 2..10),
+        probe in -100.0f64..1100.0,
+    ) {
+        let edges: Vec<f64> = edges.into_iter().map(f64::from).collect();
+        let bins = Bins::new(
+            edges.windows(2)
+                .enumerate()
+                .map(|(i, w)| Bin::new(&format!("b{i}"), w[0], w[1]))
+                .collect(),
+        ).unwrap();
+        // Exactly one label applies (a real bin or "other").
+        let label = bins.label_of(probe);
+        let inside = bins.index_of(probe);
+        match inside {
+            Some(i) => {
+                prop_assert!(bins.bins()[i].contains(probe));
+                prop_assert_eq!(label, bins.bins()[i].label.as_str());
+            }
+            None => {
+                prop_assert_eq!(label, "other");
+                for b in bins.bins() {
+                    prop_assert!(!b.contains(probe));
+                }
+            }
+        }
+    }
+
+    // ---------------- calendar ----------------
+
+    #[test]
+    fn civil_days_roundtrip(days in -1_000_000i64..1_000_000) {
+        let d = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(d.year, d.month, d.day), days);
+    }
+
+    #[test]
+    fn iso_datetime_roundtrip(epoch in -60_000_000_000i64..60_000_000_000) {
+        prop_assert_eq!(parse_iso_datetime(&format_iso_datetime(epoch)), Some(epoch));
+    }
+
+    #[test]
+    fn period_buckets_bracket_their_members(epoch in -60_000_000_000i64..60_000_000_000) {
+        for p in Period::ALL {
+            let b = p.bucket_of(epoch);
+            prop_assert!(p.bucket_start(b) <= epoch);
+            prop_assert!(epoch < p.bucket_end(b));
+            // Buckets tile: the end of b is the start of b+1.
+            prop_assert_eq!(p.bucket_end(b), p.bucket_start(b + 1));
+        }
+    }
+
+    // ---------------- query engine ----------------
+
+    #[test]
+    fn parallel_sum_equals_sequential(values in prop::collection::vec(-1e6f64..1e6, 0..300),
+                                      keys in prop::collection::vec(0u8..4, 0..300)) {
+        let n = values.len().min(keys.len());
+        let mut table = Table::new(
+            SchemaBuilder::new("t")
+                .required("k", ColumnType::Str)
+                .required("v", ColumnType::Float)
+                .build()
+                .unwrap(),
+        );
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Str(format!("k{}", keys[i])), Value::Float(values[i])])
+            .collect();
+        table.insert_batch(rows).unwrap();
+
+        let rs = Query::new()
+            .group_by_column("k")
+            .aggregate(Aggregate::of(AggFn::Sum, "v", "sum"))
+            .aggregate(Aggregate::count("n"))
+            .run(&table)
+            .unwrap();
+
+        // Sequential reference.
+        use std::collections::BTreeMap;
+        let mut expect: BTreeMap<String, (f64, i64)> = BTreeMap::new();
+        for i in 0..n {
+            let e = expect.entry(format!("k{}", keys[i])).or_insert((0.0, 0));
+            e.0 += values[i];
+            e.1 += 1;
+        }
+        prop_assert_eq!(rs.len(), expect.len());
+        for row in &rs.rows {
+            let key = row[0].as_str().unwrap();
+            let (sum, count) = expect[key];
+            prop_assert_eq!(row[2].as_i64().unwrap(), count);
+            let got = row[1].as_f64().unwrap();
+            prop_assert!((got - sum).abs() <= 1e-6 * (1.0 + sum.abs()),
+                "key {}: {} vs {}", key, got, sum);
+        }
+    }
+
+    #[test]
+    fn count_is_invariant_under_grouping(keys in prop::collection::vec(0u8..5, 1..200)) {
+        let mut table = Table::new(
+            SchemaBuilder::new("t")
+                .required("k", ColumnType::Str)
+                .build()
+                .unwrap(),
+        );
+        table
+            .insert_batch(keys.iter().map(|k| vec![Value::Str(format!("k{k}"))]).collect())
+            .unwrap();
+        let total = Query::new()
+            .aggregate(Aggregate::count("n"))
+            .run(&table)
+            .unwrap()
+            .scalar_f64("n")
+            .unwrap();
+        let grouped = Query::new()
+            .group_by_column("k")
+            .aggregate(Aggregate::count("n"))
+            .run(&table)
+            .unwrap();
+        let idx = grouped.column_index("n").unwrap();
+        let sum: f64 = grouped.rows.iter().map(|r| r[idx].as_f64().unwrap()).sum();
+        prop_assert_eq!(total, sum);
+        prop_assert_eq!(total as usize, keys.len());
+    }
+
+    // ---------------- snapshots & checksums ----------------
+
+    #[test]
+    fn snapshot_roundtrip_preserves_checksums(rows in prop::collection::vec(
+        (any::<i64>(), -1e9f64..1e9), 0..50))
+    {
+        let mut db = xdmod::warehouse::Database::new();
+        db.create_schema("s").unwrap();
+        db.create_table(
+            "s",
+            SchemaBuilder::new("t")
+                .required("a", ColumnType::Int)
+                .required("b", ColumnType::Float)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert(
+            "s",
+            "t",
+            rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Float(*b)]).collect(),
+        )
+        .unwrap();
+        let snap = Snapshot::capture(&db).unwrap();
+        let bytes = snap.to_bytes().unwrap();
+        let mut restored = xdmod::warehouse::Database::new();
+        Snapshot::from_bytes(&bytes).unwrap().restore_into(&mut restored).unwrap();
+        prop_assert_eq!(
+            db.table("s", "t").unwrap().content_checksum(),
+            restored.table("s", "t").unwrap().content_checksum()
+        );
+    }
+
+    #[test]
+    fn content_checksum_is_permutation_invariant(mut rows in prop::collection::vec(any::<i64>(), 1..30), rotate in 0usize..30) {
+        let schema = SchemaBuilder::new("t").required("a", ColumnType::Int).build().unwrap();
+        let mut t1 = Table::new(schema.clone());
+        t1.insert_batch(rows.iter().map(|v| vec![Value::Int(*v)]).collect()).unwrap();
+        let k = rotate % rows.len();
+        rows.rotate_left(k);
+        let mut t2 = Table::new(schema);
+        t2.insert_batch(rows.iter().map(|v| vec![Value::Int(*v)]).collect()).unwrap();
+        prop_assert_eq!(t1.content_checksum(), t2.content_checksum());
+    }
+
+    // ---------------- auth ----------------
+
+    #[test]
+    fn tampered_assertions_never_validate(subject in "[a-z]{1,10}", attacker in "[a-z]{1,10}") {
+        use xdmod::auth::Assertion;
+        prop_assume!(subject != attacker);
+        let a = Assertion::issue("idp", &subject, "sp", Default::default(), 1000, 300, 42);
+        let mut forged = a.clone();
+        forged.subject = attacker;
+        prop_assert!(forged.validate(42, "sp", 1100).is_err());
+        // The untampered one still validates.
+        prop_assert!(a.validate(42, "sp", 1100).is_ok());
+    }
+
+    #[test]
+    fn identity_dedup_is_idempotent(emails in prop::collection::vec(0u8..5, 1..20)) {
+        use xdmod::auth::{IdentityMap, User};
+        let mut map = IdentityMap::new();
+        for (i, e) in emails.iter().enumerate() {
+            map.register(
+                &format!("inst{}", i % 3),
+                &User::member(&format!("u{i}"), &format!("person{e}@x.edu"), "x.edu"),
+            );
+        }
+        map.auto_deduplicate();
+        let persons = map.person_count();
+        // Distinct emails = distinct persons after dedup.
+        let mut uniq = emails.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(persons, uniq.len());
+        // Running again changes nothing.
+        prop_assert_eq!(map.auto_deduplicate(), 0);
+        prop_assert_eq!(map.person_count(), uniq.len());
+    }
+
+    // ---------------- SU conversion ----------------
+
+    #[test]
+    fn su_conversion_is_linear(factor in 0.01f64..100.0, h1 in 0.0f64..1e6, h2 in 0.0f64..1e6) {
+        use xdmod::realms::SuConverter;
+        let mut c = SuConverter::new();
+        c.set_factor("r", factor);
+        let lhs = c.xdsu("r", h1 + h2);
+        let rhs = c.xdsu("r", h1) + c.xdsu("r", h2);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+        prop_assert!((c.nu("r", h1) - c.xdsu("r", h1) * xdmod::realms::NUS_PER_XDSU).abs() < 1e-6);
+    }
+}
