@@ -1,21 +1,33 @@
 //! Run every table/figure regeneration in sequence and write all
 //! artifacts under `results/` — the one-shot reproduction driver behind
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md. Each figure's wall time is captured and written to
+//! `results/BENCH_results.json` so reproduction-cost regressions are
+//! visible across commits.
 
+use std::time::Instant;
 use xdmod_bench::experiments as exp;
+
+/// Run one figure, print its banner, and record the wall time.
+fn timed<T>(timings: &mut Vec<(&'static str, f64)>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    println!("=== {name} ===");
+    let start = Instant::now();
+    let out = f();
+    timings.push((name, start.elapsed().as_secs_f64()));
+    out
+}
 
 fn main() {
     let dir = std::path::Path::new("results");
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let run_started = Instant::now();
 
-    println!("=== Fig 1 ===");
-    let f1 = exp::fig1(exp::SEED, 1.0);
+    let f1 = timed(&mut timings, "fig1", || exp::fig1(exp::SEED, 1.0));
     for (i, (name, su)) in f1.ranking.iter().enumerate() {
         println!("  {}. {:<12} {:>14.0} XD SU", i + 1, name, su);
     }
     xdmod_bench::write_artifacts(dir, "fig1", &f1.dataset).expect("artifacts");
 
-    println!("\n=== Table I ===");
-    let t1 = exp::table1(exp::SEED, 1.0);
+    let t1 = timed(&mut timings, "table1", || exp::table1(exp::SEED, 1.0));
     for (view, bins) in &t1.views {
         let total: i64 = bins.values().sum();
         println!("  {view}: {} bins, {total} jobs", bins.len());
@@ -25,8 +37,7 @@ fn main() {
         t1.raw_total_jobs
     );
 
-    println!("\n=== Fig 2 ===");
-    let f2 = exp::fig2(exp::SEED, 1.0);
+    let f2 = timed(&mut timings, "fig2", || exp::fig2(exp::SEED, 1.0));
     println!(
         "  {} resources federated, {} events, all verified: {}",
         f2.hub_view.len(),
@@ -34,40 +45,50 @@ fn main() {
         f2.members_verified.values().all(|v| *v)
     );
 
-    println!("\n=== Fig 3 ===");
-    let f3 = exp::fig3(exp::SEED, 1.0);
+    let f3 = timed(&mut timings, "fig3", || exp::fig3(exp::SEED, 1.0));
     println!(
         "  hub sees {:?}; excluded {:?}",
         f3.hub_view.keys().collect::<Vec<_>>(),
         f3.excluded
     );
 
-    println!("\n=== Fig 4 ===");
-    let f4 = exp::fig4(10);
+    let f4 = timed(&mut timings, "fig4", || exp::fig4(10));
     println!(
         "  {} sessions ({} refused attempts)",
         f4.sessions.len(),
         f4.refused
     );
 
-    println!("\n=== Fig 5 ===");
-    let f5 = exp::fig5();
+    let f5 = timed(&mut timings, "fig5", exp::fig5);
     println!(
         "  {} federated sessions, {} persons after dedup",
         f5.sessions.len(),
         f5.persons_after_dedup
     );
 
-    println!("\n=== Fig 6 ===");
-    let f6 = exp::fig6(exp::SEED, 1.0);
+    let f6 = timed(&mut timings, "fig6", || exp::fig6(exp::SEED, 1.0));
     xdmod_bench::write_artifacts(dir, "fig6", &f6.dataset).expect("artifacts");
     println!("  12 monthly points, both series monotone increasing");
 
-    println!("\n=== Fig 7 ===");
-    let f7 = exp::fig7(exp::SEED, 1.0);
+    let f7 = timed(&mut timings, "fig7", || exp::fig7(exp::SEED, 1.0));
     for (bin, avg) in f7.bins.iter().zip(&f7.avg_core_hours) {
         println!("  {bin:<8} {avg:>10.1} core hours / VM");
     }
 
-    println!("\nall artifacts written under results/");
+    let results = serde_json::json!({
+        "seed": exp::SEED,
+        "total_seconds": run_started.elapsed().as_secs_f64(),
+        "figures": timings
+            .iter()
+            .map(|(name, secs)| serde_json::json!({"figure": name, "seconds": secs}))
+            .collect::<Vec<_>>(),
+    });
+    std::fs::create_dir_all(dir).expect("results dir");
+    std::fs::write(
+        dir.join("BENCH_results.json"),
+        serde_json::to_string_pretty(&results).expect("serialize timings"),
+    )
+    .expect("write BENCH_results.json");
+
+    println!("\nall artifacts written under results/ (timings in BENCH_results.json)");
 }

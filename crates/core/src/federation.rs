@@ -15,9 +15,11 @@ use crate::hub::FederationHub;
 use crate::instance::XdmodInstance;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Duration;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
 use xdmod_replication::{
-    schemas_match, LinkConfig, LooseReceiver, LooseShipper, ReplicationFilter, Replicator,
+    schemas_match, LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, ReplicationFilter,
+    Replicator,
 };
 use xdmod_warehouse::WarehouseError;
 
@@ -35,6 +37,9 @@ pub enum FederationError {
     DuplicateMember(String),
     /// No member with this name.
     UnknownMember(String),
+    /// The operation needs a live (background-threaded) tight link, but
+    /// this member's link is polled or loose.
+    LinkNotLive(String),
     /// Underlying warehouse/replication failure.
     Warehouse(WarehouseError),
 }
@@ -49,6 +54,9 @@ impl fmt::Display for FederationError {
             ),
             FederationError::DuplicateMember(n) => write!(f, "{n} is already federated"),
             FederationError::UnknownMember(n) => write!(f, "{n} is not a federation member"),
+            FederationError::LinkNotLive(n) => {
+                write!(f, "{n}'s replication link is not live (call go_live first)")
+            }
             FederationError::Warehouse(e) => write!(f, "{e}"),
         }
     }
@@ -162,8 +170,18 @@ pub enum FederationMode {
     Loose,
 }
 
+/// A tight link is either hand-polled (`sync` drives it) or live (a
+/// background thread tails the binlog; `sync` leaves it alone).
+/// `Swapping` is a transient placeholder while ownership moves between
+/// the two — never observable between `&mut self` calls.
+enum TightLink {
+    Polled(Replicator),
+    Live(LiveReplicator),
+    Swapping,
+}
+
 enum Link {
-    Tight(Replicator),
+    Tight(TightLink),
     Loose {
         shipper: LooseShipper,
         receiver: LooseReceiver,
@@ -242,13 +260,14 @@ impl Federation {
             instance.database(),
             self.hub.database(),
             Self::link_config(instance, &config),
-        );
+        )
+        .with_telemetry(self.hub.telemetry().clone(), instance.name());
         self.hub.register_satellite(instance.name());
         self.members.push(Member {
             name: instance.name().to_owned(),
             mode: FederationMode::Tight,
             config,
-            link: Link::Tight(link),
+            link: Link::Tight(TightLink::Polled(link)),
         });
         Ok(())
     }
@@ -276,12 +295,15 @@ impl Federation {
     }
 
     /// Drive every link once: poll tight links, ship+apply loose batches.
-    /// Returns total events applied at the hub.
+    /// Live links are skipped — their background threads are already
+    /// draining the binlog. Returns total events applied at the hub by
+    /// **this** call.
     pub fn sync(&mut self) -> Result<usize, FederationError> {
         let mut applied = 0;
         for member in &mut self.members {
             match &mut member.link {
-                Link::Tight(rep) => applied += rep.poll()?,
+                Link::Tight(TightLink::Polled(rep)) => applied += rep.poll()?,
+                Link::Tight(_) => {}
                 Link::Loose { shipper, receiver } => {
                     let batch = shipper.export_batch()?;
                     applied += receiver.apply_batch(&batch)?;
@@ -289,6 +311,82 @@ impl Federation {
             }
         }
         Ok(applied)
+    }
+
+    /// Switch every polled tight link to **live** replication: each gets a
+    /// background thread tailing its satellite's binlog at `interval` —
+    /// the paper's "live replication to the central federation hub
+    /// database". Returns how many links switched. Loose and
+    /// already-live links are untouched.
+    pub fn go_live(&mut self, interval: Duration) -> usize {
+        let mut switched = 0;
+        for member in &mut self.members {
+            let Link::Tight(tight) = &mut member.link else {
+                continue;
+            };
+            if matches!(tight, TightLink::Polled(_)) {
+                let TightLink::Polled(rep) = std::mem::replace(tight, TightLink::Swapping)
+                else {
+                    unreachable!()
+                };
+                *tight = TightLink::Live(LiveReplicator::start(rep, interval));
+                switched += 1;
+            }
+        }
+        switched
+    }
+
+    /// Stop every live link: each background thread drains any remaining
+    /// events, takes a final lag sample (the gauges settle to 0), and
+    /// hands its replicator back for polled operation. Returns how many
+    /// links were stopped.
+    pub fn quiesce(&mut self) -> usize {
+        let mut stopped = 0;
+        for member in &mut self.members {
+            let Link::Tight(tight) = &mut member.link else {
+                continue;
+            };
+            if matches!(tight, TightLink::Live(_)) {
+                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
+                else {
+                    unreachable!()
+                };
+                *tight = TightLink::Polled(live.stop());
+                stopped += 1;
+            }
+        }
+        stopped
+    }
+
+    fn live_link(&self, name: &str) -> Result<&LiveReplicator, FederationError> {
+        let member = self
+            .members
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| FederationError::UnknownMember(name.to_owned()))?;
+        match &member.link {
+            Link::Tight(TightLink::Live(live)) => Ok(live),
+            _ => Err(FederationError::LinkNotLive(name.to_owned())),
+        }
+    }
+
+    /// Pause a live member's replication thread (maintenance window). The
+    /// thread keeps sampling lag, so the hub's
+    /// `replication_lag_events{link=..}` gauge shows the backlog growing.
+    pub fn pause_member(&self, name: &str) -> Result<(), FederationError> {
+        self.live_link(name).map(LiveReplicator::pause)
+    }
+
+    /// Resume a paused live member.
+    pub fn resume_member(&self, name: &str) -> Result<(), FederationError> {
+        self.live_link(name).map(LiveReplicator::resume)
+    }
+
+    /// The most recent apply error on a live member's link, if any — live
+    /// links keep running through errors and surface them here and in the
+    /// hub's `replication_apply_errors_total{link=..}` counter.
+    pub fn member_last_error(&self, name: &str) -> Result<Option<WarehouseError>, FederationError> {
+        self.live_link(name).map(LiveReplicator::last_error)
     }
 
     /// Sync, then rebuild the hub's aggregates under its own levels — one
@@ -342,16 +440,33 @@ impl Federation {
         &mut self,
         instance: &mut XdmodInstance,
     ) -> Result<(), FederationError> {
+        let idx = self
+            .members
+            .iter()
+            .position(|m| m.name == instance.name())
+            .ok_or_else(|| FederationError::UnknownMember(instance.name().to_owned()))?;
+        // A live thread must not race the restore (it could replay the
+        // restored history into the hub): stop it first — it drains, then
+        // the link stays polled; the caller may `go_live` again.
+        if let Link::Tight(tight) = &mut self.members[idx].link {
+            if matches!(tight, TightLink::Live(_)) {
+                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
+                else {
+                    unreachable!()
+                };
+                *tight = TightLink::Polled(live.stop());
+            }
+        }
         let dump = self.hub.regeneration_dump(instance.name())?;
         instance.restore_from_dump(&dump)?;
-        let member = self
-            .members
-            .iter_mut()
-            .find(|m| m.name == instance.name())
-            .ok_or_else(|| FederationError::UnknownMember(instance.name().to_owned()))?;
         let position = instance.database().read().binlog_position();
-        match &mut member.link {
-            Link::Tight(rep) => rep.seek(position),
+        match &mut self.members[idx].link {
+            Link::Tight(tight) => {
+                let TightLink::Polled(rep) = tight else {
+                    unreachable!("live links were stopped above")
+                };
+                rep.seek(position);
+            }
             Link::Loose { shipper, .. } => {
                 // Recreate the shipper at the new epoch; the hub-side
                 // receiver keeps its state (the hub data is unchanged).
@@ -590,6 +705,101 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         x.ingest_sacct("r", SACCT_Y).unwrap();
         fed.sync().unwrap();
         assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 3);
+    }
+
+    /// Poll `cond` for up to ~5 s; panic with `what` if it never holds.
+    fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+        for _ in 0..5000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn live_links_replicate_without_sync() {
+        let mut x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        assert_eq!(fed.go_live(Duration::from_millis(1)), 1);
+        assert_eq!(fed.go_live(Duration::from_millis(1)), 0); // idempotent
+
+        // New ingest flows to the hub with nobody calling sync().
+        x.ingest_sacct("r", SACCT_Y).unwrap();
+        eventually("live replication of 3 jobs", || {
+            fed.hub().federated_fact_rows(RealmKind::Jobs) == 3
+        });
+        // sync() leaves live links alone rather than fighting the thread.
+        assert_eq!(fed.sync().unwrap(), 0);
+
+        assert_eq!(fed.quiesce(), 1);
+        // Quiescing drained the link and settled the lag gauges to zero.
+        let snap = fed.hub().telemetry().snapshot();
+        assert_eq!(
+            snap.gauge("replication_lag_events", &[("link", "x")]),
+            Some(0.0)
+        );
+        assert_eq!(
+            snap.counter("replication_events_applied_total", &[("link", "x")])
+                .map(|n| n > 0),
+            Some(true)
+        );
+        // Back in polled mode, sync() drives the link again.
+        x.ingest_sacct("r", SACCT_X).unwrap();
+        assert!(fed.sync().unwrap() > 0);
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 4);
+    }
+
+    #[test]
+    fn paused_member_shows_lag_on_the_hub_gauges() {
+        let mut x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.go_live(Duration::from_millis(1));
+        eventually("initial drain", || {
+            fed.hub().federated_fact_rows(RealmKind::Jobs) == 1
+        });
+
+        fed.pause_member("x").unwrap();
+        x.ingest_sacct("r", SACCT_Y).unwrap();
+        eventually("lag gauge to rise while paused", || {
+            fed.hub()
+                .telemetry()
+                .snapshot()
+                .gauge("replication_lag_events", &[("link", "x")])
+                .is_some_and(|lag| lag > 0.0)
+        });
+        assert_eq!(fed.hub().federated_fact_rows(RealmKind::Jobs), 1);
+
+        fed.resume_member("x").unwrap();
+        eventually("backlog to drain after resume", || {
+            fed.hub().federated_fact_rows(RealmKind::Jobs) == 3
+        });
+        assert_eq!(fed.member_last_error("x").unwrap(), None);
+        fed.quiesce();
+        // The maintenance window left a lag audit trail for ops_report.
+        assert!(!fed
+            .hub()
+            .telemetry()
+            .events_of_kind("replication.lag")
+            .is_empty());
+    }
+
+    #[test]
+    fn pause_requires_a_live_link() {
+        let x = instance("x", SACCT_X, "r");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        assert!(matches!(
+            fed.pause_member("x"),
+            Err(FederationError::LinkNotLive(_))
+        ));
+        assert!(matches!(
+            fed.pause_member("ghost"),
+            Err(FederationError::UnknownMember(_))
+        ));
     }
 
     #[test]

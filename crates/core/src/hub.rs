@@ -16,6 +16,7 @@ use std::sync::Arc;
 use xdmod_auth::{AuthMode, IdentityMap, InstanceAuth};
 use xdmod_realms::levels::AggregationLevelsConfig;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
+use xdmod_telemetry::MetricsRegistry;
 use xdmod_warehouse::{
     shared, Database, Query, Result, ResultSet, SharedDatabase, Table, WarehouseError,
 };
@@ -29,6 +30,7 @@ pub struct FederationHub {
     satellites: Vec<String>,
     identity: IdentityMap,
     auth: InstanceAuth,
+    telemetry: MetricsRegistry,
 }
 
 impl FederationHub {
@@ -38,11 +40,19 @@ impl FederationHub {
     }
 
     /// Stand up a hub at a specific version.
+    ///
+    /// The hub is born with a **live** metrics registry wired into its
+    /// warehouse: the hub is the operations center of the federation, so
+    /// its self-monitoring is on by default (satellites may stay dark).
+    /// Replication links attach to the same registry when they join.
     pub fn with_version(name: &str, version: XdmodVersion) -> Self {
+        let telemetry = MetricsRegistry::new();
+        let mut db = Database::new();
+        db.set_telemetry(telemetry.clone());
         FederationHub {
             name: name.to_owned(),
             version,
-            db: shared(Database::new()),
+            db: shared(db),
             levels: AggregationLevelsConfig::new(),
             satellites: Vec::new(),
             identity: IdentityMap::new(),
@@ -51,7 +61,21 @@ impl FederationHub {
             // multiple institutions that may use varied protocols"
             // (§II-D3).
             auth: InstanceAuth::new(name, AuthMode::ServiceProvider, true),
+            telemetry,
         }
+    }
+
+    /// The hub's metrics registry: warehouse, replication links, and
+    /// federated-query instrumentation all report here.
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// Swap the hub's registry (e.g. [`MetricsRegistry::disabled`] to
+    /// turn self-monitoring off). The hub warehouse follows.
+    pub fn set_telemetry(&mut self, telemetry: MetricsRegistry) {
+        self.db.write().set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Hub name.
@@ -156,26 +180,40 @@ impl FederationHub {
     // ------------------------------------------------------------------
 
     /// Run a query against one satellite's replicated fact table.
+    ///
+    /// Timed as `hub_satellite_query_seconds{satellite=..}`.
     pub fn query_instance(
         &self,
         satellite: &str,
         realm: RealmKind,
         query: &Query,
     ) -> Result<ResultSet> {
+        let span = self
+            .telemetry
+            .span("hub_satellite_query_seconds", &[("satellite", satellite)]);
         let db = self.db.read();
         let table = db.table(
             &Self::schema_for(satellite),
             XdmodInstance::fact_table(realm),
         )?;
-        query.run(table)
+        let out = query.run(table);
+        span.finish();
+        out
     }
 
     /// Run a query against the **union** of every satellite's fact table
     /// — "an integrated view of job and performance data collected from
     /// entirely independent XDMoD instances".
+    ///
+    /// Timed end-to-end as `hub_federated_query_seconds`; the per-satellite
+    /// fan-out inside the union is broken out under
+    /// `hub_satellite_query_seconds{satellite=..}`.
     pub fn federated_query(&self, realm: RealmKind, query: &Query) -> Result<ResultSet> {
+        let span = self.telemetry.span("hub_federated_query_seconds", &[]);
         let union = self.union_fact_table(realm)?;
-        query.run(&union)
+        let out = query.run(&union);
+        span.finish();
+        out
     }
 
     /// Materialize the union of a realm's fact rows across satellites.
@@ -191,6 +229,9 @@ impl FederationHub {
             let Ok(table) = db.table(&schema, fact) else {
                 continue; // realm not federated from this satellite
             };
+            let span = self
+                .telemetry
+                .span("hub_satellite_query_seconds", &[("satellite", sat)]);
             match &mut union {
                 None => {
                     let mut t = Table::new(table.schema().clone());
@@ -206,6 +247,7 @@ impl FederationHub {
                     u.insert_checked(table.rows().to_vec());
                 }
             }
+            span.finish();
         }
         union.ok_or_else(|| {
             WarehouseError::InvalidQuery(format!(
@@ -229,6 +271,201 @@ impl FederationHub {
         xdmod_warehouse::Snapshot::capture_schemas(&db, &[Self::schema_for(satellite)])?
             .into_renamed(&XdmodInstance::schema_name_of(satellite))?
             .to_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Self-monitoring: the hub watches the federation watching the
+    // satellites. Telemetry is materialized into an internal warehouse
+    // schema and rendered through the same report pipeline as any other
+    // XDMoD realm — the monitoring system eats its own dog food.
+    // ------------------------------------------------------------------
+
+    /// Snapshot the hub's telemetry into the internal `xdmod_meta` schema
+    /// (`ops_counters`, `ops_gauges`, `ops_histograms`, `ops_lag_samples`)
+    /// and render the operations dashboard: replication-lag timeseries per
+    /// link plus query/aggregation latency quantiles.
+    ///
+    /// The meta tables are rebuilt from scratch on every call, so the
+    /// dashboard and the queryable tables always agree. Writing them does
+    /// bump the hub's own binlog counters — by design: self-monitoring
+    /// traffic is traffic — but the snapshot is taken *before* the write,
+    /// so a report never counts its own materialization.
+    pub fn ops_report(&self) -> Result<xdmod_chart::Report> {
+        let snap = self.telemetry.snapshot();
+        self.materialize_meta(&snap)?;
+
+        use xdmod_chart::{Dataset, Report, Section};
+        let applied = snap.counter_total("replication_events_applied_total");
+        let appends = snap.counter_total("warehouse_binlog_appends_total");
+        let errors = snap.counter_total("replication_apply_errors_total");
+        let mut report = Report::new(&format!("{} operations", self.name))
+            .section(Section::Heading("Federation health".into()))
+            .section(Section::Text(format!(
+                "{} satellite(s); {applied} replication event(s) applied, \
+                 {errors} apply error(s); {appends} hub binlog append(s); \
+                 registry up {} ms.",
+                self.satellites.len(),
+                self.telemetry.elapsed_ms(),
+            )));
+
+        // Replication lag over time, one series per link, from the
+        // `replication.lag` events the live replicators emit.
+        let lag_events = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == "replication.lag")
+            .collect::<Vec<_>>();
+        if lag_events.is_empty() {
+            report = report.section(Section::Text(
+                "No replication lag samples recorded.".into(),
+            ));
+        } else {
+            let mut ds = Dataset::new("Replication lag", "events behind");
+            ds.labels = lag_events
+                .iter()
+                .map(|e| format!("{:.1}s", e.elapsed_ms as f64 / 1000.0))
+                .collect();
+            let mut links: Vec<&str> = lag_events.iter().map(|e| e.message.as_str()).collect();
+            links.sort_unstable();
+            links.dedup();
+            for link in links {
+                let values = lag_events
+                    .iter()
+                    .map(|e| {
+                        (e.message == link)
+                            .then(|| e.field("lag_events"))
+                            .flatten()
+                    })
+                    .collect();
+                ds.push_series(link, values)
+                    .expect("lag series aligned with labels");
+            }
+            report = report.section(Section::Chart(ds));
+        }
+
+        // Latency quantiles for every timing histogram the hub has seen.
+        if !snap.histograms.is_empty() {
+            let mut ds = Dataset::new("Operation latency quantiles", "seconds");
+            ds.labels = snap.histograms.iter().map(|(id, _)| id.render()).collect();
+            let hists = || snap.histograms.iter().map(|(_, h)| h);
+            let columns: [(&str, Vec<Option<f64>>); 5] = [
+                ("count", hists().map(|h| Some(h.count as f64)).collect()),
+                ("p50", hists().map(|h| h.p50()).collect()),
+                ("p95", hists().map(|h| h.p95()).collect()),
+                ("p99", hists().map(|h| h.p99()).collect()),
+                ("max", hists().map(|h| Some(h.max)).collect()),
+            ];
+            for (column, values) in columns {
+                ds.push_series(column, values)
+                    .expect("quantile series aligned with labels");
+            }
+            report = report.section(Section::Table(ds));
+        }
+        Ok(report)
+    }
+
+    /// Rebuild `xdmod_meta` from a registry snapshot so telemetry is
+    /// queryable through the ordinary warehouse `Query` machinery.
+    fn materialize_meta(&self, snap: &xdmod_telemetry::RegistrySnapshot) -> Result<()> {
+        use xdmod_warehouse::{ColumnType, SchemaBuilder, Value};
+        const SCHEMA: &str = "xdmod_meta";
+        let mut db = self.db.write();
+        if !db.has_schema(SCHEMA) {
+            db.create_schema(SCHEMA)?;
+            db.create_table(
+                SCHEMA,
+                SchemaBuilder::new("ops_counters")
+                    .required("metric", ColumnType::Str)
+                    .required("value", ColumnType::Int)
+                    .build()?,
+            )?;
+            db.create_table(
+                SCHEMA,
+                SchemaBuilder::new("ops_gauges")
+                    .required("metric", ColumnType::Str)
+                    .required("value", ColumnType::Float)
+                    .build()?,
+            )?;
+            db.create_table(
+                SCHEMA,
+                SchemaBuilder::new("ops_histograms")
+                    .required("metric", ColumnType::Str)
+                    .required("count", ColumnType::Int)
+                    .required("sum", ColumnType::Float)
+                    .required("max", ColumnType::Float)
+                    .required("p50", ColumnType::Float)
+                    .required("p95", ColumnType::Float)
+                    .required("p99", ColumnType::Float)
+                    .build()?,
+            )?;
+            db.create_table(
+                SCHEMA,
+                SchemaBuilder::new("ops_lag_samples")
+                    .required("seq", ColumnType::Int)
+                    .required("elapsed_ms", ColumnType::Int)
+                    .required("link", ColumnType::Str)
+                    .required("lag_events", ColumnType::Float)
+                    .required("lag_seconds", ColumnType::Float)
+                    .build()?,
+            )?;
+        } else {
+            for t in ["ops_counters", "ops_gauges", "ops_histograms", "ops_lag_samples"] {
+                db.truncate(SCHEMA, t)?;
+            }
+        }
+
+        let counter_rows: Vec<_> = snap
+            .counters
+            .iter()
+            .map(|(id, v)| vec![Value::Str(id.render()), Value::Int(*v as i64)])
+            .collect();
+        if !counter_rows.is_empty() {
+            db.insert(SCHEMA, "ops_counters", counter_rows)?;
+        }
+        let gauge_rows: Vec<_> = snap
+            .gauges
+            .iter()
+            .map(|(id, v)| vec![Value::Str(id.render()), Value::Float(*v)])
+            .collect();
+        if !gauge_rows.is_empty() {
+            db.insert(SCHEMA, "ops_gauges", gauge_rows)?;
+        }
+        let hist_rows: Vec<_> = snap
+            .histograms
+            .iter()
+            .map(|(id, h)| {
+                vec![
+                    Value::Str(id.render()),
+                    Value::Int(h.count as i64),
+                    Value::Float(h.sum),
+                    Value::Float(h.max),
+                    Value::Float(h.p50().unwrap_or(0.0)),
+                    Value::Float(h.p95().unwrap_or(0.0)),
+                    Value::Float(h.p99().unwrap_or(0.0)),
+                ]
+            })
+            .collect();
+        if !hist_rows.is_empty() {
+            db.insert(SCHEMA, "ops_histograms", hist_rows)?;
+        }
+        let lag_rows: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == "replication.lag")
+            .map(|e| {
+                vec![
+                    Value::Int(e.seq as i64),
+                    Value::Int(e.elapsed_ms as i64),
+                    Value::Str(e.message.clone()),
+                    Value::Float(e.field("lag_events").unwrap_or(0.0)),
+                    Value::Float(e.field("lag_seconds").unwrap_or(0.0)),
+                ]
+            })
+            .collect();
+        if !lag_rows.is_empty() {
+            db.insert(SCHEMA, "ops_lag_samples", lag_rows)?;
+        }
+        Ok(())
     }
 }
 
@@ -347,5 +584,70 @@ mod tests {
     #[test]
     fn schema_for_sanitizes() {
         assert_eq!(FederationHub::schema_for("ccr-x.y"), "inst_ccr_x_y");
+    }
+
+    #[test]
+    fn hub_queries_are_timed_per_satellite() {
+        let hub = hub_with_two_satellites();
+        let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+        hub.query_instance("x", RealmKind::Jobs, &q).unwrap();
+        hub.federated_query(RealmKind::Jobs, &q).unwrap();
+        let snap = hub.telemetry().snapshot();
+        // query_instance + the fan-out inside federated_query both hit x.
+        let x = snap
+            .histogram("hub_satellite_query_seconds", &[("satellite", "x")])
+            .expect("satellite x timed");
+        assert_eq!(x.count, 2);
+        let y = snap
+            .histogram("hub_satellite_query_seconds", &[("satellite", "y")])
+            .expect("satellite y timed");
+        assert_eq!(y.count, 1);
+        let fed = snap
+            .histogram("hub_federated_query_seconds", &[])
+            .expect("federated query timed");
+        assert_eq!(fed.count, 1);
+        // Staging data through the shared db counted binlog appends.
+        assert!(snap.counter_total("warehouse_binlog_appends_total") > 0);
+    }
+
+    #[test]
+    fn ops_report_materializes_meta_and_renders() {
+        let hub = hub_with_two_satellites();
+        let q = Query::new().aggregate(Aggregate::count("n"));
+        hub.federated_query(RealmKind::Jobs, &q).unwrap();
+        // Seed a lag sample the way a live replicator would.
+        hub.telemetry().event_with(
+            "replication.lag",
+            "x",
+            &[("lag_events", 3.0), ("lag_seconds", 0.25)],
+        );
+        let report = hub.ops_report().unwrap();
+        let text = report.render();
+        assert!(text.contains("federation-hub operations"));
+        assert!(text.contains("Replication lag"));
+        assert!(text.contains("Operation latency quantiles"));
+
+        let db = hub.database();
+        let db = db.read();
+        assert!(db.table("xdmod_meta", "ops_counters").unwrap().len() > 0);
+        assert!(db.table("xdmod_meta", "ops_histograms").unwrap().len() > 0);
+        assert_eq!(db.table("xdmod_meta", "ops_lag_samples").unwrap().len(), 1);
+        drop(db);
+
+        // Second call rebuilds the meta schema instead of duplicating rows.
+        hub.ops_report().unwrap();
+        let db = hub.database();
+        let db = db.read();
+        assert_eq!(db.table("xdmod_meta", "ops_lag_samples").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn disabling_hub_telemetry_silences_everything() {
+        let mut hub = hub_with_two_satellites();
+        hub.set_telemetry(xdmod_telemetry::MetricsRegistry::disabled());
+        let q = Query::new().aggregate(Aggregate::count("n"));
+        hub.federated_query(RealmKind::Jobs, &q).unwrap();
+        assert!(hub.telemetry().snapshot().histograms.is_empty());
+        assert_eq!(hub.telemetry().prometheus_text(), "");
     }
 }

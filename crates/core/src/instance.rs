@@ -15,6 +15,7 @@ use xdmod_auth::{AuthMode, InstanceAuth};
 use xdmod_ingest::{cloud, pcp, slurm, storage_json, IngestReport};
 use xdmod_realms::levels::AggregationLevelsConfig;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, su::SuConverter, supremm, RealmKind};
+use xdmod_telemetry::MetricsRegistry;
 use xdmod_warehouse::{
     shared, Database, Query, Result, ResultSet, SharedDatabase, WarehouseError,
 };
@@ -27,6 +28,7 @@ pub struct XdmodInstance {
     levels: AggregationLevelsConfig,
     su: SuConverter,
     auth: InstanceAuth,
+    telemetry: MetricsRegistry,
 }
 
 impl XdmodInstance {
@@ -63,7 +65,25 @@ impl XdmodInstance {
             levels: AggregationLevelsConfig::new(),
             su: SuConverter::new(),
             auth: InstanceAuth::new(name, AuthMode::ServiceProvider, false),
+            // Satellites are born dark: metrics cost nothing until an
+            // operator attaches a registry (their own, or the hub's for a
+            // federation-wide view) via `set_telemetry`.
+            telemetry: MetricsRegistry::disabled(),
         }
+    }
+
+    /// This instance's metrics registry (disabled unless attached).
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// Attach a metrics registry: ingest counters and warehouse timings
+    /// report there. Attaching the hub's registry yields a single
+    /// federation-wide view; satellite metrics stay distinguishable by
+    /// label.
+    pub fn set_telemetry(&mut self, telemetry: MetricsRegistry) {
+        self.db.write().set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Instance name.
@@ -135,6 +155,7 @@ impl XdmodInstance {
             .map_err(|e| WarehouseError::SchemaMismatch(format!("sacct parse: {e}")))?;
         let schema = self.schema_name();
         self.db.write().insert(&schema, jobs::FACT_TABLE, rows)?;
+        report.record_telemetry(&self.telemetry, "sacct");
         Ok(report)
     }
 
@@ -160,6 +181,8 @@ impl XdmodInstance {
             supremm::JOBSCRIPT_TABLE,
             jobs.iter().map(pcp::SupremmJob::script_row).collect(),
         )?;
+        drop(db);
+        report.record_telemetry(&self.telemetry, "pcp");
         Ok(report)
     }
 
@@ -169,6 +192,7 @@ impl XdmodInstance {
             .map_err(|e| WarehouseError::SchemaMismatch(format!("storage json: {e}")))?;
         let schema = self.schema_name();
         self.db.write().insert(&schema, storage::FACT_TABLE, rows)?;
+        report.record_telemetry(&self.telemetry, "storage_json");
         Ok(report)
     }
 
@@ -181,6 +205,7 @@ impl XdmodInstance {
         self.db
             .write()
             .insert(&schema, cloud_realm::FACT_TABLE, rows)?;
+        report.record_telemetry(&self.telemetry, "cloud");
         Ok(report)
     }
 
@@ -193,14 +218,15 @@ impl XdmodInstance {
         self.db
             .write()
             .insert(&schema, cloud_realm::RESERVATION_TABLE, rows)?;
+        report.record_telemetry(&self.telemetry, "cloud_reservations");
         Ok(report)
     }
 
     /// Run a query against the Cloud realm's reservation table.
     pub fn query_reservations(&self, query: &Query) -> Result<ResultSet> {
-        let db = self.db.read();
-        let table = db.table(&self.schema_name(), cloud_realm::RESERVATION_TABLE)?;
-        query.run(table)
+        self.db
+            .read()
+            .query(&self.schema_name(), cloud_realm::RESERVATION_TABLE, query)
     }
 
     // ------------------------------------------------------------------
@@ -239,11 +265,12 @@ impl XdmodInstance {
         }
     }
 
-    /// Run a query against one realm's fact table.
+    /// Run a query against one realm's fact table, timed under
+    /// `warehouse_query_seconds{table=..}` when telemetry is attached.
     pub fn query(&self, realm: RealmKind, query: &Query) -> Result<ResultSet> {
-        let db = self.db.read();
-        let table = db.table(&self.schema_name(), Self::fact_table(realm))?;
-        query.run(table)
+        self.db
+            .read()
+            .query(&self.schema_name(), Self::fact_table(realm), query)
     }
 
     /// Rebuild this instance's database from a federation-hub dump — the
@@ -399,6 +426,30 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         assert!(err.to_string().contains("storage json"));
         let err = inst.ingest_cloud_feed("bogus,line\n", 0).unwrap_err();
         assert!(err.to_string().contains("cloud feed"));
+    }
+
+    #[test]
+    fn attached_telemetry_sees_ingest_and_queries() {
+        let mut inst = XdmodInstance::new("ccr");
+        assert!(!inst.telemetry().is_enabled());
+        let reg = MetricsRegistry::new();
+        inst.set_telemetry(reg.clone());
+        inst.ingest_sacct("rush", SACCT).unwrap();
+        inst.query(
+            RealmKind::Jobs,
+            &Query::new().aggregate(Aggregate::count("n")),
+        )
+        .unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("ingest_records_total", &[("format", "sacct")]),
+            Some(2)
+        );
+        assert!(snap
+            .histogram("warehouse_query_seconds", &[("table", "jobfact")])
+            .is_some());
+        // The ingest insert hit the binlog through the attached registry.
+        assert!(snap.counter_total("warehouse_binlog_appends_total") > 0);
     }
 
     #[test]

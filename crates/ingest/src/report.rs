@@ -71,6 +71,23 @@ impl IngestReport {
         self.skipped += other.skipped;
         self.warnings.extend(other.warnings);
     }
+
+    /// Publish this run's counts into a metrics registry as
+    /// `ingest_records_total{format=..}` / `ingest_skipped_total{format=..}`,
+    /// where `format` names the source shredder (`sacct`, `pcp`,
+    /// `storage_json`, `cloud`). A no-op on a disabled registry.
+    pub fn record_telemetry(&self, telemetry: &xdmod_telemetry::MetricsRegistry, format: &str) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let labels: &[(&str, &str)] = &[("format", format)];
+        telemetry
+            .counter("ingest_records_total", labels)
+            .add(self.ingested as u64);
+        telemetry
+            .counter("ingest_skipped_total", labels)
+            .add(self.skipped as u64);
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +119,28 @@ mod tests {
         assert_eq!(a.ingested, 5);
         assert_eq!(a.skipped, 1);
         assert_eq!(a.warnings, vec!["w1".to_owned(), "w2".to_owned()]);
+    }
+
+    #[test]
+    fn record_telemetry_publishes_per_format_counters() {
+        let reg = xdmod_telemetry::MetricsRegistry::new();
+        let r = IngestReport {
+            ingested: 4,
+            skipped: 2,
+            warnings: vec!["still running".into(), "blank".into()],
+        };
+        r.record_telemetry(&reg, "sacct");
+        r.record_telemetry(&reg, "sacct"); // second run accumulates
+        r.record_telemetry(&reg, "cloud");
+        let snap = reg.snapshot();
+        let sacct = &[("format", "sacct")];
+        assert_eq!(snap.counter("ingest_records_total", sacct), Some(8));
+        assert_eq!(snap.counter("ingest_skipped_total", sacct), Some(4));
+        assert_eq!(snap.counter_total("ingest_records_total"), 12);
+        // Disabled registries stay silent and cost nothing.
+        let off = xdmod_telemetry::MetricsRegistry::disabled();
+        r.record_telemetry(&off, "sacct");
+        assert_eq!(off.prometheus_text(), "");
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub fn verify_schemas(
             }),
         }
     }
+    // Count verifications on the hub-side registry (falling back to the
+    // satellite's), so ops can see how much checksum work each audit does.
+    let telemetry = if target.telemetry().is_enabled() {
+        target.telemetry()
+    } else {
+        source.telemetry()
+    };
+    if telemetry.is_enabled() {
+        telemetry
+            .counter("replication_checksum_checks_total", &[])
+            .add(out.len() as u64);
+        telemetry
+            .counter("replication_checksum_mismatches_total", &[])
+            .add(out.iter().filter(|c| !c.matches).count() as u64);
+    }
     Ok(out)
 }
 
@@ -127,6 +142,69 @@ mod tests {
         let mut hub = Database::new();
         hub.create_schema("hub_x").unwrap();
         assert!(schemas_match(&src, "xdmod_x", &hub, "hub_x").unwrap());
+    }
+
+    #[test]
+    fn filter_excluded_table_reports_zero_target_rows() {
+        use crate::{LinkConfig, ReplicationFilter, Replicator};
+        use std::sync::Arc;
+        use xdmod_warehouse::shared;
+
+        // A satellite with two realms, only one of which replicates.
+        let mut db = db_with("xdmod_x", &[1.0, 2.0]);
+        db.create_table(
+            "xdmod_x",
+            SchemaBuilder::new("supremm_jobfact")
+                .required("cpu_user", ColumnType::Float)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("xdmod_x", "supremm_jobfact", vec![vec![Value::Float(0.9)]])
+            .unwrap();
+        let src = shared(db);
+        let hub = shared(Database::new());
+        let filter = ReplicationFilter::all().with_tables(["jobfact"]);
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&hub),
+            LinkConfig::renaming("xdmod_x", "hub_x").with_filter(filter),
+        );
+        rep.poll().unwrap();
+
+        let src = src.read();
+        let hub = hub.read();
+        let checks = verify_schemas(&src, "xdmod_x", &hub, "hub_x").unwrap();
+        let by_name = |n: &str| checks.iter().find(|c| c.table == n).unwrap();
+        // The replicated realm matches verbatim.
+        let job = by_name("jobfact");
+        assert!(job.matches);
+        assert_eq!((job.source_rows, job.target_rows), (2, 2));
+        // The excluded realm takes the missing-target path: reported as a
+        // mismatch with target_rows = 0, letting the caller decide whether
+        // the exclusion was intended.
+        let supremm = by_name("supremm_jobfact");
+        assert!(!supremm.matches);
+        assert_eq!((supremm.source_rows, supremm.target_rows), (1, 0));
+    }
+
+    #[test]
+    fn checksum_checks_are_counted_on_the_hub_registry() {
+        use xdmod_telemetry::MetricsRegistry;
+        let src = db_with("xdmod_x", &[1.0, 2.0]);
+        let mut hub = db_with("hub_x", &[1.0, 2.5]); // mismatching content
+        let reg = MetricsRegistry::new();
+        hub.set_telemetry(reg.clone());
+        verify_schemas(&src, "xdmod_x", &hub, "hub_x").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("replication_checksum_checks_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("replication_checksum_mismatches_total", &[]),
+            Some(1)
+        );
     }
 
     #[test]

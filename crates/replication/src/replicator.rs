@@ -17,7 +17,8 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use xdmod_telemetry::MetricsRegistry;
 use xdmod_warehouse::{LogPosition, Result, SharedDatabase, WarehouseError};
 
 /// Configuration of one replication link.
@@ -77,18 +78,48 @@ pub struct Replicator {
     config: LinkConfig,
     position: LogPosition,
     stats: LinkStats,
+    telemetry: MetricsRegistry,
+    link_name: String,
 }
 
 impl Replicator {
     /// Create a link starting at the beginning of the source's binlog.
     pub fn new(source: SharedDatabase, target: SharedDatabase, config: LinkConfig) -> Self {
+        // Default link label: the hub-side schema, else the source schema,
+        // else "all" for a passthrough link.
+        let link_name = config
+            .rename_to
+            .clone()
+            .or_else(|| config.source_schema.clone())
+            .unwrap_or_else(|| "all".to_owned());
         Replicator {
             source,
             target,
             config,
             position: LogPosition::START,
             stats: LinkStats::default(),
+            telemetry: MetricsRegistry::disabled(),
+            link_name,
         }
+    }
+
+    /// Attach a metrics registry, labelling this link's metrics
+    /// (`replication_events_*_total{link=..}`, `replication_lag_events`)
+    /// with `link`.
+    pub fn with_telemetry(mut self, telemetry: MetricsRegistry, link: &str) -> Self {
+        self.telemetry = telemetry;
+        self.link_name = link.to_owned();
+        self
+    }
+
+    /// The registry this link reports into.
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// Label used on this link's metrics.
+    pub fn link_name(&self) -> &str {
+        &self.link_name
     }
 
     /// Current watermark (position of the last replicated source event).
@@ -101,9 +132,48 @@ impl Replicator {
         self.stats
     }
 
+    /// Replication lag in *events*: how far the source binlog's head is
+    /// ahead of this link's watermark. After an epoch rotation on the
+    /// source (restore), the whole new generation counts as backlog.
+    pub fn lag_events(&self) -> u64 {
+        let head = self.source.read().binlog_position();
+        if head.epoch == self.position.epoch {
+            head.seqno.saturating_sub(self.position.seqno)
+        } else {
+            head.seqno
+        }
+    }
+
     /// Read, filter, rename, and apply everything new. Returns how many
     /// events were applied. Idempotent when the source is quiescent.
+    ///
+    /// With telemetry attached, each poll updates the per-link
+    /// `replication_events_{read,applied,filtered}_total` counters and the
+    /// `replication_lag_events` gauge (even on error, so a stuck link is
+    /// visible as a growing gauge).
     pub fn poll(&mut self) -> Result<usize> {
+        let before = self.stats;
+        let result = self.poll_inner();
+        if self.telemetry.is_enabled() {
+            let link: &[(&str, &str)] = &[("link", &self.link_name)];
+            let d = self.stats;
+            self.telemetry
+                .counter("replication_events_read_total", link)
+                .add(d.events_read - before.events_read);
+            self.telemetry
+                .counter("replication_events_applied_total", link)
+                .add(d.events_applied - before.events_applied);
+            self.telemetry
+                .counter("replication_events_filtered_total", link)
+                .add(d.events_filtered - before.events_filtered);
+            self.telemetry
+                .gauge("replication_lag_events", link)
+                .set(self.lag_events() as f64);
+        }
+        result
+    }
+
+    fn poll_inner(&mut self) -> Result<usize> {
         // Snapshot the new events (and the schemas needed for resource
         // routing) under a read lock, then release it before taking the
         // target's write lock — the two databases may be the same object
@@ -164,40 +234,146 @@ impl Replicator {
 
 /// A replicator running on a background thread, polling at an interval —
 /// "live replication to the central federation hub database".
+///
+/// Each iteration polls (unless paused), then samples replication lag in
+/// both units into the link's registry: `replication_lag_events` (binlog
+/// positions behind) and `replication_lag_seconds` (wall-clock time since
+/// the link first fell behind). Apply errors are surfaced — counted,
+/// recorded as `replication.error` events, and kept in
+/// [`LiveReplicator::last_error`] — and the loop keeps polling: the
+/// watermark only advances past applied events, so a transient failure
+/// retries on the next iteration instead of killing the link.
 pub struct LiveReplicator {
     stop: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
     handle: Option<JoinHandle<Replicator>>,
     /// Last error observed by the worker, if any.
     last_error: Arc<Mutex<Option<WarehouseError>>>,
+}
+
+/// Per-iteration lag sampling state, local to the worker thread.
+struct LagSampler {
+    /// When the link first fell behind (None while caught up).
+    behind_since: Option<Instant>,
+    /// Last lag value recorded as an event, for dedup while idle at 0.
+    last_recorded: Option<u64>,
+}
+
+impl LagSampler {
+    fn new() -> Self {
+        LagSampler {
+            behind_since: None,
+            last_recorded: None,
+        }
+    }
+
+    fn sample(&mut self, rep: &Replicator) {
+        let lag = rep.lag_events();
+        let lag_secs = if lag == 0 {
+            self.behind_since = None;
+            0.0
+        } else {
+            self.behind_since
+                .get_or_insert_with(Instant::now)
+                .elapsed()
+                .as_secs_f64()
+        };
+        let telemetry = rep.telemetry();
+        if telemetry.is_enabled() {
+            let link: &[(&str, &str)] = &[("link", rep.link_name())];
+            telemetry
+                .gauge("replication_lag_events", link)
+                .set(lag as f64);
+            telemetry
+                .gauge("replication_lag_seconds", link)
+                .set(lag_secs);
+            // Record a lag-series event on every sample while behind, plus
+            // the one sample where the link returns to 0 — but not on every
+            // idle iteration, which would churn the event ring for nothing.
+            if lag > 0 || self.last_recorded.is_some_and(|l| l != lag) {
+                telemetry.event_with(
+                    "replication.lag",
+                    rep.link_name(),
+                    &[("lag_events", lag as f64), ("lag_seconds", lag_secs)],
+                );
+            }
+        }
+        self.last_recorded = Some(lag);
+    }
 }
 
 impl LiveReplicator {
     /// Spawn the polling loop.
     pub fn start(mut replicator: Replicator, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
+        let paused = Arc::new(AtomicBool::new(false));
         let last_error: Arc<Mutex<Option<WarehouseError>>> = Arc::new(Mutex::new(None));
         let stop2 = Arc::clone(&stop);
+        let paused2 = Arc::clone(&paused);
         let err2 = Arc::clone(&last_error);
         let handle = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Acquire) {
-                if let Err(e) = replicator.poll() {
-                    *err2.lock() = Some(e);
-                    break;
+            let mut lag = LagSampler::new();
+            let record_err = |rep: &Replicator, e: &WarehouseError| {
+                let telemetry = rep.telemetry();
+                if telemetry.is_enabled() {
+                    telemetry
+                        .counter(
+                            "replication_apply_errors_total",
+                            &[("link", rep.link_name())],
+                        )
+                        .inc();
+                    telemetry.event(
+                        "replication.error",
+                        &format!("{}: {e}", rep.link_name()),
+                    );
                 }
+            };
+            while !stop2.load(Ordering::Acquire) {
+                if !paused2.load(Ordering::Acquire) {
+                    if let Err(e) = replicator.poll() {
+                        record_err(&replicator, &e);
+                        *err2.lock() = Some(e);
+                    }
+                }
+                lag.sample(&replicator);
                 std::thread::park_timeout(interval);
             }
             // Final drain so a stop() immediately after a write loses
-            // nothing.
+            // nothing (even if the link was paused when stopped).
             if let Err(e) = replicator.poll() {
+                record_err(&replicator, &e);
                 *err2.lock() = Some(e);
             }
+            lag.sample(&replicator);
             replicator
         });
         LiveReplicator {
             stop,
+            paused,
             handle: Some(handle),
             last_error,
         }
+    }
+
+    /// Suspend polling without tearing the link down. Lag keeps being
+    /// sampled, so a paused link under writes shows a growing
+    /// `replication_lag_events` gauge — the scenario an operator dashboard
+    /// must make visible.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::Release);
+    }
+
+    /// Resume polling after [`LiveReplicator::pause`].
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Release);
+        if let Some(handle) = &self.handle {
+            handle.thread().unpark();
+        }
+    }
+
+    /// True while polling is suspended.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Acquire)
     }
 
     /// Any error the worker hit.
@@ -436,6 +612,145 @@ mod tests {
             src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
             dst.read().table("hub_x", "jobfact").unwrap().content_checksum()
         );
+    }
+
+    /// Wait (bounded) until `cond` holds, re-checking every millisecond.
+    fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..5000 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    #[test]
+    fn poll_reports_per_link_counters_and_lag_gauge() {
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let reg = MetricsRegistry::new();
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            dst,
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_telemetry(reg.clone(), "site-x");
+        rep.poll().unwrap();
+        let snap = reg.snapshot();
+        let link = &[("link", "site-x")];
+        assert_eq!(
+            snap.counter("replication_events_read_total", link),
+            Some(rep.stats().events_read)
+        );
+        assert_eq!(
+            snap.counter("replication_events_applied_total", link),
+            Some(rep.stats().events_applied)
+        );
+        // Caught up: the lag gauge reads zero.
+        assert_eq!(snap.gauge("replication_lag_events", link), Some(0.0));
+        assert_eq!(rep.lag_events(), 0);
+    }
+
+    #[test]
+    fn paused_live_link_shows_growing_lag_then_recovers() {
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let reg = MetricsRegistry::new();
+        let rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_telemetry(reg.clone(), "site-x");
+        let live = LiveReplicator::start(rep, Duration::from_millis(1));
+        let link = &[("link", "site-x")];
+
+        // Let the link catch up, then pause it.
+        assert!(eventually(|| reg
+            .snapshot()
+            .gauge("replication_lag_events", link)
+            == Some(0.0)));
+        live.pause();
+        assert!(live.is_paused());
+
+        // Writes while paused pile up as backlog...
+        for i in 0..5 {
+            src.write()
+                .insert(
+                    "xdmod_x",
+                    "jobfact",
+                    vec![vec![Value::Str("comet".into()), Value::Float(f64::from(i))]],
+                )
+                .unwrap();
+        }
+        // ...and the sampler reports them: 5 events behind, nonzero
+        // wall-clock lag, and a replication.lag event series.
+        assert!(eventually(|| reg
+            .snapshot()
+            .gauge("replication_lag_events", link)
+            == Some(5.0)));
+        assert!(eventually(
+            || reg.snapshot().gauge("replication_lag_seconds", link) > Some(0.0)
+        ));
+        let lag_events = reg.events_of_kind("replication.lag");
+        assert!(!lag_events.is_empty());
+        assert!(lag_events
+            .iter()
+            .any(|e| e.message == "site-x" && e.field("lag_events") == Some(5.0)));
+
+        // Resuming drains the backlog and both gauges return to zero.
+        live.resume();
+        assert!(eventually(|| {
+            let snap = reg.snapshot();
+            snap.gauge("replication_lag_events", link) == Some(0.0)
+                && snap.gauge("replication_lag_seconds", link) == Some(0.0)
+        }));
+        let rep = live.stop();
+        assert!(rep.stats().events_applied >= 5);
+        assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn apply_errors_are_surfaced_and_do_not_kill_the_loop() {
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        // Poison the target: hub_x.jobfact exists with a different layout,
+        // so every apply of the source's CreateTable event fails.
+        let mut poisoned = Database::new();
+        poisoned.create_schema("hub_x").unwrap();
+        poisoned
+            .create_table(
+                "hub_x",
+                SchemaBuilder::new("jobfact")
+                    .required("something_else", ColumnType::Int)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let dst = shared(poisoned);
+        let reg = MetricsRegistry::new();
+        let rep = Replicator::new(
+            src,
+            dst,
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_telemetry(reg.clone(), "site-x");
+        let live = LiveReplicator::start(rep, Duration::from_millis(1));
+        // The loop keeps retrying (counter grows past 1) instead of dying
+        // on the first failure, and the error is inspectable live.
+        assert!(eventually(|| reg
+            .snapshot()
+            .counter("replication_apply_errors_total", &[("link", "site-x")])
+            .unwrap_or(0)
+            > 1));
+        assert!(live.last_error().is_some());
+        assert!(!reg.events_of_kind("replication.error").is_empty());
+        let rep = live.stop();
+        // The watermark never advanced past the failing event.
+        assert_eq!(rep.stats().events_applied, 0);
     }
 
     #[test]

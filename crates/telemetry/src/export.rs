@@ -1,0 +1,289 @@
+//! Exposition formats: Prometheus-style text and JSON.
+//!
+//! Both renderings are **deterministic**: metrics sort by `(name, labels)`
+//! and floats print with Rust's shortest-round-trip formatting, so test
+//! suites can snapshot the output byte-for-byte.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{MetricId, MetricsRegistry, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Escape a label value for the text exposition (`\\`, `\"`, `\n`).
+pub(crate) fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escape a string for JSON output.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float deterministically; non-finite values (which no
+/// instrument should produce) render as 0 so the output stays parseable.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn render_with_extra_label(id: &MetricId, suffix: &str, extra: Option<(&str, &str)>) -> String {
+    let mut labels: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        labels.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if labels.is_empty() {
+        format!("{}{}", id.name, suffix)
+    } else {
+        format!("{}{}{{{}}}", id.name, suffix, labels.join(","))
+    }
+}
+
+fn write_histogram(out: &mut String, id: &MetricId, h: &HistogramSnapshot) {
+    for (upper, cum) in h.cumulative_buckets() {
+        let _ = writeln!(
+            out,
+            "{} {cum}",
+            render_with_extra_label(id, "_bucket", Some(("le", &fmt_f64(upper))))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} {}",
+        render_with_extra_label(id, "_bucket", Some(("le", "+Inf"))),
+        h.count
+    );
+    let _ = writeln!(out, "{} {}", render_with_extra_label(id, "_sum", None), fmt_f64(h.sum));
+    let _ = writeln!(out, "{} {}", render_with_extra_label(id, "_count", None), h.count);
+}
+
+impl MetricsRegistry {
+    /// Prometheus-style text exposition of every registered metric.
+    ///
+    /// Counters and gauges render one sample per label set; histograms
+    /// render cumulative `_bucket{le=...}` samples up to their highest
+    /// non-empty bucket plus `+Inf`, then `_sum` and `_count`. A `# TYPE`
+    /// comment precedes each metric family. Output is empty for a
+    /// disabled registry.
+    pub fn prometheus_text(&self) -> String {
+        self.snapshot().prometheus_text()
+    }
+
+    /// JSON exposition: `{"counters": [...], "gauges": [...],
+    /// "histograms": [...], "events": [...]}` with deterministic ordering.
+    pub fn json(&self) -> String {
+        self.snapshot().json()
+    }
+}
+
+impl RegistrySnapshot {
+    /// See [`MetricsRegistry::prometheus_text`].
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_family != name {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_family = name.to_owned();
+            }
+        };
+        for (id, v) in &self.counters {
+            type_line(&mut out, &id.name, "counter");
+            let _ = writeln!(out, "{} {v}", id.render());
+        }
+        for (id, v) in &self.gauges {
+            type_line(&mut out, &id.name, "gauge");
+            let _ = writeln!(out, "{} {}", id.render(), fmt_f64(*v));
+        }
+        for (id, h) in &self.histograms {
+            type_line(&mut out, &id.name, "histogram");
+            write_histogram(&mut out, id, h);
+        }
+        out
+    }
+
+    /// See [`MetricsRegistry::json`].
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",", escape_json(&id.name));
+            write_json_labels(&mut out, id);
+            let _ = write!(out, ",\"value\":{v}}}");
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (id, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",", escape_json(&id.name));
+            write_json_labels(&mut out, id);
+            let _ = write!(out, ",\"value\":{}}}", fmt_f64(*v));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",", escape_json(&id.name));
+            write_json_labels(&mut out, id);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.max),
+                json_opt(h.p50()),
+                json_opt(h.p95()),
+                json_opt(h.p99()),
+            );
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"elapsed_ms\":{},\"kind\":\"{}\",\"message\":\"{}\",\"fields\":{{",
+                e.seq,
+                e.elapsed_ms,
+                escape_json(&e.kind),
+                escape_json(&e.message)
+            );
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape_json(k), fmt_f64(*v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => fmt_f64(v),
+        None => "null".to_owned(),
+    }
+}
+
+fn write_json_labels(out: &mut String, id: &MetricId) {
+    out.push_str("\"labels\":{");
+    for (i, (k, v)) in id.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("events_applied_total", &[("link", "x")]).add(7);
+        reg.counter("events_applied_total", &[("link", "y")]).add(3);
+        reg.gauge("replication_lag_seconds", &[("link", "x")]).set(0.5);
+        let h = reg.histogram("query_seconds", &[("table", "jobfact")]);
+        h.observe(0.5e-9); // bucket 0 (le 1e-9)
+        h.observe(1.5e-9); // bucket 1 (le 2e-9)
+        h.observe(3.0e-9); // bucket 2 (le 4e-9)
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_snapshot_is_stable() {
+        let expected = "\
+# TYPE events_applied_total counter
+events_applied_total{link=\"x\"} 7
+events_applied_total{link=\"y\"} 3
+# TYPE replication_lag_seconds gauge
+replication_lag_seconds{link=\"x\"} 0.5
+# TYPE query_seconds histogram
+query_seconds_bucket{table=\"jobfact\",le=\"0.000000001\"} 1
+query_seconds_bucket{table=\"jobfact\",le=\"0.000000002\"} 2
+query_seconds_bucket{table=\"jobfact\",le=\"0.000000004\"} 3
+query_seconds_bucket{table=\"jobfact\",le=\"+Inf\"} 3
+query_seconds_sum{table=\"jobfact\"} 0.000000005
+query_seconds_count{table=\"jobfact\"} 3
+";
+        assert_eq!(sample_registry().prometheus_text(), expected);
+        // And it is idempotent: rendering twice gives the same bytes.
+        let reg = sample_registry();
+        assert_eq!(reg.prometheus_text(), reg.prometheus_text());
+    }
+
+    #[test]
+    fn disabled_registry_renders_empty() {
+        let reg = MetricsRegistry::disabled();
+        assert_eq!(reg.prometheus_text(), "");
+        assert_eq!(
+            reg.json(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"events\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_contains_every_section_and_escapes() {
+        let reg = sample_registry();
+        reg.event_with("replication.error", "link \"x\"\nbroke", &[("attempt", 2.0)]);
+        let json = reg.json();
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("\"name\":\"events_applied_total\""));
+        assert!(json.contains("\"labels\":{\"link\":\"x\"}"));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("link \\\"x\\\"\\nbroke"));
+        assert!(json.contains("\"attempt\":2"));
+        assert!(json.ends_with("]}"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_enabled_registry_renders_empty_sections() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.prometheus_text(), "");
+        assert_eq!(
+            reg.json(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"events\":[]}"
+        );
+    }
+
+    #[test]
+    fn escape_label_handles_specials() {
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+}

@@ -1,0 +1,314 @@
+//! Log₂-bucketed histograms with quantile estimation.
+//!
+//! Latencies span many orders of magnitude (a cached counter read is
+//! nanoseconds; a federation-wide re-aggregation is seconds), so buckets
+//! grow geometrically: bucket `i` covers `(MIN_BOUND·2^(i-1), MIN_BOUND·2^i]`
+//! with `MIN_BOUND` = 1 ns expressed in seconds. 64 buckets reach ~9×10⁹
+//! seconds, far past anything observable. Quantiles are estimated by
+//! linear interpolation inside the selected bucket, which keeps the
+//! estimate within one bucket width (≤2×) of truth and much closer for
+//! smooth distributions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ buckets.
+pub const BUCKETS: usize = 64;
+
+/// Upper bound of bucket 0, in the histogram's native unit (seconds for
+/// timers): one nanosecond.
+pub const MIN_BOUND: f64 = 1e-9;
+
+/// Upper bound of bucket `i`.
+#[inline]
+pub fn bucket_upper(i: usize) -> f64 {
+    MIN_BOUND * 2f64.powi(i.min(BUCKETS - 1) as i32)
+}
+
+/// Shared histogram state. All fields are atomics; `observe` is lock-free.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+    /// Maximum observed value, stored as `f64` bits. Non-negative `f64`
+    /// bit patterns order like the floats themselves, so `fetch_max`-style
+    /// CAS on the bits is correct for our (non-negative) observations.
+    max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if !(v > MIN_BOUND) {
+            // NaN, negative, zero, and sub-nanosecond all land in bucket 0.
+            return 0;
+        }
+        let idx = (v / MIN_BOUND).log2().ceil() as i64;
+        idx.clamp(0, (BUCKETS - 1) as i64) as usize
+    }
+
+    pub(crate) fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loops for the float fields.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < v {
+            match self
+                .max_bits
+                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A handle to one histogram. Cheap to clone; `None` inside means the
+/// owning registry is disabled and every operation is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A no-op histogram (what a disabled registry hands out).
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// True when observations are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one observation (negative/NaN values count as 0).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.observe(v);
+        }
+    }
+
+    /// Consistent point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            Some(core) => core.snapshot(),
+            None => HistogramSnapshot::default(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.snapshot().count
+    }
+}
+
+/// An immutable copy of a histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the selected log bucket; clamped to the observed maximum.
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= rank {
+                let lower = if i == 0 { 0.0 } else { bucket_upper(i - 1) };
+                let upper = bucket_upper(i);
+                let frac = ((rank - cum as f64) / n as f64).clamp(0.0, 1.0);
+                let est = lower + frac * (upper - lower);
+                return Some(est.min(self.max));
+            }
+            cum = next;
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative count at or below each bucket upper bound, as
+    /// `(upper_bound, cumulative)` pairs ending at the highest non-empty
+    /// bucket. Empty histograms yield an empty vector.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let last = match (0..BUCKETS).rev().find(|&i| self.buckets[i] > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut cum = 0u64;
+        (0..=last)
+            .map(|i| {
+                cum += self.buckets[i];
+                (bucket_upper(i), cum)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: impl IntoIterator<Item = f64>) -> HistogramSnapshot {
+        let core = HistogramCore::new();
+        for v in values {
+            core.observe(v);
+        }
+        core.snapshot()
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = filled([]);
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.count, 0);
+        assert!(snap.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_of_known_uniform_distribution() {
+        // 1..=1000 uniform: true p50=500, p95=950, p99=990, max=1000.
+        let snap = filled((1..=1000).map(f64::from));
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max, 1000.0);
+        assert!((snap.sum - 500_500.0).abs() < 1e-6);
+        let p50 = snap.p50().unwrap();
+        let p95 = snap.p95().unwrap();
+        let p99 = snap.p99().unwrap();
+        assert!((p50 - 500.0).abs() / 500.0 < 0.10, "p50 estimate {p50}");
+        assert!((p95 - 950.0).abs() / 950.0 < 0.15, "p95 estimate {p95}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99 estimate {p99}");
+        // Quantiles are monotone and capped at the max.
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= 1000.0);
+    }
+
+    #[test]
+    fn quantiles_of_point_mass() {
+        let snap = filled(std::iter::repeat(0.25).take(100));
+        // Everything sits in one bucket whose bounds bracket 0.25.
+        let p50 = snap.p50().unwrap();
+        assert!(p50 <= 0.25 && p50 > 0.125 / 2.0, "p50 {p50}");
+        assert_eq!(snap.quantile(1.0), Some(0.25));
+        assert_eq!(snap.max, 0.25);
+    }
+
+    #[test]
+    fn pathological_values_are_tolerated() {
+        let snap = filled([-1.0, 0.0, f64::NAN, f64::INFINITY, 1e-12]);
+        assert_eq!(snap.count, 5);
+        // Negative/NaN/∞ sanitize to 0; sub-nanosecond positives survive.
+        assert_eq!(snap.max, 1e-12);
+        assert_eq!(snap.buckets[0], 5);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let snap = filled([1e-9, 1e-6, 1e-3, 1.0, 2.5]);
+        let cum = snap.cumulative_buckets();
+        assert!(!cum.is_empty());
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, snap.count);
+    }
+
+    #[test]
+    fn noop_histogram_records_nothing() {
+        let h = Histogram::noop();
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn concurrent_observations_are_all_counted() {
+        let h = Histogram(Some(Arc::new(HistogramCore::new())));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 1..=1000 {
+                        h.observe(f64::from(i) * 1e-6);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert!((snap.max - 1e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! # xdmod-telemetry
+//!
+//! The self-monitoring substrate of the federated-XDMoD workspace. XDMoD's
+//! whole purpose is "providing detailed information on utilization,
+//! quality of service, and performance" of computing resources (paper §I)
+//! — this crate turns that lens back on the system itself, so replication
+//! lag, query latency, aggregation cost, and ingest throughput are
+//! observable rather than inferred.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero dependencies.** The registry sits underneath the warehouse at
+//!    the very bottom of the workspace dependency graph, so it uses only
+//!    `std` (atomics, `Mutex`, `Instant`).
+//! 2. **Global-free.** There is no process-wide singleton; a
+//!    [`MetricsRegistry`] is an explicit, cheaply cloneable handle that
+//!    owners thread into the components they want observed. Tests get
+//!    isolated registries for free.
+//! 3. **Free when off.** [`MetricsRegistry::disabled()`] hands out no-op
+//!    instruments: a disabled [`Counter::inc`] is a single branch on an
+//!    always-`None` `Option` (sub-nanosecond; see `benches/overhead.rs`),
+//!    and disabled spans never even read the clock.
+//! 4. **Lock-free hot path.** Instruments are `Arc`'d atomics; the
+//!    registry's `Mutex` is only taken at registration and export time.
+//!
+//! The four instrument kinds:
+//!
+//! - [`Counter`] — monotonically increasing `u64` (events applied, bytes
+//!   appended, rows scanned).
+//! - [`Gauge`] — instantaneous `f64` (replication lag, queue depths).
+//! - [`Histogram`] — log₂-bucketed distribution with `p50/p95/p99/max`
+//!   estimation (query and aggregation latencies).
+//! - [`Span`] — RAII timer that observes its elapsed time into a
+//!   histogram on drop.
+//!
+//! Plus a bounded ring buffer of structured [`Event`]s (errors, lag
+//! samples, lifecycle notes) and two exposition formats: Prometheus-style
+//! text ([`MetricsRegistry::prometheus_text`]) and JSON
+//! ([`MetricsRegistry::json`]), both deterministic for snapshot testing.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use event::Event;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricId, MetricsRegistry, RegistrySnapshot};
+pub use span::Span;

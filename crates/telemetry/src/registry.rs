@@ -1,0 +1,493 @@
+//! The metric registry and its scalar instruments.
+
+use crate::event::{Event, EventRing};
+use crate::histogram::{Histogram, HistogramCore, HistogramSnapshot};
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default bound of the event ring buffer.
+const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Identity of one metric: a name plus sorted label pairs.
+///
+/// Two instruments with the same id share state, so a component may
+/// re-request a handle instead of caching it (caching is still cheaper —
+/// re-requests take the registry lock).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Metric name, e.g. `replication_events_applied_total`.
+    pub name: String,
+    /// Label pairs, sorted by key for a canonical identity.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Build an id with canonically sorted labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// Value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Render as `name{k="v",...}` (or bare `name` without labels).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", crate::export::escape_label(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares state; a handle
+/// from a disabled registry is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for no-op handles).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// An instantaneous `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Add a delta (CAS loop).
+    pub fn add(&self, delta: f64) {
+        if let Some(cell) = &self.0 {
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + delta).to_bits();
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Current value (0.0 for no-op handles).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    counters: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<HistogramCore>>>,
+    events: Mutex<EventRing>,
+}
+
+/// The metric registry: a cheaply cloneable, global-free handle that owns
+/// every instrument of one observed system (an instance, a hub, a test).
+///
+/// `Default` is **disabled** so that embedding a registry into another
+/// struct (e.g. the warehouse `Database`) costs nothing until an owner
+/// explicitly attaches an enabled one.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled registry with a custom event-ring capacity.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(EventRing::new(capacity)),
+            })),
+        }
+    }
+
+    /// The no-op registry: hands out no-op instruments, records nothing.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// True when this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when two handles share the same underlying registry (or both
+    /// are disabled).
+    pub fn same_registry(&self, other: &MetricsRegistry) -> bool {
+        match (&self.inner, &other.inner) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Milliseconds since this registry was created (0 when disabled).
+    pub fn elapsed_ms(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.start.elapsed().as_millis() as u64)
+    }
+
+    /// Register (or fetch) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => {
+                let id = MetricId::new(name, labels);
+                let mut map = inner.counters.lock().expect("counter map poisoned");
+                Counter(Some(Arc::clone(
+                    map.entry(id).or_insert_with(|| Arc::new(AtomicU64::new(0))),
+                )))
+            }
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(inner) => {
+                let id = MetricId::new(name, labels);
+                let mut map = inner.gauges.lock().expect("gauge map poisoned");
+                Gauge(Some(Arc::clone(map.entry(id).or_insert_with(|| {
+                    Arc::new(AtomicU64::new(0f64.to_bits()))
+                }))))
+            }
+        }
+    }
+
+    /// Register (or fetch) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match &self.inner {
+            None => Histogram::noop(),
+            Some(inner) => {
+                let id = MetricId::new(name, labels);
+                let mut map = inner.histograms.lock().expect("histogram map poisoned");
+                Histogram(Some(Arc::clone(
+                    map.entry(id).or_insert_with(|| Arc::new(HistogramCore::new())),
+                )))
+            }
+        }
+    }
+
+    /// Start an RAII timer that observes its elapsed seconds into the
+    /// named histogram when dropped. Disabled registries return an inert
+    /// span that never reads the clock.
+    pub fn span(&self, histogram_name: &str, labels: &[(&str, &str)]) -> Span {
+        Span::starting(self.histogram(histogram_name, labels))
+    }
+
+    /// Record a structured event.
+    pub fn event(&self, kind: &str, message: &str) {
+        self.event_with(kind, message, &[]);
+    }
+
+    /// Record a structured event with numeric fields.
+    pub fn event_with(&self, kind: &str, message: &str, fields: &[(&str, f64)]) {
+        if let Some(inner) = &self.inner {
+            let elapsed = inner.start.elapsed().as_millis() as u64;
+            inner
+                .events
+                .lock()
+                .expect("event ring poisoned")
+                .push(elapsed, kind, message, fields);
+        }
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.events.lock().expect("event ring poisoned").all()
+        })
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<Event> {
+        self.events().into_iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Total events ever emitted (including ones evicted from the ring).
+    pub fn events_emitted(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.events.lock().expect("event ring poisoned").total_emitted()
+        })
+    }
+
+    /// Point-in-time copy of every instrument and the event ring.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let Some(inner) = &self.inner else {
+            return RegistrySnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(id, cell)| (id.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(id, cell)| (id.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(id, core)| (id.clone(), core.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events(),
+        }
+    }
+}
+
+/// A deterministic, ordered copy of a registry's state (metric ids sort
+/// by name, then labels).
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counters and their values.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauges and their values.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// Histograms and their distributions.
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl RegistrySnapshot {
+    /// Value of one counter, if registered.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters.iter().find(|(i, _)| *i == id).map(|(_, v)| *v)
+    }
+
+    /// Sum of a counter across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(i, _)| i.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Value of one gauge, if registered.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let id = MetricId::new(name, labels);
+        self.gauges.iter().find(|(i, _)| *i == id).map(|(_, v)| *v)
+    }
+
+    /// One histogram's distribution, if registered.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let id = MetricId::new(name, labels);
+        self.histograms.iter().find(|(i, _)| *i == id).map(|(_, h)| h)
+    }
+
+    /// All histograms sharing a metric name, with their ids.
+    pub fn histograms_named(&self, name: &str) -> Vec<(&MetricId, &HistogramSnapshot)> {
+        self.histograms
+            .iter()
+            .filter(|(i, _)| i.name == name)
+            .map(|(i, h)| (i, h))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_state_by_id() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("events_total", &[("link", "x")]);
+        let b = reg.counter("events_total", &[("link", "x")]);
+        let other = reg.counter("events_total", &[("link", "y")]);
+        a.inc();
+        b.add(2);
+        other.add(10);
+        assert_eq!(a.get(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("events_total", &[("link", "x")]), Some(3));
+        assert_eq!(snap.counter_total("events_total"), 13);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.snapshot().counters.len(), 1);
+        assert_eq!(reg.snapshot().counter_total("m"), 2);
+    }
+
+    #[test]
+    fn gauges_set_add_get() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("lag_seconds", &[("link", "x")]);
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+        assert_eq!(reg.snapshot().gauge("lag_seconds", &[("link", "x")]), Some(1.5));
+    }
+
+    #[test]
+    fn disabled_registry_is_inert_everywhere() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("c", &[]);
+        let g = reg.gauge("g", &[]);
+        let h = reg.histogram("h", &[]);
+        c.inc();
+        g.set(1.0);
+        h.observe(1.0);
+        reg.event("k", "m");
+        drop(reg.span("h", &[]));
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.events.is_empty());
+        assert_eq!(reg.events_emitted(), 0);
+    }
+
+    #[test]
+    fn default_is_disabled_and_clone_shares() {
+        assert!(!MetricsRegistry::default().is_enabled());
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        assert!(reg.same_registry(&clone));
+        clone.counter("c", &[]).inc();
+        assert_eq!(reg.snapshot().counter_total("c"), 1);
+        assert!(!reg.same_registry(&MetricsRegistry::new()));
+    }
+
+    #[test]
+    fn events_round_trip_through_registry() {
+        let reg = MetricsRegistry::with_event_capacity(2);
+        reg.event("a.start", "one");
+        reg.event_with("a.lag", "link-x", &[("lag", 3.0)]);
+        reg.event("a.stop", "three");
+        let all = reg.events();
+        assert_eq!(all.len(), 2); // capacity bound
+        assert_eq!(reg.events_emitted(), 3);
+        let lags = reg.events_of_kind("a.lag");
+        assert_eq!(lags.len(), 1);
+        assert_eq!(lags[0].field("lag"), Some(3.0));
+    }
+
+    #[test]
+    fn snapshot_ids_are_sorted_deterministically() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total", &[]).inc();
+        reg.counter("a_total", &[("k", "2")]).inc();
+        reg.counter("a_total", &[("k", "1")]).inc();
+        let names: Vec<String> = reg
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(id, _)| id.render())
+            .collect();
+        assert_eq!(names, vec!["a_total{k=\"1\"}", "a_total{k=\"2\"}", "z_total"]);
+    }
+
+    #[test]
+    fn metric_id_render_escapes_labels() {
+        let id = MetricId::new("m", &[("path", "a\"b\\c\n")]);
+        assert_eq!(id.render(), "m{path=\"a\\\"b\\\\c\\n\"}");
+    }
+
+    #[test]
+    fn span_observes_into_histogram_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _span = reg.span("op_seconds", &[("op", "test")]);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("op_seconds", &[("op", "test")]).unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 0.002, "span recorded {}", h.max);
+    }
+}

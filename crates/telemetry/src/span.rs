@@ -1,0 +1,93 @@
+//! RAII timing spans.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// An RAII timer: created via [`crate::MetricsRegistry::span`], it
+/// observes its elapsed wall-clock seconds into a histogram when dropped
+/// (or earlier via [`Span::finish`]).
+///
+/// Spans from a disabled registry never read the clock, so an
+/// instrumented scope costs one branch when telemetry is off.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    /// `None` when telemetry is disabled or the span already finished.
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn starting(hist: Histogram) -> Self {
+        let start = hist.is_enabled().then(Instant::now);
+        Span { hist, start }
+    }
+
+    /// An inert span (used by callers that hold an optional span).
+    pub fn noop() -> Self {
+        Span {
+            hist: Histogram::noop(),
+            start: None,
+        }
+    }
+
+    /// Seconds elapsed so far (0.0 for inert spans).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.map_or(0.0, |s| s.elapsed().as_secs_f64())
+    }
+
+    /// Observe now and return the elapsed seconds; the drop becomes a
+    /// no-op. Useful when the caller also wants the measured value.
+    pub fn finish(mut self) -> f64 {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> f64 {
+        match self.start.take() {
+            Some(start) => {
+                let secs = start.elapsed().as_secs_f64();
+                self.hist.observe(secs);
+                secs
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn finish_observes_once() {
+        let reg = MetricsRegistry::new();
+        let span = reg.span("op_seconds", &[]);
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("op_seconds", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn noop_span_is_inert() {
+        let span = Span::noop();
+        assert_eq!(span.elapsed_secs(), 0.0);
+        assert_eq!(span.finish(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone_while_running() {
+        let reg = MetricsRegistry::new();
+        let span = reg.span("op_seconds", &[]);
+        let a = span.elapsed_secs();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = span.elapsed_secs();
+        assert!(b >= a);
+    }
+}

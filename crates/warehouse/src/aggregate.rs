@@ -138,6 +138,10 @@ impl AggregationSpec {
     /// "re-aggregate after changing levels" administrative action.
     pub fn materialize(&self, db: &mut Database, schema: &str) -> Result<()> {
         for &period in &self.periods {
+            let span = db.telemetry().span(
+                "warehouse_aggregation_seconds",
+                &[("table", &self.table_name(period))],
+            );
             let fact = db.table(schema, &self.fact_table)?;
             let fact_schema = fact.schema().clone();
             let out_schema = self.output_schema(&fact_schema, period)?;
@@ -192,6 +196,7 @@ impl AggregationSpec {
                 }
             }
             db.insert(schema, &table_name, rows)?;
+            span.finish();
         }
         Ok(())
     }
@@ -375,6 +380,22 @@ mod tests {
         let (mut db, mut spec) = setup();
         spec.fact_table = "nope".into();
         assert!(spec.materialize(&mut db, "xdmod_a").is_err());
+    }
+
+    #[test]
+    fn materialize_times_each_period_table() {
+        let (mut db, spec) = setup();
+        let reg = xdmod_telemetry::MetricsRegistry::new();
+        db.set_telemetry(reg.clone());
+        spec.materialize(&mut db, "xdmod_a").unwrap();
+        let snap = reg.snapshot();
+        for period in [Period::Month, Period::Year] {
+            let name = spec.table_name(period);
+            let h = snap
+                .histogram("warehouse_aggregation_seconds", &[("table", &name)])
+                .unwrap_or_else(|| panic!("no aggregation timing for {name}"));
+            assert_eq!(h.count, 1);
+        }
     }
 
     #[test]

@@ -7,10 +7,12 @@
 
 use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition};
 use crate::error::{Result, WarehouseError};
+use crate::query::{Query, ResultSet};
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::value::Row;
 use std::collections::BTreeMap;
+use xdmod_telemetry::MetricsRegistry;
 
 /// A database: an ordered map of schemas, each an ordered map of tables,
 /// with every mutation recorded in an embedded binlog.
@@ -18,12 +20,42 @@ use std::collections::BTreeMap;
 pub struct Database {
     schemas: BTreeMap<String, BTreeMap<String, Table>>,
     binlog: Binlog,
+    /// Disabled by default; [`Database::set_telemetry`] attaches a live
+    /// registry (the hub/instance hands its own down at construction).
+    telemetry: MetricsRegistry,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Attach a metrics registry. All binlog/query instrumentation becomes
+    /// live; with the default (disabled) registry it costs one branch.
+    pub fn set_telemetry(&mut self, telemetry: MetricsRegistry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The registry this database reports into (disabled unless
+    /// [`Database::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// Append to the binlog, counting appends and framed bytes.
+    fn log(&mut self, payload: &EventPayload) -> LogPosition {
+        let before = self.binlog.byte_len();
+        let pos = self.binlog.append(payload);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_binlog_appends_total", &[])
+                .inc();
+            self.telemetry
+                .counter("warehouse_binlog_bytes_total", &[])
+                .add((self.binlog.byte_len() - before) as u64);
+        }
+        pos
     }
 
     // ------------------------------------------------------------------
@@ -36,7 +68,7 @@ impl Database {
             return Err(WarehouseError::AlreadyExists(format!("schema {name}")));
         }
         self.schemas.insert(name.to_owned(), BTreeMap::new());
-        Ok(self.binlog.append(&EventPayload::CreateSchema {
+        Ok(self.log(&EventPayload::CreateSchema {
             schema: name.to_owned(),
         }))
     }
@@ -66,7 +98,7 @@ impl Database {
             def: def.clone(),
         };
         tables.insert(def.name.clone(), Table::new(def));
-        Ok(self.binlog.append(&event))
+        Ok(self.log(&event))
     }
 
     /// Create a table if absent, verifying the definition matches when it
@@ -100,7 +132,7 @@ impl Database {
         }
         let t = self.table_mut(schema, table)?;
         let stored = t.insert_batch(rows)?;
-        Ok(self.binlog.append(&EventPayload::InsertBatch {
+        Ok(self.log(&EventPayload::InsertBatch {
             schema: schema.to_owned(),
             table: table.to_owned(),
             rows: stored,
@@ -111,7 +143,7 @@ impl Database {
     pub fn truncate(&mut self, schema: &str, table: &str) -> Result<LogPosition> {
         let t = self.table_mut(schema, table)?;
         t.truncate();
-        Ok(self.binlog.append(&EventPayload::Truncate {
+        Ok(self.log(&EventPayload::Truncate {
             schema: schema.to_owned(),
             table: table.to_owned(),
         }))
@@ -181,6 +213,29 @@ impl Database {
                 schema: schema.to_owned(),
                 table: table.to_owned(),
             })
+    }
+
+    /// Run a query against one table, timing the execution and counting
+    /// rows scanned.
+    ///
+    /// Equivalent to `query.run(db.table(schema, table)?)` plus the
+    /// `warehouse_query_seconds{table=..}` histogram and
+    /// `warehouse_query_rows_scanned_total{table=..}` counter. Callers on
+    /// hot paths that don't want attribution can keep calling
+    /// [`Query::run`] directly.
+    pub fn query(&self, schema: &str, table: &str, query: &Query) -> Result<ResultSet> {
+        let t = self.table(schema, table)?;
+        let span = self
+            .telemetry
+            .span("warehouse_query_seconds", &[("table", table)]);
+        let result = query.run(t);
+        span.finish();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_query_rows_scanned_total", &[("table", table)])
+                .add(t.len() as u64);
+        }
+        result
     }
 
     fn table_mut(&mut self, schema: &str, table: &str) -> Result<&mut Table> {
@@ -385,6 +440,57 @@ mod tests {
         let pos = db.binlog_position();
         assert_eq!(pos.epoch, old_pos.epoch + 1);
         assert_eq!(pos.seqno, 0);
+    }
+
+    #[test]
+    fn telemetry_counts_binlog_appends_and_query_time() {
+        use crate::query::Query;
+        use xdmod_telemetry::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        let mut db = Database::new();
+        db.set_telemetry(reg.clone());
+        db.create_schema("xdmod_x").unwrap();
+        db.create_table("xdmod_x", jobfact()).unwrap();
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("comet".into()), Value::Float(3.0)]],
+        )
+        .unwrap();
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("warehouse_binlog_appends_total", &[]), Some(3));
+        assert!(snap.counter("warehouse_binlog_bytes_total", &[]).unwrap() > 0);
+
+        let rs = db
+            .query("xdmod_x", "jobfact", &Query::new())
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("warehouse_query_seconds", &[("table", "jobfact")])
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            snap.counter(
+                "warehouse_query_rows_scanned_total",
+                &[("table", "jobfact")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn detached_database_reports_nothing() {
+        use crate::query::Query;
+        let db = populated();
+        assert!(!db.telemetry().is_enabled());
+        // Instrumented paths still work with telemetry off.
+        db.query("xdmod_x", "jobfact", &Query::new()).unwrap();
+        assert_eq!(db.telemetry().prometheus_text(), "");
     }
 
     #[test]

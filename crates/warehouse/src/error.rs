@@ -35,6 +35,8 @@ pub enum WarehouseError {
     InvalidQuery(String),
     /// A snapshot could not be serialized or deserialized.
     Snapshot(String),
+    /// A calendar computation received an out-of-range field (e.g. month 13).
+    InvalidTime(String),
 }
 
 impl fmt::Display for WarehouseError {
@@ -52,6 +54,7 @@ impl fmt::Display for WarehouseError {
             WarehouseError::CorruptBinlog(s) => write!(f, "corrupt binlog: {s}"),
             WarehouseError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
             WarehouseError::Snapshot(s) => write!(f, "snapshot error: {s}"),
+            WarehouseError::InvalidTime(s) => write!(f, "invalid time: {s}"),
         }
     }
 }

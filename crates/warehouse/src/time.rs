@@ -67,6 +67,12 @@ pub fn is_leap_year(year: i32) -> bool {
 }
 
 /// Number of days in `month` of `year`.
+///
+/// Out-of-range months (0, 13, ...) yield 0 rather than panicking: every
+/// validation site compares `day <= days_in_month(..)`, so a bad month
+/// makes *all* days invalid — the parse or constructor rejects the input
+/// instead of tearing the process down on untrusted data. Use
+/// [`checked_days_in_month`] when the caller wants the error surfaced.
 pub fn days_in_month(year: i32, month: u8) -> u8 {
     match month {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
@@ -78,7 +84,18 @@ pub fn days_in_month(year: i32, month: u8) -> u8 {
                 28
             }
         }
-        _ => panic!("month out of range: {month}"),
+        _ => 0,
+    }
+}
+
+/// Like [`days_in_month`] but returns an error for out-of-range months.
+pub fn checked_days_in_month(year: i32, month: u8) -> Result<u8, crate::error::WarehouseError> {
+    if (1..=12).contains(&month) {
+        Ok(days_in_month(year, month))
+    } else {
+        Err(crate::error::WarehouseError::InvalidTime(format!(
+            "month out of range: {month}"
+        )))
     }
 }
 
@@ -319,6 +336,23 @@ mod tests {
             let d = civil_from_days(days);
             assert_eq!(d.to_days(), days, "round trip failed at {d}");
         }
+    }
+
+    #[test]
+    fn out_of_range_month_is_rejected_not_panicking() {
+        // days_in_month saturates to 0 days, so no day validates.
+        assert_eq!(days_in_month(2017, 0), 0);
+        assert_eq!(days_in_month(2017, 13), 0);
+        assert_eq!(days_in_month(2017, 255), 0);
+        // The checked variant surfaces the error.
+        assert!(matches!(
+            checked_days_in_month(2017, 13),
+            Err(crate::error::WarehouseError::InvalidTime(_))
+        ));
+        assert_eq!(checked_days_in_month(2016, 2), Ok(29));
+        // Parsing a datetime with a bad month still cleanly returns None
+        // (month is range-checked before the day lookup).
+        assert_eq!(parse_iso_datetime("2017-00-01T00:00:00"), None);
     }
 
     #[test]

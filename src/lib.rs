@@ -22,6 +22,11 @@
 //!   XSEDE/CCR production data.
 //! - [`chart`] — the chart/report layer (timeseries + aggregate datasets,
 //!   ASCII/SVG rendering, CSV/JSON export).
+//! - [`telemetry`] — the self-monitoring substrate: counters, gauges,
+//!   log-bucketed latency histograms, RAII span timers, a bounded event
+//!   ring, and Prometheus-text/JSON exposition. The warehouse,
+//!   replicator, shredders, and hub all report here; the hub's
+//!   `ops_report()` turns it into a dashboard.
 //! - [`core`] — the paper's contribution: [`core::XdmodInstance`],
 //!   [`core::FederationHub`], and [`core::Federation`].
 //!
@@ -52,4 +57,5 @@ pub use xdmod_ingest as ingest;
 pub use xdmod_realms as realms;
 pub use xdmod_replication as replication;
 pub use xdmod_sim as sim;
+pub use xdmod_telemetry as telemetry;
 pub use xdmod_warehouse as warehouse;

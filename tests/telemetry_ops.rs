@@ -1,0 +1,155 @@
+//! Self-monitoring end to end: a hub plus two live-replicating
+//! satellites, all reporting into the hub's metrics registry, capped by
+//! the `ops_report()` dashboard — the monitoring system monitoring
+//! itself.
+
+use std::time::Duration;
+use xdmod::core::{Federation, FederationConfig, FederationHub, XdmodInstance};
+use xdmod::realms::RealmKind;
+use xdmod::sim::{ClusterSim, ResourceProfile};
+use xdmod::warehouse::{AggFn, Aggregate, Query};
+
+/// Poll `cond` for up to ~5 s; panic with `what` if it never holds.
+fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..5000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn satellite(name: &str, resource: &str, seed: u64) -> XdmodInstance {
+    let mut inst = XdmodInstance::new(name);
+    let sim = ClusterSim::new(ResourceProfile::generic(resource, 128, 24.0, 1.0), seed);
+    inst.ingest_sacct(resource, &sim.sacct_log(2017, 1..=2)).unwrap();
+    inst
+}
+
+#[test]
+fn federation_self_monitoring_end_to_end() {
+    let mut x = satellite("x", "res-x", 11);
+    let y = satellite("y", "res-y", 22);
+    let x_jobs = x.fact_rows(RealmKind::Jobs).unwrap();
+    let y_jobs = y.fact_rows(RealmKind::Jobs).unwrap();
+    assert!(x_jobs > 0 && y_jobs > 0);
+
+    let mut fed = Federation::new(FederationHub::new("ops-hub"));
+    fed.join_tight(&x, FederationConfig::default()).unwrap();
+    fed.join_tight(&y, FederationConfig::default()).unwrap();
+    assert_eq!(fed.go_live(Duration::from_millis(1)), 2);
+    eventually("both satellites to drain", || {
+        fed.hub().federated_fact_rows(RealmKind::Jobs) == x_jobs + y_jobs
+    });
+
+    // A maintenance window on x: lag becomes visible on the hub's gauges
+    // while y keeps replicating.
+    fed.pause_member("x").unwrap();
+    let sim = ClusterSim::new(ResourceProfile::generic("res-x", 128, 24.0, 1.0), 33);
+    x.ingest_sacct("res-x", &sim.sacct_log(2017, 3..=3)).unwrap();
+    let backlog = x.fact_rows(RealmKind::Jobs).unwrap() - x_jobs;
+    eventually("lag gauge to expose the backlog", || {
+        fed.hub()
+            .telemetry()
+            .snapshot()
+            .gauge("replication_lag_events", &[("link", "x")])
+            .is_some_and(|lag| lag > 0.0)
+    });
+    // Wall-clock lag is finite and positive while behind.
+    eventually("wall-clock lag to register", || {
+        fed.hub()
+            .telemetry()
+            .snapshot()
+            .gauge("replication_lag_seconds", &[("link", "x")])
+            .is_some_and(|s| s > 0.0 && s.is_finite())
+    });
+
+    fed.resume_member("x").unwrap();
+    eventually("x's backlog to drain", || {
+        fed.hub().federated_fact_rows(RealmKind::Jobs) == x_jobs + y_jobs + backlog
+    });
+    assert_eq!(fed.quiesce(), 2);
+
+    let snap = fed.hub().telemetry().snapshot();
+    // Lag settled back to zero after quiescence.
+    assert_eq!(snap.gauge("replication_lag_events", &[("link", "x")]), Some(0.0));
+    assert_eq!(snap.gauge("replication_lag_seconds", &[("link", "x")]), Some(0.0));
+    // Per-link applied counts match what each satellite shipped.
+    assert_eq!(
+        snap.counter("replication_events_applied_total", &[("link", "x")])
+            .map(|n| n > 0),
+        Some(true)
+    );
+    assert_eq!(
+        snap.counter("replication_events_applied_total", &[("link", "y")])
+            .map(|n| n > 0),
+        Some(true)
+    );
+    assert_eq!(snap.counter_total("replication_apply_errors_total"), 0);
+    // Replication wrote through the hub warehouse's binlog.
+    assert!(snap.counter_total("warehouse_binlog_appends_total") > 0);
+    assert!(snap.counter_total("warehouse_binlog_bytes_total") > 0);
+
+    // Federated queries time the fan-out per satellite.
+    let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+    let total = fed
+        .hub()
+        .federated_query(RealmKind::Jobs, &q)
+        .unwrap()
+        .scalar_f64("total")
+        .unwrap();
+    assert!(total > 0.0);
+    let snap = fed.hub().telemetry().snapshot();
+    for sat in ["x", "y"] {
+        let h = snap
+            .histogram("hub_satellite_query_seconds", &[("satellite", sat)])
+            .unwrap_or_else(|| panic!("satellite {sat} untimed"));
+        assert!(h.count >= 1);
+        assert!(h.max.is_finite());
+    }
+    assert!(snap.histogram("hub_federated_query_seconds", &[]).is_some());
+
+    // The ops dashboard renders the maintenance window's lag series and
+    // the latency table, and the meta schema is queryable like any realm.
+    let report = fed.hub().ops_report().unwrap();
+    let text = report.render();
+    assert!(text.contains("Replication lag"), "no lag series in:\n{text}");
+    assert!(text.contains("Operation latency quantiles"));
+    let hub_db = fed.hub().database();
+    let db = hub_db.read();
+    assert!(db.table("xdmod_meta", "ops_lag_samples").unwrap().len() > 0);
+    drop(db);
+
+    // Prometheus text carries the per-link counters; JSON exposition is
+    // well-formed.
+    let prom = fed.hub().telemetry().prometheus_text();
+    assert!(prom.contains("replication_events_applied_total{link=\"x\"}"));
+    assert!(prom.contains("# TYPE warehouse_binlog_appends_total counter"));
+    let json: serde_json::Value =
+        serde_json::from_str(&fed.hub().telemetry().json()).expect("exposition JSON parses");
+    assert!(json["counters"].is_array());
+    assert!(json["histograms"].is_array());
+}
+
+#[test]
+fn satellite_registries_can_share_the_hub_view() {
+    let mut x = XdmodInstance::new("x");
+    let mut fed = Federation::new(FederationHub::new("hub"));
+    // Attach the hub's registry to the satellite *before* ingesting:
+    // ingest counters and satellite-local query timings land in the same
+    // federation-wide view.
+    x.set_telemetry(fed.hub().telemetry().clone());
+    let sim = ClusterSim::new(ResourceProfile::generic("r", 64, 8.0, 1.0), 7);
+    x.ingest_sacct("r", &sim.sacct_log(2017, 1..=1)).unwrap();
+    fed.join_tight(&x, FederationConfig::default()).unwrap();
+    fed.sync().unwrap();
+
+    let snap = fed.hub().telemetry().snapshot();
+    assert!(snap
+        .counter("ingest_records_total", &[("format", "sacct")])
+        .is_some_and(|n| n > 0));
+    assert!(snap
+        .counter("replication_events_read_total", &[("link", "x")])
+        .is_some_and(|n| n > 0));
+}
