@@ -296,7 +296,7 @@ impl SsoGateway {
                 "instance {} is configured for a single SSO source ({}); \
                  enable multi-source mode to add {}",
                 self.audience,
-                self.trusted.keys().next().expect("non-empty"),
+                self.trusted.keys().next().expect("non-empty"), // xc-allow: guarded by the non-empty single-source check above
                 idp.entity_id()
             ));
         }

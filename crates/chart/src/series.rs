@@ -113,8 +113,8 @@ impl Dataset {
             .iter()
             .map(|r| r[b_idx].as_i64().ok_or_else(|| "NULL bucket".to_owned()))
             .collect::<Result<_, _>>()?;
-        let lo = *buckets.iter().min().expect("non-empty");
-        let hi = *buckets.iter().max().expect("non-empty");
+        let lo = *buckets.iter().min().expect("non-empty"); // xc-allow: empty row set returned early above
+        let hi = *buckets.iter().max().expect("non-empty"); // xc-allow: empty row set returned early above
         let n = usize::try_from(hi - lo + 1).map_err(|_| "bucket range overflow".to_owned())?;
         if n > 100_000 {
             return Err(format!("bucket range too wide: {n}"));
@@ -131,7 +131,7 @@ impl Dataset {
                 None => metric_col.to_owned(),
             };
             let slot = series.entry(name).or_insert_with(|| vec![None; n]);
-            let pos = usize::try_from(bucket - lo).expect("in range");
+            let pos = usize::try_from(bucket - lo).expect("in range"); // xc-allow: bucket >= lo by min() above
             slot[pos] = row[m_idx].as_f64();
         }
         Ok(Dataset {

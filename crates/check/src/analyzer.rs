@@ -1,0 +1,620 @@
+//! The pre-flight analysis passes.
+//!
+//! Each check is a pure function over the [`FederationModel`] appending
+//! to a [`Diagnostics`] collection; [`analyze`] runs them all in code
+//! order. Every check detects, *before any data moves*, a
+//! misconfiguration that today fails silently at runtime — see each
+//! check's doc comment for the concrete runtime symptom it prevents.
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::model::{FederationModel, SatelliteModel};
+
+/// Run every check over the model.
+pub fn analyze(model: &FederationModel) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    check_hub_schema_collisions(model, &mut diags);
+    check_self_replication(model, &mut diags);
+    check_duplicate_link_ids(model, &mut diags);
+    check_filtered_required_tables(model, &mut diags);
+    check_group_by_replication(model, &mut diags);
+    check_schema_drift(model, &mut diags);
+    check_dangling_dimensions(model, &mut diags);
+    check_su_factors(model, &mut diags);
+    check_excluded_resources(model, &mut diags);
+    diags
+}
+
+/// XC0001 — two satellites rename into the same hub schema.
+///
+/// Runtime symptom: both links apply into one schema; the second link's
+/// DDL fails (or worse, compatible tables silently merge two sites'
+/// rows), and every per-satellite hub query attributes one satellite's
+/// data to the other. Easy to hit: the workspace's `schema_for` maps
+/// `site-a` and `site.a` to the same `inst_site_a`.
+fn check_hub_schema_collisions(model: &FederationModel, diags: &mut Diagnostics) {
+    for (i, sat) in model.satellites.iter().enumerate() {
+        for other in &model.satellites[..i] {
+            if sat.link.hub_schema == other.link.hub_schema {
+                diags.push(
+                    Diagnostic::new(
+                        Code::HubSchemaCollision,
+                        Span::satellite(&sat.name).in_schema(&sat.link.hub_schema),
+                        format!(
+                            "satellites \"{}\" and \"{}\" both replicate into hub schema \
+                             \"{}\"; their rows would merge or their DDL would conflict",
+                            other.name, sat.name, sat.link.hub_schema
+                        ),
+                    )
+                    .with_help(
+                        "rename one satellite or set a distinct hub-side schema for its link",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// XC0002 — a link whose hub schema equals its own source schema.
+///
+/// Runtime symptom: the replicator tails a binlog and applies the events
+/// back into the schema it is tailing (loopback fan-in), re-emitting
+/// them as new binlog events — an unbounded feedback loop.
+fn check_self_replication(model: &FederationModel, diags: &mut Diagnostics) {
+    for sat in &model.satellites {
+        if sat.link.source_schema == sat.link.hub_schema {
+            diags.push(
+                Diagnostic::new(
+                    Code::SelfReplication,
+                    Span::satellite(&sat.name).in_schema(&sat.link.source_schema),
+                    format!(
+                        "satellite \"{}\" replicates schema \"{}\" into itself",
+                        sat.name, sat.link.source_schema
+                    ),
+                )
+                .with_help("set a hub-side rename (the hub convention is inst_<satellite>)"),
+            );
+        }
+    }
+}
+
+/// XC0003 — duplicate link ids.
+///
+/// Runtime symptom: two links' metrics share one `link=..` label, so
+/// lag/error attribution on the ops dashboard is wrong, and operator
+/// actions (pause/resume by name) are ambiguous.
+fn check_duplicate_link_ids(model: &FederationModel, diags: &mut Diagnostics) {
+    for (i, sat) in model.satellites.iter().enumerate() {
+        for other in &model.satellites[..i] {
+            if sat.link.id == other.link.id {
+                diags.push(
+                    Diagnostic::new(
+                        Code::DuplicateLinkId,
+                        Span::satellite(&sat.name),
+                        format!(
+                            "link id \"{}\" is used by both \"{}\" and \"{}\"",
+                            sat.link.id, other.name, sat.name
+                        ),
+                    )
+                    .with_help("give every replication link a unique id"),
+                );
+            }
+        }
+    }
+}
+
+/// XC0004 — the filter excludes a table the satellite's declared realms
+/// require (and therefore a table registered aggregates read).
+///
+/// Runtime symptom: the paper's silent-empty failure. Replication runs
+/// clean, the hub's aggregation pass skips the missing fact table, and
+/// every downstream report for that realm is empty with no error
+/// anywhere.
+fn check_filtered_required_tables(model: &FederationModel, diags: &mut Diagnostics) {
+    for sat in &model.satellites {
+        for table in &sat.expected_tables {
+            if !sat.replicates(table) {
+                let consumers: Vec<&str> = model
+                    .aggregates
+                    .iter()
+                    .filter(|a| &a.fact_table == table)
+                    .map(|a| a.name.as_str())
+                    .collect();
+                let consumer_note = if consumers.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " (read by registered aggregate(s): {})",
+                        consumers.join(", ")
+                    )
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::FilteredRequiredTable,
+                        Span::satellite(&sat.name)
+                            .in_schema(&sat.link.source_schema)
+                            .at_table(table),
+                        format!(
+                            "satellite \"{}\" declares realms that require table \
+                             \"{table}\", but its replication filter excludes it{consumer_note}",
+                            sat.name
+                        ),
+                    )
+                    .with_help(
+                        "add the table to the filter's table list, or drop the realm \
+                         from the satellite's federation config",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// XC0005 — a hub group-by query reads a fact table no satellite
+/// replicates.
+///
+/// Runtime symptom: the canned federation report section renders empty
+/// (or the federated query errors with "no satellite has replicated ..")
+/// on every run, even though every link is healthy.
+fn check_group_by_replication(model: &FederationModel, diags: &mut Diagnostics) {
+    if model.satellites.is_empty() {
+        return; // an empty federation is vacuously consistent
+    }
+    for gb in &model.group_bys {
+        let replicated_anywhere = model.satellites.iter().any(|s| {
+            // A satellite serves the query if its filter passes the table
+            // and its catalog actually contains it.
+            s.replicates(&gb.fact_table)
+                && (s.tables.is_empty() || s.table(&gb.fact_table).is_some())
+        });
+        if !replicated_anywhere {
+            diags.push(
+                Diagnostic::new(
+                    Code::GroupByFactTableUnreplicated,
+                    Span::federation().at_table(&gb.fact_table),
+                    format!(
+                        "hub group-by \"{}\" reads \"{}\", which no satellite replicates",
+                        gb.name, gb.fact_table
+                    ),
+                )
+                .with_help(
+                    "federate the owning realm from at least one satellite, or drop \
+                     the report section",
+                ),
+            );
+        }
+    }
+}
+
+/// XC0006 — cross-satellite schema drift.
+///
+/// Runtime symptom: `FederationHub::federated_query` unions per-satellite
+/// fact tables and errors with "incompatible layout" the moment the
+/// second satellite's rows are reached — at query time, long after both
+/// links replicated "successfully".
+fn check_schema_drift(model: &FederationModel, diags: &mut Diagnostics) {
+    for (i, sat) in model.satellites.iter().enumerate() {
+        for other in &model.satellites[..i] {
+            for table in &sat.tables {
+                if !sat.replicates(&table.name) || !other.replicates(&table.name) {
+                    continue;
+                }
+                let Some(theirs) = other.table(&table.name) else {
+                    continue;
+                };
+                // Columns `other` has that `sat` lacks (the mismatch arm
+                // below covers the shared ones, walking sat's columns).
+                for their_col in &theirs.columns {
+                    if table.column(&their_col.name).is_none() {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::SchemaDrift,
+                                Span::satellite(&sat.name)
+                                    .at_table(&table.name)
+                                    .at_column(&their_col.name),
+                                format!(
+                                    "table \"{}\" drifts across satellites: column \
+                                     \"{}\" exists on \"{}\" but not on \"{}\"",
+                                    table.name, their_col.name, other.name, sat.name
+                                ),
+                            )
+                            .with_help("align the fact-table schemas before federating"),
+                        );
+                    }
+                }
+                for col in &table.columns {
+                    match theirs.column(&col.name) {
+                        None => diags.push(
+                            Diagnostic::new(
+                                Code::SchemaDrift,
+                                Span::satellite(&other.name)
+                                    .at_table(&table.name)
+                                    .at_column(&col.name),
+                                format!(
+                                    "table \"{}\" drifts across satellites: column \
+                                     \"{}\" exists on \"{}\" but not on \"{}\"",
+                                    table.name, col.name, sat.name, other.name
+                                ),
+                            )
+                            .with_help("align the fact-table schemas before federating"),
+                        ),
+                        Some(their_col)
+                            if their_col.ty != col.ty
+                                || their_col.nullable != col.nullable =>
+                        {
+                            diags.push(
+                                Diagnostic::new(
+                                    Code::SchemaDrift,
+                                    Span::satellite(&sat.name)
+                                        .at_table(&table.name)
+                                        .at_column(&col.name),
+                                    format!(
+                                        "table \"{}\" drifts across satellites: column \
+                                         \"{}\" is {}{} on \"{}\" but {}{} on \"{}\"",
+                                        table.name,
+                                        col.name,
+                                        if col.nullable { "nullable " } else { "" },
+                                        col.ty,
+                                        sat.name,
+                                        if their_col.nullable { "nullable " } else { "" },
+                                        their_col.ty,
+                                        other.name
+                                    ),
+                                )
+                                .with_help(
+                                    "the hub's union query will reject the second \
+                                     satellite's layout; align column types and nullability",
+                                ),
+                            );
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// XC0007 — dangling dimension references.
+///
+/// A hub group-by column or a registered aggregate's dimension / measure
+/// / time column that does not exist in the fact table it reads, checked
+/// against every satellite that replicates the table.
+///
+/// Runtime symptom: per-satellite aggregation (or the report query)
+/// errors with "unknown column" only once that satellite has replicated
+/// data — a latent failure that preflight surfaces immediately.
+fn check_dangling_dimensions(model: &FederationModel, diags: &mut Diagnostics) {
+    // (reader description, fact table, referenced columns)
+    let mut readers: Vec<(String, &str, Vec<&str>)> = Vec::new();
+    for gb in &model.group_bys {
+        readers.push((
+            format!("group-by \"{}\"", gb.name),
+            &gb.fact_table,
+            gb.columns.iter().map(String::as_str).collect(),
+        ));
+    }
+    for agg in &model.aggregates {
+        let mut cols: Vec<&str> = vec![&agg.time_column];
+        cols.extend(agg.dimensions.iter().map(String::as_str));
+        cols.extend(agg.measures.iter().map(String::as_str));
+        readers.push((format!("aggregate \"{}\"", agg.name), &agg.fact_table, cols));
+    }
+
+    for sat in &model.satellites {
+        for (reader, fact_table, columns) in &readers {
+            if !sat.replicates(fact_table) {
+                continue;
+            }
+            let Some(table) = sat.table(fact_table) else {
+                continue; // absent tables are XC0004/XC0005 territory
+            };
+            for column in columns {
+                if table.column(column).is_none() {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::DanglingDimension,
+                            Span::satellite(&sat.name)
+                                .at_table(fact_table)
+                                .at_column(column),
+                            format!(
+                                "{reader} references column \"{column}\", which does not \
+                                 exist in \"{fact_table}\" as replicated by \"{}\"",
+                                sat.name
+                            ),
+                        )
+                        .with_help(
+                            "fix the dimension/measure name or add the column to the \
+                             satellite's fact table",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// XC0008 — a resource with job records but no SU conversion factor.
+///
+/// Runtime symptom (paper §II-C6): the resource's CPU-hours enter
+/// federation metrics unconverted (factor 1.0), so cross-site SU
+/// comparisons are silently wrong — the paper's warning that "similar
+/// care must be taken so that federation metrics make valid
+/// comparisons".
+fn check_su_factors(model: &FederationModel, diags: &mut Diagnostics) {
+    for sat in &model.satellites {
+        for resource in &sat.job_resources {
+            if excluded(sat, resource) {
+                continue; // never crosses the link, factor irrelevant
+            }
+            if !sat.su_factors.iter().any(|r| r == resource) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::MissingSuFactor,
+                        Span::satellite(&sat.name).at_column(resource),
+                        format!(
+                            "resource \"{resource}\" on \"{}\" has job records but no SU \
+                             conversion factor; its hours federate unconverted (factor 1.0)",
+                            sat.name
+                        ),
+                    )
+                    .with_help("register an HPL-derived factor with set_su_factor"),
+                );
+            }
+        }
+    }
+}
+
+/// XC0009 — an excluded resource that matches nothing.
+///
+/// Runtime symptom: none — which is the problem. A typo in an exclusion
+/// (`"secert"`) silently excludes nothing, and the data the operator
+/// meant to keep local replicates to the hub.
+fn check_excluded_resources(model: &FederationModel, diags: &mut Diagnostics) {
+    for sat in &model.satellites {
+        if sat.job_resources.is_empty() {
+            continue; // nothing ingested yet; can't vet exclusions
+        }
+        for excluded in &sat.excluded_resources {
+            if !sat.job_resources.iter().any(|r| r == excluded) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UnknownExcludedResource,
+                        Span::satellite(&sat.name).at_column(excluded),
+                        format!(
+                            "excluded resource \"{excluded}\" matches no job record on \
+                             \"{}\" — possible typo; the data it names still replicates",
+                            sat.name
+                        ),
+                    )
+                    .with_help("check the spelling against the satellite's resource names"),
+                );
+            }
+        }
+    }
+}
+
+fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
+    sat.excluded_resources.iter().any(|r| r == resource)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        AggregateModel, ColumnModel, GroupByModel, LinkModel, TableModel,
+    };
+
+    fn jobfact() -> TableModel {
+        TableModel {
+            name: "jobfact".into(),
+            columns: vec![
+                ColumnModel {
+                    name: "resource".into(),
+                    ty: "str".into(),
+                    nullable: false,
+                },
+                ColumnModel {
+                    name: "end_time".into(),
+                    ty: "time".into(),
+                    nullable: false,
+                },
+                ColumnModel {
+                    name: "cpu_hours".into(),
+                    ty: "float".into(),
+                    nullable: false,
+                },
+            ],
+        }
+    }
+
+    fn satellite(name: &str) -> SatelliteModel {
+        SatelliteModel {
+            name: name.into(),
+            link: LinkModel {
+                id: name.into(),
+                source_schema: crate::model::default_source_schema(name),
+                hub_schema: crate::model::default_hub_schema(name),
+            },
+            replicated_tables: Some(vec!["jobfact".into()]),
+            expected_tables: vec!["jobfact".into()],
+            excluded_resources: vec![],
+            tables: vec![jobfact()],
+            job_resources: vec![format!("res-{name}")],
+            su_factors: vec![format!("res-{name}")],
+        }
+    }
+
+    fn clean_model() -> FederationModel {
+        FederationModel {
+            hub: "hub".into(),
+            satellites: vec![satellite("a"), satellite("b")],
+            aggregates: vec![AggregateModel {
+                name: "jobs".into(),
+                fact_table: "jobfact".into(),
+                time_column: "end_time".into(),
+                dimensions: vec!["resource".into()],
+                measures: vec!["cpu_hours".into()],
+            }],
+            group_bys: vec![GroupByModel {
+                name: "usage by resource".into(),
+                fact_table: "jobfact".into(),
+                columns: vec!["resource".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_model_produces_no_diagnostics() {
+        let diags = analyze(&clean_model());
+        assert!(diags.is_empty(), "unexpected: {}", diags.render_text());
+    }
+
+    #[test]
+    fn sanitization_collision_is_caught() {
+        let mut m = clean_model();
+        m.satellites.push(satellite("site-a"));
+        m.satellites.push(satellite("site.a")); // same inst_site_a
+        // Distinct link ids, so only the collision fires.
+        m.satellites[3].link.id = "site.a".into();
+        let diags = analyze(&m);
+        assert_eq!(diags.with_code(Code::HubSchemaCollision).len(), 1);
+        let d = diags.with_code(Code::HubSchemaCollision)[0];
+        assert_eq!(d.span.schema.as_deref(), Some("inst_site_a"));
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn self_replication_is_caught() {
+        let mut m = clean_model();
+        m.satellites[0].link.hub_schema = m.satellites[0].link.source_schema.clone();
+        let diags = analyze(&m);
+        assert_eq!(diags.with_code(Code::SelfReplication).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_link_ids_are_caught() {
+        let mut m = clean_model();
+        m.satellites[1].link.id = "a".into();
+        let diags = analyze(&m);
+        assert_eq!(diags.with_code(Code::DuplicateLinkId).len(), 1);
+    }
+
+    #[test]
+    fn filtered_required_table_is_caught() {
+        let mut m = clean_model();
+        // Satellite b declares jobs but filters jobfact out.
+        m.satellites[1].replicated_tables = Some(vec![]);
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::FilteredRequiredTable);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("aggregate(s): jobs"));
+        assert_eq!(found[0].span.table.as_deref(), Some("jobfact"));
+    }
+
+    #[test]
+    fn group_by_over_unreplicated_table_is_caught() {
+        let mut m = clean_model();
+        for s in &mut m.satellites {
+            s.replicated_tables = Some(vec![]);
+            s.expected_tables.clear(); // silence XC0004; isolate XC0005
+        }
+        let diags = analyze(&m);
+        assert_eq!(diags.with_code(Code::GroupByFactTableUnreplicated).len(), 1);
+    }
+
+    #[test]
+    fn empty_federation_is_vacuously_clean() {
+        let mut m = clean_model();
+        m.satellites.clear();
+        assert!(analyze(&m).is_empty());
+    }
+
+    #[test]
+    fn schema_drift_is_caught() {
+        let mut m = clean_model();
+        m.satellites[1].tables[0].columns[2].ty = "int".into();
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::SchemaDrift);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].span.column.as_deref(), Some("cpu_hours"));
+        assert!(found[0].message.contains("float"));
+        assert!(found[0].message.contains("int"));
+    }
+
+    #[test]
+    fn nullability_drift_is_caught() {
+        let mut m = clean_model();
+        m.satellites[0].tables[0].columns[0].nullable = true;
+        let diags = analyze(&m);
+        assert_eq!(diags.with_code(Code::SchemaDrift).len(), 1);
+    }
+
+    #[test]
+    fn missing_column_drift_is_caught() {
+        let mut m = clean_model();
+        m.satellites[1].tables[0].columns.pop(); // b lacks cpu_hours
+        let diags = analyze(&m);
+        // Drift (a has it, b doesn't) plus b's aggregate measure dangles.
+        assert_eq!(diags.with_code(Code::SchemaDrift).len(), 1);
+        assert_eq!(diags.with_code(Code::DanglingDimension).len(), 1);
+    }
+
+    #[test]
+    fn dangling_group_by_dimension_is_caught() {
+        let mut m = clean_model();
+        m.group_bys[0].columns = vec!["quue".into()]; // typo for queue
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::DanglingDimension);
+        assert_eq!(found.len(), 2); // flagged per replicating satellite
+        assert!(found[0].message.contains("quue"));
+    }
+
+    #[test]
+    fn dangling_aggregate_time_column_is_caught() {
+        let mut m = clean_model();
+        m.aggregates[0].time_column = "finish_time".into();
+        let diags = analyze(&m);
+        assert_eq!(diags.with_code(Code::DanglingDimension).len(), 2);
+    }
+
+    #[test]
+    fn missing_su_factor_is_a_warning_not_an_error() {
+        let mut m = clean_model();
+        m.satellites[0].su_factors.clear();
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::MissingSuFactor);
+        assert_eq!(found.len(), 1);
+        assert!(!diags.has_errors());
+        assert_eq!(diags.count(crate::diag::Severity::Warning), 1);
+    }
+
+    #[test]
+    fn excluded_resource_needs_no_su_factor() {
+        let mut m = clean_model();
+        m.satellites[0].su_factors.clear();
+        let resource = m.satellites[0].job_resources[0].clone();
+        m.satellites[0].excluded_resources.push(resource);
+        let diags = analyze(&m);
+        assert!(diags.with_code(Code::MissingSuFactor).is_empty());
+        assert!(diags.with_code(Code::UnknownExcludedResource).is_empty());
+    }
+
+    #[test]
+    fn excluded_resource_typo_is_caught() {
+        let mut m = clean_model();
+        m.satellites[0].excluded_resources.push("secert".into());
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::UnknownExcludedResource);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("secert"));
+    }
+
+    #[test]
+    fn exclusions_are_not_vetted_before_ingest() {
+        let mut m = clean_model();
+        m.satellites[0].job_resources.clear();
+        m.satellites[0].excluded_resources.push("future-res".into());
+        let diags = analyze(&m);
+        assert!(diags.with_code(Code::UnknownExcludedResource).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # xdmod-check
+//!
+//! Static pre-flight analysis for federated XDMoD topologies.
+//!
+//! The federation's moving parts — Tungsten-style rename-on-transfer,
+//! selective table filters, fan-in into one hub (§II-C1, §II-C4) — are
+//! all configured, and in the reproduction all fail *silently at
+//! runtime*: a filter that drops a table a registered aggregate needs
+//! just yields empty hub reports. This crate validates the configuration
+//! **before any data moves**, in the spirit of Graywulf's and the EDSP
+//! paper's schema/contract validation for federated warehouses.
+//!
+//! Three layers:
+//!
+//! - [`diag`] — the diagnostics engine: stable codes (`XC0001..`),
+//!   severities, structured spans, text + JSON rendering;
+//! - [`model`] — the analyzable projection of a federation, buildable
+//!   from live instances (via `xdmod-core`) or from a JSON config file;
+//! - [`analyzer`] — the checks themselves; [`analyze`] runs them all.
+//!
+//! The crate is **std-only by design**: pre-flight tooling must not
+//! depend on the system it validates, and must build anywhere a bare
+//! `rustc` exists. (`xdmod-core` depends on this crate, never the other
+//! way around.) The companion `xdmod-check` binary runs the analyzer
+//! over JSON topology files — see `examples/configs/`.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod diag;
+pub mod json;
+pub mod model;
+
+pub use analyzer::analyze;
+pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
+pub use model::{
+    AggregateModel, ColumnModel, FederationModel, GroupByModel, LinkModel, ModelError,
+    SatelliteModel, TableModel,
+};

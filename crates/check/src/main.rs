@@ -1,0 +1,114 @@
+//! `xdmod-check` — run the static pre-flight analyzer over federation
+//! topology config files.
+//!
+//! ```text
+//! xdmod-check [--format text|json] [--deny-warnings] [--expect-errors] CONFIG...
+//! ```
+//!
+//! `--json` is shorthand for `--format json`.
+//!
+//! Exit codes: 0 clean, 1 diagnostics gate failed, 2 usage or config
+//! parse error. `--expect-errors` inverts the gate (exit 0 only if
+//! Error-severity diagnostics *were* found) so CI can pin known-bad
+//! fixtures without shell negation.
+
+use std::process::ExitCode;
+use xdmod_check::{analyze, FederationModel};
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    expect_errors: bool,
+    quiet: bool,
+    configs: Vec<String>,
+}
+
+const USAGE: &str = "usage: xdmod-check [--format text|json] [--json] \
+                     [--deny-warnings] [--expect-errors] [--quiet] CONFIG.json...";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        expect_errors: false,
+        quiet: false,
+        configs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects 'text' or 'json', got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--expect-errors" => opts.expect_errors = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            config => opts.configs.push(config.to_owned()),
+        }
+    }
+    if opts.configs.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut gate_failed = false;
+    for path in &opts.configs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let model = match FederationModel::from_json(&text) {
+            Ok(model) => model,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = analyze(&model);
+        if opts.json {
+            println!("{}", diags.render_json());
+        } else if !opts.quiet {
+            if opts.configs.len() > 1 {
+                println!("== {path}");
+            }
+            print!("{}", diags.render_text());
+        }
+        let failed = diags.has_errors()
+            || (opts.deny_warnings && diags.count(xdmod_check::Severity::Warning) > 0);
+        let failed = if opts.expect_errors {
+            !diags.has_errors()
+        } else {
+            failed
+        };
+        gate_failed |= failed;
+    }
+    if gate_failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

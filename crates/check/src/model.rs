@@ -1,0 +1,416 @@
+//! The analyzable projection of a federation.
+//!
+//! A [`FederationModel`] is everything the pre-flight analyzer needs to
+//! know about a federation **without running replication**: the hub, the
+//! per-satellite link topology and filters, the satellites' table
+//! catalogs, the hub's registered aggregation pipelines, and the group-by
+//! query surface of the hub's canned reports.
+//!
+//! Two producers build it:
+//!
+//! - `xdmod-core`'s `Federation::check_model()`, from live instances
+//!   (join-time state plus warehouse catalog introspection);
+//! - [`FederationModel::from_json`], from a declarative config file, so
+//!   `xdmod-check` can vet a topology before any instance exists.
+
+use crate::json::JsonValue;
+
+/// One column of a table, in the analyzer's type vocabulary. Types are
+/// carried as lower-case strings (`"int"`, `"float"`, `"str"`, `"time"`,
+/// ...) so the model does not depend on the warehouse crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnModel {
+    /// Column name.
+    pub name: String,
+    /// Lower-case type name.
+    pub ty: String,
+    /// Whether nulls are accepted.
+    pub nullable: bool,
+}
+
+/// One table of a satellite's source schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableModel {
+    /// Table name.
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<ColumnModel>,
+}
+
+impl TableModel {
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnModel> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// One replication link, satellite → hub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Link id (labels metrics; must be unique across the federation).
+    pub id: String,
+    /// Satellite-side source schema.
+    pub source_schema: String,
+    /// Hub-side schema the link renames into.
+    pub hub_schema: String,
+}
+
+/// One satellite member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatelliteModel {
+    /// Member name.
+    pub name: String,
+    /// Its replication link.
+    pub link: LinkModel,
+    /// Tables the replication filter passes. `None` = no table
+    /// selection (everything replicates).
+    pub replicated_tables: Option<Vec<String>>,
+    /// Tables the satellite's *declared realm selection* requires on the
+    /// hub — the set registered aggregates and reports assume.
+    pub expected_tables: Vec<String>,
+    /// Resources excluded from replication (row routing).
+    pub excluded_resources: Vec<String>,
+    /// Catalog of the source schema.
+    pub tables: Vec<TableModel>,
+    /// Distinct resource names appearing in job records.
+    pub job_resources: Vec<String>,
+    /// Resources with a configured SU conversion factor.
+    pub su_factors: Vec<String>,
+}
+
+impl SatelliteModel {
+    /// Whether the filter lets `table` cross the link.
+    pub fn replicates(&self, table: &str) -> bool {
+        match &self.replicated_tables {
+            None => true,
+            Some(list) => list.iter().any(|t| t == table),
+        }
+    }
+
+    /// Find a table in the source catalog.
+    pub fn table(&self, name: &str) -> Option<&TableModel> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+}
+
+/// One registered hub aggregation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateModel {
+    /// Pipeline name (e.g. the realm).
+    pub name: String,
+    /// Fact table it reads.
+    pub fact_table: String,
+    /// Time column used for period binning.
+    pub time_column: String,
+    /// Source columns of its dimensions.
+    pub dimensions: Vec<String>,
+    /// Source columns of its measures (pure counts carry none).
+    pub measures: Vec<String>,
+}
+
+/// One group-by query the hub's canned reports issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupByModel {
+    /// Query/report section name.
+    pub name: String,
+    /// Fact table it reads (per satellite schema, then unioned).
+    pub fact_table: String,
+    /// Grouping columns.
+    pub columns: Vec<String>,
+}
+
+/// The whole analyzable federation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FederationModel {
+    /// Hub name.
+    pub hub: String,
+    /// Member satellites.
+    pub satellites: Vec<SatelliteModel>,
+    /// Registered aggregation pipelines.
+    pub aggregates: Vec<AggregateModel>,
+    /// Hub group-by query surface.
+    pub group_bys: Vec<GroupByModel>,
+}
+
+/// Sanitize a name the way the workspace's schema conventions do:
+/// `-` and `.` become `_`.
+pub fn sanitize(name: &str) -> String {
+    name.replace(['-', '.'], "_")
+}
+
+/// Default satellite-side schema for an instance name (`xdmod_<name>`),
+/// mirroring `XdmodInstance::schema_name_of`.
+pub fn default_source_schema(name: &str) -> String {
+    format!("xdmod_{}", sanitize(name))
+}
+
+/// Default hub-side schema for an instance name (`inst_<name>`),
+/// mirroring `FederationHub::schema_for`.
+pub fn default_hub_schema(name: &str) -> String {
+    format!("inst_{}", sanitize(name))
+}
+
+/// The tables a declared realm requires on the hub. Mirrors the realm
+/// constants in `xdmod-realms` (the analyzer is std-only by design, so
+/// the mapping is duplicated here as data; `realm_tables_in_sync` in the
+/// core crate's tests pins the two against each other).
+pub fn realm_tables(realm: &str) -> Option<&'static [&'static str]> {
+    match realm.to_ascii_lowercase().as_str() {
+        "jobs" => Some(&["jobfact"]),
+        "supremm" => Some(&[
+            "supremm_jobfact",
+            "supremm_timeseries",
+            "supremm_jobscript",
+        ]),
+        "storage" => Some(&["storagefact"]),
+        "cloud" => Some(&["cloudfact", "cloud_reservation"]),
+        _ => None,
+    }
+}
+
+/// A config-file loading failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError(pub String);
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn required_str(v: &JsonValue, key: &str, ctx: &str) -> Result<String, ModelError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ModelError(format!("{ctx}: missing string field \"{key}\"")))
+}
+
+fn opt_str(v: &JsonValue, key: &str) -> Option<String> {
+    v.get(key).and_then(JsonValue::as_str).map(str::to_owned)
+}
+
+impl FederationModel {
+    /// Load from the `xdmod-check` JSON config format. See
+    /// `examples/configs/` for worked documents. Unknown realm names and
+    /// structurally missing fields are errors; everything else defaults
+    /// to the workspace conventions.
+    pub fn from_json(text: &str) -> Result<Self, ModelError> {
+        let doc = crate::json::parse(text)
+            .map_err(|e| ModelError(format!("config is not valid JSON: {e}")))?;
+        let hub = required_str(&doc, "hub", "config")?;
+
+        let mut satellites = Vec::new();
+        if let Some(list) = doc.get("satellites").and_then(JsonValue::as_array) {
+            for entry in list {
+                satellites.push(Self::satellite_from_json(entry)?);
+            }
+        }
+
+        let mut aggregates = Vec::new();
+        if let Some(list) = doc.get("aggregates").and_then(JsonValue::as_array) {
+            for entry in list {
+                let name = required_str(entry, "name", "aggregate")?;
+                aggregates.push(AggregateModel {
+                    fact_table: required_str(entry, "fact_table", &format!("aggregate {name}"))?,
+                    time_column: opt_str(entry, "time_column")
+                        .unwrap_or_else(|| "end_time".to_owned()),
+                    dimensions: entry.string_list("dimensions"),
+                    measures: entry.string_list("measures"),
+                    name,
+                });
+            }
+        }
+
+        let mut group_bys = Vec::new();
+        if let Some(list) = doc.get("group_bys").and_then(JsonValue::as_array) {
+            for entry in list {
+                let name = required_str(entry, "name", "group_by")?;
+                group_bys.push(GroupByModel {
+                    fact_table: required_str(entry, "fact_table", &format!("group_by {name}"))?,
+                    columns: entry.string_list("columns"),
+                    name,
+                });
+            }
+        }
+
+        Ok(FederationModel {
+            hub,
+            satellites,
+            aggregates,
+            group_bys,
+        })
+    }
+
+    fn satellite_from_json(entry: &JsonValue) -> Result<SatelliteModel, ModelError> {
+        let name = required_str(entry, "name", "satellite")?;
+        let ctx = format!("satellite {name}");
+
+        let mut expected_tables: Vec<String> = Vec::new();
+        for realm in entry.string_list("realms") {
+            let tables = realm_tables(&realm)
+                .ok_or_else(|| ModelError(format!("{ctx}: unknown realm \"{realm}\"")))?;
+            expected_tables.extend(tables.iter().map(|t| (*t).to_owned()));
+        }
+        // Explicit expected_tables add to (or replace) the realm-derived
+        // list, for configs that track custom tables.
+        expected_tables.extend(entry.string_list("expected_tables"));
+        expected_tables.sort_unstable();
+        expected_tables.dedup();
+
+        let replicated_tables = entry
+            .get("replicated_tables")
+            .and_then(JsonValue::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>()
+            });
+
+        let mut tables = Vec::new();
+        if let Some(list) = entry.get("tables").and_then(JsonValue::as_array) {
+            for table in list {
+                let table_name = required_str(table, "name", &ctx)?;
+                let mut columns = Vec::new();
+                if let Some(cols) = table.get("columns").and_then(JsonValue::as_array) {
+                    for col in cols {
+                        columns.push(ColumnModel {
+                            name: required_str(col, "name", &format!("{ctx} table {table_name}"))?,
+                            ty: opt_str(col, "type")
+                                .unwrap_or_else(|| "str".to_owned())
+                                .to_ascii_lowercase(),
+                            nullable: col
+                                .get("nullable")
+                                .and_then(JsonValue::as_bool)
+                                .unwrap_or(false),
+                        });
+                    }
+                }
+                tables.push(TableModel {
+                    name: table_name,
+                    columns,
+                });
+            }
+        }
+
+        Ok(SatelliteModel {
+            link: LinkModel {
+                id: opt_str(entry, "link_id").unwrap_or_else(|| name.clone()),
+                source_schema: opt_str(entry, "source_schema")
+                    .unwrap_or_else(|| default_source_schema(&name)),
+                hub_schema: opt_str(entry, "hub_schema")
+                    .unwrap_or_else(|| default_hub_schema(&name)),
+            },
+            replicated_tables,
+            expected_tables,
+            excluded_resources: entry.string_list("excluded_resources"),
+            tables,
+            job_resources: entry.string_list("job_resources"),
+            su_factors: entry.string_list("su_factors"),
+            name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{
+        "hub": "hub",
+        "satellites": [
+            {"name": "site-a", "realms": ["jobs"]}
+        ]
+    }"#;
+
+    #[test]
+    fn minimal_config_fills_defaults() {
+        let m = FederationModel::from_json(MINIMAL).unwrap();
+        assert_eq!(m.hub, "hub");
+        let s = &m.satellites[0];
+        assert_eq!(s.link.id, "site-a");
+        assert_eq!(s.link.source_schema, "xdmod_site_a");
+        assert_eq!(s.link.hub_schema, "inst_site_a");
+        assert_eq!(s.expected_tables, vec!["jobfact"]);
+        assert_eq!(s.replicated_tables, None);
+        assert!(s.replicates("anything"));
+    }
+
+    #[test]
+    fn full_satellite_round_trip() {
+        let m = FederationModel::from_json(
+            r#"{
+            "hub": "h",
+            "satellites": [{
+                "name": "x",
+                "link_id": "link-x",
+                "source_schema": "src",
+                "hub_schema": "dst",
+                "realms": ["jobs", "supremm"],
+                "replicated_tables": ["jobfact"],
+                "excluded_resources": ["secret"],
+                "job_resources": ["open", "secret"],
+                "su_factors": ["open"],
+                "tables": [{
+                    "name": "jobfact",
+                    "columns": [
+                        {"name": "resource", "type": "Str"},
+                        {"name": "cpu_hours", "type": "float", "nullable": true}
+                    ]
+                }]
+            }],
+            "aggregates": [{
+                "name": "jobs", "fact_table": "jobfact",
+                "time_column": "end_time",
+                "dimensions": ["resource"], "measures": ["cpu_hours"]
+            }],
+            "group_bys": [{
+                "name": "usage", "fact_table": "jobfact", "columns": ["resource"]
+            }]
+        }"#,
+        )
+        .unwrap();
+        let s = &m.satellites[0];
+        assert_eq!(s.link.id, "link-x");
+        assert!(s.replicates("jobfact"));
+        assert!(!s.replicates("supremm_jobfact"));
+        assert!(s.expected_tables.contains(&"supremm_timeseries".to_owned()));
+        let t = s.table("jobfact").unwrap();
+        assert_eq!(t.column("resource").unwrap().ty, "str");
+        assert!(t.column("cpu_hours").unwrap().nullable);
+        assert_eq!(m.aggregates[0].measures, vec!["cpu_hours"]);
+        assert_eq!(m.group_bys[0].columns, vec!["resource"]);
+    }
+
+    #[test]
+    fn unknown_realm_is_an_error() {
+        let err = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [{"name": "x", "realms": ["quantum"]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn missing_hub_is_an_error() {
+        assert!(FederationModel::from_json(r#"{"satellites": []}"#).is_err());
+        assert!(FederationModel::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn realm_table_mapping_covers_all_realms() {
+        for realm in ["jobs", "supremm", "storage", "cloud", "Jobs"] {
+            assert!(realm_tables(realm).is_some(), "realm {realm}");
+        }
+        assert!(realm_tables("nope").is_none());
+    }
+
+    #[test]
+    fn schema_defaults_sanitize_like_the_workspace() {
+        assert_eq!(default_source_schema("ccr-x.y"), "xdmod_ccr_x_y");
+        assert_eq!(default_hub_schema("ccr-x.y"), "inst_ccr_x_y");
+    }
+}

@@ -59,7 +59,7 @@ impl FederationFile {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        serde_json::to_string_pretty(self).expect("config serializes") // xc-allow: config is plain data; serialization cannot fail
     }
 
     /// Build the federation, joining every listed member from

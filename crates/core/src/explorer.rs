@@ -105,7 +105,7 @@ impl ChartRequest {
         let realm: &Realm = realms
             .iter()
             .find(|r| r.kind == self.realm)
-            .expect("all realms present");
+            .expect("all realms present"); // xc-allow: all_realms covers every RealmKind
         let metric = realm
             .metric(&self.metric)
             .ok_or_else(|| format!("realm {} has no metric {}", realm.kind.ident(), self.metric))?;

@@ -14,14 +14,15 @@
 use crate::hub::FederationHub;
 use crate::instance::XdmodInstance;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::time::Duration;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
 use xdmod_replication::{
-    schemas_match, LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, ReplicationFilter,
-    Replicator,
+    schemas_match, LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, ReplicationError,
+    ReplicationFilter, Replicator,
 };
-use xdmod_warehouse::WarehouseError;
+use xdmod_warehouse::{SharedDatabase, Value, WarehouseError};
 
 /// Federation-level errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,18 @@ pub enum FederationError {
     /// The operation needs a live (background-threaded) tight link, but
     /// this member's link is polled or loose.
     LinkNotLive(String),
+    /// Static pre-flight analysis found Error-severity diagnostics;
+    /// `go_live` refuses to start replication threads over a topology
+    /// that is known to produce silent data corruption or empty reports.
+    /// Override with [`Federation::go_live_forced`].
+    Preflight {
+        /// Number of Error-severity diagnostics.
+        errors: usize,
+        /// Full rendered diagnostic report (text format).
+        report: String,
+    },
+    /// A replication link failed (e.g. its worker thread panicked).
+    Replication(ReplicationError),
     /// Underlying warehouse/replication failure.
     Warehouse(WarehouseError),
 }
@@ -57,6 +70,12 @@ impl fmt::Display for FederationError {
             FederationError::LinkNotLive(n) => {
                 write!(f, "{n}'s replication link is not live (call go_live first)")
             }
+            FederationError::Preflight { errors, report } => write!(
+                f,
+                "preflight found {errors} error-severity diagnostic(s); refusing to go \
+                 live (use go_live_forced to override):\n{report}"
+            ),
+            FederationError::Replication(e) => write!(f, "{e}"),
             FederationError::Warehouse(e) => write!(f, "{e}"),
         }
     }
@@ -67,6 +86,12 @@ impl std::error::Error for FederationError {}
 impl From<WarehouseError> for FederationError {
     fn from(e: WarehouseError) -> Self {
         FederationError::Warehouse(e)
+    }
+}
+
+impl From<ReplicationError> for FederationError {
+    fn from(e: ReplicationError) -> Self {
+        FederationError::Replication(e)
     }
 }
 
@@ -125,24 +150,38 @@ impl FederationConfig {
         self
     }
 
-    /// Compile into a replication filter.
-    pub fn filter(&self) -> ReplicationFilter {
-        let mut tables: Vec<String> = Vec::new();
-        for realm in &self.realms {
-            match realm {
-                RealmKind::Jobs => tables.push(jobs::FACT_TABLE.into()),
-                RealmKind::Supremm => {
-                    tables.push(supremm::FACT_TABLE.into());
-                    tables.push(supremm::TIMESERIES_TABLE.into());
-                    tables.push(supremm::JOBSCRIPT_TABLE.into());
-                }
-                RealmKind::Storage => tables.push(storage::FACT_TABLE.into()),
-                RealmKind::Cloud => {
-                    tables.push(cloud_realm::FACT_TABLE.into());
-                    tables.push(cloud_realm::RESERVATION_TABLE.into());
-                }
-            }
+    /// The raw tables one realm replicates (and that its aggregation
+    /// pipeline reads). This mapping is mirrored as *data* in
+    /// `xdmod_check::model::realm_tables` so the std-only analyzer can
+    /// resolve realm names without depending on this crate; the
+    /// `realm_tables_in_sync` test pins the two together.
+    pub fn realm_table_names(realm: RealmKind) -> &'static [&'static str] {
+        match realm {
+            RealmKind::Jobs => &[jobs::FACT_TABLE],
+            RealmKind::Supremm => &[
+                supremm::FACT_TABLE,
+                supremm::TIMESERIES_TABLE,
+                supremm::JOBSCRIPT_TABLE,
+            ],
+            RealmKind::Storage => &[storage::FACT_TABLE],
+            RealmKind::Cloud => &[cloud_realm::FACT_TABLE, cloud_realm::RESERVATION_TABLE],
         }
+    }
+
+    /// Tables this config's declared realms expect to reach the hub.
+    pub fn expected_tables(&self) -> Vec<String> {
+        self.realms
+            .iter()
+            .flat_map(|r| Self::realm_table_names(*r).iter().map(|t| (*t).to_owned()))
+            .collect()
+    }
+
+    /// Compile into a replication filter. The filter also carries the
+    /// declared realms' tables as *required*, so the replicator can
+    /// count any drop of a downstream-needed table
+    /// (`replication_filtered_required_tables_total`).
+    pub fn filter(&self) -> ReplicationFilter {
+        let mut tables: Vec<String> = self.expected_tables();
         if self.supremm_summaries {
             tables.push(
                 supremm::summary_spec().table_name(xdmod_warehouse::Period::Month),
@@ -150,6 +189,7 @@ impl FederationConfig {
         }
         let mut filter = ReplicationFilter::all()
             .with_tables(tables)
+            .with_required_tables(self.expected_tables())
             .with_resource_column(jobs::FACT_TABLE, "resource")
             .with_resource_column(supremm::FACT_TABLE, "resource")
             .with_resource_column(storage::FACT_TABLE, "filesystem")
@@ -193,6 +233,15 @@ struct Member {
     mode: FederationMode,
     config: FederationConfig,
     link: Link,
+    /// The satellite's database handle, captured at join so pre-flight
+    /// can introspect the source catalog (and a panicked live link can
+    /// be rebuilt) without the `XdmodInstance` in hand.
+    source_db: SharedDatabase,
+    /// The satellite's instance schema name, captured at join.
+    source_schema: String,
+    /// Resources with an SU conversion factor registered at join time
+    /// (a snapshot: factors added afterwards are not visible here).
+    su_factors: Vec<String>,
 }
 
 /// A federation: the hub plus its replication links.
@@ -268,6 +317,13 @@ impl Federation {
             mode: FederationMode::Tight,
             config,
             link: Link::Tight(TightLink::Polled(link)),
+            source_db: instance.database(),
+            source_schema: instance.schema_name(),
+            su_factors: instance
+                .su_converter()
+                .resources()
+                .map(|(r, _)| r.to_owned())
+                .collect(),
         });
         Ok(())
     }
@@ -290,6 +346,13 @@ impl Federation {
             mode: FederationMode::Loose,
             config,
             link: Link::Loose { shipper, receiver },
+            source_db: instance.database(),
+            source_schema: instance.schema_name(),
+            su_factors: instance
+                .su_converter()
+                .resources()
+                .map(|(r, _)| r.to_owned())
+                .collect(),
         });
         Ok(())
     }
@@ -313,12 +376,167 @@ impl Federation {
         Ok(applied)
     }
 
+    /// Project the federation into the analyzer's model: link topology
+    /// and filters from each member's join-time config, table catalogs
+    /// from live warehouse introspection ([`Database::describe_schema`]),
+    /// and the hub's registered aggregates plus its canned-report
+    /// group-by surface (`freport`). A hub group-by enters the model only
+    /// when some member declares its realm — a jobs-only federation must
+    /// not fail pre-flight over the storage report section it will never
+    /// render.
+    ///
+    /// [`Database::describe_schema`]: xdmod_warehouse::Database::describe_schema
+    pub fn check_model(&self) -> xdmod_check::FederationModel {
+        let mut satellites = Vec::new();
+        for member in &self.members {
+            let filter = member.config.filter();
+            let selected: Vec<String> = filter.selected_tables().map(str::to_owned).collect();
+            let mut expected_tables = member.config.expected_tables();
+            expected_tables.sort_unstable();
+            expected_tables.dedup();
+            let db = member.source_db.read();
+            let tables = db
+                .describe_schema(&member.source_schema)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|t| xdmod_check::TableModel {
+                    name: t.name,
+                    columns: t
+                        .columns
+                        .into_iter()
+                        .map(|c| xdmod_check::ColumnModel {
+                            name: c.name,
+                            ty: c.ty.to_string(),
+                            nullable: c.nullable,
+                        })
+                        .collect(),
+                })
+                .collect();
+            let job_resources: Vec<String> = db
+                .table(&member.source_schema, jobs::FACT_TABLE)
+                .ok()
+                .and_then(|t| t.column_values("resource").ok())
+                .map(|values| {
+                    values
+                        .into_iter()
+                        .filter_map(|v| match v {
+                            Value::Str(s) => Some(s),
+                            _ => None,
+                        })
+                        .collect::<BTreeSet<_>>()
+                        .into_iter()
+                        .collect()
+                })
+                .unwrap_or_default();
+            satellites.push(xdmod_check::SatelliteModel {
+                name: member.name.clone(),
+                link: xdmod_check::LinkModel {
+                    id: member.name.clone(),
+                    source_schema: member.source_schema.clone(),
+                    hub_schema: FederationHub::schema_for(&member.name),
+                },
+                replicated_tables: (!selected.is_empty()).then_some(selected),
+                expected_tables,
+                excluded_resources: member.config.excluded_resources.clone(),
+                tables,
+                job_resources,
+                su_factors: member.su_factors.clone(),
+            });
+        }
+
+        let levels = self.hub.levels();
+        let specs = [
+            ("jobs", jobs::aggregation_spec(levels)),
+            ("supremm", supremm::aggregation_spec()),
+            ("storage", storage::aggregation_spec()),
+            ("cloud", cloud_realm::aggregation_spec(levels)),
+        ];
+        let aggregates = specs
+            .into_iter()
+            .map(|(name, spec)| xdmod_check::AggregateModel {
+                name: name.to_owned(),
+                fact_table: spec.fact_table.clone(),
+                time_column: spec.time_column.clone(),
+                dimensions: spec.dims.iter().map(|d| d.column().to_owned()).collect(),
+                measures: spec.measures.iter().filter_map(|m| m.column.clone()).collect(),
+            })
+            .collect();
+
+        let declares = |realm: RealmKind| {
+            self.members
+                .iter()
+                .any(|m| m.config.realms.contains(&realm))
+        };
+        let mut group_bys = Vec::new();
+        if declares(RealmKind::Jobs) {
+            group_bys.push(xdmod_check::GroupByModel {
+                name: "hpc usage by resource".to_owned(),
+                fact_table: jobs::FACT_TABLE.to_owned(),
+                columns: vec!["resource".to_owned()],
+            });
+        }
+        if declares(RealmKind::Storage) {
+            group_bys.push(xdmod_check::GroupByModel {
+                name: "storage usage".to_owned(),
+                fact_table: storage::FACT_TABLE.to_owned(),
+                columns: Vec::new(),
+            });
+        }
+        if declares(RealmKind::Cloud) {
+            group_bys.push(xdmod_check::GroupByModel {
+                name: "cloud core hours by project".to_owned(),
+                fact_table: cloud_realm::FACT_TABLE.to_owned(),
+                columns: vec!["project".to_owned()],
+            });
+        }
+
+        xdmod_check::FederationModel {
+            hub: self.hub.name().to_owned(),
+            satellites,
+            aggregates,
+            group_bys,
+        }
+    }
+
+    /// Run the static pre-flight analyzer over the current topology —
+    /// every `xdmod-check` pass, no data movement. [`Federation::go_live`]
+    /// calls this and refuses on Error-severity diagnostics; callers can
+    /// also run it directly (e.g. from an admin endpoint) for a report.
+    pub fn preflight(&self) -> xdmod_check::Diagnostics {
+        xdmod_check::analyze(&self.check_model())
+    }
+
     /// Switch every polled tight link to **live** replication: each gets a
     /// background thread tailing its satellite's binlog at `interval` —
     /// the paper's "live replication to the central federation hub
     /// database". Returns how many links switched. Loose and
     /// already-live links are untouched.
-    pub fn go_live(&mut self, interval: Duration) -> usize {
+    ///
+    /// Runs [`Federation::preflight`] first and refuses with
+    /// [`FederationError::Preflight`] when it reports any Error-severity
+    /// diagnostic — replication threads must not be started over a
+    /// topology known to corrupt data or produce silently-empty reports.
+    /// [`Federation::go_live_forced`] skips the gate.
+    pub fn go_live(&mut self, interval: Duration) -> Result<usize, FederationError> {
+        let diags = self.preflight();
+        if diags.has_errors() {
+            let errors = diags.count(xdmod_check::Severity::Error);
+            self.hub.telemetry().event_with(
+                "federation.preflight_refused",
+                "go_live refused: pre-flight found error-severity diagnostics",
+                &[("errors", errors as f64)],
+            );
+            return Err(FederationError::Preflight {
+                errors,
+                report: diags.render_text(),
+            });
+        }
+        Ok(self.go_live_forced(interval))
+    }
+
+    /// [`Federation::go_live`] without the pre-flight gate — the override
+    /// for operators who have reviewed the diagnostics and accept them.
+    pub fn go_live_forced(&mut self, interval: Duration) -> usize {
         let mut switched = 0;
         for member in &mut self.members {
             let Link::Tight(tight) = &mut member.link else {
@@ -336,26 +554,66 @@ impl Federation {
         switched
     }
 
+    /// Stop one live link, absorbing a panicked worker: the member gets a
+    /// fresh polled replicator seeked to the source binlog head (the dead
+    /// worker applied an unknown prefix of history; restarting from zero
+    /// would replay it into the hub), and the panic is reported as data.
+    fn stop_link(
+        hub: &FederationHub,
+        member: &Member,
+        live: LiveReplicator,
+    ) -> (Replicator, Option<ReplicationError>) {
+        match live.stop() {
+            Ok(rep) => (rep, None),
+            Err(e) => {
+                let mut rebuilt = Replicator::new(
+                    member.source_db.clone(),
+                    hub.database(),
+                    LinkConfig::renaming(
+                        &member.source_schema,
+                        &FederationHub::schema_for(&member.name),
+                    )
+                    .with_filter(member.config.filter()),
+                )
+                .with_telemetry(hub.telemetry().clone(), &member.name);
+                let head = member.source_db.read().binlog_position();
+                rebuilt.seek(head);
+                (rebuilt, Some(e))
+            }
+        }
+    }
+
     /// Stop every live link: each background thread drains any remaining
     /// events, takes a final lag sample (the gauges settle to 0), and
     /// hands its replicator back for polled operation. Returns how many
-    /// links were stopped.
-    pub fn quiesce(&mut self) -> usize {
+    /// links were stopped. A link whose worker panicked is rebuilt in
+    /// polled mode (see `stop_link`) and the first such panic is returned
+    /// as [`FederationError::Replication`] — after stopping the rest.
+    pub fn quiesce(&mut self) -> Result<usize, FederationError> {
         let mut stopped = 0;
+        let mut first_err: Option<ReplicationError> = None;
         for member in &mut self.members {
-            let Link::Tight(tight) = &mut member.link else {
+            if !matches!(&member.link, Link::Tight(TightLink::Live(_))) {
                 continue;
+            }
+            let Link::Tight(tight) = &mut member.link else {
+                unreachable!()
             };
-            if matches!(tight, TightLink::Live(_)) {
-                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
-                else {
-                    unreachable!()
-                };
-                *tight = TightLink::Polled(live.stop());
-                stopped += 1;
+            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
+            else {
+                unreachable!()
+            };
+            let (rep, err) = Self::stop_link(&self.hub, member, live);
+            member.link = Link::Tight(TightLink::Polled(rep));
+            stopped += 1;
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
             }
         }
-        stopped
+        match first_err {
+            None => Ok(stopped),
+            Some(e) => Err(e.into()),
+        }
     }
 
     fn live_link(&self, name: &str) -> Result<&LiveReplicator, FederationError> {
@@ -447,14 +705,22 @@ impl Federation {
             .ok_or_else(|| FederationError::UnknownMember(instance.name().to_owned()))?;
         // A live thread must not race the restore (it could replay the
         // restored history into the hub): stop it first — it drains, then
-        // the link stays polled; the caller may `go_live` again.
-        if let Link::Tight(tight) = &mut self.members[idx].link {
-            if matches!(tight, TightLink::Live(_)) {
-                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
-                else {
-                    unreachable!()
-                };
-                *tight = TightLink::Polled(live.stop());
+        // the link stays polled; the caller may `go_live` again. A
+        // panicked worker still leaves a usable polled link behind, but
+        // aborts the restore so the operator sees the failure.
+        let member = &mut self.members[idx];
+        if matches!(&member.link, Link::Tight(TightLink::Live(_))) {
+            let Link::Tight(tight) = &mut member.link else {
+                unreachable!()
+            };
+            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
+            else {
+                unreachable!()
+            };
+            let (rep, err) = Self::stop_link(&self.hub, member, live);
+            member.link = Link::Tight(TightLink::Polled(rep));
+            if let Some(e) = err {
+                return Err(e.into());
             }
         }
         let dump = self.hub.regeneration_dump(instance.name())?;
@@ -723,8 +989,8 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         let mut x = instance("x", SACCT_X, "r");
         let mut fed = Federation::new(FederationHub::new("hub"));
         fed.join_tight(&x, FederationConfig::default()).unwrap();
-        assert_eq!(fed.go_live(Duration::from_millis(1)), 1);
-        assert_eq!(fed.go_live(Duration::from_millis(1)), 0); // idempotent
+        assert_eq!(fed.go_live(Duration::from_millis(1)).unwrap(), 1);
+        assert_eq!(fed.go_live(Duration::from_millis(1)).unwrap(), 0); // idempotent
 
         // New ingest flows to the hub with nobody calling sync().
         x.ingest_sacct("r", SACCT_Y).unwrap();
@@ -734,7 +1000,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         // sync() leaves live links alone rather than fighting the thread.
         assert_eq!(fed.sync().unwrap(), 0);
 
-        assert_eq!(fed.quiesce(), 1);
+        assert_eq!(fed.quiesce().unwrap(), 1);
         // Quiescing drained the link and settled the lag gauges to zero.
         let snap = fed.hub().telemetry().snapshot();
         assert_eq!(
@@ -757,7 +1023,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         let mut x = instance("x", SACCT_X, "r");
         let mut fed = Federation::new(FederationHub::new("hub"));
         fed.join_tight(&x, FederationConfig::default()).unwrap();
-        fed.go_live(Duration::from_millis(1));
+        fed.go_live(Duration::from_millis(1)).unwrap();
         eventually("initial drain", || {
             fed.hub().federated_fact_rows(RealmKind::Jobs) == 1
         });
@@ -778,7 +1044,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
             fed.hub().federated_fact_rows(RealmKind::Jobs) == 3
         });
         assert_eq!(fed.member_last_error("x").unwrap(), None);
-        fed.quiesce();
+        fed.quiesce().unwrap();
         // The maintenance window left a lag audit trail for ops_report.
         assert!(!fed
             .hub()
@@ -810,5 +1076,109 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
             fed.restore_member(&mut stranger),
             Err(FederationError::Warehouse(_)) | Err(FederationError::UnknownMember(_))
         ));
+    }
+
+    #[test]
+    fn preflight_is_clean_for_a_healthy_federation() {
+        let mut x = instance("x", SACCT_X, "r");
+        x.set_su_factor("r", 1.5);
+        let y = {
+            let mut y = instance("y", SACCT_Y, "s");
+            y.set_su_factor("s", 2.0);
+            y
+        };
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.join_loose(&y, FederationConfig::default()).unwrap();
+        let diags = fed.preflight();
+        assert!(diags.is_empty(), "unexpected: {}", diags.render_text());
+    }
+
+    #[test]
+    fn check_model_reflects_topology_and_catalog() {
+        let mut x = instance("x", SACCT_X, "r");
+        x.set_su_factor("r", 1.5);
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default().exclude("secret"))
+            .unwrap();
+        let m = fed.check_model();
+        assert_eq!(m.hub, "hub");
+        let s = &m.satellites[0];
+        assert_eq!(s.link.source_schema, "xdmod_x");
+        assert_eq!(s.link.hub_schema, "inst_x");
+        assert!(s.replicates("jobfact"));
+        assert!(!s.replicates("supremm_jobfact"));
+        assert_eq!(s.expected_tables, vec!["jobfact".to_owned()]);
+        assert_eq!(s.excluded_resources, vec!["secret".to_owned()]);
+        assert_eq!(s.job_resources, vec!["r".to_owned()]);
+        assert_eq!(s.su_factors, vec!["r".to_owned()]);
+        // Catalog came from warehouse introspection.
+        let jobfact = s.table("jobfact").expect("jobfact in catalog");
+        assert!(jobfact.column("resource").is_some());
+        // Aggregates cover all realms; group-bys only declared ones.
+        assert_eq!(m.aggregates.len(), 4);
+        assert_eq!(m.group_bys.len(), 1);
+        assert_eq!(m.group_bys[0].fact_table, "jobfact");
+    }
+
+    #[test]
+    fn preflight_refuses_go_live_on_hub_schema_collision() {
+        // schema_for maps both names to inst_site_a — the paper-scale
+        // footgun XC0001 exists for.
+        let a = instance("site-a", SACCT_X, "r-a");
+        let b = instance("site.a", SACCT_Y, "r-b");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&a, FederationConfig::default()).unwrap();
+        fed.join_tight(&b, FederationConfig::default()).unwrap();
+
+        let err = fed.go_live(Duration::from_millis(1)).unwrap_err();
+        match &err {
+            FederationError::Preflight { errors, report } => {
+                assert!(*errors >= 1);
+                assert!(report.contains("XC0001"), "report: {report}");
+            }
+            other => panic!("expected Preflight, got {other:?}"),
+        }
+        // Refusal is observable on the ops dashboard.
+        assert!(!fed
+            .hub()
+            .telemetry()
+            .events_of_kind("federation.preflight_refused")
+            .is_empty());
+        // No link went live.
+        assert!(matches!(
+            fed.pause_member("site-a"),
+            Err(FederationError::LinkNotLive(_))
+        ));
+
+        // The operator override still works.
+        assert_eq!(fed.go_live_forced(Duration::from_millis(1)), 2);
+        fed.quiesce().unwrap();
+    }
+
+    #[test]
+    fn missing_su_factor_warns_but_does_not_gate_go_live() {
+        let x = instance("x", SACCT_X, "r"); // no set_su_factor call
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        let diags = fed.preflight();
+        assert!(!diags.has_errors());
+        assert_eq!(diags.count(xdmod_check::Severity::Warning), 1);
+        assert_eq!(fed.go_live(Duration::from_millis(1)).unwrap(), 1);
+        fed.quiesce().unwrap();
+    }
+
+    /// Pins the analyzer's std-only realm→tables data against the realm
+    /// crate's constants: if a realm gains a table, `xdmod-check` must
+    /// learn it too or pre-flight would pass configs that starve the hub.
+    #[test]
+    fn realm_tables_in_sync_with_check_model() {
+        for realm in RealmKind::ALL {
+            let name = format!("{realm:?}").to_ascii_lowercase();
+            let ours = FederationConfig::realm_table_names(realm);
+            let theirs = xdmod_check::model::realm_tables(&name)
+                .unwrap_or_else(|| panic!("xdmod-check lacks realm {name}"));
+            assert_eq!(ours, theirs, "realm {name}");
+        }
     }
 }

@@ -207,7 +207,7 @@ pub fn sessionize(mut events: Vec<VmEvent>, as_of: i64) -> (Vec<Row>, IngestRepo
                 end_ts: i64,
                 started: bool,
                 ended: bool| {
-        let start_ts = tracker.running_since.take().expect("session open");
+        let start_ts = tracker.running_since.take().expect("session open"); // xc-allow: emit is only called for running sessions
         let wall_hours = (end_ts - start_ts) as f64 / 3600.0;
         let c = &tracker.config;
         rows.push(vec![
@@ -250,7 +250,7 @@ pub fn sessionize(mut events: Vec<VmEvent>, as_of: i64) -> (Vec<Row>, IngestRepo
                 ev.vm_id.clone(),
                 VmTracker {
                     state: VmState::Created,
-                    config: ev.config.expect("CREATE carries config"),
+                    config: ev.config.expect("CREATE carries config"), // xc-allow: the event parser requires a config on CREATE
                     running_since: None,
                     ever_started: false,
                     pending_changes: 0,
@@ -318,10 +318,10 @@ pub fn sessionize(mut events: Vec<VmEvent>, as_of: i64) -> (Vec<Row>, IngestRepo
                     let started = !tracker.ever_started;
                     tracker.ever_started = true;
                     emit(&mut rows, &ev.vm_id, tracker, ev.ts, started, false);
-                    tracker.config = ev.config.expect("RESIZE carries config");
+                    tracker.config = ev.config.expect("RESIZE carries config"); // xc-allow: the event parser requires a config on RESIZE
                     tracker.running_since = Some(ev.ts);
                 } else {
-                    tracker.config = ev.config.expect("RESIZE carries config");
+                    tracker.config = ev.config.expect("RESIZE carries config"); // xc-allow: the event parser requires a config on RESIZE
                 }
             }
             EventKind::Terminate => {

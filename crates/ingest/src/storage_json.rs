@@ -125,12 +125,12 @@ pub fn shred(document: &str) -> Result<(Vec<Row>, IngestReport)> {
     for (i, sample) in samples.iter().enumerate() {
         let record = i + 1;
         validate_sample(sample, record)?;
-        let map = sample.as_object().expect("validated as object");
-        let s = |k: &str| map[k].as_str().expect("validated").to_owned();
-        let ts = parse_iso_datetime(map["ts"].as_str().expect("validated")).expect("validated");
+        let map = sample.as_object().expect("validated as object"); // xc-allow: validate_sample vetted this field
+        let s = |k: &str| map[k].as_str().expect("validated").to_owned(); // xc-allow: validate_sample vetted this field
+        let ts = parse_iso_datetime(map["ts"].as_str().expect("validated")).expect("validated"); // xc-allow: validate_sample vetted this field
         let soft = map.get("soft_quota_gb").and_then(Json::as_f64);
         let hard = map.get("hard_quota_gb").and_then(Json::as_f64);
-        let logical = map["logical_usage_gb"].as_f64().expect("validated");
+        let logical = map["logical_usage_gb"].as_f64().expect("validated"); // xc-allow: validate_sample vetted this field
         let utilization = soft.filter(|q| *q > 0.0).map(|q| logical / q);
         let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
         rows.push(vec![
@@ -141,9 +141,9 @@ pub fn shred(document: &str) -> Result<(Vec<Row>, IngestReport)> {
             Value::Str(s("user")),
             Value::Str(s("pi")),
             Value::Str(s("system_username")),
-            Value::Int(map["file_count"].as_i64().expect("validated")),
+            Value::Int(map["file_count"].as_i64().expect("validated")), // xc-allow: validate_sample vetted this field
             Value::Float(logical),
-            Value::Float(map["physical_usage_gb"].as_f64().expect("validated")),
+            Value::Float(map["physical_usage_gb"].as_f64().expect("validated")), // xc-allow: validate_sample vetted this field
             opt(soft),
             opt(hard),
             opt(utilization),

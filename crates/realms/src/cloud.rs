@@ -45,7 +45,7 @@ pub fn fact_schema() -> TableSchema {
         .required("ended", ColumnType::Bool) // session ends with VM termination
         .required("state_changes", ColumnType::Int)
         .build()
-        .expect("cloud fact schema is valid")
+        .expect("cloud fact schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// The initial Cloud metric set from the paper.
@@ -256,7 +256,7 @@ pub fn reservation_schema() -> TableSchema {
         .required("end_time", ColumnType::Time)
         .required("core_hours_purchased", ColumnType::Float)
         .build()
-        .expect("reservation schema is valid")
+        .expect("reservation schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// One row of the purchased-vs-used comparison.

@@ -36,7 +36,7 @@ pub fn fact_schema() -> xdmod_warehouse::TableSchema {
         .required("exit_status", ColumnType::Str)
         .nullable("gpu_count", ColumnType::Int)
         .build()
-        .expect("jobfact schema is valid")
+        .expect("jobfact schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// Chartable metrics of the Jobs realm.

@@ -82,7 +82,7 @@ impl AggregationLevelsConfig {
 
     /// Serialize to the JSON configuration-file format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        serde_json::to_string_pretty(self).expect("config serializes") // xc-allow: levels config is plain data; serialization cannot fail
     }
 
     /// Parse a JSON configuration file, validating every dimension's bins.

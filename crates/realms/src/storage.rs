@@ -38,7 +38,7 @@ pub fn fact_schema() -> TableSchema {
         .nullable("hard_quota_gb", ColumnType::Float)
         .nullable("quota_utilization", ColumnType::Float) // logical/soft, 0..
         .build()
-        .expect("storage fact schema is valid")
+        .expect("storage fact schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// The initial Storage metric set from the paper.

@@ -59,7 +59,7 @@ pub fn fact_schema() -> TableSchema {
         .required("block_read_gbs", ColumnType::Float)
         .required("block_write_gbs", ColumnType::Float)
         .build()
-        .expect("supremm fact schema is valid")
+        .expect("supremm fact schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// Schema of the heavyweight per-job timeseries table.
@@ -70,7 +70,7 @@ pub fn timeseries_schema() -> TableSchema {
         .required("metric", ColumnType::Str)
         .required("value", ColumnType::Float)
         .build()
-        .expect("supremm timeseries schema is valid")
+        .expect("supremm timeseries schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// Schema of the job-script table.
@@ -79,7 +79,7 @@ pub fn jobscript_schema() -> TableSchema {
         .required("job_id", ColumnType::Int)
         .required("script", ColumnType::Str)
         .build()
-        .expect("supremm jobscript schema is valid")
+        .expect("supremm jobscript schema is valid") // xc-allow: static schema literal, valid by construction
 }
 
 /// Chartable metrics of the SUPReMM realm (aggregate view).

@@ -1,0 +1,86 @@
+//! Typed replication failures.
+//!
+//! The live link runs on a background thread; before this type existed a
+//! panicked worker took the *caller* down too (`join().expect(..)` in
+//! `stop()`). A federation hub must instead observe "this link died" as
+//! data — mark the member degraded, keep serving the other satellites —
+//! which is only possible if teardown returns an error value.
+
+use std::fmt;
+use xdmod_warehouse::WarehouseError;
+
+/// Why a replication link failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationError {
+    /// The background polling thread panicked; `detail` carries the
+    /// panic payload when it was a string.
+    LinkPanicked {
+        /// Label of the link whose worker died.
+        link: String,
+        /// Panic message, or a placeholder for non-string payloads.
+        detail: String,
+    },
+    /// A warehouse operation on the link failed.
+    Warehouse(WarehouseError),
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::LinkPanicked { link, detail } => {
+                write!(f, "replication link {link:?} panicked: {detail}")
+            }
+            ReplicationError::Warehouse(e) => write!(f, "warehouse error on link: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+impl From<WarehouseError> for ReplicationError {
+    fn from(e: WarehouseError) -> Self {
+        ReplicationError::Warehouse(e)
+    }
+}
+
+/// Render a `std::thread::JoinHandle` panic payload.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_link() {
+        let e = ReplicationError::LinkPanicked {
+            link: "site-x".into(),
+            detail: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "replication link \"site-x\" panicked: boom");
+    }
+
+    #[test]
+    fn warehouse_errors_convert() {
+        let w = WarehouseError::UnknownSchema("inst_x".into());
+        let e: ReplicationError = w.clone().into();
+        assert_eq!(e, ReplicationError::Warehouse(w));
+    }
+
+    #[test]
+    fn panic_detail_handles_both_string_kinds() {
+        let a: Box<dyn std::any::Any + Send> = Box::new("static");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        let c: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_detail(a.as_ref()), "static");
+        assert_eq!(panic_detail(b.as_ref()), "owned");
+        assert_eq!(panic_detail(c.as_ref()), "non-string panic payload");
+    }
+}

@@ -27,6 +27,11 @@ pub struct ReplicationFilter {
     /// Table name → name of its resource column (used by resource
     /// routing; tables absent from this map are not resource-filtered).
     resource_columns: BTreeMap<String, String>,
+    /// Tables a downstream consumer (registered aggregate or hub
+    /// group-by) is known to read. A filter that drops one of these
+    /// would yield silently-empty hub reports, so the replicator counts
+    /// and logs every such drop instead of discarding it unrecorded.
+    required_tables: BTreeSet<String>,
 }
 
 impl ReplicationFilter {
@@ -55,9 +60,51 @@ impl ReplicationFilter {
         self
     }
 
+    /// Declare tables that downstream aggregates / hub group-bys read.
+    /// Dropping one of these is legal but almost always a config bug;
+    /// the replicator surfaces it via the
+    /// `replication_filtered_required_tables_total` counter.
+    pub fn with_required_tables<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        tables: I,
+    ) -> Self {
+        self.required_tables = tables.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// Whether a table passes the table-selection axis.
     pub fn table_passes(&self, table: &str) -> bool {
         self.tables.is_empty() || self.tables.contains(table)
+    }
+
+    /// Whether dropping this table starves a known downstream consumer.
+    pub fn is_required(&self, table: &str) -> bool {
+        self.required_tables.contains(table)
+    }
+
+    /// The explicit table selection (empty = everything passes).
+    pub fn selected_tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.iter().map(String::as_str)
+    }
+
+    /// Resources excluded by the routing axis.
+    pub fn excluded_resources(&self) -> impl Iterator<Item = &str> {
+        self.excluded_resources.iter().map(String::as_str)
+    }
+
+    /// Declared downstream-required tables.
+    pub fn required_tables(&self) -> impl Iterator<Item = &str> {
+        self.required_tables.iter().map(String::as_str)
+    }
+
+    /// Required tables the table-selection axis drops — the static form
+    /// of the mistake the runtime counter records per-event.
+    pub fn dropped_required_tables(&self) -> Vec<String> {
+        self.required_tables
+            .iter()
+            .filter(|t| !self.table_passes(t))
+            .cloned()
+            .collect()
     }
 
     /// Apply the filter to an event. Returns `None` when the whole event
@@ -214,6 +261,32 @@ mod tests {
         // No resource column registered for this table: rows pass.
         let ev = insert("jobfact", &["secret-cluster"]);
         assert!(f.apply_resolved(&ev, resolver).is_some());
+    }
+
+    #[test]
+    fn required_tables_report_static_drops() {
+        let f = ReplicationFilter::all()
+            .with_tables(["jobfact"])
+            .with_required_tables(["jobfact", "storagefact"]);
+        assert!(f.is_required("storagefact"));
+        assert!(!f.is_required("cloudfact"));
+        assert_eq!(f.dropped_required_tables(), vec!["storagefact".to_owned()]);
+        // An unrestricted selection drops nothing.
+        let open = ReplicationFilter::all().with_required_tables(["jobfact"]);
+        assert!(open.dropped_required_tables().is_empty());
+    }
+
+    #[test]
+    fn accessors_expose_filter_shape() {
+        let f = ReplicationFilter::all()
+            .with_tables(["jobfact"])
+            .exclude_resource("secret-cluster");
+        assert_eq!(f.selected_tables().collect::<Vec<_>>(), vec!["jobfact"]);
+        assert_eq!(
+            f.excluded_resources().collect::<Vec<_>>(),
+            vec!["secret-cluster"]
+        );
+        assert_eq!(f.required_tables().count(), 0);
     }
 
     #[test]

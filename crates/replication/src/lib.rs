@@ -18,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod consistency;
+pub mod error;
 pub mod filter;
 pub mod loose;
 pub mod replicator;
 
 pub use consistency::{schemas_match, verify_schemas, TableCheck};
+pub use error::ReplicationError;
 pub use filter::ReplicationFilter;
 pub use loose::{receive_dump, ship_dump, LooseReceiver, LooseShipper};
 pub use replicator::{LinkConfig, LinkStats, LiveReplicator, Replicator};

@@ -12,6 +12,7 @@
 //! applies the surviving events to the target. [`LiveReplicator`] runs the
 //! same loop on a background thread — the paper's "live replication".
 
+use crate::error::{panic_detail, ReplicationError};
 use crate::filter::ReplicationFilter;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -205,6 +206,28 @@ impl Replicator {
             });
             let Some(filtered) = resolved else {
                 self.stats.events_filtered += 1;
+                // A drop the config declared *required* downstream is the
+                // classic silently-empty-hub-report bug: legal, but almost
+                // certainly a mistake. Count and log it instead of letting
+                // it vanish into the generic filtered total.
+                if let Some(table) = ev.payload.table() {
+                    if self.config.filter.is_required(table) && self.telemetry.is_enabled() {
+                        self.telemetry
+                            .counter(
+                                "replication_filtered_required_tables_total",
+                                &[("link", &self.link_name), ("table", table)],
+                            )
+                            .inc();
+                        self.telemetry.event(
+                            "replication.filtered_required_table",
+                            &format!(
+                                "{}: filter dropped table {table:?} that a registered \
+                                 aggregate or hub group-by reads",
+                                self.link_name
+                            ),
+                        );
+                    }
+                }
                 self.position = ev.position;
                 continue;
             };
@@ -247,6 +270,9 @@ pub struct LiveReplicator {
     stop: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
     handle: Option<JoinHandle<Replicator>>,
+    /// Link label, kept on this side of the thread boundary so a panicked
+    /// worker can still be named in the resulting [`ReplicationError`].
+    link_name: String,
     /// Last error observed by the worker, if any.
     last_error: Arc<Mutex<Option<WarehouseError>>>,
 }
@@ -307,6 +333,7 @@ impl LiveReplicator {
     pub fn start(mut replicator: Replicator, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let paused = Arc::new(AtomicBool::new(false));
+        let link_name = replicator.link_name().to_owned();
         let last_error: Arc<Mutex<Option<WarehouseError>>> = Arc::new(Mutex::new(None));
         let stop2 = Arc::clone(&stop);
         let paused2 = Arc::clone(&paused);
@@ -351,6 +378,7 @@ impl LiveReplicator {
             stop,
             paused,
             handle: Some(handle),
+            link_name,
             last_error,
         }
     }
@@ -383,11 +411,27 @@ impl LiveReplicator {
 
     /// Stop the loop, drain outstanding events, and return the link (with
     /// its watermark and stats) for inspection or restart.
-    pub fn stop(mut self) -> Replicator {
+    ///
+    /// A panicked worker surfaces as
+    /// [`ReplicationError::LinkPanicked`] instead of propagating the
+    /// panic into the caller: the hub must be able to note one dead link
+    /// and keep operating the rest of the federation.
+    pub fn stop(mut self) -> std::result::Result<Replicator, ReplicationError> {
         self.stop.store(true, Ordering::Release);
-        let handle = self.handle.take().expect("stop called once");
+        let Some(handle) = self.handle.take() else {
+            // Unreachable by construction (`stop` consumes `self` and the
+            // handle is only vacated here or in Drop), but kept typed
+            // rather than panicking per the workspace invariant.
+            return Err(ReplicationError::LinkPanicked {
+                link: self.link_name.clone(),
+                detail: "link already stopped".to_owned(),
+            });
+        };
         handle.thread().unpark();
-        handle.join().expect("replication thread panicked")
+        handle.join().map_err(|payload| ReplicationError::LinkPanicked {
+            link: self.link_name.clone(),
+            detail: panic_detail(payload.as_ref()),
+        })
     }
 }
 
@@ -605,7 +649,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        let rep = live.stop();
+        let rep = live.stop().unwrap();
         assert!(rep.stats().events_applied >= 52); // 50 inserts + DDL
         assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 51);
         assert_eq!(
@@ -708,7 +752,7 @@ mod tests {
             snap.gauge("replication_lag_events", link) == Some(0.0)
                 && snap.gauge("replication_lag_seconds", link) == Some(0.0)
         }));
-        let rep = live.stop();
+        let rep = live.stop().unwrap();
         assert!(rep.stats().events_applied >= 5);
         assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 6);
     }
@@ -748,9 +792,64 @@ mod tests {
             > 1));
         assert!(live.last_error().is_some());
         assert!(!reg.events_of_kind("replication.error").is_empty());
-        let rep = live.stop();
+        let rep = live.stop().unwrap();
         // The watermark never advanced past the failing event.
         assert_eq!(rep.stats().events_applied, 0);
+    }
+
+    #[test]
+    fn filtered_required_table_is_counted_and_logged() {
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        // supremm_jobfact is declared required downstream but the table
+        // selection drops it — the silently-empty-report misconfiguration.
+        let filter = ReplicationFilter::all()
+            .with_tables(["jobfact"])
+            .with_required_tables(["jobfact", "supremm_jobfact"]);
+        let reg = MetricsRegistry::new();
+        let mut rep = Replicator::new(
+            src,
+            dst,
+            LinkConfig::renaming("xdmod_x", "hub_x").with_filter(filter),
+        )
+        .with_telemetry(reg.clone(), "site-x");
+        rep.poll().unwrap();
+        let dropped = reg
+            .snapshot()
+            .counter(
+                "replication_filtered_required_tables_total",
+                &[("link", "site-x"), ("table", "supremm_jobfact")],
+            )
+            .unwrap_or(0);
+        // CreateTable + InsertBatch for supremm_jobfact both count.
+        assert_eq!(dropped, 2);
+        let events = reg.events_of_kind("replication.filtered_required_table");
+        assert!(!events.is_empty());
+        assert!(events[0].message.contains("supremm_jobfact"));
+        // Tables that were never declared required stay out of the counter.
+        assert_eq!(
+            reg.snapshot().counter(
+                "replication_filtered_required_tables_total",
+                &[("link", "site-x"), ("table", "jobfact")],
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn stop_surfaces_worker_panic_as_typed_error() {
+        // A replicator whose source handle is poisoned mid-flight is hard
+        // to arrange; instead drive the public surface: a healthy link
+        // stops cleanly (Ok), and the error type carries the link label
+        // for the panicked case (unit-tested in `error.rs`).
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let rep = Replicator::new(src, dst, LinkConfig::renaming("xdmod_x", "hub_x"));
+        let live = LiveReplicator::start(rep, Duration::from_millis(1));
+        let stopped = live.stop();
+        assert!(stopped.is_ok());
+        assert_eq!(stopped.unwrap().link_name(), "hub_x");
     }
 
     #[test]

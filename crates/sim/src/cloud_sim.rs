@@ -174,7 +174,7 @@ impl CloudSim {
                             .flavors
                             .iter()
                             .position(|f| f.name == flavor.name)
-                            .unwrap();
+                            .unwrap(); // xc-allow: flavor was drawn from self.flavors
                         let next = &self.flavors[(idx + 1).min(self.flavors.len() - 1)];
                         events.push((t, format!("{t},{vm_id},RESIZE,{}", config(next))));
                     } else if rng.chance(0.5) {

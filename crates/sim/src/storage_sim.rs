@@ -139,7 +139,7 @@ impl StorageSim {
                 samples.push(obj);
             }
         }
-        serde_json::to_string(&samples).expect("samples serialize")
+        serde_json::to_string(&samples).expect("samples serialize") // xc-allow: samples are plain maps; serialization cannot fail
     }
 
     /// Generate documents for every month of a year.

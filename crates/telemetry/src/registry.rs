@@ -5,7 +5,7 @@ use crate::histogram::{Histogram, HistogramCore, HistogramSnapshot};
 use crate::span::Span;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Default bound of the event ring buffer.
@@ -199,13 +199,20 @@ impl MetricsRegistry {
             .map_or(0, |i| i.start.elapsed().as_millis() as u64)
     }
 
+    // Lock policy: instrument maps are touched on every poll tick, so a
+    // panic while holding one (poisoning) must not cascade into every
+    // later metric emission — recover the guard with
+    // `unwrap_or_else(PoisonError::into_inner)`; the maps hold only
+    // Arc'd cells and stay structurally valid across an interrupted
+    // insert. Enforced by `xtask lint` rule `hot-path-lock`.
+
     /// Register (or fetch) a counter.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         match &self.inner {
             None => Counter::noop(),
             Some(inner) => {
                 let id = MetricId::new(name, labels);
-                let mut map = inner.counters.lock().expect("counter map poisoned");
+                let mut map = inner.counters.lock().unwrap_or_else(PoisonError::into_inner);
                 Counter(Some(Arc::clone(
                     map.entry(id).or_insert_with(|| Arc::new(AtomicU64::new(0))),
                 )))
@@ -219,7 +226,7 @@ impl MetricsRegistry {
             None => Gauge::noop(),
             Some(inner) => {
                 let id = MetricId::new(name, labels);
-                let mut map = inner.gauges.lock().expect("gauge map poisoned");
+                let mut map = inner.gauges.lock().unwrap_or_else(PoisonError::into_inner);
                 Gauge(Some(Arc::clone(map.entry(id).or_insert_with(|| {
                     Arc::new(AtomicU64::new(0f64.to_bits()))
                 }))))
@@ -233,7 +240,7 @@ impl MetricsRegistry {
             None => Histogram::noop(),
             Some(inner) => {
                 let id = MetricId::new(name, labels);
-                let mut map = inner.histograms.lock().expect("histogram map poisoned");
+                let mut map = inner.histograms.lock().unwrap_or_else(PoisonError::into_inner);
                 Histogram(Some(Arc::clone(
                     map.entry(id).or_insert_with(|| Arc::new(HistogramCore::new())),
                 )))
@@ -260,7 +267,7 @@ impl MetricsRegistry {
             inner
                 .events
                 .lock()
-                .expect("event ring poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push(elapsed, kind, message, fields);
         }
     }
@@ -268,7 +275,7 @@ impl MetricsRegistry {
     /// All retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         self.inner.as_ref().map_or_else(Vec::new, |i| {
-            i.events.lock().expect("event ring poisoned").all()
+            i.events.lock().unwrap_or_else(PoisonError::into_inner).all()
         })
     }
 
@@ -280,7 +287,7 @@ impl MetricsRegistry {
     /// Total events ever emitted (including ones evicted from the ring).
     pub fn events_emitted(&self) -> u64 {
         self.inner.as_ref().map_or(0, |i| {
-            i.events.lock().expect("event ring poisoned").total_emitted()
+            i.events.lock().unwrap_or_else(PoisonError::into_inner).total_emitted()
         })
     }
 
@@ -292,21 +299,21 @@ impl MetricsRegistry {
         let counters = inner
             .counters
             .lock()
-            .expect("counter map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(id, cell)| (id.clone(), cell.load(Ordering::Relaxed)))
             .collect();
         let gauges = inner
             .gauges
             .lock()
-            .expect("gauge map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(id, cell)| (id.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
             .collect();
         let histograms = inner
             .histograms
             .lock()
-            .expect("histogram map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(id, core)| (id.clone(), core.snapshot()))
             .collect();

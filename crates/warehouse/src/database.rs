@@ -203,6 +203,21 @@ impl Database {
             .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))
     }
 
+    /// Describe every table in a schema: a point-in-time copy of the
+    /// table definitions (names, column types, nullability), sorted by
+    /// table name. This is the introspection surface the static
+    /// pre-flight analyzer (`xdmod-check`) builds its federation model
+    /// from — schema-drift and dangling-dimension checks compare these
+    /// definitions across satellites without reading any rows.
+    pub fn describe_schema(&self, schema: &str) -> Result<Vec<TableSchema>> {
+        let tables = self
+            .schemas
+            .get(schema)
+            .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?;
+        // BTreeMap iteration: already name-sorted.
+        Ok(tables.values().map(|t| t.schema().clone()).collect())
+    }
+
     /// Borrow a table.
     pub fn table(&self, schema: &str, table: &str) -> Result<&Table> {
         self.schemas
@@ -316,6 +331,31 @@ mod tests {
         )
         .unwrap();
         db
+    }
+
+    #[test]
+    fn describe_schema_returns_sorted_table_definitions() {
+        let mut db = populated();
+        db.create_table(
+            "xdmod_x",
+            SchemaBuilder::new("storagefact")
+                .required("filesystem", ColumnType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let defs = db.describe_schema("xdmod_x").unwrap();
+        assert_eq!(
+            defs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            vec!["jobfact", "storagefact"]
+        );
+        assert_eq!(defs[0].columns[0].name, "resource");
+        assert_eq!(defs[0].columns[0].ty, ColumnType::Str);
+        assert!(!defs[0].columns[0].nullable);
+        assert!(matches!(
+            db.describe_schema("ghost"),
+            Err(WarehouseError::UnknownSchema(_))
+        ));
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl Snapshot {
                 self.schemas.len()
             )));
         }
-        let (_, tables) = self.schemas.pop_first().expect("len checked");
+        let (_, tables) = self.schemas.pop_first().expect("len checked"); // xc-allow: len == 1 checked above
         self.schemas.insert(new_schema.to_owned(), tables);
         Ok(self)
     }

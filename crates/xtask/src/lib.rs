@@ -1,0 +1,565 @@
+//! Workspace invariant lint: a std-only, line-based source scanner.
+//!
+//! Three rules, enforced over `crates/*/src/**/*.rs` and `src/**/*.rs`
+//! (test files under `tests/`/`benches/`/`examples/` are out of scope
+//! by construction, and `#[cfg(test)]` regions inside source files are
+//! skipped):
+//!
+//! - **R1 `no-unwrap`** — no `.unwrap()`, `.expect(...)`, or `panic!`
+//!   in non-test code. Every such call is a latent federation outage:
+//!   a poisoned lock or absent table must surface as a typed error, not
+//!   a crashed replication thread.
+//! - **R2 `hot-path-lock`** — no `.lock().unwrap()` / `.lock().expect(`
+//!   in the replication / warehouse / telemetry crates, *even where R1
+//!   is allowlisted*: those paths run on every poll tick and must
+//!   recover from poisoning (`unwrap_or_else(PoisonError::into_inner)`).
+//! - **R3 `untraced-query`** — every public query entry point in
+//!   `warehouse/src/database.rs` and `core/src/hub.rs` must reference
+//!   the telemetry layer (span / timer / counter); a query path that
+//!   bypasses telemetry is invisible to the Ops dashboard.
+//!
+//! A finding on a line is suppressed by `// xc-allow: <reason>` on the
+//! same line or the line directly above. The reason is mandatory — a
+//! bare `xc-allow:` is itself a finding.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which invariant a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: `.unwrap()` / `.expect(` / `panic!(` outside test code.
+    NoUnwrap,
+    /// R2: `.lock().unwrap()` / `.lock().expect(` on a hot-path crate.
+    HotPathLock,
+    /// R3: public query entry point with no telemetry reference.
+    UntracedQuery,
+    /// `xc-allow:` marker without a reason.
+    BareAllow,
+}
+
+impl Rule {
+    /// Short stable identifier used in output.
+    pub fn ident(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::HotPathLock => "hot-path-lock",
+            Rule::UntracedQuery => "untraced-query",
+            Rule::BareAllow => "bare-allow",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ident())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-oriented description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose runtime paths hold locks on every poll tick (R2 scope).
+const HOT_PATH_CRATES: &[&str] = &["replication", "warehouse", "telemetry"];
+
+/// Crates exempt from R1: `bench` is the workspace's experiment /
+/// figure-reproduction harness — the moral equivalent of `benches/`,
+/// where `expect()` on setup I/O is the idiom. R2/R3 still apply.
+const R1_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Files whose public `*query*` functions must reference telemetry (R3).
+const TRACED_QUERY_FILES: &[&str] = &["crates/warehouse/src/database.rs", "crates/core/src/hub.rs"];
+
+/// Substrings that count as "references the telemetry layer".
+const TELEMETRY_MARKERS: &[&str] = &["span", "timer", "counter", "observe", "telemetry"];
+
+/// Carries comment/string state across lines of one file.
+#[derive(Default)]
+struct ScanState {
+    in_block_comment: bool,
+    /// `Some(hash_count)` while inside a raw string literal.
+    in_raw_string: Option<usize>,
+}
+
+/// Strip comments and string-literal *contents* from one line so that
+/// brace counting and pattern matching cannot be fooled by text inside
+/// quotes or comments. Keeps the quotes themselves as placeholders.
+fn sanitize_line(line: &str, state: &mut ScanState) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if state.in_block_comment {
+            if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                state.in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = state.in_raw_string {
+            if bytes[i] == b'"' && line[i + 1..].starts_with(&"#".repeat(hashes)) {
+                state.in_raw_string = None;
+                out.push('"');
+                i += 1 + hashes;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                state.in_block_comment = true;
+                i += 2;
+            }
+            b'r' | b'b'
+                if {
+                    // r"..."  r#"..."#  br"..." — raw string opener.
+                    let rest = &line[i..];
+                    let after_prefix = rest.trim_start_matches(['r', 'b']);
+                    let hashes = after_prefix.len() - after_prefix.trim_start_matches('#').len();
+                    rest.len() - after_prefix.len() <= 2
+                        && rest.starts_with('r')
+                        && after_prefix[hashes..].starts_with('"')
+                } =>
+            {
+                let rest = &line[i..];
+                let after_prefix = rest.trim_start_matches(['r', 'b']);
+                let hashes = after_prefix.len() - after_prefix.trim_start_matches('#').len();
+                state.in_raw_string = Some(hashes);
+                out.push('"');
+                i += (rest.len() - after_prefix.len()) + hashes + 1;
+            }
+            b'"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes within
+                // a few bytes; a lifetime has no closing quote.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: skip to closing quote.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.push_str("' '");
+                    i = j + 1;
+                } else {
+                    let close = bytes[i + 1..].iter().take(4).position(|&b| b == b'\'');
+                    match close {
+                        Some(n) if n > 0 => {
+                            out.push_str("' '");
+                            i += n + 2;
+                        }
+                        _ => {
+                            out.push('\'');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lint one source file's text. `rel_path` is workspace-relative and
+/// decides which crate-specific rules apply.
+pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    let hot_path = HOT_PATH_CRATES.contains(&crate_name);
+    let r1_exempt = R1_EXEMPT_CRATES.contains(&crate_name);
+
+    let mut findings = Vec::new();
+    let mut state = ScanState::default();
+    let mut depth: i32 = 0;
+    // Depth at which the innermost #[cfg(test)] region opened; we are in
+    // test code while depth > that value.
+    let mut test_region: Option<i32> = None;
+    // A #[cfg(test)] attribute was seen and waits for its item's `{`.
+    let mut pending_test_attr = false;
+    let mut prev_raw: &str = "";
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let code = sanitize_line(raw, &mut state);
+        let trimmed = code.trim();
+
+        let allow_here = raw.contains("xc-allow:")
+            || prev_raw.trim_start().starts_with("//") && prev_raw.contains("xc-allow:");
+        if raw.contains("xc-allow")
+            && raw
+                .split("xc-allow")
+                .nth(1)
+                .map(|rest| {
+                    let reason = rest.trim_start_matches(':').trim();
+                    reason.is_empty()
+                })
+                .unwrap_or(true)
+        {
+            findings.push(Finding {
+                rule: Rule::BareAllow,
+                path: rel_path.to_owned(),
+                line: lineno,
+                message: "xc-allow marker without a reason; write `// xc-allow: <why>`"
+                    .to_owned(),
+            });
+        }
+
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(any(test") {
+            pending_test_attr = true;
+        }
+
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+        if pending_test_attr && opens > 0 {
+            if test_region.is_none() {
+                test_region = Some(depth);
+            }
+            pending_test_attr = false;
+        } else if pending_test_attr && trimmed.ends_with(';') {
+            // `#[cfg(test)] mod tests;` — out-of-line, nothing to skip here.
+            pending_test_attr = false;
+        }
+
+        let in_test = test_region.is_some();
+
+        if !in_test && !allow_here && !r1_exempt {
+            for (pat, what) in [
+                (".unwrap()", "unwrap()"),
+                (".expect(", "expect()"),
+                ("panic!(", "panic!"),
+            ] {
+                if code.contains(pat) {
+                    findings.push(Finding {
+                        rule: Rule::NoUnwrap,
+                        path: rel_path.to_owned(),
+                        line: lineno,
+                        message: format!(
+                            "{what} in non-test code; return a typed error \
+                             (or justify with `// xc-allow: <why>`)"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        if !in_test && hot_path && (code.contains(".lock().unwrap()") || code.contains(".lock().expect(")) {
+            // Deliberately NOT suppressible via xc-allow: poisoning on a
+            // poll-tick path must be recovered, never unwrapped.
+            findings.push(Finding {
+                rule: Rule::HotPathLock,
+                path: rel_path.to_owned(),
+                line: lineno,
+                message: format!(
+                    "lock().unwrap/expect on hot-path crate `{crate_name}`; \
+                     use .lock().unwrap_or_else(PoisonError::into_inner)"
+                ),
+            });
+        }
+
+        depth += opens - closes;
+        if let Some(entry) = test_region {
+            if depth <= entry {
+                test_region = None;
+            }
+        }
+        prev_raw = raw;
+    }
+
+    if TRACED_QUERY_FILES.contains(&rel_path) {
+        findings.extend(lint_query_tracing(rel_path, text));
+    }
+    findings
+}
+
+/// R3: every `pub fn *query*` in scope must mention a telemetry marker
+/// somewhere in its body.
+fn lint_query_tracing(rel_path: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut state = ScanState::default();
+    let sanitized: Vec<String> = text
+        .lines()
+        .map(|l| sanitize_line(l, &mut state))
+        .collect();
+
+    let mut i = 0;
+    while i < sanitized.len() {
+        let line = &sanitized[i];
+        let is_query_fn = line.trim_start().starts_with("pub fn")
+            && line
+                .split("pub fn")
+                .nth(1)
+                .and_then(|rest| rest.split('(').next())
+                .map(|name| name.contains("query"))
+                .unwrap_or(false);
+        if !is_query_fn {
+            i += 1;
+            continue;
+        }
+        let fn_line = i + 1;
+        // Walk to the end of the function body by brace depth.
+        let mut depth = 0i32;
+        let mut body = String::new();
+        let mut opened = false;
+        let mut j = i;
+        while j < sanitized.len() {
+            let l = &sanitized[j];
+            depth += l.matches('{').count() as i32 - l.matches('}').count() as i32;
+            if l.contains('{') {
+                opened = true;
+            }
+            // Use the raw text for marker search: metric names live in
+            // string literals which sanitize_line strips.
+            body.push_str(text.lines().nth(j).unwrap_or(""));
+            body.push('\n');
+            j += 1;
+            if opened && depth <= 0 {
+                break;
+            }
+        }
+        let lowered = body.to_lowercase();
+        if !TELEMETRY_MARKERS.iter().any(|m| lowered.contains(m)) {
+            findings.push(Finding {
+                rule: Rule::UntracedQuery,
+                path: rel_path.to_owned(),
+                line: fn_line,
+                message: "public query entry point has no telemetry span/counter; \
+                          every query path must be visible to the Ops dashboard"
+                    .to_owned(),
+            });
+        }
+        i = j.max(i + 1);
+    }
+    findings
+}
+
+/// Collect the workspace-relative paths the lint covers: every `.rs`
+/// under `crates/*/src` and under the top-level `src/`.
+pub fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full lint over a workspace root. Returns all findings.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in source_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &text));
+    }
+    Ok(findings)
+}
+
+/// Ascend from `start` to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_outside_tests() {
+        let src = "pub fn f() {\n    let x = maybe().unwrap();\n}\n";
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoUnwrap]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn skips_cfg_test_regions() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        maybe().unwrap();\n        panic!(\"x\");\n    }\n}\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_region_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { maybe().unwrap(); }\n}\n\npub fn g() { maybe().unwrap(); }\n";
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoUnwrap]);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn xc_allow_with_reason_suppresses_same_and_next_line() {
+        let same = "fn f() { x.unwrap(); } // xc-allow: startup, cannot fail\n";
+        assert!(lint_source("crates/core/src/a.rs", same).is_empty());
+        let above = "// xc-allow: startup, cannot fail\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source("crates/core/src/a.rs", above).is_empty());
+    }
+
+    #[test]
+    fn bare_xc_allow_is_itself_a_finding() {
+        let src = "fn f() { x.unwrap(); } // xc-allow:\n";
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert!(rules(&f).contains(&Rule::BareAllow));
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trigger() {
+        let src = "fn f() {\n    // calls .unwrap() internally\n    let s = \"panic!(boom) .unwrap()\";\n    let r = r#\".expect(nothing)\"#;\n    drop((s, r));\n}\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_fine() {
+        let src = "fn f() { m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }\n";
+        assert!(lint_source("crates/replication/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_lock_flagged_even_with_allow() {
+        let src = "fn f() { m.lock().unwrap(); } // xc-allow: trust me\n";
+        let f = lint_source("crates/replication/src/a.rs", src);
+        assert_eq!(rules(&f), vec![Rule::HotPathLock]);
+        // Same pattern in a cold crate with an allow: suppressed.
+        assert!(lint_source("crates/chart/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_expect_on_hot_path_flagged() {
+        let src = "fn f() { m.lock().expect(\"poisoned\"); }\n";
+        let f = lint_source("crates/telemetry/src/a.rs", src);
+        assert!(rules(&f).contains(&Rule::HotPathLock));
+    }
+
+    #[test]
+    fn untraced_query_in_scope_file_flagged() {
+        let src = "pub fn query_instance(&self) -> u32 {\n    let rows = self.scan();\n    rows\n}\n";
+        let f = lint_source("crates/core/src/hub.rs", src);
+        assert_eq!(rules(&f), vec![Rule::UntracedQuery]);
+        // Same function outside the traced files: not R3 scope.
+        assert!(lint_source("crates/chart/src/hub.rs", src).is_empty());
+    }
+
+    #[test]
+    fn traced_query_passes() {
+        let src = "pub fn query_instance(&self) -> u32 {\n    let _t = self.telemetry.span(\"hub_query\");\n    self.scan()\n}\n";
+        assert!(lint_source("crates/core/src/hub.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_harness_is_r1_exempt_but_not_r2() {
+        let src = "pub fn f() { x.expect(\"io\"); }\n";
+        assert!(lint_source("crates/bench/src/experiments.rs", src).is_empty());
+        let lock = "pub fn f() { m.lock().unwrap(); }\n";
+        assert!(lint_source("crates/bench/src/experiments.rs", lock).is_empty());
+        // The same exemption does not leak to other crates.
+        assert_eq!(
+            rules(&lint_source("crates/core/src/a.rs", src)),
+            vec![Rule::NoUnwrap]
+        );
+    }
+
+    #[test]
+    fn raw_string_spanning_lines_is_ignored() {
+        let src = "fn f() {\n    let q = r#\"\n        panic!(not code) .unwrap()\n    \"#;\n    drop(q);\n}\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_test_module_depth_tracking() {
+        // A test module containing nested braces must not end the
+        // region early.
+        let src = "#[cfg(test)]\nmod tests {\n    fn a() {\n        if x {\n            y.unwrap();\n        }\n    }\n}\npub fn b() { z.unwrap(); }\n";
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 9);
+    }
+}

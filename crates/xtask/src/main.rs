@@ -1,0 +1,65 @@
+//! `cargo run -p xtask -- lint` — workspace invariant gate.
+//!
+//! See the crate docs in `lib.rs` for the rules. Exit codes: 0 clean,
+//! 1 findings, 2 usage/IO error.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: xtask lint [ROOT]\n\n  lint   scan workspace sources for invariant violations";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(root_arg: Option<&str>) -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(cwd) => cwd,
+        Err(e) => {
+            eprintln!("xtask: cannot determine current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root_arg {
+        // An explicit root must actually be a workspace: a typo'd path
+        // scanning zero files would report "clean" and green a CI gate.
+        Some(path) => {
+            let root = std::path::PathBuf::from(path);
+            if !root.join("Cargo.toml").is_file() {
+                eprintln!("xtask: {path} is not a workspace root (no Cargo.toml)");
+                return ExitCode::from(2);
+            }
+            root
+        }
+        None => match xtask::find_workspace_root(&cwd) {
+            Some(root) => root,
+            None => {
+                eprintln!("xtask: no workspace root (Cargo.toml + crates/) above {}", cwd.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match xtask::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

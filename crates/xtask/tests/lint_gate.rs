@@ -1,0 +1,114 @@
+//! The lint gate, end to end: a seeded workspace with invariant
+//! violations must fail, and the real workspace (which CI runs the gate
+//! over) must pass.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{find_workspace_root, lint_workspace, Rule};
+
+/// Build a throwaway workspace under the target temp dir. Each test uses
+/// its own subdirectory so parallel test threads never collide.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join("xtask-lint-gate")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/replication/src")).unwrap();
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    root
+}
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, text).unwrap();
+}
+
+#[test]
+fn seeded_bad_file_fails_the_gate() {
+    let root = scratch_workspace("bad");
+    write(
+        &root,
+        "crates/replication/src/worker.rs",
+        r#"
+pub fn drain(queue: &std::sync::Mutex<Vec<u8>>) -> u8 {
+    let first = queue.lock().unwrap().pop().unwrap();
+    first
+}
+"#,
+    );
+    let findings = lint_workspace(&root).unwrap();
+    // One hot-path-lock finding plus no-unwrap findings on the same line.
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::HotPathLock),
+        "expected hot-path-lock in: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::NoUnwrap),
+        "expected no-unwrap in: {findings:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn xc_allow_does_not_excuse_hot_path_locks() {
+    let root = scratch_workspace("hotpath");
+    write(
+        &root,
+        "crates/replication/src/worker.rs",
+        "pub fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    \
+         *m.lock().unwrap() // xc-allow: trying to silence the gate\n}\n",
+    );
+    let findings = lint_workspace(&root).unwrap();
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::HotPathLock),
+        "hot-path-lock must not be suppressible: {findings:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_seeded_workspace_passes() {
+    let root = scratch_workspace("clean");
+    write(
+        &root,
+        "crates/replication/src/worker.rs",
+        r#"
+pub fn drain(queue: &std::sync::Mutex<Vec<u8>>) -> Option<u8> {
+    queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        Some(1u8).unwrap();
+    }
+}
+"#,
+    );
+    let findings = lint_workspace(&root).unwrap();
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn the_real_workspace_passes_the_gate() {
+    // CI runs `cargo run -p xtask -- lint`; this test is the same gate
+    // from inside the test suite, so a regression fails `cargo test` too.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let findings = lint_workspace(&root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace lint regressions:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

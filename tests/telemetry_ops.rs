@@ -38,7 +38,7 @@ fn federation_self_monitoring_end_to_end() {
     let mut fed = Federation::new(FederationHub::new("ops-hub"));
     fed.join_tight(&x, FederationConfig::default()).unwrap();
     fed.join_tight(&y, FederationConfig::default()).unwrap();
-    assert_eq!(fed.go_live(Duration::from_millis(1)), 2);
+    assert_eq!(fed.go_live(Duration::from_millis(1)).unwrap(), 2);
     eventually("both satellites to drain", || {
         fed.hub().federated_fact_rows(RealmKind::Jobs) == x_jobs + y_jobs
     });
@@ -69,7 +69,7 @@ fn federation_self_monitoring_end_to_end() {
     eventually("x's backlog to drain", || {
         fed.hub().federated_fact_rows(RealmKind::Jobs) == x_jobs + y_jobs + backlog
     });
-    assert_eq!(fed.quiesce(), 2);
+    assert_eq!(fed.quiesce().unwrap(), 2);
 
     let snap = fed.hub().telemetry().snapshot();
     // Lag settled back to zero after quiescence.
@@ -130,6 +130,40 @@ fn federation_self_monitoring_end_to_end() {
         serde_json::from_str(&fed.hub().telemetry().json()).expect("exposition JSON parses");
     assert!(json["counters"].is_array());
     assert!(json["histograms"].is_array());
+}
+
+#[test]
+fn preflight_refuses_go_live_and_reports_to_telemetry() {
+    // `schema_for` sanitizes both names to inst_site_a: pre-flight's
+    // XC0001 (hub schema collision) must stop go_live before any
+    // replication thread starts, and the refusal must be visible on the
+    // same ops registry the dashboard reads.
+    let a = satellite("site-a", "res-a", 41);
+    let b = satellite("site.a", "res-b", 42);
+    let mut fed = Federation::new(FederationHub::new("ops-hub"));
+    fed.join_tight(&a, FederationConfig::default()).unwrap();
+    fed.join_tight(&b, FederationConfig::default()).unwrap();
+
+    let err = fed.go_live(Duration::from_millis(1)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("XC0001"), "diagnostics missing from: {msg}");
+    assert!(msg.contains("go_live_forced"), "no override hint in: {msg}");
+
+    // The refusal left an audit event with the error count.
+    let events = fed
+        .hub()
+        .telemetry()
+        .events_of_kind("federation.preflight_refused");
+    assert_eq!(events.len(), 1);
+
+    // Nothing went live: both links are still in polled mode.
+    assert!(fed.pause_member("site-a").is_err());
+    assert!(fed.pause_member("site.a").is_err());
+
+    // An operator who has reviewed the report can still force the
+    // switch; quiesce returns the links to polled mode cleanly.
+    assert_eq!(fed.go_live_forced(Duration::from_millis(1)), 2);
+    assert_eq!(fed.quiesce().unwrap(), 2);
 }
 
 #[test]
