@@ -21,6 +21,7 @@ pub fn analyze(model: &FederationModel) -> Diagnostics {
     check_dangling_dimensions(model, &mut diags);
     check_su_factors(model, &mut diags);
     check_excluded_resources(model, &mut diags);
+    check_zero_retry_tight_links(model, &mut diags);
     diags
 }
 
@@ -393,6 +394,36 @@ fn check_excluded_resources(model: &FederationModel, diags: &mut Diagnostics) {
     }
 }
 
+/// XC0010 — a tight link with retries explicitly disabled.
+///
+/// Runtime symptom: a live (tight) link's worker surfaces every
+/// transient fault straight to `member_last_error` instead of fast
+/// retrying, so a single dropped packet marks the member failing and
+/// burns one of the supervisor's quarantine strikes. `retries: 0` is
+/// only sensible on loose links, where the batch export is re-run by an
+/// operator anyway.
+fn check_zero_retry_tight_links(model: &FederationModel, diags: &mut Diagnostics) {
+    for sat in &model.satellites {
+        if sat.link.mode.as_deref() == Some("tight") && sat.link.retries == Some(0) {
+            diags.push(
+                Diagnostic::new(
+                    Code::ZeroRetryTightLink,
+                    Span::satellite(&sat.name),
+                    format!(
+                        "tight link \"{}\" sets retries to 0; transient faults on the \
+                         live link will not be retried and count toward quarantine",
+                        sat.link.id
+                    ),
+                )
+                .with_help(
+                    "drop the explicit retries (the policy default fast-retries) or \
+                     set a small positive count",
+                ),
+            );
+        }
+    }
+}
+
 fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
     sat.excluded_resources.iter().any(|r| r == resource)
 }
@@ -434,6 +465,8 @@ mod tests {
                 id: name.into(),
                 source_schema: crate::model::default_source_schema(name),
                 hub_schema: crate::model::default_hub_schema(name),
+                mode: None,
+                retries: None,
             },
             replicated_tables: Some(vec!["jobfact".into()]),
             expected_tables: vec!["jobfact".into()],
@@ -607,6 +640,29 @@ mod tests {
         let found = diags.with_code(Code::UnknownExcludedResource);
         assert_eq!(found.len(), 1);
         assert!(found[0].message.contains("secert"));
+    }
+
+    #[test]
+    fn zero_retry_tight_link_is_a_warning() {
+        let mut m = clean_model();
+        m.satellites[0].link.mode = Some("tight".into());
+        m.satellites[0].link.retries = Some(0);
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::ZeroRetryTightLink);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("retries to 0"));
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn zero_retries_on_a_loose_link_is_fine() {
+        let mut m = clean_model();
+        m.satellites[0].link.mode = Some("loose".into());
+        m.satellites[0].link.retries = Some(0);
+        // A tight link with positive retries is equally fine.
+        m.satellites[1].link.mode = Some("tight".into());
+        m.satellites[1].link.retries = Some(2);
+        assert!(analyze(&m).with_code(Code::ZeroRetryTightLink).is_empty());
     }
 
     #[test]

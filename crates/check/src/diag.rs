@@ -53,11 +53,15 @@ pub enum Code {
     MissingSuFactor,
     /// An excluded resource matches no resource in any job record.
     UnknownExcludedResource,
+    /// A tight (live) link explicitly configures zero retries: one
+    /// transient source hiccup per interval and the link never
+    /// fast-recovers, inflating lag for no benefit.
+    ZeroRetryTightLink,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 9] = [
+    pub const ALL: [Code; 10] = [
         Code::HubSchemaCollision,
         Code::SelfReplication,
         Code::DuplicateLinkId,
@@ -67,6 +71,7 @@ impl Code {
         Code::DanglingDimension,
         Code::MissingSuFactor,
         Code::UnknownExcludedResource,
+        Code::ZeroRetryTightLink,
     ];
 
     /// The stable `XCnnnn` identifier.
@@ -81,6 +86,7 @@ impl Code {
             Code::DanglingDimension => "XC0007",
             Code::MissingSuFactor => "XC0008",
             Code::UnknownExcludedResource => "XC0009",
+            Code::ZeroRetryTightLink => "XC0010",
         }
     }
 
@@ -94,7 +100,9 @@ impl Code {
             | Code::GroupByFactTableUnreplicated
             | Code::SchemaDrift
             | Code::DanglingDimension => Severity::Error,
-            Code::MissingSuFactor | Code::UnknownExcludedResource => Severity::Warning,
+            Code::MissingSuFactor
+            | Code::UnknownExcludedResource
+            | Code::ZeroRetryTightLink => Severity::Warning,
         }
     }
 
@@ -112,6 +120,7 @@ impl Code {
             Code::DanglingDimension => "dangling dimension reference",
             Code::MissingSuFactor => "resource has no SU conversion factor",
             Code::UnknownExcludedResource => "excluded resource matches no job record",
+            Code::ZeroRetryTightLink => "tight link configured with zero retries",
         }
     }
 }
@@ -365,6 +374,8 @@ mod tests {
         assert_eq!(idents.len(), Code::ALL.len());
         assert_eq!(Code::HubSchemaCollision.ident(), "XC0001");
         assert_eq!(Code::UnknownExcludedResource.ident(), "XC0009");
+        assert_eq!(Code::ZeroRetryTightLink.ident(), "XC0010");
+        assert_eq!(Code::ZeroRetryTightLink.default_severity(), Severity::Warning);
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub struct LinkModel {
     pub source_schema: String,
     /// Hub-side schema the link renames into.
     pub hub_schema: String,
+    /// Coupling mode (`"tight"` live replication / `"loose"` batched),
+    /// when the producer knows it. `None` = unspecified.
+    pub mode: Option<String>,
+    /// Configured fast-retry attempts for the link's live worker.
+    /// `None` = policy default; `Some(0)` disables retries, which the
+    /// analyzer flags on tight links (`XC0010`).
+    pub retries: Option<u64>,
 }
 
 /// One satellite member.
@@ -303,6 +310,11 @@ impl FederationModel {
                     .unwrap_or_else(|| default_source_schema(&name)),
                 hub_schema: opt_str(entry, "hub_schema")
                     .unwrap_or_else(|| default_hub_schema(&name)),
+                mode: opt_str(entry, "mode").map(|m| m.to_ascii_lowercase()),
+                retries: entry
+                    .get("retries")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v as u64),
             },
             replicated_tables,
             expected_tables,
@@ -334,6 +346,8 @@ mod tests {
         assert_eq!(s.link.id, "site-a");
         assert_eq!(s.link.source_schema, "xdmod_site_a");
         assert_eq!(s.link.hub_schema, "inst_site_a");
+        assert_eq!(s.link.mode, None);
+        assert_eq!(s.link.retries, None);
         assert_eq!(s.expected_tables, vec!["jobfact"]);
         assert_eq!(s.replicated_tables, None);
         assert!(s.replicates("anything"));
@@ -349,6 +363,8 @@ mod tests {
                 "link_id": "link-x",
                 "source_schema": "src",
                 "hub_schema": "dst",
+                "mode": "Tight",
+                "retries": 0,
                 "realms": ["jobs", "supremm"],
                 "replicated_tables": ["jobfact"],
                 "excluded_resources": ["secret"],
@@ -375,6 +391,8 @@ mod tests {
         .unwrap();
         let s = &m.satellites[0];
         assert_eq!(s.link.id, "link-x");
+        assert_eq!(s.link.mode.as_deref(), Some("tight"));
+        assert_eq!(s.link.retries, Some(0));
         assert!(s.replicates("jobfact"));
         assert!(!s.replicates("supremm_jobfact"));
         assert!(s.expected_tables.contains(&"supremm_timeseries".to_owned()));

@@ -33,6 +33,11 @@ pub struct MemberEntry {
     /// Replicate monthly SUPReMM summaries (§II-C5 subsequent release).
     #[serde(default)]
     pub supremm_summaries: bool,
+    /// Fast-retry attempts for the member's live link (`null`/absent =
+    /// policy default; explicit 0 disables retries and is flagged by the
+    /// pre-flight analyzer on tight links).
+    #[serde(default)]
+    pub retries: Option<u32>,
 }
 
 fn default_realms() -> Vec<RealmKind> {
@@ -83,6 +88,7 @@ impl FederationFile {
                 realms: entry.realms.clone(),
                 excluded_resources: entry.excluded_resources.clone(),
                 supremm_summaries: entry.supremm_summaries,
+                retries: entry.retries,
             };
             config.realms.dedup();
             match entry.mode {
@@ -112,6 +118,7 @@ mod tests {
                     realms: vec![RealmKind::Jobs],
                     excluded_resources: vec![],
                     supremm_summaries: false,
+                    retries: Some(4),
                 },
                 MemberEntry {
                     name: "y".into(),
@@ -119,6 +126,7 @@ mod tests {
                     realms: vec![RealmKind::Jobs, RealmKind::Cloud],
                     excluded_resources: vec!["secret".into()],
                     supremm_summaries: true,
+                    retries: None,
                 },
             ],
         }
@@ -140,6 +148,7 @@ mod tests {
         let cfg = FederationFile::from_json(json).unwrap();
         assert_eq!(cfg.members[0].realms, vec![RealmKind::Jobs]);
         assert!(cfg.members[0].excluded_resources.is_empty());
+        assert_eq!(cfg.members[0].retries, None);
         assert!(cfg.hub_levels.dimensions.is_empty());
     }
 

@@ -13,14 +13,18 @@
 
 use crate::hub::FederationHub;
 use crate::instance::XdmodInstance;
+use crate::supervisor::{
+    MemberHealth, MemberReport, SupervisionReport, SupervisionState, SupervisorPolicy,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use xdmod_chaos::FaultInjector;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
 use xdmod_replication::{
     schemas_match, LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, ReplicationError,
-    ReplicationFilter, Replicator,
+    ReplicationFilter, Replicator, RetryPolicy,
 };
 use xdmod_warehouse::{SharedDatabase, Value, WarehouseError};
 
@@ -110,6 +114,12 @@ pub struct FederationConfig {
     /// release" (§II-C5), implemented.
     #[serde(default)]
     pub supremm_summaries: bool,
+    /// Fast-retry attempts a live link's worker makes after a failed poll
+    /// before falling back to interval polling. `None` uses the
+    /// [`RetryPolicy`] default; an explicit `Some(0)` disables retries —
+    /// which the pre-flight analyzer flags (`XC0010`) on tight links.
+    #[serde(default)]
+    pub retries: Option<u32>,
 }
 
 impl Default for FederationConfig {
@@ -120,6 +130,7 @@ impl Default for FederationConfig {
             realms: vec![RealmKind::Jobs],
             excluded_resources: Vec::new(),
             supremm_summaries: false,
+            retries: None,
         }
     }
 }
@@ -135,6 +146,7 @@ impl FederationConfig {
                 .collect(),
             excluded_resources: Vec::new(),
             supremm_summaries: false,
+            retries: None,
         }
     }
 
@@ -142,6 +154,24 @@ impl FederationConfig {
     pub fn exclude(mut self, resource: &str) -> Self {
         self.excluded_resources.push(resource.to_owned());
         self
+    }
+
+    /// Set the live link's fast-retry budget (0 disables retries).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = Some(retries);
+        self
+    }
+
+    /// The retry policy a live link for this member should run with.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        match self.retries {
+            None => RetryPolicy::default(),
+            Some(0) => RetryPolicy::no_retries(),
+            Some(n) => RetryPolicy {
+                max_attempts: n,
+                ..RetryPolicy::default()
+            },
+        }
     }
 
     /// Also replicate monthly SUPReMM summaries (not the raw realm).
@@ -242,6 +272,11 @@ struct Member {
     /// Resources with an SU conversion factor registered at join time
     /// (a snapshot: factors added afterwards are not visible here).
     su_factors: Vec<String>,
+    /// Supervision bookkeeping (failure streak, quarantine flag).
+    supervision: SupervisionState,
+    /// The polling interval handed to `go_live*`, remembered so the
+    /// supervisor can relaunch a dead live worker at the same cadence.
+    live_interval: Option<Duration>,
 }
 
 /// A federation: the hub plus its replication links.
@@ -324,6 +359,8 @@ impl Federation {
                 .resources()
                 .map(|(r, _)| r.to_owned())
                 .collect(),
+            supervision: SupervisionState::default(),
+            live_interval: None,
         });
         Ok(())
     }
@@ -353,17 +390,23 @@ impl Federation {
                 .resources()
                 .map(|(r, _)| r.to_owned())
                 .collect(),
+            supervision: SupervisionState::default(),
+            live_interval: None,
         });
         Ok(())
     }
 
     /// Drive every link once: poll tight links, ship+apply loose batches.
     /// Live links are skipped — their background threads are already
-    /// draining the binlog. Returns total events applied at the hub by
-    /// **this** call.
+    /// draining the binlog — and so are quarantined members (see
+    /// [`Federation::supervise`]). Returns total events applied at the
+    /// hub by **this** call.
     pub fn sync(&mut self) -> Result<usize, FederationError> {
         let mut applied = 0;
         for member in &mut self.members {
+            if member.supervision.quarantined {
+                continue;
+            }
             match &mut member.link {
                 Link::Tight(TightLink::Polled(rep)) => applied += rep.poll()?,
                 Link::Tight(_) => {}
@@ -434,6 +477,14 @@ impl Federation {
                     id: member.name.clone(),
                     source_schema: member.source_schema.clone(),
                     hub_schema: FederationHub::schema_for(&member.name),
+                    mode: Some(
+                        match member.mode {
+                            FederationMode::Tight => "tight",
+                            FederationMode::Loose => "loose",
+                        }
+                        .to_owned(),
+                    ),
+                    retries: member.config.retries.map(u64::from),
                 },
                 replicated_tables: (!selected.is_empty()).then_some(selected),
                 expected_tables,
@@ -539,6 +590,10 @@ impl Federation {
     pub fn go_live_forced(&mut self, interval: Duration) -> usize {
         let mut switched = 0;
         for member in &mut self.members {
+            if member.supervision.quarantined {
+                continue;
+            }
+            let policy = member.config.retry_policy();
             let Link::Tight(tight) = &mut member.link else {
                 continue;
             };
@@ -547,7 +602,10 @@ impl Federation {
                 else {
                     unreachable!()
                 };
-                *tight = TightLink::Live(LiveReplicator::start(rep, interval));
+                *tight = TightLink::Live(LiveReplicator::start_with_policy(
+                    rep, interval, policy,
+                ));
+                member.live_interval = Some(interval);
                 switched += 1;
             }
         }
@@ -577,7 +635,9 @@ impl Federation {
                 )
                 .with_telemetry(hub.telemetry().clone(), &member.name);
                 let head = member.source_db.read().binlog_position();
-                rebuilt.seek(head);
+                rebuilt
+                    .seek(head)
+                    .expect("seek to the source's own head is never beyond-tail"); // xc-allow: head read from the same binlog one line above
                 (rebuilt, Some(e))
             }
         }
@@ -731,7 +791,8 @@ impl Federation {
                 let TightLink::Polled(rep) = tight else {
                     unreachable!("live links were stopped above")
                 };
-                rep.seek(position);
+                rep.seek(position)
+                    .expect("seek to the restored instance's own head is never beyond-tail"); // xc-allow: position read from the link's source binlog above
             }
             Link::Loose { shipper, .. } => {
                 // Recreate the shipper at the new epoch; the hub-side
@@ -758,6 +819,332 @@ impl Federation {
             &FederationHub::schema_for(instance.name()),
         )
         .unwrap_or(false))
+    }
+
+    // ----- supervision: retry, restart, resync, quarantine -------------
+
+    /// One supervision tick: drive and police every link.
+    ///
+    /// Per non-quarantined member, in join order:
+    ///
+    /// 1. a **dead live worker** (panicked thread) is detected via
+    ///    [`LiveReplicator::is_dead`], the link is rebuilt in polled form
+    ///    from its resumable watermark, and — if the tick's drive then
+    ///    succeeds — relaunched live at its original interval;
+    /// 2. a polled link that has **diverged** (watermark beyond the
+    ///    source tail) or whose source **repaired a damaged binlog tail**
+    ///    since the last tick is resynced from the source tables
+    ///    ([`Replicator::resync_target`] — checksum-grade, filter-aware);
+    /// 3. otherwise the link is driven once (poll with up to
+    ///    `policy.retry.max_attempts` synchronous retries / loose
+    ///    ship+apply / live error inspection);
+    /// 4. `policy.max_failures` consecutive failed ticks **quarantine**
+    ///    the member: its link is parked, `sync`/`supervise`/`go_live*`
+    ///    skip it, and `federation_quarantines_total{link=..}` plus a
+    ///    `federation.quarantine` event record the decision. Recovery is
+    ///    explicit, via [`Federation::reinstate_member`].
+    ///
+    /// The tick is synchronous and single-threaded, so a seeded
+    /// fault-injection run ([`Federation::inject_chaos`]) meets a
+    /// deterministic operation sequence.
+    pub fn supervise(&mut self, policy: &SupervisorPolicy) -> SupervisionReport {
+        let mut out = SupervisionReport::default();
+        let hub = &self.hub;
+        for member in &mut self.members {
+            out.members.push(Self::supervise_member(hub, member, policy));
+        }
+        out
+    }
+
+    fn supervise_member(
+        hub: &FederationHub,
+        member: &mut Member,
+        policy: &SupervisorPolicy,
+    ) -> MemberReport {
+        let mut report = MemberReport {
+            name: member.name.clone(),
+            health: MemberHealth::Live,
+            restarted: false,
+            resynced: false,
+            quarantined_now: false,
+            error: None,
+        };
+        if member.supervision.quarantined {
+            report.health = MemberHealth::Quarantined;
+            return report;
+        }
+        if let Link::Tight(TightLink::Live(live)) = &member.link {
+            if live.is_dead() {
+                let Link::Tight(tight) = &mut member.link else {
+                    unreachable!()
+                };
+                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
+                else {
+                    unreachable!()
+                };
+                let (rep, err) = Self::stop_link(hub, member, live);
+                member.link = Link::Tight(TightLink::Polled(rep));
+                report.restarted = true;
+                if let Some(e) = &err {
+                    report.error = Some(e.to_string());
+                }
+                hub.telemetry().event(
+                    "federation.link_restarted",
+                    &format!(
+                        "{}: live worker died; link rebuilt from its resumable position",
+                        member.name
+                    ),
+                );
+            }
+        }
+        let outcome: Result<(), String> = match &mut member.link {
+            Link::Tight(TightLink::Polled(rep)) => {
+                let needs_resync = rep.is_diverged()
+                    || rep.stats().source_repairs > member.supervision.repairs_seen;
+                let drive = if needs_resync {
+                    report.resynced = true;
+                    rep.resync_target().map(|_| ()).map_err(|e| e.to_string())
+                } else {
+                    let mut left = policy.retry.max_attempts;
+                    loop {
+                        match rep.poll() {
+                            Ok(_) => break Ok(()),
+                            Err(_) if left > 0 => left -= 1,
+                            Err(e) => break Err(e.to_string()),
+                        }
+                    }
+                };
+                if report.resynced {
+                    member.supervision.repairs_seen = rep.stats().source_repairs;
+                }
+                drive
+            }
+            Link::Tight(TightLink::Live(live)) => match live.last_error() {
+                None => Ok(()),
+                Some(e) => Err(e.to_string()),
+            },
+            Link::Tight(TightLink::Swapping) => Err("link mid-swap".to_owned()),
+            Link::Loose { shipper, receiver } => shipper
+                .export_batch()
+                .and_then(|batch| receiver.apply_batch(&batch))
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        };
+        match outcome {
+            Ok(()) => {
+                member.supervision.last_ok = Some(Instant::now());
+                if report.restarted {
+                    // A panic is a strike even though the rebuilt link
+                    // polls fine — a crash-looping worker must
+                    // eventually park instead of thrashing forever.
+                    member.supervision.failures += 1;
+                    if member.supervision.failures >= policy.max_failures {
+                        Self::quarantine(hub, member);
+                        report.quarantined_now = true;
+                        report.health = MemberHealth::Quarantined;
+                        return report;
+                    }
+                    if let Some(interval) = member.live_interval {
+                        let retry = member.config.retry_policy();
+                        let Link::Tight(tight) = &mut member.link else {
+                            unreachable!()
+                        };
+                        if matches!(tight, TightLink::Polled(_)) {
+                            let TightLink::Polled(rep) =
+                                std::mem::replace(tight, TightLink::Swapping)
+                            else {
+                                unreachable!()
+                            };
+                            *tight = TightLink::Live(LiveReplicator::start_with_policy(
+                                rep, interval, retry,
+                            ));
+                        }
+                    }
+                } else {
+                    member.supervision.failures = 0;
+                }
+                report.health = Self::observed_health(hub, member, policy);
+            }
+            Err(e) => {
+                member.supervision.failures += 1;
+                report.error.get_or_insert(e);
+                if member.supervision.failures >= policy.max_failures {
+                    Self::quarantine(hub, member);
+                    report.quarantined_now = true;
+                    report.health = MemberHealth::Quarantined;
+                } else {
+                    report.health = MemberHealth::Stale {
+                        age_secs: Self::age_secs(member),
+                    };
+                }
+            }
+        }
+        report
+    }
+
+    /// Park a member: stop any live worker, flag it quarantined, and
+    /// record the decision in the hub's telemetry.
+    fn quarantine(hub: &FederationHub, member: &mut Member) {
+        if matches!(&member.link, Link::Tight(TightLink::Live(_))) {
+            let Link::Tight(tight) = &mut member.link else {
+                unreachable!()
+            };
+            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
+            else {
+                unreachable!()
+            };
+            let (rep, _) = Self::stop_link(hub, member, live);
+            member.link = Link::Tight(TightLink::Polled(rep));
+        }
+        member.supervision.quarantined = true;
+        hub.telemetry()
+            .counter(
+                "federation_quarantines_total",
+                &[("link", member.name.as_str())],
+            )
+            .inc();
+        hub.telemetry().event(
+            "federation.quarantine",
+            &format!(
+                "{}: quarantined after repeated link failures; sync/supervise skip it \
+                 until reinstate_member",
+                member.name
+            ),
+        );
+    }
+
+    fn age_secs(member: &Member) -> u64 {
+        member
+            .supervision
+            .last_ok
+            .map(|t| t.elapsed().as_secs())
+            .unwrap_or(0)
+    }
+
+    /// Health of one member as observable *right now*, without driving
+    /// anything.
+    fn observed_health(
+        hub: &FederationHub,
+        member: &Member,
+        policy: &SupervisorPolicy,
+    ) -> MemberHealth {
+        if member.supervision.quarantined {
+            return MemberHealth::Quarantined;
+        }
+        let stale = || MemberHealth::Stale {
+            age_secs: Self::age_secs(member),
+        };
+        if member.supervision.failures > 0 {
+            return stale();
+        }
+        if let Some(last) = member.supervision.last_ok {
+            if last.elapsed() > policy.stale_after {
+                return stale();
+            }
+        }
+        match &member.link {
+            Link::Tight(TightLink::Polled(rep)) => {
+                let behind = rep.lag_events();
+                if behind > policy.lag_threshold {
+                    MemberHealth::Lagging { behind }
+                } else {
+                    MemberHealth::Live
+                }
+            }
+            Link::Tight(TightLink::Live(live)) => {
+                if live.is_dead() || live.last_error().is_some() {
+                    return stale();
+                }
+                let behind = hub
+                    .telemetry()
+                    .snapshot()
+                    .gauge("replication_lag_events", &[("link", member.name.as_str())])
+                    .map(|v| v as u64)
+                    .unwrap_or(0);
+                if behind > policy.lag_threshold {
+                    MemberHealth::Lagging { behind }
+                } else {
+                    MemberHealth::Live
+                }
+            }
+            Link::Tight(TightLink::Swapping) => stale(),
+            Link::Loose { .. } => MemberHealth::Live,
+        }
+    }
+
+    /// Current health of every member (default thresholds), without
+    /// driving any link — the degraded-mode view the ops report embeds.
+    pub fn health(&self) -> Vec<(String, MemberHealth)> {
+        let policy = SupervisorPolicy::default();
+        self.members
+            .iter()
+            .map(|m| (m.name.clone(), Self::observed_health(&self.hub, m, &policy)))
+            .collect()
+    }
+
+    /// Names of currently quarantined members.
+    pub fn quarantined_members(&self) -> Vec<&str> {
+        self.members
+            .iter()
+            .filter(|m| m.supervision.quarantined)
+            .map(|m| m.name.as_str())
+            .collect()
+    }
+
+    /// The hub's self-monitoring ops report, extended with a per-member
+    /// "Satellite health" section — the degraded-mode view: each member
+    /// annotated `live | lagging(..) | stale(..) | quarantined`.
+    pub fn ops_report(&self) -> Result<xdmod_chart::Report, FederationError> {
+        let mut report = self.hub.ops_report()?;
+        report = report.section(xdmod_chart::Section::Heading(
+            "Satellite health".to_owned(),
+        ));
+        let lines: Vec<String> = self
+            .health()
+            .into_iter()
+            .map(|(name, health)| format!("{name}: {health}"))
+            .collect();
+        report = report.section(xdmod_chart::Section::Text(lines.join("\n")));
+        Ok(report)
+    }
+
+    /// Lift a quarantined member back into the federation. The member
+    /// may have drifted arbitrarily while parked, so its hub schema is
+    /// resynced from the source tables before polling resumes.
+    pub fn reinstate_member(&mut self, name: &str) -> Result<(), FederationError> {
+        let Federation { hub, members } = self;
+        let member = members
+            .iter_mut()
+            .find(|m| m.name == name)
+            .ok_or_else(|| FederationError::UnknownMember(name.to_owned()))?;
+        member.supervision.quarantined = false;
+        member.supervision.failures = 0;
+        if let Link::Tight(TightLink::Polled(rep)) = &mut member.link {
+            rep.resync_target()?;
+            member.supervision.repairs_seen = rep.stats().source_repairs;
+        }
+        hub.telemetry().event(
+            "federation.reinstated",
+            &format!("{name}: reinstated into the federation"),
+        );
+        Ok(())
+    }
+
+    /// Thread a seeded fault injector through the federation: every
+    /// member's satellite database (binlog-read and apply points) and
+    /// every polled tight link's transport. Live links pick the injector
+    /// up when (re)built from a polled link; simplest is to inject
+    /// before `go_live*`.
+    pub fn inject_chaos(&mut self, injector: &FaultInjector) {
+        for member in &mut self.members {
+            member
+                .source_db
+                .write()
+                .set_fault_injector(injector.clone(), member.name.as_str());
+            if let Link::Tight(TightLink::Polled(rep)) = &mut member.link {
+                rep.set_chaos(injector.clone());
+            }
+        }
     }
 }
 
@@ -1166,6 +1553,131 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         assert_eq!(diags.count(xdmod_check::Severity::Warning), 1);
         assert_eq!(fed.go_live(Duration::from_millis(1)).unwrap(), 1);
         fed.quiesce().unwrap();
+    }
+
+    #[test]
+    fn supervise_quarantines_after_repeated_failures_and_reinstates() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+
+        let x = instance("x", SACCT_X, "r-x");
+        let y = instance("y", SACCT_Y, "r-y");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.join_tight(&y, FederationConfig::default()).unwrap();
+
+        // x's transport dies permanently; y is untouched.
+        let plan = FaultPlan::new().with(
+            FaultSpec::at_ops(FaultPoint::Transport, FaultKind::LinkDown, &[1]).for_target("x"),
+        );
+        let injector = plan.injector(42);
+        fed.inject_chaos(&injector);
+
+        let policy = SupervisorPolicy::default()
+            .with_max_failures(2)
+            .with_retry(xdmod_replication::RetryPolicy::no_retries());
+        let first = fed.supervise(&policy);
+        assert_eq!(first.health_of("x"), Some(MemberHealth::Stale { age_secs: 0 }));
+        assert!(first.health_of("y").is_some_and(|h| h.is_healthy()));
+        let second = fed.supervise(&policy);
+        assert_eq!(second.health_of("x"), Some(MemberHealth::Quarantined));
+        assert!(second.members[0].quarantined_now);
+        assert_eq!(fed.quarantined_members(), vec!["x"]);
+        // Parked: further ticks and syncs skip x without driving it.
+        let third = fed.supervise(&policy);
+        assert_eq!(third.health_of("x"), Some(MemberHealth::Quarantined));
+        assert!(!third.members[0].quarantined_now);
+        fed.sync().unwrap(); // x's permanently-down link no longer errors the sync
+        // The decision is on the dashboard.
+        assert_eq!(
+            fed.hub()
+                .telemetry()
+                .snapshot()
+                .counter("federation_quarantines_total", &[("link", "x")]),
+            Some(1)
+        );
+        assert!(!fed
+            .hub()
+            .telemetry()
+            .events_of_kind("federation.quarantine")
+            .is_empty());
+        // y replicated fine throughout.
+        assert!(fed.verify_member(&y).unwrap());
+
+        // Reinstatement clears the quarantine and resyncs the hub schema
+        // from x's tables — data flows again (the injector stays wired,
+        // but resync bypasses the dead transport in this scenario; health
+        // is recomputed fresh).
+        fed.reinstate_member("x").unwrap();
+        assert!(fed.quarantined_members().is_empty());
+        assert!(fed.verify_member(&x).unwrap());
+        assert!(!fed
+            .hub()
+            .telemetry()
+            .events_of_kind("federation.reinstated")
+            .is_empty());
+    }
+
+    #[test]
+    fn supervise_resyncs_past_crash_damaged_source_binlog() {
+        let x = instance("x", SACCT_X, "r-x");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        assert!(fed.is_consistent_with(&x).unwrap());
+
+        // A write lands in x's tables, then a crash mangles the binlog
+        // tail: the record exists in the table but its event is
+        // unreadable — replay alone can never deliver it to the hub.
+        {
+            let db = x.database();
+            let mut db = db.write();
+            let row = db.table(&x.schema_name(), "jobfact").unwrap().rows()[0].clone();
+            db.insert(&x.schema_name(), "jobfact", vec![row]).unwrap();
+            db.truncate_binlog_tail(6);
+        }
+
+        let policy = SupervisorPolicy::default();
+        // Tick 1: the poll finds the corrupt tail, repairs the source
+        // log past it, and resumes — but the dropped record leaves the
+        // hub behind the source tables.
+        let t1 = fed.supervise(&policy);
+        assert!(!t1.members[0].resynced);
+        assert!(!fed.is_consistent_with(&x).unwrap());
+        // Tick 2: the supervisor notices the repair (lost records) and
+        // resyncs the hub schema from the source tables.
+        let t2 = fed.supervise(&policy);
+        assert!(t2.members[0].resynced);
+        assert!(t2.all_healthy());
+        assert!(fed.is_consistent_with(&x).unwrap());
+        // Both the repair and the resync left telemetry trails.
+        assert!(!fed
+            .hub()
+            .telemetry()
+            .events_of_kind("replication.source_repaired")
+            .is_empty());
+        assert!(!fed
+            .hub()
+            .telemetry()
+            .events_of_kind("replication.resync")
+            .is_empty());
+    }
+
+    #[test]
+    fn health_reflects_lag_and_ops_report_carries_satellite_section() {
+        let x = instance("x", SACCT_X, "r-x");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        // Not yet polled: the whole binlog is backlog.
+        let health = fed.health();
+        assert_eq!(health.len(), 1);
+        assert!(matches!(health[0].1, MemberHealth::Lagging { behind } if behind > 0));
+        fed.sync().unwrap();
+        assert_eq!(fed.health()[0].1, MemberHealth::Live);
+
+        let report = fed.ops_report().unwrap();
+        let text = report.render();
+        assert!(text.contains("Satellite health"), "report: {text}");
+        assert!(text.contains("x: live"), "report: {text}");
     }
 
     /// Pins the analyzer's std-only realm→tables data against the realm

@@ -13,6 +13,8 @@
 //! - [`federation::Federation`] — the Federation module: tight/loose
 //!   links, the version gate, resource routing, consistency checks, and
 //!   satellite regeneration from the hub.
+//! - [`supervisor`] — tick-driven link supervision: retry, auto-restart,
+//!   resync on divergence, quarantine, degraded-mode health reporting.
 //! - [`config::FederationFile`] — JSON configuration for the whole
 //!   wiring.
 //! - [`version::XdmodVersion`] — the "same version everywhere" rule.
@@ -25,6 +27,7 @@ pub mod federation;
 pub mod freport;
 pub mod hub;
 pub mod instance;
+pub mod supervisor;
 pub mod version;
 pub mod viewer;
 
@@ -34,5 +37,6 @@ pub use freport::federation_report;
 pub use federation::{Federation, FederationConfig, FederationError, FederationMode};
 pub use hub::FederationHub;
 pub use instance::XdmodInstance;
+pub use supervisor::{MemberHealth, MemberReport, SupervisionReport, SupervisorPolicy};
 pub use version::XdmodVersion;
 pub use viewer::{AccessError, JobDetail};

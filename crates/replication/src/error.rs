@@ -7,7 +7,7 @@
 //! which is only possible if teardown returns an error value.
 
 use std::fmt;
-use xdmod_warehouse::WarehouseError;
+use xdmod_warehouse::{LogPosition, WarehouseError};
 
 /// Why a replication link failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +20,20 @@ pub enum ReplicationError {
         /// Panic message, or a placeholder for non-string payloads.
         detail: String,
     },
+    /// A seek asked for a watermark beyond the source binlog's current
+    /// tail. Before this variant existed the position was accepted
+    /// silently, and the link then stalled forever waiting for records
+    /// that will never exist — a divergence (e.g. a restored source, or
+    /// a tail lost to corruption) must be surfaced so the supervisor can
+    /// resync instead.
+    SeekBeyondTail {
+        /// Label of the link whose seek was rejected.
+        link: String,
+        /// Position the caller asked for.
+        requested: LogPosition,
+        /// The source binlog's actual tail at the time of the seek.
+        tail: LogPosition,
+    },
     /// A warehouse operation on the link failed.
     Warehouse(WarehouseError),
 }
@@ -30,6 +44,16 @@ impl fmt::Display for ReplicationError {
             ReplicationError::LinkPanicked { link, detail } => {
                 write!(f, "replication link {link:?} panicked: {detail}")
             }
+            ReplicationError::SeekBeyondTail {
+                link,
+                requested,
+                tail,
+            } => write!(
+                f,
+                "replication link {link:?}: seek to {}/{} is beyond the \
+                 source binlog tail {}/{}",
+                requested.epoch, requested.seqno, tail.epoch, tail.seqno
+            ),
             ReplicationError::Warehouse(e) => write!(f, "warehouse error on link: {e}"),
         }
     }
@@ -65,6 +89,19 @@ mod tests {
             detail: "boom".into(),
         };
         assert_eq!(e.to_string(), "replication link \"site-x\" panicked: boom");
+    }
+
+    #[test]
+    fn seek_beyond_tail_names_both_positions() {
+        let e = ReplicationError::SeekBeyondTail {
+            link: "site-x".into(),
+            requested: LogPosition { epoch: 0, seqno: 9 },
+            tail: LogPosition { epoch: 0, seqno: 4 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("site-x"));
+        assert!(s.contains("0/9"));
+        assert!(s.contains("0/4"));
     }
 
     #[test]

@@ -27,4 +27,6 @@ pub use consistency::{schemas_match, verify_schemas, TableCheck};
 pub use error::ReplicationError;
 pub use filter::ReplicationFilter;
 pub use loose::{receive_dump, ship_dump, LooseReceiver, LooseShipper};
-pub use replicator::{LinkConfig, LinkStats, LiveReplicator, Replicator};
+pub use replicator::{
+    LinkConfig, LinkStats, LiveReplicator, Replicator, ResyncReport, RetryPolicy,
+};

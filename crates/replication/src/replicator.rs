@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xdmod_chaos::{DeterministicRng, FaultInjector, FaultKind, FaultPoint};
 use xdmod_telemetry::MetricsRegistry;
 use xdmod_warehouse::{LogPosition, Result, SharedDatabase, WarehouseError};
 
@@ -70,6 +71,11 @@ pub struct LinkStats {
     pub events_applied: u64,
     /// Events dropped by the filter.
     pub events_filtered: u64,
+    /// Times the link repaired the *source* binlog's damaged tail (crash
+    /// recovery) before resuming its read. A nonzero delta between polls
+    /// tells the supervisor the source lost records and the hub may need
+    /// a checksum resync.
+    pub source_repairs: u64,
 }
 
 /// A poll-driven replication link between two databases.
@@ -81,6 +87,8 @@ pub struct Replicator {
     stats: LinkStats,
     telemetry: MetricsRegistry,
     link_name: String,
+    /// Fault injector consulted at the transport point of every poll.
+    chaos: Option<FaultInjector>,
 }
 
 impl Replicator {
@@ -101,7 +109,26 @@ impl Replicator {
             stats: LinkStats::default(),
             telemetry: MetricsRegistry::disabled(),
             link_name,
+            chaos: None,
         }
+    }
+
+    /// In-place form of [`Replicator::with_chaos`], for links already
+    /// wired into a federation.
+    pub fn set_chaos(&mut self, injector: FaultInjector) {
+        self.chaos = Some(injector);
+    }
+
+    /// Attach a fault injector. The injector is consulted once per poll
+    /// at the [`FaultPoint::Transport`] point (target = the link label):
+    /// transient and link-down faults surface as [`WarehouseError::Io`]
+    /// from the poll, stalls sleep in place, and physical binlog damage
+    /// ([`FaultKind::CorruptTailByte`], [`FaultKind::TruncateTail`]) is
+    /// executed against the *source* database — the transport is the one
+    /// place in the stack that holds write access to the source handle.
+    pub fn with_chaos(mut self, injector: FaultInjector) -> Self {
+        self.chaos = Some(injector);
+        self
     }
 
     /// Attach a metrics registry, labelling this link's metrics
@@ -174,15 +201,84 @@ impl Replicator {
         result
     }
 
+    /// Consult the fault injector at the transport point. Transient and
+    /// link-down faults surface as errors; stalls sleep in place; binlog
+    /// damage kinds mutate the source log and let the poll proceed into
+    /// the damage (exercising the repair path).
+    fn transport_fault(&mut self) -> Result<()> {
+        let Some(injector) = &self.chaos else {
+            return Ok(());
+        };
+        match injector.next_fault(FaultPoint::Transport, &self.link_name) {
+            None => Ok(()),
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                Ok(())
+            }
+            Some(FaultKind::CorruptTailByte) => {
+                self.source.write().corrupt_binlog_tail_byte();
+                Ok(())
+            }
+            Some(FaultKind::TruncateTail { bytes }) => {
+                self.source.write().truncate_binlog_tail(bytes as usize);
+                Ok(())
+            }
+            Some(kind @ (FaultKind::Transient | FaultKind::LinkDown)) => Err(WarehouseError::Io(
+                format!("injected {kind} on link {}", self.link_name),
+            )),
+        }
+    }
+
+    /// Read everything after the watermark, repairing the source binlog's
+    /// tail and retrying the read once if the first attempt found
+    /// corruption. Dropped records are crash casualties: the repair keeps
+    /// every intact frame before the damage, and the retried read resumes
+    /// from the surviving prefix.
+    fn read_source_events(&mut self) -> Result<Vec<xdmod_warehouse::BinlogEvent>> {
+        let first = {
+            let src = self.source.read();
+            src.binlog_after(self.position)
+        };
+        let detail = match first {
+            Ok(events) => return Ok(events),
+            Err(WarehouseError::CorruptBinlog(detail)) => detail,
+            Err(e) => return Err(e),
+        };
+        let repair = self.source.write().repair_binlog();
+        if repair.is_clean() {
+            // Nothing on the source side to fix (e.g. the corruption the
+            // read reported is a future-epoch watermark, not tail damage)
+            // — propagate so the supervisor can resync instead.
+            return Err(WarehouseError::CorruptBinlog(detail));
+        }
+        self.stats.source_repairs += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter(
+                    "replication_source_repairs_total",
+                    &[("link", &self.link_name)],
+                )
+                .inc();
+            self.telemetry.event_with(
+                "replication.source_repaired",
+                &format!("{}: source binlog tail repaired ({repair})", self.link_name),
+                &[
+                    ("dropped_records", repair.dropped_records as f64),
+                    ("dropped_bytes", repair.dropped_bytes as f64),
+                ],
+            );
+        }
+        let src = self.source.read();
+        src.binlog_after(self.position)
+    }
+
     fn poll_inner(&mut self) -> Result<usize> {
+        self.transport_fault()?;
         // Snapshot the new events (and the schemas needed for resource
         // routing) under a read lock, then release it before taking the
         // target's write lock — the two databases may be the same object
         // in a loopback topology, and lock ordering must not deadlock.
-        let events = {
-            let src = self.source.read();
-            src.binlog_after(self.position)?
-        };
+        let events = self.read_source_events()?;
         if events.is_empty() {
             return Ok(0);
         }
@@ -250,8 +346,254 @@ impl Replicator {
     /// backup). Replays are safe: DDL application is idempotent, but
     /// replayed inserts will duplicate rows, so callers should only
     /// rewind to positions consistent with the target's contents.
-    pub fn seek(&mut self, position: LogPosition) {
+    ///
+    /// A position *beyond* the source binlog's current tail is rejected
+    /// with [`ReplicationError::SeekBeyondTail`] instead of being
+    /// accepted (the old behaviour): a beyond-tail watermark can never
+    /// match a record, so the link would silently stall forever — the
+    /// caller must resync instead. Rewinds (including to an older epoch,
+    /// the restore case) remain accepted.
+    pub fn seek(
+        &mut self,
+        position: LogPosition,
+    ) -> std::result::Result<(), ReplicationError> {
+        let tail = self.source.read().binlog_position();
+        if position.epoch > tail.epoch
+            || (position.epoch == tail.epoch && position.seqno > tail.seqno)
+        {
+            return Err(ReplicationError::SeekBeyondTail {
+                link: self.link_name.clone(),
+                requested: position,
+                tail,
+            });
+        }
         self.position = position;
+        Ok(())
+    }
+
+    /// True when the watermark points beyond the source binlog's current
+    /// tail. A diverged link can never make progress by polling — the
+    /// source either lost its tail to a crash repair or was rebuilt —
+    /// and `binlog_after` returns an empty batch for a same-epoch
+    /// beyond-tail watermark, so without this check the stall is
+    /// *silent*. The supervisor uses it to decide on a resync.
+    pub fn is_diverged(&self) -> bool {
+        let tail = self.source.read().binlog_position();
+        self.position.epoch > tail.epoch
+            || (self.position.epoch == tail.epoch && self.position.seqno > tail.seqno)
+    }
+
+    /// Checksum-grade resync: rebuild the target schema from the source's
+    /// *current table contents*, then fast-forward the watermark to the
+    /// source binlog head.
+    ///
+    /// Binlog replay cannot repair a diverged link: after a tail repair
+    /// the source log permanently lacks the dropped records' events while
+    /// the source *tables* still hold (or legitimately lost) those rows,
+    /// so no replay position reproduces the source state. Copying the
+    /// live tables — through the same [`ReplicationFilter`] path ordinary
+    /// replication uses, so resource routing and table selection still
+    /// hold — is the only operation that restores the invariant the
+    /// consistency checker verifies.
+    pub fn resync_target(&mut self) -> Result<ResyncReport> {
+        let Some(source_schema) = self.config.source_schema.clone() else {
+            return Err(WarehouseError::InvalidQuery(
+                "resync requires a link with a declared source schema".into(),
+            ));
+        };
+        let target_schema = self
+            .config
+            .rename_to
+            .clone()
+            .unwrap_or_else(|| source_schema.clone());
+        // Snapshot table layouts, filtered rows, and the binlog head under
+        // one source read lock, then release it before writing the target
+        // (same lock-ordering rule as poll_inner).
+        let (copies, head) = {
+            let src = self.source.read();
+            let mut copies: Vec<(String, xdmod_warehouse::TableSchema, Vec<xdmod_warehouse::Row>)> =
+                Vec::new();
+            for def in src.describe_schema(&source_schema)? {
+                if !self.config.filter.table_passes(&def.name) {
+                    continue;
+                }
+                let table = src.table(&source_schema, &def.name)?;
+                // Route rows through the normal filter path by packaging
+                // them as an insert batch; a fully-routed-away batch comes
+                // back None, which here means "copy no rows".
+                let payload = xdmod_warehouse::EventPayload::InsertBatch {
+                    schema: source_schema.clone(),
+                    table: def.name.clone(),
+                    rows: table.rows().to_vec(),
+                };
+                let rows = match self.config.filter.apply_resolved(&payload, |t, column| {
+                    src.table(&source_schema, t)
+                        .ok()
+                        .and_then(|t| t.schema().column_index(column).ok())
+                }) {
+                    Some(xdmod_warehouse::EventPayload::InsertBatch { rows, .. }) => rows,
+                    _ => Vec::new(),
+                };
+                copies.push((def.name, table.schema().clone(), rows));
+            }
+            (copies, src.binlog_position())
+        };
+        let mut report = ResyncReport::default();
+        {
+            let mut dst = self.target.write();
+            if !dst.has_schema(&target_schema) {
+                dst.create_schema(&target_schema)?;
+            }
+            for (name, schema, rows) in copies {
+                if dst.table(&target_schema, &name).is_ok() {
+                    dst.truncate(&target_schema, &name)?;
+                } else {
+                    dst.create_table(&target_schema, schema)?;
+                }
+                report.rows += rows.len();
+                if !rows.is_empty() {
+                    dst.insert(&target_schema, &name, rows)?;
+                }
+                report.tables += 1;
+            }
+        }
+        // The target now mirrors the source's present state; polling
+        // resumes from the head so nothing just copied is replayed.
+        self.position = head;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("replication_resyncs_total", &[("link", &self.link_name)])
+                .inc();
+            self.telemetry.event_with(
+                "replication.resync",
+                &format!(
+                    "{}: target rebuilt from source tables ({} table(s), {} row(s))",
+                    self.link_name, report.tables, report.rows
+                ),
+                &[
+                    ("tables", report.tables as f64),
+                    ("rows", report.rows as f64),
+                ],
+            );
+        }
+        Ok(report)
+    }
+}
+
+/// What a [`Replicator::resync_target`] pass rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResyncReport {
+    /// Tables rebuilt on the target (after table selection).
+    pub tables: usize,
+    /// Rows copied (after resource routing).
+    pub rows: usize,
+}
+
+/// Retry behaviour of a [`LiveReplicator`] when a poll fails.
+///
+/// On failure the worker enters a *retry burst*: it re-polls after an
+/// exponentially growing backoff with decorrelated jitter
+/// (`sleep = min(max_backoff, rand(base_backoff ..= prev * 3))`, the
+/// AWS-architecture-blog variant) instead of waiting the full poll
+/// interval. The burst ends on the first success — which also clears
+/// [`LiveReplicator::last_error`] — or once `max_attempts` retries (or
+/// the `deadline`, if set) are spent, after which the link falls back to
+/// ordinary interval polling with the error left visible for the
+/// supervisor. The link is never torn down by a failed poll.
+///
+/// Jitter is drawn from a [`DeterministicRng`] seeded from the link
+/// name, so a chaos run's retry schedule is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Fast retries per burst before falling back to interval polling.
+    pub max_attempts: u32,
+    /// First (and minimum) backoff of a burst.
+    pub base_backoff: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub max_backoff: Duration,
+    /// Optional wall-clock cap on one burst, ending it even if attempts
+    /// remain.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never fast-retries (every failure waits out the
+    /// full poll interval). Useful in tests and as the explicit "retries
+    /// disabled" configuration `xdmod-check` warns about (XC0010).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Per-burst retry bookkeeping, local to the worker thread.
+struct RetryState {
+    policy: RetryPolicy,
+    rng: DeterministicRng,
+    attempts: u32,
+    prev_backoff: Duration,
+    burst_start: Option<Instant>,
+}
+
+impl RetryState {
+    fn new(policy: RetryPolicy, link_name: &str) -> Self {
+        // Seed the jitter source from the link name (FNV-1a) so two runs
+        // of the same topology draw identical backoff schedules.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in link_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        RetryState {
+            policy,
+            rng: DeterministicRng::new(seed),
+            attempts: 0,
+            prev_backoff: Duration::ZERO,
+            burst_start: None,
+        }
+    }
+
+    /// A poll succeeded: the burst (if any) is over.
+    fn reset(&mut self) {
+        self.attempts = 0;
+        self.prev_backoff = Duration::ZERO;
+        self.burst_start = None;
+    }
+
+    /// A poll failed: the next backoff to sleep, or `None` once the
+    /// burst's attempts or deadline are exhausted.
+    fn next_backoff(&mut self) -> Option<Duration> {
+        if self.attempts >= self.policy.max_attempts {
+            return None;
+        }
+        let start = *self.burst_start.get_or_insert_with(Instant::now);
+        if let Some(deadline) = self.policy.deadline {
+            if start.elapsed() >= deadline {
+                return None;
+            }
+        }
+        self.attempts += 1;
+        let base = self.policy.base_backoff.as_millis() as u64;
+        let prev = self.prev_backoff.as_millis() as u64;
+        // Decorrelated jitter: rand in [base, max(prev * 3, base + 1)).
+        let hi = (prev.saturating_mul(3)).max(base + 1);
+        let millis = self.rng.gen_range(base, hi);
+        let backoff = Duration::from_millis(millis).min(self.policy.max_backoff);
+        self.prev_backoff = backoff;
+        Some(backoff)
     }
 }
 
@@ -329,8 +671,26 @@ impl LagSampler {
 }
 
 impl LiveReplicator {
-    /// Spawn the polling loop.
-    pub fn start(mut replicator: Replicator, interval: Duration) -> Self {
+    /// Spawn the polling loop with the default [`RetryPolicy`].
+    pub fn start(replicator: Replicator, interval: Duration) -> Self {
+        LiveReplicator::start_with_policy(replicator, interval, RetryPolicy::default())
+    }
+
+    /// Spawn the polling loop with an explicit retry policy.
+    ///
+    /// A failed poll starts a retry burst per `policy` (see
+    /// [`RetryPolicy`]): the worker sleeps the backoff and re-polls
+    /// immediately instead of waiting out `interval`. Each retry bumps
+    /// `replication_retries_total{link}`, sets the
+    /// `replication_backoff_ms{link}` gauge to the sleep it chose, and
+    /// records a `replication.retry` event. A successful poll clears
+    /// [`LiveReplicator::last_error`] — an error is a *current*
+    /// condition, not a historical one — and resets the burst.
+    pub fn start_with_policy(
+        mut replicator: Replicator,
+        interval: Duration,
+        policy: RetryPolicy,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let paused = Arc::new(AtomicBool::new(false));
         let link_name = replicator.link_name().to_owned();
@@ -340,6 +700,7 @@ impl LiveReplicator {
         let err2 = Arc::clone(&last_error);
         let handle = std::thread::spawn(move || {
             let mut lag = LagSampler::new();
+            let mut retry = RetryState::new(policy, replicator.link_name());
             let record_err = |rep: &Replicator, e: &WarehouseError| {
                 let telemetry = rep.telemetry();
                 if telemetry.is_enabled() {
@@ -355,11 +716,47 @@ impl LiveReplicator {
                     );
                 }
             };
+            let record_retry = |rep: &Replicator, attempt: u32, backoff: Duration| {
+                let telemetry = rep.telemetry();
+                if telemetry.is_enabled() {
+                    let link: &[(&str, &str)] = &[("link", rep.link_name())];
+                    telemetry.counter("replication_retries_total", link).inc();
+                    telemetry
+                        .gauge("replication_backoff_ms", link)
+                        .set(backoff.as_millis() as f64);
+                    telemetry.event_with(
+                        "replication.retry",
+                        &format!(
+                            "{}: retry {attempt} after {}ms backoff",
+                            rep.link_name(),
+                            backoff.as_millis()
+                        ),
+                        &[
+                            ("attempt", f64::from(attempt)),
+                            ("backoff_ms", backoff.as_millis() as f64),
+                        ],
+                    );
+                }
+            };
             while !stop2.load(Ordering::Acquire) {
                 if !paused2.load(Ordering::Acquire) {
-                    if let Err(e) = replicator.poll() {
-                        record_err(&replicator, &e);
-                        *err2.lock() = Some(e);
+                    match replicator.poll() {
+                        Ok(_) => {
+                            // The sticky-error fix: a link that has
+                            // recovered must read as healthy.
+                            *err2.lock() = None;
+                            retry.reset();
+                        }
+                        Err(e) => {
+                            record_err(&replicator, &e);
+                            *err2.lock() = Some(e);
+                            if let Some(backoff) = retry.next_backoff() {
+                                record_retry(&replicator, retry.attempts, backoff);
+                                lag.sample(&replicator);
+                                std::thread::park_timeout(backoff);
+                                continue; // fast retry, skip the interval
+                            }
+                        }
                     }
                 }
                 lag.sample(&replicator);
@@ -367,9 +764,12 @@ impl LiveReplicator {
             }
             // Final drain so a stop() immediately after a write loses
             // nothing (even if the link was paused when stopped).
-            if let Err(e) = replicator.poll() {
-                record_err(&replicator, &e);
-                *err2.lock() = Some(e);
+            match replicator.poll() {
+                Ok(_) => *err2.lock() = None,
+                Err(e) => {
+                    record_err(&replicator, &e);
+                    *err2.lock() = Some(e);
+                }
             }
             lag.sample(&replicator);
             replicator
@@ -407,6 +807,14 @@ impl LiveReplicator {
     /// Any error the worker hit.
     pub fn last_error(&self) -> Option<WarehouseError> {
         self.last_error.lock().clone()
+    }
+
+    /// True when the worker thread has exited while the link is still
+    /// nominally running. The loop only returns cleanly after `stop()`
+    /// raises the flag, so a finished thread here means the worker
+    /// *panicked* — the supervisor's cue to rebuild the link.
+    pub fn is_dead(&self) -> bool {
+        self.handle.as_ref().is_some_and(JoinHandle::is_finished)
     }
 
     /// Stop the loop, drain outstanding events, and return the link (with
@@ -850,6 +1258,252 @@ mod tests {
         let stopped = live.stop();
         assert!(stopped.is_ok());
         assert_eq!(stopped.unwrap().link_name(), "hub_x");
+    }
+
+    #[test]
+    fn seek_beyond_tail_is_rejected_with_typed_error() {
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            dst,
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        rep.poll().unwrap();
+        let tail = src.read().binlog_position();
+        // The tail itself and any rewind are fine.
+        assert!(rep.seek(tail).is_ok());
+        assert!(rep.seek(LogPosition::START).is_ok());
+        // One past the tail is not.
+        let beyond = LogPosition {
+            epoch: tail.epoch,
+            seqno: tail.seqno + 1,
+        };
+        match rep.seek(beyond) {
+            Err(ReplicationError::SeekBeyondTail {
+                link,
+                requested,
+                tail: t,
+            }) => {
+                assert_eq!(link, "hub_x");
+                assert_eq!(requested, beyond);
+                assert_eq!(t, tail);
+            }
+            other => panic!("expected SeekBeyondTail, got {other:?}"),
+        }
+        // A future epoch is beyond the tail by definition.
+        assert!(rep
+            .seek(LogPosition {
+                epoch: tail.epoch + 1,
+                seqno: 0,
+            })
+            .is_err());
+        // The rejected seeks left the watermark where the last accepted
+        // one put it.
+        assert_eq!(rep.position(), LogPosition::START);
+    }
+
+    #[test]
+    fn chaos_transient_fault_surfaces_then_recovers() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::Transport,
+            FaultKind::Transient,
+            &[1],
+        ));
+        let mut rep = Replicator::new(
+            src,
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_chaos(plan.injector(7));
+        // First poll hits the injected transient error; nothing applied.
+        assert!(matches!(rep.poll(), Err(WarehouseError::Io(_))));
+        assert_eq!(rep.stats().events_applied, 0);
+        // The retry sails through and replicates everything.
+        assert!(rep.poll().unwrap() >= 4);
+        assert!(dst.read().has_schema("hub_x"));
+    }
+
+    #[test]
+    fn chaos_corrupt_tail_is_repaired_and_replication_resumes() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let reg = MetricsRegistry::new();
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::Transport,
+            FaultKind::CorruptTailByte,
+            &[1],
+        ));
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_telemetry(reg.clone(), "site-x")
+        .with_chaos(plan.injector(7));
+        // The first poll corrupts the source tail in flight, detects it,
+        // repairs the source log, and applies the surviving prefix.
+        let applied = rep.poll().unwrap();
+        assert!(applied >= 4); // 5 events recorded, tail one dropped
+        assert_eq!(rep.stats().source_repairs, 1);
+        assert_eq!(
+            reg.snapshot()
+                .counter("replication_source_repairs_total", &[("link", "site-x")]),
+            Some(1)
+        );
+        assert!(!reg.events_of_kind("replication.source_repaired").is_empty());
+        // The link is healthy again: new writes replicate normally.
+        src.write()
+            .insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![Value::Str("comet".into()), Value::Float(9.0)]],
+            )
+            .unwrap();
+        assert_eq!(rep.poll().unwrap(), 1);
+        assert_eq!(rep.stats().source_repairs, 1); // no further repairs
+    }
+
+    #[test]
+    fn diverged_link_is_detected_and_resynced_from_tables() {
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        rep.poll().unwrap();
+        assert!(!rep.is_diverged());
+        // Lose the source binlog's tail record to a crash repair: the
+        // watermark now points past the surviving log.
+        {
+            let mut s = src.write();
+            s.truncate_binlog_tail(5);
+            assert!(!s.repair_binlog().is_clean());
+        }
+        assert!(rep.is_diverged());
+        // Polling cannot help a diverged link (a same-epoch beyond-tail
+        // read is a silent empty batch); a table-copy resync can.
+        let report = rep.resync_target().unwrap();
+        assert_eq!(report.tables, 2);
+        assert!(!rep.is_diverged());
+        let src = src.read();
+        let dst = dst.read();
+        for table in ["jobfact", "supremm_jobfact"] {
+            assert_eq!(
+                src.table("xdmod_x", table).unwrap().content_checksum(),
+                dst.table("hub_x", table).unwrap().content_checksum(),
+                "{table} must match after resync"
+            );
+        }
+    }
+
+    #[test]
+    fn resync_preserves_table_selection_and_resource_routing() {
+        let src = satellite("xdmod_x", &["open", "secret"]);
+        let dst = shared(Database::new());
+        let telemetry = MetricsRegistry::new();
+        let filter = ReplicationFilter::all()
+            .with_tables(["jobfact"])
+            .with_resource_column("jobfact", "resource")
+            .exclude_resource("secret");
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x").with_filter(filter),
+        )
+        .with_telemetry(telemetry.clone(), "hub_x");
+        let report = rep.resync_target().unwrap();
+        assert_eq!(report.tables, 1);
+        assert_eq!(report.rows, 1);
+        {
+            let dst = dst.read();
+            assert_eq!(dst.table("hub_x", "jobfact").unwrap().len(), 1);
+            assert!(dst.table("hub_x", "supremm_jobfact").is_err());
+        }
+        // Nothing just copied replays on the next poll...
+        assert_eq!(rep.poll().unwrap(), 0);
+        // ...and the resync left its telemetry trail.
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .counter("replication_resyncs_total", &[("link", "hub_x")]),
+            Some(1)
+        );
+        assert!(!telemetry.events_of_kind("replication.resync").is_empty());
+    }
+
+    #[test]
+    fn live_link_retries_transient_faults_and_clears_last_error() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        let dst = shared(Database::new());
+        let reg = MetricsRegistry::new();
+        // Two transient faults, then clear air.
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::Transport,
+            FaultKind::Transient,
+            &[1, 2],
+        ));
+        let rep = Replicator::new(
+            src,
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_telemetry(reg.clone(), "site-x")
+        .with_chaos(plan.injector(7));
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            deadline: None,
+        };
+        let live = LiveReplicator::start_with_policy(rep, Duration::from_millis(1), policy);
+        // The faults were retried through, the data arrived, and — the
+        // sticky-error fix — the recovered link reads as healthy again.
+        assert!(eventually(|| dst.read().has_schema("hub_x")));
+        assert!(eventually(|| live.last_error().is_none()));
+        let rep = live.stop().unwrap();
+        assert!(rep.stats().events_applied >= 4);
+        let snap = reg.snapshot();
+        let retries = snap
+            .counter("replication_retries_total", &[("link", "site-x")])
+            .unwrap_or(0);
+        assert!(retries >= 1, "expected at least one fast retry, got {retries}");
+        assert!(!reg.events_of_kind("replication.retry").is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        let mut a = RetryState::new(policy, "site-x");
+        let mut b = RetryState::new(policy, "site-x");
+        let seq_a: Vec<_> = std::iter::from_fn(|| a.next_backoff()).collect();
+        let seq_b: Vec<_> = std::iter::from_fn(|| b.next_backoff()).collect();
+        assert_eq!(seq_a, seq_b, "same link name must draw the same schedule");
+        assert_eq!(seq_a.len() as u32, policy.max_attempts);
+        for d in &seq_a {
+            assert!(*d >= policy.base_backoff && *d <= policy.max_backoff);
+        }
+        // Exhausted burst stays exhausted until reset.
+        assert_eq!(a.next_backoff(), None);
+        a.reset();
+        assert!(a.next_backoff().is_some());
+        // A different link name draws a different schedule (with enough
+        // attempts the sequences can't collide entirely).
+        let mut c = RetryState::new(policy, "site-y");
+        let seq_c: Vec<_> = std::iter::from_fn(|| c.next_backoff()).collect();
+        assert_ne!(seq_a, seq_c);
+        // Zero-retry policy never fast-retries.
+        let mut z = RetryState::new(RetryPolicy::no_retries(), "site-x");
+        assert_eq!(z.next_backoff(), None);
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn replicator_restart_resumes_from_watermark() {
         Arc::clone(&dst),
         LinkConfig::renaming("xdmod_x", "hub_x"),
     );
-    rep2.seek(watermark);
+    rep2.seek(watermark).unwrap();
     assert_eq!(rep2.poll().unwrap(), 1);
     assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 6);
 }
@@ -143,7 +143,7 @@ fn source_epoch_rotation_is_surfaced_not_silently_reapplied() {
         Arc::clone(&dst2),
         LinkConfig::renaming("xdmod_x", "hub_x"),
     );
-    rep2.seek(src.read().binlog_position());
+    rep2.seek(src.read().binlog_position()).unwrap();
     assert_eq!(rep2.poll().unwrap(), 0);
 }
 
@@ -185,6 +185,16 @@ fn future_epoch_watermark_is_rejected() {
     let src = satellite(1);
     let dst = shared(Database::new());
     let mut rep = Replicator::new(src, dst, LinkConfig::renaming("xdmod_x", "hub_x"));
-    rep.seek(LogPosition { epoch: 42, seqno: 7 });
-    assert!(rep.poll().is_err());
+    // A watermark beyond the source tail is rejected at seek time with a
+    // typed error, before a poll can silently read an empty tail.
+    let err = rep
+        .seek(LogPosition { epoch: 42, seqno: 7 })
+        .expect_err("beyond-tail seek must be rejected");
+    match err {
+        xdmod_replication::ReplicationError::SeekBeyondTail { requested, .. } => {
+            assert_eq!(requested, LogPosition { epoch: 42, seqno: 7 });
+        }
+        other => panic!("expected SeekBeyondTail, got {other}"),
+    }
+    assert!(rep.poll().is_ok(), "the link itself stays usable");
 }

@@ -496,8 +496,82 @@ impl Binlog {
             .filter(|i| *i < self.offsets.len())
             .ok_or_else(|| WarehouseError::CorruptBinlog(format!("no record {seqno}")))?;
         let offset = self.offsets[idx];
+        // After physical tail damage an offset can point past the end of
+        // the raw log; that is corruption to report, not a slice panic.
+        if offset >= self.bytes.len() {
+            return Err(WarehouseError::CorruptBinlog(format!(
+                "record {seqno} offset {offset} beyond log end ({} bytes)",
+                self.bytes.len()
+            )));
+        }
         let mut slice = Bytes::copy_from_slice(&self.bytes[offset..]);
         decode_framed(&mut slice)
+    }
+
+    /// Flip one byte of the raw log (XOR `0xA5`) — simulated disk
+    /// corruption, used by the chaos harness. Returns `false` when the
+    /// index is out of range (no-op).
+    pub fn corrupt_byte(&mut self, index: usize) -> bool {
+        match self.bytes.get_mut(index) {
+            Some(byte) => {
+                *byte ^= 0xA5;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flip a byte inside the last frame (tail corruption after a dirty
+    /// shutdown). Returns `false` when the log is empty.
+    pub fn corrupt_tail_byte(&mut self) -> bool {
+        if self.bytes.is_empty() {
+            return false;
+        }
+        let index = self.bytes.len() - 1; // a CRC byte of the last frame
+        self.corrupt_byte(index)
+    }
+
+    /// Chop up to `n` raw bytes off the end of the log — a torn write /
+    /// crash mid-append. Offsets and seqnos are deliberately *not*
+    /// adjusted (the damage is physical); [`Binlog::repair_tail`]
+    /// restores crash consistency. Returns the number of bytes removed.
+    pub fn truncate_tail_bytes(&mut self, n: usize) -> usize {
+        let removed = n.min(self.bytes.len());
+        let keep = self.bytes.len() - removed;
+        self.bytes.truncate(keep);
+        removed
+    }
+
+    /// Validate the log front-to-back and truncate it at the first
+    /// invalid frame (bad length, CRC mismatch, undecodable payload, or
+    /// a partial frame after a torn write), restoring crash consistency:
+    /// every record *before* the damage survives, everything from the
+    /// damaged frame on is dropped, and new appends resume from the last
+    /// valid seqno. A clean log is untouched.
+    pub fn repair_tail(&mut self) -> TailRepair {
+        let mut valid_offsets = Vec::with_capacity(self.offsets.len());
+        let mut cursor = 0usize;
+        while cursor < self.bytes.len() {
+            let mut slice = Bytes::copy_from_slice(&self.bytes[cursor..]);
+            let before = slice.len();
+            match decode_framed(&mut slice) {
+                Ok(_) => {
+                    valid_offsets.push(cursor);
+                    cursor += before - slice.len();
+                }
+                Err(_) => break,
+            }
+        }
+        let repair = TailRepair {
+            dropped_records: self.offsets.len().saturating_sub(valid_offsets.len()),
+            dropped_bytes: self.bytes.len() - cursor,
+        };
+        if !repair.is_clean() {
+            self.bytes.truncate(cursor);
+            self.last_seqno = valid_offsets.len() as u64;
+            self.offsets = valid_offsets;
+        }
+        repair
     }
 
     /// Export the raw framed bytes of records after `after` — this is what
@@ -519,6 +593,32 @@ impl Binlog {
         }
         let offset = self.offsets[start_seqno as usize];
         Ok(Bytes::copy_from_slice(&self.bytes[offset..]))
+    }
+}
+
+/// What [`Binlog::repair_tail`] removed to restore crash consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TailRepair {
+    /// Records dropped (the damaged frame and everything after it).
+    pub dropped_records: usize,
+    /// Raw bytes truncated off the log.
+    pub dropped_bytes: usize,
+}
+
+impl TailRepair {
+    /// True when the log was already consistent and nothing was dropped.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_records == 0 && self.dropped_bytes == 0
+    }
+}
+
+impl fmt::Display for TailRepair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dropped {} record(s) / {} byte(s)",
+            self.dropped_records, self.dropped_bytes
+        )
     }
 }
 
@@ -727,5 +827,90 @@ mod tests {
         let log = Binlog::new();
         assert!(log.record_at(0).is_err());
         assert!(log.record_at(1).is_err());
+    }
+
+    #[test]
+    fn repair_tail_is_noop_on_clean_log() {
+        let mut log = Binlog::new();
+        log.append(&sample_insert());
+        log.append(&sample_insert());
+        let before = log.position();
+        let repair = log.repair_tail();
+        assert!(repair.is_clean());
+        assert_eq!(log.position(), before);
+        assert_eq!(log.read_after(LogPosition::START).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn repair_tail_recovers_past_corrupt_tail_frame() {
+        let mut log = Binlog::new();
+        log.append(&EventPayload::CreateSchema { schema: "s".into() });
+        log.append(&sample_insert());
+        log.append(&sample_insert());
+        assert!(log.corrupt_tail_byte());
+        // The damaged tail is detected…
+        assert!(log.read_after(LogPosition::START).is_err());
+        // …and repaired past: the two intact records survive.
+        let repair = log.repair_tail();
+        assert_eq!(repair.dropped_records, 1);
+        assert!(repair.dropped_bytes > 0);
+        assert_eq!(log.position(), LogPosition { epoch: 0, seqno: 2 });
+        assert_eq!(log.read_after(LogPosition::START).unwrap().len(), 2);
+        // Appends resume from the repaired seqno.
+        let pos = log.append(&sample_insert());
+        assert_eq!(pos.seqno, 3);
+        assert_eq!(log.read_after(LogPosition::START).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn repair_tail_recovers_past_torn_write() {
+        let mut log = Binlog::new();
+        log.append(&EventPayload::CreateSchema { schema: "s".into() });
+        log.append(&sample_insert());
+        let removed = log.truncate_tail_bytes(5);
+        assert_eq!(removed, 5);
+        // record_at on the now-partial tail errors instead of panicking.
+        assert!(log.record_at(2).is_err());
+        let repair = log.repair_tail();
+        assert_eq!(repair.dropped_records, 1);
+        assert_eq!(log.position().seqno, 1);
+        assert_eq!(log.read_after(LogPosition::START).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repair_tail_truncates_from_first_damaged_frame() {
+        // Damage in the *middle* frame drops it and everything after —
+        // crash-consistent prefix semantics, never a hole.
+        let mut log = Binlog::new();
+        log.append(&EventPayload::CreateSchema { schema: "s".into() });
+        let mid_offset = log.byte_len() + 8; // inside the second frame
+        log.append(&sample_insert());
+        log.append(&sample_insert());
+        assert!(log.corrupt_byte(mid_offset));
+        let repair = log.repair_tail();
+        assert_eq!(repair.dropped_records, 2);
+        assert_eq!(log.position().seqno, 1);
+        assert_eq!(log.read_after(LogPosition::START).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn truncate_everything_then_repair_yields_empty_log() {
+        let mut log = Binlog::new();
+        log.append(&sample_insert());
+        log.truncate_tail_bytes(usize::MAX);
+        let repair = log.repair_tail();
+        assert_eq!(repair.dropped_records, 1);
+        assert!(log.is_empty());
+        assert_eq!(log.position(), LogPosition { epoch: 0, seqno: 0 });
+        assert!(log.read_after(LogPosition::START).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_byte_out_of_range_is_noop() {
+        let mut log = Binlog::new();
+        assert!(!log.corrupt_byte(0));
+        assert!(!log.corrupt_tail_byte());
+        log.append(&sample_insert());
+        assert!(!log.corrupt_byte(log.byte_len()));
     }
 }

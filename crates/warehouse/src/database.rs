@@ -5,13 +5,14 @@
 //! the federation hub holds *one schema per satellite* (the Tungsten
 //! rename-on-transfer pattern, §II-C1) plus its own aggregate schemas.
 
-use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition};
+use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition, TailRepair};
 use crate::error::{Result, WarehouseError};
 use crate::query::{Query, ResultSet};
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::value::Row;
 use std::collections::BTreeMap;
+use xdmod_chaos::{FaultInjector, FaultKind, FaultPoint};
 use xdmod_telemetry::MetricsRegistry;
 
 /// A database: an ordered map of schemas, each an ordered map of tables,
@@ -23,6 +24,9 @@ pub struct Database {
     /// Disabled by default; [`Database::set_telemetry`] attaches a live
     /// registry (the hub/instance hands its own down at construction).
     telemetry: MetricsRegistry,
+    /// Chaos fault injector plus the target label it is consulted under.
+    /// `None` (the default) costs one branch per consultation point.
+    chaos: Option<(FaultInjector, String)>,
 }
 
 impl Database {
@@ -41,6 +45,42 @@ impl Database {
     /// [`Database::set_telemetry`] was called).
     pub fn telemetry(&self) -> &MetricsRegistry {
         &self.telemetry
+    }
+
+    /// Attach a chaos fault injector, consulted on binlog reads
+    /// ([`FaultPoint::BinlogRead`]) and replicated-event applies
+    /// ([`FaultPoint::Apply`]) under `target` (conventionally the
+    /// replication link name). This is the chaos-harness wiring;
+    /// production databases leave it unset and pay one branch.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector, target: impl Into<String>) {
+        self.chaos = Some((injector, target.into()));
+    }
+
+    /// Detach any chaos fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.chaos = None;
+    }
+
+    /// Consult the chaos injector (if any) at a fault point. Stalls are
+    /// served in place; every error kind surfaces as a transient
+    /// [`WarehouseError::Io`]. Physical binlog damage kinds are executed
+    /// by the replication transport, which holds write access to the
+    /// source database — if one reaches a warehouse consultation point
+    /// it degrades to a transient I/O failure as well.
+    fn injected_fault(&self, point: FaultPoint) -> Result<()> {
+        let Some((injector, target)) = &self.chaos else {
+            return Ok(());
+        };
+        match injector.next_fault(point, target) {
+            None => Ok(()),
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                Ok(())
+            }
+            Some(kind) => Err(WarehouseError::Io(format!(
+                "injected {kind} at {point} ({target})"
+            ))),
+        }
     }
 
     /// Append to the binlog, counting appends and framed bytes.
@@ -159,6 +199,7 @@ impl Database {
     /// `CreateSchema`/`CreateTable` are idempotent on apply so a restarted
     /// replicator can safely replay from an older position.
     pub fn apply_event(&mut self, payload: &EventPayload) -> Result<()> {
+        self.injected_fault(FaultPoint::Apply)?;
         match payload {
             EventPayload::CreateSchema { schema } => {
                 self.ensure_schema(schema)?;
@@ -284,7 +325,44 @@ impl Database {
 
     /// All binlog records strictly after `after`.
     pub fn binlog_after(&self, after: LogPosition) -> Result<Vec<BinlogEvent>> {
+        self.injected_fault(FaultPoint::BinlogRead)?;
         self.binlog.read_after(after)
+    }
+
+    /// Flip a byte in the last binlog frame — simulated disk corruption,
+    /// executed by the chaos harness. Returns `false` on an empty log.
+    pub fn corrupt_binlog_tail_byte(&mut self) -> bool {
+        self.binlog.corrupt_tail_byte()
+    }
+
+    /// Chop raw bytes off the binlog tail — a simulated torn write.
+    /// Returns the number of bytes removed.
+    pub fn truncate_binlog_tail(&mut self, bytes: usize) -> usize {
+        self.binlog.truncate_tail_bytes(bytes)
+    }
+
+    /// Validate the binlog and crash-consistently repair its tail (see
+    /// [`Binlog::repair_tail`]): records before the first damaged frame
+    /// survive, the damage and everything after it is dropped, and the
+    /// repair is counted (`warehouse_binlog_tail_repairs_total`) and
+    /// logged (`warehouse.binlog_repaired`) so it is visible on the Ops
+    /// dashboard. A clean log is untouched and reports nothing.
+    pub fn repair_binlog(&mut self) -> TailRepair {
+        let repair = self.binlog.repair_tail();
+        if !repair.is_clean() && self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_binlog_tail_repairs_total", &[])
+                .inc();
+            self.telemetry.event_with(
+                "warehouse.binlog_repaired",
+                &format!("binlog tail repaired: {repair}"),
+                &[
+                    ("dropped_records", repair.dropped_records as f64),
+                    ("dropped_bytes", repair.dropped_bytes as f64),
+                ],
+            );
+        }
+        repair
     }
 
     /// Raw framed binlog bytes after `after` (loose-federation export).
@@ -531,6 +609,90 @@ mod tests {
         // Instrumented paths still work with telemetry off.
         db.query("xdmod_x", "jobfact", &Query::new()).unwrap();
         assert_eq!(db.telemetry().prometheus_text(), "");
+    }
+
+    #[test]
+    fn injected_transient_fault_surfaces_and_clears() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+        let mut db = populated();
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::BinlogRead,
+            FaultKind::Transient,
+            &[1],
+        ));
+        db.set_fault_injector(plan.injector(7), "link-x");
+        let err = db.binlog_after(LogPosition::START).unwrap_err();
+        assert!(matches!(err, WarehouseError::Io(_)), "got {err}");
+        assert!(err.to_string().contains("transient"));
+        // Second read (op 2) is past the schedule: succeeds.
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 3);
+        db.clear_fault_injector();
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn injected_apply_fault_blocks_replicated_event() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+        let mut db = Database::new();
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::Apply,
+            FaultKind::Transient,
+            &[1],
+        ));
+        db.set_fault_injector(plan.injector(7), "link-x");
+        let ev = EventPayload::CreateSchema { schema: "s".into() };
+        assert!(db.apply_event(&ev).is_err());
+        // Retry succeeds and the event lands exactly once.
+        db.apply_event(&ev).unwrap();
+        assert!(db.has_schema("s"));
+    }
+
+    #[test]
+    fn repair_binlog_recovers_corrupt_tail_and_reports_telemetry() {
+        use xdmod_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut db = populated();
+        db.set_telemetry(reg.clone());
+        assert!(db.corrupt_binlog_tail_byte());
+        assert!(db.binlog_after(LogPosition::START).is_err());
+        let repair = db.repair_binlog();
+        assert_eq!(repair.dropped_records, 1);
+        // The two intact records are readable again; the table rows are
+        // untouched (only the log was damaged).
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 2);
+        assert_eq!(db.total_rows(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("warehouse_binlog_tail_repairs_total", &[]),
+            Some(1)
+        );
+        assert_eq!(reg.events_of_kind("warehouse.binlog_repaired").len(), 1);
+        // Repairing a clean log is a no-op and reports nothing further.
+        assert!(db.repair_binlog().is_clean());
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("warehouse_binlog_tail_repairs_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn truncated_binlog_tail_repairs_without_panicking() {
+        let mut db = populated();
+        let removed = db.truncate_binlog_tail(3);
+        assert_eq!(removed, 3);
+        assert!(db.binlog_after(LogPosition::START).is_err());
+        let repair = db.repair_binlog();
+        assert_eq!(repair.dropped_records, 1);
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 2);
+        // New writes resume cleanly after the repair.
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("x".into()), Value::Float(1.0)]],
+        )
+        .unwrap();
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 3);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub enum WarehouseError {
     SchemaMismatch(String),
     /// A binlog record failed checksum or framing validation.
     CorruptBinlog(String),
+    /// An I/O failure reading the binlog or applying an event. By
+    /// contract transient — a retry may succeed — unlike
+    /// [`WarehouseError::CorruptBinlog`], which requires a tail repair.
+    /// In this in-memory warehouse these originate from the chaos fault
+    /// injector; a disk-backed implementation would raise them for real.
+    Io(String),
     /// A query was structurally invalid (e.g. aggregate over a string column).
     InvalidQuery(String),
     /// A snapshot could not be serialized or deserialized.
@@ -52,6 +58,7 @@ impl fmt::Display for WarehouseError {
             WarehouseError::AlreadyExists(s) => write!(f, "already exists: {s}"),
             WarehouseError::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
             WarehouseError::CorruptBinlog(s) => write!(f, "corrupt binlog: {s}"),
+            WarehouseError::Io(s) => write!(f, "i/o error: {s}"),
             WarehouseError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
             WarehouseError::Snapshot(s) => write!(f, "snapshot error: {s}"),
             WarehouseError::InvalidTime(s) => write!(f, "invalid time: {s}"),

@@ -35,7 +35,7 @@ pub mod time;
 pub mod value;
 
 pub use aggregate::{AggregationSpec, DimSpec};
-pub use binlog::{BinlogEvent, EventPayload, LogPosition};
+pub use binlog::{BinlogEvent, EventPayload, LogPosition, TailRepair};
 pub use bins::{Bin, Bins};
 pub use database::Database;
 pub use error::{Result, WarehouseError};

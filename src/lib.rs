@@ -22,6 +22,10 @@
 //!   XSEDE/CCR production data.
 //! - [`chart`] — the chart/report layer (timeseries + aggregate datasets,
 //!   ASCII/SVG rendering, CSV/JSON export).
+//! - [`chaos`] — the deterministic fault-injection substrate: seeded
+//!   [`chaos::FaultPlan`]s injecting transient errors, stalls, binlog
+//!   corruption, and permanent link loss into the warehouse and
+//!   replication layers, reproducibly.
 //! - [`telemetry`] — the self-monitoring substrate: counters, gauges,
 //!   log-bucketed latency histograms, RAII span timers, a bounded event
 //!   ring, and Prometheus-text/JSON exposition. The warehouse,
@@ -51,6 +55,7 @@
 
 pub use xdmod_appkernels as appkernels;
 pub use xdmod_auth as auth;
+pub use xdmod_chaos as chaos;
 pub use xdmod_chart as chart;
 pub use xdmod_core as core;
 pub use xdmod_ingest as ingest;

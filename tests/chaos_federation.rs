@@ -1,0 +1,166 @@
+//! End-to-end chaos: a three-satellite federation driven through a
+//! seeded [`FaultPlan`] — transient transport faults, a corrupted binlog
+//! tail, and one permanently dead link — must self-heal to checksum
+//! consistency for the survivors, quarantine the dead member, and do
+//! all of it **deterministically**: the same seed produces a
+//! byte-identical fault schedule and identical hub contents on every
+//! run.
+//!
+//! The seed is taken from `CHAOS_SEED` when set (the CI chaos-soak job
+//! loops a fixed set of seeds through this test), defaulting to 42.
+
+use xdmod::chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+use xdmod::core::{
+    Federation, FederationConfig, FederationHub, MemberHealth, SupervisorPolicy, XdmodInstance,
+};
+use xdmod::replication::RetryPolicy;
+use xdmod::sim::{ClusterSim, ResourceProfile};
+
+fn seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn satellite(name: &str, resource: &str, sim_seed: u64) -> XdmodInstance {
+    let mut inst = XdmodInstance::new(name);
+    inst.set_su_factor(resource, 1.0);
+    let sim = ClusterSim::new(ResourceProfile::generic(resource, 128, 48.0, 1.0), sim_seed);
+    inst.ingest_sacct(resource, &sim.sacct_log(2017, 1..=2)).unwrap();
+    inst
+}
+
+/// The scenario under test, as one deterministic function of the seed:
+/// faults fire against x (transient bursts), y (tail corruption), and z
+/// (permanent link loss) while the supervisor drives the federation.
+/// Returns the artifacts the determinism assertion compares across
+/// runs: the injector's fired-fault schedule and the hub's table
+/// checksums.
+fn run_scenario(seed: u64) -> (String, Vec<(String, u64)>) {
+    // Fresh instances per run: injected binlog damage mutates the
+    // source databases, so runs must not share them. Same sim seeds ⇒
+    // identical starting data.
+    let x = satellite("x", "res-x", 7);
+    let y = satellite("y", "res-y", 8);
+    let z = satellite("z", "res-z", 9);
+
+    let mut fed = Federation::new(FederationHub::new("hub"));
+    fed.join_tight(&x, FederationConfig::default()).unwrap();
+    fed.join_tight(&y, FederationConfig::default()).unwrap();
+    fed.join_tight(&z, FederationConfig::default()).unwrap();
+
+    let plan = FaultPlan::new()
+        // x: a budgeted burst of transient faults on every other
+        // transport op — each is absorbed by the tick's fast retries.
+        .with(
+            FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 2)
+                .for_target("x")
+                .with_budget(3),
+        )
+        // y: a crash corrupts the newest binlog frame mid-replication;
+        // the link repairs the tail, then resyncs from the tables.
+        .with(
+            FaultSpec::at_ops(FaultPoint::Transport, FaultKind::CorruptTailByte, &[2])
+                .for_target("y"),
+        )
+        // z: the link drops on its first op and never comes back.
+        .with(
+            FaultSpec::at_ops(FaultPoint::Transport, FaultKind::LinkDown, &[1]).for_target("z"),
+        );
+    let injector = plan.injector(seed);
+    fed.inject_chaos(&injector);
+
+    let policy = SupervisorPolicy::default()
+        .with_max_failures(2)
+        .with_retry(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(4),
+            deadline: None,
+        });
+    for _ in 0..4 {
+        fed.supervise(&policy);
+    }
+
+    // The two survivors converged to checksum consistency; the dead
+    // link was quarantined, not retried forever.
+    assert!(fed.verify_member(&x).unwrap(), "x converged");
+    assert!(fed.verify_member(&y).unwrap(), "y converged");
+    assert_eq!(fed.quarantined_members(), vec!["z"]);
+
+    // health() and the degraded-mode ops report say exactly that.
+    let health: Vec<(String, MemberHealth)> = fed.health();
+    assert_eq!(health.len(), 3);
+    assert_eq!(health[0], ("x".to_owned(), MemberHealth::Live));
+    assert_eq!(health[1], ("y".to_owned(), MemberHealth::Live));
+    assert_eq!(health[2], ("z".to_owned(), MemberHealth::Quarantined));
+    let report = fed.ops_report().unwrap().render();
+    assert!(report.contains("Satellite health"), "report: {report}");
+    assert!(report.contains("x: live"), "report: {report}");
+    assert!(report.contains("y: live"), "report: {report}");
+    assert!(report.contains("z: quarantined"), "report: {report}");
+
+    // The quarantine decision reached the dashboard's counters too.
+    assert_eq!(
+        fed.hub()
+            .telemetry()
+            .snapshot()
+            .counter("federation_quarantines_total", &[("link", "z")]),
+        Some(1)
+    );
+
+    let hub_db = fed.hub().database();
+    let hub = hub_db.read();
+    let checksums = ["x", "y"]
+        .iter()
+        .map(|name| {
+            let schema = FederationHub::schema_for(name);
+            let sum = hub.table(&schema, "jobfact").unwrap().content_checksum();
+            (schema, sum)
+        })
+        .collect();
+    (injector.schedule_text(), checksums)
+}
+
+#[test]
+fn seeded_chaos_run_converges_and_is_deterministic() {
+    let seed = seed();
+    let (schedule_a, sums_a) = run_scenario(seed);
+    let (schedule_b, sums_b) = run_scenario(seed);
+    // Same seed ⇒ byte-identical fault schedule and identical
+    // post-recovery hub state.
+    assert_eq!(schedule_a, schedule_b, "fault schedule must be reproducible");
+    assert!(!schedule_a.is_empty(), "the plan must actually have fired");
+    assert_eq!(sums_a, sums_b, "post-recovery hub state must be reproducible");
+}
+
+#[test]
+fn transient_only_chaos_is_fully_absorbed_by_retries() {
+    // A plan with nothing but budgeted transients must leave no visible
+    // scar: no quarantine, no resync, every member live.
+    let x = satellite("x", "res-x", 11);
+    let mut fed = Federation::new(FederationHub::new("hub"));
+    fed.join_tight(&x, FederationConfig::default()).unwrap();
+    let plan = FaultPlan::new().with(
+        FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 2)
+            .for_target("x")
+            .with_budget(2),
+    );
+    let injector = plan.injector(seed());
+    fed.inject_chaos(&injector);
+
+    let policy = SupervisorPolicy::default().with_retry(RetryPolicy {
+        max_attempts: 2,
+        base_backoff: std::time::Duration::from_millis(1),
+        max_backoff: std::time::Duration::from_millis(4),
+        deadline: None,
+    });
+    for _ in 0..4 {
+        let tick = fed.supervise(&policy);
+        assert!(tick.all_healthy(), "tick report: {tick}");
+        assert!(!tick.members[0].resynced);
+    }
+    assert!(fed.quarantined_members().is_empty());
+    assert!(fed.verify_member(&x).unwrap());
+}

@@ -93,7 +93,7 @@ fn live_threaded_replication_matches_polled() {
     inst.ingest_sacct("res-x", &sim.sacct_log(2017, 2..=2)).unwrap();
     inst.ingest_sacct("res-x", &sim.sacct_log(2017, 3..=3)).unwrap();
 
-    let rep = live.stop();
+    let rep = live.stop().unwrap();
     assert!(rep.stats().events_applied > 0);
     let expected = inst.fact_rows(RealmKind::Jobs).unwrap();
     assert_eq!(hub.read().table("inst_x", "jobfact").unwrap().len(), expected);
