@@ -75,6 +75,19 @@ fn main() {
         println!("  {bin:<8} {avg:>10.1} core hours / VM");
     }
 
+    let agg = timed(&mut timings, "parallel_aggregation", || {
+        exp::parallel_aggregation(exp::SEED, 12, 4)
+    });
+    println!(
+        "  serial {:.3}s, parallel {:.3}s ({:.2}x), cached repeat {:.6}s, identical: {}",
+        agg.serial_seconds,
+        agg.parallel_seconds,
+        agg.serial_seconds / agg.parallel_seconds.max(1e-9),
+        agg.cached_seconds,
+        agg.identical
+    );
+    assert!(agg.identical, "parallel aggregation diverged from serial");
+
     let results = serde_json::json!({
         "seed": exp::SEED,
         "total_seconds": run_started.elapsed().as_secs_f64(),
@@ -82,6 +95,15 @@ fn main() {
             .iter()
             .map(|(name, secs)| serde_json::json!({"figure": name, "seconds": secs}))
             .collect::<Vec<_>>(),
+        "parallel_aggregation": {
+            "months": 12,
+            "workers": 4,
+            "serial_seconds": agg.serial_seconds,
+            "parallel_seconds": agg.parallel_seconds,
+            "cached_repeat_seconds": agg.cached_seconds,
+            "speedup": agg.serial_seconds / agg.parallel_seconds.max(1e-9),
+            "identical_output": agg.identical,
+        },
     });
     std::fs::create_dir_all(dir).expect("results dir");
     std::fs::write(

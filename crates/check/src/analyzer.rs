@@ -22,6 +22,7 @@ pub fn analyze(model: &FederationModel) -> Diagnostics {
     check_su_factors(model, &mut diags);
     check_excluded_resources(model, &mut diags);
     check_zero_retry_tight_links(model, &mut diags);
+    check_aggregation_pool(model, &mut diags);
     diags
 }
 
@@ -424,6 +425,39 @@ fn check_zero_retry_tight_links(model: &FederationModel, diags: &mut Diagnostics
     }
 }
 
+/// XC0011 — the aggregation pool configures more workers than shards.
+///
+/// Runtime symptom: the partitioned engine hands each worker whole
+/// day-bucket shards, so at most `shards` workers ever run; the surplus
+/// threads are spawned (and clamped idle) on every rebuild, paying
+/// thread start-up cost for zero extra throughput. The result is still
+/// correct — sharded merges are deterministic for any pool size — which
+/// is exactly why this misconfiguration survives unnoticed.
+fn check_aggregation_pool(model: &FederationModel, diags: &mut Diagnostics) {
+    let Some(pool) = &model.aggregation else {
+        return;
+    };
+    if let (Some(workers), Some(shards)) = (pool.workers, pool.shards) {
+        if workers > shards {
+            diags.push(
+                Diagnostic::new(
+                    Code::OversizedAggregationPool,
+                    Span::federation(),
+                    format!(
+                        "aggregation pool configures {workers} worker(s) over \
+                         {shards} shard(s); {} worker(s) can never claim a shard",
+                        workers - shards
+                    ),
+                )
+                .with_help(
+                    "lower workers to the shard count, or raise shards — \
+                     determinism is unaffected either way",
+                ),
+            );
+        }
+    }
+}
+
 fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
     sat.excluded_resources.iter().any(|r| r == resource)
 }
@@ -493,6 +527,7 @@ mod tests {
                 fact_table: "jobfact".into(),
                 columns: vec!["resource".into()],
             }],
+            aggregation: None,
         }
     }
 
@@ -553,6 +588,43 @@ mod tests {
         }
         let diags = analyze(&m);
         assert_eq!(diags.with_code(Code::GroupByFactTableUnreplicated).len(), 1);
+    }
+
+    #[test]
+    fn oversized_aggregation_pool_is_flagged() {
+        let mut m = clean_model();
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(16),
+            shards: Some(4),
+        });
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::OversizedAggregationPool);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("12 worker(s)"));
+        assert!(!diags.has_errors(), "XC0011 is a warning, not an error");
+    }
+
+    #[test]
+    fn matched_or_unspecified_aggregation_pool_is_clean() {
+        let mut m = clean_model();
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(4),
+            shards: Some(4),
+        });
+        assert!(analyze(&m).is_empty());
+        // A pool smaller than the shard count is fine: workers just make
+        // several passes over the shard list.
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(2),
+            shards: Some(8),
+        });
+        assert!(analyze(&m).is_empty());
+        // Half-specified pools are not reasoned about.
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(64),
+            shards: None,
+        });
+        assert!(analyze(&m).is_empty());
     }
 
     #[test]

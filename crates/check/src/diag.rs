@@ -57,11 +57,15 @@ pub enum Code {
     /// transient source hiccup per interval and the link never
     /// fast-recovers, inflating lag for no benefit.
     ZeroRetryTightLink,
+    /// The aggregation pool configures more workers than the fact tables
+    /// have day-bucket shards: the surplus workers can never claim a
+    /// shard and sit idle while still being spawned every rebuild.
+    OversizedAggregationPool,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 10] = [
+    pub const ALL: [Code; 11] = [
         Code::HubSchemaCollision,
         Code::SelfReplication,
         Code::DuplicateLinkId,
@@ -72,6 +76,7 @@ impl Code {
         Code::MissingSuFactor,
         Code::UnknownExcludedResource,
         Code::ZeroRetryTightLink,
+        Code::OversizedAggregationPool,
     ];
 
     /// The stable `XCnnnn` identifier.
@@ -87,6 +92,7 @@ impl Code {
             Code::MissingSuFactor => "XC0008",
             Code::UnknownExcludedResource => "XC0009",
             Code::ZeroRetryTightLink => "XC0010",
+            Code::OversizedAggregationPool => "XC0011",
         }
     }
 
@@ -102,7 +108,8 @@ impl Code {
             | Code::DanglingDimension => Severity::Error,
             Code::MissingSuFactor
             | Code::UnknownExcludedResource
-            | Code::ZeroRetryTightLink => Severity::Warning,
+            | Code::ZeroRetryTightLink
+            | Code::OversizedAggregationPool => Severity::Warning,
         }
     }
 
@@ -121,6 +128,7 @@ impl Code {
             Code::MissingSuFactor => "resource has no SU conversion factor",
             Code::UnknownExcludedResource => "excluded resource matches no job record",
             Code::ZeroRetryTightLink => "tight link configured with zero retries",
+            Code::OversizedAggregationPool => "aggregation pool has more workers than shards",
         }
     }
 }
@@ -376,6 +384,11 @@ mod tests {
         assert_eq!(Code::UnknownExcludedResource.ident(), "XC0009");
         assert_eq!(Code::ZeroRetryTightLink.ident(), "XC0010");
         assert_eq!(Code::ZeroRetryTightLink.default_severity(), Severity::Warning);
+        assert_eq!(Code::OversizedAggregationPool.ident(), "XC0011");
+        assert_eq!(
+            Code::OversizedAggregationPool.default_severity(),
+            Severity::Warning
+        );
     }
 
     #[test]

@@ -115,6 +115,19 @@ pub struct AggregateModel {
     pub measures: Vec<String>,
 }
 
+/// The hub's aggregation worker-pool sizing, when the producer knows it.
+///
+/// Mirrors `xdmod_warehouse::PoolConfig`: `workers` scoped threads fold
+/// day-bucket `shards` partitions. `None` fields mean "unspecified";
+/// the analyzer only reasons about values actually configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregationPoolModel {
+    /// Configured worker threads.
+    pub workers: Option<u64>,
+    /// Configured day-bucket shard count.
+    pub shards: Option<u64>,
+}
+
 /// One group-by query the hub's canned reports issue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupByModel {
@@ -137,6 +150,8 @@ pub struct FederationModel {
     pub aggregates: Vec<AggregateModel>,
     /// Hub group-by query surface.
     pub group_bys: Vec<GroupByModel>,
+    /// Aggregation pool sizing (`None` = unspecified).
+    pub aggregation: Option<AggregationPoolModel>,
 }
 
 /// Sanitize a name the way the workspace's schema conventions do:
@@ -242,11 +257,23 @@ impl FederationModel {
             }
         }
 
+        let aggregation = doc.get("aggregation").map(|entry| AggregationPoolModel {
+            workers: entry
+                .get("workers")
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64),
+            shards: entry
+                .get("shards")
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64),
+        });
+
         Ok(FederationModel {
             hub,
             satellites,
             aggregates,
             group_bys,
+            aggregation,
         })
     }
 
@@ -342,6 +369,7 @@ mod tests {
     fn minimal_config_fills_defaults() {
         let m = FederationModel::from_json(MINIMAL).unwrap();
         assert_eq!(m.hub, "hub");
+        assert_eq!(m.aggregation, None);
         let s = &m.satellites[0];
         assert_eq!(s.link.id, "site-a");
         assert_eq!(s.link.source_schema, "xdmod_site_a");
@@ -401,6 +429,33 @@ mod tests {
         assert!(t.column("cpu_hours").unwrap().nullable);
         assert_eq!(m.aggregates[0].measures, vec!["cpu_hours"]);
         assert_eq!(m.group_bys[0].columns, vec!["resource"]);
+    }
+
+    #[test]
+    fn aggregation_pool_parses_partial_fields() {
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [], "aggregation": {"workers": 16}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            m.aggregation,
+            Some(AggregationPoolModel {
+                workers: Some(16),
+                shards: None
+            })
+        );
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [],
+                "aggregation": {"workers": 16, "shards": 4}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            m.aggregation,
+            Some(AggregationPoolModel {
+                workers: Some(16),
+                shards: Some(4)
+            })
+        );
     }
 
     #[test]

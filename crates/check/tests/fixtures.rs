@@ -148,6 +148,21 @@ fn fixtures() -> Vec<Fixture> {
             )]),
             span_contains: "column:secert-cluster",
         },
+        // XC0010: a live link with fast-retry explicitly disabled.
+        Fixture {
+            code: Code::ZeroRetryTightLink,
+            config: config(&[satellite("a", r#", "mode": "tight", "retries": 0"#)]),
+            span_contains: "satellite:a",
+        },
+        // XC0011: more aggregation workers than day-bucket shards.
+        Fixture {
+            code: Code::OversizedAggregationPool,
+            config: config(&[satellite("a", "")]).replace(
+                r#""hub": "hub","#,
+                r#""hub": "hub", "aggregation": {"workers": 16, "shards": 4},"#,
+            ),
+            span_contains: "federation",
+        },
     ]
 }
 

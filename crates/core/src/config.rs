@@ -44,6 +44,24 @@ fn default_realms() -> Vec<RealmKind> {
     vec![RealmKind::Jobs]
 }
 
+/// Hub-side aggregation pool sizing:
+/// `"hub_aggregation": {"workers": 4, "shards": 8}`.
+///
+/// Absent fields fall back to the warehouse defaults (workers from
+/// `available_parallelism`, shards matching workers). A pool sized wider
+/// than its shard count is legal but wasteful — the pre-flight analyzer
+/// flags it as XC0011.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct HubAggregationEntry {
+    /// Worker threads for partitioned parallel aggregation
+    /// (absent = one per available core).
+    #[serde(default)]
+    pub workers: Option<u64>,
+    /// Day-bucket shard count (absent = match workers).
+    #[serde(default)]
+    pub shards: Option<u64>,
+}
+
 /// The federation configuration file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FederationFile {
@@ -52,6 +70,9 @@ pub struct FederationFile {
     /// The hub's own aggregation levels (Table I, "Federation Hub").
     #[serde(default)]
     pub hub_levels: AggregationLevelsConfig,
+    /// Hub aggregation pool sizing (absent = warehouse defaults).
+    #[serde(default)]
+    pub hub_aggregation: Option<HubAggregationEntry>,
     /// Member entries.
     pub members: Vec<MemberEntry>,
 }
@@ -76,6 +97,16 @@ impl FederationFile {
     ) -> Result<Federation, FederationError> {
         let mut hub = FederationHub::new(&self.hub);
         hub.set_levels(self.hub_levels.clone());
+        if let Some(agg) = &self.hub_aggregation {
+            let mut pool = match agg.workers {
+                Some(w) => xdmod_warehouse::PoolConfig::new(w as usize),
+                None => xdmod_warehouse::PoolConfig::auto(),
+            };
+            if let Some(s) = agg.shards {
+                pool = pool.with_shards(s as usize);
+            }
+            hub.set_parallelism(pool);
+        }
         let mut fed = Federation::new(hub);
         for entry in &self.members {
             let inst = instances.get(&entry.name).ok_or_else(|| {
@@ -111,6 +142,10 @@ mod tests {
         FederationFile {
             hub: "federation-hub".into(),
             hub_levels: levels,
+            hub_aggregation: Some(HubAggregationEntry {
+                workers: Some(2),
+                shards: Some(4),
+            }),
             members: vec![
                 MemberEntry {
                     name: "x".into(),
@@ -150,6 +185,7 @@ mod tests {
         assert!(cfg.members[0].excluded_resources.is_empty());
         assert_eq!(cfg.members[0].retries, None);
         assert!(cfg.hub_levels.dimensions.is_empty());
+        assert_eq!(cfg.hub_aggregation, None);
     }
 
     #[test]
@@ -167,6 +203,9 @@ mod tests {
         );
         assert_eq!(fed.hub().name(), "federation-hub");
         assert!(fed.hub().levels().get("wall_hours").is_some());
+        let pool = fed.hub().parallelism();
+        assert_eq!(pool.configured_workers(), 2);
+        assert_eq!(pool.configured_shards(), 4);
     }
 
     #[test]

@@ -541,11 +541,20 @@ impl Federation {
             });
         }
 
+        // Project the hub warehouse's *effective* pool sizing: with
+        // defaults, workers == shards, so untouched configs stay clean.
+        let pool = self.hub.parallelism();
+        let aggregation = Some(xdmod_check::AggregationPoolModel {
+            workers: Some(pool.workers() as u64),
+            shards: Some(pool.shards() as u64),
+        });
+
         xdmod_check::FederationModel {
             hub: self.hub.name().to_owned(),
             satellites,
             aggregates,
             group_bys,
+            aggregation,
         }
     }
 

@@ -12,14 +12,27 @@
 
 use crate::instance::XdmodInstance;
 use crate::version::XdmodVersion;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use xdmod_auth::{AuthMode, IdentityMap, InstanceAuth};
 use xdmod_realms::levels::AggregationLevelsConfig;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
 use xdmod_telemetry::MetricsRegistry;
 use xdmod_warehouse::{
-    shared, Database, Query, Result, ResultSet, SharedDatabase, Table, WarehouseError,
+    shared, AggregationOutputs, Database, LogPosition, PoolConfig, Query, Result, ResultSet,
+    SharedDatabase, Table, WarehouseError,
 };
+
+/// A memoized federated-query result. Valid only while every satellite's
+/// fact-table watermark and the hub's rebuild generation are unchanged;
+/// any ingest, resync, or restore shifts the vector and forces a
+/// recompute.
+struct FedCacheEntry {
+    watermarks: Vec<Option<LogPosition>>,
+    generation: u64,
+    result: ResultSet,
+}
 
 /// The central federation hub.
 pub struct FederationHub {
@@ -31,6 +44,7 @@ pub struct FederationHub {
     identity: IdentityMap,
     auth: InstanceAuth,
     telemetry: MetricsRegistry,
+    fed_cache: Mutex<HashMap<(String, u64), FedCacheEntry>>,
 }
 
 impl FederationHub {
@@ -62,6 +76,7 @@ impl FederationHub {
             // (§II-D3).
             auth: InstanceAuth::new(name, AuthMode::ServiceProvider, true),
             telemetry,
+            fed_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -110,6 +125,19 @@ impl FederationHub {
         self.levels = levels;
     }
 
+    /// Configure the worker pool the hub's warehouse uses for partitioned
+    /// parallel aggregation (see [`xdmod_warehouse::PoolConfig`]).
+    /// Determinism does not depend on this: any pool produces the same
+    /// bytes, only the wall-clock changes.
+    pub fn set_parallelism(&mut self, pool: PoolConfig) {
+        self.db.write().set_parallelism(pool);
+    }
+
+    /// The hub warehouse's current aggregation pool configuration.
+    pub fn parallelism(&self) -> PoolConfig {
+        self.db.read().parallelism()
+    }
+
     /// Record a satellite as a member (called by the federation when a
     /// link is established).
     pub fn register_satellite(&mut self, name: &str) {
@@ -151,6 +179,15 @@ impl FederationHub {
     /// levels. Raw replicated rows are left untouched ("no data are lost
     /// or changed"); only `{fact}_by_{period}` tables are written into
     /// each satellite schema on the hub.
+    ///
+    /// Runs in two phases on the partitioned parallel engine: every
+    /// satellite's rebuild is *planned* concurrently under a single read
+    /// lock (one scoped worker per satellite, each folding its fact
+    /// shards on the warehouse pool), then the planned outputs are
+    /// *applied* under one write lock in stable satellite × spec order —
+    /// so the result is byte-identical to a serial rebuild for any pool
+    /// size. Satellites with no ingest since the last rebuild are
+    /// answered from the aggregate cache without re-reading their rows.
     pub fn aggregate_all(&self) -> Result<()> {
         let specs = [
             jobs::aggregation_spec(&self.levels),
@@ -158,18 +195,57 @@ impl FederationHub {
             storage::aggregation_spec(),
             cloud_realm::aggregation_spec(&self.levels),
         ];
+        // Phase 1: plan concurrently. Nothing is written, so readers
+        // (charts, federated queries) stay unblocked during the fold.
+        let db = self.db.read();
+        let schemas: Vec<String> = self
+            .satellites
+            .iter()
+            .map(|s| Self::schema_for(s))
+            // Link established but nothing replicated yet: skip.
+            .filter(|schema| db.has_schema(schema))
+            .collect();
+        let planned: Vec<Result<Vec<(usize, AggregationOutputs)>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = schemas
+                    .iter()
+                    .map(|schema| {
+                        let db = &db;
+                        let specs = &specs;
+                        scope.spawn(move || -> Result<Vec<(usize, AggregationOutputs)>> {
+                            let mut outs = Vec::new();
+                            for (i, spec) in specs.iter().enumerate() {
+                                // A replication filter may have excluded a
+                                // realm's fact table entirely (e.g.
+                                // SUPReMM); skip those.
+                                if db.table(schema, &spec.fact_table).is_ok() {
+                                    outs.push((i, spec.plan_parallel(db, schema)?));
+                                }
+                            }
+                            Ok(outs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(WarehouseError::Io(
+                                "satellite aggregation planner panicked".to_owned(),
+                            ))
+                        })
+                    })
+                    .collect()
+            });
+        drop(db);
+        // Phase 2: install under one write lock, in stable order. A
+        // ticket gone stale between the phases (concurrent ingest or
+        // resync) recomputes under the lock instead of installing the
+        // stale view.
         let mut db = self.db.write();
-        for sat in &self.satellites {
-            let schema = Self::schema_for(sat);
-            if !db.has_schema(&schema) {
-                continue; // link established but nothing replicated yet
-            }
-            for spec in &specs {
-                // A replication filter may have excluded a realm's fact
-                // table entirely (e.g. SUPReMM); skip those.
-                if db.table(&schema, &spec.fact_table).is_ok() {
-                    spec.materialize(&mut db, &schema)?;
-                }
+        for (schema, outs) in schemas.iter().zip(planned) {
+            for (i, outputs) in outs? {
+                specs[i].apply_outputs(&mut db, schema, outputs)?;
             }
         }
         Ok(())
@@ -181,7 +257,10 @@ impl FederationHub {
 
     /// Run a query against one satellite's replicated fact table.
     ///
-    /// Timed as `hub_satellite_query_seconds{satellite=..}`.
+    /// Timed as `hub_satellite_query_seconds{satellite=..}` and served
+    /// through the warehouse's watermark-keyed aggregate cache: a repeat
+    /// with no intervening ingest is an O(1) lookup, counted under
+    /// `warehouse_aggcache_hits_total`.
     pub fn query_instance(
         &self,
         satellite: &str,
@@ -192,11 +271,11 @@ impl FederationHub {
             .telemetry
             .span("hub_satellite_query_seconds", &[("satellite", satellite)]);
         let db = self.db.read();
-        let table = db.table(
+        let out = db.query_cached(
             &Self::schema_for(satellite),
             XdmodInstance::fact_table(realm),
-        )?;
-        let out = query.run(table);
+            query,
+        );
         span.finish();
         out
     }
@@ -208,12 +287,50 @@ impl FederationHub {
     /// Timed end-to-end as `hub_federated_query_seconds`; the per-satellite
     /// fan-out inside the union is broken out under
     /// `hub_satellite_query_seconds{satellite=..}`.
+    ///
+    /// Results are memoized against the vector of per-satellite fact
+    /// watermarks plus the hub's rebuild generation: a repeat with no new
+    /// replication traffic skips the union entirely (counted under
+    /// `hub_query_cache_hits_total` / `hub_query_cache_misses_total`).
     pub fn federated_query(&self, realm: RealmKind, query: &Query) -> Result<ResultSet> {
         let span = self.telemetry.span("hub_federated_query_seconds", &[]);
-        let union = self.union_fact_table(realm)?;
-        let out = query.run(&union);
+        let fact = XdmodInstance::fact_table(realm);
+        let key = (fact.to_owned(), query.fingerprint());
+        let (watermarks, generation) = {
+            let db = self.db.read();
+            let marks = self
+                .satellites
+                .iter()
+                .map(|s| db.table_watermark(&Self::schema_for(s), fact))
+                .collect::<Vec<_>>();
+            (marks, db.rebuild_generation())
+        };
+        if let Some(entry) = self.fed_cache.lock().get(&key) {
+            if entry.watermarks == watermarks && entry.generation == generation {
+                self.telemetry
+                    .counter("hub_query_cache_hits_total", &[])
+                    .inc();
+                span.finish();
+                return Ok(entry.result.clone());
+            }
+        }
+        self.telemetry
+            .counter("hub_query_cache_misses_total", &[])
+            .inc();
+        let out = self
+            .union_fact_table(realm)
+            .and_then(|union| query.run(&union));
         span.finish();
-        out
+        let out = out?;
+        self.fed_cache.lock().insert(
+            key,
+            FedCacheEntry {
+                watermarks,
+                generation,
+                result: out.clone(),
+            },
+        );
+        Ok(out)
     }
 
     /// Materialize the union of a realm's fact rows across satellites.
@@ -639,6 +756,124 @@ mod tests {
         let db = hub.database();
         let db = db.read();
         assert_eq!(db.table("xdmod_meta", "ops_lag_samples").unwrap().len(), 1);
+    }
+
+    /// Stage two satellites with full Jobs-realm fact tables so
+    /// `aggregate_all` has something period-shaped to chew on. Values are
+    /// dyadic rationals so float folds are exact in any order.
+    fn staged_jobs_hub(pool: xdmod_warehouse::PoolConfig) -> FederationHub {
+        let mut hub = FederationHub::new("h");
+        hub.set_parallelism(pool);
+        hub.register_satellite("x");
+        hub.register_satellite("y");
+        let db = hub.database();
+        let mut db = db.write();
+        let base = xdmod_warehouse::CivilDate::new(2017, 1, 1).to_epoch();
+        for sat in ["x", "y"] {
+            let schema = FederationHub::schema_for(sat);
+            db.create_schema(&schema).unwrap();
+            db.create_table(&schema, xdmod_realms::jobs::fact_schema())
+                .unwrap();
+            let rows: Vec<_> = (0..32i64)
+                .map(|i| {
+                    let t = base + i * 86_400;
+                    vec![
+                        Value::Int(i),
+                        Value::Str(format!("res-{}", i % 3)),
+                        Value::Str("u".into()),
+                        Value::Str("pi".into()),
+                        Value::Str(format!("q{}", i % 2)),
+                        Value::Int(1 + i % 4),
+                        Value::Int(8),
+                        Value::Time(t),
+                        Value::Time(t),
+                        Value::Time(t + 3_600),
+                        Value::Float(i as f64 / 64.0),
+                        Value::Float(0.0),
+                        Value::Float(i as f64 / 32.0),
+                        Value::Float(i as f64 / 16.0),
+                        Value::Str("0".into()),
+                        Value::Null,
+                    ]
+                })
+                .collect();
+            db.insert(&schema, "jobfact", rows).unwrap();
+        }
+        drop(db);
+        hub
+    }
+
+    #[test]
+    fn parallel_aggregate_all_matches_serial_and_caches() {
+        let parallel = staged_jobs_hub(xdmod_warehouse::PoolConfig::new(4).with_shards(8));
+        let serial = staged_jobs_hub(xdmod_warehouse::PoolConfig::serial());
+        parallel.aggregate_all().unwrap();
+        serial.aggregate_all().unwrap();
+
+        let spec = jobs::aggregation_spec(parallel.levels());
+        for sat in ["x", "y"] {
+            let schema = FederationHub::schema_for(sat);
+            for &period in &spec.periods {
+                let name = spec.table_name(period);
+                let pdb = parallel.database();
+                let sdb = serial.database();
+                let (pdb, sdb) = (pdb.read(), sdb.read());
+                assert_eq!(
+                    pdb.table(&schema, &name).unwrap().content_checksum(),
+                    sdb.table(&schema, &name).unwrap().content_checksum(),
+                    "{schema}.{name} must be byte-identical across pool sizes"
+                );
+            }
+        }
+
+        // No new ingest: the repeat rebuild is answered from the cache.
+        parallel.aggregate_all().unwrap();
+        let snap = parallel.telemetry().snapshot();
+        assert!(snap.counter_total("warehouse_aggcache_hits_total") > 0);
+    }
+
+    #[test]
+    fn federated_query_cache_invalidates_on_ingest() {
+        let hub = hub_with_two_satellites();
+        let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+        for _ in 0..2 {
+            let rs = hub.federated_query(RealmKind::Jobs, &q).unwrap();
+            assert_eq!(rs.scalar_f64("total"), Some(30.0));
+        }
+        let snap = hub.telemetry().snapshot();
+        assert_eq!(snap.counter_total("hub_query_cache_hits_total"), 1);
+        assert_eq!(snap.counter_total("hub_query_cache_misses_total"), 1);
+
+        // New replicated rows move satellite x's watermark: recompute.
+        {
+            let db = hub.database();
+            let mut db = db.write();
+            db.insert(
+                &FederationHub::schema_for("x"),
+                "jobfact",
+                vec![vec![Value::Str("res-x".into()), Value::Float(5.0)]],
+            )
+            .unwrap();
+        }
+        let rs = hub.federated_query(RealmKind::Jobs, &q).unwrap();
+        assert_eq!(rs.scalar_f64("total"), Some(35.0));
+        let snap = hub.telemetry().snapshot();
+        assert_eq!(snap.counter_total("hub_query_cache_hits_total"), 1);
+        assert_eq!(snap.counter_total("hub_query_cache_misses_total"), 2);
+    }
+
+    #[test]
+    fn query_instance_serves_repeats_from_the_aggregate_cache() {
+        let hub = hub_with_two_satellites();
+        let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+        hub.query_instance("x", RealmKind::Jobs, &q).unwrap();
+        let rs = hub.query_instance("x", RealmKind::Jobs, &q).unwrap();
+        assert_eq!(rs.scalar_f64("total"), Some(10.0));
+        let snap = hub.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("warehouse_aggcache_hits_total", &[("table", "jobfact")]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -267,10 +267,14 @@ impl XdmodInstance {
 
     /// Run a query against one realm's fact table, timed under
     /// `warehouse_query_seconds{table=..}` when telemetry is attached.
+    ///
+    /// Served through the warehouse's partitioned parallel engine and its
+    /// watermark-keyed aggregate cache, so chart/explorer repeats with no
+    /// intervening ingest cost an O(1) lookup.
     pub fn query(&self, realm: RealmKind, query: &Query) -> Result<ResultSet> {
         self.db
             .read()
-            .query(&self.schema_name(), Self::fact_table(realm), query)
+            .query_cached(&self.schema_name(), Self::fact_table(realm), query)
     }
 
     /// Rebuild this instance's database from a federation-hub dump — the

@@ -456,6 +456,12 @@ impl Replicator {
                 }
                 report.tables += 1;
             }
+            // Take the rebuild guard: a parallel aggregation that planned
+            // its outputs before this resync must not apply them over the
+            // rewritten facts. Bumping the generation voids every
+            // outstanding RebuildTicket and cached aggregate, forcing the
+            // apply phase to recompute under its write lock.
+            dst.note_external_rebuild();
         }
         // The target now mirrors the source's present state; polling
         // resumes from the head so nothing just copied is replayed.

@@ -9,7 +9,8 @@ use xdmod_replication::{
     LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, Replicator,
 };
 use xdmod_warehouse::{
-    shared, ColumnType, Database, LogPosition, SchemaBuilder, SharedDatabase, Value,
+    shared, AggFn, Aggregate, AggregationSpec, CivilDate, ColumnType, Database, DimSpec,
+    LogPosition, Period, SchemaBuilder, SharedDatabase, Value,
 };
 
 fn satellite(n_rows: usize) -> SharedDatabase {
@@ -178,6 +179,104 @@ fn live_replicator_surfaces_worker_errors() {
     let err = live.last_error().expect("worker error surfaced");
     assert!(err.to_string().contains("different definition"), "actual: {err}");
     let _ = live.stop();
+}
+
+#[test]
+fn resync_takes_the_rebuild_guard_against_parallel_aggregation() {
+    // The race this guards: the hub's parallel rebuild plans aggregate
+    // outputs under a read lock, and a resync rewrites the same schema's
+    // fact tables before the outputs are applied. `resync_target` bumps
+    // the target's rebuild generation inside its write lock, so the
+    // apply phase sees a stale RebuildTicket and recomputes from the
+    // resynced facts instead of installing the pre-resync view.
+    let jan = |day: i64| CivilDate::new(2017, 1, 1).to_epoch() + (day - 1) * 86_400;
+    let src = shared({
+        let mut db = Database::new();
+        db.create_schema("xdmod_x").unwrap();
+        db.create_table(
+            "xdmod_x",
+            SchemaBuilder::new("jobfact")
+                .required("resource", ColumnType::Str)
+                .required("cpu_hours", ColumnType::Float)
+                .required("end_time", ColumnType::Time)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..4i64 {
+            db.insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![
+                    Value::Str("r".into()),
+                    Value::Float(i as f64),
+                    Value::Time(jan(i + 1)),
+                ]],
+            )
+            .unwrap();
+        }
+        db
+    });
+    let hub = shared(Database::new());
+    let mut rep = Replicator::new(
+        Arc::clone(&src),
+        Arc::clone(&hub),
+        LinkConfig::renaming("xdmod_x", "hub_x"),
+    );
+    rep.poll().unwrap();
+
+    let spec = AggregationSpec {
+        fact_table: "jobfact".into(),
+        time_column: "end_time".into(),
+        dims: vec![DimSpec::Column("resource".into())],
+        measures: vec![
+            Aggregate::count("jobs"),
+            Aggregate::of(AggFn::Sum, "cpu_hours", "total"),
+        ],
+        periods: vec![Period::Month],
+        table_prefix: None,
+    };
+
+    // Phase 1 of the hub's parallel rebuild: compute under a read lock.
+    let outputs = {
+        let db = hub.read();
+        spec.plan_parallel(&db, "hub_x").unwrap()
+    };
+
+    // The source gains a row and the link resyncs before phase 2 runs.
+    src.write()
+        .insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![
+                Value::Str("r".into()),
+                Value::Float(99.0),
+                Value::Time(jan(20)),
+            ]],
+        )
+        .unwrap();
+    rep.resync_target().unwrap();
+
+    // Phase 2: the guard fires and the aggregates are rebuilt from the
+    // resynced facts — installing `outputs` verbatim would freeze the
+    // totals at the pre-resync view.
+    {
+        let mut db = hub.write();
+        spec.apply_outputs(&mut db, "hub_x", outputs).unwrap();
+    }
+    let db = hub.read();
+    let agg = db.table("hub_x", "jobfact_by_month").unwrap();
+    let idx = agg.schema().column_index("total").unwrap();
+    let total: f64 = agg
+        .rows()
+        .iter()
+        .map(|r| r[idx].as_f64().unwrap())
+        .sum();
+    assert_eq!(total, 0.0 + 1.0 + 2.0 + 3.0 + 99.0);
+
+    // With no further ingest, the next rebuild is answered by the cache.
+    let again = spec.plan_parallel(&db, "hub_x").unwrap();
+    assert!(again.is_cached());
 }
 
 #[test]

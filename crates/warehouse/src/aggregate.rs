@@ -15,10 +15,11 @@
 use crate::bins::Bins;
 use crate::database::Database;
 use crate::error::{Result, WarehouseError};
-use crate::query::{AggFn, Aggregate, GroupKey, Query};
+use crate::parallel::{self, CacheKey, RebuildTicket};
+use crate::query::{AggFn, Aggregate, GroupKey, Query, ResultSet};
 use crate::schema::{ColumnDef, TableSchema};
 use crate::time::Period;
-use crate::value::{ColumnType, Value};
+use crate::value::{ColumnType, Row, Value};
 use serde::{Deserialize, Serialize};
 
 /// A dimension of an aggregation table.
@@ -132,6 +133,77 @@ impl AggregationSpec {
         TableSchema::new(&self.table_name(period), columns)
     }
 
+    /// The grouped query materializing one period's table: period bucket
+    /// first, then the configured dimensions and measures.
+    pub fn period_query(&self, period: Period) -> Query {
+        let mut query = Query::new().group(GroupKey::PeriodOf(self.time_column.clone(), period));
+        for d in &self.dims {
+            query = query.group(d.group_key());
+        }
+        for m in &self.measures {
+            query = query.aggregate(m.clone());
+        }
+        query
+    }
+
+    /// Transform query output (period bucket id first) into the
+    /// aggregate-table layout (id + start + dims + measures).
+    fn transform_rows(&self, period: Period, rs: ResultSet) -> Result<Vec<Row>> {
+        rs.rows
+            .into_iter()
+            .map(|row| {
+                let mut out = Vec::with_capacity(row.len() + 1);
+                let bucket = row[0].as_i64().ok_or_else(|| {
+                    WarehouseError::InvalidQuery(format!(
+                        "NULL {} encountered while aggregating {}",
+                        self.time_column, self.fact_table
+                    ))
+                })?;
+                out.push(Value::Int(bucket));
+                out.push(Value::Time(period.bucket_start(bucket)));
+                out.extend(row.into_iter().skip(1));
+                Ok(out)
+            })
+            .collect()
+    }
+
+    /// Write one period's rows: truncate the existing table (layout
+    /// permitting) or create it, then insert.
+    fn write_period_table(
+        &self,
+        db: &mut Database,
+        schema: &str,
+        out_schema: TableSchema,
+        rows: Vec<Row>,
+    ) -> Result<()> {
+        let table_name = out_schema.name.clone();
+        match db.table(schema, &table_name) {
+            Ok(existing) => {
+                if *existing.schema() != out_schema {
+                    return Err(WarehouseError::SchemaMismatch(format!(
+                        "aggregate table {schema}.{table_name} exists with a \
+                         different layout; drop it before re-aggregating"
+                    )));
+                }
+                db.truncate(schema, &table_name)?;
+            }
+            Err(_) => {
+                db.create_table(schema, out_schema)?;
+            }
+        }
+        db.insert(schema, &table_name, rows)?;
+        Ok(())
+    }
+
+    /// The cache key marking one period's materialized table current.
+    fn period_cache_key(&self, schema: &str, period: Period) -> CacheKey {
+        CacheKey {
+            schema: schema.to_owned(),
+            table: self.table_name(period),
+            fingerprint: self.period_query(period).fingerprint(),
+        }
+    }
+
     /// Build (or rebuild) every period's aggregate table for the fact
     /// table in `schema`. Existing aggregate tables are truncated and
     /// repopulated — this is both the daily aggregation run and the
@@ -143,62 +215,152 @@ impl AggregationSpec {
                 &[("table", &self.table_name(period))],
             );
             let fact = db.table(schema, &self.fact_table)?;
-            let fact_schema = fact.schema().clone();
-            let out_schema = self.output_schema(&fact_schema, period)?;
-
-            let mut query = Query::new().group(GroupKey::PeriodOf(
-                self.time_column.clone(),
-                period,
-            ));
-            for d in &self.dims {
-                query = query.group(d.group_key());
-            }
-            for m in &self.measures {
-                query = query.aggregate(m.clone());
-            }
-            let rs = query.run(fact)?;
-
-            // Transform query output (period bucket id first) into the
-            // aggregate-table layout (id + start + dims + measures).
-            let rows: Vec<Vec<Value>> = rs
-                .rows
-                .into_iter()
-                .map(|row| {
-                    let mut out = Vec::with_capacity(row.len() + 1);
-                    let bucket = row[0]
-                        .as_i64()
-                        .ok_or_else(|| {
-                            WarehouseError::InvalidQuery(format!(
-                                "NULL {} encountered while aggregating {}",
-                                self.time_column, self.fact_table
-                            ))
-                        })?;
-                    out.push(Value::Int(bucket));
-                    out.push(Value::Time(period.bucket_start(bucket)));
-                    out.extend(row.into_iter().skip(1));
-                    Ok(out)
-                })
-                .collect::<Result<_>>()?;
-
-            let table_name = out_schema.name.clone();
-            match db.table(schema, &table_name) {
-                Ok(existing) => {
-                    if *existing.schema() != out_schema {
-                        return Err(WarehouseError::SchemaMismatch(format!(
-                            "aggregate table {schema}.{table_name} exists with a \
-                             different layout; drop it before re-aggregating"
-                        )));
-                    }
-                    db.truncate(schema, &table_name)?;
-                }
-                Err(_) => {
-                    db.create_table(schema, out_schema)?;
-                }
-            }
-            db.insert(schema, &table_name, rows)?;
+            let out_schema = self.output_schema(&fact.schema().clone(), period)?;
+            let rs = self.period_query(period).run(fact)?;
+            let rows = self.transform_rows(period, rs)?;
+            self.write_period_table(db, schema, out_schema, rows)?;
             span.finish();
         }
         Ok(())
+    }
+
+    /// Compute phase of a split rebuild: aggregate the fact table with
+    /// the partitioned parallel engine into staged per-period outputs,
+    /// without writing anything. Runs under a shared borrow, so the hub
+    /// can compute every satellite's aggregates concurrently under one
+    /// read lock.
+    ///
+    /// When the cache marks every period table current at the fact
+    /// table's [`RebuildTicket`] the outputs come back empty and
+    /// [`AggregationSpec::apply_outputs`] is a no-op — a repeat
+    /// aggregation run after no new ingest costs O(1).
+    pub fn plan_parallel(&self, db: &Database, schema: &str) -> Result<AggregationOutputs> {
+        let ticket = db.rebuild_ticket(schema, &self.fact_table);
+        let telemetry = db.telemetry().clone();
+        if !self.periods.is_empty()
+            && self
+                .periods
+                .iter()
+                .all(|&p| db.aggregate_cache().is_fresh(&self.period_cache_key(schema, p), ticket))
+        {
+            if telemetry.is_enabled() {
+                for &period in &self.periods {
+                    telemetry
+                        .counter(
+                            "warehouse_aggcache_hits_total",
+                            &[("table", &self.table_name(period))],
+                        )
+                        .inc();
+                }
+            }
+            return Ok(AggregationOutputs {
+                ticket,
+                tables: Vec::new(),
+                cached: true,
+            });
+        }
+        let fact = db.table(schema, &self.fact_table)?;
+        let mut tables = Vec::with_capacity(self.periods.len());
+        for &period in &self.periods {
+            let table_name = self.table_name(period);
+            if telemetry.is_enabled() {
+                telemetry
+                    .counter("warehouse_aggcache_misses_total", &[("table", &table_name)])
+                    .inc();
+            }
+            let span = telemetry.span("warehouse_aggregation_seconds", &[("table", &table_name)]);
+            let out_schema = self.output_schema(fact.schema(), period)?;
+            let rs = parallel::run_sharded(
+                &self.period_query(period),
+                fact,
+                db.parallelism(),
+                &telemetry,
+                &table_name,
+            )?;
+            let rows = self.transform_rows(period, rs)?;
+            span.finish();
+            tables.push((out_schema, rows));
+        }
+        Ok(AggregationOutputs {
+            ticket,
+            tables,
+            cached: false,
+        })
+    }
+
+    /// Apply phase of a split rebuild, run under the exclusive borrow
+    /// (write lock). Revalidates the outputs' [`RebuildTicket`] first:
+    /// if the fact table was rewritten in between — ingest, or an
+    /// external rebuild such as [`Replicator::resync_target`] bumping the
+    /// rebuild generation — the stale outputs are discarded, the
+    /// conflict is counted (`warehouse_aggregation_rebuild_conflicts_total`),
+    /// and the aggregation is recomputed right here where nothing can
+    /// interleave. On success every period table is marked current so
+    /// the next [`AggregationSpec::plan_parallel`] is a cache hit.
+    ///
+    /// [`Replicator::resync_target`]: ../../xdmod_replication/struct.Replicator.html#method.resync_target
+    pub fn apply_outputs(
+        &self,
+        db: &mut Database,
+        schema: &str,
+        outputs: AggregationOutputs,
+    ) -> Result<()> {
+        if outputs.cached {
+            return Ok(());
+        }
+        let mut outputs = outputs;
+        if db.rebuild_ticket(schema, &self.fact_table) != outputs.ticket {
+            db.telemetry()
+                .counter(
+                    "warehouse_aggregation_rebuild_conflicts_total",
+                    &[("table", &self.fact_table)],
+                )
+                .inc();
+            outputs = self.plan_parallel(db, schema)?;
+            if outputs.cached {
+                return Ok(());
+            }
+        }
+        let ticket = outputs.ticket;
+        for (out_schema, rows) in outputs.tables {
+            self.write_period_table(db, schema, out_schema, rows)?;
+        }
+        for &period in &self.periods {
+            db.aggregate_cache()
+                .put(self.period_cache_key(schema, period), ticket, None);
+        }
+        Ok(())
+    }
+
+    /// [`AggregationSpec::plan_parallel`] + [`AggregationSpec::apply_outputs`]
+    /// in one call, for callers already holding exclusive access.
+    pub fn materialize_parallel(&self, db: &mut Database, schema: &str) -> Result<()> {
+        let outputs = self.plan_parallel(db, schema)?;
+        self.apply_outputs(db, schema, outputs)
+    }
+}
+
+/// Staged output of [`AggregationSpec::plan_parallel`]: per-period table
+/// schemas and rows, stamped with the fact table's data version at
+/// compute time. Opaque by design — the only consumer is
+/// [`AggregationSpec::apply_outputs`], which revalidates the stamp.
+#[derive(Debug)]
+pub struct AggregationOutputs {
+    ticket: RebuildTicket,
+    tables: Vec<(TableSchema, Vec<Row>)>,
+    cached: bool,
+}
+
+impl AggregationOutputs {
+    /// True when the cache already marked every period table current
+    /// (applying is a no-op).
+    pub fn is_cached(&self) -> bool {
+        self.cached
+    }
+
+    /// The fact-table data version these outputs were computed from.
+    pub fn ticket(&self) -> RebuildTicket {
+        self.ticket
     }
 }
 
@@ -396,6 +558,124 @@ mod tests {
                 .unwrap_or_else(|| panic!("no aggregation timing for {name}"));
             assert_eq!(h.count, 1);
         }
+    }
+
+    #[test]
+    fn materialize_parallel_matches_serial_byte_for_byte() {
+        let (mut db, spec) = setup();
+        spec.materialize(&mut db, "xdmod_a").unwrap();
+        let serial = db
+            .table("xdmod_a", "jobfact_by_month")
+            .unwrap()
+            .content_checksum();
+        let (mut db2, _) = setup();
+        db2.set_parallelism(crate::parallel::PoolConfig::new(4).with_shards(6));
+        spec.materialize_parallel(&mut db2, "xdmod_a").unwrap();
+        let parallel = db2
+            .table("xdmod_a", "jobfact_by_month")
+            .unwrap()
+            .content_checksum();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn repeat_parallel_materialization_is_a_cache_hit() {
+        let (mut db, spec) = setup();
+        let reg = xdmod_telemetry::MetricsRegistry::new();
+        db.set_telemetry(reg.clone());
+        spec.materialize_parallel(&mut db, "xdmod_a").unwrap();
+        let before = db
+            .table("xdmod_a", "jobfact_by_month")
+            .unwrap()
+            .content_checksum();
+
+        let outputs = spec.plan_parallel(&db, "xdmod_a").unwrap();
+        assert!(outputs.is_cached());
+        spec.apply_outputs(&mut db, "xdmod_a", outputs).unwrap();
+        assert_eq!(
+            db.table("xdmod_a", "jobfact_by_month")
+                .unwrap()
+                .content_checksum(),
+            before
+        );
+        let snap = reg.snapshot();
+        assert!(
+            snap.counter(
+                "warehouse_aggcache_hits_total",
+                &[("table", "jobfact_by_month")]
+            )
+            .unwrap()
+                > 0
+        );
+
+        // New ingest invalidates: the next plan recomputes.
+        db.insert(
+            "xdmod_a",
+            "jobfact",
+            vec![vec![
+                Value::Str("comet".into()),
+                Value::Float(1.0),
+                Value::Float(2.0),
+                Value::Time(CivilDate::new(2017, 4, 1).to_epoch()),
+            ]],
+        )
+        .unwrap();
+        let outputs = spec.plan_parallel(&db, "xdmod_a").unwrap();
+        assert!(!outputs.is_cached());
+    }
+
+    #[test]
+    fn stale_outputs_trigger_guarded_recompute_on_apply() {
+        let (mut db, spec) = setup();
+        let reg = xdmod_telemetry::MetricsRegistry::new();
+        db.set_telemetry(reg.clone());
+        let outputs = spec.plan_parallel(&db, "xdmod_a").unwrap();
+
+        // Facts change between compute and apply (the resync race).
+        db.insert(
+            "xdmod_a",
+            "jobfact",
+            vec![vec![
+                Value::Str("gordon".into()),
+                Value::Float(0.5),
+                Value::Float(64.0),
+                Value::Time(CivilDate::new(2017, 3, 15).to_epoch()),
+            ]],
+        )
+        .unwrap();
+        spec.apply_outputs(&mut db, "xdmod_a", outputs).unwrap();
+        assert_eq!(
+            reg.snapshot().counter(
+                "warehouse_aggregation_rebuild_conflicts_total",
+                &[("table", "jobfact")]
+            ),
+            Some(1)
+        );
+        // The applied aggregates include the late row, not the stale view.
+        let t = db.table("xdmod_a", "jobfact_by_month").unwrap();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn external_rebuild_generation_staleness_is_guarded_too() {
+        let (mut db, spec) = setup();
+        let reg = xdmod_telemetry::MetricsRegistry::new();
+        db.set_telemetry(reg.clone());
+        let outputs = spec.plan_parallel(&db, "xdmod_a").unwrap();
+        // A resync rewrote the schema wholesale without changing the
+        // watermark bookkeeping it bypasses: only the generation moves.
+        db.note_external_rebuild();
+        spec.apply_outputs(&mut db, "xdmod_a", outputs).unwrap();
+        assert_eq!(
+            reg.snapshot().counter(
+                "warehouse_aggregation_rebuild_conflicts_total",
+                &[("table", "jobfact")]
+            ),
+            Some(1)
+        );
+        // Content still ends up correct (recomputed from current facts).
+        let t = db.table("xdmod_a", "jobfact_by_month").unwrap();
+        assert_eq!(t.len(), 4);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition, TailRepair};
 use crate::error::{Result, WarehouseError};
+use crate::parallel::{self, AggregateCache, CacheKey, PoolConfig, RebuildTicket};
 use crate::query::{Query, ResultSet};
 use crate::schema::TableSchema;
 use crate::table::Table;
@@ -27,6 +28,20 @@ pub struct Database {
     /// Chaos fault injector plus the target label it is consulted under.
     /// `None` (the default) costs one branch per consultation point.
     chaos: Option<(FaultInjector, String)>,
+    /// Position of the last binlog record that mutated each table —
+    /// the per-table cache-invalidation watermark. Granular so aggregate
+    /// rebuilds (which write *other* tables) don't invalidate cached
+    /// results over untouched fact tables.
+    watermarks: BTreeMap<(String, String), LogPosition>,
+    /// Bumped by [`Database::note_external_rebuild`] when table contents
+    /// are rewritten outside normal DML accounting (replication resync,
+    /// restore). Part of every [`RebuildTicket`].
+    rebuild_generation: u64,
+    /// Worker/shard sizing for the partitioned aggregation engine.
+    pool: PoolConfig,
+    /// Invalidation-aware cache over [`Database::query_cached`] results
+    /// and materialized aggregates.
+    agg_cache: AggregateCache,
 }
 
 impl Database {
@@ -137,8 +152,11 @@ impl Database {
             schema: schema.to_owned(),
             def: def.clone(),
         };
-        tables.insert(def.name.clone(), Table::new(def));
-        Ok(self.log(&event))
+        let name = def.name.clone();
+        tables.insert(name.clone(), Table::new(def));
+        let pos = self.log(&event);
+        self.watermarks.insert((schema.to_owned(), name), pos);
+        Ok(pos)
     }
 
     /// Create a table if absent, verifying the definition matches when it
@@ -172,21 +190,27 @@ impl Database {
         }
         let t = self.table_mut(schema, table)?;
         let stored = t.insert_batch(rows)?;
-        Ok(self.log(&EventPayload::InsertBatch {
+        let pos = self.log(&EventPayload::InsertBatch {
             schema: schema.to_owned(),
             table: table.to_owned(),
             rows: stored,
-        }))
+        });
+        self.watermarks
+            .insert((schema.to_owned(), table.to_owned()), pos);
+        Ok(pos)
     }
 
     /// Delete all rows of a table (used when rebuilding aggregates).
     pub fn truncate(&mut self, schema: &str, table: &str) -> Result<LogPosition> {
         let t = self.table_mut(schema, table)?;
         t.truncate();
-        Ok(self.log(&EventPayload::Truncate {
+        let pos = self.log(&EventPayload::Truncate {
             schema: schema.to_owned(),
             table: table.to_owned(),
-        }))
+        });
+        self.watermarks
+            .insert((schema.to_owned(), table.to_owned()), pos);
+        Ok(pos)
     }
 
     /// Apply a replicated event to this database.
@@ -294,6 +318,103 @@ impl Database {
         result
     }
 
+    /// Run a query through the partitioned parallel engine (see
+    /// [`crate::parallel::run_sharded`]): day-bucket shards folded on a
+    /// scoped worker pool sized by [`Database::set_parallelism`], merged
+    /// in stable shard order. Deterministic for any pool size, and
+    /// instrumented like [`Database::query`] plus per-shard timings.
+    pub fn query_sharded(&self, schema: &str, table: &str, query: &Query) -> Result<ResultSet> {
+        let t = self.table(schema, table)?;
+        let span = self
+            .telemetry
+            .span("warehouse_query_seconds", &[("table", table)]);
+        let result = parallel::run_sharded(query, t, self.pool, &self.telemetry, table);
+        span.finish();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_query_rows_scanned_total", &[("table", table)])
+                .add(t.len() as u64);
+        }
+        result
+    }
+
+    /// [`Database::query_sharded`] behind the aggregate cache: a result
+    /// computed at the table's current [`RebuildTicket`] is replayed
+    /// verbatim until the table is mutated (or an external rebuild bumps
+    /// the generation), making repeat report/chart queries after no new
+    /// ingest O(1). Counts `warehouse_aggcache_{hits,misses}_total`.
+    pub fn query_cached(&self, schema: &str, table: &str, query: &Query) -> Result<ResultSet> {
+        let key = CacheKey {
+            schema: schema.to_owned(),
+            table: table.to_owned(),
+            fingerprint: query.fingerprint(),
+        };
+        let ticket = self.rebuild_ticket(schema, table);
+        if let Some(hit) = self.agg_cache.get(&key, ticket) {
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter("warehouse_aggcache_hits_total", &[("table", table)])
+                    .inc();
+            }
+            return Ok(hit);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_aggcache_misses_total", &[("table", table)])
+                .inc();
+        }
+        let result = self.query_sharded(schema, table, query)?;
+        self.agg_cache.put(key, ticket, Some(result.clone()));
+        Ok(result)
+    }
+
+    /// Configure the aggregation worker pool / shard partition.
+    pub fn set_parallelism(&mut self, pool: PoolConfig) {
+        self.pool = pool;
+    }
+
+    /// Current aggregation pool configuration.
+    pub fn parallelism(&self) -> PoolConfig {
+        self.pool
+    }
+
+    /// Position of the last binlog record that mutated this table, or
+    /// `None` if it was never touched (or predates this epoch).
+    pub fn table_watermark(&self, schema: &str, table: &str) -> Option<LogPosition> {
+        self.watermarks
+            .get(&(schema.to_owned(), table.to_owned()))
+            .copied()
+    }
+
+    /// Current rebuild generation (see [`Database::note_external_rebuild`]).
+    pub fn rebuild_generation(&self) -> u64 {
+        self.rebuild_generation
+    }
+
+    /// Record that table contents were rewritten by an external actor
+    /// (replication resync, restore): bumps the rebuild generation so
+    /// every outstanding [`RebuildTicket`] and cache entry goes stale.
+    /// Returns the new generation.
+    pub fn note_external_rebuild(&mut self) -> u64 {
+        self.rebuild_generation += 1;
+        self.agg_cache.clear();
+        self.rebuild_generation
+    }
+
+    /// Ticket capturing a table's current data version; validates cache
+    /// entries and split compute/apply aggregate rebuilds.
+    pub fn rebuild_ticket(&self, schema: &str, table: &str) -> RebuildTicket {
+        RebuildTicket {
+            watermark: self.table_watermark(schema, table),
+            generation: self.rebuild_generation,
+        }
+    }
+
+    /// The aggregate cache (for direct marking by the materializer).
+    pub fn aggregate_cache(&self) -> &AggregateCache {
+        &self.agg_cache
+    }
+
     fn table_mut(&mut self, schema: &str, table: &str) -> Result<&mut Table> {
         self.schemas
             .get_mut(schema)
@@ -381,6 +502,10 @@ impl Database {
     pub fn reset_for_restore(&mut self) {
         self.schemas.clear();
         self.binlog.rotate_epoch();
+        // Every cached result and in-flight rebuild ticket is now void.
+        self.watermarks.clear();
+        self.rebuild_generation += 1;
+        self.agg_cache.clear();
     }
 }
 
@@ -598,6 +723,103 @@ mod tests {
                 &[("table", "jobfact")]
             ),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn query_cached_hits_until_table_mutates() {
+        use crate::query::{AggFn, Aggregate, Query};
+        use xdmod_telemetry::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        let mut db = populated();
+        db.set_telemetry(reg.clone());
+        let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+
+        let first = db.query_cached("xdmod_x", "jobfact", &q).unwrap();
+        let second = db.query_cached("xdmod_x", "jobfact", &q).unwrap();
+        assert_eq!(first, second);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("warehouse_aggcache_hits_total", &[("table", "jobfact")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("warehouse_aggcache_misses_total", &[("table", "jobfact")]),
+            Some(1)
+        );
+
+        // Ingest moves the watermark: next call recomputes.
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("comet".into()), Value::Float(4.0)]],
+        )
+        .unwrap();
+        let third = db.query_cached("xdmod_x", "jobfact", &q).unwrap();
+        assert_eq!(third.scalar_f64("total"), Some(7.0));
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("warehouse_aggcache_misses_total", &[("table", "jobfact")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn cached_queries_survive_unrelated_table_writes() {
+        use crate::query::Query;
+        let mut db = populated();
+        db.create_table(
+            "xdmod_x",
+            SchemaBuilder::new("storagefact")
+                .required("filesystem", ColumnType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let q = Query::new().aggregate(crate::query::Aggregate::count("jobs"));
+        let ticket = db.rebuild_ticket("xdmod_x", "jobfact");
+        db.query_cached("xdmod_x", "jobfact", &q).unwrap();
+        // Writing a *different* table leaves the jobfact ticket intact.
+        db.insert(
+            "xdmod_x",
+            "storagefact",
+            vec![vec![Value::Str("/scratch".into())]],
+        )
+        .unwrap();
+        assert_eq!(db.rebuild_ticket("xdmod_x", "jobfact"), ticket);
+        assert!(db.aggregate_cache().is_fresh(
+            &crate::parallel::CacheKey {
+                schema: "xdmod_x".into(),
+                table: "jobfact".into(),
+                fingerprint: q.fingerprint(),
+            },
+            ticket
+        ));
+    }
+
+    #[test]
+    fn note_external_rebuild_stales_every_ticket() {
+        let mut db = populated();
+        let ticket = db.rebuild_ticket("xdmod_x", "jobfact");
+        let generation = db.note_external_rebuild();
+        assert_eq!(generation, 1);
+        assert_ne!(db.rebuild_ticket("xdmod_x", "jobfact"), ticket);
+        assert!(db.aggregate_cache().is_empty());
+    }
+
+    #[test]
+    fn sharded_query_matches_rayon_query_path() {
+        use crate::parallel::PoolConfig;
+        use crate::query::{AggFn, Aggregate, Query};
+        let mut db = populated();
+        db.set_parallelism(PoolConfig::new(4).with_shards(8));
+        let q = Query::new()
+            .group_by_column("resource")
+            .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+        assert_eq!(
+            db.query_sharded("xdmod_x", "jobfact", &q).unwrap(),
+            db.query("xdmod_x", "jobfact", &q).unwrap()
         );
     }
 

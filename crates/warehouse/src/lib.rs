@@ -16,6 +16,10 @@
 //!   ([`bins::Bins`]) — XDMoD's "aggregation levels".
 //! - A **group-by/filter query engine** ([`query::Query`]) with
 //!   rayon-parallel execution, powering every chart and report.
+//! - A **partitioned parallel aggregation engine** ([`parallel`]):
+//!   day-bucket shards folded on a scoped worker pool, merged in stable
+//!   shard order (deterministic for any pool size), fronted by an
+//!   invalidation-aware aggregate cache keyed on binlog watermarks.
 //! - **Snapshots** ([`persist::Snapshot`]) for loose-federation dump
 //!   shipping and hub-side backup/restore.
 
@@ -27,6 +31,7 @@ pub mod bins;
 pub mod checksum;
 pub mod database;
 pub mod error;
+pub mod parallel;
 pub mod persist;
 pub mod query;
 pub mod schema;
@@ -34,13 +39,16 @@ pub mod table;
 pub mod time;
 pub mod value;
 
-pub use aggregate::{AggregationSpec, DimSpec};
+pub use aggregate::{AggregationOutputs, AggregationSpec, DimSpec};
 pub use binlog::{BinlogEvent, EventPayload, LogPosition, TailRepair};
 pub use bins::{Bin, Bins};
 pub use database::Database;
 pub use error::{Result, WarehouseError};
+pub use parallel::{run_sharded, AggregateCache, CacheKey, PoolConfig, RebuildTicket};
 pub use persist::Snapshot;
-pub use query::{AggFn, Aggregate, GroupKey, OrderBy, Predicate, Query, ResultSet};
+pub use query::{
+    AggFn, Aggregate, GroupKey, OrderBy, PartialAggregation, Predicate, Query, ResultSet,
+};
 pub use schema::{ColumnDef, RowBuilder, SchemaBuilder, TableSchema};
 pub use table::Table;
 pub use time::{CivilDate, Period};

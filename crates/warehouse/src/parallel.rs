@@ -1,0 +1,444 @@
+//! Parallel partitioned aggregation: day-bucket sharding, a scoped
+//! worker pool, deterministic shard-order merging, and an
+//! invalidation-aware aggregate cache.
+//!
+//! The engine partitions a fact table's rows into shards — by calendar
+//! day bucket when the query names a time column, round-robin otherwise —
+//! folds each shard into a [`PartialAggregation`]-style group map on a
+//! pool of `std::thread::scope` workers, and merges the partials in
+//! ascending shard order. Workers only *race for shards*, never for
+//! merge position, so the result is identical for any worker count:
+//! `run_sharded` with one worker is the serial reference the
+//! differential oracle compares against.
+//!
+//! The cache keys results by (schema, table, query fingerprint) and
+//! stamps each entry with a [`RebuildTicket`] — the source table's
+//! binlog watermark plus the database's rebuild generation. An entry is
+//! served only while both still match, so any ingest into the table (or
+//! an external rebuild such as a replication resync) invalidates it
+//! implicitly.
+
+use crate::binlog::LogPosition;
+use crate::error::{Result, WarehouseError};
+use crate::query::{AggPlan, Groups, Query, ResultSet};
+use crate::table::Table;
+use crate::time::Period;
+use crate::value::Row;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xdmod_telemetry::MetricsRegistry;
+
+/// Sizing of the aggregation worker pool and the shard partition.
+///
+/// Zero means "auto": workers default to `available_parallelism`, shards
+/// default to the (resolved) worker count. Shards beyond the worker
+/// count queue on the pool; workers beyond the shard count idle — the
+/// pre-flight analyzer flags that misconfiguration as `XC0011`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    workers: usize,
+    shards: usize,
+}
+
+impl PoolConfig {
+    /// Fully automatic sizing (the default).
+    pub fn auto() -> Self {
+        PoolConfig {
+            workers: 0,
+            shards: 0,
+        }
+    }
+
+    /// Pool with an explicit worker count (0 = auto).
+    pub fn new(workers: usize) -> Self {
+        PoolConfig { workers, shards: 0 }
+    }
+
+    /// Single-worker pool: the serial reference execution.
+    pub fn serial() -> Self {
+        PoolConfig::new(1)
+    }
+
+    /// Override the shard count (0 = one shard per worker).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Effective worker count: configured, else `available_parallelism`.
+    pub fn workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Effective shard count: configured, else the worker count.
+    pub fn shards(&self) -> usize {
+        if self.shards == 0 {
+            self.workers()
+        } else {
+            self.shards
+        }
+    }
+
+    /// Raw configured worker count (0 = auto), for introspection.
+    pub fn configured_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Raw configured shard count (0 = auto), for introspection.
+    pub fn configured_shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::auto()
+    }
+}
+
+/// Shard assignment for one row: stable under any pool size.
+fn shard_of(row: &Row, time_idx: Option<usize>, index: usize, shards: usize) -> usize {
+    match time_idx {
+        Some(idx) => match row[idx].as_i64() {
+            // Same-day rows land on the same shard, so period groups are
+            // built from few partials; NULL times collect on shard 0.
+            Some(t) => Period::Day.bucket_of(t).rem_euclid(shards as i64) as usize,
+            None => 0,
+        },
+        None => index % shards,
+    }
+}
+
+/// Execute a query with the partitioned engine: shard, fold each shard
+/// on the worker pool, merge partials in ascending shard order, finish.
+///
+/// `label` attributes the per-shard timing histogram
+/// (`warehouse_shard_aggregation_seconds{table=..}`) and the
+/// pool-saturation gauge (`warehouse_aggpool_saturation`).
+pub fn run_sharded(
+    query: &Query,
+    table: &Table,
+    pool: PoolConfig,
+    telemetry: &MetricsRegistry,
+    label: &str,
+) -> Result<ResultSet> {
+    let plan = AggPlan::resolve(query, table.schema())?;
+    let rows = table.rows();
+    let n_shards = pool.shards().max(1);
+    let time_idx = query
+        .shard_hint()
+        .and_then(|c| table.schema().column_index(c).ok());
+
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+    for (i, row) in rows.iter().enumerate() {
+        shards[shard_of(row, time_idx, i, n_shards)].push(i);
+    }
+
+    let workers = pool.workers().clamp(1, n_shards);
+    if telemetry.is_enabled() {
+        // Fraction of the configured pool that shard count keeps busy;
+        // < 1.0 means wasted workers (the XC0011 condition at runtime).
+        telemetry
+            .gauge("warehouse_aggpool_saturation", &[])
+            .set(workers as f64 / pool.workers().max(1) as f64);
+    }
+
+    let fold_shard = |shard: &[usize]| -> Groups {
+        let span = telemetry.span("warehouse_shard_aggregation_seconds", &[("table", label)]);
+        let mut groups = Groups::new();
+        for &ri in shard {
+            plan.fold_row(&mut groups, &rows[ri]);
+        }
+        span.finish();
+        groups
+    };
+
+    let mut partials: Vec<(usize, Groups)> = Vec::with_capacity(n_shards);
+    if workers == 1 {
+        for (i, shard) in shards.iter().enumerate() {
+            partials.push((i, fold_shard(shard)));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let joined: Result<Vec<Vec<(usize, Groups)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_shards {
+                                break;
+                            }
+                            done.push((i, fold_shard(&shards[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().map_err(|_| {
+                        WarehouseError::Io("aggregation worker panicked".to_owned())
+                    })
+                })
+                .collect()
+        });
+        for worker_out in joined? {
+            partials.extend(worker_out);
+        }
+    }
+
+    // Deterministic merge: ascending shard order, independent of which
+    // worker folded which shard.
+    partials.sort_by_key(|(i, _)| *i);
+    let mut merged = Groups::new();
+    for (_, groups) in partials {
+        AggPlan::merge_groups(&mut merged, groups);
+    }
+    plan.finish(merged)
+}
+
+/// Identity of a cached aggregate result: which table was read and what
+/// was asked of it. Paired with a [`RebuildTicket`] stating *which data*
+/// answered.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Schema of the source table.
+    pub schema: String,
+    /// Source table (for materializations: the output table).
+    pub table: String,
+    /// [`Query::fingerprint`] of the query that produced the result.
+    pub fingerprint: u64,
+}
+
+/// Snapshot of a table's data version: its binlog watermark (position of
+/// its last mutation) and the database's rebuild generation. A cache
+/// entry or in-flight rebuild is valid only while both still match —
+/// ingest moves the watermark; external rebuilds (replication resync,
+/// restore) bump the generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebuildTicket {
+    /// Position of the last binlog record that touched the table
+    /// (`None` until its first mutation is recorded).
+    pub watermark: Option<LogPosition>,
+    /// [`crate::database::Database::rebuild_generation`] at issue time.
+    pub generation: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    ticket: RebuildTicket,
+    /// `Some` for query results; `None` marks "materialized tables are
+    /// current" without retaining rows.
+    result: Option<ResultSet>,
+}
+
+/// Invalidation-aware aggregate cache. Entries never expire by time —
+/// they are superseded on store and ignored once their ticket goes
+/// stale, so the cache can only serve results identical to a fresh
+/// recompute.
+#[derive(Debug, Default)]
+pub struct AggregateCache {
+    entries: Mutex<HashMap<CacheKey, CacheEntry>>,
+}
+
+impl AggregateCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        AggregateCache::default()
+    }
+
+    /// Cached result for `key`, if present and still at `current`.
+    pub fn get(&self, key: &CacheKey, current: RebuildTicket) -> Option<ResultSet> {
+        let entries = self.entries.lock();
+        entries
+            .get(key)
+            .filter(|e| e.ticket == current)
+            .and_then(|e| e.result.clone())
+    }
+
+    /// True if `key` is marked fresh at `current` (used to skip
+    /// re-materialization; the entry may carry no result rows).
+    pub fn is_fresh(&self, key: &CacheKey, current: RebuildTicket) -> bool {
+        let entries = self.entries.lock();
+        entries.get(key).is_some_and(|e| e.ticket == current)
+    }
+
+    /// Store (or supersede) an entry.
+    pub fn put(&self, key: CacheKey, ticket: RebuildTicket, result: Option<ResultSet>) {
+        self.entries.lock().insert(key, CacheEntry { ticket, result });
+    }
+
+    /// Drop every entry touching `schema` (used on destructive schema
+    /// operations that bypass watermark tracking).
+    pub fn invalidate_schema(&self, schema: &str) {
+        self.entries.lock().retain(|k, _| k.schema != schema);
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of entries (fresh or stale).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggFn, Aggregate};
+    use crate::schema::SchemaBuilder;
+    use crate::time::CivilDate;
+    use crate::value::{ColumnType, Value};
+
+    fn facts(n: usize) -> Table {
+        let mut t = Table::new(
+            SchemaBuilder::new("jobfact")
+                .required("resource", ColumnType::Str)
+                .required("cpu_hours", ColumnType::Float)
+                .required("end_time", ColumnType::Time)
+                .build()
+                .unwrap(),
+        );
+        let base = CivilDate::new(2017, 1, 1).to_epoch();
+        t.insert_batch(
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Str(if i % 3 == 0 { "comet" } else { "gordon" }.into()),
+                        Value::Float(i as f64 / 64.0),
+                        Value::Time(base + (i as i64 % 40) * 86_400),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        t
+    }
+
+    fn q() -> Query {
+        Query::new()
+            .group_by_column("resource")
+            .group_by_period("end_time", Period::Month)
+            .aggregate(Aggregate::count("jobs"))
+            .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"))
+            .aggregate(Aggregate::of(AggFn::Avg, "cpu_hours", "avg"))
+    }
+
+    #[test]
+    fn sharded_matches_serial_and_rayon_for_any_pool() {
+        let t = facts(500);
+        let reg = MetricsRegistry::disabled();
+        let reference = q().run(&t).unwrap();
+        for (w, s) in [(1, 1), (1, 7), (2, 2), (3, 8), (8, 3), (16, 16)] {
+            let pool = PoolConfig::new(w).with_shards(s);
+            let rs = run_sharded(&q(), &t, pool, &reg, "jobfact").unwrap();
+            assert_eq!(rs, reference, "workers={w} shards={s}");
+        }
+    }
+
+    #[test]
+    fn round_robin_sharding_when_no_time_hint() {
+        let t = facts(101);
+        let reg = MetricsRegistry::disabled();
+        let query = Query::new()
+            .group_by_column("resource")
+            .aggregate(Aggregate::of(AggFn::Max, "cpu_hours", "peak"));
+        let reference = query.run(&t).unwrap();
+        let pool = PoolConfig::new(4).with_shards(5);
+        assert_eq!(run_sharded(&query, &t, pool, &reg, "jobfact").unwrap(), reference);
+    }
+
+    #[test]
+    fn empty_table_keeps_sql_one_row_semantics() {
+        let t = Table::new(
+            SchemaBuilder::new("empty")
+                .required("v", ColumnType::Float)
+                .build()
+                .unwrap(),
+        );
+        let reg = MetricsRegistry::disabled();
+        let query = Query::new().aggregate(Aggregate::count("n"));
+        let rs = run_sharded(&query, &t, PoolConfig::new(4), &reg, "empty").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.scalar_f64("n"), Some(0.0));
+    }
+
+    #[test]
+    fn per_shard_timings_and_saturation_are_reported() {
+        let t = facts(64);
+        let reg = MetricsRegistry::new();
+        let pool = PoolConfig::new(8).with_shards(4);
+        run_sharded(&q(), &t, pool, &reg, "jobfact").unwrap();
+        let snap = reg.snapshot();
+        let hist = snap
+            .histogram("warehouse_shard_aggregation_seconds", &[("table", "jobfact")])
+            .expect("per-shard histogram");
+        assert_eq!(hist.count, 4);
+        // 8 workers over 4 shards: half the pool is wasted.
+        assert_eq!(snap.gauge("warehouse_aggpool_saturation", &[]), Some(0.5));
+    }
+
+    #[test]
+    fn cache_serves_only_matching_tickets() {
+        let cache = AggregateCache::new();
+        let key = CacheKey {
+            schema: "s".into(),
+            table: "t".into(),
+            fingerprint: 7,
+        };
+        let t0 = RebuildTicket {
+            watermark: Some(LogPosition { epoch: 0, seqno: 3 }),
+            generation: 0,
+        };
+        let rs = ResultSet {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(1)]],
+        };
+        cache.put(key.clone(), t0, Some(rs.clone()));
+        assert_eq!(cache.get(&key, t0), Some(rs));
+        // Ingest moved the watermark: stale.
+        let t1 = RebuildTicket {
+            watermark: Some(LogPosition { epoch: 0, seqno: 4 }),
+            ..t0
+        };
+        assert_eq!(cache.get(&key, t1), None);
+        // External rebuild bumped the generation: stale.
+        let t2 = RebuildTicket {
+            generation: 1,
+            ..t0
+        };
+        assert_eq!(cache.get(&key, t2), None);
+        assert!(cache.is_fresh(&key, t0));
+        cache.invalidate_schema("s");
+        assert!(!cache.is_fresh(&key, t0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn pool_config_resolution() {
+        assert!(PoolConfig::auto().workers() >= 1);
+        assert_eq!(PoolConfig::auto().workers(), PoolConfig::auto().shards());
+        let p = PoolConfig::new(3).with_shards(12);
+        assert_eq!((p.workers(), p.shards()), (3, 12));
+        assert_eq!((p.configured_workers(), p.configured_shards()), (3, 12));
+        assert_eq!(PoolConfig::serial().workers(), 1);
+    }
+}

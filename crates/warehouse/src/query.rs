@@ -9,6 +9,7 @@
 
 use crate::bins::Bins;
 use crate::error::{Result, WarehouseError};
+use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::time::Period;
 use crate::value::{Row, Value};
@@ -398,24 +399,121 @@ impl Query {
 
     /// Execute against a table.
     pub fn run(&self, table: &Table) -> Result<ResultSet> {
-        if self.aggregates.is_empty() {
+        let plan = AggPlan::resolve(self, table.schema())?;
+        // Data-parallel fold/reduce over row partitions (rayon idiom).
+        let groups: Groups = table
+            .rows()
+            .par_iter()
+            .fold(Groups::new, |mut acc, row| {
+                plan.fold_row(&mut acc, row);
+                acc
+            })
+            .reduce(Groups::new, |mut a, b| {
+                AggPlan::merge_groups(&mut a, b);
+                a
+            });
+        plan.finish(groups)
+    }
+
+    /// Fold a subset ("shard") of a table's rows into an opaque partial
+    /// state. Combine shards with [`PartialAggregation::merge`] and
+    /// finish with [`Query::finalize_partials`]. Folding every row of a
+    /// table through one partial and finalizing is exactly [`Query::run`].
+    pub fn partial_aggregate<'a, I>(
+        &self,
+        schema: &TableSchema,
+        rows: I,
+    ) -> Result<PartialAggregation>
+    where
+        I: IntoIterator<Item = &'a Row>,
+    {
+        let plan = AggPlan::resolve(self, schema)?;
+        let mut groups = Groups::new();
+        for row in rows {
+            plan.fold_row(&mut groups, row);
+        }
+        Ok(PartialAggregation { groups })
+    }
+
+    /// Turn a (merged) partial state into the final result set: SQL
+    /// one-row semantics for ungrouped aggregates, deterministic key
+    /// sort, then ordering and limit.
+    pub fn finalize_partials(
+        &self,
+        schema: &TableSchema,
+        partial: PartialAggregation,
+    ) -> Result<ResultSet> {
+        let plan = AggPlan::resolve(self, schema)?;
+        plan.finish(partial.groups)
+    }
+
+    /// Stable in-process fingerprint over the query's full shape
+    /// (filters, grouping, aggregates, ordering, limit). Together with a
+    /// binlog watermark this identifies a cached result: the fingerprint
+    /// says *what* was asked, the watermark says *of which data*.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the Debug representation; the derived Debug output
+        // covers every field and is stable within a build.
+        let repr = format!("{self:?}");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The time column to shard on, when the query names one: the first
+    /// calendar-period group key, else the first time-range filter.
+    pub(crate) fn shard_hint(&self) -> Option<&str> {
+        self.group_by
+            .iter()
+            .find_map(|k| match k {
+                GroupKey::PeriodOf(c, _) => Some(c.as_str()),
+                _ => None,
+            })
+            .or_else(|| {
+                self.filters.iter().find_map(|p| match p {
+                    Predicate::TimeRange { column, .. } => Some(column.as_str()),
+                    _ => None,
+                })
+            })
+    }
+}
+
+/// Per-group accumulator map shared by the serial and sharded engines.
+pub(crate) type Groups = HashMap<Vec<Value>, Vec<Acc>>;
+
+/// A query with every column reference resolved against one schema —
+/// the shared machinery behind [`Query::run`], the public partial
+/// surface, and the sharded engine in [`crate::parallel`].
+pub(crate) struct AggPlan<'q> {
+    query: &'q Query,
+    filter_idx: Vec<usize>,
+    key_idx: Vec<usize>,
+    agg_idx: Vec<Option<usize>>,
+    weight_idx: Vec<Option<usize>>,
+}
+
+impl<'q> AggPlan<'q> {
+    /// Resolve all column references once, up front.
+    pub(crate) fn resolve(query: &'q Query, schema: &TableSchema) -> Result<Self> {
+        if query.aggregates.is_empty() {
             return Err(WarehouseError::InvalidQuery(
                 "query needs at least one aggregate".into(),
             ));
         }
-        let schema = table.schema();
-        // Resolve all column references once, up front.
-        let filter_idx: Vec<usize> = self
+        let filter_idx: Vec<usize> = query
             .filters
             .iter()
             .map(|p| schema.column_index(p.column()))
             .collect::<Result<_>>()?;
-        let key_idx: Vec<usize> = self
+        let key_idx: Vec<usize> = query
             .group_by
             .iter()
             .map(|k| schema.column_index(k.column()))
             .collect::<Result<_>>()?;
-        let agg_idx: Vec<Option<usize>> = self
+        let agg_idx: Vec<Option<usize>> = query
             .aggregates
             .iter()
             .map(|a| match (&a.column, a.func) {
@@ -427,7 +525,7 @@ impl Query {
                 (Some(c), _) => schema.column_index(c).map(Some),
             })
             .collect::<Result<_>>()?;
-        let weight_idx: Vec<Option<usize>> = self
+        let weight_idx: Vec<Option<usize>> = query
             .aggregates
             .iter()
             .map(|a| match (a.func, &a.weight) {
@@ -439,65 +537,69 @@ impl Query {
                 _ => Ok(None),
             })
             .collect::<Result<_>>()?;
+        Ok(AggPlan {
+            query,
+            filter_idx,
+            key_idx,
+            agg_idx,
+            weight_idx,
+        })
+    }
 
-        type Groups = HashMap<Vec<Value>, Vec<Acc>>;
-        let fold_row = |groups: &mut Groups, row: &Row| {
-            for (p, &idx) in self.filters.iter().zip(&filter_idx) {
-                if !p.matches(&row[idx]) {
-                    return;
-                }
+    /// Filter one row and, if it passes, fold it into its group.
+    pub(crate) fn fold_row(&self, groups: &mut Groups, row: &Row) {
+        for (p, &idx) in self.query.filters.iter().zip(&self.filter_idx) {
+            if !p.matches(&row[idx]) {
+                return;
             }
-            let key: Vec<Value> = self
-                .group_by
+        }
+        let key: Vec<Value> = self
+            .query
+            .group_by
+            .iter()
+            .zip(&self.key_idx)
+            .map(|(k, &idx)| k.extract(&row[idx]))
+            .collect();
+        let accs = groups.entry(key).or_insert_with(|| {
+            self.query
+                .aggregates
                 .iter()
-                .zip(&key_idx)
-                .map(|(k, &idx)| k.extract(&row[idx]))
-                .collect();
-            let accs = groups.entry(key).or_insert_with(|| {
-                self.aggregates
-                    .iter()
-                    .map(|a| Acc::new(a.func))
-                    .collect::<Vec<_>>()
-            });
-            for ((acc, col), w) in accs.iter_mut().zip(&agg_idx).zip(&weight_idx) {
-                acc.update(
-                    col.map(|i| &row[i]),
-                    w.map(|i| &row[i]),
-                );
-            }
-        };
+                .map(|a| Acc::new(a.func))
+                .collect::<Vec<_>>()
+        });
+        for ((acc, col), w) in accs.iter_mut().zip(&self.agg_idx).zip(&self.weight_idx) {
+            acc.update(col.map(|i| &row[i]), w.map(|i| &row[i]));
+        }
+    }
 
-        // Data-parallel fold/reduce over row partitions (rayon idiom).
-        let groups: Groups = table
-            .rows()
-            .par_iter()
-            .fold(Groups::new, |mut acc, row| {
-                fold_row(&mut acc, row);
-                acc
-            })
-            .reduce(Groups::new, |mut a, b| {
-                for (key, accs) in b {
-                    match a.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            for (dst, src) in e.get_mut().iter_mut().zip(accs) {
-                                dst.merge(src);
-                            }
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(accs);
-                        }
+    /// Merge `src` into `dst`. Per key, `dst`'s accumulator absorbs
+    /// `src`'s; the map iteration order does not affect the outcome
+    /// because keys are disjoint state.
+    pub(crate) fn merge_groups(dst: &mut Groups, src: Groups) {
+        for (key, accs) in src {
+            match dst.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (d, s) in e.get_mut().iter_mut().zip(accs) {
+                        d.merge(s);
                     }
                 }
-                a
-            });
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+            }
+        }
+    }
 
+    /// Materialize groups into the final, deterministically ordered
+    /// result set.
+    pub(crate) fn finish(&self, mut groups: Groups) -> Result<ResultSet> {
+        let query = self.query;
         // SQL semantics: an aggregate with no GROUP BY always yields one
         // row, even over an empty table (COUNT = 0, SUM = 0, AVG = NULL).
-        let mut groups = groups;
-        if self.group_by.is_empty() && groups.is_empty() {
+        if query.group_by.is_empty() && groups.is_empty() {
             groups.insert(
                 Vec::new(),
-                self.aggregates.iter().map(|a| Acc::new(a.func)).collect(),
+                query.aggregates.iter().map(|a| Acc::new(a.func)).collect(),
             );
         }
 
@@ -509,28 +611,52 @@ impl Query {
                 key
             })
             .collect();
-        let key_len = self.group_by.len();
+        let key_len = query.group_by.len();
         rows.sort_by(|a, b| a[..key_len].cmp(&b[..key_len]));
 
-        let mut columns: Vec<String> = self.group_by.iter().map(GroupKey::output_name).collect();
-        columns.extend(self.aggregates.iter().map(|a| a.alias.clone()));
+        let mut columns: Vec<String> = query.group_by.iter().map(GroupKey::output_name).collect();
+        columns.extend(query.aggregates.iter().map(|a| a.alias.clone()));
 
-        match &self.order_by {
+        match &query.order_by {
             OrderBy::KeyAsc => {}
             OrderBy::ColumnDesc(name) | OrderBy::ColumnAsc(name) => {
                 let idx = columns.iter().position(|c| c == name).ok_or_else(|| {
                     WarehouseError::InvalidQuery(format!("order-by column {name} not in output"))
                 })?;
                 rows.sort_by(|a, b| a[idx].cmp(&b[idx]));
-                if matches!(self.order_by, OrderBy::ColumnDesc(_)) {
+                if matches!(query.order_by, OrderBy::ColumnDesc(_)) {
                     rows.reverse();
                 }
             }
         }
-        if let Some(n) = self.limit {
+        if let Some(n) = query.limit {
             rows.truncate(n);
         }
         Ok(ResultSet { columns, rows })
+    }
+}
+
+/// Opaque partial-aggregation state over a subset of a table's rows.
+///
+/// Merging is associative and commutative at the accumulator level
+/// (counts, min/max, distinct sets — exactly; float sums up to IEEE
+/// rounding, and exactly whenever the inputs are exactly representable),
+/// which is what lets the sharded engine combine shards in any grouping
+/// as long as the *order of row folds within a shard* is preserved.
+#[derive(Debug, Clone, Default)]
+pub struct PartialAggregation {
+    groups: Groups,
+}
+
+impl PartialAggregation {
+    /// Merge another shard's state into this one.
+    pub fn merge(&mut self, other: PartialAggregation) {
+        AggPlan::merge_groups(&mut self.groups, other.groups);
+    }
+
+    /// Number of distinct group keys folded so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
     }
 }
 

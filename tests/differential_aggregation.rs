@@ -1,0 +1,564 @@
+//! Differential-testing oracle for the partitioned parallel aggregation
+//! engine.
+//!
+//! Every seed drives four independent evaluators over the same randomly
+//! generated fact table and query:
+//!
+//! 1. the sharded engine with a multi-worker pool (`run_sharded`),
+//! 2. the sharded engine forced serial (`PoolConfig::serial()`),
+//! 3. the rayon path (`Query::run`),
+//! 4. a brute-force `BTreeMap` recompute written against the *spec* of
+//!    the query, sharing no code with the engine.
+//!
+//! All four must agree byte-for-byte. Generated values are dyadic
+//! rationals (`n / 64.0`), so float sums are exact regardless of the
+//! order partials merge in — any divergence is a real bug, not float
+//! noise. On mismatch the harness greedily shrinks the table to a
+//! minimal reproducing row set and panics with a replayable report.
+//!
+//! Run one seed with `DIFF_SEED=<n> cargo test --test
+//! differential_aggregation`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use xdmod::chaos::DeterministicRng;
+use xdmod::telemetry::MetricsRegistry;
+use xdmod::warehouse::{
+    run_sharded, shared, AggFn, Aggregate, CivilDate, ColumnType, Database, GroupKey, Period,
+    PoolConfig, Predicate, Query, Row, SchemaBuilder, Table, Value,
+};
+
+/// Seeds swept by default; `DIFF_SEED` narrows the run to one seed.
+const SEED_COUNT: u64 = 24;
+
+/// Queries generated per seed.
+const QUERIES_PER_SEED: usize = 6;
+
+fn base_epoch() -> i64 {
+    CivilDate::new(2017, 1, 1).to_epoch()
+}
+
+// ---------------------------------------------------------------------------
+// Random workload generation
+// ---------------------------------------------------------------------------
+
+fn fact_schema() -> xdmod::warehouse::TableSchema {
+    SchemaBuilder::new("fact")
+        .required("resource", ColumnType::Str)
+        .required("queue", ColumnType::Str)
+        .nullable("cpu_hours", ColumnType::Float)
+        .required("cores", ColumnType::Int)
+        .nullable("end_time", ColumnType::Time)
+        .build()
+        .expect("oracle fact schema builds")
+}
+
+fn random_row(rng: &mut DeterministicRng) -> Row {
+    let cpu = if rng.gen_range(0, 10) == 0 {
+        Value::Null
+    } else {
+        // Dyadic: exact under f64 addition in any order.
+        Value::Float(rng.gen_range(0, 4096) as f64 / 64.0)
+    };
+    let end = if rng.gen_range(0, 12) == 0 {
+        Value::Null
+    } else {
+        Value::Time(
+            base_epoch() + rng.gen_range(0, 120) as i64 * 86_400 + rng.gen_range(0, 86_400) as i64,
+        )
+    };
+    vec![
+        Value::Str(format!("res-{}", rng.gen_range(0, 4))),
+        Value::Str(format!("q{}", rng.gen_range(0, 3))),
+        cpu,
+        Value::Int(rng.gen_range(1, 65) as i64),
+        end,
+    ]
+}
+
+fn random_table(rng: &mut DeterministicRng) -> Table {
+    let mut table = Table::new(fact_schema());
+    let n = rng.gen_range(0, 400) as usize;
+    let rows = (0..n).map(|_| random_row(rng)).collect();
+    table.insert_batch(rows).expect("generated rows fit schema");
+    table
+}
+
+/// The aggregate functions the brute-force oracle reimplements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fun {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    CountDistinct,
+}
+
+/// A query described declaratively, so the brute-force evaluator can
+/// interpret it without touching the engine's plan types.
+#[derive(Clone, Debug)]
+struct Spec {
+    filters: Vec<Predicate>,
+    group: Vec<GroupKey>,
+    aggs: Vec<(Fun, Option<&'static str>)>,
+}
+
+impl Spec {
+    fn random(rng: &mut DeterministicRng) -> Self {
+        let mut group = Vec::new();
+        if rng.gen_range(0, 2) == 1 {
+            group.push(GroupKey::Column("resource".to_owned()));
+        }
+        if rng.gen_range(0, 3) == 0 {
+            group.push(GroupKey::Column("queue".to_owned()));
+        }
+        if rng.gen_range(0, 2) == 1 {
+            let period = match rng.gen_range(0, 3) {
+                0 => Period::Day,
+                1 => Period::Month,
+                _ => Period::Quarter,
+            };
+            group.push(GroupKey::PeriodOf("end_time".to_owned(), period));
+        }
+
+        let mut filters = Vec::new();
+        if rng.gen_range(0, 3) == 0 {
+            filters.push(Predicate::Eq(
+                "resource".to_owned(),
+                Value::Str(format!("res-{}", rng.gen_range(0, 4))),
+            ));
+        }
+        if rng.gen_range(0, 3) == 0 {
+            let start = base_epoch() + rng.gen_range(0, 60) as i64 * 86_400;
+            filters.push(Predicate::TimeRange {
+                column: "end_time".to_owned(),
+                start,
+                end: start + rng.gen_range(1, 90) as i64 * 86_400,
+            });
+        }
+
+        let mut aggs: Vec<(Fun, Option<&'static str>)> = vec![(Fun::Count, None)];
+        for _ in 0..rng.gen_range(1, 4) {
+            let fun = match rng.gen_range(0, 5) {
+                0 => Fun::Sum,
+                1 => Fun::Avg,
+                2 => Fun::Min,
+                3 => Fun::Max,
+                _ => Fun::CountDistinct,
+            };
+            let col = if rng.gen_range(0, 4) == 0 {
+                "cores"
+            } else {
+                "cpu_hours"
+            };
+            aggs.push((fun, Some(col)));
+        }
+        Spec {
+            filters,
+            group,
+            aggs,
+        }
+    }
+
+    fn query(&self) -> Query {
+        let mut q = Query::new();
+        for f in &self.filters {
+            q = q.filter(f.clone());
+        }
+        for g in &self.group {
+            q = q.group(g.clone());
+        }
+        for (i, (fun, col)) in self.aggs.iter().enumerate() {
+            let alias = format!("a{i}");
+            q = q.aggregate(match (fun, col) {
+                (Fun::Count, _) => Aggregate::count(&alias),
+                (Fun::Sum, Some(c)) => Aggregate::of(AggFn::Sum, c, &alias),
+                (Fun::Avg, Some(c)) => Aggregate::of(AggFn::Avg, c, &alias),
+                (Fun::Min, Some(c)) => Aggregate::of(AggFn::Min, c, &alias),
+                (Fun::Max, Some(c)) => Aggregate::of(AggFn::Max, c, &alias),
+                (Fun::CountDistinct, Some(c)) => Aggregate::of(AggFn::CountDistinct, c, &alias),
+                _ => unreachable!("non-count aggregates always carry a column"),
+            });
+        }
+        q
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force evaluator (the independent oracle)
+// ---------------------------------------------------------------------------
+
+/// Straight-line reimplementation of grouped aggregation over raw rows.
+/// Shares nothing with `AggPlan`: its own filter matching, its own key
+/// extraction, its own accumulators over a `BTreeMap`.
+fn brute_force(table: &Table, spec: &Spec) -> Vec<Row> {
+    let schema = table.schema();
+    let idx = |name: &str| {
+        schema
+            .column_index(name)
+            .expect("oracle columns exist in the fact schema")
+    };
+
+    let passes = |row: &Row| {
+        spec.filters.iter().all(|f| match f {
+            Predicate::Eq(c, want) => &row[idx(c)] == want,
+            Predicate::TimeRange { column, start, end } => match row[idx(column)].as_i64() {
+                Some(t) => t >= *start && t < *end,
+                None => false,
+            },
+            other => unreachable!("oracle never generates {other:?}"),
+        })
+    };
+
+    let key_of = |row: &Row| -> Vec<Value> {
+        spec.group
+            .iter()
+            .map(|g| match g {
+                GroupKey::Column(c) => row[idx(c)].clone(),
+                GroupKey::PeriodOf(c, period) => match row[idx(c)].as_i64() {
+                    Some(t) => Value::Int(period.bucket_of(t)),
+                    None => Value::Null,
+                },
+                other => unreachable!("oracle never generates {other:?}"),
+            })
+            .collect()
+    };
+
+    #[derive(Default)]
+    struct Acc {
+        count: i64,
+        sum: f64,
+        n: u64,
+        min: Option<f64>,
+        max: Option<f64>,
+        distinct: BTreeSet<String>,
+    }
+
+    let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
+    if spec.group.is_empty() {
+        // An ungrouped query always yields exactly one row, even over an
+        // empty input — mirror that.
+        groups.insert(
+            Vec::new(),
+            spec.aggs.iter().map(|_| Acc::default()).collect(),
+        );
+    }
+    for row in table.rows() {
+        if !passes(row) {
+            continue;
+        }
+        let accs = groups
+            .entry(key_of(row))
+            .or_insert_with(|| spec.aggs.iter().map(|_| Acc::default()).collect());
+        for (acc, (fun, col)) in accs.iter_mut().zip(&spec.aggs) {
+            match fun {
+                Fun::Count => acc.count += 1,
+                _ => {
+                    let v = &row[idx(col.expect("non-count carries a column"))];
+                    if *fun == Fun::CountDistinct {
+                        if !matches!(v, Value::Null) {
+                            acc.distinct.insert(format!("{v:?}"));
+                        }
+                        continue;
+                    }
+                    if let Some(x) = v.as_f64() {
+                        acc.sum += x;
+                        acc.n += 1;
+                        acc.min = Some(acc.min.map_or(x, |m| m.min(x)));
+                        acc.max = Some(acc.max.map_or(x, |m| m.max(x)));
+                    }
+                }
+            }
+        }
+    }
+
+    groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut row = key;
+            for (acc, (fun, _)) in accs.iter().zip(&spec.aggs) {
+                row.push(match fun {
+                    Fun::Count => Value::Int(acc.count),
+                    Fun::Sum => Value::Float(acc.sum),
+                    Fun::Avg => match acc.n {
+                        0 => Value::Null,
+                        n => Value::Float(acc.sum / n as f64),
+                    },
+                    Fun::Min => acc.min.map_or(Value::Null, Value::Float),
+                    Fun::Max => acc.max.map_or(Value::Null, Value::Float),
+                    Fun::CountDistinct => Value::Int(acc.distinct.len() as i64),
+                });
+            }
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The oracle proper, with greedy shrinking on mismatch
+// ---------------------------------------------------------------------------
+
+fn pools() -> [PoolConfig; 4] {
+    [
+        PoolConfig::serial(),
+        PoolConfig::new(2).with_shards(5),
+        PoolConfig::new(8).with_shards(8),
+        PoolConfig::new(3).with_shards(16),
+    ]
+}
+
+/// Evaluate every engine over `rows` and report the first divergence, or
+/// `None` when all agree. This is both the oracle check and the
+/// shrinking predicate.
+fn divergence(rows: &[Row], spec: &Spec) -> Option<String> {
+    let mut table = Table::new(fact_schema());
+    table
+        .insert_batch(rows.to_vec())
+        .expect("shrunk rows still fit the schema");
+    let query = spec.query();
+    let quiet = MetricsRegistry::disabled();
+
+    let reference = match query.run(&table) {
+        Ok(rs) => rs,
+        Err(e) => return Some(format!("rayon path errored: {e}")),
+    };
+    for pool in pools() {
+        match run_sharded(&query, &table, pool, &quiet, "fact") {
+            Ok(got) if got == reference => {}
+            Ok(got) => {
+                return Some(format!(
+                    "run_sharded(workers={}, shards={}) diverged from Query::run\n  sharded:   {:?}\n  reference: {:?}",
+                    pool.workers(),
+                    pool.shards(),
+                    got.rows,
+                    reference.rows
+                ))
+            }
+            Err(e) => {
+                return Some(format!(
+                    "run_sharded(workers={}, shards={}) errored: {e}",
+                    pool.workers(),
+                    pool.shards()
+                ))
+            }
+        }
+    }
+    let brute = brute_force(&table, spec);
+    if reference.rows != brute {
+        return Some(format!(
+            "engine diverged from brute-force oracle\n  engine: {:?}\n  brute:  {:?}",
+            reference.rows, brute
+        ));
+    }
+    None
+}
+
+/// Greedily drop rows while the divergence persists, then report the
+/// minimal reproducer.
+fn shrink_report(seed: u64, rows: &[Row], spec: &Spec, first: String) -> String {
+    let mut rows = rows.to_vec();
+    loop {
+        let mut shrunk = false;
+        for i in 0..rows.len() {
+            let mut candidate = rows.clone();
+            candidate.remove(i);
+            if divergence(&candidate, spec).is_some() {
+                rows = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let last =
+        divergence(&rows, spec).unwrap_or_else(|| "(not reproducible after shrink)".to_owned());
+    format!(
+        "seed {seed}: {first}\n\nminimal reproducer ({} row(s)):\n{}\nquery spec: {spec:?}\nfinal divergence: {last}\nreplay with: DIFF_SEED={seed} cargo test --test differential_aggregation",
+        rows.len(),
+        rows.iter()
+            .map(|r| format!("  {r:?}\n"))
+            .collect::<String>(),
+    )
+}
+
+fn check_seed(seed: u64) -> Result<(), String> {
+    let mut rng = DeterministicRng::new(seed);
+    let table = random_table(&mut rng);
+    for _ in 0..QUERIES_PER_SEED {
+        let spec = Spec::random(&mut rng);
+        if let Some(first) = divergence(table.rows(), &spec) {
+            return Err(shrink_report(seed, table.rows(), &spec, first));
+        }
+    }
+    Ok(())
+}
+
+fn seeds_under_test() -> Vec<u64> {
+    match std::env::var("DIFF_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DIFF_SEED must be an unsigned integer")],
+        Err(_) => (0..SEED_COUNT).collect(),
+    }
+}
+
+#[test]
+fn parallel_serial_rayon_and_brute_force_agree_across_seeds() {
+    let mut failures = Vec::new();
+    for seed in seeds_under_test() {
+        if let Err(report) = check_seed(seed) {
+            failures.push(report);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} seed(s) diverged:\n\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn degenerate_workloads_agree() {
+    // Deterministic edge cases the random sweep may not hit every run:
+    // empty table, single row, all-NULL aggregation column, all rows in
+    // one shard bucket.
+    let specs = [
+        Spec {
+            filters: Vec::new(),
+            group: Vec::new(),
+            aggs: vec![(Fun::Count, None), (Fun::Sum, Some("cpu_hours"))],
+        },
+        Spec {
+            filters: Vec::new(),
+            group: vec![GroupKey::PeriodOf("end_time".to_owned(), Period::Day)],
+            aggs: vec![
+                (Fun::Count, None),
+                (Fun::Avg, Some("cpu_hours")),
+                (Fun::Min, Some("cores")),
+            ],
+        },
+    ];
+    let single = vec![vec![
+        Value::Str("res-0".to_owned()),
+        Value::Str("q0".to_owned()),
+        Value::Null,
+        Value::Int(4),
+        Value::Time(base_epoch()),
+    ]];
+    let all_null_times: Vec<Row> = (0..9)
+        .map(|i| {
+            vec![
+                Value::Str("res-1".to_owned()),
+                Value::Str("q1".to_owned()),
+                Value::Float(i as f64 / 64.0),
+                Value::Int(i + 1),
+                Value::Null,
+            ]
+        })
+        .collect();
+    let one_bucket: Vec<Row> = (0..16)
+        .map(|i| {
+            vec![
+                Value::Str("res-2".to_owned()),
+                Value::Str("q2".to_owned()),
+                Value::Float(i as f64 / 32.0),
+                Value::Int(i),
+                Value::Time(base_epoch() + i * 60),
+            ]
+        })
+        .collect();
+    for rows in [&Vec::new(), &single, &all_null_times, &one_bucket] {
+        for spec in &specs {
+            if let Some(report) = divergence(rows, spec) {
+                panic!("degenerate workload diverged: {report}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_holds_under_concurrent_ingest_and_cache_invalidation() {
+    let registry = MetricsRegistry::new();
+    let mut db = Database::new();
+    db.set_telemetry(registry.clone());
+    db.set_parallelism(PoolConfig::new(4).with_shards(6));
+    db.create_schema("s").expect("schema creates");
+    db.create_table("s", fact_schema()).expect("table creates");
+    let db = shared(db);
+
+    let query = Query::new()
+        .group_by_period("end_time", Period::Month)
+        .aggregate(Aggregate::count("n"))
+        .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let mut rng = DeterministicRng::new(7);
+            for _ in 0..40 {
+                let rows = (0..8).map(|_| random_row(&mut rng)).collect();
+                db.write()
+                    .insert("s", "fact", rows)
+                    .expect("ingest succeeds");
+            }
+        })
+    };
+    let reader = {
+        let db = Arc::clone(&db);
+        let query = query.clone();
+        std::thread::spawn(move || {
+            for _ in 0..40 {
+                // Any interleaving must produce an internally consistent
+                // snapshot; an error or panic here is the failure mode.
+                db.read()
+                    .query_cached("s", "fact", &query)
+                    .expect("cached query under concurrent ingest succeeds");
+            }
+        })
+    };
+    writer.join().expect("writer thread completes");
+    reader.join().expect("reader thread completes");
+
+    // Quiescent state: cached, sharded-serial, and rayon answers agree.
+    let db = db.read();
+    let cached = db.query_cached("s", "fact", &query).expect("cached query");
+    let repeat = db.query_cached("s", "fact", &query).expect("repeat query");
+    let table = db.table("s", "fact").expect("fact table exists");
+    let serial = run_sharded(
+        &query,
+        table,
+        PoolConfig::serial(),
+        &MetricsRegistry::disabled(),
+        "fact",
+    )
+    .expect("serial run");
+    let rayon = query.run(table).expect("rayon run");
+    assert_eq!(cached, serial);
+    assert_eq!(cached, rayon);
+    assert_eq!(cached, repeat);
+    assert_eq!(table.rows().len(), 40 * 8);
+
+    // The repeat after quiescence must be a cache hit, and concurrent
+    // invalidation must have produced at least one miss.
+    let snap = registry.snapshot();
+    let hits = snap
+        .counter("warehouse_aggcache_hits_total", &[("table", "fact")])
+        .unwrap_or(0);
+    let misses = snap
+        .counter("warehouse_aggcache_misses_total", &[("table", "fact")])
+        .unwrap_or(0);
+    assert!(
+        hits >= 1,
+        "expected at least one aggregate-cache hit, got {hits}"
+    );
+    assert!(
+        misses >= 1,
+        "expected at least one aggregate-cache miss, got {misses}"
+    );
+}

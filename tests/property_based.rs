@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use xdmod::warehouse::binlog::{decode_payload, decode_stream, encode_payload, Binlog};
 use xdmod::warehouse::time::{civil_from_days, days_from_civil, parse_iso_datetime, format_iso_datetime};
 use xdmod::warehouse::{
-    AggFn, Aggregate, Bin, Bins, ColumnType, EventPayload, LogPosition, Period, Query,
-    SchemaBuilder, Snapshot, Table, Value,
+    run_sharded, AggFn, Aggregate, Bin, Bins, ColumnType, EventPayload, LogPosition, Period,
+    PoolConfig, Query, Row, SchemaBuilder, Snapshot, Table, Value,
 };
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -267,6 +267,159 @@ proptest! {
         let sum: f64 = grouped.rows.iter().map(|r| r[idx].as_f64().unwrap()).sum();
         prop_assert_eq!(total, sum);
         prop_assert_eq!(total as usize, keys.len());
+    }
+
+    // ---------------- parallel aggregation & caching ----------------
+
+    #[test]
+    fn shard_merge_is_split_and_order_invariant(
+        raw in prop::collection::vec((0u32..4096, 0u8..5), 0..200),
+        cuts in prop::collection::vec(0usize..200, 0..6),
+    ) {
+        // Dyadic values (n/64) make float sums exact, so "invariant"
+        // means byte-identical, not approximately equal.
+        let mut table = Table::new(
+            SchemaBuilder::new("t")
+                .required("k", ColumnType::Str)
+                .required("v", ColumnType::Float)
+                .build()
+                .unwrap(),
+        );
+        table
+            .insert_batch(
+                raw.iter()
+                    .map(|(v, k)| vec![Value::Str(format!("k{k}")), Value::Float(*v as f64 / 64.0)])
+                    .collect(),
+            )
+            .unwrap();
+        let query = Query::new()
+            .group_by_column("k")
+            .aggregate(Aggregate::count("n"))
+            .aggregate(Aggregate::of(AggFn::Sum, "v", "sum"))
+            .aggregate(Aggregate::of(AggFn::Avg, "v", "avg"))
+            .aggregate(Aggregate::of(AggFn::Min, "v", "min"))
+            .aggregate(Aggregate::of(AggFn::Max, "v", "max"));
+        let schema = table.schema();
+        let rows = table.rows();
+
+        // Split the row stream at arbitrary (sorted, deduped) cut points.
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(rows.len())).collect();
+        cuts.push(0);
+        cuts.push(rows.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let chunks: Vec<&[Row]> = cuts.windows(2).map(|w| &rows[w[0]..w[1]]).collect();
+        let partials: Vec<_> = chunks
+            .iter()
+            .map(|c| query.partial_aggregate(schema, c.iter()).unwrap())
+            .collect();
+
+        // Folding shards forward and backward must finalize identically
+        // to the unsplit whole: merge is associative and commutative.
+        let fold = |order: Vec<xdmod::warehouse::PartialAggregation>| {
+            let mut acc = xdmod::warehouse::PartialAggregation::default();
+            for p in order {
+                acc.merge(p);
+            }
+            query.finalize_partials(schema, acc).unwrap()
+        };
+        let forward = fold(partials.clone());
+        let mut reversed = partials;
+        reversed.reverse();
+        let backward = fold(reversed);
+        let whole = query
+            .finalize_partials(schema, query.partial_aggregate(schema, rows.iter()).unwrap())
+            .unwrap();
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&forward, &query.run(&table).unwrap());
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_for_any_pool_geometry(
+        raw in prop::collection::vec((0u32..4096, 0u8..4, 0i64..200), 0..200),
+        workers in 0usize..9,
+        shards in 0usize..17,
+    ) {
+        let mut table = Table::new(
+            SchemaBuilder::new("t")
+                .required("k", ColumnType::Str)
+                .required("v", ColumnType::Float)
+                .required("ts", ColumnType::Time)
+                .build()
+                .unwrap(),
+        );
+        table
+            .insert_batch(
+                raw.iter()
+                    .map(|(v, k, d)| {
+                        vec![
+                            Value::Str(format!("k{k}")),
+                            Value::Float(*v as f64 / 64.0),
+                            Value::Time(*d * 86_400),
+                        ]
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        let query = Query::new()
+            .group_by_period("ts", Period::Month)
+            .group_by_column("k")
+            .aggregate(Aggregate::count("n"))
+            .aggregate(Aggregate::of(AggFn::Sum, "v", "sum"));
+        let pool = PoolConfig::new(workers).with_shards(shards);
+        let got = run_sharded(
+            &query,
+            &table,
+            pool,
+            &xdmod::telemetry::MetricsRegistry::disabled(),
+            "t",
+        )
+        .unwrap();
+        prop_assert_eq!(got, query.run(&table).unwrap());
+    }
+
+    #[test]
+    fn watermarks_and_rebuild_tickets_track_binlog_ingest(
+        batches in prop::collection::vec(prop::collection::vec(0i64..1000, 1..5), 1..8),
+        external_rebuilds in prop::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let mut db = xdmod::warehouse::Database::new();
+        db.create_schema("s").unwrap();
+        db.create_table(
+            "s",
+            SchemaBuilder::new("t").required("a", ColumnType::Int).build().unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(db.table_watermark("s", "t"), None);
+        let mut last_seqno = 0u64;
+        let mut last_generation = db.rebuild_generation();
+        for (i, rows) in batches.iter().enumerate() {
+            let before = db.rebuild_ticket("s", "t");
+            let pos = db
+                .insert("s", "t", rows.iter().map(|v| vec![Value::Int(*v)]).collect())
+                .unwrap();
+            let after = db.rebuild_ticket("s", "t");
+            // The watermark is exactly the binlog position of the ingest
+            // and advances strictly monotonically with the seqno.
+            prop_assert_eq!(db.table_watermark("s", "t"), Some(pos));
+            prop_assert!(pos.seqno > last_seqno);
+            last_seqno = pos.seqno;
+            // Ingest invalidates the pre-ingest ticket; a quiet reissue
+            // re-validates.
+            prop_assert_ne!(before, after);
+            prop_assert_eq!(after, db.rebuild_ticket("s", "t"));
+            if external_rebuilds.get(i).copied().unwrap_or(false) {
+                // External rebuilds (resync, restore) bump the generation
+                // monotonically and invalidate even a fresh ticket.
+                let generation = db.note_external_rebuild();
+                prop_assert!(generation > last_generation);
+                last_generation = generation;
+                prop_assert_ne!(after, db.rebuild_ticket("s", "t"));
+            }
+        }
+        // Watermarks are per-table: a table never written has none.
+        prop_assert_eq!(db.table_watermark("s", "untouched"), None);
     }
 
     // ---------------- snapshots & checksums ----------------
