@@ -208,7 +208,10 @@ mod tests {
         let mut map = IdentityMap::new();
         map.register("ccr-xdmod", &alice_ccr());
         map.register("xsede-xdmod", &alice_xsede());
-        map.register("ccr-xdmod", &User::member("bob", "bob@buffalo.edu", "buffalo.edu"));
+        map.register(
+            "ccr-xdmod",
+            &User::member("bob", "bob@buffalo.edu", "buffalo.edu"),
+        );
         let proposals = map.propose_merges();
         assert_eq!(proposals.len(), 1);
         assert!(proposals[0].evidence.contains("alice@buffalo.edu"));

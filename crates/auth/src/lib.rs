@@ -24,6 +24,6 @@ pub mod user;
 pub use identity::{IdentityMap, LocalIdentity, MergeProposal, PersonId};
 pub use local::LocalAuthenticator;
 pub use saml::{Assertion, SamlError};
-pub use session::{AuthMethod, AuthMode, InstanceAuth, Session};
+pub use session::{parse_token, AuthMethod, AuthMode, InstanceAuth, Session, SESSION_TTL_SECS};
 pub use sso::{GlobusIdp, IdentityProvider, LdapIdp, ShibbolethIdp, SsoGateway};
 pub use user::{Role, User, UserStore};

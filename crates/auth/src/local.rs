@@ -44,9 +44,7 @@ impl LocalAuthenticator {
     /// indistinguishable to the caller.
     pub fn verify(&self, username: &str, password: &str) -> bool {
         match self.credentials.get(username) {
-            Some(cred) => {
-                digests_equal(kdf(password, cred.salt, KDF_ITERATIONS), cred.digest)
-            }
+            Some(cred) => digests_equal(kdf(password, cred.salt, KDF_ITERATIONS), cred.digest),
             None => {
                 // Burn the same work for unknown users (timing-shape
                 // parity with the real thing).

@@ -125,7 +125,10 @@ impl Assertion {
         expected_audience: &str,
         now: i64,
     ) -> Result<(), SamlError> {
-        if !digests_equal(self.signature, keyed_digest(idp_key, &self.canonical_bytes())) {
+        if !digests_equal(
+            self.signature,
+            keyed_digest(idp_key, &self.canonical_bytes()),
+        ) {
             return Err(SamlError::BadSignature);
         }
         if self.audience != expected_audience {

@@ -44,6 +44,23 @@ pub struct Session {
     pub expires_at: i64,
 }
 
+impl Session {
+    /// The token as it travels in a cookie: 16 lowercase hex digits.
+    pub fn cookie_value(&self) -> String {
+        format!("{:016x}", self.token)
+    }
+}
+
+/// Parse a cookie value minted by [`Session::cookie_value`] back into a
+/// token. `None` for anything that is not plain hex — a garbage cookie is
+/// an anonymous request, never an error.
+pub fn parse_token(cookie: &str) -> Option<Digest> {
+    if cookie.is_empty() || cookie.len() > 16 || !cookie.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Digest::from_str_radix(cookie, 16).ok()
+}
+
 /// Session lifetime.
 pub const SESSION_TTL_SECS: i64 = 8 * 3600;
 
@@ -196,6 +213,21 @@ impl InstanceAuth {
     pub fn logout(&mut self, token: Digest) -> bool {
         self.sessions.remove(&token).is_some()
     }
+
+    /// Live sessions currently on the books (expired ones included until
+    /// purged).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Drop every session already expired at `now`; returns how many. A
+    /// long-lived serving tier calls this periodically so the session map
+    /// tracks live users, not login history.
+    pub fn purge_expired(&mut self, now: i64) -> usize {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| s.expires_at >= now);
+        before - self.sessions.len()
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +269,9 @@ mod tests {
         let local = auth.login_local("alice", "local-pw", 100).unwrap();
         assert_eq!(local.method, AuthMethod::Local);
 
-        let assertion = idp.authenticate("alice", "sso-pw", "ccr-xdmod", 100).unwrap();
+        let assertion = idp
+            .authenticate("alice", "sso-pw", "ccr-xdmod", 100)
+            .unwrap();
         let sso = auth.login_sso(&assertion, 110).unwrap();
         assert_eq!(
             sso.method,
@@ -294,13 +328,51 @@ mod tests {
     }
 
     #[test]
+    fn cookie_values_round_trip_and_garbage_is_anonymous() {
+        let mut auth = instance();
+        let s = auth.login_local("alice", "local-pw", 1_000).unwrap();
+        let cookie = s.cookie_value();
+        assert_eq!(cookie.len(), 16);
+        assert_eq!(parse_token(&cookie), Some(s.token));
+        assert!(auth
+            .validate_session(parse_token(&cookie).unwrap(), 1_001)
+            .is_some());
+
+        for garbage in ["", "zz", "+ff", "deadbeefdeadbeef0", "12 34"] {
+            assert_eq!(parse_token(garbage), None, "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn purge_drops_only_expired_sessions() {
+        let mut auth = instance();
+        let old = auth.login_local("alice", "local-pw", 0).unwrap();
+        let fresh = auth
+            .login_local("alice", "local-pw", SESSION_TTL_SECS + 100)
+            .unwrap();
+        assert_eq!(auth.session_count(), 2);
+        assert_eq!(auth.purge_expired(SESSION_TTL_SECS + 50), 1);
+        assert_eq!(auth.session_count(), 1);
+        assert!(auth
+            .validate_session(old.token, SESSION_TTL_SECS + 50)
+            .is_none());
+        assert!(auth
+            .validate_session(fresh.token, SESSION_TTL_SECS + 200)
+            .is_some());
+        assert_eq!(auth.purge_expired(SESSION_TTL_SECS + 50), 0);
+    }
+
+    #[test]
     fn delegated_mode_refuses_direct_sso_but_accepts_hub_sessions() {
         let idp = idp();
         // Hub validates SSO; satellite is in delegated mode.
         let mut hub = InstanceAuth::new("federation-hub", AuthMode::ServiceProvider, true);
         hub.trust_idp(&idp).unwrap();
         let mut sat = InstanceAuth::new("ccr-xdmod", AuthMode::IdentityProviderDelegated, false);
-        sat.enroll(User::member("alice", "alice@buffalo.edu", "buffalo.edu"), None);
+        sat.enroll(
+            User::member("alice", "alice@buffalo.edu", "buffalo.edu"),
+            None,
+        );
 
         let assertion = idp
             .authenticate("alice", "sso-pw", "federation-hub", 100)
@@ -308,7 +380,9 @@ mod tests {
         let hub_session = hub.login_sso(&assertion, 110).unwrap();
 
         // Direct SSO at the satellite is refused in this mode...
-        let sat_assertion = idp.authenticate("alice", "sso-pw", "ccr-xdmod", 100).unwrap();
+        let sat_assertion = idp
+            .authenticate("alice", "sso-pw", "ccr-xdmod", 100)
+            .unwrap();
         assert!(sat.login_sso(&sat_assertion, 110).is_none());
         // ...but the hub's session is honored.
         let sat_session = sat.login_delegated(&hub_session, 120).unwrap();

@@ -69,12 +69,7 @@ impl ShibbolethIdp {
     }
 
     /// Enroll a user with institutional attributes.
-    pub fn enroll(
-        &mut self,
-        username: &str,
-        password: &str,
-        attributes: BTreeMap<String, String>,
-    ) {
+    pub fn enroll(&mut self, username: &str, password: &str, attributes: BTreeMap<String, String>) {
         self.directory
             .insert(username.to_owned(), (password.to_owned(), attributes));
     }
@@ -138,7 +133,8 @@ impl GlobusIdp {
 
     /// Create a Globus account.
     pub fn register(&mut self, account: &str, password: &str) {
-        self.accounts.insert(account.to_owned(), password.to_owned());
+        self.accounts
+            .insert(account.to_owned(), password.to_owned());
     }
 
     /// Link a Globus account to an institutional identity — the paper's
@@ -289,7 +285,8 @@ impl SsoGateway {
     /// Trust an IdP. Errors (with a message) if the single-source
     /// restriction would be violated.
     pub fn trust(&mut self, idp: &dyn IdentityProvider) -> Result<(), String> {
-        if self.single_source && !self.trusted.is_empty()
+        if self.single_source
+            && !self.trusted.is_empty()
             && !self.trusted.contains_key(idp.entity_id())
         {
             return Err(format!(
@@ -358,7 +355,9 @@ mod tests {
     #[test]
     fn wrong_password_yields_no_assertion() {
         let idp = shib();
-        assert!(idp.authenticate("alice", "nope", "ccr-xdmod", 100).is_none());
+        assert!(idp
+            .authenticate("alice", "nope", "ccr-xdmod", 100)
+            .is_none());
         assert!(idp.authenticate("bob", "pw-a", "ccr-xdmod", 100).is_none());
     }
 
@@ -415,8 +414,12 @@ mod tests {
         let mut gw = SsoGateway::multi("federation-hub");
         gw.trust(&shib).unwrap();
         gw.trust(&ldap).unwrap();
-        let a1 = shib.authenticate("alice", "pw-a", "federation-hub", 10).unwrap();
-        let a2 = ldap.authenticate("bob", "pw-b", "federation-hub", 10).unwrap();
+        let a1 = shib
+            .authenticate("alice", "pw-a", "federation-hub", 10)
+            .unwrap();
+        let a2 = ldap
+            .authenticate("bob", "pw-b", "federation-hub", 10)
+            .unwrap();
         assert_eq!(gw.validate(&a1, 20).unwrap(), "alice");
         assert_eq!(gw.validate(&a2, 20).unwrap(), "bob");
         let seen: Vec<&str> = gw.issuers_seen().collect();

@@ -135,9 +135,7 @@ mod tests {
     fn store_upsert_and_lookup() {
         let mut store = UserStore::new();
         store.upsert(User::member("alice", "alice@buffalo.edu", "buffalo.edu"));
-        store.upsert(
-            User::member("alice", "alice@buffalo.edu", "buffalo.edu").with_role(Role::Pi),
-        );
+        store.upsert(User::member("alice", "alice@buffalo.edu", "buffalo.edu").with_role(Role::Pi));
         assert_eq!(store.len(), 1);
         assert_eq!(store.get("alice").unwrap().role, Role::Pi);
         assert!(store.get("bob").is_none());

@@ -8,7 +8,11 @@ use std::time::Instant;
 use xdmod_bench::experiments as exp;
 
 /// Run one figure, print its banner, and record the wall time.
-fn timed<T>(timings: &mut Vec<(&'static str, f64)>, name: &'static str, f: impl FnOnce() -> T) -> T {
+fn timed<T>(
+    timings: &mut Vec<(&'static str, f64)>,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
     println!("=== {name} ===");
     let start = Instant::now();
     let out = f();
@@ -88,6 +92,15 @@ fn main() {
     );
     assert!(agg.identical, "parallel aggregation diverged from serial");
 
+    let gw = timed(&mut timings, "gateway_throughput", || {
+        exp::gateway_throughput(exp::SEED, 200)
+    });
+    println!(
+        "  cold query {:.4}s; cache-hit {:.0} req/s; 304 revalidate {:.0} req/s ({} reqs each, {} panics)",
+        gw.cold_seconds, gw.cache_hit_rps, gw.revalidate_rps, gw.requests, gw.worker_panics
+    );
+    assert_eq!(gw.worker_panics, 0, "gateway workers must survive the run");
+
     let results = serde_json::json!({
         "seed": exp::SEED,
         "total_seconds": run_started.elapsed().as_secs_f64(),
@@ -103,6 +116,13 @@ fn main() {
             "cached_repeat_seconds": agg.cached_seconds,
             "speedup": agg.serial_seconds / agg.parallel_seconds.max(1e-9),
             "identical_output": agg.identical,
+        },
+        "gateway_throughput": {
+            "requests_per_regime": gw.requests,
+            "cold_query_seconds": gw.cold_seconds,
+            "cache_hit_requests_per_sec": gw.cache_hit_rps,
+            "revalidate_304_requests_per_sec": gw.revalidate_rps,
+            "worker_panics": gw.worker_panics,
         },
     });
     std::fs::create_dir_all(dir).expect("results dir");

@@ -13,9 +13,7 @@ use xdmod_realms::levels::{
 };
 use xdmod_realms::RealmKind;
 use xdmod_sim::{CloudSim, ClusterSim, ResourceProfile, StorageSim};
-use xdmod_warehouse::{
-    AggFn, Aggregate, CivilDate, GroupKey, OrderBy, Period, Predicate, Query,
-};
+use xdmod_warehouse::{AggFn, Aggregate, CivilDate, GroupKey, OrderBy, Period, Predicate, Query};
 
 /// Default deterministic seed for every experiment.
 pub const SEED: u64 = 20180923; // CLUSTER'18 week
@@ -141,13 +139,17 @@ pub fn table1(seed: u64, scale: f64) -> Table1 {
     levels.set(DIM_WALL_TIME, hub_walltime());
     hub.set_levels(levels);
     let mut fed = Federation::new(hub);
-    fed.join_tight(&a, FederationConfig::default()).expect("join a");
-    fed.join_tight(&b, FederationConfig::default()).expect("join b");
+    fed.join_tight(&a, FederationConfig::default())
+        .expect("join a");
+    fed.join_tight(&b, FederationConfig::default())
+        .expect("join b");
     fed.sync_and_aggregate().expect("sync");
 
     let mut views = BTreeMap::new();
     let count_bins = |db: &xdmod_warehouse::Database, schema: &str| -> BTreeMap<String, i64> {
-        let t = db.table(schema, "jobfact_by_year").expect("aggregate exists");
+        let t = db
+            .table(schema, "jobfact_by_year")
+            .expect("aggregate exists");
         let bin_idx = t.schema().column_index("wall_hours_bin").expect("bin col");
         let cnt_idx = t.schema().column_index("job_count").expect("count col");
         let mut out: BTreeMap<String, i64> = BTreeMap::new();
@@ -159,9 +161,15 @@ pub fn table1(seed: u64, scale: f64) -> Table1 {
     };
     {
         let db = a.database();
-        views.insert("Instance A".to_owned(), count_bins(&db.read(), &a.schema_name()));
+        views.insert(
+            "Instance A".to_owned(),
+            count_bins(&db.read(), &a.schema_name()),
+        );
         let db = b.database();
-        views.insert("Instance B".to_owned(), count_bins(&db.read(), &b.schema_name()));
+        views.insert(
+            "Instance B".to_owned(),
+            count_bins(&db.read(), &b.schema_name()),
+        );
         let db = fed.hub().database();
         let db = db.read();
         let mut hub_view: BTreeMap<String, i64> = BTreeMap::new();
@@ -373,7 +381,10 @@ pub fn fig5() -> AuthFlows {
 
     // Instance X: local-only users.
     let mut x = InstanceAuth::new("instance-x", AuthMode::ServiceProvider, false);
-    x.enroll(User::member("xavier", "xavier@site-x.edu", "site-x.edu"), Some("pw-x"));
+    x.enroll(
+        User::member("xavier", "xavier@site-x.edu", "site-x.edu"),
+        Some("pw-x"),
+    );
     if let Some(s) = x.login_local("xavier", "pw-x", now) {
         sessions.push((s.username, s.instance, "local".into()));
     }
@@ -387,7 +398,9 @@ pub fn fig5() -> AuthFlows {
     );
     let mut y = InstanceAuth::new("instance-y", AuthMode::ServiceProvider, false);
     y.trust_idp(&shib).expect("trust");
-    let a = shib.authenticate("yolanda", "pw-y", "instance-y", now).expect("auth");
+    let a = shib
+        .authenticate("yolanda", "pw-y", "instance-y", now)
+        .expect("auth");
     if let Some(s) = y.login_sso(&a, now + 1) {
         sessions.push((s.username, s.instance, "sso".into()));
     }
@@ -409,7 +422,11 @@ pub fn fig5() -> AuthFlows {
     hub.auth_mut().trust_idp(&globus).expect("multi");
     hub.auth_mut().trust_idp(&ldap).expect("multi");
     for (idp, user, pw) in [
-        (&shib as &dyn xdmod_auth::IdentityProvider, "yolanda", "pw-y"),
+        (
+            &shib as &dyn xdmod_auth::IdentityProvider,
+            "yolanda",
+            "pw-y",
+        ),
         (&globus, "fred.globus", "pw-f"),
         (&ldap, "zoe", "pw-z"),
     ] {
@@ -440,9 +457,18 @@ pub fn fig5() -> AuthFlows {
 
     // §II-D4: the same human on two instances, de-duplicated at the hub.
     let ids = hub.identity_map_mut();
-    ids.register("instance-x", &User::member("xavier", "x@one.edu", "one.edu"));
-    ids.register("xsede-xdmod", &User::member("xsede_xavier", "x@one.edu", "one.edu"));
-    ids.register("instance-y", &User::member("yolanda", "yolanda@site-y.edu", "site-y.edu"));
+    ids.register(
+        "instance-x",
+        &User::member("xavier", "x@one.edu", "one.edu"),
+    );
+    ids.register(
+        "xsede-xdmod",
+        &User::member("xsede_xavier", "x@one.edu", "one.edu"),
+    );
+    ids.register(
+        "instance-y",
+        &User::member("yolanda", "yolanda@site-y.edu", "site-y.edu"),
+    );
     ids.auto_deduplicate();
     AuthFlows {
         sessions,
@@ -638,7 +664,9 @@ pub fn parallel_aggregation(seed: u64, months: u8, workers: usize) -> ParallelAg
         let b = parallel_db.read();
         spec.periods.iter().all(|period| {
             let table = spec.table_name(*period);
-            let lhs = a.table(&serial.schema_name(), &table).expect("serial table");
+            let lhs = a
+                .table(&serial.schema_name(), &table)
+                .expect("serial table");
             let rhs = b
                 .table(&parallel.schema_name(), &table)
                 .expect("parallel table");
@@ -651,6 +679,130 @@ pub fn parallel_aggregation(seed: u64, months: u8, workers: usize) -> ParallelAg
         parallel_seconds,
         cached_seconds,
         identical,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gateway serving throughput
+// ---------------------------------------------------------------------
+
+/// Result of the serving-tier throughput measurement.
+pub struct GatewayThroughput {
+    /// Wall seconds for the first (cold) federated query: full compute
+    /// through the hub plus serialization.
+    pub cold_seconds: f64,
+    /// Requests/sec for repeated 200s where the hub's memoized query
+    /// cache absorbs the compute and only serialization remains.
+    pub cache_hit_rps: f64,
+    /// Requests/sec for `If-None-Match` revalidations answered 304 —
+    /// the watermark-derived version check alone, no body at all.
+    pub revalidate_rps: f64,
+    /// Requests measured per hot loop.
+    pub requests: usize,
+    /// Worker panics observed (must be zero).
+    pub worker_panics: u64,
+}
+
+/// Measure gateway requests/sec on the loopback interface for the three
+/// serving regimes: a cold federated query, memoized-cache hits, and
+/// ETag revalidation 304s. One sequential client so the numbers compare
+/// per-request cost, not connection concurrency.
+pub fn gateway_throughput(seed: u64, requests: usize) -> GatewayThroughput {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, RwLock};
+    use std::time::Instant;
+    use xdmod_auth::{Role, User};
+    use xdmod_gateway::{serve, GatewayConfig, SESSION_COOKIE};
+
+    let mut fed = Federation::new(FederationHub::new("bench-hub"));
+    for (name, resource, salt) in [("site-a", "res-a", 1), ("site-b", "res-b", 2)] {
+        let mut inst = XdmodInstance::new(name);
+        inst.set_su_factor(resource, 1.0);
+        let sim = ClusterSim::new(
+            ResourceProfile::generic(resource, 128, 48.0, 1.0),
+            seed + salt,
+        );
+        inst.ingest_sacct(resource, &sim.sacct_log(2017, 1..=2))
+            .expect("simulated log parses");
+        fed.join_tight(&inst, FederationConfig::default())
+            .expect("join");
+    }
+    fed.sync().expect("sync");
+    fed.hub_mut().auth_mut().enroll(
+        User::member("bench", "bench@hub", "hub").with_role(Role::CenterStaff),
+        Some("bench-pw"),
+    );
+    // The gateway validates sessions against real wall-clock time.
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_secs() as i64;
+    let session = fed
+        .hub_mut()
+        .auth_mut()
+        .login_local("bench", "bench-pw", now)
+        .expect("login");
+    let cookie = format!("Cookie: {SESSION_COOKIE}={}\r\n", session.cookie_value());
+
+    let fed = Arc::new(RwLock::new(fed));
+    // Rate limiting off the table: this measures serving cost.
+    let config = GatewayConfig::default().with_rate_limit(10_000_000, 1_000_000);
+    let handle = serve(fed, config, None).expect("bind gateway");
+    let addr = handle.addr();
+
+    let exchange = |headers: &str| -> (u16, String, String) {
+        let target = "/query?realm=jobs&metric=job_count&dimension=resource&view=aggregate";
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n{headers}\r\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("recv");
+        let status = response
+            .split(' ')
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status");
+        let (head, body) = response.split_once("\r\n\r\n").expect("split");
+        (status, head.to_owned(), body.to_owned())
+    };
+
+    let start = Instant::now();
+    let (status, head, _) = exchange(&cookie);
+    let cold_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "cold query");
+    let etag = head
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.eq_ignore_ascii_case("etag").then(|| v.trim().to_owned())
+        })
+        .expect("etag");
+
+    let start = Instant::now();
+    for _ in 0..requests {
+        let (status, _, _) = exchange(&cookie);
+        assert_eq!(status, 200);
+    }
+    let cache_hit_rps = requests as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    let revalidate = format!("{cookie}If-None-Match: {etag}\r\n");
+    let start = Instant::now();
+    for _ in 0..requests {
+        let (status, _, _) = exchange(&revalidate);
+        assert_eq!(status, 304);
+    }
+    let revalidate_rps = requests as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    let worker_panics = handle.worker_panics();
+    handle.shutdown();
+    GatewayThroughput {
+        cold_seconds,
+        cache_hit_rps,
+        revalidate_rps,
+        requests,
+        worker_panics,
     }
 }
 
@@ -734,6 +886,15 @@ mod tests {
         // The cached repeat skips the fold entirely; it must not cost
         // more than the cold rebuild it short-circuits.
         assert!(r.cached_seconds <= r.parallel_seconds);
+    }
+
+    #[test]
+    fn gateway_throughput_serves_all_three_regimes() {
+        let g = gateway_throughput(SEED, 10);
+        assert!(g.cold_seconds > 0.0);
+        assert!(g.cache_hit_rps > 0.0);
+        assert!(g.revalidate_rps > 0.0);
+        assert_eq!(g.worker_panics, 0);
     }
 
     #[test]

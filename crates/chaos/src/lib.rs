@@ -90,6 +90,10 @@ pub enum FaultPoint {
     Transport,
     /// Applying a replicated event to the target (`Database::apply_event`).
     Apply,
+    /// The gateway's accept loop taking a connection off the listener.
+    Accept,
+    /// The gateway reading a request off an accepted socket.
+    SocketRead,
 }
 
 impl fmt::Display for FaultPoint {
@@ -98,6 +102,8 @@ impl fmt::Display for FaultPoint {
             FaultPoint::BinlogRead => "binlog-read",
             FaultPoint::Transport => "transport",
             FaultPoint::Apply => "apply",
+            FaultPoint::Accept => "accept",
+            FaultPoint::SocketRead => "socket-read",
         })
     }
 }
@@ -332,7 +338,10 @@ impl FaultInjector {
     fn lock(&self) -> std::sync::MutexGuard<'_, InjectorState> {
         // The injector's state stays valid under interruption (counters
         // and a log), so poisoning is recovered, never propagated.
-        self.inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Consult the injector at an injection point. Increments the
@@ -480,7 +489,11 @@ mod tests {
     fn every_nth_fires_periodically_and_zero_never_fires() {
         let plan = FaultPlan::new()
             .with(FaultSpec::every(FaultPoint::Apply, FaultKind::Transient, 3))
-            .with(FaultSpec::every(FaultPoint::BinlogRead, FaultKind::Transient, 0));
+            .with(FaultSpec::every(
+                FaultPoint::BinlogRead,
+                FaultKind::Transient,
+                0,
+            ));
         let inj = plan.injector(0);
         let fired: Vec<bool> = (0..6)
             .map(|_| inj.next_fault(FaultPoint::Apply, "x").is_some())
@@ -516,9 +529,8 @@ mod tests {
 
     #[test]
     fn targeting_restricts_to_one_label() {
-        let plan = FaultPlan::new().with(
-            FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 1).for_target("a"),
-        );
+        let plan = FaultPlan::new()
+            .with(FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 1).for_target("a"));
         let inj = plan.injector(0);
         assert!(inj.next_fault(FaultPoint::Transport, "a").is_some());
         assert!(inj.next_fault(FaultPoint::Transport, "b").is_none());
@@ -526,9 +538,8 @@ mod tests {
 
     #[test]
     fn budget_caps_total_firings() {
-        let plan = FaultPlan::new().with(
-            FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 1).with_budget(2),
-        );
+        let plan = FaultPlan::new()
+            .with(FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 1).with_budget(2));
         let inj = plan.injector(0);
         let fired: Vec<bool> = (0..5)
             .map(|_| inj.next_fault(FaultPoint::Transport, "x").is_some())
@@ -585,8 +596,10 @@ mod tests {
     fn schedule_text_is_byte_identical_across_identical_runs() {
         let plan = FaultPlan::new()
             .with(FaultSpec::every(FaultPoint::Transport, FaultKind::Transient, 2).for_target("a"))
-            .with(FaultSpec::at_ops(FaultPoint::BinlogRead, FaultKind::CorruptTailByte, &[3])
-                .for_target("b"))
+            .with(
+                FaultSpec::at_ops(FaultPoint::BinlogRead, FaultKind::CorruptTailByte, &[3])
+                    .for_target("b"),
+            )
             .with(FaultSpec::with_probability(
                 FaultPoint::Apply,
                 FaultKind::Stall { millis: 1 },
@@ -606,13 +619,20 @@ mod tests {
         assert_eq!(one, two);
         assert!(!one.is_empty());
         // Records render with point, target, op and kind.
-        assert!(one.lines().next().is_some_and(|l| l.contains("[") && l.contains("op ")));
+        assert!(one
+            .lines()
+            .next()
+            .is_some_and(|l| l.contains("[") && l.contains("op ")));
     }
 
     #[test]
     fn first_matching_spec_wins() {
         let plan = FaultPlan::new()
-            .with(FaultSpec::at_ops(FaultPoint::Transport, FaultKind::Transient, &[1]))
+            .with(FaultSpec::at_ops(
+                FaultPoint::Transport,
+                FaultKind::Transient,
+                &[1],
+            ))
             .with(FaultSpec::at_ops(
                 FaultPoint::Transport,
                 FaultKind::LinkDown,
@@ -648,8 +668,13 @@ mod tests {
         assert_eq!(FaultKind::Stall { millis: 5 }.to_string(), "stall(5ms)");
         assert_eq!(FaultKind::LinkDown.to_string(), "link-down");
         assert_eq!(FaultKind::CorruptTailByte.to_string(), "corrupt-tail-byte");
-        assert_eq!(FaultKind::TruncateTail { bytes: 7 }.to_string(), "truncate-tail(7B)");
+        assert_eq!(
+            FaultKind::TruncateTail { bytes: 7 }.to_string(),
+            "truncate-tail(7B)"
+        );
         assert_eq!(FaultPoint::BinlogRead.to_string(), "binlog-read");
+        assert_eq!(FaultPoint::Accept.to_string(), "accept");
+        assert_eq!(FaultPoint::SocketRead.to_string(), "socket-read");
         let record = FaultRecord {
             seq: 3,
             op: 17,

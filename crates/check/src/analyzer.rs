@@ -23,6 +23,7 @@ pub fn analyze(model: &FederationModel) -> Diagnostics {
     check_excluded_resources(model, &mut diags);
     check_zero_retry_tight_links(model, &mut diags);
     check_aggregation_pool(model, &mut diags);
+    check_gateway_pool(model, &mut diags);
     diags
 }
 
@@ -240,8 +241,7 @@ fn check_schema_drift(model: &FederationModel, diags: &mut Diagnostics) {
                             .with_help("align the fact-table schemas before federating"),
                         ),
                         Some(their_col)
-                            if their_col.ty != col.ty
-                                || their_col.nullable != col.nullable =>
+                            if their_col.ty != col.ty || their_col.nullable != col.nullable =>
                         {
                             diags.push(
                                 Diagnostic::new(
@@ -458,6 +458,47 @@ fn check_aggregation_pool(model: &FederationModel, diags: &mut Diagnostics) {
     }
 }
 
+/// XC0012 — the gateway's HTTP worker pool is larger than the hub's
+/// aggregation pool.
+///
+/// Runtime symptom: every cache-missing `/query` ultimately funnels into
+/// the hub warehouse's aggregation pool, so at most `aggregation.workers`
+/// requests make real progress at a time. Surplus gateway workers each
+/// hold a socket, a queue slot, and an admission permit while blocked on
+/// the same warehouse locks — latency rises and the accept queue fills
+/// faster under load, with zero added throughput. The gateway still
+/// *answers* correctly, which is why the misconfiguration survives
+/// unnoticed until a saturation event.
+fn check_gateway_pool(model: &FederationModel, diags: &mut Diagnostics) {
+    let Some(gateway) = &model.gateway else {
+        return;
+    };
+    let Some(pool) = &model.aggregation else {
+        return;
+    };
+    if let (Some(gw_workers), Some(agg_workers)) = (gateway.workers, pool.workers) {
+        if gw_workers > agg_workers {
+            diags.push(
+                Diagnostic::new(
+                    Code::GatewayPoolExceedsAggregation,
+                    Span::federation(),
+                    format!(
+                        "gateway configures {gw_workers} request worker(s) over an \
+                         aggregation pool of {agg_workers}; under load the surplus \
+                         {} worker(s) queue behind aggregation locks while holding \
+                         sockets open",
+                        gw_workers - agg_workers
+                    ),
+                )
+                .with_help(
+                    "size the gateway pool at or below the hub aggregation pool, \
+                     or raise the aggregation pool to match the serving concurrency",
+                ),
+            );
+        }
+    }
+}
+
 fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
     sat.excluded_resources.iter().any(|r| r == resource)
 }
@@ -465,9 +506,7 @@ fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{
-        AggregateModel, ColumnModel, GroupByModel, LinkModel, TableModel,
-    };
+    use crate::model::{AggregateModel, ColumnModel, GroupByModel, LinkModel, TableModel};
 
     fn jobfact() -> TableModel {
         TableModel {
@@ -528,6 +567,7 @@ mod tests {
                 columns: vec!["resource".into()],
             }],
             aggregation: None,
+            gateway: None,
         }
     }
 
@@ -542,7 +582,7 @@ mod tests {
         let mut m = clean_model();
         m.satellites.push(satellite("site-a"));
         m.satellites.push(satellite("site.a")); // same inst_site_a
-        // Distinct link ids, so only the collision fires.
+                                                // Distinct link ids, so only the collision fires.
         m.satellites[3].link.id = "site.a".into();
         let diags = analyze(&m);
         assert_eq!(diags.with_code(Code::HubSchemaCollision).len(), 1);
@@ -624,6 +664,47 @@ mod tests {
             workers: Some(64),
             shards: None,
         });
+        assert!(analyze(&m).is_empty());
+    }
+
+    #[test]
+    fn gateway_pool_larger_than_aggregation_pool_is_flagged() {
+        let mut m = clean_model();
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(4),
+            shards: Some(4),
+        });
+        m.gateway = Some(crate::model::GatewayModel { workers: Some(16) });
+        let diags = analyze(&m);
+        let found = diags.with_code(Code::GatewayPoolExceedsAggregation);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("16 request worker(s)"));
+        assert!(found[0].message.contains("12 worker(s)"));
+        assert!(!diags.has_errors(), "XC0012 is a warning, not an error");
+    }
+
+    #[test]
+    fn matched_or_absent_gateway_pool_is_clean() {
+        let mut m = clean_model();
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(8),
+            shards: Some(8),
+        });
+        // Equal is fine; smaller is fine.
+        m.gateway = Some(crate::model::GatewayModel { workers: Some(8) });
+        assert!(analyze(&m).is_empty());
+        m.gateway = Some(crate::model::GatewayModel { workers: Some(2) });
+        assert!(analyze(&m).is_empty());
+        // A gateway with no aggregation pool to compare to is not
+        // reasoned about — and neither is an unsized gateway.
+        m.aggregation = None;
+        m.gateway = Some(crate::model::GatewayModel { workers: Some(64) });
+        assert!(analyze(&m).is_empty());
+        m.aggregation = Some(crate::model::AggregationPoolModel {
+            workers: Some(4),
+            shards: Some(4),
+        });
+        m.gateway = Some(crate::model::GatewayModel { workers: None });
         assert!(analyze(&m).is_empty());
     }
 

@@ -61,11 +61,16 @@ pub enum Code {
     /// have day-bucket shards: the surplus workers can never claim a
     /// shard and sit idle while still being spawned every rebuild.
     OversizedAggregationPool,
+    /// The gateway's HTTP worker pool is larger than the hub's
+    /// aggregation pool: under load, the surplus request workers all
+    /// queue behind the same aggregation locks, holding sockets open
+    /// without adding any throughput.
+    GatewayPoolExceedsAggregation,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 11] = [
+    pub const ALL: [Code; 12] = [
         Code::HubSchemaCollision,
         Code::SelfReplication,
         Code::DuplicateLinkId,
@@ -77,6 +82,7 @@ impl Code {
         Code::UnknownExcludedResource,
         Code::ZeroRetryTightLink,
         Code::OversizedAggregationPool,
+        Code::GatewayPoolExceedsAggregation,
     ];
 
     /// The stable `XCnnnn` identifier.
@@ -93,6 +99,7 @@ impl Code {
             Code::UnknownExcludedResource => "XC0009",
             Code::ZeroRetryTightLink => "XC0010",
             Code::OversizedAggregationPool => "XC0011",
+            Code::GatewayPoolExceedsAggregation => "XC0012",
         }
     }
 
@@ -109,7 +116,8 @@ impl Code {
             Code::MissingSuFactor
             | Code::UnknownExcludedResource
             | Code::ZeroRetryTightLink
-            | Code::OversizedAggregationPool => Severity::Warning,
+            | Code::OversizedAggregationPool
+            | Code::GatewayPoolExceedsAggregation => Severity::Warning,
         }
     }
 
@@ -129,6 +137,9 @@ impl Code {
             Code::UnknownExcludedResource => "excluded resource matches no job record",
             Code::ZeroRetryTightLink => "tight link configured with zero retries",
             Code::OversizedAggregationPool => "aggregation pool has more workers than shards",
+            Code::GatewayPoolExceedsAggregation => {
+                "gateway worker pool exceeds the hub aggregation pool"
+            }
         }
     }
 }
@@ -383,10 +394,18 @@ mod tests {
         assert_eq!(Code::HubSchemaCollision.ident(), "XC0001");
         assert_eq!(Code::UnknownExcludedResource.ident(), "XC0009");
         assert_eq!(Code::ZeroRetryTightLink.ident(), "XC0010");
-        assert_eq!(Code::ZeroRetryTightLink.default_severity(), Severity::Warning);
+        assert_eq!(
+            Code::ZeroRetryTightLink.default_severity(),
+            Severity::Warning
+        );
         assert_eq!(Code::OversizedAggregationPool.ident(), "XC0011");
         assert_eq!(
             Code::OversizedAggregationPool.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(Code::GatewayPoolExceedsAggregation.ident(), "XC0012");
+        assert_eq!(
+            Code::GatewayPoolExceedsAggregation.default_severity(),
             Severity::Warning
         );
     }

@@ -34,6 +34,6 @@ pub mod model;
 pub use analyzer::analyze;
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use model::{
-    AggregateModel, AggregationPoolModel, ColumnModel, FederationModel, GroupByModel, LinkModel,
-    ModelError, SatelliteModel, TableModel,
+    AggregateModel, AggregationPoolModel, ColumnModel, FederationModel, GatewayModel, GroupByModel,
+    LinkModel, ModelError, SatelliteModel, TableModel,
 };

@@ -128,6 +128,17 @@ pub struct AggregationPoolModel {
     pub shards: Option<u64>,
 }
 
+/// The serving tier's worker-pool sizing, when the producer knows it.
+///
+/// Mirrors `xdmod_gateway::GatewayConfig`: `workers` request threads
+/// drain the gateway's bounded accept queue. `None` means "unspecified";
+/// the analyzer only reasons about values actually configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayModel {
+    /// Configured HTTP request worker threads.
+    pub workers: Option<u64>,
+}
+
 /// One group-by query the hub's canned reports issue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupByModel {
@@ -152,6 +163,8 @@ pub struct FederationModel {
     pub group_bys: Vec<GroupByModel>,
     /// Aggregation pool sizing (`None` = unspecified).
     pub aggregation: Option<AggregationPoolModel>,
+    /// Serving-tier (gateway) pool sizing (`None` = no gateway).
+    pub gateway: Option<GatewayModel>,
 }
 
 /// Sanitize a name the way the workspace's schema conventions do:
@@ -179,11 +192,7 @@ pub fn default_hub_schema(name: &str) -> String {
 pub fn realm_tables(realm: &str) -> Option<&'static [&'static str]> {
     match realm.to_ascii_lowercase().as_str() {
         "jobs" => Some(&["jobfact"]),
-        "supremm" => Some(&[
-            "supremm_jobfact",
-            "supremm_timeseries",
-            "supremm_jobscript",
-        ]),
+        "supremm" => Some(&["supremm_jobfact", "supremm_timeseries", "supremm_jobscript"]),
         "storage" => Some(&["storagefact"]),
         "cloud" => Some(&["cloudfact", "cloud_reservation"]),
         _ => None,
@@ -268,12 +277,20 @@ impl FederationModel {
                 .map(|v| v as u64),
         });
 
+        let gateway = doc.get("gateway").map(|entry| GatewayModel {
+            workers: entry
+                .get("workers")
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64),
+        });
+
         Ok(FederationModel {
             hub,
             satellites,
             aggregates,
             group_bys,
             aggregation,
+            gateway,
         })
     }
 
@@ -370,6 +387,7 @@ mod tests {
         let m = FederationModel::from_json(MINIMAL).unwrap();
         assert_eq!(m.hub, "hub");
         assert_eq!(m.aggregation, None);
+        assert_eq!(m.gateway, None);
         let s = &m.satellites[0];
         assert_eq!(s.link.id, "site-a");
         assert_eq!(s.link.source_schema, "xdmod_site_a");
@@ -456,6 +474,19 @@ mod tests {
                 shards: Some(4)
             })
         );
+    }
+
+    #[test]
+    fn gateway_pool_parses() {
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [], "gateway": {"workers": 8}}"#,
+        )
+        .unwrap();
+        assert_eq!(m.gateway, Some(GatewayModel { workers: Some(8) }));
+        // An empty gateway object is "present but unsized".
+        let m =
+            FederationModel::from_json(r#"{"hub": "h", "satellites": [], "gateway": {}}"#).unwrap();
+        assert_eq!(m.gateway, Some(GatewayModel { workers: None }));
     }
 
     #[test]

@@ -125,18 +125,14 @@ fn fixtures() -> Vec<Fixture> {
         // XC0007: the group-by names a column jobfact does not have.
         Fixture {
             code: Code::DanglingDimension,
-            config: config(&[satellite("a", "")]).replace(
-                r#""columns": ["resource"]"#,
-                r#""columns": ["resoruce"]"#,
-            ),
+            config: config(&[satellite("a", "")])
+                .replace(r#""columns": ["resource"]"#, r#""columns": ["resoruce"]"#),
             span_contains: "column:resoruce",
         },
         // XC0008: job records on res-a, but no SU factor for it.
         Fixture {
             code: Code::MissingSuFactor,
-            config: config(&[
-                satellite("a", "").replace(r#""su_factors": ["res-a"],"#, "")
-            ]),
+            config: config(&[satellite("a", "").replace(r#""su_factors": ["res-a"],"#, "")]),
             span_contains: "column:res-a",
         },
         // XC0009: exclusion names a resource with no job records.
@@ -163,6 +159,17 @@ fn fixtures() -> Vec<Fixture> {
             ),
             span_contains: "federation",
         },
+        // XC0012: more gateway request workers than aggregation workers.
+        Fixture {
+            code: Code::GatewayPoolExceedsAggregation,
+            config: config(&[satellite("a", "")]).replace(
+                r#""hub": "hub","#,
+                r#""hub": "hub",
+                   "aggregation": {"workers": 4, "shards": 8},
+                   "gateway": {"workers": 12},"#,
+            ),
+            span_contains: "federation",
+        },
     ]
 }
 
@@ -170,10 +177,7 @@ fn fixtures() -> Vec<Fixture> {
 fn every_code_has_a_fixture() {
     let covered: Vec<Code> = fixtures().iter().map(|f| f.code).collect();
     for code in Code::ALL {
-        assert!(
-            covered.contains(&code),
-            "no known-bad fixture for {code}"
-        );
+        assert!(covered.contains(&code), "no known-bad fixture for {code}");
     }
 }
 
@@ -258,11 +262,7 @@ fn error_fixtures_gate_go_live_warnings_do_not() {
     for fixture in fixtures() {
         let diags = run(&fixture.config);
         match fixture.code.default_severity() {
-            Severity::Error => assert!(
-                diags.has_errors(),
-                "{} should gate go_live",
-                fixture.code
-            ),
+            Severity::Error => assert!(diags.has_errors(), "{} should gate go_live", fixture.code),
             _ => assert!(
                 !diags.has_errors(),
                 "{} must not gate go_live; got:\n{}",
@@ -277,8 +277,8 @@ fn error_fixtures_gate_go_live_warnings_do_not() {
 fn json_rendering_round_trips_through_the_parser() {
     for fixture in fixtures() {
         let diags = run(&fixture.config);
-        let doc = xdmod_check::json::parse(&diags.render_json())
-            .expect("render_json emits valid JSON");
+        let doc =
+            xdmod_check::json::parse(&diags.render_json()).expect("render_json emits valid JSON");
         let items = doc
             .get("diagnostics")
             .and_then(|v| v.as_array())

@@ -192,10 +192,7 @@ mod tests {
     fn build_wires_members_by_mode() {
         let x = XdmodInstance::new("x");
         let y = XdmodInstance::new("y");
-        let instances = BTreeMap::from([
-            ("x".to_owned(), &x),
-            ("y".to_owned(), &y),
-        ]);
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
         let fed = sample().build(&instances).unwrap();
         assert_eq!(
             fed.members(),

@@ -12,9 +12,7 @@ use crate::hub::FederationHub;
 use crate::instance::XdmodInstance;
 use xdmod_chart::Dataset;
 use xdmod_realms::{all_realms, AggregationLevelsConfig, Realm, RealmKind};
-use xdmod_warehouse::{
-    GroupKey, OrderBy, Period, Predicate, Query, ResultSet, Value,
-};
+use xdmod_warehouse::{GroupKey, OrderBy, Period, Predicate, Query, ResultSet, Value};
 
 /// Timeseries vs aggregate view (§I-D: "most metrics can be plotted in
 /// either timeseries or aggregate view").
@@ -97,10 +95,7 @@ impl ChartRequest {
     /// Resolve against the realm catalogs and build the warehouse query.
     /// Returns the query plus the metric's output alias and display
     /// metadata.
-    pub fn compile(
-        &self,
-        levels: &AggregationLevelsConfig,
-    ) -> Result<CompiledChart, String> {
+    pub fn compile(&self, levels: &AggregationLevelsConfig) -> Result<CompiledChart, String> {
         let realms = all_realms(levels);
         let realm: &Realm = realms
             .iter()
@@ -156,6 +151,111 @@ impl ChartRequest {
             series_column,
             time_column,
             view: self.view.clone(),
+        })
+    }
+}
+
+/// A wire-shaped chart specification: every field is a string or number
+/// exactly as it arrives in HTTP query parameters, so a serving tier can
+/// populate it without knowing the realm/period/view enums. Validation
+/// happens in [`QueryDescriptor::into_request`], which resolves the
+/// strings against the catalogs and reports precise, user-facing errors
+/// (the gateway maps them to 400s, never a panic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryDescriptor {
+    /// Realm ident: `jobs`, `supremm`, `storage`, or `cloud`.
+    pub realm: String,
+    /// Metric id from the realm's catalog (e.g. `total_su`).
+    pub metric: String,
+    /// Optional group-by dimension id.
+    pub dimension: Option<String>,
+    /// View: `timeseries` (default) or `aggregate`.
+    pub view: Option<String>,
+    /// Timeseries period ident: `day`, `month` (default), `quarter`,
+    /// `year`.
+    pub period: Option<String>,
+    /// Inclusive range start (epoch secs); requires `end`.
+    pub start: Option<i64>,
+    /// Exclusive range end (epoch secs); requires `start`.
+    pub end: Option<i64>,
+    /// Drill-down filters as (dimension id, value) strings.
+    pub filters: Vec<(String, String)>,
+    /// Keep only the top N groups (aggregate view).
+    pub top_n: Option<usize>,
+}
+
+impl QueryDescriptor {
+    /// A descriptor for one realm + metric; refine the rest field-wise.
+    pub fn new(realm: &str, metric: &str) -> Self {
+        QueryDescriptor {
+            realm: realm.to_owned(),
+            metric: metric.to_owned(),
+            ..QueryDescriptor::default()
+        }
+    }
+
+    /// Resolve the `realm` string against [`RealmKind`] idents.
+    pub fn realm_kind(&self) -> Result<RealmKind, String> {
+        RealmKind::ALL
+            .into_iter()
+            .find(|k| k.ident() == self.realm)
+            .ok_or_else(|| {
+                format!(
+                    "unknown realm {:?}; expected one of: {}",
+                    self.realm,
+                    RealmKind::ALL.map(|k| k.ident()).join(", ")
+                )
+            })
+    }
+
+    /// Validate every string field and build the typed [`ChartRequest`].
+    /// All failures are described in terms of the offending parameter.
+    pub fn into_request(&self) -> Result<ChartRequest, String> {
+        let realm = self.realm_kind()?;
+        if self.metric.is_empty() {
+            return Err("missing metric".to_owned());
+        }
+        let period = match self.period.as_deref() {
+            None => Period::Month,
+            Some(p) => Period::ALL
+                .into_iter()
+                .find(|candidate| candidate.ident() == p)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown period {p:?}; expected one of: {}",
+                        Period::ALL.map(|c| c.ident()).join(", ")
+                    )
+                })?,
+        };
+        let view = match self.view.as_deref() {
+            None | Some("timeseries") => ChartView::Timeseries(period),
+            Some("aggregate") => ChartView::Aggregate,
+            Some(other) => {
+                return Err(format!(
+                    "unknown view {other:?}; expected timeseries or aggregate"
+                ))
+            }
+        };
+        let time_range = match (self.start, self.end) {
+            (None, None) => None,
+            (Some(start), Some(end)) if start < end => Some((start, end)),
+            (Some(start), Some(end)) => {
+                return Err(format!("empty time range: start {start} >= end {end}"))
+            }
+            _ => return Err("start and end must be given together".to_owned()),
+        };
+        Ok(ChartRequest {
+            realm,
+            metric: self.metric.clone(),
+            dimension: self.dimension.clone(),
+            view,
+            time_range,
+            filters: self
+                .filters
+                .iter()
+                .map(|(dim, value)| (dim.clone(), Value::from(value.as_str())))
+                .collect(),
+            top_n: self.top_n,
         })
     }
 }
@@ -228,6 +328,12 @@ impl FederationHub {
             .map_err(|e| e.to_string())?;
         compiled.into_dataset(&rs, &format!("{} (federated)", self.name()))
     }
+
+    /// Validate a wire-shaped descriptor and execute it federated — the
+    /// serving tier's one-call entry point.
+    pub fn explore_descriptor(&self, descriptor: &QueryDescriptor) -> Result<Dataset, String> {
+        self.explore_federated(&descriptor.into_request()?)
+    }
 }
 
 #[cfg(test)]
@@ -286,9 +392,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
     fn numeric_dimension_uses_aggregation_levels() {
         let inst = instance();
         let ds = inst
-            .explore(
-                &ChartRequest::aggregate(RealmKind::Jobs, "job_count").group_by(DIM_WALL_TIME),
-            )
+            .explore(&ChartRequest::aggregate(RealmKind::Jobs, "job_count").group_by(DIM_WALL_TIME))
             .unwrap();
         // 2h and 3.5h jobs → 1-5 hours; 4h job also 1-5 hours.
         assert!(ds.labels.contains(&"1-5 hours".to_owned()));
@@ -330,9 +434,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
             .unwrap_err();
         assert!(err.contains("bogus_metric"));
         let err = inst
-            .explore(
-                &ChartRequest::aggregate(RealmKind::Jobs, "job_count").group_by("bogus_dim"),
-            )
+            .explore(&ChartRequest::aggregate(RealmKind::Jobs, "job_count").group_by("bogus_dim"))
             .unwrap_err();
         assert!(err.contains("bogus_dim"));
     }
@@ -347,20 +449,81 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
     }
 
     #[test]
+    fn descriptor_parses_into_a_request() {
+        let mut desc = QueryDescriptor::new("jobs", "job_count");
+        desc.view = Some("aggregate".to_owned());
+        desc.dimension = Some("user".to_owned());
+        desc.filters.push(("queue".to_owned(), "normal".to_owned()));
+        desc.top_n = Some(3);
+        let req = desc.into_request().unwrap();
+        assert_eq!(req.realm, RealmKind::Jobs);
+        assert_eq!(req.view, ChartView::Aggregate);
+        assert_eq!(req.dimension.as_deref(), Some("user"));
+        assert_eq!(
+            req.filters,
+            vec![("queue".to_owned(), Value::from("normal"))]
+        );
+        assert_eq!(req.top_n, Some(3));
+
+        let mut ts = QueryDescriptor::new("storage", "m");
+        ts.period = Some("quarter".to_owned());
+        ts.start = Some(0);
+        ts.end = Some(100);
+        let req = ts.into_request().unwrap();
+        assert_eq!(req.view, ChartView::Timeseries(Period::Quarter));
+        assert_eq!(req.time_range, Some((0, 100)));
+    }
+
+    #[test]
+    fn descriptor_rejects_bad_parameters_by_name() {
+        let err = QueryDescriptor::new("jobz", "m")
+            .into_request()
+            .unwrap_err();
+        assert!(err.contains("jobz") && err.contains("jobs"));
+
+        let err = QueryDescriptor::new("jobs", "").into_request().unwrap_err();
+        assert!(err.contains("metric"));
+
+        let mut d = QueryDescriptor::new("jobs", "m");
+        d.view = Some("pie".to_owned());
+        assert!(d.into_request().unwrap_err().contains("pie"));
+
+        let mut d = QueryDescriptor::new("jobs", "m");
+        d.period = Some("decade".to_owned());
+        assert!(d.into_request().unwrap_err().contains("decade"));
+
+        let mut d = QueryDescriptor::new("jobs", "m");
+        d.start = Some(5);
+        assert!(d.into_request().unwrap_err().contains("together"));
+        d.end = Some(5);
+        assert!(d.into_request().unwrap_err().contains("empty time range"));
+    }
+
+    #[test]
+    fn descriptor_explores_federated() {
+        use crate::federation::{Federation, FederationConfig};
+        let inst = instance();
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&inst, FederationConfig::default()).unwrap();
+        fed.sync().unwrap();
+        let mut desc = QueryDescriptor::new("jobs", "total_su");
+        desc.dimension = Some("resource".to_owned());
+        let ds = fed.hub().explore_descriptor(&desc).unwrap();
+        assert!(ds.title.contains("(federated)"));
+        assert_eq!(ds.series.len(), 1);
+    }
+
+    #[test]
     fn federated_explore_matches_local_for_single_member() {
         use crate::federation::{Federation, FederationConfig};
         let inst = instance();
         let mut fed = Federation::new(FederationHub::new("hub"));
         fed.join_tight(&inst, FederationConfig::default()).unwrap();
         fed.sync().unwrap();
-        let request =
-            ChartRequest::timeseries(RealmKind::Jobs, "total_su", Period::Month);
+        let request = ChartRequest::timeseries(RealmKind::Jobs, "total_su", Period::Month);
         let local = inst.explore(&request).unwrap();
         let federated = fed.hub().explore_federated(&request).unwrap();
         assert_eq!(local.labels, federated.labels);
-        assert_eq!(
-            local.series[0].values,
-            federated.series[0].values
-        );
+        assert_eq!(local.series[0].values, federated.series[0].values);
     }
 }

@@ -19,6 +19,7 @@ use crate::supervisor::{
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdmod_chaos::FaultInjector;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
@@ -213,9 +214,7 @@ impl FederationConfig {
     pub fn filter(&self) -> ReplicationFilter {
         let mut tables: Vec<String> = self.expected_tables();
         if self.supremm_summaries {
-            tables.push(
-                supremm::summary_spec().table_name(xdmod_warehouse::Period::Month),
-            );
+            tables.push(supremm::summary_spec().table_name(xdmod_warehouse::Period::Month));
         }
         let mut filter = ReplicationFilter::all()
             .with_tables(tables)
@@ -279,10 +278,55 @@ struct Member {
     live_interval: Option<Duration>,
 }
 
+/// Shared record of which members are currently serving *stale* data:
+/// paused live links and links stopped by [`Federation::quiesce`] whose
+/// backlog has not been drained by a subsequent poll.
+struct DrainState {
+    stale: parking_lot::Mutex<BTreeSet<String>>,
+}
+
+/// A cheap-clone, `Send + Sync` handle the serving tier holds to decide
+/// whether the federation's unified view is current. While any member's
+/// replication is paused (maintenance window) or stopped by a quiesce,
+/// the hub still *answers* queries — from data frozen at the moment the
+/// link stopped. A gateway consults this notice and returns 503 instead
+/// of serving that stale view as if it were live.
+///
+/// Obtained from [`Federation::drain_notice`]; updated automatically by
+/// [`Federation::pause_member`] / [`Federation::resume_member`] /
+/// [`Federation::quiesce`] / [`Federation::go_live`] /
+/// [`Federation::sync`].
+#[derive(Clone)]
+pub struct DrainNotice {
+    inner: Arc<DrainState>,
+}
+
+impl DrainNotice {
+    /// Whether any member's replication is currently paused or stopped —
+    /// i.e. whether federated answers may be stale.
+    pub fn is_draining(&self) -> bool {
+        !self.inner.stale.lock().is_empty()
+    }
+
+    /// The members whose links are paused/stopped, sorted by name.
+    pub fn stale_members(&self) -> Vec<String> {
+        self.inner.stale.lock().iter().cloned().collect()
+    }
+}
+
+impl fmt::Debug for DrainNotice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DrainNotice")
+            .field("stale", &self.stale_members())
+            .finish()
+    }
+}
+
 /// A federation: the hub plus its replication links.
 pub struct Federation {
     hub: FederationHub,
     members: Vec<Member>,
+    drain: Arc<DrainState>,
 }
 
 impl Federation {
@@ -291,6 +335,17 @@ impl Federation {
         Federation {
             hub,
             members: Vec::new(),
+            drain: Arc::new(DrainState {
+                stale: parking_lot::Mutex::new(BTreeSet::new()),
+            }),
+        }
+    }
+
+    /// A handle the serving tier polls to refuse queries while any
+    /// member's replication is paused or quiesced (see [`DrainNotice`]).
+    pub fn drain_notice(&self) -> DrainNotice {
+        DrainNotice {
+            inner: Arc::clone(&self.drain),
         }
     }
 
@@ -373,10 +428,8 @@ impl Federation {
     ) -> Result<(), FederationError> {
         self.check_joinable(instance)?;
         let shipper = LooseShipper::new(instance.database());
-        let receiver = LooseReceiver::new(
-            self.hub.database(),
-            Self::link_config(instance, &config),
-        );
+        let receiver =
+            LooseReceiver::new(self.hub.database(), Self::link_config(instance, &config));
         self.hub.register_satellite(instance.name());
         self.members.push(Member {
             name: instance.name().to_owned(),
@@ -408,7 +461,12 @@ impl Federation {
                 continue;
             }
             match &mut member.link {
-                Link::Tight(TightLink::Polled(rep)) => applied += rep.poll()?,
+                Link::Tight(TightLink::Polled(rep)) => {
+                    applied += rep.poll()?;
+                    // A successful poll drains the backlog a quiesce left
+                    // behind — the member's view is current again.
+                    self.drain.stale.lock().remove(&member.name);
+                }
                 Link::Tight(_) => {}
                 Link::Loose { shipper, receiver } => {
                     let batch = shipper.export_batch()?;
@@ -509,7 +567,11 @@ impl Federation {
                 fact_table: spec.fact_table.clone(),
                 time_column: spec.time_column.clone(),
                 dimensions: spec.dims.iter().map(|d| d.column().to_owned()).collect(),
-                measures: spec.measures.iter().filter_map(|m| m.column.clone()).collect(),
+                measures: spec
+                    .measures
+                    .iter()
+                    .filter_map(|m| m.column.clone())
+                    .collect(),
             })
             .collect();
 
@@ -555,6 +617,10 @@ impl Federation {
             aggregates,
             group_bys,
             aggregation,
+            // The serving tier, when present, injects its own pool sizing
+            // (see `xdmod_gateway::preflight`); the federation itself has
+            // no gateway to describe.
+            gateway: None,
         }
     }
 
@@ -607,15 +673,15 @@ impl Federation {
                 continue;
             };
             if matches!(tight, TightLink::Polled(_)) {
-                let TightLink::Polled(rep) = std::mem::replace(tight, TightLink::Swapping)
-                else {
+                let TightLink::Polled(rep) = std::mem::replace(tight, TightLink::Swapping) else {
                     unreachable!()
                 };
-                *tight = TightLink::Live(LiveReplicator::start_with_policy(
-                    rep, interval, policy,
-                ));
+                *tight = TightLink::Live(LiveReplicator::start_with_policy(rep, interval, policy));
                 member.live_interval = Some(interval);
                 switched += 1;
+                // The fresh worker tails from the link's position; any
+                // quiesce-era backlog drains in the background.
+                self.drain.stale.lock().remove(&member.name);
             }
         }
         switched
@@ -668,12 +734,12 @@ impl Federation {
             let Link::Tight(tight) = &mut member.link else {
                 unreachable!()
             };
-            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
-            else {
+            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping) else {
                 unreachable!()
             };
             let (rep, err) = Self::stop_link(&self.hub, member, live);
             member.link = Link::Tight(TightLink::Polled(rep));
+            self.drain.stale.lock().insert(member.name.clone());
             stopped += 1;
             if let Some(e) = err {
                 first_err.get_or_insert(e);
@@ -701,12 +767,16 @@ impl Federation {
     /// thread keeps sampling lag, so the hub's
     /// `replication_lag_events{link=..}` gauge shows the backlog growing.
     pub fn pause_member(&self, name: &str) -> Result<(), FederationError> {
-        self.live_link(name).map(LiveReplicator::pause)
+        self.live_link(name).map(LiveReplicator::pause)?;
+        self.drain.stale.lock().insert(name.to_owned());
+        Ok(())
     }
 
     /// Resume a paused live member.
     pub fn resume_member(&self, name: &str) -> Result<(), FederationError> {
-        self.live_link(name).map(LiveReplicator::resume)
+        self.live_link(name).map(LiveReplicator::resume)?;
+        self.drain.stale.lock().remove(name);
+        Ok(())
     }
 
     /// The most recent apply error on a live member's link, if any — live
@@ -763,10 +833,7 @@ impl Federation {
     /// Regenerate a member instance's database from the hub (backup use
     /// case, §II-E4), and re-seed its replication link so already-
     /// restored data is not re-replicated.
-    pub fn restore_member(
-        &mut self,
-        instance: &mut XdmodInstance,
-    ) -> Result<(), FederationError> {
+    pub fn restore_member(&mut self, instance: &mut XdmodInstance) -> Result<(), FederationError> {
         let idx = self
             .members
             .iter()
@@ -782,8 +849,7 @@ impl Federation {
             let Link::Tight(tight) = &mut member.link else {
                 unreachable!()
             };
-            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
-            else {
+            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping) else {
                 unreachable!()
             };
             let (rep, err) = Self::stop_link(&self.hub, member, live);
@@ -801,7 +867,8 @@ impl Federation {
                     unreachable!("live links were stopped above")
                 };
                 rep.seek(position)
-                    .expect("seek to the restored instance's own head is never beyond-tail"); // xc-allow: position read from the link's source binlog above
+                    // xc-allow: position read from the link's source binlog above
+                    .expect("seek to the restored instance's own head is never beyond-tail");
             }
             Link::Loose { shipper, .. } => {
                 // Recreate the shipper at the new epoch; the hub-side
@@ -860,7 +927,8 @@ impl Federation {
         let mut out = SupervisionReport::default();
         let hub = &self.hub;
         for member in &mut self.members {
-            out.members.push(Self::supervise_member(hub, member, policy));
+            out.members
+                .push(Self::supervise_member(hub, member, policy));
         }
         out
     }
@@ -887,8 +955,7 @@ impl Federation {
                 let Link::Tight(tight) = &mut member.link else {
                     unreachable!()
                 };
-                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
-                else {
+                let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping) else {
                     unreachable!()
                 };
                 let (rep, err) = Self::stop_link(hub, member, live);
@@ -998,8 +1065,7 @@ impl Federation {
             let Link::Tight(tight) = &mut member.link else {
                 unreachable!()
             };
-            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping)
-            else {
+            let TightLink::Live(live) = std::mem::replace(tight, TightLink::Swapping) else {
                 unreachable!()
             };
             let (rep, _) = Self::stop_link(hub, member, live);
@@ -1105,9 +1171,7 @@ impl Federation {
     /// annotated `live | lagging(..) | stale(..) | quarantined`.
     pub fn ops_report(&self) -> Result<xdmod_chart::Report, FederationError> {
         let mut report = self.hub.ops_report()?;
-        report = report.section(xdmod_chart::Section::Heading(
-            "Satellite health".to_owned(),
-        ));
+        report = report.section(xdmod_chart::Section::Heading("Satellite health".to_owned()));
         let lines: Vec<String> = self
             .health()
             .into_iter()
@@ -1207,7 +1271,9 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
     fn version_gate_rejects_mismatched_satellite() {
         let old = XdmodInstance::with_version("old", XdmodVersion::new(7, 5, 0));
         let mut fed = Federation::new(FederationHub::new("hub"));
-        let err = fed.join_tight(&old, FederationConfig::default()).unwrap_err();
+        let err = fed
+            .join_tight(&old, FederationConfig::default())
+            .unwrap_err();
         assert!(matches!(err, FederationError::VersionMismatch { .. }));
         assert!(err.to_string().contains("same version"));
     }
@@ -1450,6 +1516,46 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
     }
 
     #[test]
+    fn drain_notice_tracks_paused_and_quiesced_members() {
+        let x = instance("x", SACCT_X, "r-x");
+        let y = instance("y", SACCT_Y, "r-y");
+        let mut fed = Federation::new(FederationHub::new("hub"));
+        fed.join_tight(&x, FederationConfig::default()).unwrap();
+        fed.join_tight(&y, FederationConfig::default()).unwrap();
+        let notice = fed.drain_notice();
+        assert!(!notice.is_draining());
+
+        fed.go_live(Duration::from_millis(1)).unwrap();
+        assert!(!notice.is_draining());
+
+        // A maintenance pause marks exactly that member stale.
+        fed.pause_member("x").unwrap();
+        assert!(notice.is_draining());
+        assert_eq!(notice.stale_members(), vec!["x".to_owned()]);
+        fed.resume_member("x").unwrap();
+        assert!(!notice.is_draining());
+
+        // Quiesce stops every live link: all members go stale...
+        fed.quiesce().unwrap();
+        assert_eq!(notice.stale_members(), vec!["x".to_owned(), "y".to_owned()]);
+        // ...until a polled sync drains the backlog...
+        fed.sync().unwrap();
+        assert!(!notice.is_draining());
+
+        // ...or going live again hands the backlog to fresh workers.
+        fed.quiesce().unwrap_or_default();
+        fed.go_live(Duration::from_millis(1)).unwrap();
+        assert!(!notice.is_draining());
+        fed.quiesce().unwrap();
+        fed.sync().unwrap();
+        assert!(!notice.is_draining());
+
+        // Failed pauses never mark anything stale.
+        let _ = fed.pause_member("ghost");
+        assert!(!notice.is_draining());
+    }
+
+    #[test]
     fn pause_requires_a_live_link() {
         let x = instance("x", SACCT_X, "r");
         let mut fed = Federation::new(FederationHub::new("hub"));
@@ -1585,7 +1691,10 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
             .with_max_failures(2)
             .with_retry(xdmod_replication::RetryPolicy::no_retries());
         let first = fed.supervise(&policy);
-        assert_eq!(first.health_of("x"), Some(MemberHealth::Stale { age_secs: 0 }));
+        assert_eq!(
+            first.health_of("x"),
+            Some(MemberHealth::Stale { age_secs: 0 })
+        );
         assert!(first.health_of("y").is_some_and(|h| h.is_healthy()));
         let second = fed.supervise(&policy);
         assert_eq!(second.health_of("x"), Some(MemberHealth::Quarantined));
@@ -1596,7 +1705,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         assert_eq!(third.health_of("x"), Some(MemberHealth::Quarantined));
         assert!(!third.members[0].quarantined_now);
         fed.sync().unwrap(); // x's permanently-down link no longer errors the sync
-        // The decision is on the dashboard.
+                             // The decision is on the dashboard.
         assert_eq!(
             fed.hub()
                 .telemetry()

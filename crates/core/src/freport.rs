@@ -28,16 +28,13 @@ pub fn federation_report(federation: &Federation, year: i32) -> Report {
         .iter()
         .map(|(name, mode)| format!("{name} ({mode:?})"))
         .collect();
-    let mut report = Report::new(&format!(
-        "{} — {year} annual summary",
-        hub.name()
-    ))
-    .section(Section::Heading("Federation membership".into()))
-    .section(Section::Text(format!(
-        "{} member instances: {}.",
-        members.len(),
-        members.join(", ")
-    )));
+    let mut report = Report::new(&format!("{} — {year} annual summary", hub.name()))
+        .section(Section::Heading("Federation membership".into()))
+        .section(Section::Text(format!(
+            "{} member instances: {}.",
+            members.len(),
+            members.join(", ")
+        )));
 
     if hub.federated_fact_rows(RealmKind::Jobs) > 0 {
         report = report.section(Section::Heading("HPC usage".into()));
@@ -92,14 +89,16 @@ mod tests {
     fn aristotle() -> Federation {
         let mut ccr = XdmodInstance::new("ccr");
         let hpc = ClusterSim::new(ResourceProfile::generic("rush", 128, 24.0, 1.0), 5);
-        ccr.ingest_sacct("rush", &hpc.sacct_log(2017, 1..=3)).unwrap();
+        ccr.ingest_sacct("rush", &hpc.sacct_log(2017, 1..=3))
+            .unwrap();
         ccr.ingest_storage_json(&StorageSim::ccr(5).json_document(2017, 2))
             .unwrap();
         let cloud = CloudSim::new("ccr-cloud", 8, 5);
         ccr.ingest_cloud_feed(&cloud.event_feed(2017), CloudSim::horizon(2017))
             .unwrap();
         let mut fed = Federation::new(FederationHub::new("aristotle-hub"));
-        fed.join_tight(&ccr, FederationConfig::default_realms()).unwrap();
+        fed.join_tight(&ccr, FederationConfig::default_realms())
+            .unwrap();
         fed.sync().unwrap();
         fed
     }

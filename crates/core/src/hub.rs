@@ -205,38 +205,37 @@ impl FederationHub {
             // Link established but nothing replicated yet: skip.
             .filter(|schema| db.has_schema(schema))
             .collect();
-        let planned: Vec<Result<Vec<(usize, AggregationOutputs)>>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = schemas
-                    .iter()
-                    .map(|schema| {
-                        let db = &db;
-                        let specs = &specs;
-                        scope.spawn(move || -> Result<Vec<(usize, AggregationOutputs)>> {
-                            let mut outs = Vec::new();
-                            for (i, spec) in specs.iter().enumerate() {
-                                // A replication filter may have excluded a
-                                // realm's fact table entirely (e.g.
-                                // SUPReMM); skip those.
-                                if db.table(schema, &spec.fact_table).is_ok() {
-                                    outs.push((i, spec.plan_parallel(db, schema)?));
-                                }
+        let planned: Vec<Result<Vec<(usize, AggregationOutputs)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = schemas
+                .iter()
+                .map(|schema| {
+                    let db = &db;
+                    let specs = &specs;
+                    scope.spawn(move || -> Result<Vec<(usize, AggregationOutputs)>> {
+                        let mut outs = Vec::new();
+                        for (i, spec) in specs.iter().enumerate() {
+                            // A replication filter may have excluded a
+                            // realm's fact table entirely (e.g.
+                            // SUPReMM); skip those.
+                            if db.table(schema, &spec.fact_table).is_ok() {
+                                outs.push((i, spec.plan_parallel(db, schema)?));
                             }
-                            Ok(outs)
-                        })
+                        }
+                        Ok(outs)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(WarehouseError::Io(
-                                "satellite aggregation planner panicked".to_owned(),
-                            ))
-                        })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(WarehouseError::Io(
+                            "satellite aggregation planner panicked".to_owned(),
+                        ))
                     })
-                    .collect()
-            });
+                })
+                .collect()
+        });
         drop(db);
         // Phase 2: install under one write lock, in stable order. A
         // ticket gone stale between the phases (concurrent ingest or
@@ -331,6 +330,49 @@ impl FederationHub {
             },
         );
         Ok(out)
+    }
+
+    /// A version stamp for a realm's federated answers: an FNV-1a fold of
+    /// every satellite's fact-table watermark plus the hub's rebuild
+    /// generation — exactly the vector [`FederationHub::federated_query`]
+    /// memoizes against. Two calls return the same stamp iff no
+    /// replication traffic, resync, or restore touched the realm in
+    /// between, so the serving tier can derive an `ETag` from it and
+    /// answer `If-None-Match` revalidations with 304 without running the
+    /// query.
+    pub fn result_version(&self, realm: RealmKind) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |byte: u8| h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        let fact = XdmodInstance::fact_table(realm);
+        for b in fact.bytes() {
+            fold(b);
+        }
+        let db = self.db.read();
+        for sat in &self.satellites {
+            for b in sat.bytes() {
+                fold(b);
+            }
+            match db.table_watermark(&Self::schema_for(sat), fact) {
+                None => fold(0xff),
+                Some(pos) => {
+                    fold(0x01);
+                    for b in u64::from(pos.epoch)
+                        .to_le_bytes()
+                        .iter()
+                        .chain(pos.seqno.to_le_bytes().iter())
+                    {
+                        fold(*b);
+                    }
+                }
+            }
+        }
+        for b in db.rebuild_generation().to_le_bytes() {
+            fold(b);
+        }
+        drop(fold);
+        h
     }
 
     /// Materialize the union of a realm's fact rows across satellites.
@@ -433,9 +475,7 @@ impl FederationHub {
             .filter(|e| e.kind == "replication.lag")
             .collect::<Vec<_>>();
         if lag_events.is_empty() {
-            report = report.section(Section::Text(
-                "No replication lag samples recorded.".into(),
-            ));
+            report = report.section(Section::Text("No replication lag samples recorded.".into()));
         } else {
             let mut ds = Dataset::new("Replication lag", "events behind");
             ds.labels = lag_events
@@ -448,11 +488,7 @@ impl FederationHub {
             for link in links {
                 let values = lag_events
                     .iter()
-                    .map(|e| {
-                        (e.message == link)
-                            .then(|| e.field("lag_events"))
-                            .flatten()
-                    })
+                    .map(|e| (e.message == link).then(|| e.field("lag_events")).flatten())
                     .collect();
                 ds.push_series(link, values)
                     .expect("lag series aligned with labels"); // xc-allow: series built from the labels vector above
@@ -526,7 +562,12 @@ impl FederationHub {
                     .build()?,
             )?;
         } else {
-            for t in ["ops_counters", "ops_gauges", "ops_histograms", "ops_lag_samples"] {
+            for t in [
+                "ops_counters",
+                "ops_gauges",
+                "ops_histograms",
+                "ops_lag_samples",
+            ] {
                 db.truncate(SCHEMA, t)?;
             }
         }
@@ -860,6 +901,29 @@ mod tests {
         let snap = hub.telemetry().snapshot();
         assert_eq!(snap.counter_total("hub_query_cache_hits_total"), 1);
         assert_eq!(snap.counter_total("hub_query_cache_misses_total"), 2);
+    }
+
+    #[test]
+    fn result_version_moves_with_watermarks_and_differs_per_realm() {
+        let hub = hub_with_two_satellites();
+        let v1 = hub.result_version(RealmKind::Jobs);
+        assert_eq!(hub.result_version(RealmKind::Jobs), v1); // stable at rest
+        assert_ne!(hub.result_version(RealmKind::Storage), v1);
+
+        // New replicated rows move a watermark: the stamp must change.
+        {
+            let db = hub.database();
+            let mut db = db.write();
+            db.insert(
+                &FederationHub::schema_for("x"),
+                "jobfact",
+                vec![vec![Value::Str("res-x".into()), Value::Float(5.0)]],
+            )
+            .unwrap();
+        }
+        let v2 = hub.result_version(RealmKind::Jobs);
+        assert_ne!(v2, v1);
+        assert_eq!(hub.result_version(RealmKind::Jobs), v2);
     }
 
     #[test]

@@ -16,9 +16,7 @@ use xdmod_ingest::{cloud, pcp, slurm, storage_json, IngestReport};
 use xdmod_realms::levels::AggregationLevelsConfig;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, su::SuConverter, supremm, RealmKind};
 use xdmod_telemetry::MetricsRegistry;
-use xdmod_warehouse::{
-    shared, Database, Query, Result, ResultSet, SharedDatabase, WarehouseError,
-};
+use xdmod_warehouse::{shared, Database, Query, Result, ResultSet, SharedDatabase, WarehouseError};
 
 /// A complete satellite XDMoD installation.
 pub struct XdmodInstance {
@@ -174,7 +172,9 @@ impl XdmodInstance {
         db.insert(
             &schema,
             supremm::TIMESERIES_TABLE,
-            jobs.iter().flat_map(pcp::SupremmJob::timeseries_rows).collect(),
+            jobs.iter()
+                .flat_map(pcp::SupremmJob::timeseries_rows)
+                .collect(),
         )?;
         db.insert(
             &schema,
@@ -380,11 +380,9 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         inst.aggregate().unwrap();
         let db = inst.database();
         let db = db.read();
-        let t = db
-            .table(&inst.schema_name(), "jobfact_by_month")
-            .unwrap();
+        let t = db.table(&inst.schema_name(), "jobfact_by_month").unwrap();
         assert_eq!(t.len(), 2); // one row per month
-        // Wall-time bin column present because levels were configured.
+                                // Wall-time bin column present because levels were configured.
         assert!(t.schema().column_index("wall_hours_bin").is_ok());
     }
 
@@ -411,7 +409,8 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
     #[test]
     fn ingest_pcp_populates_three_tables() {
         let mut inst = XdmodInstance::new("ccr");
-        let archive = "job 1 rush alice 1483700000\nts 1483690000 cpu_user 0.9\nscript #!/bin/sh\nend\n";
+        let archive =
+            "job 1 rush alice 1483700000\nts 1483690000 cpu_user 0.9\nscript #!/bin/sh\nend\n";
         inst.ingest_pcp(archive).unwrap();
         let db = inst.database();
         let db = db.read();

@@ -32,9 +32,9 @@ pub mod version;
 pub mod viewer;
 
 pub use config::{FederationFile, MemberEntry};
-pub use explorer::{ChartRequest, ChartView, CompiledChart};
+pub use explorer::{ChartRequest, ChartView, CompiledChart, QueryDescriptor};
+pub use federation::{DrainNotice, Federation, FederationConfig, FederationError, FederationMode};
 pub use freport::federation_report;
-pub use federation::{Federation, FederationConfig, FederationError, FederationMode};
 pub use hub::FederationHub;
 pub use instance::XdmodInstance;
 pub use supervisor::{MemberHealth, MemberReport, SupervisionReport, SupervisorPolicy};

@@ -146,7 +146,10 @@ pub struct SupervisionReport {
 impl SupervisionReport {
     /// Health of `name` after this tick, if it is a member.
     pub fn health_of(&self, name: &str) -> Option<MemberHealth> {
-        self.members.iter().find(|m| m.name == name).map(|m| m.health)
+        self.members
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.health)
     }
 
     /// Names of members currently quarantined.
@@ -208,7 +211,10 @@ mod tests {
             MemberHealth::Lagging { behind: 7 }.to_string(),
             "lagging(7 behind)"
         );
-        assert_eq!(MemberHealth::Stale { age_secs: 12 }.to_string(), "stale(12s)");
+        assert_eq!(
+            MemberHealth::Stale { age_secs: 12 }.to_string(),
+            "stale(12s)"
+        );
         assert_eq!(MemberHealth::Quarantined.to_string(), "quarantined");
     }
 

@@ -143,7 +143,10 @@ impl XdmodInstance {
     }
 
     /// Role of the session's user on this instance, if enrolled.
-    fn role_of(&self, session: &Session) -> std::result::Result<(Role, Option<String>), AccessError> {
+    fn role_of(
+        &self,
+        session: &Session,
+    ) -> std::result::Result<(Role, Option<String>), AccessError> {
         let user = self
             .auth()
             .users()
@@ -235,10 +238,8 @@ end
         let mut inst = XdmodInstance::new("ccr");
         inst.ingest_sacct("rush", SACCT).unwrap();
         inst.ingest_pcp(PCP).unwrap();
-        inst.auth_mut().enroll(
-            User::member("alice", "alice@x.edu", "x.edu"),
-            Some("pw-a"),
-        );
+        inst.auth_mut()
+            .enroll(User::member("alice", "alice@x.edu", "x.edu"), Some("pw-a"));
         inst.auth_mut().enroll(
             User::member("smith", "smith@x.edu", "x.edu")
                 .with_role(Role::Pi)
@@ -257,10 +258,7 @@ end
         let inst = instance();
         let d = inst.job_detail(1).unwrap();
         assert_eq!(d.owner(), Some("alice"));
-        assert_eq!(
-            d.accounting.get("cores"),
-            Some(&Value::Int(24))
-        );
+        assert_eq!(d.accounting.get("cores"), Some(&Value::Int(24)));
         let perf = d.performance.as_ref().expect("supremm collected");
         assert!((perf["cpu_user"].as_f64().unwrap() - 0.85).abs() < 1e-9);
         assert!(d.script.as_deref().unwrap().contains("lammps"));

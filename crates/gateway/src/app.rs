@@ -1,0 +1,403 @@
+//! The application layer: routing, sessions, authorization, and the
+//! cache-aware query endpoint.
+//!
+//! [`App::handle`] is a pure function from a parsed [`Request`] to a
+//! [`Response`] — the TCP server (see [`crate::server`]) feeds it, but
+//! tests can drive the whole routing/auth/rate-limit surface without a
+//! socket. One invariant above all: **no client input reaches a panic**.
+//! Every malformed parameter is a 400, every auth failure a 401/403,
+//! every capacity decision a 429/503 with `Retry-After`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use xdmod_auth::{parse_token, Role, Session};
+use xdmod_core::{DrainNotice, Federation, QueryDescriptor};
+use xdmod_realms::RealmKind;
+use xdmod_telemetry::MetricsRegistry;
+
+use crate::config::GatewayConfig;
+use crate::etag::{format_etag, if_none_match};
+use crate::http::{json_string, Request, Response};
+use crate::limit::{AdmissionGate, RateDecision, RateLimiter};
+
+/// The session cookie name.
+pub const SESSION_COOKIE: &str = "xdmod_session";
+
+/// Shared serving state: the federation plus every admission valve.
+pub struct App {
+    fed: Arc<RwLock<Federation>>,
+    drain: DrainNotice,
+    telemetry: MetricsRegistry,
+    limiter: RateLimiter,
+    gate: AdmissionGate,
+    draining: AtomicBool,
+}
+
+impl App {
+    /// Build the application layer over a shared federation. The drain
+    /// notice and telemetry registry are captured from the federation so
+    /// gateway metrics land next to hub metrics in one exposition.
+    pub fn new(fed: Arc<RwLock<Federation>>, config: &GatewayConfig) -> Arc<Self> {
+        let (drain, telemetry) = {
+            let fed = fed.read().unwrap_or_else(PoisonError::into_inner);
+            (fed.drain_notice(), fed.hub().telemetry().clone())
+        };
+        Arc::new(App {
+            fed,
+            drain,
+            telemetry,
+            limiter: RateLimiter::new(config.rate_capacity, config.rate_refill_per_sec),
+            gate: AdmissionGate::new(config.max_inflight),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The registry gateway metrics are published on.
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// Enter graceful drain: every subsequent request is refused with
+    /// 503; requests already in flight complete normally.
+    pub fn start_draining(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Serve one request. `client` is the peer address (rate-limit key);
+    /// `now_ms` is milliseconds since gateway start (rate-limit clock).
+    pub fn handle(&self, req: &Request, client: &str, now_ms: u64) -> Response {
+        let endpoint = endpoint_label(&req.path);
+        self.telemetry
+            .gauge("gateway_inflight_requests", &[])
+            .set(self.gate.inflight() as f64);
+        let span = self
+            .telemetry
+            .span("gateway_http_request_seconds", &[("endpoint", endpoint)]);
+        let response = self.admit_and_route(req, client, now_ms, endpoint);
+        span.finish();
+        let status = response.status.to_string();
+        self.telemetry
+            .counter(
+                "gateway_http_requests_total",
+                &[("endpoint", endpoint), ("status", &status)],
+            )
+            .inc();
+        match response.status {
+            429 => self.telemetry.counter("gateway_http_429_total", &[]).inc(),
+            304 => self.telemetry.counter("gateway_http_304_total", &[]).inc(),
+            _ => {}
+        }
+        response
+    }
+
+    fn admit_and_route(
+        &self,
+        req: &Request,
+        client: &str,
+        now_ms: u64,
+        endpoint: &str,
+    ) -> Response {
+        // Observability endpoints bypass every valve: an operator must be
+        // able to see a saturated or draining gateway.
+        let exempt = matches!(endpoint, "/health" | "/metrics");
+        if !exempt {
+            if self.is_draining() {
+                return Response::error(503, "gateway is draining").with_header("Retry-After", "5");
+            }
+            if let RateDecision::Limited { retry_after_secs } = self.limiter.check(client, now_ms) {
+                return Response::error(429, "rate limit exceeded")
+                    .with_header("Retry-After", &retry_after_secs.to_string());
+            }
+            let Some(_permit) = self.gate.try_acquire() else {
+                return Response::error(503, "gateway is saturated")
+                    .with_header("Retry-After", "1");
+            };
+            return self.route(req);
+        }
+        self.route(req)
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/health") => self.health(),
+            ("GET", "/metrics") => Response::text(200, &self.telemetry.prometheus_text()),
+            ("GET", "/ops") => self.ops(),
+            ("GET", "/realms") => self.realms(),
+            ("GET", "/query") => self.query(req),
+            ("POST", "/login") => self.login(req),
+            ("POST", "/logout") => self.logout(req),
+            (_, "/health" | "/metrics" | "/ops" | "/realms" | "/query" | "/login" | "/logout") => {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, "no such endpoint"),
+        }
+    }
+
+    fn health(&self) -> Response {
+        let stale = self.drain.stale_members();
+        let body = serde_json::json!({
+            "status": "ok",
+            "draining": self.is_draining(),
+            "stale_members": stale,
+        });
+        Response::json(200, body.to_string())
+    }
+
+    fn ops(&self) -> Response {
+        let fed = self.fed.read().unwrap_or_else(PoisonError::into_inner);
+        match fed.ops_report() {
+            Ok(report) => {
+                let body = serde_json::json!({
+                    "title": report.title,
+                    "rendered": report.render(),
+                });
+                Response::json(200, body.to_string())
+            }
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    }
+
+    fn realms(&self) -> Response {
+        let fed = self.fed.read().unwrap_or_else(PoisonError::into_inner);
+        let members: Vec<String> = fed
+            .members()
+            .into_iter()
+            .map(|(name, _)| name.to_owned())
+            .collect();
+        let realms: Vec<serde_json::Value> = RealmKind::ALL
+            .into_iter()
+            .map(|kind| {
+                serde_json::json!({
+                    "ident": kind.ident(),
+                    "display_name": kind.display_name(),
+                    "federated_by_default": kind.federated_by_default(),
+                })
+            })
+            .collect();
+        let body = serde_json::json!({
+            "hub": fed.hub().name(),
+            "members": members,
+            "realms": realms,
+        });
+        Response::json(200, body.to_string())
+    }
+
+    /// The tentpole endpoint: authenticated, authorized, drain-aware,
+    /// rate-limited upstream, and revalidation-friendly via the hub's
+    /// watermark-derived version stamp.
+    fn query(&self, req: &Request) -> Response {
+        let fed = self.fed.read().unwrap_or_else(PoisonError::into_inner);
+        let session = match self.authenticate(&fed, req) {
+            Ok(session) => session,
+            Err(resp) => return resp,
+        };
+        let descriptor = match descriptor_from(req) {
+            Ok(d) => d,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let realm = match descriptor.realm_kind() {
+            Ok(k) => k,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let role = fed
+            .hub()
+            .auth()
+            .users()
+            .get(&session.username)
+            .map(|u| u.role)
+            .unwrap_or(Role::User);
+        if !realm_allowed(role, realm) {
+            return Response::error(
+                403,
+                &format!("role {role:?} may not query the {} realm", realm.ident()),
+            );
+        }
+        // Members paused or quiesced: the unified view is frozen at the
+        // moment their links stopped. Refuse rather than serve it as live.
+        if self.drain.is_draining() {
+            return Response::error(
+                503,
+                &format!(
+                    "federation is draining; stale members: {}",
+                    self.drain.stale_members().join(", ")
+                ),
+            )
+            .with_header("Retry-After", "5");
+        }
+        let version = fed.hub().result_version(realm);
+        let etag = format_etag(version);
+        if let Some(candidates) = req.header("if-none-match") {
+            if if_none_match(candidates, version) {
+                return Response::not_modified(&etag);
+            }
+        }
+        match fed.hub().explore_descriptor(&descriptor) {
+            Ok(dataset) => match serde_json::to_string(&dataset) {
+                Ok(json) => {
+                    let body = format!("{{\"etag\":{},\"dataset\":{json}}}", json_string(&etag));
+                    Response::json(200, body).with_header("ETag", &etag)
+                }
+                Err(e) => Response::error(500, &e.to_string()),
+            },
+            // Catalog misses (unknown metric/dimension) are client errors.
+            Err(msg) => Response::error(400, &msg),
+        }
+    }
+
+    fn login(&self, req: &Request) -> Response {
+        let parsed: serde_json::Value = match serde_json::from_str(&req.body) {
+            Ok(v) => v,
+            Err(_) => return Response::error(400, "body must be a JSON object"),
+        };
+        let (Some(username), Some(password)) = (
+            parsed.get("username").and_then(serde_json::Value::as_str),
+            parsed.get("password").and_then(serde_json::Value::as_str),
+        ) else {
+            return Response::error(400, "missing username or password");
+        };
+        let now = epoch_secs();
+        let mut fed = self.fed.write().unwrap_or_else(PoisonError::into_inner);
+        let hub = fed.hub_mut();
+        // Expired sessions accrete forever on a long-lived front door
+        // without this sweep.
+        hub.auth_mut().purge_expired(now);
+        match hub.auth_mut().login_local(username, password, now) {
+            Some(session) => {
+                let body = serde_json::json!({
+                    "username": session.username,
+                    "instance": session.instance,
+                    "expires_at": session.expires_at,
+                });
+                Response::json(200, body.to_string()).with_header(
+                    "Set-Cookie",
+                    &format!(
+                        "{SESSION_COOKIE}={}; HttpOnly; Path=/",
+                        session.cookie_value()
+                    ),
+                )
+            }
+            None => Response::error(401, "invalid credentials"),
+        }
+    }
+
+    fn logout(&self, req: &Request) -> Response {
+        let Some(token) = req.cookie(SESSION_COOKIE).and_then(parse_token) else {
+            return Response::error(401, "no session cookie");
+        };
+        let mut fed = self.fed.write().unwrap_or_else(PoisonError::into_inner);
+        if fed.hub_mut().auth_mut().logout(token) {
+            Response::json(200, "{\"logged_out\":true}".to_owned())
+        } else {
+            Response::error(401, "no such session")
+        }
+    }
+
+    fn authenticate(&self, fed: &Federation, req: &Request) -> Result<Session, Response> {
+        let Some(cookie) = req.cookie(SESSION_COOKIE) else {
+            return Err(Response::error(
+                401,
+                "authentication required (POST /login)",
+            ));
+        };
+        let Some(token) = parse_token(cookie) else {
+            return Err(Response::error(401, "malformed session cookie"));
+        };
+        match fed.hub().auth().validate_session(token, epoch_secs()) {
+            Some(session) => Ok(session.clone()),
+            None => Err(Response::error(401, "session expired or unknown")),
+        }
+    }
+}
+
+/// Which realms a role may query through the gateway: ordinary users and
+/// PIs see the initial release's federated realm (HPC Jobs); center
+/// staff and above see everything the hub federates.
+pub fn realm_allowed(role: Role, realm: RealmKind) -> bool {
+    match role {
+        Role::User | Role::Pi => realm == RealmKind::Jobs,
+        Role::CenterStaff | Role::CenterDirector | Role::Admin => true,
+    }
+}
+
+/// Collapse a path to a bounded metric label (unknown paths share one
+/// label so hostile clients cannot explode series cardinality).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/health" => "/health",
+        "/metrics" => "/metrics",
+        "/ops" => "/ops",
+        "/realms" => "/realms",
+        "/query" => "/query",
+        "/login" => "/login",
+        "/logout" => "/logout",
+        _ => "other",
+    }
+}
+
+/// Build a [`QueryDescriptor`] from `/query` parameters; every failure
+/// names the offending parameter.
+fn descriptor_from(req: &Request) -> Result<QueryDescriptor, String> {
+    let realm = req.query_param("realm").ok_or("missing realm parameter")?;
+    let metric = req
+        .query_param("metric")
+        .ok_or("missing metric parameter")?;
+    let mut descriptor = QueryDescriptor::new(realm, metric);
+    descriptor.dimension = req.query_param("dimension").map(str::to_owned);
+    descriptor.view = req.query_param("view").map(str::to_owned);
+    descriptor.period = req.query_param("period").map(str::to_owned);
+    descriptor.start = parse_num::<i64>(req, "start")?;
+    descriptor.end = parse_num::<i64>(req, "end")?;
+    descriptor.top_n = parse_num::<usize>(req, "top_n")?;
+    for raw in req.query_params("filter") {
+        let (dim, value) = raw
+            .split_once('=')
+            .ok_or_else(|| format!("filter {raw:?} must look like dimension=value"))?;
+        descriptor.filters.push((dim.to_owned(), value.to_owned()));
+    }
+    Ok(descriptor)
+}
+
+fn parse_num<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option<T>, String> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{name} must be a number, got {raw:?}")),
+    }
+}
+
+fn epoch_secs() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_gate_realms() {
+        assert!(realm_allowed(Role::User, RealmKind::Jobs));
+        assert!(!realm_allowed(Role::User, RealmKind::Storage));
+        assert!(!realm_allowed(Role::Pi, RealmKind::Cloud));
+        assert!(realm_allowed(Role::CenterStaff, RealmKind::Storage));
+        assert!(realm_allowed(Role::Admin, RealmKind::Supremm));
+    }
+
+    #[test]
+    fn unknown_paths_share_a_metric_label() {
+        assert_eq!(endpoint_label("/query"), "/query");
+        assert_eq!(endpoint_label("/../../etc/passwd"), "other");
+        assert_eq!(endpoint_label("/query/x"), "other");
+    }
+}

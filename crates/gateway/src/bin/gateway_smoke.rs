@@ -1,0 +1,164 @@
+//! `gateway-smoke`: stand up a three-satellite federation behind the
+//! gateway and curl every endpoint over real TCP.
+//!
+//! CI runs this as the cheap end-to-end gate: every endpoint must answer
+//! with its documented status code, the ETag revalidation loop must
+//! produce a 304, and drain must turn new requests into 503s — all with
+//! zero worker panics. Exit code 0 means the serving tier works.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, RwLock};
+
+use xdmod_auth::{Role, User};
+use xdmod_core::{Federation, FederationConfig, FederationHub, XdmodInstance};
+use xdmod_gateway::{serve, GatewayConfig, SESSION_COOKIE};
+use xdmod_sim::{ClusterSim, ResourceProfile};
+
+fn satellite(name: &str, resource: &str, sim_seed: u64) -> Result<XdmodInstance, String> {
+    let mut inst = XdmodInstance::new(name);
+    inst.set_su_factor(resource, 1.0);
+    let sim = ClusterSim::new(ResourceProfile::generic(resource, 128, 48.0, 1.0), sim_seed);
+    inst.ingest_sacct(resource, &sim.sacct_log(2017, 1..=2))
+        .map_err(|e| format!("ingest {name}: {e}"))?;
+    Ok(inst)
+}
+
+/// One raw HTTP exchange: connect, send, read to EOF, split the status
+/// code, headers, and body out of the response.
+fn exchange(addr: SocketAddr, raw: &str) -> Result<(u16, String, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .write_all(raw.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {response:?}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body split in {response:?}"))?;
+    Ok((status, head.to_owned(), body.to_owned()))
+}
+
+fn get(addr: SocketAddr, target: &str, headers: &str) -> Result<(u16, String, String), String> {
+    exchange(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: smoke\r\n{headers}\r\n"),
+    )
+}
+
+fn expect(name: &str, got: u16, want: u16, context: &str) -> Result<(), String> {
+    if got == want {
+        println!("ok - {name} -> {got}");
+        Ok(())
+    } else {
+        Err(format!(
+            "FAIL - {name}: expected {want}, got {got}: {context}"
+        ))
+    }
+}
+
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim().to_owned())
+    })
+}
+
+fn main() -> Result<(), String> {
+    let x = satellite("site-x", "res-x", 7)?;
+    let y = satellite("site-y", "res-y", 8)?;
+    let z = satellite("site-z", "res-z", 9)?;
+    let mut fed = Federation::new(FederationHub::new("hub"));
+    for inst in [&x, &y, &z] {
+        fed.join_tight(inst, FederationConfig::default())
+            .map_err(|e| format!("join: {e}"))?;
+    }
+    fed.sync().map_err(|e| format!("sync: {e}"))?;
+    fed.hub_mut().auth_mut().enroll(
+        User::member("ops", "ops@hub.example", "hub.example").with_role(Role::CenterStaff),
+        Some("smoke-pw"),
+    );
+
+    let fed = Arc::new(RwLock::new(fed));
+    let handle = serve(Arc::clone(&fed), GatewayConfig::default(), None)
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr();
+    println!("# gateway listening on {addr}");
+
+    let (status, _, body) = get(addr, "/health", "")?;
+    expect("GET /health", status, 200, &body)?;
+
+    let (status, _, body) = get(addr, "/realms", "")?;
+    expect("GET /realms", status, 200, &body)?;
+    if !body.contains("\"site-x\"") || !body.contains("\"jobs\"") {
+        return Err(format!(
+            "FAIL - /realms body missing members/realms: {body}"
+        ));
+    }
+
+    let (status, _, body) = get(addr, "/ops", "")?;
+    expect("GET /ops", status, 200, &body)?;
+
+    let (status, _, body) = get(addr, "/query?realm=jobs&metric=job_count", "")?;
+    expect("GET /query without a session", status, 401, &body)?;
+
+    let creds = "{\"username\":\"ops\",\"password\":\"smoke-pw\"}";
+    let login = format!(
+        "POST /login HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{creds}",
+        creds.len()
+    );
+    let (status, head, body) = exchange(addr, &login)?;
+    expect("POST /login", status, 200, &body)?;
+    let cookie = header_value(&head, "set-cookie")
+        .and_then(|c| c.split(';').next().map(str::to_owned))
+        .ok_or("FAIL - login did not set a session cookie")?;
+    if !cookie.starts_with(SESSION_COOKIE) {
+        return Err(format!("FAIL - unexpected cookie {cookie:?}"));
+    }
+    let auth = format!("Cookie: {cookie}\r\n");
+
+    let target = "/query?realm=jobs&metric=job_count&dimension=resource&view=aggregate";
+    let (status, head, body) = get(addr, target, &auth)?;
+    expect("GET /query (cold)", status, 200, &body)?;
+    let etag = header_value(&head, "etag").ok_or("FAIL - query response had no ETag")?;
+
+    let revalidate = format!("{auth}If-None-Match: {etag}\r\n");
+    let (status, _, body) = get(addr, target, &revalidate)?;
+    expect("GET /query (revalidated)", status, 304, &body)?;
+
+    let (status, _, body) = get(addr, "/query?realm=marbles&metric=job_count", &auth)?;
+    expect("GET /query bad realm", status, 400, &body)?;
+
+    let (status, _, body) = get(addr, "/metrics", "")?;
+    expect("GET /metrics", status, 200, &body)?;
+    for needle in [
+        "gateway_http_requests_total",
+        "gateway_http_304_total",
+        "gateway_connections_total",
+    ] {
+        if !body.contains(needle) {
+            return Err(format!("FAIL - /metrics missing {needle}"));
+        }
+    }
+
+    handle.drain();
+    let (status, _, body) = get(addr, "/ops", "")?;
+    expect("GET /ops while draining", status, 503, &body)?;
+    let (status, _, body) = get(addr, "/health", "")?;
+    expect("GET /health while draining", status, 200, &body)?;
+
+    let panics = handle.worker_panics();
+    handle.shutdown();
+    if panics != 0 {
+        return Err(format!("FAIL - {panics} worker panic(s)"));
+    }
+    println!("gateway smoke: all endpoints answered with documented statuses");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! `ETag` plumbing for the query endpoint.
+//!
+//! The hub's `result_version` (see
+//! `xdmod_core::FederationHub::result_version`) folds every satellite's
+//! replication watermark plus the warehouse rebuild generation into one
+//! `u64` — the exact vector its federated-query cache is keyed on. The
+//! gateway renders that stamp as a strong `ETag`, so a dashboard's
+//! `If-None-Match` revalidation costs a watermark read, not a federated
+//! union: unchanged data is a 304 with an empty body.
+
+/// Render a version stamp as a strong entity tag: `"xd-<hex>"`.
+pub fn format_etag(version: u64) -> String {
+    format!("\"xd-{version:016x}\"")
+}
+
+/// Does an `If-None-Match` header value match this version? Handles the
+/// wildcard `*` and comma-separated candidate lists; `W/` weak tags never
+/// match (the gateway only mints strong ones).
+pub fn if_none_match(header: &str, version: u64) -> bool {
+    let current = format_etag(version);
+    header
+        .split(',')
+        .map(str::trim)
+        .any(|candidate| candidate == "*" || candidate == current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_tags_round_trip() {
+        let tag = format_etag(0xdead_beef);
+        assert_eq!(tag, "\"xd-00000000deadbeef\"");
+        assert!(if_none_match(&tag, 0xdead_beef));
+        assert!(!if_none_match(&tag, 0xdead_bee0));
+    }
+
+    #[test]
+    fn lists_wildcards_and_weak_tags() {
+        let v = 7;
+        let tag = format_etag(v);
+        assert!(if_none_match(&format!("\"other\", {tag}"), v));
+        assert!(if_none_match("*", v));
+        assert!(!if_none_match(&format!("W/{tag}"), v));
+        assert!(!if_none_match("", v));
+    }
+}

@@ -1,0 +1,462 @@
+//! A hand-rolled, bounded HTTP/1.1 subset: exactly what the gateway
+//! needs to serve JSON to browsers and `curl`, and nothing more.
+//!
+//! Std-only on purpose. The serving tier fronts the federation for
+//! operators; pulling a full HTTP stack into the trust boundary for six
+//! endpoints trades auditability for features nobody uses. Everything
+//! here is defensive: every line, header count, and body is bounded, and
+//! any malformed input becomes a typed [`HttpError`] the server maps to
+//! a 400 — never a panic in a worker thread.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a full request arrived
+    /// (includes the idle keep-alive close — not an error worth logging).
+    ConnectionClosed,
+    /// Socket-level failure (including read timeouts).
+    Io(io::Error),
+    /// Syntactically invalid request — maps to 400.
+    Malformed(&'static str),
+    /// A declared or actual size exceeded a bound — maps to 413/431.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, percent-decoded (`/query`).
+    pub path: String,
+    /// Decoded query parameters in arrival order.
+    pub query: Vec<(String, String)>,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of a header, case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == wanted)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeatable query parameter, in order.
+    pub fn query_params(&self, name: &str) -> Vec<&str> {
+        self.query
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// A cookie by name, from the `Cookie` header.
+    pub fn cookie(&self, name: &str) -> Option<&str> {
+        self.header("cookie")?
+            .split(';')
+            .map(str::trim)
+            .find_map(|pair| pair.strip_prefix(name)?.strip_prefix('='))
+    }
+}
+
+/// Read one request off a buffered connection. Blocks until a full
+/// request arrives, the reader's timeout fires, or a bound trips.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Err(HttpError::Malformed("empty request line"));
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(HttpError::Malformed("bad method"))?
+        .to_owned();
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    match parts.next() {
+        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+        _ => return Err(HttpError::Malformed("bad http version")),
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens on request line"));
+    }
+    let (path, query) = parse_target(target)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body_bytes = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body_bytes)?;
+    let body =
+        String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not utf-8"))?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, bounded, trimmed.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match io::Read::read(reader, &mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(HttpError::ConnectionClosed);
+                }
+                return Err(HttpError::Malformed("truncated line"));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("line is not utf-8"));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::TooLarge("line"));
+                }
+            }
+        }
+    }
+}
+
+/// Split a request target into decoded path + query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed("target must be absolute"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        None => (target, ""),
+        Some((p, q)) => (p, q),
+    };
+    let path = percent_decode(raw_path).ok_or(HttpError::Malformed("bad path escape"))?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k).ok_or(HttpError::Malformed("bad query escape"))?;
+        let v = percent_decode(v).ok_or(HttpError::Malformed("bad query escape"))?;
+        query.push((k, v));
+    }
+    Ok((path, query))
+}
+
+/// Decode `%XX` escapes and `+`-as-space. `None` on a bad escape or
+/// non-UTF-8 result.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (Content-Type/Length and Connection are automatic).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (already serialized).
+    pub body: String,
+    /// Content type for the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.to_owned(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
+    }
+
+    /// A bodiless 304 revalidation response.
+    pub fn not_modified(etag: &str) -> Self {
+        let mut r = Response::json(304, String::new());
+        r.headers.push(("ETag".to_owned(), etag.to_owned()));
+        r
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Serialize onto the wire. Connections are not reused: the gateway
+    /// answers `Connection: close` and the client reads to EOF.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        if self.status != 304 {
+            write!(w, "Content-Type: {}\r\n", self.content_type)?;
+            write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        }
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// The standard reason phrase for the codes the gateway emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize a string as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_cookies() {
+        let req = parse(
+            "GET /query?realm=jobs&metric=total%20su&filter=resource%3Drush HTTP/1.1\r\n\
+             Host: localhost\r\n\
+             Cookie: a=1; xdmod_session=deadbeef; b=2\r\n\
+             \r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query_param("realm"), Some("jobs"));
+        assert_eq!(req.query_param("metric"), Some("total su"));
+        assert_eq!(req.query_param("filter"), Some("resource=rush"));
+        assert_eq!(req.cookie("xdmod_session"), Some("deadbeef"));
+        assert_eq!(req.cookie("missing"), None);
+        assert_eq!(req.header("HOST"), Some("localhost"));
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse("POST /login HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        for raw in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 1));
+        assert!(matches!(parse(&long_line), Err(HttpError::TooLarge(_))));
+
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..MAX_HEADERS + 1)
+                .map(|i| format!("h{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert!(matches!(parse(&many_headers), Err(HttpError::TooLarge(_))));
+
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&big_body), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn closed_connection_is_distinguished_from_garbage() {
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+        assert!(matches!(parse("GET / HT"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".to_owned())
+            .with_header("ETag", "\"abc\"")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("ETag: \"abc\"\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::not_modified("\"v1\"").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(!text.contains("Content-Length"));
+    }
+
+    #[test]
+    fn json_strings_escape_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

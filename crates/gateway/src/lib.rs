@@ -1,0 +1,70 @@
+//! # xdmod-gateway
+//!
+//! The serving tier of the federated hub: a concurrent HTTP/1.1 gateway
+//! exposing the federation's query, operations, and authentication
+//! surface as JSON endpoints.
+//!
+//! The paper's hub is "a central, federated hub server" whose portal
+//! users chart "any time range, across all computing resources"
+//! (abstract); this crate is the reproduction's front door to that
+//! portal — sized so the serving tier cannot trample the warehouse it
+//! fronts:
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/health` | GET | liveness + drain state, valve-exempt |
+//! | `/metrics` | GET | Prometheus exposition, valve-exempt |
+//! | `/ops` | GET | the hub's self-monitoring ops report |
+//! | `/realms` | GET | realm catalog + federation membership |
+//! | `/query` | GET | authenticated federated queries with `ETag` revalidation |
+//! | `/login` | POST | local-credential sign-on, sets the session cookie |
+//! | `/logout` | POST | revoke the presented session |
+//!
+//! Layers, bottom up:
+//!
+//! - [`http`] — bounded hand-rolled HTTP/1.1 parsing and serialization
+//!   (std-only; malformed input becomes status codes, never panics);
+//! - [`pool`] — the fixed worker pool with a bounded accept queue and
+//!   panic-absorbing workers;
+//! - [`limit`] — per-client token buckets (429 + `Retry-After`) and the
+//!   global in-flight admission gate (503);
+//! - [`etag`] — strong `ETag`s minted from the hub's watermark-derived
+//!   `result_version`, so `If-None-Match` revalidation skips the query;
+//! - [`app`] — routing, session auth (via `xdmod-auth`), per-role realm
+//!   authorization, drain-awareness;
+//! - [`server`] — the TCP accept loop, graceful drain/shutdown, and the
+//!   chaos fault points the soak test drives.
+//!
+//! [`preflight`] bridges to `xdmod-check`: it injects the gateway's pool
+//! sizing into the federation's analyzable model so XC0012 can warn when
+//! the serving tier out-sizes the aggregation pool it queues behind.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod config;
+pub mod etag;
+pub mod http;
+pub mod limit;
+pub mod pool;
+pub mod server;
+
+pub use app::{realm_allowed, App, SESSION_COOKIE};
+pub use config::GatewayConfig;
+pub use etag::{format_etag, if_none_match};
+pub use http::{Request, Response};
+pub use limit::{AdmissionGate, RateDecision, RateLimiter};
+pub use pool::WorkerPool;
+pub use server::{serve, GatewayHandle};
+
+/// Run the federation's static pre-flight with the gateway's pool sizing
+/// injected, so [`xdmod_check`]'s XC0012 can compare serving concurrency
+/// against the hub's aggregation pool. Call before [`serve`]; treat
+/// Error-severity findings as fatal and warnings as sizing advice.
+pub fn preflight(fed: &xdmod_core::Federation, config: &GatewayConfig) -> xdmod_check::Diagnostics {
+    let mut model = fed.check_model();
+    model.gateway = Some(xdmod_check::GatewayModel {
+        workers: Some(config.workers as u64),
+    });
+    xdmod_check::analyze(&model)
+}

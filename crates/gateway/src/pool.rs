@@ -1,0 +1,208 @@
+//! The fixed worker pool that serves accepted connections.
+//!
+//! A bounded [`std::sync::mpsc::sync_channel`] is the accept queue: the
+//! acceptor enqueues connections without blocking, and when the queue is
+//! full the connection is refused *immediately* (the server answers 503
+//! inline) instead of piling latency onto everyone already queued.
+//!
+//! Workers are panic-proof: every job runs under
+//! [`std::panic::catch_unwind`], a panic increments a counter and the
+//! worker loops on. The soak test's invariant — seeded chaos faults, zero
+//! worker deaths — rests on this loop.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::limit::lock;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool draining a bounded job queue.
+pub struct WorkerPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
+}
+
+/// Why a job was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is full — the pool is saturated.
+    QueueFull,
+    /// The pool has shut down.
+    ShutDown,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads behind a queue of depth `queue_depth`.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let (sender, receiver) = sync_channel::<Job>(queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("gateway-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &panics))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers: handles,
+            panics,
+        }
+    }
+
+    /// Enqueue a job without blocking. On a full queue the job comes
+    /// back so the caller can refuse the connection inline.
+    pub fn try_execute(
+        &self,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), (RejectReason, Job)> {
+        let Some(sender) = &self.sender else {
+            return Err((RejectReason::ShutDown, Box::new(job)));
+        };
+        match sender.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => Err((RejectReason::QueueFull, job)),
+            Err(TrySendError::Disconnected(job)) => Err((RejectReason::ShutDown, job)),
+        }
+    }
+
+    /// Jobs that panicked (the workers survived them all).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads still alive.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drain the queue and join every worker: jobs already enqueued run
+    /// to completion; nothing new is accepted.
+    pub fn shutdown(&mut self) {
+        self.sender = None; // disconnects the channel once workers drain it
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
+    loop {
+        // Hold the lock only to dequeue, never while running the job.
+        let job = match lock(receiver).recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: graceful shutdown
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    /// `try_execute` can hand the job back, which has no `Debug`; tests
+    /// assert the Ok case through this helper instead of `unwrap`.
+    fn enqueue(pool: &WorkerPool, job: impl FnOnce() + Send + 'static) {
+        assert!(pool.try_execute(job).map_err(|(reason, _)| reason).is_ok());
+    }
+
+    #[test]
+    fn jobs_run_on_worker_threads() {
+        // Queue depth covers the whole batch: whether workers have begun
+        // draining is timing-dependent, and `try_execute` never blocks.
+        let pool = WorkerPool::new(4, 32);
+        let (tx, rx) = channel();
+        for i in 0..20 {
+            let tx = tx.clone();
+            enqueue(&pool, move || tx.send(i).unwrap());
+        }
+        let mut got: Vec<i32> = (0..20)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_jobs_are_counted_and_workers_survive() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = channel();
+        for _ in 0..6 {
+            enqueue(&pool, || panic!("injected"));
+        }
+        // The pool still serves after every worker has absorbed panics.
+        let tx2 = tx.clone();
+        enqueue(&pool, move || tx2.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        // A sibling worker may still be unwinding its last panic when the
+        // sentinel lands; give the counter a moment to settle.
+        for _ in 0..5000 {
+            if pool.panics() == 6 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.panics(), 6);
+        assert_eq!(pool.worker_count(), 2);
+    }
+
+    #[test]
+    fn full_queue_returns_the_job_instead_of_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        // Occupy the lone worker...
+        let (started_tx, started_rx) = channel();
+        enqueue(&pool, move || {
+            started_tx.send(()).unwrap();
+            let _ = lock(&gate_rx).recv();
+        });
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // ...fill the depth-1 queue...
+        enqueue(&pool, || {});
+        // ...and the next job bounces with QueueFull.
+        assert!(matches!(
+            pool.try_execute(|| {}),
+            Err((RejectReason::QueueFull, _))
+        ));
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_finishes_enqueued_work() {
+        let mut pool = WorkerPool::new(2, 32);
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            enqueue(&pool, move || tx.send(i).unwrap());
+        }
+        pool.shutdown();
+        drop(tx);
+        assert_eq!(rx.iter().count(), 10);
+        // After shutdown, jobs bounce.
+        assert!(matches!(
+            pool.try_execute(|| {}),
+            Err((RejectReason::ShutDown, _))
+        ));
+    }
+}

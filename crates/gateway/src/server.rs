@@ -1,0 +1,231 @@
+//! The TCP front: a non-blocking accept loop feeding the worker pool.
+//!
+//! One thread accepts; [`crate::pool::WorkerPool`] threads parse and
+//! serve. The accept queue is the pool's bounded channel — when it
+//! fills, the acceptor answers 503 + `Retry-After` *inline* and moves
+//! on, so saturation degrades into fast refusals instead of unbounded
+//! queueing (§ the paper's hub must keep serving its own operators even
+//! when a member's dashboard misbehaves).
+//!
+//! Chaos hooks: an [`xdmod_chaos::FaultInjector`] may be armed with
+//! [`FaultPoint::Accept`] faults (connections dropped or the accept loop
+//! stalled before dispatch) and [`FaultPoint::SocketRead`] faults
+//! (connections reset mid-read). The soak test drives seeded schedules
+//! through both and asserts zero worker deaths.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xdmod_chaos::{FaultInjector, FaultKind, FaultPoint};
+use xdmod_core::Federation;
+
+use crate::app::App;
+use crate::config::GatewayConfig;
+use crate::http::{read_request, HttpError, Response};
+use crate::pool::WorkerPool;
+
+/// The chaos target name the gateway reports faults under.
+const CHAOS_TARGET: &str = "gateway";
+
+/// A running gateway: bound address plus control handles.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    app: Arc<App>,
+    pool: Arc<WorkerPool>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The address the gateway is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The application layer (telemetry access, drain control).
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Begin graceful drain: requests already in flight complete, every
+    /// new request is answered 503.
+    pub fn drain(&self) {
+        self.app.start_draining();
+    }
+
+    /// Jobs that panicked inside the worker pool (must stay 0 — every
+    /// failure mode is supposed to serialize into an error response).
+    pub fn worker_panics(&self) -> u64 {
+        self.pool.panics()
+    }
+
+    /// Stop accepting, finish queued connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        drop(self.app);
+        if let Ok(mut pool) = Arc::try_unwrap(self.pool) {
+            pool.shutdown();
+        }
+    }
+}
+
+/// Bind `127.0.0.1:0` (an ephemeral port) and start serving the
+/// federation. `chaos` arms the accept/read fault points; pass `None`
+/// for production behavior.
+pub fn serve(
+    fed: Arc<RwLock<Federation>>,
+    config: GatewayConfig,
+    chaos: Option<FaultInjector>,
+) -> std::io::Result<GatewayHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let app = App::new(fed, &config);
+    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let app = Arc::clone(&app);
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("gateway-acceptor".to_owned())
+            .spawn(move || accept_loop(&listener, &app, &pool, &stop, &config, chaos))?
+    };
+
+    Ok(GatewayHandle {
+        addr,
+        app,
+        pool,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    app: &Arc<App>,
+    pool: &WorkerPool,
+    stop: &AtomicBool,
+    config: &GatewayConfig,
+    chaos: Option<FaultInjector>,
+) {
+    let start = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if let Some(injector) = &chaos {
+            if let Some(kind) = injector.next_fault(FaultPoint::Accept, CHAOS_TARGET) {
+                app.telemetry()
+                    .counter("gateway_chaos_faults_total", &[("point", "accept")])
+                    .inc();
+                match kind {
+                    FaultKind::Stall { millis } => {
+                        // The accept loop stalls, the connection still
+                        // gets served afterwards.
+                        std::thread::sleep(Duration::from_millis(millis.min(50)));
+                    }
+                    _ => {
+                        // Everything else at the accept point means the
+                        // connection never reaches a worker.
+                        drop(stream);
+                        continue;
+                    }
+                }
+            }
+        }
+        app.telemetry()
+            .counter("gateway_connections_total", &[])
+            .inc();
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let now_ms = start.elapsed().as_millis() as u64;
+        let client = peer.ip().to_string();
+        let fallback = stream.try_clone().ok();
+        let job_app = Arc::clone(app);
+        let job_chaos = chaos.clone();
+        let enqueue = pool.try_execute(move || {
+            serve_connection(&job_app, stream, &client, now_ms, job_chaos.as_ref());
+        });
+        if let Err((_reason, job)) = enqueue {
+            drop(job); // closes the job's handle on the socket
+            app.telemetry()
+                .counter("gateway_accept_queue_rejections_total", &[])
+                .inc();
+            if let Some(mut raw) = fallback {
+                let _ = Response::error(503, "accept queue is full")
+                    .with_header("Retry-After", "1")
+                    .write_to(&mut raw);
+            }
+        }
+    }
+}
+
+/// Parse one request off the socket and serve it. Every failure path
+/// either answers with a status code or silently closes — a worker
+/// thread never propagates a panic from here (and the pool would absorb
+/// it if one escaped).
+fn serve_connection(
+    app: &App,
+    stream: TcpStream,
+    client: &str,
+    now_ms: u64,
+    chaos: Option<&FaultInjector>,
+) {
+    if let Some(injector) = chaos {
+        if let Some(kind) = injector.next_fault(FaultPoint::SocketRead, CHAOS_TARGET) {
+            app.telemetry()
+                .counter("gateway_chaos_faults_total", &[("point", "socket-read")])
+                .inc();
+            match kind {
+                FaultKind::Stall { millis } => {
+                    std::thread::sleep(Duration::from_millis(millis.min(50)));
+                }
+                _ => return, // connection reset before the request was read
+            }
+        }
+    }
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = stream;
+    let response = match read_request(&mut reader) {
+        Ok(request) => app.handle(&request, client, now_ms),
+        Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) => return,
+        Err(HttpError::Malformed(what)) => {
+            app.telemetry()
+                .counter(
+                    "gateway_http_requests_total",
+                    &[("endpoint", "other"), ("status", "400")],
+                )
+                .inc();
+            Response::error(400, &format!("malformed request: {what}"))
+        }
+        Err(HttpError::TooLarge(what)) => {
+            app.telemetry()
+                .counter(
+                    "gateway_http_requests_total",
+                    &[("endpoint", "other"), ("status", "413")],
+                )
+                .inc();
+            Response::error(413, &format!("request too large: {what}"))
+        }
+    };
+    let _ = response.write_to(&mut writer);
+}

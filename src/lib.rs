@@ -33,6 +33,10 @@
 //!   `ops_report()` turns it into a dashboard.
 //! - [`core`] — the paper's contribution: [`core::XdmodInstance`],
 //!   [`core::FederationHub`], and [`core::Federation`].
+//! - [`gateway`] — the serving tier: a concurrent HTTP/1.1 gateway over
+//!   the hub with session auth, per-role realm authorization, token-bucket
+//!   rate limiting, admission control, graceful drain, and
+//!   `ETag`/`If-None-Match` revalidation keyed to replication watermarks.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use xdmod_auth as auth;
 pub use xdmod_chaos as chaos;
 pub use xdmod_chart as chart;
 pub use xdmod_core as core;
+pub use xdmod_gateway as gateway;
 pub use xdmod_ingest as ingest;
 pub use xdmod_realms as realms;
 pub use xdmod_replication as replication;
