@@ -1,0 +1,144 @@
+//! A time-injected token bucket in integer milli-tokens.
+//!
+//! Extracted from the gateway's per-client rate limiter so the alert
+//! engine can gate notification dispatch through the *same* arithmetic
+//! the serving tier uses for 429s: milli-token granularity keeps
+//! sub-second refill rates exact in integers, and the caller supplies
+//! `now_ms`, so behavior is deterministic under test.
+
+/// Outcome of one [`TokenBucket::try_take`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeOutcome {
+    /// Under budget; a token was consumed.
+    Taken,
+    /// Bucket empty; retry after this many whole seconds (at least 1).
+    Empty {
+        /// Seconds until one token is refilled.
+        retry_after_secs: u64,
+    },
+}
+
+/// One token bucket: `capacity` tokens, refilling at `refill_per_sec`
+/// tokens per second (both clamped to at least 1), starting full.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity_milli: u64,
+    refill_per_sec: u64,
+    milli_tokens: u64,
+    last_refill_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket whose refill clock starts at 0 ms.
+    pub fn new(capacity: u64, refill_per_sec: u64) -> Self {
+        Self::new_at(capacity, refill_per_sec, 0)
+    }
+
+    /// A full bucket whose refill clock starts at `now_ms` — use when
+    /// buckets are created lazily mid-run (the gateway's per-client map),
+    /// so the first refill doesn't credit the time before creation.
+    pub fn new_at(capacity: u64, refill_per_sec: u64, now_ms: u64) -> Self {
+        let capacity_milli = capacity.max(1) * 1000;
+        TokenBucket {
+            capacity_milli,
+            refill_per_sec: refill_per_sec.max(1),
+            milli_tokens: capacity_milli,
+            last_refill_ms: now_ms,
+        }
+    }
+
+    /// Refill for the elapsed time, then try to take one token.
+    pub fn try_take(&mut self, now_ms: u64) -> TakeOutcome {
+        let elapsed = now_ms.saturating_sub(self.last_refill_ms);
+        self.milli_tokens = self
+            .capacity_milli
+            .min(self.milli_tokens + elapsed * self.refill_per_sec);
+        self.last_refill_ms = now_ms;
+        if self.milli_tokens >= 1000 {
+            self.milli_tokens -= 1000;
+            TakeOutcome::Taken
+        } else {
+            let deficit_ms = (1000 - self.milli_tokens).div_ceil(self.refill_per_sec);
+            TakeOutcome::Empty {
+                retry_after_secs: deficit_ms.div_ceil(1000).max(1),
+            }
+        }
+    }
+
+    /// Current fill, in milli-tokens (test/ops visibility).
+    pub fn milli_tokens(&self) -> u64 {
+        self.milli_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_up_to_capacity_then_empty() {
+        let mut b = TokenBucket::new(3, 1);
+        for _ in 0..3 {
+            assert_eq!(b.try_take(0), TakeOutcome::Taken);
+        }
+        assert_eq!(
+            b.try_take(0),
+            TakeOutcome::Empty {
+                retry_after_secs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn refills_over_time_capped_at_capacity() {
+        let mut b = TokenBucket::new(2, 2); // 2 tokens/sec
+        assert_eq!(b.try_take(0), TakeOutcome::Taken);
+        assert_eq!(b.try_take(0), TakeOutcome::Taken);
+        assert!(matches!(b.try_take(0), TakeOutcome::Empty { .. }));
+        // 500 ms refills one token at 2/sec.
+        assert_eq!(b.try_take(500), TakeOutcome::Taken);
+        assert!(matches!(b.try_take(500), TakeOutcome::Empty { .. }));
+        // A long idle period refills to capacity, not beyond.
+        assert_eq!(b.try_take(60_000), TakeOutcome::Taken);
+        assert_eq!(b.try_take(60_000), TakeOutcome::Taken);
+        assert!(matches!(b.try_take(60_000), TakeOutcome::Empty { .. }));
+    }
+
+    #[test]
+    fn retry_after_reflects_refill_rate() {
+        let mut slow = TokenBucket::new(1, 1);
+        assert_eq!(slow.try_take(0), TakeOutcome::Taken);
+        assert_eq!(
+            slow.try_take(0),
+            TakeOutcome::Empty {
+                retry_after_secs: 1
+            }
+        );
+        // At 4 tokens/sec a full token exists after 250 ms → still
+        // reported as 1 whole second (floor for Retry-After headers).
+        let mut fast = TokenBucket::new(1, 4);
+        assert_eq!(fast.try_take(0), TakeOutcome::Taken);
+        assert_eq!(
+            fast.try_take(0),
+            TakeOutcome::Empty {
+                retry_after_secs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zero_capacity_and_rate_are_clamped() {
+        let mut b = TokenBucket::new(0, 0);
+        assert_eq!(b.try_take(0), TakeOutcome::Taken);
+        assert!(matches!(b.try_take(0), TakeOutcome::Empty { .. }));
+        assert_eq!(b.try_take(1_000), TakeOutcome::Taken);
+    }
+
+    #[test]
+    fn lazy_creation_does_not_credit_past_time() {
+        let mut b = TokenBucket::new_at(1, 1, 10_000);
+        assert_eq!(b.try_take(10_000), TakeOutcome::Taken);
+        // Clock regressions (never expected, but clamp anyway) refill 0.
+        assert!(matches!(b.try_take(9_000), TakeOutcome::Empty { .. }));
+    }
+}

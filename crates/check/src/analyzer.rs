@@ -7,7 +7,10 @@
 //! check's doc comment for the concrete runtime symptom it prevents.
 
 use crate::diag::{Code, Diagnostic, Diagnostics, Span};
-use crate::model::{FederationModel, SatelliteModel};
+use crate::model::{
+    alert_families, FederationModel, SatelliteModel, DEFAULT_ALERT_DEBOUNCE_MS,
+    DEFAULT_ALERT_RESOLVE_TIMEOUT_MS,
+};
 
 /// Run every check over the model.
 pub fn analyze(model: &FederationModel) -> Diagnostics {
@@ -24,6 +27,7 @@ pub fn analyze(model: &FederationModel) -> Diagnostics {
     check_zero_retry_tight_links(model, &mut diags);
     check_aggregation_pool(model, &mut diags);
     check_gateway_pool(model, &mut diags);
+    check_alert_rules(model, &mut diags);
     diags
 }
 
@@ -499,6 +503,76 @@ fn check_gateway_pool(model: &FederationModel, diags: &mut Diagnostics) {
     }
 }
 
+/// XC0013 — an alert rule is unusable as configured.
+///
+/// Three classes, each a silent monitoring hole at runtime:
+///
+/// - **unknown family** — no producer ever emits it, so the rule never
+///   fires and the operator believes a fault class is covered when it
+///   is not;
+/// - **resolve timeout within the debounce window** — the alert
+///   auto-resolves inside its own flap-damping window, so every
+///   recurrence opens (and notifies) afresh: exactly the alert storm
+///   flap damping exists to prevent;
+/// - **zero-capacity notification bucket** — every dispatch is
+///   suppressed; alerts fire into a void.
+///
+/// `None` fields mean "engine default"; the check substitutes the
+/// mirrored defaults so a half-specified rule (e.g. only `debounce_ms`
+/// raised past the default resolve timeout) is still caught.
+fn check_alert_rules(model: &FederationModel, diags: &mut Diagnostics) {
+    let Some(alerts) = &model.alerts else {
+        return;
+    };
+    if alerts.notify_capacity == Some(0) {
+        diags.push(
+            Diagnostic::new(
+                Code::AlertRuleInvalid,
+                Span::federation(),
+                "alert notification bucket has zero capacity: every dispatch \
+                 is suppressed and alerts fire into a void",
+            )
+            .with_help("set notify_capacity to at least 1 (default 8)"),
+        );
+    }
+    for rule in &alerts.rules {
+        if !alert_families().contains(&rule.family.as_str()) {
+            diags.push(
+                Diagnostic::new(
+                    Code::AlertRuleInvalid,
+                    Span::federation(),
+                    format!(
+                        "alert rule names unknown family {:?}: no producer emits \
+                         it, so the rule can never fire (known families: {})",
+                        rule.family,
+                        alert_families().join(", ")
+                    ),
+                )
+                .with_help("fix the family name or delete the rule"),
+            );
+        }
+        let debounce = rule.debounce_ms.unwrap_or(DEFAULT_ALERT_DEBOUNCE_MS);
+        let resolve = rule
+            .resolve_timeout_ms
+            .unwrap_or(DEFAULT_ALERT_RESOLVE_TIMEOUT_MS);
+        if resolve <= debounce {
+            diags.push(
+                Diagnostic::new(
+                    Code::AlertRuleInvalid,
+                    Span::federation(),
+                    format!(
+                        "alert rule for {:?} auto-resolves after {resolve} ms, \
+                         within its own {debounce} ms flap-damping window: every \
+                         recurrence re-fires (and re-notifies) as a new episode",
+                        rule.family
+                    ),
+                )
+                .with_help("raise resolve_timeout_ms above debounce_ms"),
+            );
+        }
+    }
+}
+
 fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
     sat.excluded_resources.iter().any(|r| r == resource)
 }
@@ -568,12 +642,68 @@ mod tests {
             }],
             aggregation: None,
             gateway: None,
+            alerts: None,
         }
     }
 
     #[test]
     fn clean_model_produces_no_diagnostics() {
         let diags = analyze(&clean_model());
+        assert!(diags.is_empty(), "unexpected: {}", diags.render_text());
+    }
+
+    #[test]
+    fn alert_rule_problems_are_flagged() {
+        use crate::model::{AlertRuleModel, AlertsModel};
+        let mut m = clean_model();
+        m.alerts = Some(AlertsModel {
+            notify_capacity: Some(0),
+            notify_refill_per_sec: None,
+            rules: vec![
+                AlertRuleModel {
+                    family: "disk_full".into(),
+                    debounce_ms: None,
+                    resolve_timeout_ms: None,
+                },
+                AlertRuleModel {
+                    family: "link_down".into(),
+                    debounce_ms: Some(10_000),
+                    resolve_timeout_ms: Some(10_000),
+                },
+                // Half-specified: debounce raised past the *default*
+                // resolve timeout.
+                AlertRuleModel {
+                    family: "quarantine".into(),
+                    debounce_ms: Some(60_000),
+                    resolve_timeout_ms: None,
+                },
+            ],
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::AlertRuleInvalid);
+        assert_eq!(findings.len(), 4, "got: {}", diags.render_text());
+        assert!(diags.has_errors());
+        assert!(findings.iter().any(|d| d.message.contains("disk_full")));
+        assert!(findings.iter().any(|d| d.message.contains("zero capacity")));
+        assert!(findings
+            .iter()
+            .any(|d| d.message.contains("quarantine") && d.message.contains("30000 ms")));
+    }
+
+    #[test]
+    fn valid_alert_rules_are_clean() {
+        use crate::model::{AlertRuleModel, AlertsModel};
+        let mut m = clean_model();
+        m.alerts = Some(AlertsModel {
+            notify_capacity: Some(8),
+            notify_refill_per_sec: Some(1),
+            rules: vec![AlertRuleModel {
+                family: "replication_lag".into(),
+                debounce_ms: Some(2_000),
+                resolve_timeout_ms: Some(20_000),
+            }],
+        });
+        let diags = analyze(&m);
         assert!(diags.is_empty(), "unexpected: {}", diags.render_text());
     }
 

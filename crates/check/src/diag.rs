@@ -66,11 +66,15 @@ pub enum Code {
     /// queue behind the same aggregation locks, holding sockets open
     /// without adding any throughput.
     GatewayPoolExceedsAggregation,
+    /// An alert rule is unusable: it names a family no producer emits,
+    /// auto-resolves inside its own flap-damping window, or configures a
+    /// zero-capacity notification bucket that suppresses every dispatch.
+    AlertRuleInvalid,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 13] = [
         Code::HubSchemaCollision,
         Code::SelfReplication,
         Code::DuplicateLinkId,
@@ -83,6 +87,7 @@ impl Code {
         Code::ZeroRetryTightLink,
         Code::OversizedAggregationPool,
         Code::GatewayPoolExceedsAggregation,
+        Code::AlertRuleInvalid,
     ];
 
     /// The stable `XCnnnn` identifier.
@@ -100,6 +105,7 @@ impl Code {
             Code::ZeroRetryTightLink => "XC0010",
             Code::OversizedAggregationPool => "XC0011",
             Code::GatewayPoolExceedsAggregation => "XC0012",
+            Code::AlertRuleInvalid => "XC0013",
         }
     }
 
@@ -112,7 +118,10 @@ impl Code {
             | Code::FilteredRequiredTable
             | Code::GroupByFactTableUnreplicated
             | Code::SchemaDrift
-            | Code::DanglingDimension => Severity::Error,
+            | Code::DanglingDimension
+            // An unusable alert rule means the operator believes a fault
+            // family is monitored when it is not — worse than no rule.
+            | Code::AlertRuleInvalid => Severity::Error,
             Code::MissingSuFactor
             | Code::UnknownExcludedResource
             | Code::ZeroRetryTightLink
@@ -140,6 +149,7 @@ impl Code {
             Code::GatewayPoolExceedsAggregation => {
                 "gateway worker pool exceeds the hub aggregation pool"
             }
+            Code::AlertRuleInvalid => "invalid alert rule configuration",
         }
     }
 }
@@ -408,6 +418,8 @@ mod tests {
             Code::GatewayPoolExceedsAggregation.default_severity(),
             Severity::Warning
         );
+        assert_eq!(Code::AlertRuleInvalid.ident(), "XC0013");
+        assert_eq!(Code::AlertRuleInvalid.default_severity(), Severity::Error);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod model;
 pub use analyzer::analyze;
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use model::{
-    AggregateModel, AggregationPoolModel, ColumnModel, FederationModel, GatewayModel, GroupByModel,
-    LinkModel, ModelError, SatelliteModel, TableModel,
+    alert_families, AggregateModel, AggregationPoolModel, AlertRuleModel, AlertsModel, ColumnModel,
+    FederationModel, GatewayModel, GroupByModel, LinkModel, ModelError, SatelliteModel, TableModel,
+    DEFAULT_ALERT_DEBOUNCE_MS, DEFAULT_ALERT_RESOLVE_TIMEOUT_MS,
 };

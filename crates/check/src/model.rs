@@ -139,6 +139,58 @@ pub struct GatewayModel {
     pub workers: Option<u64>,
 }
 
+/// One alert rule, as configured.
+///
+/// Mirrors `xdmod_alerts::AlertRule`, but carries only the fields the
+/// analyzer reasons about. `None` fields mean "family default" — the
+/// analyzer substitutes the mirrored default windows before comparing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertRuleModel {
+    /// Alert family the rule applies to.
+    pub family: String,
+    /// Flap-damping window (`None` = default).
+    pub debounce_ms: Option<u64>,
+    /// Auto-resolve timeout (`None` = default).
+    pub resolve_timeout_ms: Option<u64>,
+}
+
+/// The alert engine's configuration, when the producer knows it.
+///
+/// Mirrors `xdmod_alerts::AlertRules`: a per-family rule table plus the
+/// notification token-bucket sizing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AlertsModel {
+    /// Notification bucket burst capacity (`None` = unspecified).
+    pub notify_capacity: Option<u64>,
+    /// Notification bucket refill per second (`None` = unspecified).
+    pub notify_refill_per_sec: Option<u64>,
+    /// Configured rules.
+    pub rules: Vec<AlertRuleModel>,
+}
+
+/// The alert families any producer in the workspace emits. Mirrors
+/// `xdmod_alerts::FAMILIES` (the analyzer is std-only by design, so the
+/// list is duplicated here as data; `alert_families_in_sync` in the core
+/// crate's tests pins the two against each other).
+pub fn alert_families() -> &'static [&'static str] {
+    &[
+        "gateway_saturation",
+        "link_down",
+        "preflight_refused",
+        "quarantine",
+        "replication_lag",
+    ]
+}
+
+/// Default flap-damping window, mirroring
+/// `xdmod_alerts::DEFAULT_DEBOUNCE_MS` (pinned by the same sync test as
+/// [`alert_families`]).
+pub const DEFAULT_ALERT_DEBOUNCE_MS: u64 = 5_000;
+
+/// Default auto-resolve timeout, mirroring
+/// `xdmod_alerts::DEFAULT_RESOLVE_TIMEOUT_MS`.
+pub const DEFAULT_ALERT_RESOLVE_TIMEOUT_MS: u64 = 30_000;
+
 /// One group-by query the hub's canned reports issue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupByModel {
@@ -165,6 +217,9 @@ pub struct FederationModel {
     pub aggregation: Option<AggregationPoolModel>,
     /// Serving-tier (gateway) pool sizing (`None` = no gateway).
     pub gateway: Option<GatewayModel>,
+    /// Alert engine configuration (`None` = engine defaults, always
+    /// valid).
+    pub alerts: Option<AlertsModel>,
 }
 
 /// Sanitize a name the way the workspace's schema conventions do:
@@ -284,6 +339,42 @@ impl FederationModel {
                 .map(|v| v as u64),
         });
 
+        let alerts = doc.get("alerts").map(|entry| {
+            let rules = entry
+                .get("rules")
+                .and_then(JsonValue::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|rule| {
+                            Some(AlertRuleModel {
+                                family: rule.get("family")?.as_str()?.to_owned(),
+                                debounce_ms: rule
+                                    .get("debounce_ms")
+                                    .and_then(JsonValue::as_f64)
+                                    .map(|v| v as u64),
+                                resolve_timeout_ms: rule
+                                    .get("resolve_timeout_ms")
+                                    .and_then(JsonValue::as_f64)
+                                    .map(|v| v as u64),
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            AlertsModel {
+                notify_capacity: entry
+                    .get("notify_capacity")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v as u64),
+                notify_refill_per_sec: entry
+                    .get("notify_refill_per_sec")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v as u64),
+                rules,
+            }
+        });
+
         Ok(FederationModel {
             hub,
             satellites,
@@ -291,6 +382,7 @@ impl FederationModel {
             group_bys,
             aggregation,
             gateway,
+            alerts,
         })
     }
 
@@ -487,6 +579,42 @@ mod tests {
         let m =
             FederationModel::from_json(r#"{"hub": "h", "satellites": [], "gateway": {}}"#).unwrap();
         assert_eq!(m.gateway, Some(GatewayModel { workers: None }));
+    }
+
+    #[test]
+    fn alerts_section_parses() {
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [],
+                "alerts": {
+                    "notify_capacity": 0,
+                    "rules": [
+                        {"family": "link_down", "debounce_ms": 10000},
+                        {"family": "replication_lag", "resolve_timeout_ms": 4000}
+                    ]
+                }}"#,
+        )
+        .unwrap();
+        let alerts = m.alerts.unwrap();
+        assert_eq!(alerts.notify_capacity, Some(0));
+        assert_eq!(alerts.notify_refill_per_sec, None);
+        assert_eq!(alerts.rules.len(), 2);
+        assert_eq!(alerts.rules[0].family, "link_down");
+        assert_eq!(alerts.rules[0].debounce_ms, Some(10_000));
+        assert_eq!(alerts.rules[0].resolve_timeout_ms, None);
+        assert_eq!(alerts.rules[1].resolve_timeout_ms, Some(4_000));
+        // Absent section stays None.
+        let m = FederationModel::from_json(MINIMAL).unwrap();
+        assert_eq!(m.alerts, None);
+    }
+
+    #[test]
+    fn alert_family_mirror_is_sorted_and_plausible() {
+        let families = alert_families();
+        let mut sorted = families.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(families, &sorted[..]);
+        assert!(families.contains(&"link_down"));
+        assert!(DEFAULT_ALERT_RESOLVE_TIMEOUT_MS > DEFAULT_ALERT_DEBOUNCE_MS);
     }
 
     #[test]

@@ -170,6 +170,24 @@ fn fixtures() -> Vec<Fixture> {
             ),
             span_contains: "federation",
         },
+        // XC0013: alert rule for a family nobody emits, resolving inside
+        // its own flap window, dispatching into a zero-capacity bucket.
+        Fixture {
+            code: Code::AlertRuleInvalid,
+            config: config(&[satellite("a", "")]).replace(
+                r#""hub": "hub","#,
+                r#""hub": "hub",
+                   "alerts": {
+                       "notify_capacity": 0,
+                       "rules": [
+                           {"family": "disk_full"},
+                           {"family": "link_down",
+                            "debounce_ms": 10000, "resolve_timeout_ms": 10000}
+                       ]
+                   },"#,
+            ),
+            span_contains: "federation",
+        },
     ]
 }
 

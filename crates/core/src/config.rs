@@ -13,8 +13,10 @@ use crate::hub::FederationHub;
 use crate::instance::XdmodInstance;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use xdmod_alerts::{AlertRule, AlertRules, AlertSeverity};
 use xdmod_realms::levels::AggregationLevelsConfig;
 use xdmod_realms::RealmKind;
+use xdmod_telemetry::MetricsRegistry;
 
 /// One member entry in the federation file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +64,89 @@ pub struct HubAggregationEntry {
     pub shards: Option<u64>,
 }
 
+/// Hub telemetry sizing: `"telemetry": {"event_capacity": 8192}`.
+///
+/// The event ring is bounded; overflow evicts the oldest events (and is
+/// counted by `telemetry_events_dropped_total`). Federations emitting
+/// dense event streams — chaos soaks, busy gateways feeding the alert
+/// engine — can widen the ring here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TelemetryEntry {
+    /// Event-ring capacity (absent = the telemetry default, 4096).
+    #[serde(default)]
+    pub event_capacity: Option<u64>,
+}
+
+/// One alert rule override in the federation file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertRuleEntry {
+    /// Alert family the rule applies to (unknown families are carried
+    /// through so the XC0013 preflight pass can refuse them by name).
+    pub family: String,
+    /// `info` / `warning` / `critical` (absent or unrecognized keeps the
+    /// family default).
+    #[serde(default)]
+    pub severity: Option<String>,
+    /// Flap-damping window override.
+    #[serde(default)]
+    pub debounce_ms: Option<u64>,
+    /// Auto-resolve timeout override.
+    #[serde(default)]
+    pub resolve_timeout_ms: Option<u64>,
+    /// Stale age override.
+    #[serde(default)]
+    pub stale_ms: Option<u64>,
+}
+
+/// Alert engine configuration:
+/// `"alerts": {"notify_capacity": 8, "rules": [{"family": "link_down", ...}]}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct AlertsEntry {
+    /// Notification token-bucket burst capacity.
+    #[serde(default)]
+    pub notify_capacity: Option<u64>,
+    /// Notification token-bucket refill, tokens per second.
+    #[serde(default)]
+    pub notify_refill_per_sec: Option<u64>,
+    /// Per-family rule overrides.
+    #[serde(default)]
+    pub rules: Vec<AlertRuleEntry>,
+}
+
+impl AlertsEntry {
+    /// Materialize the rule table: defaults for every family, overridden
+    /// field-by-field by each entry. Invalid values (unknown families,
+    /// inverted windows, zero buckets) are *kept* — build never edits the
+    /// operator's intent; the preflight analyzer refuses them as XC0013.
+    pub fn to_rules(&self) -> AlertRules {
+        let mut rules = AlertRules::default();
+        if self.notify_capacity.is_some() || self.notify_refill_per_sec.is_some() {
+            rules.set_notify(
+                self.notify_capacity
+                    .unwrap_or(xdmod_alerts::DEFAULT_NOTIFY_CAPACITY),
+                self.notify_refill_per_sec
+                    .unwrap_or(xdmod_alerts::DEFAULT_NOTIFY_REFILL_PER_SEC),
+            );
+        }
+        for entry in &self.rules {
+            let base = rules.rule_for(&entry.family);
+            let severity = entry
+                .severity
+                .as_deref()
+                .and_then(AlertSeverity::parse)
+                .unwrap_or(base.severity);
+            let rule = AlertRule {
+                severity,
+                debounce_ms: entry.debounce_ms.unwrap_or(base.debounce_ms),
+                resolve_timeout_ms: entry.resolve_timeout_ms.unwrap_or(base.resolve_timeout_ms),
+                stale_ms: entry.stale_ms.unwrap_or(base.stale_ms),
+            };
+            rules.set(&entry.family, rule);
+        }
+        rules
+    }
+}
+
 /// The federation configuration file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FederationFile {
@@ -73,6 +158,12 @@ pub struct FederationFile {
     /// Hub aggregation pool sizing (absent = warehouse defaults).
     #[serde(default)]
     pub hub_aggregation: Option<HubAggregationEntry>,
+    /// Hub telemetry sizing (absent = telemetry defaults).
+    #[serde(default)]
+    pub telemetry: Option<TelemetryEntry>,
+    /// Alert engine rules (absent = alert defaults).
+    #[serde(default)]
+    pub alerts: Option<AlertsEntry>,
     /// Member entries.
     pub members: Vec<MemberEntry>,
 }
@@ -97,6 +188,9 @@ impl FederationFile {
     ) -> Result<Federation, FederationError> {
         let mut hub = FederationHub::new(&self.hub);
         hub.set_levels(self.hub_levels.clone());
+        if let Some(cap) = self.telemetry.as_ref().and_then(|t| t.event_capacity) {
+            hub.set_telemetry(MetricsRegistry::with_event_capacity(cap as usize));
+        }
         if let Some(agg) = &self.hub_aggregation {
             let mut pool = match agg.workers {
                 Some(w) => xdmod_warehouse::PoolConfig::new(w as usize),
@@ -108,6 +202,9 @@ impl FederationFile {
             hub.set_parallelism(pool);
         }
         let mut fed = Federation::new(hub);
+        if let Some(alerts) = &self.alerts {
+            fed.set_alert_rules(alerts.to_rules());
+        }
         for entry in &self.members {
             let inst = instances.get(&entry.name).ok_or_else(|| {
                 FederationError::UnknownMember(format!(
@@ -145,6 +242,20 @@ mod tests {
             hub_aggregation: Some(HubAggregationEntry {
                 workers: Some(2),
                 shards: Some(4),
+            }),
+            telemetry: Some(TelemetryEntry {
+                event_capacity: Some(128),
+            }),
+            alerts: Some(AlertsEntry {
+                notify_capacity: Some(4),
+                notify_refill_per_sec: None,
+                rules: vec![AlertRuleEntry {
+                    family: "replication_lag".into(),
+                    severity: Some("critical".into()),
+                    debounce_ms: Some(2_000),
+                    resolve_timeout_ms: None,
+                    stale_ms: None,
+                }],
             }),
             members: vec![
                 MemberEntry {
@@ -186,6 +297,8 @@ mod tests {
         assert_eq!(cfg.members[0].retries, None);
         assert!(cfg.hub_levels.dimensions.is_empty());
         assert_eq!(cfg.hub_aggregation, None);
+        assert_eq!(cfg.telemetry, None);
+        assert_eq!(cfg.alerts, None);
     }
 
     #[test]
@@ -203,6 +316,58 @@ mod tests {
         let pool = fed.hub().parallelism();
         assert_eq!(pool.configured_workers(), 2);
         assert_eq!(pool.configured_shards(), 4);
+    }
+
+    #[test]
+    fn build_applies_telemetry_capacity() {
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
+        let mut cfg = sample();
+        cfg.telemetry = Some(TelemetryEntry {
+            event_capacity: Some(1),
+        });
+        let fed = cfg.build(&instances).unwrap();
+        let telemetry = fed.hub().telemetry();
+        telemetry.event("a", "first");
+        telemetry.event("b", "second");
+        assert_eq!(telemetry.events().len(), 1);
+        assert_eq!(telemetry.events_dropped(), 1);
+    }
+
+    #[test]
+    fn build_applies_alert_rules() {
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
+        let fed = sample().build(&instances).unwrap();
+        let rules = fed.alert_engine().rules();
+        assert_eq!(rules.notify_capacity(), 4);
+        let lag = rules.rule_for("replication_lag");
+        assert_eq!(lag.severity, AlertSeverity::Critical);
+        assert_eq!(lag.debounce_ms, 2_000);
+        // Untouched families keep their defaults.
+        let link = rules.rule_for("link_down");
+        assert_eq!(link.severity, AlertSeverity::Critical);
+        assert_eq!(link.debounce_ms, xdmod_alerts::DEFAULT_DEBOUNCE_MS);
+    }
+
+    #[test]
+    fn to_rules_keeps_unknown_families_for_preflight() {
+        let entry = AlertsEntry {
+            notify_capacity: None,
+            notify_refill_per_sec: None,
+            rules: vec![AlertRuleEntry {
+                family: "disk_full".into(),
+                severity: None,
+                debounce_ms: Some(1_000),
+                resolve_timeout_ms: None,
+                stale_ms: None,
+            }],
+        };
+        let rules = entry.to_rules();
+        assert!(rules.entries().any(|(family, _)| family == "disk_full"));
+        assert!(!rules.validate().is_empty());
     }
 
     #[test]

@@ -21,6 +21,10 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xdmod_alerts::{
+    AckError, Alert, AlertEngine, AlertRules, FAMILY_GATEWAY_SATURATION, FAMILY_LINK_DOWN,
+    FAMILY_PREFLIGHT_REFUSED, FAMILY_QUARANTINE, FAMILY_REPLICATION_LAG,
+};
 use xdmod_chaos::FaultInjector;
 use xdmod_realms::{cloud as cloud_realm, jobs, storage, supremm, RealmKind};
 use xdmod_replication::{
@@ -327,6 +331,12 @@ pub struct Federation {
     hub: FederationHub,
     members: Vec<Member>,
     drain: Arc<DrainState>,
+    /// Alert-lifecycle engine fed by the supervisor and the telemetry
+    /// event ring (see [`Federation::alerts`]).
+    alerts: AlertEngine,
+    /// Last telemetry event sequence folded into the alert engine, so
+    /// each pump only mines events it has not yet seen.
+    alert_seq: u64,
 }
 
 impl Federation {
@@ -338,6 +348,8 @@ impl Federation {
             drain: Arc::new(DrainState {
                 stale: parking_lot::Mutex::new(BTreeSet::new()),
             }),
+            alerts: AlertEngine::new(AlertRules::default()),
+            alert_seq: 0,
         }
     }
 
@@ -611,6 +623,23 @@ impl Federation {
             shards: Some(pool.shards() as u64),
         });
 
+        // Project the alert rule table so XC0013 can refuse unknown
+        // families, inverted timeout windows, and dead notify buckets at
+        // preflight, before any alert would misbehave at runtime.
+        let alert_rules = self.alerts.rules();
+        let alerts = Some(xdmod_check::AlertsModel {
+            notify_capacity: Some(alert_rules.notify_capacity()),
+            notify_refill_per_sec: Some(alert_rules.notify_refill_per_sec()),
+            rules: alert_rules
+                .entries()
+                .map(|(family, rule)| xdmod_check::AlertRuleModel {
+                    family: family.to_owned(),
+                    debounce_ms: Some(rule.debounce_ms),
+                    resolve_timeout_ms: Some(rule.resolve_timeout_ms),
+                })
+                .collect(),
+        });
+
         xdmod_check::FederationModel {
             hub: self.hub.name().to_owned(),
             satellites,
@@ -621,6 +650,7 @@ impl Federation {
             // (see `xdmod_gateway::preflight`); the federation itself has
             // no gateway to describe.
             gateway: None,
+            alerts,
         }
     }
 
@@ -652,6 +682,10 @@ impl Federation {
                 "go_live refused: pre-flight found error-severity diagnostics",
                 &[("errors", errors as f64)],
             );
+            // Fold the refusal into the alert engine immediately — an
+            // operator reading `/alerts` must not have to wait for the
+            // next supervision tick to see why go-live failed.
+            self.pump_alerts();
             return Err(FederationError::Preflight {
                 errors,
                 report: diags.render_text(),
@@ -930,7 +964,95 @@ impl Federation {
             out.members
                 .push(Self::supervise_member(hub, member, policy));
         }
+        // Every tick also feeds the alert engine: per-member health
+        // becomes fault/all-clear observations (quarantine is re-observed
+        // each tick so its alert cannot quietly timeout-resolve while the
+        // member is still parked), and freshly mined telemetry events are
+        // folded in.
+        let now_ms = self.hub.telemetry().elapsed_ms();
+        for report in &out.members {
+            Self::feed_member_alerts(&mut self.alerts, report, now_ms);
+        }
+        self.pump_alerts();
         out
+    }
+
+    /// Translate one member's supervision outcome into alert engine
+    /// observations.
+    fn feed_member_alerts(engine: &mut AlertEngine, report: &MemberReport, now_ms: u64) {
+        match report.health {
+            MemberHealth::Quarantined => {
+                engine.observe_fault(
+                    FAMILY_QUARANTINE,
+                    &report.name,
+                    report
+                        .error
+                        .as_deref()
+                        .unwrap_or("member quarantined by the supervisor"),
+                    now_ms,
+                );
+            }
+            MemberHealth::Stale { age_secs } => {
+                let detail = report
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| format!("link stale for {age_secs}s"));
+                engine.observe_fault(FAMILY_LINK_DOWN, &report.name, &detail, now_ms);
+            }
+            MemberHealth::Lagging { behind } => {
+                engine.observe_fault(
+                    FAMILY_REPLICATION_LAG,
+                    &report.name,
+                    &format!("{behind} events behind"),
+                    now_ms,
+                );
+            }
+            MemberHealth::Live => {
+                // One healthy tick is the supervisor's all-clear for
+                // every link-scoped alert family on this member.
+                engine.observe_ok(FAMILY_LINK_DOWN, &report.name, now_ms);
+                engine.observe_ok(FAMILY_REPLICATION_LAG, &report.name, now_ms);
+                engine.observe_ok(FAMILY_QUARANTINE, &report.name, now_ms);
+            }
+        }
+    }
+
+    /// Mine telemetry events the engine has not yet seen into alert
+    /// observations, then apply timeout transitions. Runs on every
+    /// supervision tick and every alert read, so the alert view never
+    /// lags the event ring.
+    fn pump_alerts(&mut self) {
+        let telemetry = self.hub.telemetry();
+        let now_ms = telemetry.elapsed_ms();
+        for event in telemetry.events() {
+            if event.seq <= self.alert_seq {
+                continue;
+            }
+            match event.kind.as_str() {
+                "federation.preflight_refused" => {
+                    self.alerts.observe_fault(
+                        FAMILY_PREFLIGHT_REFUSED,
+                        "preflight",
+                        &event.message,
+                        now_ms,
+                    );
+                }
+                "gateway.saturated" => {
+                    self.alerts.observe_fault(
+                        FAMILY_GATEWAY_SATURATION,
+                        "gateway",
+                        &event.message,
+                        now_ms,
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Advance past everything emitted so far — including events the
+        // ring already evicted (their loss is itself observable via
+        // `telemetry_events_dropped_total`).
+        self.alert_seq = self.alert_seq.max(telemetry.events_emitted());
+        self.alerts.tick(now_ms);
     }
 
     fn supervise_member(
@@ -1166,6 +1288,45 @@ impl Federation {
             .collect()
     }
 
+    // ----- alerting: lifecycle state machines over telemetry -----------
+
+    /// The current alert set, most urgent first. Mines telemetry events
+    /// the engine has not yet seen and applies timeout transitions
+    /// first, so the view reflects *now* — not the last supervisor tick.
+    pub fn alerts(&mut self) -> Vec<Alert> {
+        self.pump_alerts();
+        self.alerts.alerts()
+    }
+
+    /// The alert engine's generation counter: bumped on every visible
+    /// state change. The gateway keys `/alerts` ETags to it, mirroring
+    /// `/query`'s watermark-derived versions. Reads the counter as-is
+    /// (no pump), so a caller that just listed alerts gets the matching
+    /// generation.
+    pub fn alerts_generation(&self) -> u64 {
+        self.alerts.generation()
+    }
+
+    /// Acknowledge a firing alert on behalf of `who`.
+    pub fn ack_alert(&mut self, id: &str, who: &str) -> Result<(), AckError> {
+        self.pump_alerts();
+        let now_ms = self.hub.telemetry().elapsed_ms();
+        self.alerts.ack(id, who, now_ms)
+    }
+
+    /// Read-only access to the alert engine (rules, notification
+    /// counters) — test and ops visibility.
+    pub fn alert_engine(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// Replace the alert rule table. Rules also flow into
+    /// [`Federation::check_model`], so a misconfigured table is refused
+    /// at [`Federation::go_live`] by `xdmod-check`'s XC0013.
+    pub fn set_alert_rules(&mut self, rules: AlertRules) {
+        self.alerts.set_rules(rules);
+    }
+
     /// The hub's self-monitoring ops report, extended with a per-member
     /// "Satellite health" section — the degraded-mode view: each member
     /// annotated `live | lagging(..) | stale(..) | quarantined`.
@@ -1178,6 +1339,24 @@ impl Federation {
             .map(|(name, health)| format!("{name}: {health}"))
             .collect();
         report = report.section(xdmod_chart::Section::Text(lines.join("\n")));
+        report = report.section(xdmod_chart::Section::Heading("Active alerts".to_owned()));
+        let open: Vec<String> = self
+            .alerts
+            .alerts()
+            .into_iter()
+            .filter(|a| a.state.is_open())
+            .map(|a| {
+                format!(
+                    "[{}] {}/{}: {} (x{})",
+                    a.severity, a.family, a.target, a.state, a.occurrences
+                )
+            })
+            .collect();
+        report = report.section(xdmod_chart::Section::Text(if open.is_empty() {
+            "none".to_owned()
+        } else {
+            open.join("\n")
+        }));
         Ok(report)
     }
 
@@ -1185,7 +1364,7 @@ impl Federation {
     /// may have drifted arbitrarily while parked, so its hub schema is
     /// resynced from the source tables before polling resumes.
     pub fn reinstate_member(&mut self, name: &str) -> Result<(), FederationError> {
-        let Federation { hub, members } = self;
+        let Federation { hub, members, .. } = self;
         let member = members
             .iter_mut()
             .find(|m| m.name == name)
@@ -1810,5 +1989,24 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
                 .unwrap_or_else(|| panic!("xdmod-check lacks realm {name}"));
             assert_eq!(ours, theirs, "realm {name}");
         }
+    }
+
+    /// Pins the analyzer's std-only alert-family data (and default
+    /// windows) against the alert crate's constants, same contract as
+    /// `realm_tables_in_sync_with_check_model`: if a new family starts
+    /// firing, XC0013 must learn it too or valid rules would be refused.
+    #[test]
+    fn alert_families_in_sync_with_check_model() {
+        let mut ours: Vec<&str> = xdmod_alerts::FAMILIES.to_vec();
+        ours.sort_unstable();
+        assert_eq!(&ours[..], xdmod_check::alert_families());
+        assert_eq!(
+            xdmod_check::DEFAULT_ALERT_DEBOUNCE_MS,
+            xdmod_alerts::DEFAULT_DEBOUNCE_MS
+        );
+        assert_eq!(
+            xdmod_check::DEFAULT_ALERT_RESOLVE_TIMEOUT_MS,
+            xdmod_alerts::DEFAULT_RESOLVE_TIMEOUT_MS
+        );
     }
 }

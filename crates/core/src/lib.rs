@@ -18,6 +18,14 @@
 //! - [`config::FederationFile`] — JSON configuration for the whole
 //!   wiring.
 //! - [`version::XdmodVersion`] — the "same version everywhere" rule.
+//!
+//! The supervisor and the ops event stream also feed the
+//! `xdmod-alerts` lifecycle engine ([`Federation::alerts`],
+//! [`Federation::ack_alert`]): faults fingerprint into stable alert
+//! identities that fire, damp flaps, and auto-resolve as links heal.
+//!
+//! [`Federation::alerts`]: federation::Federation::alerts
+//! [`Federation::ack_alert`]: federation::Federation::ack_alert
 
 #![warn(missing_docs)]
 
@@ -31,7 +39,7 @@ pub mod supervisor;
 pub mod version;
 pub mod viewer;
 
-pub use config::{FederationFile, MemberEntry};
+pub use config::{AlertRuleEntry, AlertsEntry, FederationFile, MemberEntry, TelemetryEntry};
 pub use explorer::{ChartRequest, ChartView, CompiledChart, QueryDescriptor};
 pub use federation::{DrainNotice, Federation, FederationConfig, FederationError, FederationMode};
 pub use freport::federation_report;
@@ -40,3 +48,6 @@ pub use instance::XdmodInstance;
 pub use supervisor::{MemberHealth, MemberReport, SupervisionReport, SupervisorPolicy};
 pub use version::XdmodVersion;
 pub use viewer::{AccessError, JobDetail};
+// The alert types appearing in `Federation`'s public signatures, so
+// downstream crates need not depend on `xdmod-alerts` directly.
+pub use xdmod_alerts::{AckError, Alert, AlertEngine, AlertRule, AlertRules, AlertSeverity, AlertState};

@@ -8,10 +8,11 @@
 //! Every malformed parameter is a 400, every auth failure a 401/403,
 //! every capacity decision a 429/503 with `Retry-After`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use xdmod_alerts::AckError;
 use xdmod_auth::{parse_token, Role, Session};
 use xdmod_core::{DrainNotice, Federation, QueryDescriptor};
 use xdmod_realms::RealmKind;
@@ -33,6 +34,8 @@ pub struct App {
     limiter: RateLimiter,
     gate: AdmissionGate,
     draining: AtomicBool,
+    purge_interval_ms: u64,
+    last_purge_ms: AtomicU64,
 }
 
 impl App {
@@ -51,6 +54,8 @@ impl App {
             limiter: RateLimiter::new(config.rate_capacity, config.rate_refill_per_sec),
             gate: AdmissionGate::new(config.max_inflight),
             draining: AtomicBool::new(false),
+            purge_interval_ms: config.session_purge_interval.as_millis() as u64,
+            last_purge_ms: AtomicU64::new(0),
         })
     }
 
@@ -116,6 +121,14 @@ impl App {
                     .with_header("Retry-After", &retry_after_secs.to_string());
             }
             let Some(_permit) = self.gate.try_acquire() else {
+                // The event feeds the federation's alert engine: the next
+                // alert pump fingerprints it into a `gateway_saturation`
+                // alert instead of the refusal vanishing into a counter.
+                self.telemetry.event_with(
+                    "gateway.saturated",
+                    "admission gate refused a request",
+                    &[("inflight", self.gate.inflight() as f64)],
+                );
                 return Response::error(503, "gateway is saturated")
                     .with_header("Retry-After", "1");
             };
@@ -125,17 +138,28 @@ impl App {
     }
 
     fn route(&self, req: &Request) -> Response {
+        // The one parameterized path; everything else matches exactly.
+        if let Some(id) = ack_alert_id(&req.path) {
+            return if req.method == "POST" {
+                self.ack_alert(req, id)
+            } else {
+                Response::error(405, "method not allowed")
+            };
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => self.health(),
             ("GET", "/metrics") => Response::text(200, &self.telemetry.prometheus_text()),
             ("GET", "/ops") => self.ops(),
             ("GET", "/realms") => self.realms(),
             ("GET", "/query") => self.query(req),
+            ("GET", "/alerts") => self.alerts(req),
             ("POST", "/login") => self.login(req),
             ("POST", "/logout") => self.logout(req),
-            (_, "/health" | "/metrics" | "/ops" | "/realms" | "/query" | "/login" | "/logout") => {
-                Response::error(405, "method not allowed")
-            }
+            (
+                _,
+                "/health" | "/metrics" | "/ops" | "/realms" | "/query" | "/login" | "/logout"
+                | "/alerts",
+            ) => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such endpoint"),
         }
     }
@@ -251,6 +275,117 @@ impl App {
         }
     }
 
+    /// `GET /alerts`: the federation's alert set, most urgent first.
+    /// Takes the write lock — listing pumps freshly mined telemetry
+    /// events through the engine and applies timeout transitions, so the
+    /// answer reflects *now*, not the last supervisor tick. ETag-cached
+    /// over the engine's generation counter, mirroring `/query`'s
+    /// watermark scheme: unchanged alert state revalidates to 304.
+    fn alerts(&self, req: &Request) -> Response {
+        let mut fed = self.fed.write().unwrap_or_else(PoisonError::into_inner);
+        if let Err(resp) = self.authenticate(&fed, req) {
+            return resp;
+        }
+        let alerts = fed.alerts();
+        let etag = format_etag(fed.alerts_generation());
+        if let Some(candidates) = req.header("if-none-match") {
+            if if_none_match(candidates, fed.alerts_generation()) {
+                return Response::not_modified(&etag);
+            }
+        }
+        let rendered: Vec<serde_json::Value> = alerts
+            .iter()
+            .map(|a| {
+                serde_json::json!({
+                    "id": a.id,
+                    "family": a.family,
+                    "target": a.target,
+                    "severity": a.severity.as_str(),
+                    "state": a.state.as_str(),
+                    "detail": a.detail,
+                    "opened_at_ms": a.opened_at_ms,
+                    "last_observed_ms": a.last_observed_ms,
+                    "last_transition_ms": a.last_transition_ms,
+                    "occurrences": a.occurrences,
+                    "flaps": a.flaps,
+                    "acked_by": a.acked_by,
+                })
+            })
+            .collect();
+        let body = serde_json::json!({
+            "etag": etag,
+            "open": alerts.iter().filter(|a| a.state.is_open()).count(),
+            "alerts": rendered,
+        });
+        Response::json(200, body.to_string()).with_header("ETag", &etag)
+    }
+
+    /// `POST /alerts/{id}/ack`: acknowledge a firing alert. Operator
+    /// role and above (center staff, center director, admin) — ordinary
+    /// users and PIs can look, not touch.
+    fn ack_alert(&self, req: &Request, id: &str) -> Response {
+        let mut fed = self.fed.write().unwrap_or_else(PoisonError::into_inner);
+        let session = match self.authenticate(&fed, req) {
+            Ok(session) => session,
+            Err(resp) => return resp,
+        };
+        let role = fed
+            .hub()
+            .auth()
+            .users()
+            .get(&session.username)
+            .map(|u| u.role)
+            .unwrap_or(Role::User);
+        if matches!(role, Role::User | Role::Pi) {
+            return Response::error(
+                403,
+                &format!("role {role:?} may not acknowledge alerts"),
+            );
+        }
+        match fed.ack_alert(id, &session.username) {
+            Ok(()) => {
+                let body = serde_json::json!({
+                    "acked": id,
+                    "by": session.username,
+                });
+                Response::json(200, body.to_string())
+            }
+            Err(AckError::UnknownAlert(_)) => Response::error(404, "no such alert"),
+            Err(e @ AckError::NotFiring { .. }) => Response::error(409, &e.to_string()),
+        }
+    }
+
+    /// Sweep expired sessions when the purge interval has elapsed.
+    /// Called from the acceptor's idle path, so the sweep happens even on
+    /// a gateway nobody is logging into — the failure mode that let the
+    /// session store grow unbounded when the sweep only ran at login.
+    /// Returns how many sessions were dropped (0 when skipped).
+    pub fn maybe_purge_sessions(&self, now_ms: u64) -> usize {
+        let last = self.last_purge_ms.load(Ordering::Acquire);
+        if last != 0 && now_ms.saturating_sub(last) < self.purge_interval_ms {
+            return 0;
+        }
+        // One winner per interval; losers skip rather than queue on the
+        // federation write lock.
+        if self
+            .last_purge_ms
+            .compare_exchange(last, now_ms.max(1), Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return 0;
+        }
+        let purged = {
+            let mut fed = self.fed.write().unwrap_or_else(PoisonError::into_inner);
+            fed.hub_mut().auth_mut().purge_expired(epoch_secs())
+        };
+        if purged > 0 {
+            self.telemetry
+                .counter("gateway_sessions_purged_total", &[])
+                .add(purged as u64);
+        }
+        purged
+    }
+
     fn login(&self, req: &Request) -> Response {
         let parsed: serde_json::Value = match serde_json::from_str(&req.body) {
             Ok(v) => v,
@@ -327,18 +462,30 @@ pub fn realm_allowed(role: Role, realm: RealmKind) -> bool {
 }
 
 /// Collapse a path to a bounded metric label (unknown paths share one
-/// label so hostile clients cannot explode series cardinality).
+/// label so hostile clients cannot explode series cardinality). All
+/// `/alerts/{id}/ack` paths collapse to one label for the same reason.
 fn endpoint_label(path: &str) -> &'static str {
+    if ack_alert_id(path).is_some() {
+        return "/alerts/ack";
+    }
     match path {
         "/health" => "/health",
         "/metrics" => "/metrics",
         "/ops" => "/ops",
         "/realms" => "/realms",
         "/query" => "/query",
+        "/alerts" => "/alerts",
         "/login" => "/login",
         "/logout" => "/logout",
         _ => "other",
     }
+}
+
+/// Parse `/alerts/{id}/ack` into the alert id; `None` for anything else
+/// (empty ids and ids containing further slashes are not ack paths).
+fn ack_alert_id(path: &str) -> Option<&str> {
+    let id = path.strip_prefix("/alerts/")?.strip_suffix("/ack")?;
+    (!id.is_empty() && !id.contains('/')).then_some(id)
 }
 
 /// Build a [`QueryDescriptor`] from `/query` parameters; every failure
@@ -399,5 +546,18 @@ mod tests {
         assert_eq!(endpoint_label("/query"), "/query");
         assert_eq!(endpoint_label("/../../etc/passwd"), "other");
         assert_eq!(endpoint_label("/query/x"), "other");
+        assert_eq!(endpoint_label("/alerts"), "/alerts");
+        assert_eq!(endpoint_label("/alerts/deadbeef01234567/ack"), "/alerts/ack");
+        assert_eq!(endpoint_label("/alerts/deadbeef"), "other");
+    }
+
+    #[test]
+    fn ack_paths_parse_strictly() {
+        assert_eq!(ack_alert_id("/alerts/abc123/ack"), Some("abc123"));
+        assert_eq!(ack_alert_id("/alerts//ack"), None);
+        assert_eq!(ack_alert_id("/alerts/a/b/ack"), None);
+        assert_eq!(ack_alert_id("/alerts/ack"), None);
+        assert_eq!(ack_alert_id("/alerts/abc123"), None);
+        assert_eq!(ack_alert_id("/query"), None);
     }
 }

@@ -20,6 +20,10 @@ pub struct GatewayConfig {
     pub rate_refill_per_sec: u64,
     /// Socket read timeout while parsing one request.
     pub read_timeout: Duration,
+    /// How often the acceptor's idle path sweeps expired sessions out of
+    /// the hub's session store (`Duration::ZERO` sweeps on every idle
+    /// tick — useful in tests).
+    pub session_purge_interval: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -31,6 +35,7 @@ impl Default for GatewayConfig {
             rate_capacity: 20,
             rate_refill_per_sec: 10,
             read_timeout: Duration::from_secs(5),
+            session_purge_interval: Duration::from_secs(60),
         }
     }
 }
@@ -64,6 +69,12 @@ impl GatewayConfig {
     /// Set the per-request socket read timeout.
     pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Set the expired-session sweep interval.
+    pub fn with_session_purge_interval(mut self, interval: Duration) -> Self {
+        self.session_purge_interval = interval;
         self
     }
 }

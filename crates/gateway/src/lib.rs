@@ -17,6 +17,8 @@
 //! | `/ops` | GET | the hub's self-monitoring ops report |
 //! | `/realms` | GET | realm catalog + federation membership |
 //! | `/query` | GET | authenticated federated queries with `ETag` revalidation |
+//! | `/alerts` | GET | the alert engine's lifecycle view, `ETag`-cached over its generation counter |
+//! | `/alerts/{id}/ack` | POST | acknowledge a firing alert (operator role and above) |
 //! | `/login` | POST | local-credential sign-on, sets the session cookie |
 //! | `/logout` | POST | revoke the presented session |
 //!
@@ -26,7 +28,8 @@
 //!   (std-only; malformed input becomes status codes, never panics);
 //! - [`pool`] — the fixed worker pool with a bounded accept queue and
 //!   panic-absorbing workers;
-//! - [`limit`] — per-client token buckets (429 + `Retry-After`) and the
+//! - [`limit`] — per-client token buckets (429 + `Retry-After`, bucket
+//!   arithmetic shared with `xdmod-alerts`' notification gating) and the
 //!   global in-flight admission gate (503);
 //! - [`etag`] — strong `ETag`s minted from the hub's watermark-derived
 //!   `result_version`, so `If-None-Match` revalidation skips the query;

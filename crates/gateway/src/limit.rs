@@ -14,11 +14,16 @@
 //!   instead of a connection that hangs until timeout.
 //!
 //! Both are time-injected (caller passes elapsed milliseconds) so tests
-//! and the chaos soak are deterministic.
+//! and the chaos soak are deterministic. The bucket arithmetic itself
+//! lives in [`xdmod_alerts::TokenBucket`] — one milli-token scheme
+//! shared between client rate limiting here and the alert engine's
+//! notification gating, so both layers throttle identically.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use xdmod_alerts::{TakeOutcome, TokenBucket};
 
 /// Lock that survives a poisoned mutex: a panicked worker must not wedge
 /// admission control for every other connection.
@@ -38,18 +43,12 @@ pub enum RateDecision {
     },
 }
 
-struct Bucket {
-    /// Milli-tokens, so sub-second refill rates stay exact in integers.
-    milli_tokens: u64,
-    last_refill_ms: u64,
-}
-
 /// Per-client token buckets. One instance serves the whole gateway;
 /// clients are keyed by address string.
 pub struct RateLimiter {
     capacity: u64,
     refill_per_sec: u64,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
 }
 
 impl RateLimiter {
@@ -57,8 +56,8 @@ impl RateLimiter {
     /// tokens per second (both at least 1).
     pub fn new(capacity: u64, refill_per_sec: u64) -> Self {
         RateLimiter {
-            capacity: capacity.max(1) * 1000,
-            refill_per_sec: refill_per_sec.max(1),
+            capacity,
+            refill_per_sec,
             buckets: Mutex::new(HashMap::new()),
         }
     }
@@ -67,23 +66,14 @@ impl RateLimiter {
     /// gateway start.
     pub fn check(&self, client: &str, now_ms: u64) -> RateDecision {
         let mut buckets = lock(&self.buckets);
-        let bucket = buckets.entry(client.to_owned()).or_insert(Bucket {
-            milli_tokens: self.capacity,
-            last_refill_ms: now_ms,
-        });
-        let elapsed = now_ms.saturating_sub(bucket.last_refill_ms);
-        bucket.milli_tokens = self
-            .capacity
-            .min(bucket.milli_tokens + elapsed * self.refill_per_sec);
-        bucket.last_refill_ms = now_ms;
-        if bucket.milli_tokens >= 1000 {
-            bucket.milli_tokens -= 1000;
-            RateDecision::Allowed
-        } else {
-            let deficit_ms = (1000 - bucket.milli_tokens).div_ceil(self.refill_per_sec);
-            RateDecision::Limited {
-                retry_after_secs: deficit_ms.div_ceil(1000).max(1),
-            }
+        // `new_at`, not `new`: a client first seen at now_ms must not be
+        // credited refill for the time before it existed.
+        let bucket = buckets
+            .entry(client.to_owned())
+            .or_insert_with(|| TokenBucket::new_at(self.capacity, self.refill_per_sec, now_ms));
+        match bucket.try_take(now_ms) {
+            TakeOutcome::Taken => RateDecision::Allowed,
+            TakeOutcome::Empty { retry_after_secs } => RateDecision::Limited { retry_after_secs },
         }
     }
 

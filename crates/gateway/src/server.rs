@@ -122,6 +122,10 @@ fn accept_loop(
         let (stream, peer) = match listener.accept() {
             Ok(accepted) => accepted,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // The idle path doubles as the housekeeping tick: sweep
+                // expired sessions so the store stays bounded even on a
+                // gateway nobody logs into.
+                app.maybe_purge_sessions(start.elapsed().as_millis() as u64);
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }

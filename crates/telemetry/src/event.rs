@@ -38,6 +38,7 @@ impl Event {
 pub(crate) struct EventRing {
     capacity: usize,
     next_seq: u64,
+    dropped: u64,
     events: VecDeque<Event>,
 }
 
@@ -46,6 +47,7 @@ impl EventRing {
         EventRing {
             capacity: capacity.max(1),
             next_seq: 1,
+            dropped: 0,
             events: VecDeque::new(),
         }
     }
@@ -61,6 +63,7 @@ impl EventRing {
         self.next_seq += 1;
         if self.events.len() == self.capacity {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back(Event {
             seq,
@@ -82,6 +85,13 @@ impl EventRing {
     pub(crate) fn total_emitted(&self) -> u64 {
         self.next_seq - 1
     }
+
+    /// Events evicted before anyone could read them. Ring overflow
+    /// would otherwise be the one telemetry loss telemetry can't see —
+    /// the registry surfaces this as `telemetry_events_dropped_total`.
+    pub(crate) fn total_dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +111,17 @@ mod tests {
             vec![3, 4, 5]
         );
         assert_eq!(ring.total_emitted(), 5);
+        assert_eq!(ring.total_dropped(), 2);
+    }
+
+    #[test]
+    fn dropped_stays_zero_until_overflow() {
+        let mut ring = EventRing::new(2);
+        ring.push(0, "a", "", &[]);
+        ring.push(0, "b", "", &[]);
+        assert_eq!(ring.total_dropped(), 0);
+        ring.push(0, "c", "", &[]);
+        assert_eq!(ring.total_dropped(), 1);
     }
 
     #[test]

@@ -291,18 +291,38 @@ impl MetricsRegistry {
         })
     }
 
+    /// Events evicted from the ring before any consumer read them.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.events.lock().unwrap_or_else(PoisonError::into_inner).total_dropped()
+        })
+    }
+
     /// Point-in-time copy of every instrument and the event ring.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let Some(inner) = &self.inner else {
             return RegistrySnapshot::default();
         };
-        let counters = inner
+        let mut counters: Vec<(MetricId, u64)> = inner
             .counters
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(id, cell)| (id.clone(), cell.load(Ordering::Relaxed)))
             .collect();
+        // Ring overflow is the one telemetry loss telemetry itself would
+        // otherwise hide; surface it as a synthetic counter so every
+        // exporter (Prometheus text, JSON, `counter()`) sees it. Only
+        // materialized once loss has actually happened, so overflow-free
+        // registries snapshot exactly what they registered.
+        let dropped = self.events_dropped();
+        if dropped > 0 {
+            let id = MetricId::new("telemetry_events_dropped_total", &[]);
+            match counters.binary_search_by(|(i, _)| i.cmp(&id)) {
+                Ok(at) => counters[at].1 += dropped,
+                Err(at) => counters.insert(at, (id, dropped)),
+            }
+        }
         let gauges = inner
             .gauges
             .lock()
@@ -462,6 +482,32 @@ mod tests {
         let lags = reg.events_of_kind("a.lag");
         assert_eq!(lags.len(), 1);
         assert_eq!(lags[0].field("lag"), Some(3.0));
+    }
+
+    #[test]
+    fn ring_overflow_surfaces_as_dropped_counter() {
+        let reg = MetricsRegistry::with_event_capacity(2);
+        reg.event("a", "1");
+        reg.event("b", "2");
+        // No overflow yet: the synthetic counter must not exist.
+        assert_eq!(reg.events_dropped(), 0);
+        assert_eq!(
+            reg.snapshot().counter("telemetry_events_dropped_total", &[]),
+            None
+        );
+        reg.event("c", "3");
+        reg.event("d", "4");
+        assert_eq!(reg.events_dropped(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("telemetry_events_dropped_total", &[]),
+            Some(2)
+        );
+        // The synthetic entry keeps snapshot ordering canonical.
+        let names: Vec<&str> = snap.counters.iter().map(|(i, _)| i.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   [`chaos::FaultPlan`]s injecting transient errors, stalls, binlog
 //!   corruption, and permanent link loss into the warehouse and
 //!   replication layers, reproducibly.
+//! - [`alerts`] — the alert-lifecycle engine: fault fingerprints become
+//!   stable alert identities walking `firing → acknowledged → resolved →
+//!   stale`, with flap damping and token-bucket-gated notification
+//!   dispatch; the federation supervisor feeds it and the gateway serves
+//!   it at `/alerts`.
 //! - [`telemetry`] — the self-monitoring substrate: counters, gauges,
 //!   log-bucketed latency histograms, RAII span timers, a bounded event
 //!   ring, and Prometheus-text/JSON exposition. The warehouse,
@@ -57,6 +62,7 @@
 //!
 //! See `examples/` for complete federation scenarios.
 
+pub use xdmod_alerts as alerts;
 pub use xdmod_appkernels as appkernels;
 pub use xdmod_auth as auth;
 pub use xdmod_chaos as chaos;

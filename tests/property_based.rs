@@ -515,4 +515,75 @@ proptest! {
         prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
         prop_assert!((c.nu("r", h1) - c.xdsu("r", h1) * xdmod::realms::NUS_PER_XDSU).abs() < 1e-6);
     }
+
+    // ---------------- alert flap damping ----------------
+
+    // An arbitrary interleaving of fault/ok observations over a handful
+    // of (family, target) identities, at arbitrary (monotone) times,
+    // must never violate the engine's core invariants: at most one
+    // alert per identity, a stable id across the whole run, a monotone
+    // generation counter, and flap-damped notifications — a re-fire
+    // within the debounce window folds into the existing alert instead
+    // of dispatching a fresh notification.
+    #[test]
+    fn alert_engine_folds_flaps_and_keeps_identity(
+        steps in prop::collection::vec((0u8..2, 0usize..15, 1u64..2_000), 1..60),
+    ) {
+        use xdmod::alerts::{fingerprint, format_alert_id, AlertEngine, AlertRules, AlertState, FAMILIES};
+
+        let targets = ["x", "y", "z"];
+        let mut engine = AlertEngine::new(AlertRules::default());
+        let mut now_ms = 0u64;
+        let mut last_generation = engine.generation();
+        let mut seen_ids: std::collections::HashMap<(usize, usize), String> =
+            std::collections::HashMap::new();
+
+        for (op, pick, dt) in steps {
+            now_ms += dt;
+            let family_at = pick % FAMILIES.len();
+            let family = FAMILIES[family_at];
+            let target = targets[pick % targets.len()];
+            let sent_before = engine.notifications_sent() + engine.notifications_suppressed();
+            if op == 0 {
+                let was_open = engine
+                    .get(&format_alert_id(fingerprint(family, target)))
+                    .map(|a| a.state.is_open())
+                    .unwrap_or(false);
+                let id = engine.observe_fault(family, target, "prop fault", now_ms);
+                // Identity is a pure function of (family, target).
+                let prior = seen_ids
+                    .entry((family_at, pick % targets.len()))
+                    .or_insert_with(|| id.clone());
+                prop_assert_eq!(&*prior, &id);
+                // Folding into an open alert never notifies; opening or
+                // reopening dispatches exactly one (sent or suppressed).
+                let dispatched =
+                    engine.notifications_sent() + engine.notifications_suppressed() - sent_before;
+                prop_assert_eq!(dispatched, u64::from(!was_open));
+            } else {
+                engine.observe_ok(family, target, now_ms);
+            }
+            engine.tick(now_ms);
+            // Generation only moves forward.
+            prop_assert!(engine.generation() >= last_generation);
+            last_generation = engine.generation();
+
+            let alerts = engine.alerts();
+            // At most one alert per identity, ever.
+            let mut keys: Vec<(&str, &str)> = alerts
+                .iter()
+                .map(|a| (a.family.as_str(), a.target.as_str()))
+                .collect();
+            keys.sort_unstable();
+            let total = keys.len();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), total, "duplicate alert identities");
+            for alert in &alerts {
+                prop_assert!(alert.occurrences >= 1);
+                prop_assert!(alert.occurrences > alert.flaps);
+                // Acked-by only while acknowledged (never set here).
+                prop_assert!(alert.acked_by.is_none() || alert.state == AlertState::Acknowledged);
+            }
+        }
+    }
 }
