@@ -304,14 +304,20 @@ impl FederationHub {
                 .collect::<Vec<_>>();
             (marks, db.rebuild_generation())
         };
-        if let Some(entry) = self.fed_cache.lock().get(&key) {
-            if entry.watermarks == watermarks && entry.generation == generation {
-                self.telemetry
-                    .counter("hub_query_cache_hits_total", &[])
-                    .inc();
-                span.finish();
-                return Ok(entry.result.clone());
-            }
+        // Clone the hit inside one statement so the cache guard drops at
+        // the `;` — an `if let` scrutinee would hold it across the
+        // telemetry counter (a cross-crate lock) until the end of the
+        // whole construct.
+        let hit = self.fed_cache.lock().get(&key).and_then(|entry| {
+            (entry.watermarks == watermarks && entry.generation == generation)
+                .then(|| entry.result.clone())
+        });
+        if let Some(result) = hit {
+            self.telemetry
+                .counter("hub_query_cache_hits_total", &[])
+                .inc();
+            span.finish();
+            return Ok(result);
         }
         self.telemetry
             .counter("hub_query_cache_misses_total", &[])

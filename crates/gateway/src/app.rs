@@ -250,11 +250,13 @@ impl App {
                 503,
                 &format!(
                     "federation is draining; stale members: {}",
+                    // xc-allow: drain's stale-member mutex is a leaf — never held while taking app.fed
                     self.drain.stale_members().join(", ")
                 ),
             )
             .with_header("Retry-After", "5");
         }
+        // xc-allow: fed is the gateway's top-level RwLock, held read for the whole request by design; hub locks are leaves acquired strictly under it
         let version = fed.hub().result_version(realm);
         let etag = format_etag(version);
         if let Some(candidates) = req.header("if-none-match") {

@@ -104,6 +104,7 @@ impl Drop for WorkerPool {
 fn worker_loop(receiver: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
     loop {
         // Hold the lock only to dequeue, never while running the job.
+        // xc-allow: shared-receiver pool — workers take turns blocking in recv under the receiver mutex; the guard drops before the job runs
         let job = match lock(receiver).recv() {
             Ok(job) => job,
             Err(_) => return, // all senders gone: graceful shutdown

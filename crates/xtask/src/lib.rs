@@ -21,6 +21,21 @@
 //! A finding on a line is suppressed by `// xc-allow: <reason>` on the
 //! same line or the line directly above. The reason is mandatory — a
 //! bare `xc-allow:` is itself a finding.
+//!
+//! Beyond the line-based lint, `xtask analyze` runs the static
+//! *concurrency* analyzer ([`lex`] → [`model`] → [`locks`]): a
+//! lightweight Rust lexer and item extractor feed per-function
+//! summaries of lock acquisitions and guard lifetimes into an
+//! interprocedural lock-order graph, emitting stable diagnostics
+//! XL0001 (lock-order inversion), XL0002 (guard across a blocking op),
+//! XL0003 (guard across a cross-crate lock), and XL0004 (unbounded
+//! channel). See the module docs of [`locks`] for the model.
+
+pub mod lex;
+pub mod locks;
+pub mod model;
+
+pub use locks::{analyze_sources, analyze_workspace, Analysis, Diag, XlCode};
 
 use std::fmt;
 use std::fs;
@@ -81,8 +96,31 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Crates whose runtime paths hold locks on every poll tick (R2 scope).
-const HOT_PATH_CRATES: &[&str] = &["replication", "warehouse", "telemetry"];
+impl Finding {
+    /// Render as a JSON object (parity with `xdmod-check --json`).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":{},\"line\":{},\"message\":{}}}",
+            self.rule.ident(),
+            locks::json_escape(&self.path),
+            self.line,
+            locks::json_escape(&self.message)
+        )
+    }
+}
+
+/// Render lint findings as a JSON array (for `xtask lint --json`).
+pub fn findings_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings.iter().map(Finding::render_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Crates whose runtime paths hold locks on every poll tick or every
+/// request (R2 scope). `gateway` runs per-request lock paths (session
+/// table, rate-limit buckets, the federation RwLock) and `alerts` is
+/// pumped from the supervisor tick — a poisoned lock in either stalls
+/// the serving tier, so both recover instead of unwrapping.
+const HOT_PATH_CRATES: &[&str] = &["replication", "warehouse", "telemetry", "gateway", "alerts"];
 
 /// Crates exempt from R1: `bench` is the workspace's experiment /
 /// figure-reproduction harness — the moral equivalent of `benches/`,
@@ -287,7 +325,12 @@ pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
                 }
             }
         }
-        if !in_test && hot_path && (code.contains(".lock().unwrap()") || code.contains(".lock().expect(")) {
+        // `.lock()`, and the RwLock forms `.read()`/`.write()` the
+        // gateway's per-request paths use.
+        let hot_lock_unwrap = [".lock()", ".read()", ".write()"].iter().any(|acq| {
+            code.contains(&format!("{acq}.unwrap()")) || code.contains(&format!("{acq}.expect("))
+        });
+        if !in_test && hot_path && hot_lock_unwrap {
             // Deliberately NOT suppressible via xc-allow: poisoning on a
             // poll-tick path must be recovered, never unwrapped.
             findings.push(Finding {
@@ -295,8 +338,8 @@ pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
                 path: rel_path.to_owned(),
                 line: lineno,
                 message: format!(
-                    "lock().unwrap/expect on hot-path crate `{crate_name}`; \
-                     use .lock().unwrap_or_else(PoisonError::into_inner)"
+                    "lock()/read()/write() unwrap/expect on hot-path crate `{crate_name}`; \
+                     use .unwrap_or_else(PoisonError::into_inner)"
                 ),
             });
         }
@@ -517,6 +560,39 @@ mod tests {
         let src = "fn f() { m.lock().expect(\"poisoned\"); }\n";
         let f = lint_source("crates/telemetry/src/a.rs", src);
         assert!(rules(&f).contains(&Rule::HotPathLock));
+    }
+
+    #[test]
+    fn gateway_and_alerts_are_hot_path_crates() {
+        let src = "fn f() { m.lock().unwrap(); } // xc-allow: trust me\n";
+        for path in ["crates/gateway/src/a.rs", "crates/alerts/src/a.rs"] {
+            let f = lint_source(path, src);
+            assert_eq!(rules(&f), vec![Rule::HotPathLock], "{path}");
+        }
+    }
+
+    #[test]
+    fn rwlock_unwrap_on_hot_path_flagged() {
+        let read = "fn f() { fed.read().unwrap(); }\n";
+        let write = "fn f() { fed.write().expect(\"poisoned\"); }\n";
+        assert!(rules(&lint_source("crates/gateway/src/a.rs", read))
+            .contains(&Rule::HotPathLock));
+        assert!(rules(&lint_source("crates/gateway/src/a.rs", write))
+            .contains(&Rule::HotPathLock));
+        // Recovered form stays clean.
+        let ok = "fn f() { fed.read().unwrap_or_else(PoisonError::into_inner); }\n";
+        assert!(lint_source("crates/gateway/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn findings_render_as_json_array() {
+        let src = "pub fn f() {\n    let x = maybe().unwrap();\n}\n";
+        let f = lint_source("crates/core/src/a.rs", src);
+        let json = findings_json(&f);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"rule\":\"no-unwrap\""));
+        assert!(json.contains("\"line\":2"));
+        assert_eq!(findings_json(&[]), "[]");
     }
 
     #[test]

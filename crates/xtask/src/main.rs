@@ -1,16 +1,42 @@
-//! `cargo run -p xtask -- lint` — workspace invariant gate.
+//! `cargo run -p xtask -- lint|analyze` — workspace static gates.
 //!
-//! See the crate docs in `lib.rs` for the rules. Exit codes: 0 clean,
-//! 1 findings, 2 usage/IO error.
+//! - `lint` — the line-based invariant lint (R1 no-unwrap, R2
+//!   hot-path-lock, R3 untraced-query). See `lib.rs`.
+//! - `analyze` — the static concurrency analyzer (XL0001 lock-order
+//!   inversion, XL0002 guard-across-blocking, XL0003 cross-crate lock
+//!   composition, XL0004 unbounded channel). See `locks.rs`.
+//!
+//! `--json` renders findings as a JSON array on stdout (parity with
+//! `xdmod-check --json`) so CI can archive machine-readable reports.
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: xtask lint [ROOT]\n\n  lint   scan workspace sources for invariant violations";
+const USAGE: &str = "usage: xtask <lint|analyze> [--json] [ROOT]\n\n  \
+lint     scan workspace sources for invariant violations\n  \
+analyze  static concurrency analysis (lock order, guards, channels)\n\n  \
+--json   render findings as a JSON array";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => lint(args.get(1).map(String::as_str)),
+    let mut json = false;
+    let mut command: Option<String> = None;
+    let mut root_arg: Option<String> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if command.is_none() => command = Some(other.to_owned()),
+            other if root_arg.is_none() => root_arg = Some(other.to_owned()),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match command.as_deref() {
+        Some("lint") => lint(root_arg.as_deref(), json),
+        Some("analyze") => analyze(root_arg.as_deref(), json),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -18,44 +44,98 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint(root_arg: Option<&str>) -> ExitCode {
+/// Resolve the workspace root: an explicit argument must actually be a
+/// workspace (a typo'd path scanning zero files would report "clean"
+/// and green a CI gate); otherwise ascend from the current directory.
+fn resolve_root(root_arg: Option<&str>) -> Result<PathBuf, ExitCode> {
     let cwd = match std::env::current_dir() {
         Ok(cwd) => cwd,
         Err(e) => {
             eprintln!("xtask: cannot determine current dir: {e}");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
-    let root = match root_arg {
-        // An explicit root must actually be a workspace: a typo'd path
-        // scanning zero files would report "clean" and green a CI gate.
+    match root_arg {
         Some(path) => {
-            let root = std::path::PathBuf::from(path);
+            let root = PathBuf::from(path);
             if !root.join("Cargo.toml").is_file() {
                 eprintln!("xtask: {path} is not a workspace root (no Cargo.toml)");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
-            root
+            Ok(root)
         }
         None => match xtask::find_workspace_root(&cwd) {
-            Some(root) => root,
+            Some(root) => Ok(root),
             None => {
-                eprintln!("xtask: no workspace root (Cargo.toml + crates/) above {}", cwd.display());
-                return ExitCode::from(2);
+                eprintln!(
+                    "xtask: no workspace root (Cargo.toml + crates/) above {}",
+                    cwd.display()
+                );
+                Err(ExitCode::from(2))
             }
         },
+    }
+}
+
+fn lint(root_arg: Option<&str>, json: bool) -> ExitCode {
+    let root = match resolve_root(root_arg) {
+        Ok(root) => root,
+        Err(code) => return code,
     };
     match xtask::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                println!("{}", xtask::findings_json(&findings));
+            } else if findings.is_empty() {
+                println!("xtask lint: clean");
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("xtask lint: {} finding(s)", findings.len());
             }
-            println!("xtask lint: {} finding(s)", findings.len());
-            ExitCode::from(1)
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn analyze(root_arg: Option<&str>, json: bool) -> ExitCode {
+    let root = match resolve_root(root_arg) {
+        Ok(root) => root,
+        Err(code) => return code,
+    };
+    match xtask::analyze_workspace(&root) {
+        Ok(analysis) => {
+            if json {
+                println!("{}", analysis.render_json());
+            } else if analysis.diags.is_empty() {
+                println!(
+                    "xtask analyze: clean ({} suppressed by xc-allow)",
+                    analysis.suppressed
+                );
+            } else {
+                for d in &analysis.diags {
+                    print!("{}", d.render_text());
+                }
+                println!(
+                    "xtask analyze: {} finding(s), {} suppressed",
+                    analysis.diags.len(),
+                    analysis.suppressed
+                );
+            }
+            if analysis.diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
         }
         Err(e) => {
             eprintln!("xtask: {e}");

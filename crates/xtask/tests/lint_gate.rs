@@ -96,6 +96,29 @@ mod tests {
 }
 
 #[test]
+fn findings_render_as_json_with_check_parity_shape() {
+    // `xtask lint --json` (CI artifact) serializes findings the same way
+    // `xdmod-check --json` does: an array of flat objects.
+    let root = scratch_workspace("json");
+    write(
+        &root,
+        "crates/replication/src/worker.rs",
+        "pub fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap()\n}\n",
+    );
+    let findings = lint_workspace(&root).unwrap();
+    assert!(!findings.is_empty());
+    let json = xtask::findings_json(&findings);
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"rule\":\"hot-path-lock\""), "{json}");
+    assert!(
+        json.contains("\"path\":\"crates/replication/src/worker.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"line\":2"), "{json}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn the_real_workspace_passes_the_gate() {
     // CI runs `cargo run -p xtask -- lint`; this test is the same gate
     // from inside the test suite, so a regression fails `cargo test` too.
