@@ -94,6 +94,12 @@ pub enum FaultPoint {
     Accept,
     /// The gateway reading a request off an accepted socket.
     SocketRead,
+    /// The disk storage backend appending a frame to the active binlog
+    /// segment file (`DiskBackend::append`).
+    SegmentAppend,
+    /// The disk storage backend writing a snapshot file
+    /// (`DiskBackend::write_snapshot`).
+    SnapshotWrite,
 }
 
 impl fmt::Display for FaultPoint {
@@ -104,6 +110,8 @@ impl fmt::Display for FaultPoint {
             FaultPoint::Apply => "apply",
             FaultPoint::Accept => "accept",
             FaultPoint::SocketRead => "socket-read",
+            FaultPoint::SegmentAppend => "segment-append",
+            FaultPoint::SnapshotWrite => "snapshot-write",
         })
     }
 }
@@ -132,6 +140,10 @@ pub enum FaultKind {
         /// How many raw bytes to remove from the end of the log.
         bytes: u64,
     },
+    /// The write appears to succeed but the fsync is silently dropped:
+    /// the whole record vanishes on "crash" (contrast with
+    /// [`FaultKind::TruncateTail`], which leaves a partial record).
+    DropFsync,
 }
 
 impl fmt::Display for FaultKind {
@@ -142,6 +154,7 @@ impl fmt::Display for FaultKind {
             FaultKind::LinkDown => f.write_str("link-down"),
             FaultKind::CorruptTailByte => f.write_str("corrupt-tail-byte"),
             FaultKind::TruncateTail { bytes } => write!(f, "truncate-tail({bytes}B)"),
+            FaultKind::DropFsync => f.write_str("drop-fsync"),
         }
     }
 }
@@ -672,9 +685,12 @@ mod tests {
             FaultKind::TruncateTail { bytes: 7 }.to_string(),
             "truncate-tail(7B)"
         );
+        assert_eq!(FaultKind::DropFsync.to_string(), "drop-fsync");
         assert_eq!(FaultPoint::BinlogRead.to_string(), "binlog-read");
         assert_eq!(FaultPoint::Accept.to_string(), "accept");
         assert_eq!(FaultPoint::SocketRead.to_string(), "socket-read");
+        assert_eq!(FaultPoint::SegmentAppend.to_string(), "segment-append");
+        assert_eq!(FaultPoint::SnapshotWrite.to_string(), "snapshot-write");
         let record = FaultRecord {
             seq: 3,
             op: 17,

@@ -6,7 +6,7 @@
 //! misconfiguration that today fails silently at runtime — see each
 //! check's doc comment for the concrete runtime symptom it prevents.
 
-use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use crate::diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 use crate::model::{
     alert_families, FederationModel, SatelliteModel, DEFAULT_ALERT_DEBOUNCE_MS,
     DEFAULT_ALERT_RESOLVE_TIMEOUT_MS,
@@ -28,6 +28,7 @@ pub fn analyze(model: &FederationModel) -> Diagnostics {
     check_aggregation_pool(model, &mut diags);
     check_gateway_pool(model, &mut diags);
     check_alert_rules(model, &mut diags);
+    check_storage_config(model, &mut diags);
     diags
 }
 
@@ -573,6 +574,112 @@ fn check_alert_rules(model: &FederationModel, diags: &mut Diagnostics) {
     }
 }
 
+/// XC0014 — the durable-storage stanza is unusable or self-defeating.
+///
+/// The hub's config loader degrades gracefully: a storage stanza it
+/// cannot honor leaves the hub on the in-memory backend rather than
+/// refusing to start. That is the right runtime behavior and exactly
+/// why this check exists — the operator believes the warehouse is
+/// durable while every record still lives only in RAM. Classes:
+///
+/// - **unknown backend** — neither `"memory"` nor `"disk"`; the loader
+///   ignores the stanza entirely (error);
+/// - **disk without a directory** — the one field the disk backend
+///   cannot default; the loader stays on memory (error);
+/// - **zero snapshot interval** — `snapshot_every_records: 0` silently
+///   disables auto-snapshots, so the binlog grows without bound and
+///   recovery replays it from the beginning (error);
+/// - **snapshot interval of 1** — a full snapshot + compaction per
+///   ingested record; durable, but pathological write amplification
+///   (warning);
+/// - **directory on the memory backend** — the directory is never
+///   written; likely a half-edited stanza (warning).
+fn check_storage_config(model: &FederationModel, diags: &mut Diagnostics) {
+    let Some(storage) = &model.storage else {
+        return;
+    };
+    let backend = storage.backend.as_deref();
+    match backend {
+        None | Some("memory") | Some("disk") => {}
+        Some(other) => {
+            diags.push(
+                Diagnostic::new(
+                    Code::StorageConfigInvalid,
+                    Span::federation(),
+                    format!(
+                        "storage backend {other:?} is not a known backend: the hub \
+                         ignores the stanza and keeps every record in RAM"
+                    ),
+                )
+                .with_help("set backend to \"disk\" (durable) or \"memory\" (explicit default)"),
+            );
+        }
+    }
+    if backend == Some("disk") && storage.dir.is_none() {
+        diags.push(
+            Diagnostic::new(
+                Code::StorageConfigInvalid,
+                Span::federation(),
+                "storage backend is \"disk\" but no directory is configured: the \
+                 hub silently stays on the in-memory backend and nothing is durable",
+            )
+            .with_help("set storage.dir to the WAL directory the hub may create and own"),
+        );
+    }
+    if backend != Some("disk") && storage.dir.is_some() {
+        let mut d = Diagnostic::new(
+            Code::StorageConfigInvalid,
+            Span::federation(),
+            format!(
+                "storage.dir {:?} is configured but the backend is not \"disk\": \
+                 the directory is never written (half-edited stanza?)",
+                storage.dir.as_deref().unwrap_or_default()
+            ),
+        )
+        .with_help("set backend to \"disk\", or drop the unused dir field");
+        d.severity = Severity::Warning;
+        diags.push(d);
+    }
+    match storage.snapshot_every_records {
+        Some(0) => {
+            diags.push(
+                Diagnostic::new(
+                    Code::StorageConfigInvalid,
+                    Span::federation(),
+                    "snapshot_every_records is 0: auto-snapshots are silently \
+                     disabled, the binlog is never compacted, and recovery \
+                     replays it from the first record",
+                )
+                .with_help("set a positive interval (thousands of records is typical)"),
+            );
+        }
+        Some(1) => {
+            let mut d = Diagnostic::new(
+                Code::StorageConfigInvalid,
+                Span::federation(),
+                "snapshot_every_records is 1: every ingested record triggers a \
+                 full snapshot and binlog compaction — durable, but pathological \
+                 write amplification",
+            )
+            .with_help("raise the interval well above the typical ingest batch size");
+            d.severity = Severity::Warning;
+            diags.push(d);
+        }
+        _ => {}
+    }
+    if storage.segment_max_kb == Some(0) {
+        let mut d = Diagnostic::new(
+            Code::StorageConfigInvalid,
+            Span::federation(),
+            "segment_max_kb is 0: the disk backend clamps it to the minimum \
+             viable segment, rolling a new file on nearly every append",
+        )
+        .with_help("size segments in the hundreds of KiB to low MiB range");
+        d.severity = Severity::Warning;
+        diags.push(d);
+    }
+}
+
 fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
     sat.excluded_resources.iter().any(|r| r == resource)
 }
@@ -643,6 +750,7 @@ mod tests {
             aggregation: None,
             gateway: None,
             alerts: None,
+            storage: None,
         }
     }
 
@@ -705,6 +813,85 @@ mod tests {
         });
         let diags = analyze(&m);
         assert!(diags.is_empty(), "unexpected: {}", diags.render_text());
+    }
+
+    #[test]
+    fn storage_config_problems_are_flagged() {
+        use crate::model::StorageModel;
+        let mut m = clean_model();
+        // Unknown backend + stray dir + zero snapshot interval.
+        m.storage = Some(StorageModel {
+            backend: Some("papyrus".into()),
+            dir: Some("/tmp/wal".into()),
+            segment_max_kb: Some(0),
+            snapshot_every_records: Some(0),
+            fsync: None,
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::StorageConfigInvalid);
+        assert_eq!(findings.len(), 4, "got: {}", diags.render_text());
+        assert!(diags.has_errors());
+        assert!(findings.iter().any(|d| d.message.contains("papyrus")));
+        assert!(findings
+            .iter()
+            .any(|d| d.message.contains("never written")
+                && d.severity == Severity::Warning));
+        assert!(findings
+            .iter()
+            .any(|d| d.message.contains("silently disabled")));
+        assert!(findings
+            .iter()
+            .any(|d| d.message.contains("segment_max_kb")
+                && d.severity == Severity::Warning));
+
+        // Disk without a directory is the flagship silent-memory case.
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            ..StorageModel::default()
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::StorageConfigInvalid);
+        assert_eq!(findings.len(), 1, "got: {}", diags.render_text());
+        assert!(findings[0].message.contains("no directory"));
+        assert_eq!(findings[0].severity, Severity::Error);
+
+        // Snapshot-per-record is flagged, but only as a warning.
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            dir: Some("/var/lib/xdmod/wal".into()),
+            snapshot_every_records: Some(1),
+            ..StorageModel::default()
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::StorageConfigInvalid);
+        assert_eq!(findings.len(), 1, "got: {}", diags.render_text());
+        assert_eq!(findings[0].severity, Severity::Warning);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn valid_storage_config_is_clean() {
+        use crate::model::StorageModel;
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            dir: Some("/var/lib/xdmod/wal".into()),
+            segment_max_kb: Some(1024),
+            snapshot_every_records: Some(5000),
+            fsync: Some(true),
+        });
+        assert!(analyze(&m).is_empty());
+        // Explicit memory backend with no stray fields is fine too.
+        m.storage = Some(StorageModel {
+            backend: Some("memory".into()),
+            ..StorageModel::default()
+        });
+        assert!(analyze(&m).is_empty());
+        // An empty stanza is "defaults everywhere" — also fine.
+        m.storage = Some(StorageModel::default());
+        assert!(analyze(&m).is_empty());
     }
 
     #[test]

@@ -70,11 +70,16 @@ pub enum Code {
     /// auto-resolves inside its own flap-damping window, or configures a
     /// zero-capacity notification bucket that suppresses every dispatch.
     AlertRuleInvalid,
+    /// The durable-storage stanza is unusable or self-defeating: an
+    /// unknown backend name, a disk backend with no directory, a zero or
+    /// absurd snapshot interval, or a directory configured for the
+    /// memory backend (which persists nothing).
+    StorageConfigInvalid,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 14] = [
         Code::HubSchemaCollision,
         Code::SelfReplication,
         Code::DuplicateLinkId,
@@ -88,6 +93,7 @@ impl Code {
         Code::OversizedAggregationPool,
         Code::GatewayPoolExceedsAggregation,
         Code::AlertRuleInvalid,
+        Code::StorageConfigInvalid,
     ];
 
     /// The stable `XCnnnn` identifier.
@@ -106,6 +112,7 @@ impl Code {
             Code::OversizedAggregationPool => "XC0011",
             Code::GatewayPoolExceedsAggregation => "XC0012",
             Code::AlertRuleInvalid => "XC0013",
+            Code::StorageConfigInvalid => "XC0014",
         }
     }
 
@@ -121,7 +128,10 @@ impl Code {
             | Code::DanglingDimension
             // An unusable alert rule means the operator believes a fault
             // family is monitored when it is not — worse than no rule.
-            | Code::AlertRuleInvalid => Severity::Error,
+            | Code::AlertRuleInvalid
+            // A broken storage stanza means the operator believes data is
+            // durable when the hub silently stayed on the memory backend.
+            | Code::StorageConfigInvalid => Severity::Error,
             Code::MissingSuFactor
             | Code::UnknownExcludedResource
             | Code::ZeroRetryTightLink
@@ -150,6 +160,7 @@ impl Code {
                 "gateway worker pool exceeds the hub aggregation pool"
             }
             Code::AlertRuleInvalid => "invalid alert rule configuration",
+            Code::StorageConfigInvalid => "invalid durable-storage configuration",
         }
     }
 }
@@ -420,6 +431,11 @@ mod tests {
         );
         assert_eq!(Code::AlertRuleInvalid.ident(), "XC0013");
         assert_eq!(Code::AlertRuleInvalid.default_severity(), Severity::Error);
+        assert_eq!(Code::StorageConfigInvalid.ident(), "XC0014");
+        assert_eq!(
+            Code::StorageConfigInvalid.default_severity(),
+            Severity::Error
+        );
     }
 
     #[test]

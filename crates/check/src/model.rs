@@ -191,6 +191,26 @@ pub const DEFAULT_ALERT_DEBOUNCE_MS: u64 = 5_000;
 /// `xdmod_alerts::DEFAULT_RESOLVE_TIMEOUT_MS`.
 pub const DEFAULT_ALERT_RESOLVE_TIMEOUT_MS: u64 = 30_000;
 
+/// The hub's durable-storage configuration, when the producer knows it.
+///
+/// Mirrors `xdmod_core::config::StorageEntry`: a backend selector plus
+/// the disk backend's directory / segment sizing / snapshot cadence.
+/// `None` fields mean "unspecified"; the analyzer only reasons about
+/// values actually configured.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageModel {
+    /// Backend selector (`"memory"` or `"disk"`); `None` = unspecified.
+    pub backend: Option<String>,
+    /// Disk backend directory.
+    pub dir: Option<String>,
+    /// Maximum binlog segment size, in KiB.
+    pub segment_max_kb: Option<u64>,
+    /// Auto-snapshot (and compact) every N binlog records.
+    pub snapshot_every_records: Option<u64>,
+    /// Whether segment appends fsync.
+    pub fsync: Option<bool>,
+}
+
 /// One group-by query the hub's canned reports issue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupByModel {
@@ -220,6 +240,9 @@ pub struct FederationModel {
     /// Alert engine configuration (`None` = engine defaults, always
     /// valid).
     pub alerts: Option<AlertsModel>,
+    /// Durable-storage configuration (`None` = default memory backend,
+    /// always valid).
+    pub storage: Option<StorageModel>,
 }
 
 /// Sanitize a name the way the workspace's schema conventions do:
@@ -375,6 +398,20 @@ impl FederationModel {
             }
         });
 
+        let storage = doc.get("storage").map(|entry| StorageModel {
+            backend: opt_str(entry, "backend").map(|b| b.to_ascii_lowercase()),
+            dir: opt_str(entry, "dir"),
+            segment_max_kb: entry
+                .get("segment_max_kb")
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64),
+            snapshot_every_records: entry
+                .get("snapshot_every_records")
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64),
+            fsync: entry.get("fsync").and_then(JsonValue::as_bool),
+        });
+
         Ok(FederationModel {
             hub,
             satellites,
@@ -383,6 +420,7 @@ impl FederationModel {
             aggregation,
             gateway,
             alerts,
+            storage,
         })
     }
 
@@ -605,6 +643,34 @@ mod tests {
         // Absent section stays None.
         let m = FederationModel::from_json(MINIMAL).unwrap();
         assert_eq!(m.alerts, None);
+    }
+
+    #[test]
+    fn storage_section_parses() {
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [],
+                "storage": {
+                    "backend": "Disk",
+                    "dir": "/var/lib/xdmod/wal",
+                    "segment_max_kb": 1024,
+                    "snapshot_every_records": 5000,
+                    "fsync": false
+                }}"#,
+        )
+        .unwrap();
+        let storage = m.storage.unwrap();
+        assert_eq!(storage.backend.as_deref(), Some("disk"));
+        assert_eq!(storage.dir.as_deref(), Some("/var/lib/xdmod/wal"));
+        assert_eq!(storage.segment_max_kb, Some(1024));
+        assert_eq!(storage.snapshot_every_records, Some(5000));
+        assert_eq!(storage.fsync, Some(false));
+        // An empty storage object is "present but unspecified".
+        let m =
+            FederationModel::from_json(r#"{"hub": "h", "satellites": [], "storage": {}}"#).unwrap();
+        assert_eq!(m.storage, Some(StorageModel::default()));
+        // Absent section stays None.
+        let m = FederationModel::from_json(MINIMAL).unwrap();
+        assert_eq!(m.storage, None);
     }
 
     #[test]

@@ -188,6 +188,17 @@ fn fixtures() -> Vec<Fixture> {
             ),
             span_contains: "federation",
         },
+        // XC0014: storage stanza that silently leaves the hub on the
+        // memory backend (disk with no dir) and disables auto-snapshots.
+        Fixture {
+            code: Code::StorageConfigInvalid,
+            config: config(&[satellite("a", "")]).replace(
+                r#""hub": "hub","#,
+                r#""hub": "hub",
+                   "storage": {"backend": "disk", "snapshot_every_records": 0},"#,
+            ),
+            span_contains: "federation",
+        },
     ]
 }
 

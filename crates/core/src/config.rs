@@ -147,6 +147,38 @@ impl AlertsEntry {
     }
 }
 
+/// Hub durability configuration:
+/// `"storage": {"backend": "disk", "dir": "/var/lib/xdmod/wal",
+/// "segment_max_kb": 1024, "snapshot_every_records": 4096, "fsync": true}`.
+///
+/// Absent (or `"backend": "memory"`) keeps the historical in-memory
+/// warehouse. With `"disk"`, the hub's warehouse writes ahead to a
+/// segmented on-disk binlog under `dir`, snapshots (and compacts) every
+/// `snapshot_every_records` records, and replays the durable state on the
+/// next build. Invalid combinations (unknown backend name, disk without a
+/// dir, zero intervals) are *kept* in the parsed file — build never edits
+/// operator intent; the pre-flight analyzer refuses them as XC0014.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StorageEntry {
+    /// `"memory"` (default) or `"disk"`.
+    #[serde(default)]
+    pub backend: Option<String>,
+    /// Directory for segment and snapshot files (required for `"disk"`).
+    #[serde(default)]
+    pub dir: Option<String>,
+    /// Rotate segment files at this size in KiB (absent = 1024).
+    #[serde(default)]
+    pub segment_max_kb: Option<u64>,
+    /// Auto-snapshot + compaction interval in binlog records (absent =
+    /// manual snapshots only).
+    #[serde(default)]
+    pub snapshot_every_records: Option<u64>,
+    /// fsync each durable append (absent = true; turning it off trades
+    /// crash durability of the newest records for throughput).
+    #[serde(default)]
+    pub fsync: Option<bool>,
+}
+
 /// The federation configuration file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FederationFile {
@@ -164,6 +196,9 @@ pub struct FederationFile {
     /// Alert engine rules (absent = alert defaults).
     #[serde(default)]
     pub alerts: Option<AlertsEntry>,
+    /// Hub warehouse durability (absent = in-memory).
+    #[serde(default)]
+    pub storage: Option<StorageEntry>,
     /// Member entries.
     pub members: Vec<MemberEntry>,
 }
@@ -200,6 +235,28 @@ impl FederationFile {
                 pool = pool.with_shards(s as usize);
             }
             hub.set_parallelism(pool);
+        }
+        if let Some(storage) = &self.storage {
+            // Only a well-formed disk entry swaps the backend; malformed
+            // entries (unknown name, missing dir) are left to the XC0014
+            // preflight pass, and the hub stays on the memory backend so a
+            // forced build still works.
+            if storage.backend.as_deref() == Some("disk") {
+                if let Some(dir) = &storage.dir {
+                    let mut opts = xdmod_warehouse::DiskOptions::new(dir);
+                    if let Some(kb) = storage.segment_max_kb {
+                        opts = opts.segment_max_bytes(kb.saturating_mul(1024));
+                    }
+                    if let Some(on) = storage.fsync {
+                        opts = opts.fsync(on);
+                    }
+                    let backend = xdmod_warehouse::DiskBackend::open(opts)?;
+                    hub.set_storage(Box::new(backend))?;
+                }
+            }
+            if let Some(every) = storage.snapshot_every_records {
+                hub.set_snapshot_policy(Some(every));
+            }
         }
         let mut fed = Federation::new(hub);
         if let Some(alerts) = &self.alerts {
@@ -257,6 +314,7 @@ mod tests {
                     stale_ms: None,
                 }],
             }),
+            storage: None,
             members: vec![
                 MemberEntry {
                     name: "x".into(),
@@ -299,6 +357,49 @@ mod tests {
         assert_eq!(cfg.hub_aggregation, None);
         assert_eq!(cfg.telemetry, None);
         assert_eq!(cfg.alerts, None);
+        assert_eq!(cfg.storage, None);
+    }
+
+    #[test]
+    fn storage_entry_round_trips_and_builds_disk_hub() {
+        let dir = std::env::temp_dir().join(format!("xdmod-cfg-storage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = sample();
+        cfg.storage = Some(StorageEntry {
+            backend: Some("disk".into()),
+            dir: Some(dir.to_string_lossy().into_owned()),
+            segment_max_kb: Some(64),
+            snapshot_every_records: Some(100),
+            fsync: Some(false),
+        });
+        let back = FederationFile::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
+        let fed = cfg.build(&instances).unwrap();
+        assert_eq!(fed.hub().database().read().storage_name(), "disk");
+        assert!(dir.is_dir(), "disk backend must create its directory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_storage_entry_stays_on_memory_backend() {
+        // Disk without a dir, and an unknown backend name: build leaves
+        // the memory backend (XC0014 refuses these at preflight).
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
+        for backend in ["disk", "papyrus"] {
+            let mut cfg = sample();
+            cfg.storage = Some(StorageEntry {
+                backend: Some(backend.into()),
+                ..StorageEntry::default()
+            });
+            let fed = cfg.build(&instances).unwrap();
+            assert_eq!(fed.hub().database().read().storage_name(), "memory");
+        }
     }
 
     #[test]

@@ -651,6 +651,10 @@ impl Federation {
             // no gateway to describe.
             gateway: None,
             alerts,
+            // A live hub already opened (and recovered) its storage
+            // backend — a stanza it could not honor was caught at config
+            // time by XC0014, so there is nothing left to validate here.
+            storage: None,
         }
     }
 

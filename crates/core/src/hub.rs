@@ -93,6 +93,30 @@ impl FederationHub {
         self.telemetry = telemetry;
     }
 
+    /// Rebuild the hub's warehouse on a durability backend, running crash
+    /// recovery against whatever durable state the backend holds. Must be
+    /// called before any members join (the recovered database *replaces*
+    /// the current one — pool sizing is carried over, data is whatever
+    /// the backend recovered).
+    pub fn set_storage(
+        &mut self,
+        backend: Box<dyn xdmod_warehouse::StorageBackend>,
+    ) -> Result<()> {
+        let recovered = Database::open_with_telemetry(backend, self.telemetry.clone())?;
+        let mut db = self.db.write();
+        let pool = db.parallelism();
+        *db = recovered;
+        db.set_parallelism(pool);
+        Ok(())
+    }
+
+    /// Auto-snapshot (and compact) the hub warehouse's binlog every
+    /// `every` records. See
+    /// [`xdmod_warehouse::Database::set_snapshot_policy`].
+    pub fn set_snapshot_policy(&mut self, every: Option<u64>) {
+        self.db.write().set_snapshot_policy(every);
+    }
+
     /// Hub name.
     pub fn name(&self) -> &str {
         &self.name
@@ -473,6 +497,20 @@ impl FederationHub {
                 self.telemetry.elapsed_ms(),
             )));
 
+        // Durability posture: which storage backend the hub warehouse is
+        // on, plus the recovery/compaction counters the disk layer bumps.
+        let compactions = snap.counter_total("warehouse_compactions_total");
+        let truncated = snap.counter_total("warehouse_recovery_truncated_records_total");
+        let snap_failures = snap.counter_total("warehouse_snapshot_failures_total");
+        report = report
+            .section(Section::Heading("Durability".into()))
+            .section(Section::Text(format!(
+                "storage backend `{}`; {compactions} binlog compaction(s); \
+                 {truncated} torn record(s) truncated during recovery; \
+                 {snap_failures} auto-snapshot failure(s).",
+                self.db.read().storage_name(),
+            )));
+
         // Replication lag over time, one series per link, from the
         // `replication.lag` events the live replicators emit.
         let lag_events = snap
@@ -788,6 +826,8 @@ mod tests {
         let report = hub.ops_report().unwrap();
         let text = report.render();
         assert!(text.contains("federation-hub operations"));
+        assert!(text.contains("Durability"));
+        assert!(text.contains("storage backend `memory`"));
         assert!(text.contains("Replication lag"));
         assert!(text.contains("Operation latency quantiles"));
 

@@ -291,7 +291,7 @@ impl XdmodInstance {
             )));
         }
         let mut db = self.db.write();
-        db.reset_for_restore();
+        db.reset_for_restore()?;
         snapshot.apply(&mut db)?;
         for def in [
             jobs::fact_schema(),

@@ -176,6 +176,7 @@ impl App {
 
     fn ops(&self) -> Response {
         let fed = self.fed.read().unwrap_or_else(PoisonError::into_inner);
+        // xc-allow: fed is the gateway's top-level RwLock; the hub db lock ops_report takes is a leaf acquired strictly under it
         match fed.ops_report() {
             Ok(report) => {
                 let body = serde_json::json!({

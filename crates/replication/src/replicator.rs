@@ -242,6 +242,32 @@ impl Replicator {
         let detail = match first {
             Ok(events) => return Ok(events),
             Err(WarehouseError::CorruptBinlog(detail)) => detail,
+            Err(e @ WarehouseError::CompactedAway { .. }) => {
+                // Snapshot-triggered compaction deleted the records this
+                // watermark still needs. No repair or retry can bring them
+                // back — the link must be rebuilt from the source's present
+                // state (snapshot + surviving tail), which is exactly what
+                // [`Replicator::resync_target`] does. Make the condition
+                // loudly visible and surface the typed error so the
+                // supervisor resyncs instead of hot-looping the poll.
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter(
+                            "replication_compacted_reads_total",
+                            &[("link", &self.link_name)],
+                        )
+                        .inc();
+                    self.telemetry.event(
+                        "replication.compacted_away",
+                        &format!(
+                            "{}: watermark {} fell below the source's compaction \
+                             horizon — resync required",
+                            self.link_name, self.position
+                        ),
+                    );
+                }
+                return Err(e);
+            }
             Err(e) => return Err(e),
         };
         let repair = self.source.write().repair_binlog();
@@ -381,6 +407,25 @@ impl Replicator {
         let tail = self.source.read().binlog_position();
         self.position.epoch > tail.epoch
             || (self.position.epoch == tail.epoch && self.position.seqno > tail.seqno)
+    }
+
+    /// True when the watermark points *below* the source's binlog
+    /// compaction horizon (or into an older epoch while the source has
+    /// compacted): the records this link still needs were deleted by
+    /// snapshot-triggered compaction, so polling returns
+    /// [`WarehouseError::CompactedAway`] forever. Like
+    /// [`Replicator::is_diverged`], the cure is
+    /// [`Replicator::resync_target`], which rebuilds the target from the
+    /// source's live tables — the source's snapshot-plus-tail state.
+    pub fn is_compacted_away(&self) -> bool {
+        let src = self.source.read();
+        let horizon = src.compaction_horizon();
+        if horizon == 0 {
+            return false;
+        }
+        let head = src.binlog_position();
+        self.position.epoch < head.epoch
+            || (self.position.epoch == head.epoch && self.position.seqno < horizon)
     }
 
     /// Checksum-grade resync: rebuild the target schema from the source's
@@ -1510,6 +1555,103 @@ mod tests {
         // Zero-retry policy never fast-retries.
         let mut z = RetryState::new(RetryPolicy::no_retries(), "site-x");
         assert_eq!(z.next_backoff(), None);
+    }
+
+    #[test]
+    fn compacted_source_fails_stale_poll_and_resync_recovers() {
+        use xdmod_telemetry::MetricsRegistry;
+        let src = satellite("xdmod_x", &["comet"]);
+        // Compact the source: snapshot twice so the trailing horizon
+        // passes the DDL/insert prefix a fresh link would need.
+        {
+            let mut s = src.write();
+            s.snapshot_now().unwrap();
+            s.insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![Value::Str("comet".into()), Value::Float(5.0)]],
+            )
+            .unwrap();
+            s.snapshot_now().unwrap();
+            assert!(s.compaction_horizon() > 0);
+        }
+        let dst = shared(Database::new());
+        let reg = MetricsRegistry::new();
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        )
+        .with_telemetry(reg.clone(), "site-x");
+        // A fresh link's watermark (START) is below the horizon.
+        assert!(rep.is_compacted_away());
+        let err = rep.poll().unwrap_err();
+        assert!(
+            matches!(err, WarehouseError::CompactedAway { .. }),
+            "got {err}"
+        );
+        assert_eq!(
+            reg.snapshot()
+                .counter("replication_compacted_reads_total", &[("link", "site-x")]),
+            Some(1)
+        );
+        assert!(!reg.events_of_kind("replication.compacted_away").is_empty());
+        // Resync rebuilds the target from the source's snapshot+tail
+        // state (its live tables) and the link is healthy again.
+        rep.resync_target().unwrap();
+        assert!(!rep.is_compacted_away());
+        assert_eq!(rep.poll().unwrap(), 0);
+        assert_eq!(
+            src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
+            dst.read().table("hub_x", "jobfact").unwrap().content_checksum()
+        );
+    }
+
+    #[test]
+    fn resync_after_compaction_matches_full_replication() {
+        // The acceptance invariant: a replica resumed from snapshot+tail
+        // (resync after the source compacted) is content-identical to a
+        // replica that replayed the full, never-compacted log.
+        let src = satellite("xdmod_x", &["comet", "gordon"]);
+        let full = shared(Database::new());
+        let mut full_rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&full),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        full_rep.poll().unwrap(); // replicates the complete log up front
+        {
+            let mut s = src.write();
+            s.snapshot_now().unwrap();
+            s.insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![Value::Str("late".into()), Value::Float(7.0)]],
+            )
+            .unwrap();
+            s.snapshot_now().unwrap(); // horizon passes the prefix
+            assert!(s.compaction_horizon() > 0);
+        }
+        full_rep.poll().unwrap(); // full replica stays caught up
+        // The late replica can't replay the compacted prefix; it resyncs.
+        let late = shared(Database::new());
+        let mut late_rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&late),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        assert!(late_rep.poll().is_err());
+        late_rep.resync_target().unwrap();
+        assert_eq!(late_rep.poll().unwrap(), 0);
+        let full = full.read();
+        let late = late.read();
+        for table in ["jobfact", "supremm_jobfact"] {
+            assert_eq!(
+                full.table("hub_x", table).unwrap().content_checksum(),
+                late.table("hub_x", table).unwrap().content_checksum(),
+                "{table}: snapshot+tail resync must equal full replication"
+            );
+        }
     }
 
     #[test]

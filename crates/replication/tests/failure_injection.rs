@@ -113,7 +113,7 @@ fn source_epoch_rotation_is_surfaced_not_silently_reapplied() {
     // Simulate restore: rotate epoch and repopulate.
     {
         let mut db = src.write();
-        db.reset_for_restore();
+        db.reset_for_restore().unwrap();
         db.create_schema("xdmod_x").unwrap();
         db.create_table(
             "xdmod_x",

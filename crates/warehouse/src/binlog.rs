@@ -390,15 +390,25 @@ pub fn decode_payload(mut buf: Bytes) -> Result<EventPayload> {
 }
 
 /// An append-only binary log with framed, checksummed records.
+///
+/// The log may be *prefix-compacted*: once a snapshot covers every record
+/// up to some seqno, [`Binlog::compact_before`] drops those frames and
+/// `base_seqno` records the horizon. Reads below the horizon return
+/// [`WarehouseError::CompactedAway`] so consumers resume from snapshot +
+/// tail instead of replaying history that no longer exists.
 #[derive(Debug, Default)]
 pub struct Binlog {
     /// Current generation.
     epoch: u32,
     /// Sequence number of the last appended record (0 = none).
     last_seqno: u64,
-    /// Raw framed bytes of the current generation.
+    /// Highest seqno removed by prefix compaction (0 = nothing removed).
+    /// Retained records are `base_seqno + 1 ..= last_seqno`.
+    base_seqno: u64,
+    /// Raw framed bytes of the retained suffix of the current generation.
     bytes: BytesMut,
-    /// Byte offset of each record, indexed by `seqno - 1`.
+    /// Byte offset of each retained record, indexed by
+    /// `seqno - base_seqno - 1`.
     offsets: Vec<usize>,
 }
 
@@ -426,17 +436,25 @@ impl Binlog {
         self.offsets.is_empty()
     }
 
-    /// Total framed size in bytes of the current generation.
+    /// Total framed size in bytes of the retained records.
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
     }
 
-    /// Append a payload; returns its position.
-    pub fn append(&mut self, payload: &EventPayload) -> LogPosition {
-        let seqno = self.last_seqno + 1;
+    /// Highest seqno removed by prefix compaction (0 = full history kept).
+    pub fn base_seqno(&self) -> u64 {
+        self.base_seqno
+    }
+
+    /// Frame the payload that *would* be appended next, without mutating
+    /// the log. This is the durability seam: a storage backend persists
+    /// the returned frame first, then [`Binlog::push_frame`] admits it to
+    /// the in-memory log — write-ahead ordering, so a crash between the
+    /// two never leaves the in-memory state ahead of disk.
+    pub fn encode_next(&self, payload: &EventPayload) -> (LogPosition, Bytes) {
         let pos = LogPosition {
             epoch: self.epoch,
-            seqno,
+            seqno: self.last_seqno + 1,
         };
         let body = encode_payload(payload);
         let mut framed = BytesMut::with_capacity(body.len() + 20);
@@ -450,9 +468,23 @@ impl Binlog {
             crc32(covered)
         };
         framed.put_u32_le(crc);
+        (pos, framed.freeze())
+    }
+
+    /// Admit a frame produced by [`Binlog::encode_next`] to the in-memory
+    /// log. Must be called with frames in encode order.
+    pub fn push_frame(&mut self, frame: &[u8]) {
         self.offsets.push(self.bytes.len());
-        self.bytes.extend_from_slice(&framed);
-        self.last_seqno = seqno;
+        self.bytes.extend_from_slice(frame);
+        self.last_seqno += 1;
+    }
+
+    /// Append a payload; returns its position. Equivalent to
+    /// [`Binlog::encode_next`] + [`Binlog::push_frame`] with no
+    /// durability step in between (the in-memory backend's path).
+    pub fn append(&mut self, payload: &EventPayload) -> LogPosition {
+        let (pos, frame) = self.encode_next(payload);
+        self.push_frame(&frame);
         pos
     }
 
@@ -461,16 +493,89 @@ impl Binlog {
     pub fn rotate_epoch(&mut self) {
         self.epoch += 1;
         self.last_seqno = 0;
+        self.base_seqno = 0;
         self.bytes.clear();
         self.offsets.clear();
+    }
+
+    /// Rebuild the log from recovered state: a generation number, the
+    /// compaction horizon implied by the snapshot the tail follows, and
+    /// the raw bytes of the already-validated tail frames (concatenated,
+    /// starting at `base_seqno + 1`). Used by the disk backend's recovery
+    /// path after it has scanned segments and truncated any torn tail.
+    pub fn restore_frames(&mut self, epoch: u32, base_seqno: u64, raw: &[u8]) -> Result<usize> {
+        let mut offsets = Vec::new();
+        let mut cursor = 0usize;
+        let mut expect = base_seqno + 1;
+        let mut buf = Bytes::copy_from_slice(raw);
+        while buf.has_remaining() {
+            let before = buf.remaining();
+            let event = decode_framed(&mut buf)?;
+            if event.position.epoch != epoch || event.position.seqno != expect {
+                return Err(WarehouseError::CorruptBinlog(format!(
+                    "recovered frame at {} where {}:{expect} was expected",
+                    event.position, epoch
+                )));
+            }
+            offsets.push(cursor);
+            cursor += before - buf.remaining();
+            expect += 1;
+        }
+        self.epoch = epoch;
+        self.base_seqno = base_seqno;
+        self.last_seqno = base_seqno + offsets.len() as u64;
+        self.bytes = BytesMut::from(&raw[..cursor]);
+        self.offsets = offsets;
+        Ok(self.offsets.len())
+    }
+
+    /// Drop every retained record with `seqno <= upto` — they are covered
+    /// by a snapshot and no longer needed for replay. The horizon only
+    /// moves forward; `upto` past the head is clamped. Returns what was
+    /// removed.
+    pub fn compact_before(&mut self, upto: u64) -> PrefixCompaction {
+        let upto = upto.min(self.last_seqno);
+        if upto <= self.base_seqno {
+            return PrefixCompaction::default();
+        }
+        let drop_records = (upto - self.base_seqno) as usize;
+        let cut = if drop_records < self.offsets.len() {
+            self.offsets[drop_records]
+        } else {
+            self.bytes.len()
+        };
+        let kept = self.bytes.split_off(cut);
+        let dropped_bytes = self.bytes.len();
+        self.bytes = kept;
+        self.offsets.drain(..drop_records);
+        for offset in &mut self.offsets {
+            *offset -= cut;
+        }
+        self.base_seqno = upto;
+        PrefixCompaction {
+            dropped_records: drop_records,
+            dropped_bytes,
+        }
     }
 
     /// Decode and return every record strictly after `after`.
     ///
     /// If `after.epoch` predates the current generation the entire log is
     /// returned (the consumer must resynchronize from scratch); positions
-    /// from a *future* epoch yield an error.
+    /// from a *future* epoch yield an error; positions below the
+    /// compaction horizon yield [`WarehouseError::CompactedAway`].
     pub fn read_after(&self, after: LogPosition) -> Result<Vec<BinlogEvent>> {
+        let start_seqno = self.replay_start(after)?;
+        let mut out = Vec::new();
+        for seqno in (start_seqno + 1)..=self.last_seqno {
+            out.push(self.record_at(seqno)?);
+        }
+        Ok(out)
+    }
+
+    /// Resolve `after` to the seqno replay starts from (exclusive),
+    /// rejecting future epochs and compacted-away ranges.
+    fn replay_start(&self, after: LogPosition) -> Result<u64> {
         if after.epoch > self.epoch {
             return Err(WarehouseError::CorruptBinlog(format!(
                 "position {after} is from a future epoch (log at {})",
@@ -482,17 +587,29 @@ impl Binlog {
         } else {
             after.seqno
         };
-        let mut out = Vec::new();
-        for seqno in (start_seqno + 1)..=self.last_seqno {
-            out.push(self.record_at(seqno)?);
+        if start_seqno < self.base_seqno {
+            return Err(WarehouseError::CompactedAway {
+                horizon: LogPosition {
+                    epoch: self.epoch,
+                    seqno: self.base_seqno,
+                },
+            });
         }
-        Ok(out)
+        Ok(start_seqno)
     }
 
     /// Decode the record with sequence number `seqno` (1-based).
     pub fn record_at(&self, seqno: u64) -> Result<BinlogEvent> {
+        if seqno != 0 && seqno <= self.base_seqno {
+            return Err(WarehouseError::CompactedAway {
+                horizon: LogPosition {
+                    epoch: self.epoch,
+                    seqno: self.base_seqno,
+                },
+            });
+        }
         let idx = (seqno as usize)
-            .checked_sub(1)
+            .checked_sub(self.base_seqno as usize + 1)
             .filter(|i| *i < self.offsets.len())
             .ok_or_else(|| WarehouseError::CorruptBinlog(format!("no record {seqno}")))?;
         let offset = self.offsets[idx];
@@ -568,7 +685,7 @@ impl Binlog {
         };
         if !repair.is_clean() {
             self.bytes.truncate(cursor);
-            self.last_seqno = valid_offsets.len() as u64;
+            self.last_seqno = self.base_seqno + valid_offsets.len() as u64;
             self.offsets = valid_offsets;
         }
         repair
@@ -577,22 +694,28 @@ impl Binlog {
     /// Export the raw framed bytes of records after `after` — this is what
     /// "loose" federation ships as files (§II-C2).
     pub fn export_after(&self, after: LogPosition) -> Result<Bytes> {
-        if after.epoch > self.epoch {
-            return Err(WarehouseError::CorruptBinlog(format!(
-                "position {after} is from a future epoch (log at {})",
-                self.epoch
-            )));
-        }
-        let start_seqno = if after.epoch < self.epoch {
-            0
-        } else {
-            after.seqno
-        };
+        let start_seqno = self.replay_start(after)?;
         if start_seqno >= self.last_seqno {
             return Ok(Bytes::new());
         }
-        let offset = self.offsets[start_seqno as usize];
+        let offset = self.offsets[(start_seqno - self.base_seqno) as usize];
         Ok(Bytes::copy_from_slice(&self.bytes[offset..]))
+    }
+}
+
+/// What [`Binlog::compact_before`] removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixCompaction {
+    /// Records dropped from the front of the log.
+    pub dropped_records: usize,
+    /// Raw bytes those records occupied.
+    pub dropped_bytes: usize,
+}
+
+impl PrefixCompaction {
+    /// True when nothing was removed (horizon already at or past `upto`).
+    pub fn is_noop(&self) -> bool {
+        self.dropped_records == 0 && self.dropped_bytes == 0
     }
 }
 
@@ -903,6 +1026,114 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.position(), LogPosition { epoch: 0, seqno: 0 });
         assert!(log.read_after(LogPosition::START).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encode_next_then_push_frame_matches_append() {
+        let mut a = Binlog::new();
+        let mut b = Binlog::new();
+        for payload in [
+            EventPayload::CreateSchema { schema: "s".into() },
+            sample_insert(),
+        ] {
+            let pa = a.append(&payload);
+            let (pb, frame) = b.encode_next(&payload);
+            // encode_next does not mutate…
+            assert_eq!(b.position().seqno + 1, pb.seqno);
+            b.push_frame(&frame);
+            assert_eq!(pa, pb);
+        }
+        assert_eq!(
+            a.export_after(LogPosition::START).unwrap(),
+            b.export_after(LogPosition::START).unwrap()
+        );
+    }
+
+    #[test]
+    fn compact_before_drops_prefix_and_flags_reads_below_horizon() {
+        let mut log = Binlog::new();
+        for _ in 0..5 {
+            log.append(&sample_insert());
+        }
+        let full_len = log.byte_len();
+        let stats = log.compact_before(3);
+        assert_eq!(stats.dropped_records, 3);
+        assert!(stats.dropped_bytes > 0);
+        assert_eq!(log.base_seqno(), 3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.byte_len(), full_len - stats.dropped_bytes);
+        assert_eq!(log.position(), LogPosition { epoch: 0, seqno: 5 });
+        // The retained tail is readable and correctly numbered.
+        let tail = log
+            .read_after(LogPosition { epoch: 0, seqno: 3 })
+            .unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].position.seqno, 4);
+        // Reads below the horizon are refused with a typed error.
+        let err = log.read_after(LogPosition::START).unwrap_err();
+        assert!(matches!(
+            err,
+            WarehouseError::CompactedAway {
+                horizon: LogPosition { epoch: 0, seqno: 3 }
+            }
+        ));
+        assert!(matches!(
+            log.record_at(2).unwrap_err(),
+            WarehouseError::CompactedAway { .. }
+        ));
+        assert!(matches!(
+            log.export_after(LogPosition { epoch: 0, seqno: 1 }),
+            Err(WarehouseError::CompactedAway { .. })
+        ));
+        // Appends continue past the horizon; compaction is monotone.
+        let pos = log.append(&sample_insert());
+        assert_eq!(pos.seqno, 6);
+        assert!(log.compact_before(2).is_noop());
+        // Compacting to the head empties the retained window but keeps
+        // seqno continuity.
+        log.compact_before(u64::MAX);
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.append(&sample_insert()).seqno, 7);
+    }
+
+    #[test]
+    fn rotate_epoch_resets_compaction_horizon() {
+        let mut log = Binlog::new();
+        log.append(&sample_insert());
+        log.append(&sample_insert());
+        log.compact_before(1);
+        log.rotate_epoch();
+        assert_eq!(log.base_seqno(), 0);
+        assert!(log.read_after(LogPosition::START).unwrap().is_empty());
+    }
+
+    #[test]
+    fn restore_frames_rebuilds_log_from_tail() {
+        let mut source = Binlog::new();
+        for _ in 0..4 {
+            source.append(&sample_insert());
+        }
+        // Recovery hands the tail after a snapshot at seqno 2.
+        let tail = source
+            .export_after(LogPosition { epoch: 0, seqno: 2 })
+            .unwrap();
+        let mut restored = Binlog::new();
+        let n = restored.restore_frames(0, 2, &tail).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(restored.base_seqno(), 2);
+        assert_eq!(restored.position(), LogPosition { epoch: 0, seqno: 4 });
+        let events = restored
+            .read_after(LogPosition { epoch: 0, seqno: 2 })
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].position.seqno, 3);
+        // Appends continue the sequence.
+        assert_eq!(restored.append(&sample_insert()).seqno, 5);
+        // A tail whose seqnos do not line up with the claimed base is
+        // rejected, as is one from the wrong epoch.
+        let mut bad = Binlog::new();
+        assert!(bad.restore_frames(0, 1, &tail).is_err());
+        assert!(bad.restore_frames(3, 2, &tail).is_err());
     }
 
     #[test]

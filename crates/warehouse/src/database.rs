@@ -8,20 +8,38 @@
 use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition, TailRepair};
 use crate::error::{Result, WarehouseError};
 use crate::parallel::{self, AggregateCache, CacheKey, PoolConfig, RebuildTicket};
+use crate::persist::Snapshot;
 use crate::query::{Query, ResultSet};
 use crate::schema::TableSchema;
+use crate::storage::{CompactionReport, MemoryBackend, Recovery, StorageBackend};
 use crate::table::Table;
 use crate::value::Row;
 use std::collections::BTreeMap;
+use std::time::Instant;
 use xdmod_chaos::{FaultInjector, FaultKind, FaultPoint};
 use xdmod_telemetry::MetricsRegistry;
 
 /// A database: an ordered map of schemas, each an ordered map of tables,
 /// with every mutation recorded in an embedded binlog.
-#[derive(Debug, Default)]
+///
+/// Durability is delegated to a pluggable [`StorageBackend`] with strict
+/// **write-ahead ordering**: every mutator frames its binlog record, hands
+/// it to the backend ([`StorageBackend::append`]), and only then admits it
+/// to the in-memory log and mutates tables. A crash between the durable
+/// append and the in-memory admit loses nothing (recovery replays the
+/// frame); a failed append changes nothing.
+#[derive(Debug)]
 pub struct Database {
     schemas: BTreeMap<String, BTreeMap<String, Table>>,
     binlog: Binlog,
+    /// Durability backend. [`MemoryBackend`] (the default) makes every
+    /// call a no-op — the historical pure in-memory behaviour.
+    backend: Box<dyn StorageBackend>,
+    /// Auto-snapshot policy: write a snapshot (and compact) after this
+    /// many records since the last snapshot. `None` disables.
+    snapshot_every: Option<u64>,
+    /// Seqno covered by the most recent snapshot this epoch.
+    last_snapshot_seqno: u64,
     /// Disabled by default; [`Database::set_telemetry`] attaches a live
     /// registry (the hub/instance hands its own down at construction).
     telemetry: MetricsRegistry,
@@ -44,10 +62,160 @@ pub struct Database {
     agg_cache: AggregateCache,
 }
 
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            schemas: BTreeMap::new(),
+            binlog: Binlog::default(),
+            backend: Box::new(MemoryBackend::new()),
+            snapshot_every: None,
+            last_snapshot_seqno: 0,
+            telemetry: MetricsRegistry::default(),
+            chaos: None,
+            watermarks: BTreeMap::new(),
+            rebuild_generation: 0,
+            pool: PoolConfig::default(),
+            agg_cache: AggregateCache::default(),
+        }
+    }
+}
+
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Open a database on a durability backend, running crash recovery.
+    ///
+    /// The backend scans its durable state ([`StorageBackend::recover`]),
+    /// truncating torn or corrupt tails rather than refusing to start; the
+    /// surviving snapshot (if any) is restored and the validated binlog
+    /// tail is replayed into tables. For a fresh backend this yields an
+    /// empty database ready for writes.
+    pub fn open(backend: Box<dyn StorageBackend>) -> Result<Database> {
+        Database::open_with_telemetry(backend, MetricsRegistry::default())
+    }
+
+    /// [`Database::open`] with a live metrics registry attached *before*
+    /// recovery, so `warehouse_recovery_ms` and the truncation counters
+    /// observe the recovery itself.
+    pub fn open_with_telemetry(
+        mut backend: Box<dyn StorageBackend>,
+        telemetry: MetricsRegistry,
+    ) -> Result<Database> {
+        let started = Instant::now();
+        let rec = backend.recover()?;
+        let mut db = Database {
+            backend,
+            telemetry,
+            ..Database::default()
+        };
+        db.finish_recovery(rec, started)?;
+        Ok(db)
+    }
+
+    /// Restore recovered durable state into this (empty) database:
+    /// snapshot first, then the validated binlog tail, then telemetry.
+    fn finish_recovery(&mut self, rec: Recovery, started: Instant) -> Result<()> {
+        let mut snapshot_pos = None;
+        if let Some((pos, body)) = &rec.snapshot {
+            let snap = Snapshot::from_bytes(body)?;
+            self.restore_snapshot_unlogged(&snap, *pos)?;
+            snapshot_pos = Some(*pos);
+            self.last_snapshot_seqno = pos.seqno;
+        }
+        self.binlog.restore_frames(rec.epoch, rec.base_seqno, &rec.tail)?;
+        let replay_from = LogPosition {
+            epoch: rec.epoch,
+            seqno: rec.base_seqno,
+        };
+        let events = self.binlog.read_after(replay_from)?;
+        let replayed = events.len();
+        for ev in events {
+            self.apply_unlogged(&ev.payload, ev.position)?;
+        }
+        if self.telemetry.is_enabled() {
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            self.telemetry.histogram("warehouse_recovery_ms", &[]).observe(ms);
+            if rec.truncated_records > 0 {
+                self.telemetry
+                    .counter("warehouse_recovery_truncated_records_total", &[])
+                    .add(rec.truncated_records);
+            }
+            self.telemetry.event_with(
+                "warehouse.recovered",
+                &format!(
+                    "recovered epoch {} to seqno {} ({} backend): snapshot at {}, {} tail records, {} truncated",
+                    rec.epoch,
+                    self.binlog.position().seqno,
+                    self.backend.name(),
+                    snapshot_pos.map_or_else(|| "none".to_owned(), |p| p.to_string()),
+                    replayed,
+                    rec.truncated_records,
+                ),
+                &[
+                    ("tail_records", replayed as f64),
+                    ("truncated_records", rec.truncated_records as f64),
+                    ("truncated_bytes", rec.truncated_bytes as f64),
+                    ("corrupt_snapshots", rec.corrupt_snapshots as f64),
+                    ("segments_scanned", rec.segments_scanned as f64),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// Load snapshot tables directly, bypassing the binlog: the snapshot's
+    /// contents are *below* the recovered log's base seqno, so re-logging
+    /// them would duplicate history. Watermarks land at the snapshot
+    /// position (conservative: every restored table reads as "mutated at
+    /// the snapshot point").
+    fn restore_snapshot_unlogged(&mut self, snap: &Snapshot, pos: LogPosition) -> Result<()> {
+        snap.verify()?;
+        for (schema, tables) in &snap.schemas {
+            let dst = self.schemas.entry(schema.clone()).or_default();
+            for (name, table) in tables {
+                dst.insert(name.clone(), table.clone());
+                self.watermarks.insert((schema.clone(), name.clone()), pos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a recovered binlog event to tables *without* re-logging it —
+    /// the record is already in the restored log. Unknown tables are an
+    /// error: a validated, contiguous tail always creates before it
+    /// inserts.
+    fn apply_unlogged(&mut self, payload: &EventPayload, pos: LogPosition) -> Result<()> {
+        match payload {
+            EventPayload::CreateSchema { schema } => {
+                self.schemas.entry(schema.clone()).or_default();
+            }
+            EventPayload::CreateTable { schema, def } => {
+                let tables = self.schemas.entry(schema.clone()).or_default();
+                let name = def.name.clone();
+                tables
+                    .entry(name.clone())
+                    .or_insert_with(|| Table::new(def.clone()));
+                self.watermarks.insert((schema.clone(), name), pos);
+            }
+            EventPayload::InsertBatch {
+                schema,
+                table,
+                rows,
+            } => {
+                self.table_mut(schema, table)?.insert_checked(rows.clone());
+                self.watermarks
+                    .insert((schema.clone(), table.clone()), pos);
+            }
+            EventPayload::Truncate { schema, table } => {
+                self.table_mut(schema, table)?.truncate();
+                self.watermarks
+                    .insert((schema.clone(), table.clone()), pos);
+            }
+        }
+        Ok(())
     }
 
     /// Attach a metrics registry. All binlog/query instrumentation becomes
@@ -65,15 +233,21 @@ impl Database {
     /// Attach a chaos fault injector, consulted on binlog reads
     /// ([`FaultPoint::BinlogRead`]) and replicated-event applies
     /// ([`FaultPoint::Apply`]) under `target` (conventionally the
-    /// replication link name). This is the chaos-harness wiring;
-    /// production databases leave it unset and pay one branch.
+    /// replication link name). The injector is also forwarded to the
+    /// storage backend, which consults it at the disk-layer points
+    /// ([`FaultPoint::SegmentAppend`], [`FaultPoint::SnapshotWrite`]).
+    /// This is the chaos-harness wiring; production databases leave it
+    /// unset and pay one branch.
     pub fn set_fault_injector(&mut self, injector: FaultInjector, target: impl Into<String>) {
-        self.chaos = Some((injector, target.into()));
+        let target = target.into();
+        self.backend.set_chaos(injector.clone(), target.clone());
+        self.chaos = Some((injector, target));
     }
 
-    /// Detach any chaos fault injector.
+    /// Detach any chaos fault injector (warehouse and backend layers).
     pub fn clear_fault_injector(&mut self) {
         self.chaos = None;
+        self.backend.clear_chaos();
     }
 
     /// Consult the chaos injector (if any) at a fault point. Stalls are
@@ -98,19 +272,24 @@ impl Database {
         }
     }
 
-    /// Append to the binlog, counting appends and framed bytes.
-    fn log(&mut self, payload: &EventPayload) -> LogPosition {
-        let before = self.binlog.byte_len();
-        let pos = self.binlog.append(payload);
+    /// Write-ahead append: frame the record, make it durable through the
+    /// storage backend, and only then admit it to the in-memory binlog.
+    /// On `Err` nothing changed anywhere — the caller must not have
+    /// mutated tables yet (and none of the mutators do).
+    fn log(&mut self, payload: &EventPayload) -> Result<LogPosition> {
+        let (pos, frame) = self.binlog.encode_next(payload);
+        self.backend.append(pos, &frame)?;
+        let framed_bytes = frame.len() as u64;
+        self.binlog.push_frame(&frame);
         if self.telemetry.is_enabled() {
             self.telemetry
                 .counter("warehouse_binlog_appends_total", &[])
                 .inc();
             self.telemetry
                 .counter("warehouse_binlog_bytes_total", &[])
-                .add((self.binlog.byte_len() - before) as u64);
+                .add(framed_bytes);
         }
-        pos
+        Ok(pos)
     }
 
     // ------------------------------------------------------------------
@@ -122,10 +301,11 @@ impl Database {
         if self.schemas.contains_key(name) {
             return Err(WarehouseError::AlreadyExists(format!("schema {name}")));
         }
-        self.schemas.insert(name.to_owned(), BTreeMap::new());
-        Ok(self.log(&EventPayload::CreateSchema {
+        let pos = self.log(&EventPayload::CreateSchema {
             schema: name.to_owned(),
-        }))
+        })?;
+        self.schemas.insert(name.to_owned(), BTreeMap::new());
+        Ok(pos)
     }
 
     /// Create a schema if absent; no-op (and no binlog record) otherwise.
@@ -140,7 +320,7 @@ impl Database {
     pub fn create_table(&mut self, schema: &str, def: TableSchema) -> Result<LogPosition> {
         let tables = self
             .schemas
-            .get_mut(schema)
+            .get(schema)
             .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?;
         if tables.contains_key(&def.name) {
             return Err(WarehouseError::AlreadyExists(format!(
@@ -148,13 +328,16 @@ impl Database {
                 def.name
             )));
         }
-        let event = EventPayload::CreateTable {
+        let pos = self.log(&EventPayload::CreateTable {
             schema: schema.to_owned(),
             def: def.clone(),
-        };
+        })?;
         let name = def.name.clone();
+        let tables = self
+            .schemas
+            .get_mut(schema)
+            .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?;
         tables.insert(name.clone(), Table::new(def));
-        let pos = self.log(&event);
         self.watermarks.insert((schema.to_owned(), name), pos);
         Ok(pos)
     }
@@ -181,35 +364,42 @@ impl Database {
 
     /// Insert a batch of rows, validating against the table schema. The
     /// batch is atomic: either all rows land (and one binlog record is
-    /// written) or none do.
+    /// written) or none do. Validation and coercion happen *before* the
+    /// write-ahead append; the table is only mutated after the record is
+    /// durable.
     pub fn insert(&mut self, schema: &str, table: &str, rows: Vec<Row>) -> Result<LogPosition> {
         if rows.is_empty() {
             // Nothing to do; return current position without logging an
             // empty batch.
             return Ok(self.binlog.position());
         }
-        let t = self.table_mut(schema, table)?;
-        let stored = t.insert_batch(rows)?;
-        let pos = self.log(&EventPayload::InsertBatch {
+        let checked = self.table(schema, table)?.check_batch(rows)?;
+        let payload = EventPayload::InsertBatch {
             schema: schema.to_owned(),
             table: table.to_owned(),
-            rows: stored,
-        });
+            rows: checked,
+        };
+        let pos = self.log(&payload)?;
+        if let EventPayload::InsertBatch { rows, .. } = payload {
+            self.table_mut(schema, table)?.insert_checked(rows);
+        }
         self.watermarks
             .insert((schema.to_owned(), table.to_owned()), pos);
+        self.maybe_snapshot();
         Ok(pos)
     }
 
     /// Delete all rows of a table (used when rebuilding aggregates).
     pub fn truncate(&mut self, schema: &str, table: &str) -> Result<LogPosition> {
-        let t = self.table_mut(schema, table)?;
-        t.truncate();
+        self.table(schema, table)?;
         let pos = self.log(&EventPayload::Truncate {
             schema: schema.to_owned(),
             table: table.to_owned(),
-        });
+        })?;
+        self.table_mut(schema, table)?.truncate();
         self.watermarks
             .insert((schema.to_owned(), table.to_owned()), pos);
+        self.maybe_snapshot();
         Ok(pos)
     }
 
@@ -498,14 +688,108 @@ impl Database {
 
     /// Wipe all data and start a new binlog generation. Used when a
     /// database is regenerated from the federation hub (backup use case,
-    /// §II-E4).
-    pub fn reset_for_restore(&mut self) {
+    /// §II-E4). The storage backend drops durable state of older
+    /// generations ([`StorageBackend::start_epoch`]).
+    pub fn reset_for_restore(&mut self) -> Result<()> {
         self.schemas.clear();
         self.binlog.rotate_epoch();
+        self.backend.start_epoch(self.binlog.position().epoch)?;
+        self.last_snapshot_seqno = 0;
         // Every cached result and in-flight rebuild ticket is now void.
         self.watermarks.clear();
         self.rebuild_generation += 1;
         self.agg_cache.clear();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: snapshots and compaction
+    // ------------------------------------------------------------------
+
+    /// Short name of the storage backend ("memory", "disk").
+    pub fn storage_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Flush anything the backend buffers to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.backend.sync()
+    }
+
+    /// Auto-snapshot every `every` records (`None` disables). When the
+    /// log grows `every` records past the last snapshot, the next DML
+    /// call snapshots and compacts in-line; failures there are recorded
+    /// (`warehouse_snapshot_failures_total`) but never fail the ingest
+    /// that tripped the policy.
+    pub fn set_snapshot_policy(&mut self, every: Option<u64>) {
+        self.snapshot_every = every.filter(|e| *e > 0);
+    }
+
+    /// Write a snapshot of the full database through the storage backend,
+    /// then compact: the backend deletes segments (and older snapshots)
+    /// the new snapshot makes redundant, and the in-memory binlog drops
+    /// the same prefix. The compaction horizon trails one snapshot behind
+    /// (see [`CompactionReport::horizon`]) so a damaged latest snapshot
+    /// can never strand recovery.
+    pub fn snapshot_now(&mut self) -> Result<CompactionReport> {
+        let pos = self.binlog.position();
+        let snap = Snapshot::capture(self)?;
+        let bytes = snap.to_bytes()?;
+        let report = self.backend.write_snapshot(pos, &bytes)?;
+        self.last_snapshot_seqno = pos.seqno;
+        let pruned = self.binlog.compact_before(report.horizon);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_compactions_total", &[])
+                .inc();
+            self.telemetry.event_with(
+                "warehouse.compacted",
+                &format!(
+                    "snapshot at {pos}; horizon {}: {} segments deleted, {} log records dropped",
+                    report.horizon, report.segments_deleted, pruned.dropped_records,
+                ),
+                &[
+                    ("horizon", report.horizon as f64),
+                    ("segments_deleted", report.segments_deleted as f64),
+                    ("snapshots_deleted", report.snapshots_deleted as f64),
+                    ("bytes_reclaimed", report.bytes_reclaimed as f64),
+                    ("log_records_dropped", pruned.dropped_records as f64),
+                    ("log_bytes_dropped", pruned.dropped_bytes as f64),
+                ],
+            );
+        }
+        Ok(report)
+    }
+
+    /// Fire the auto-snapshot policy if due. Failures don't propagate:
+    /// the triggering ingest already committed, and the next DML retries.
+    fn maybe_snapshot(&mut self) {
+        let Some(every) = self.snapshot_every else {
+            return;
+        };
+        let seqno = self.binlog.position().seqno;
+        if seqno < self.last_snapshot_seqno.saturating_add(every) {
+            return;
+        }
+        if let Err(err) = self.snapshot_now() {
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter("warehouse_snapshot_failures_total", &[])
+                    .inc();
+                self.telemetry.event_with(
+                    "warehouse.snapshot_failed",
+                    &format!("auto-snapshot at seqno {seqno} failed: {err}"),
+                    &[("seqno", seqno as f64)],
+                );
+            }
+        }
+    }
+
+    /// Lowest seqno still present in the in-memory binlog's current epoch
+    /// (0 when nothing was compacted): reads at or below this are
+    /// [`WarehouseError::CompactedAway`] and must resume from a snapshot.
+    pub fn compaction_horizon(&self) -> u64 {
+        self.binlog.base_seqno()
     }
 }
 
@@ -678,7 +962,7 @@ mod tests {
     fn reset_for_restore_rotates_epoch() {
         let mut db = populated();
         let old_pos = db.binlog_position();
-        db.reset_for_restore();
+        db.reset_for_restore().unwrap();
         assert!(db.schema_names().is_empty());
         let pos = db.binlog_position();
         assert_eq!(pos.epoch, old_pos.epoch + 1);
@@ -915,6 +1199,254 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 3);
+    }
+
+    /// A backend that fails every append after the first `ok` calls —
+    /// exercises write-ahead ordering (nothing may mutate on a failed
+    /// durable append).
+    #[derive(Debug)]
+    struct FailingBackend {
+        ok: u64,
+        appends: u64,
+    }
+
+    impl crate::storage::StorageBackend for FailingBackend {
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+        fn append(&mut self, _pos: LogPosition, _frame: &[u8]) -> Result<()> {
+            self.appends += 1;
+            if self.appends > self.ok {
+                return Err(WarehouseError::Io("injected append failure".into()));
+            }
+            Ok(())
+        }
+        fn write_snapshot(
+            &mut self,
+            _pos: LogPosition,
+            _snapshot: &[u8],
+        ) -> Result<crate::storage::CompactionReport> {
+            Ok(crate::storage::CompactionReport::default())
+        }
+        fn start_epoch(&mut self, _epoch: u32) -> Result<()> {
+            Ok(())
+        }
+        fn recover(&mut self) -> Result<crate::storage::Recovery> {
+            Ok(crate::storage::Recovery::default())
+        }
+        fn sync(&mut self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn disk_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "xdw-db-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn failed_durable_append_changes_nothing() {
+        // Allow the 3 setup records through, then fail everything.
+        let mut db = Database::open(Box::new(FailingBackend { ok: 3, appends: 0 })).unwrap();
+        db.create_schema("xdmod_x").unwrap();
+        db.create_table("xdmod_x", jobfact()).unwrap();
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("comet".into()), Value::Float(3.0)]],
+        )
+        .unwrap();
+        let pos = db.binlog_position();
+        let rows = db.table("xdmod_x", "jobfact").unwrap().len();
+
+        // Every mutator now fails at the durable append — and must leave
+        // tables, binlog, and watermarks exactly as they were.
+        assert!(matches!(
+            db.insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![Value::Str("gordon".into()), Value::Float(1.0)]],
+            ),
+            Err(WarehouseError::Io(_))
+        ));
+        assert!(matches!(
+            db.truncate("xdmod_x", "jobfact"),
+            Err(WarehouseError::Io(_))
+        ));
+        assert!(matches!(
+            db.create_schema("xdmod_y"),
+            Err(WarehouseError::Io(_))
+        ));
+        assert!(matches!(
+            db.create_table(
+                "xdmod_x",
+                SchemaBuilder::new("other")
+                    .required("x", ColumnType::Str)
+                    .build()
+                    .unwrap()
+            ),
+            Err(WarehouseError::Io(_))
+        ));
+        assert_eq!(db.binlog_position(), pos);
+        assert_eq!(db.table("xdmod_x", "jobfact").unwrap().len(), rows);
+        assert!(!db.has_schema("xdmod_y"));
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_policy_compacts_in_memory_binlog() {
+        let mut db = populated(); // 3 records in
+        db.set_snapshot_policy(Some(2));
+        // Records 4..: each insert may trip the policy. With the trailing
+        // horizon, compaction starts on the *second* snapshot.
+        for i in 0..6 {
+            db.insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![Value::Str(format!("r{i}")), Value::Float(1.0)]],
+            )
+            .unwrap();
+        }
+        assert!(db.compaction_horizon() > 0, "prefix should have compacted");
+        assert!(db.binlog_len() < 9);
+        // Reads from before the horizon are a typed error, not silence.
+        let err = db.binlog_after(LogPosition::START).unwrap_err();
+        assert!(
+            matches!(err, WarehouseError::CompactedAway { .. }),
+            "got {err}"
+        );
+        // Reads from the horizon onward still work.
+        let horizon = LogPosition {
+            epoch: db.binlog_position().epoch,
+            seqno: db.compaction_horizon(),
+        };
+        db.binlog_after(horizon).unwrap();
+        // All 7 rows are in the table regardless of log compaction.
+        assert_eq!(db.table("xdmod_x", "jobfact").unwrap().len(), 7);
+    }
+
+    #[test]
+    fn disk_backed_database_survives_reopen() {
+        use crate::disk::{DiskBackend, DiskOptions};
+        let dir = disk_dir("reopen");
+        let opts = || DiskOptions::new(&dir).fsync(false);
+        let checksum_before;
+        {
+            let mut db =
+                Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
+            db.create_schema("xdmod_x").unwrap();
+            db.create_table("xdmod_x", jobfact()).unwrap();
+            for i in 0..10 {
+                db.insert(
+                    "xdmod_x",
+                    "jobfact",
+                    vec![vec![Value::Str(format!("res-{i}")), Value::Float(i as f64)]],
+                )
+                .unwrap();
+            }
+            checksum_before = db.table("xdmod_x", "jobfact").unwrap().content_checksum();
+            // No clean shutdown beyond Drop's best-effort sync.
+        }
+        let db = Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
+        assert_eq!(db.storage_name(), "disk");
+        assert_eq!(
+            db.table("xdmod_x", "jobfact").unwrap().content_checksum(),
+            checksum_before
+        );
+        assert_eq!(db.binlog_after(LogPosition::START).unwrap().len(), 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_database_recovers_via_snapshot_and_tail() {
+        use crate::disk::{DiskBackend, DiskOptions};
+        use xdmod_telemetry::MetricsRegistry;
+        let dir = disk_dir("snaptail");
+        let opts = || DiskOptions::new(&dir).fsync(false).segment_max_bytes(256);
+        let checksum_before;
+        let horizon;
+        {
+            let mut db =
+                Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
+            db.set_snapshot_policy(Some(3));
+            db.create_schema("xdmod_x").unwrap();
+            db.create_table("xdmod_x", jobfact()).unwrap();
+            for i in 0..12 {
+                db.insert(
+                    "xdmod_x",
+                    "jobfact",
+                    vec![vec![Value::Str(format!("res-{i}")), Value::Float(i as f64)]],
+                )
+                .unwrap();
+            }
+            assert!(db.compaction_horizon() > 0);
+            horizon = db.compaction_horizon();
+            checksum_before = db.table("xdmod_x", "jobfact").unwrap().content_checksum();
+        }
+        let reg = MetricsRegistry::new();
+        let mut db = Database::open_with_telemetry(
+            Box::new(DiskBackend::open(opts()).unwrap()),
+            reg.clone(),
+        )
+        .unwrap();
+        assert_eq!(
+            db.table("xdmod_x", "jobfact").unwrap().content_checksum(),
+            checksum_before
+        );
+        // Recovery resumes from the newest snapshot, so the horizon is at
+        // least as far along as the pre-crash one.
+        assert!(db.compaction_horizon() >= horizon);
+        assert!(matches!(
+            db.binlog_after(LogPosition::START),
+            Err(WarehouseError::CompactedAway { .. })
+        ));
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("warehouse_recovery_ms", &[]).map(|h| h.count),
+            Some(1)
+        );
+        // Clean recovery: nothing was truncated.
+        assert_eq!(
+            snap.counter("warehouse_recovery_truncated_records_total", &[]),
+            None
+        );
+        // Writes resume seamlessly after recovery.
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("post".into()), Value::Float(1.0)]],
+        )
+        .unwrap();
+        assert_eq!(db.table("xdmod_x", "jobfact").unwrap().len(), 13);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manual_snapshot_reports_compaction_telemetry() {
+        use xdmod_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut db = populated();
+        db.set_telemetry(reg.clone());
+        db.snapshot_now().unwrap();
+        db.insert(
+            "xdmod_x",
+            "jobfact",
+            vec![vec![Value::Str("more".into()), Value::Float(2.0)]],
+        )
+        .unwrap();
+        db.snapshot_now().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("warehouse_compactions_total", &[]), Some(2));
+        assert_eq!(reg.events_of_kind("warehouse.compacted").len(), 2);
+        // Second snapshot's horizon = first snapshot's seqno: prefix gone.
+        assert_eq!(db.compaction_horizon(), 3);
     }
 
     #[test]

@@ -1,0 +1,1024 @@
+//! Segmented append-only on-disk storage backend.
+//!
+//! Layout (one directory per database):
+//!
+//! ```text
+//! storage-dir/
+//!   seg-0000000000-00000000000000000001.wal   ← binlog frames 1..=N₁
+//!   seg-0000000000-00000000000000000N₁+1.wal  ← frames N₁+1..  (active)
+//!   snap-0000000000-00000000000000000042.snap ← snapshot through seqno 42
+//!   ...
+//! ```
+//!
+//! **Write path.** [`DiskBackend::append`] receives the exact frame the
+//! in-memory binlog is about to admit and writes it to the active segment
+//! *first* (write-ahead ordering), rotating to a new segment past
+//! [`DiskOptions::segment_max_bytes`]. Every write is optionally fsynced.
+//!
+//! **Snapshots & compaction.** [`DiskBackend::write_snapshot`] lands the
+//! serialized snapshot via write-temp → fsync → rename, then reclaims:
+//! the backend always retains the **two** newest snapshots and deletes
+//! segments fully covered by the *older* of the pair. That way a torn or
+//! bit-flipped newest snapshot can never strand recovery past deleted
+//! segments — the previous snapshot plus the still-present segments after
+//! it reconstruct the same state. The returned
+//! [`CompactionReport::horizon`] tells the database how far the in-memory
+//! binlog prefix may compact (the same conservative horizon).
+//!
+//! **Recovery.** [`DiskBackend::recover`] picks the newest snapshot whose
+//! header and body CRCs validate (falling back to older ones, counting
+//! the corrupt), then walks the segment chain from the snapshot's
+//! coverage point, CRC- and continuity-checking every frame. The first
+//! torn or corrupt frame truncates its segment file at that point and
+//! strands everything after it — recovery *repairs and reports*, it never
+//! refuses to start. The surviving tail is handed back as raw frames for
+//! [`crate::binlog::Binlog::restore_frames`].
+//!
+//! **Chaos.** The injected fault points [`FaultPoint::SegmentAppend`] and
+//! [`FaultPoint::SnapshotWrite`] fire here: `Transient`/`LinkDown` fail
+//! the call loudly, while `CorruptTailByte`, `TruncateTail`, and
+//! `DropFsync` succeed *silently* with damaged or vanished on-disk bytes
+//! — exactly what a crash mid-write leaves behind — so the recovery path
+//! is soak-tested deterministically.
+
+pub mod format;
+
+use crate::binlog::LogPosition;
+use crate::checksum::crc32;
+use crate::error::{Result, WarehouseError};
+use crate::storage::{CompactionReport, Recovery, StorageBackend};
+use format::{
+    encode_segment_header, encode_snapshot_header, parse_segment_header, parse_segment_name,
+    parse_snapshot_header, parse_snapshot_name, scan_frames, segment_file_name,
+    snapshot_file_name, SEG_HEADER_LEN, SNAP_HEADER_LEN,
+};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use xdmod_chaos::{FaultInjector, FaultKind, FaultPoint};
+
+/// Tuning for a [`DiskBackend`].
+#[derive(Debug, Clone)]
+pub struct DiskOptions {
+    /// Directory holding segment and snapshot files (created on open).
+    pub dir: PathBuf,
+    /// Rotate the active segment once its size reaches this many bytes.
+    pub segment_max_bytes: u64,
+    /// fsync after every append and snapshot write. Disable only for
+    /// tests/bulk loads that accept losing the tail on power failure.
+    pub fsync: bool,
+}
+
+impl DiskOptions {
+    /// Defaults: 1 MiB segments, fsync on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_max_bytes: 1 << 20,
+            fsync: true,
+        }
+    }
+
+    /// Set the segment rotation threshold.
+    pub fn segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes.max(SEG_HEADER_LEN as u64 + 1);
+        self
+    }
+
+    /// Enable or disable per-write fsync.
+    pub fn fsync(mut self, on: bool) -> Self {
+        self.fsync = on;
+        self
+    }
+}
+
+/// One segment file the backend knows about (the last one is active).
+#[derive(Debug)]
+struct Segment {
+    /// Seqno of the last frame written to it (== its header base when
+    /// empty).
+    last: u64,
+    /// Tracked byte length (rotation accounting; silent chaos damage may
+    /// make the physical file shorter).
+    len: u64,
+    path: PathBuf,
+}
+
+/// A snapshot file the backend knows about.
+#[derive(Debug)]
+struct SnapFile {
+    seqno: u64,
+    len: u64,
+    path: PathBuf,
+}
+
+/// The segmented on-disk backend. See the module docs for the format and
+/// protocols.
+#[derive(Debug)]
+pub struct DiskBackend {
+    opts: DiskOptions,
+    epoch: u32,
+    last_seqno: u64,
+    segments: Vec<Segment>,
+    active_file: Option<File>,
+    /// Retained snapshots of the current epoch, ascending by seqno.
+    snapshots: Vec<SnapFile>,
+    /// Set by [`StorageBackend::recover`] / [`StorageBackend::start_epoch`];
+    /// appends before then are refused.
+    ready: bool,
+    chaos: Option<(FaultInjector, String)>,
+}
+
+fn io_err(what: &str, err: std::io::Error) -> WarehouseError {
+    WarehouseError::Io(format!("{what}: {err}"))
+}
+
+impl DiskBackend {
+    /// Open (creating the directory if needed). The backend is inert
+    /// until [`StorageBackend::recover`] scans the durable state.
+    pub fn open(opts: DiskOptions) -> Result<DiskBackend> {
+        fs::create_dir_all(&opts.dir).map_err(|e| io_err("create storage dir", e))?;
+        Ok(DiskBackend {
+            opts,
+            epoch: 0,
+            last_seqno: 0,
+            segments: Vec::new(),
+            active_file: None,
+            snapshots: Vec::new(),
+            ready: false,
+            chaos: None,
+        })
+    }
+
+    /// The storage directory.
+    pub fn dir(&self) -> &Path {
+        &self.opts.dir
+    }
+
+    fn consult(&self, point: FaultPoint) -> Option<FaultKind> {
+        self.chaos
+            .as_ref()
+            .and_then(|(inj, target)| inj.next_fault(point, target))
+    }
+
+    fn create_segment(&mut self, base: u64) -> Result<()> {
+        // Seal the previous active segment before abandoning its handle.
+        self.sync_active()?;
+        let path = self.opts.dir.join(segment_file_name(self.epoch, base));
+        // A stale same-name leftover (e.g. from an interrupted restore)
+        // must not prefix the new segment; appends go to a fresh file.
+        let _ = fs::remove_file(&path);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("create segment", e))?;
+        let header = encode_segment_header(self.epoch, base);
+        file.write_all(&header)
+            .map_err(|e| io_err("write segment header", e))?;
+        if self.opts.fsync {
+            file.sync_data().map_err(|e| io_err("sync segment", e))?;
+        }
+        self.segments.push(Segment {
+            last: base,
+            len: SEG_HEADER_LEN as u64,
+            path,
+        });
+        self.active_file = Some(file);
+        Ok(())
+    }
+
+    fn sync_active(&mut self) -> Result<()> {
+        if let Some(file) = &self.active_file {
+            file.sync_data().map_err(|e| io_err("sync segment", e))?;
+        }
+        Ok(())
+    }
+
+    fn active_len(&self) -> u64 {
+        self.segments.last().map_or(0, |s| s.len)
+    }
+
+    /// Remove every durable file in the directory (restore/rebuild path).
+    fn wipe(&mut self) -> Result<()> {
+        self.active_file = None;
+        self.segments.clear();
+        self.snapshots.clear();
+        for entry in fs::read_dir(&self.opts.dir).map_err(|e| io_err("list storage dir", e))? {
+            let entry = entry.map_err(|e| io_err("list storage dir", e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if parse_segment_name(&name).is_some()
+                || parse_snapshot_name(&name).is_some()
+                || name.ends_with(".tmp")
+            {
+                fs::remove_file(entry.path()).map_err(|e| io_err("remove stale file", e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Count the valid frames and content bytes of a stranded segment
+    /// (used for the recovery report), then delete it.
+    fn discard_stranded(seg_path: &Path, epoch: u32, base: u64, rec: &mut Recovery) {
+        if let Ok(data) = fs::read(seg_path) {
+            if data.len() > SEG_HEADER_LEN {
+                let scan = scan_frames(&data[SEG_HEADER_LEN..], epoch, base);
+                rec.truncated_records += scan.frames.len() as u64;
+                if scan.damaged {
+                    rec.truncated_records += 1;
+                }
+                rec.truncated_bytes += (data.len() - SEG_HEADER_LEN) as u64;
+            }
+        }
+        let _ = fs::remove_file(seg_path);
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn append(&mut self, pos: LogPosition, frame: &[u8]) -> Result<()> {
+        if !self.ready {
+            return Err(WarehouseError::Io(
+                "disk backend used before recovery".into(),
+            ));
+        }
+        if pos.epoch != self.epoch || pos.seqno != self.last_seqno + 1 {
+            return Err(WarehouseError::Io(format!(
+                "append at {pos} out of order (backend at {}:{})",
+                self.epoch, self.last_seqno
+            )));
+        }
+        if self.active_len() >= self.opts.segment_max_bytes {
+            self.create_segment(self.last_seqno)?;
+        }
+        let fault = self.consult(FaultPoint::SegmentAppend);
+        match fault {
+            Some(FaultKind::Transient) => {
+                return Err(WarehouseError::Io(
+                    "injected: transient segment write failure".into(),
+                ));
+            }
+            Some(FaultKind::LinkDown) => {
+                return Err(WarehouseError::Io("injected: storage offline".into()));
+            }
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            _ => {}
+        }
+        let file = self
+            .active_file
+            .as_mut()
+            .ok_or_else(|| WarehouseError::Io("no active segment".into()))?;
+        // Silent-damage faults model a crash mid-write: the caller sees
+        // success, the disk does not. Recovery must repair these.
+        match fault {
+            Some(FaultKind::CorruptTailByte) => {
+                let mut damaged = frame.to_vec();
+                let mid = damaged.len() / 2;
+                damaged[mid] ^= 0xA5;
+                file.write_all(&damaged)
+                    .map_err(|e| io_err("write frame", e))?;
+            }
+            Some(FaultKind::TruncateTail { bytes }) => {
+                file.write_all(frame).map_err(|e| io_err("write frame", e))?;
+                let cut = (bytes.max(1)).min(frame.len() as u64 - 1);
+                let physical = file
+                    .metadata()
+                    .map_err(|e| io_err("stat segment", e))?
+                    .len();
+                file.set_len(physical - cut)
+                    .map_err(|e| io_err("tear frame", e))?;
+            }
+            Some(FaultKind::DropFsync) => {
+                let before = file
+                    .metadata()
+                    .map_err(|e| io_err("stat segment", e))?
+                    .len();
+                file.write_all(frame).map_err(|e| io_err("write frame", e))?;
+                file.set_len(before).map_err(|e| io_err("drop fsync", e))?;
+            }
+            _ => {
+                file.write_all(frame).map_err(|e| io_err("write frame", e))?;
+                if self.opts.fsync {
+                    file.sync_data().map_err(|e| io_err("sync frame", e))?;
+                }
+            }
+        }
+        if let Some(seg) = self.segments.last_mut() {
+            seg.len += frame.len() as u64;
+            seg.last = pos.seqno;
+        }
+        self.last_seqno = pos.seqno;
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, pos: LogPosition, snapshot: &[u8]) -> Result<CompactionReport> {
+        if !self.ready {
+            return Err(WarehouseError::Io(
+                "disk backend used before recovery".into(),
+            ));
+        }
+        if pos.epoch != self.epoch {
+            return Err(WarehouseError::Io(format!(
+                "snapshot at {pos} from wrong epoch (backend at {})",
+                self.epoch
+            )));
+        }
+        if self.snapshots.last().is_some_and(|s| pos.seqno <= s.seqno) {
+            return Ok(CompactionReport::default());
+        }
+        let fault = self.consult(FaultPoint::SnapshotWrite);
+        match fault {
+            Some(FaultKind::Transient) => {
+                return Err(WarehouseError::Io(
+                    "injected: transient snapshot write failure".into(),
+                ));
+            }
+            Some(FaultKind::LinkDown) => {
+                return Err(WarehouseError::Io("injected: storage offline".into()));
+            }
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            _ => {}
+        }
+        // Make everything the snapshot covers durable before the snapshot
+        // itself claims to cover it.
+        self.sync_active()?;
+        let final_path = self.opts.dir.join(snapshot_file_name(self.epoch, pos.seqno));
+        let mut bytes =
+            Vec::with_capacity(SNAP_HEADER_LEN + snapshot.len());
+        bytes.extend_from_slice(&encode_snapshot_header(
+            self.epoch,
+            pos.seqno,
+            snapshot.len() as u64,
+            crc32(snapshot),
+        ));
+        bytes.extend_from_slice(snapshot);
+        match fault {
+            Some(FaultKind::CorruptTailByte) => {
+                // Flip a body byte: header parses, body CRC fails.
+                let idx = SNAP_HEADER_LEN + snapshot.len() / 2;
+                if idx < bytes.len() {
+                    bytes[idx] ^= 0xA5;
+                }
+            }
+            Some(FaultKind::TruncateTail { bytes: cut }) => {
+                let keep = bytes.len().saturating_sub(cut.max(1) as usize);
+                bytes.truncate(keep);
+            }
+            _ => {}
+        }
+        if fault != Some(FaultKind::DropFsync) {
+            // write-temp → fsync → rename, so a crash mid-write leaves no
+            // half snapshot under the final name.
+            let tmp = final_path.with_extension("snap.tmp");
+            let mut file = File::create(&tmp).map_err(|e| io_err("create snapshot", e))?;
+            file.write_all(&bytes)
+                .map_err(|e| io_err("write snapshot", e))?;
+            if self.opts.fsync {
+                file.sync_data().map_err(|e| io_err("sync snapshot", e))?;
+            }
+            drop(file);
+            fs::rename(&tmp, &final_path).map_err(|e| io_err("publish snapshot", e))?;
+            if self.opts.fsync {
+                if let Ok(dir) = File::open(&self.opts.dir) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        // The backend believes the write succeeded even when a silent
+        // fault damaged it — that is the fault's point.
+        self.snapshots.push(SnapFile {
+            seqno: pos.seqno,
+            len: bytes.len() as u64,
+            path: final_path,
+        });
+        // Compact up to the *previous* snapshot: with the two newest
+        // snapshots retained, one damaged snapshot never strands recovery.
+        let horizon = if self.snapshots.len() >= 2 {
+            self.snapshots[self.snapshots.len() - 2].seqno
+        } else {
+            0
+        };
+        let mut report = CompactionReport {
+            horizon,
+            ..CompactionReport::default()
+        };
+        while self.snapshots.len() > 2 {
+            let old = self.snapshots.remove(0);
+            report.snapshots_deleted += 1;
+            report.bytes_reclaimed += old.len;
+            let _ = fs::remove_file(&old.path);
+        }
+        while self.segments.len() > 1 && self.segments[0].last <= horizon {
+            let old = self.segments.remove(0);
+            report.segments_deleted += 1;
+            report.bytes_reclaimed += old.len;
+            let _ = fs::remove_file(&old.path);
+        }
+        Ok(report)
+    }
+
+    fn start_epoch(&mut self, epoch: u32) -> Result<()> {
+        self.wipe()?;
+        self.epoch = epoch;
+        self.last_seqno = 0;
+        self.create_segment(0)?;
+        self.ready = true;
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<Recovery> {
+        let mut rec = Recovery::default();
+        self.active_file = None;
+        self.segments.clear();
+        self.snapshots.clear();
+
+        // Inventory the directory.
+        let mut seg_files: Vec<(u32, u64, PathBuf, u64)> = Vec::new(); // (epoch, header base, path, len)
+        let mut snap_files: Vec<(u32, u64, PathBuf, u64)> = Vec::new(); // (epoch, seqno, path, len)
+        for entry in fs::read_dir(&self.opts.dir).map_err(|e| io_err("list storage dir", e))? {
+            let entry = entry.map_err(|e| io_err("list storage dir", e))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            if name.ends_with(".tmp") {
+                // A crash mid-snapshot-write: never published, never valid.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if parse_segment_name(&name).is_some() {
+                let mut header = [0u8; SEG_HEADER_LEN];
+                let ok = File::open(&path)
+                    .and_then(|mut f| f.read_exact(&mut header))
+                    .is_ok();
+                match parse_segment_header(&header).filter(|_| ok) {
+                    Some((epoch, base)) => seg_files.push((epoch, base, path, len)),
+                    None => {
+                        // Torn segment header: the file never held a valid
+                        // frame — repair by deletion.
+                        rec.truncated_bytes += len;
+                        rec.truncated_records += u64::from(len > 0);
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            } else if let Some((epoch, seqno)) = parse_snapshot_name(&name) {
+                snap_files.push((epoch, seqno, path, len));
+            }
+        }
+
+        // Pick the newest snapshot that fully validates.
+        snap_files.sort_by_key(|(epoch, seqno, _, _)| (*epoch, *seqno));
+        let mut best_snap: Option<(u32, u64, PathBuf, Vec<u8>)> = None;
+        for (epoch, seqno, path, _) in snap_files.iter().rev() {
+            let data = fs::read(path).unwrap_or_default();
+            let valid = parse_snapshot_header(&data).is_some_and(|h| {
+                let body = &data[SNAP_HEADER_LEN..];
+                h.epoch == *epoch
+                    && h.seqno == *seqno
+                    && h.body_len == body.len() as u64
+                    && h.body_crc == crc32(body)
+            });
+            if valid {
+                best_snap = Some((*epoch, *seqno, path.clone(), data[SNAP_HEADER_LEN..].to_vec()));
+                break;
+            }
+            rec.corrupt_snapshots += 1;
+            let _ = fs::remove_file(path);
+        }
+
+        // The newest generation on disk wins; older-generation leftovers
+        // from an interrupted restore are stale and removed.
+        let target_epoch = seg_files
+            .iter()
+            .map(|(e, ..)| *e)
+            .chain(best_snap.iter().map(|(e, ..)| *e))
+            .max()
+            .unwrap_or(0);
+        seg_files.retain(|(epoch, _, path, _)| {
+            let keep = *epoch == target_epoch;
+            if !keep {
+                let _ = fs::remove_file(path);
+            }
+            keep
+        });
+        snap_files.retain(|(epoch, _, path, _)| {
+            let keep = *epoch == target_epoch;
+            if !keep {
+                let _ = fs::remove_file(path);
+            }
+            keep
+        });
+        let snap = best_snap.filter(|(epoch, ..)| *epoch == target_epoch);
+        let base = snap.as_ref().map_or(0, |(_, seqno, ..)| *seqno);
+
+        // Walk the segment chain from the snapshot's coverage point.
+        seg_files.sort_by_key(|(_, seg_base, ..)| *seg_base);
+        rec.segments_scanned = seg_files.len() as u64;
+        // Segments entirely before the anchor are covered by the snapshot
+        // and need no validation; the chain is anchored at the last
+        // segment that starts at or before `base`.
+        let anchor = seg_files.iter().rposition(|(_, seg_base, ..)| *seg_base <= base);
+        let mut tail: Vec<u8> = Vec::new();
+        let mut chain_last: u64 = base;
+        let mut broken = false;
+        let mut surviving: Vec<Segment> = Vec::new();
+        for (idx, (_, seg_base, path, _)) in seg_files.iter().enumerate() {
+            let before_anchor = anchor.is_some_and(|a| idx < a);
+            if before_anchor {
+                // Fully covered by the snapshot; retained only until the
+                // next compaction pass.
+                surviving.push(Segment {
+                    last: *seg_base,
+                    len: fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+                    path: path.clone(),
+                });
+                continue;
+            }
+            let is_anchor = anchor == Some(idx);
+            if broken || anchor.is_none() || (!is_anchor && *seg_base != chain_last) {
+                // Stranded past damage, a chain gap, or (with no anchor)
+                // segments that start after the snapshot's coverage.
+                Self::discard_stranded(path, target_epoch, *seg_base, &mut rec);
+                broken = true;
+                continue;
+            }
+            let data = fs::read(path).map_err(|e| io_err("read segment", e))?;
+            let content = data.get(SEG_HEADER_LEN..).unwrap_or(&[]);
+            let scan = scan_frames(content, target_epoch, *seg_base);
+            for frame in &scan.frames {
+                if frame.seqno > base {
+                    tail.extend_from_slice(&content[frame.start..frame.start + frame.len]);
+                }
+            }
+            chain_last = scan.last_seqno(*seg_base);
+            let valid_file_len = (SEG_HEADER_LEN + scan.valid_len) as u64;
+            if scan.damaged {
+                // Physically truncate the torn tail so the file is a
+                // clean prefix from here on.
+                rec.truncated_records += 1;
+                rec.truncated_bytes += (content.len() - scan.valid_len) as u64;
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| io_err("open segment for repair", e))?;
+                file.set_len(valid_file_len)
+                    .map_err(|e| io_err("truncate torn tail", e))?;
+                broken = true;
+            }
+            surviving.push(Segment {
+                last: chain_last,
+                len: valid_file_len,
+                path: path.clone(),
+            });
+        }
+
+        self.epoch = target_epoch;
+        self.last_seqno = chain_last.max(base);
+        if chain_last < base {
+            // Damage (or missing segments) below the snapshot's coverage:
+            // the snapshot alone carries the durable state. Clear the
+            // segment chain and restart it at the snapshot point so the
+            // chain invariant holds for the next recovery.
+            tail.clear();
+            for seg in surviving.drain(..) {
+                let _ = fs::remove_file(&seg.path);
+            }
+            self.segments = Vec::new();
+            self.create_segment(self.last_seqno)?;
+        } else if let Some(active) = surviving.last() {
+            let file = OpenOptions::new()
+                .append(true)
+                .open(&active.path)
+                .map_err(|e| io_err("reopen active segment", e))?;
+            self.active_file = Some(file);
+            self.segments = surviving;
+        } else {
+            self.segments = Vec::new();
+            self.create_segment(self.last_seqno)?;
+        }
+        self.snapshots = snap_files
+            .iter()
+            .filter(|(_, _, path, _)| path.exists())
+            .map(|(_, seqno, path, len)| SnapFile {
+                seqno: *seqno,
+                len: *len,
+                path: path.clone(),
+            })
+            .collect();
+        self.ready = true;
+
+        rec.epoch = target_epoch;
+        rec.base_seqno = base;
+        rec.snapshot = snap.map(|(epoch, seqno, _, body)| {
+            (LogPosition { epoch, seqno }, body)
+        });
+        rec.tail = tail;
+        Ok(rec)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.sync_active()
+    }
+
+    fn set_chaos(&mut self, injector: FaultInjector, target: String) {
+        self.chaos = Some((injector, target));
+    }
+
+    fn clear_chaos(&mut self) {
+        self.chaos = None;
+    }
+}
+
+impl Drop for DiskBackend {
+    fn drop(&mut self) {
+        if let Some(file) = &self.active_file {
+            let _ = file.sync_data();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use xdmod_chaos::{FaultPlan, FaultSpec};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "xdmod-disk-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn frame(epoch: u32, seqno: u64, payload: &[u8]) -> Vec<u8> {
+        let body_len = 12 + payload.len() + 4;
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.extend_from_slice(&epoch.to_le_bytes());
+        out.extend_from_slice(&seqno.to_le_bytes());
+        out.extend_from_slice(payload);
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn pos(seqno: u64) -> LogPosition {
+        LogPosition { epoch: 0, seqno }
+    }
+
+    fn fresh(dir: &Path) -> DiskBackend {
+        let mut be = DiskBackend::open(DiskOptions::new(dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert!(rec.tail.is_empty());
+        be
+    }
+
+    /// Append frames 1..=n with payload derived from the seqno; returns
+    /// the concatenated frames for oracle comparison.
+    fn drive(be: &mut DiskBackend, from: u64, to: u64) -> Vec<u8> {
+        let mut all = Vec::new();
+        for seqno in from..=to {
+            let f = frame(0, seqno, format!("record-{seqno}").as_bytes());
+            be.append(pos(seqno), &f).unwrap();
+            all.extend_from_slice(&f);
+        }
+        all
+    }
+
+    #[test]
+    fn clean_round_trip_recovers_every_frame() {
+        let dir = temp_dir("clean");
+        let mut be = fresh(&dir);
+        let written = drive(&mut be, 1, 20);
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert_eq!(rec.base_seqno, 0);
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.tail, written);
+        assert!(!rec.repaired());
+        // Appends continue the chain after recovery.
+        let f = frame(0, 21, b"more");
+        be.append(pos(21), &f).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_rotation_spreads_frames_across_files_and_chains_back() {
+        let dir = temp_dir("rotate");
+        let mut be = DiskBackend::open(
+            DiskOptions::new(&dir).fsync(false).segment_max_bytes(128),
+        )
+        .unwrap();
+        be.recover().unwrap();
+        let written = drive(&mut be, 1, 30);
+        assert!(be.segments.len() > 2, "expected rotation, got {} segments", be.segments.len());
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert_eq!(rec.tail, written);
+        assert_eq!(rec.segments_scanned, be.segments.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_truncated_to_durable_prefix() {
+        let dir = temp_dir("torn");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SegmentAppend,
+            FaultKind::TruncateTail { bytes: 7 },
+            &[10],
+        ));
+        let mut be = fresh(&dir);
+        be.set_chaos(plan.injector(1), "wal".into());
+        let written = drive(&mut be, 1, 12);
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        // Frames 10..12 are gone: 10 was torn, 11 and 12 follow the tear.
+        let frame_len = frame(0, 1, b"record-1").len();
+        assert_eq!(rec.tail.len(), 9 * frame_len);
+        assert_eq!(rec.tail, written[..9 * frame_len]);
+        assert!(rec.repaired());
+        assert!(rec.truncated_records >= 1);
+        assert!(rec.truncated_bytes > 0);
+        // Recovery resumes appends from the durable head.
+        let f = frame(0, 10, b"after-crash");
+        be.append(pos(10), &f).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_fsync_loses_only_the_unsynced_record() {
+        let dir = temp_dir("dropfsync");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SegmentAppend,
+            FaultKind::DropFsync,
+            &[5],
+        ));
+        let mut be = fresh(&dir);
+        be.set_chaos(plan.injector(1), "wal".into());
+        let written = drive(&mut be, 1, 8);
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        // Record 5 vanished cleanly; 6..8 follow the hole and are
+        // stranded by the continuity check. Prefix = 1..4.
+        let frame_len = frame(0, 1, b"record-1").len();
+        assert_eq!(rec.tail, written[..4 * frame_len]);
+        assert_eq!(be.last_seqno, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_and_truncated() {
+        let dir = temp_dir("bitflip");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SegmentAppend,
+            FaultKind::CorruptTailByte,
+            &[3],
+        ));
+        let mut be = fresh(&dir);
+        be.set_chaos(plan.injector(1), "wal".into());
+        let written = drive(&mut be, 1, 6);
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        let frame_len = frame(0, 1, b"record-1").len();
+        assert_eq!(rec.tail, written[..2 * frame_len]);
+        assert!(rec.truncated_records >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_fault_fails_loudly_without_advancing() {
+        let dir = temp_dir("transient");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SegmentAppend,
+            FaultKind::Transient,
+            &[2],
+        ));
+        let mut be = fresh(&dir);
+        be.set_chaos(plan.injector(1), "wal".into());
+        let f1 = frame(0, 1, b"one");
+        be.append(pos(1), &f1).unwrap();
+        let f2 = frame(0, 2, b"two");
+        assert!(matches!(
+            be.append(pos(2), &f2),
+            Err(WarehouseError::Io(_))
+        ));
+        // The retry (same seqno) succeeds: the failed write left no trace.
+        be.append(pos(2), &f2).unwrap();
+        drop(be);
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert_eq!(rec.tail, [f1, f2].concat());
+        assert!(!rec.repaired());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compaction_deletes_covered_segments_and_recovery_uses_snapshot() {
+        let dir = temp_dir("compact");
+        let mut be = DiskBackend::open(
+            DiskOptions::new(&dir).fsync(false).segment_max_bytes(96),
+        )
+        .unwrap();
+        be.recover().unwrap();
+        drive(&mut be, 1, 10);
+        let r1 = be.write_snapshot(pos(10), b"snapshot-at-10").unwrap();
+        assert_eq!(r1.horizon, 0); // first snapshot: nothing reclaimable yet
+        assert_eq!(r1.segments_deleted, 0);
+        let mut tail_frames = drive(&mut be, 11, 20);
+        let r2 = be.write_snapshot(pos(20), b"snapshot-at-20").unwrap();
+        assert_eq!(r2.horizon, 10); // trails the previous snapshot
+        assert!(r2.segments_deleted > 0, "covered segments should be deleted");
+        assert!(r2.bytes_reclaimed > 0);
+        tail_frames.extend_from_slice(&drive(&mut be, 21, 23));
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        let (snap_pos, body) = rec.snapshot.expect("snapshot should validate");
+        assert_eq!(snap_pos, pos(20));
+        assert_eq!(body, b"snapshot-at-20");
+        assert_eq!(rec.base_seqno, 20);
+        // The tail holds only frames past the snapshot.
+        let frame_len = frame(0, 21, b"record-21").len();
+        assert_eq!(rec.tail.len(), 3 * frame_len);
+        assert_eq!(rec.tail, tail_frames[tail_frames.len() - 3 * frame_len..]);
+        assert_eq!(be.last_seqno, 23);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let dir = temp_dir("snapfall");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SnapshotWrite,
+            FaultKind::CorruptTailByte,
+            &[2],
+        ));
+        let mut be = DiskBackend::open(
+            DiskOptions::new(&dir).fsync(false).segment_max_bytes(96),
+        )
+        .unwrap();
+        be.recover().unwrap();
+        be.set_chaos(plan.injector(7), "wal".into());
+        drive(&mut be, 1, 10);
+        be.write_snapshot(pos(10), b"good-snapshot").unwrap();
+        drive(&mut be, 11, 20);
+        // This snapshot is silently bit-flipped on disk.
+        be.write_snapshot(pos(20), b"doomed-snapshot").unwrap();
+        drive(&mut be, 21, 24);
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert_eq!(rec.corrupt_snapshots, 1);
+        let (snap_pos, body) = rec.snapshot.expect("previous snapshot survives");
+        assert_eq!(snap_pos, pos(10));
+        assert_eq!(body, b"good-snapshot");
+        // Segments after seqno 10 were retained (compaction horizon
+        // trails), so the full tail 11..24 replays.
+        let events: Vec<u64> = {
+            let scan = scan_frames(&rec.tail, 0, 10);
+            assert!(!scan.damaged);
+            scan.frames.iter().map(|f| f.seqno).collect()
+        };
+        assert_eq!(events, (11..=24).collect::<Vec<_>>());
+        assert_eq!(be.last_seqno, 24);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_snapshot_fsync_falls_back_to_previous() {
+        let dir = temp_dir("snapdrop");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SnapshotWrite,
+            FaultKind::DropFsync,
+            &[2],
+        ));
+        let mut be = fresh(&dir);
+        be.set_chaos(plan.injector(7), "wal".into());
+        drive(&mut be, 1, 5);
+        be.write_snapshot(pos(5), b"first").unwrap();
+        drive(&mut be, 6, 9);
+        be.write_snapshot(pos(9), b"vanishes").unwrap();
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        let (snap_pos, body) = rec.snapshot.expect("previous snapshot survives");
+        assert_eq!(snap_pos, pos(5));
+        assert_eq!(body, b"first");
+        let scan = scan_frames(&rec.tail, 0, 5);
+        assert_eq!(scan.frames.len(), 4);
+        assert_eq!(be.last_seqno, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn start_epoch_wipes_previous_generation() {
+        let dir = temp_dir("epoch");
+        let mut be = fresh(&dir);
+        drive(&mut be, 1, 5);
+        be.write_snapshot(pos(5), b"old-gen").unwrap();
+        be.start_epoch(1).unwrap();
+        let f = frame(1, 1, b"new-gen");
+        be.append(LogPosition { epoch: 1, seqno: 1 }, &f).unwrap();
+        drop(be);
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert_eq!(rec.epoch, 1);
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.tail, f);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_append_is_refused_not_panicking() {
+        let dir = temp_dir("order");
+        let mut be = fresh(&dir);
+        let f = frame(0, 5, b"skip");
+        assert!(be.append(pos(5), &f).is_err());
+        let wrong_epoch = frame(3, 1, b"epoch");
+        assert!(be
+            .append(LogPosition { epoch: 3, seqno: 1 }, &wrong_epoch)
+            .is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_before_recover_is_refused() {
+        let dir = temp_dir("notready");
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let f = frame(0, 1, b"x");
+        assert!(be.append(pos(1), &f).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_files_and_tmp_leftovers_are_tolerated() {
+        let dir = temp_dir("foreign");
+        let mut be = fresh(&dir);
+        let written = drive(&mut be, 1, 3);
+        drop(be);
+        fs::write(dir.join("README.txt"), b"not ours").unwrap();
+        fs::write(dir.join("snap-0000000000-00000000000000000099.snap.tmp"), b"half").unwrap();
+
+        let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
+        let rec = be.recover().unwrap();
+        assert_eq!(rec.tail, written);
+        assert!(dir.join("README.txt").exists());
+        assert!(!dir
+            .join("snap-0000000000-00000000000000000099.snap.tmp")
+            .exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_crash_recovery_is_idempotent() {
+        let dir = temp_dir("double");
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::SegmentAppend,
+            FaultKind::TruncateTail { bytes: 3 },
+            &[4],
+        ));
+        let mut be = fresh(&dir);
+        be.set_chaos(plan.injector(1), "wal".into());
+        let written = drive(&mut be, 1, 6);
+        drop(be);
+
+        let recover_once = |dir: &Path| {
+            let mut be = DiskBackend::open(DiskOptions::new(dir).fsync(false)).unwrap();
+            be.recover().unwrap()
+        };
+        let first = recover_once(&dir);
+        let second = recover_once(&dir);
+        assert_eq!(first.tail, second.tail);
+        let frame_len = frame(0, 1, b"record-1").len();
+        assert_eq!(second.tail, written[..3 * frame_len]);
+        // The second pass found an already-repaired log.
+        assert!(!second.repaired());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,5 +1,6 @@
 //! Error types for the warehouse crate.
 
+use crate::binlog::LogPosition;
 use std::fmt;
 
 /// Errors raised by warehouse operations.
@@ -41,8 +42,21 @@ pub enum WarehouseError {
     InvalidQuery(String),
     /// A snapshot could not be serialized or deserialized.
     Snapshot(String),
+    /// A snapshot decoded cleanly but its content checksum did not match
+    /// the tables it claims to carry — the dump file is damaged and must
+    /// not be restored.
+    CorruptSnapshot(String),
     /// A calendar computation received an out-of-range field (e.g. month 13).
     InvalidTime(String),
+    /// The requested binlog range was removed by snapshot-triggered
+    /// compaction. The reader must resume from a snapshot at or after
+    /// `horizon` plus the remaining tail instead of replaying the full log.
+    CompactedAway {
+        /// First position still present in the log (exclusive lower bound
+        /// of readable records): records with `seqno <= horizon.seqno` in
+        /// `horizon.epoch` are gone.
+        horizon: LogPosition,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -61,7 +75,11 @@ impl fmt::Display for WarehouseError {
             WarehouseError::Io(s) => write!(f, "i/o error: {s}"),
             WarehouseError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
             WarehouseError::Snapshot(s) => write!(f, "snapshot error: {s}"),
+            WarehouseError::CorruptSnapshot(s) => write!(f, "corrupt snapshot: {s}"),
             WarehouseError::InvalidTime(s) => write!(f, "invalid time: {s}"),
+            WarehouseError::CompactedAway { horizon } => {
+                write!(f, "records at or before {horizon} were compacted away")
+            }
         }
     }
 }

@@ -21,7 +21,14 @@
 //!   shard order (deterministic for any pool size), fronted by an
 //!   invalidation-aware aggregate cache keyed on binlog watermarks.
 //! - **Snapshots** ([`persist::Snapshot`]) for loose-federation dump
-//!   shipping and hub-side backup/restore.
+//!   shipping and hub-side backup/restore, content-checksummed against
+//!   in-flight damage.
+//! - A **durable storage engine** ([`storage::StorageBackend`]): the
+//!   database writes ahead to a pluggable backend — in-memory no-op
+//!   ([`storage::MemoryBackend`]) or a segmented on-disk WAL
+//!   ([`disk::DiskBackend`]) with CRC-framed segment files, crash
+//!   recovery that truncates torn tails, and snapshot-triggered binlog
+//!   compaction.
 
 #![warn(missing_docs)]
 
@@ -30,22 +37,26 @@ pub mod binlog;
 pub mod bins;
 pub mod checksum;
 pub mod database;
+pub mod disk;
 pub mod error;
 pub mod parallel;
 pub mod persist;
 pub mod query;
 pub mod schema;
+pub mod storage;
 pub mod table;
 pub mod time;
 pub mod value;
 
 pub use aggregate::{AggregationOutputs, AggregationSpec, DimSpec};
-pub use binlog::{BinlogEvent, EventPayload, LogPosition, TailRepair};
+pub use binlog::{BinlogEvent, EventPayload, LogPosition, PrefixCompaction, TailRepair};
 pub use bins::{Bin, Bins};
 pub use database::Database;
+pub use disk::{DiskBackend, DiskOptions};
 pub use error::{Result, WarehouseError};
 pub use parallel::{run_sharded, AggregateCache, CacheKey, PoolConfig, RebuildTicket};
 pub use persist::Snapshot;
+pub use storage::{CompactionReport, MemoryBackend, Recovery, StorageBackend};
 pub use query::{
     AggFn, Aggregate, GroupKey, OrderBy, PartialAggregation, Predicate, Query, ResultSet,
 };

@@ -5,6 +5,7 @@
 //! regenerates a satellite database from the hub's copy. Both are built on
 //! these snapshots: a serializable image of every schema, table, and row.
 
+use crate::checksum::crc32;
 use crate::database::Database;
 use crate::error::{Result, WarehouseError};
 use crate::table::Table;
@@ -16,12 +17,41 @@ use std::collections::BTreeMap;
 pub struct Snapshot {
     /// Snapshot format version, for forward compatibility.
     pub version: u32,
+    /// Checksum over every schema name, table name, and table's row
+    /// content, computed at capture time. A dump whose JSON still parses
+    /// but whose values were altered in flight (bit rot, torn copy,
+    /// tampering) fails [`Snapshot::verify`] with
+    /// [`WarehouseError::CorruptSnapshot`] instead of being restored.
+    /// Version-1 dumps predate the field; `default` keeps them parseable
+    /// (they then fail verification explicitly, not mysteriously).
+    #[serde(default)]
+    pub content_checksum: u64,
     /// Schema name → table name → full table (schema + rows).
     pub schemas: BTreeMap<String, BTreeMap<String, Table>>,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version (2 added `content_checksum`).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Fold a deterministic content checksum over a snapshot's table map:
+/// schema and table names are CRC-mixed in iteration (= sorted) order,
+/// each table contributes its order-independent
+/// [`Table::content_checksum`].
+fn checksum_schemas(schemas: &BTreeMap<String, BTreeMap<String, Table>>) -> u64 {
+    let mut acc: u64 = 0xD6E8_FEB8_6659_FD93;
+    for (schema, tables) in schemas {
+        acc = acc
+            .rotate_left(13)
+            .wrapping_add(crc32(schema.as_bytes()) as u64);
+        for (name, table) in tables {
+            acc = acc
+                .rotate_left(13)
+                .wrapping_add(crc32(name.as_bytes()) as u64);
+            acc = acc.rotate_left(7) ^ table.content_checksum();
+        }
+    }
+    acc
+}
 
 impl Snapshot {
     /// Capture every schema of the database.
@@ -43,13 +73,28 @@ impl Snapshot {
         }
         Ok(Snapshot {
             version: SNAPSHOT_VERSION,
+            content_checksum: checksum_schemas(&schemas),
             schemas,
         })
     }
 
+    /// Recompute the content checksum and compare it to the captured one.
+    /// Called on every parse and apply; a mismatch means the dump file
+    /// was damaged after capture and must not be restored.
+    pub fn verify(&self) -> Result<()> {
+        let actual = checksum_schemas(&self.schemas);
+        if actual != self.content_checksum {
+            return Err(WarehouseError::CorruptSnapshot(format!(
+                "content checksum mismatch: dump claims {:#018x}, tables hash to {actual:#018x}",
+                self.content_checksum
+            )));
+        }
+        Ok(())
+    }
+
     /// Apply the snapshot into `db`, creating schemas/tables as needed and
     /// **appending** all rows. Errors if a target table exists with a
-    /// different definition.
+    /// different definition, or if the content checksum does not match.
     pub fn apply(&self, db: &mut Database) -> Result<()> {
         if self.version != SNAPSHOT_VERSION {
             return Err(WarehouseError::Snapshot(format!(
@@ -57,6 +102,7 @@ impl Snapshot {
                 self.version
             )));
         }
+        self.verify()?;
         for (schema, tables) in &self.schemas {
             db.ensure_schema(schema)?;
             for table in tables.values() {
@@ -71,7 +117,7 @@ impl Snapshot {
     /// the binlog epoch — the "regenerate a member instance from the hub"
     /// restore path.
     pub fn restore_into(&self, db: &mut Database) -> Result<()> {
-        db.reset_for_restore();
+        db.reset_for_restore()?;
         self.apply(db)
     }
 
@@ -80,9 +126,12 @@ impl Snapshot {
         serde_json::to_vec(self).map_err(|e| WarehouseError::Snapshot(e.to_string()))
     }
 
-    /// Parse a dump file.
+    /// Parse a dump file and verify its content checksum.
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
-        serde_json::from_slice(bytes).map_err(|e| WarehouseError::Snapshot(e.to_string()))
+        let snap: Snapshot =
+            serde_json::from_slice(bytes).map_err(|e| WarehouseError::Snapshot(e.to_string()))?;
+        snap.verify()?;
+        Ok(snap)
     }
 
     /// Rename the single schema in this snapshot (loose-federation
@@ -97,6 +146,8 @@ impl Snapshot {
         }
         let (_, tables) = self.schemas.pop_first().expect("len checked"); // xc-allow: len == 1 checked above
         self.schemas.insert(new_schema.to_owned(), tables);
+        // Schema names are part of the content checksum; re-seal.
+        self.content_checksum = checksum_schemas(&self.schemas);
         Ok(self)
     }
 
@@ -201,6 +252,55 @@ mod tests {
 
         let full = Snapshot::capture(&src).unwrap();
         assert!(full.into_renamed("hub").is_err()); // two schemas
+    }
+
+    #[test]
+    fn tampered_checksum_rejected_on_parse_and_apply() {
+        let src = populated();
+        let mut snap = Snapshot::capture(&src).unwrap();
+        snap.verify().unwrap();
+        snap.content_checksum ^= 1;
+        assert!(matches!(
+            snap.verify(),
+            Err(WarehouseError::CorruptSnapshot(_))
+        ));
+        let bytes = snap.to_bytes().unwrap();
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(WarehouseError::CorruptSnapshot(_))
+        ));
+        let mut dst = Database::new();
+        assert!(matches!(
+            snap.apply(&mut dst),
+            Err(WarehouseError::CorruptSnapshot(_))
+        ));
+        assert!(dst.schema_names().is_empty());
+    }
+
+    #[test]
+    fn tampered_row_value_rejected() {
+        let src = populated();
+        let snap = Snapshot::capture(&src).unwrap();
+        let json = String::from_utf8(snap.to_bytes().unwrap()).unwrap();
+        // Alter a stored value without disturbing JSON structure.
+        let tampered = json.replace("res-xdmod_x", "res-evil_xxx");
+        assert_ne!(json, tampered, "fixture value not found");
+        assert!(matches!(
+            Snapshot::from_bytes(tampered.as_bytes()),
+            Err(WarehouseError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn rename_reseals_checksum() {
+        let src = populated();
+        let snap = Snapshot::capture_schemas(&src, &["xdmod_x".to_owned()])
+            .unwrap()
+            .into_renamed("hub_x")
+            .unwrap();
+        snap.verify().unwrap();
+        // Round-trips through bytes (which re-verifies).
+        Snapshot::from_bytes(&snap.to_bytes().unwrap()).unwrap();
     }
 
     #[test]

@@ -54,13 +54,24 @@ impl Table {
         &self.rows
     }
 
-    /// Validate and append a batch of rows; returns the validated rows as
-    /// they were stored (after type coercion) so callers can log them.
-    pub fn insert_batch(&mut self, rows: Vec<Row>) -> Result<Vec<Row>> {
+    /// Validate a batch without storing it; returns the rows after type
+    /// coercion. This is the read-only half of [`Table::insert_batch`],
+    /// split out so the database can validate *before* the write-ahead
+    /// log append and admit the rows afterwards with
+    /// [`Table::insert_checked`] — no in-memory mutation may precede the
+    /// durable append.
+    pub fn check_batch(&self, rows: Vec<Row>) -> Result<Vec<Row>> {
         let mut checked = Vec::with_capacity(rows.len());
         for row in rows {
             checked.push(self.schema.check_row(row)?);
         }
+        Ok(checked)
+    }
+
+    /// Validate and append a batch of rows; returns the validated rows as
+    /// they were stored (after type coercion) so callers can log them.
+    pub fn insert_batch(&mut self, rows: Vec<Row>) -> Result<Vec<Row>> {
+        let checked = self.check_batch(rows)?;
         self.rows.extend(checked.iter().cloned());
         Ok(checked)
     }
