@@ -10,11 +10,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use xdmod_core::XdmodInstance;
 use xdmod_realms::levels::{hub_walltime, AggregationLevelsConfig, DIM_WALL_TIME};
 use xdmod_realms::{jobs, RealmKind};
-use xdmod_core::XdmodInstance;
 use xdmod_sim::{ClusterSim, ResourceProfile};
-use xdmod_warehouse::{run_sharded, AggFn, Aggregate, Bins, GroupKey, Period, PoolConfig, Query};
+use xdmod_warehouse::{
+    run_sharded, AggFn, Aggregate, Bins, CivilDate, GroupKey, Period, PoolConfig, Query, Row, Value,
+};
 
 fn instance_with_jobs(months: u8) -> XdmodInstance {
     let mut inst = XdmodInstance::new("bench");
@@ -99,10 +101,7 @@ fn bench_reaggregation_after_level_change(c: &mut Criterion) {
     for (name, bins) in [
         ("3_levels", {
             let mut cfg = AggregationLevelsConfig::new();
-            cfg.set(
-                DIM_WALL_TIME,
-                xdmod_realms::levels::instance_b_walltime(),
-            );
+            cfg.set(DIM_WALL_TIME, xdmod_realms::levels::instance_b_walltime());
             cfg.bins_for(DIM_WALL_TIME).unwrap()
         }),
         ("5_levels", wall_bins()),
@@ -135,9 +134,11 @@ fn bench_group_by_cardinality(c: &mut Criterion) {
         ("by_user_many", "user"),
     ] {
         g.bench_function(name, |b| {
-            let query = Query::new()
-                .group_by_column(key)
-                .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "cpu"));
+            let query = Query::new().group_by_column(key).aggregate(Aggregate::of(
+                AggFn::Sum,
+                "cpu_hours",
+                "cpu",
+            ));
             b.iter(|| {
                 let db = db.read();
                 let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
@@ -175,7 +176,11 @@ fn bench_parallel_vs_serial_engine(c: &mut Criterion) {
             b.iter(|| {
                 let db = db.read();
                 let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
-                black_box(run_sharded(&query, t, pool, db.telemetry(), "bench").unwrap().len())
+                black_box(
+                    run_sharded(&query, t, pool, db.telemetry(), "bench")
+                        .unwrap()
+                        .len(),
+                )
             })
         });
     }
@@ -217,6 +222,109 @@ fn bench_materialize_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_aggregation_incremental(c: &mut Criterion) {
+    // Incremental view maintenance riding the binlog: a cold delta fold
+    // rebuilds every shard from the full fact table; once the
+    // per-(table, query) cursor is retained, folding a freshly ingested
+    // day touches only that day's dirty shards; a quiet repeat with no
+    // new binlog records folds zero rows. Cost should track the delta,
+    // not the table.
+    let mut g = c.benchmark_group("aggregation_incremental");
+    g.sample_size(10);
+    let inst = instance_with_jobs(12);
+    let db = inst.database();
+    let schema = inst.schema_name();
+    {
+        let mut db = db.write();
+        db.set_parallelism(PoolConfig::new(4).with_shards(8));
+    }
+    let query = Query::new()
+        .group_by_period("end_time", Period::Day)
+        .group_by_column("resource")
+        .aggregate(Aggregate::count("jobs"))
+        .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "cpu"));
+    // One synthetic day of jobs in the jobfact row shape. Days cycle
+    // through a bounded window so group cardinality stays flat across
+    // iterations instead of drifting the measurement.
+    let day_batch = |day: i64| -> Vec<Row> {
+        let base = CivilDate::new(2018, 1, 1).to_epoch() + day * 86_400;
+        (0..48i64)
+            .map(|i| {
+                let t = base + i * 1_200;
+                vec![
+                    Value::Int(1_000_000 + day * 100 + i),
+                    Value::Str(format!("res-{}", i % 3)),
+                    Value::Str("u".into()),
+                    Value::Str("pi".into()),
+                    Value::Str("q1".into()),
+                    Value::Int(2),
+                    Value::Int(8),
+                    Value::Time(t),
+                    Value::Time(t),
+                    Value::Time(t + 1_800),
+                    Value::Float(i as f64 / 64.0),
+                    Value::Float(0.0),
+                    Value::Float(i as f64 / 32.0),
+                    Value::Float(i as f64 / 16.0),
+                    Value::Str("0".into()),
+                    Value::Null,
+                ]
+            })
+            .collect()
+    };
+
+    g.bench_function("cold_full_rebuild", |b| {
+        b.iter(|| {
+            let db = db.read();
+            // Dropping the retained entry forces the cold path every time.
+            db.delta_cache().clear();
+            black_box(
+                db.run_delta_fold(&schema, jobs::FACT_TABLE, &query, "bench")
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("incremental_fold_one_day", |b| {
+        {
+            // Prime the cursor so every timed iteration is a true delta fold.
+            let db = db.read();
+            db.run_delta_fold(&schema, jobs::FACT_TABLE, &query, "bench")
+                .unwrap();
+        }
+        let mut day = 0i64;
+        b.iter(|| {
+            let mut db = db.write();
+            db.insert(&schema, jobs::FACT_TABLE, day_batch(day))
+                .unwrap();
+            day = (day + 1) % 30;
+            let (rs, report) = db
+                .run_delta_fold(&schema, jobs::FACT_TABLE, &query, "bench")
+                .unwrap();
+            assert!(report.is_incremental());
+            black_box(rs.len())
+        })
+    });
+    g.bench_function("quiet_fold_no_new_records", |b| {
+        {
+            let db = db.read();
+            db.run_delta_fold(&schema, jobs::FACT_TABLE, &query, "bench")
+                .unwrap();
+        }
+        b.iter(|| {
+            let db = db.read();
+            black_box(
+                db.run_delta_fold(&schema, jobs::FACT_TABLE, &query, "bench")
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_su_conversion(c: &mut Criterion) {
     // Ingest-time SU conversion overhead: parse+shred with and without a
     // configured conversion factor (the factor path multiplies per row).
@@ -228,10 +336,24 @@ fn bench_su_conversion(c: &mut Criterion) {
     with.set_factor("rush", 1.7);
     let without = xdmod_realms::SuConverter::new();
     g.bench_function("with_factor", |b| {
-        b.iter(|| black_box(xdmod_ingest::slurm::shred(&log, "rush", &with).unwrap().0.len()))
+        b.iter(|| {
+            black_box(
+                xdmod_ingest::slurm::shred(&log, "rush", &with)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
     });
     g.bench_function("unbenchmarked_fallback", |b| {
-        b.iter(|| black_box(xdmod_ingest::slurm::shred(&log, "rush", &without).unwrap().0.len()))
+        b.iter(|| {
+            black_box(
+                xdmod_ingest::slurm::shred(&log, "rush", &without)
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
     });
     g.finish();
     let _ = RealmKind::Jobs;
@@ -245,6 +367,7 @@ criterion_group!(
     bench_group_by_cardinality,
     bench_parallel_vs_serial_engine,
     bench_materialize_cache,
+    bench_aggregation_incremental,
     bench_su_conversion
 );
 criterion_main!(benches);

@@ -92,6 +92,24 @@ fn main() {
     );
     assert!(agg.identical, "parallel aggregation diverged from serial");
 
+    let incr = timed(&mut timings, "incremental_aggregation", || {
+        exp::incremental_aggregation(exp::SEED, 12, 4)
+    });
+    println!(
+        "  cold {:.3}s; +1 month: incremental {:.4}s vs full rebuild {:.3}s ({:.1}x), {} records folded, cached repeat {:.6}s, identical: {}",
+        incr.cold_seconds,
+        incr.incremental_seconds,
+        incr.full_rebuild_seconds,
+        incr.full_rebuild_seconds / incr.incremental_seconds.max(1e-9),
+        incr.records_folded,
+        incr.cached_seconds,
+        incr.identical
+    );
+    assert!(
+        incr.identical,
+        "incremental aggregation diverged from full rebuild"
+    );
+
     let gw = timed(&mut timings, "gateway_throughput", || {
         exp::gateway_throughput(exp::SEED, 200)
     });
@@ -116,6 +134,17 @@ fn main() {
             "cached_repeat_seconds": agg.cached_seconds,
             "speedup": agg.serial_seconds / agg.parallel_seconds.max(1e-9),
             "identical_output": agg.identical,
+        },
+        "incremental_aggregation": {
+            "months": 12,
+            "workers": 4,
+            "cold_seconds": incr.cold_seconds,
+            "incremental_seconds": incr.incremental_seconds,
+            "full_rebuild_seconds": incr.full_rebuild_seconds,
+            "cached_repeat_seconds": incr.cached_seconds,
+            "records_folded": incr.records_folded,
+            "speedup_vs_full_rebuild": incr.full_rebuild_seconds / incr.incremental_seconds.max(1e-9),
+            "identical_output": incr.identical,
         },
         "gateway_throughput": {
             "requests_per_regime": gw.requests,

@@ -98,15 +98,14 @@ impl FederationHub {
     /// called before any members join (the recovered database *replaces*
     /// the current one — pool sizing is carried over, data is whatever
     /// the backend recovered).
-    pub fn set_storage(
-        &mut self,
-        backend: Box<dyn xdmod_warehouse::StorageBackend>,
-    ) -> Result<()> {
+    pub fn set_storage(&mut self, backend: Box<dyn xdmod_warehouse::StorageBackend>) -> Result<()> {
         let recovered = Database::open_with_telemetry(backend, self.telemetry.clone())?;
         let mut db = self.db.write();
         let pool = db.parallelism();
+        let incremental = db.incremental_enabled();
         *db = recovered;
         db.set_parallelism(pool);
+        db.set_incremental(incremental);
         Ok(())
     }
 
@@ -160,6 +159,21 @@ impl FederationHub {
     /// The hub warehouse's current aggregation pool configuration.
     pub fn parallelism(&self) -> PoolConfig {
         self.db.read().parallelism()
+    }
+
+    /// Enable or disable incremental (delta-fold) maintenance of the
+    /// hub's materialized aggregates — see
+    /// [`xdmod_warehouse::Database::set_incremental`]. On by default;
+    /// disabling forces every [`aggregate_all`](Self::aggregate_all) to
+    /// rebuild from the full fact tables (the operator escape hatch while
+    /// diagnosing a discrepancy). Results are byte-identical either way.
+    pub fn set_incremental_aggregation(&mut self, enabled: bool) {
+        self.db.write().set_incremental(enabled);
+    }
+
+    /// Whether the hub's aggregates are maintained incrementally.
+    pub fn incremental_aggregation(&self) -> bool {
+        self.db.read().incremental_enabled()
     }
 
     /// Record a satellite as a member (called by the federation when a
@@ -511,6 +525,27 @@ impl FederationHub {
                 self.db.read().storage_name(),
             )));
 
+        // Incremental aggregation posture: how much materialization work
+        // the delta-fold engine saved, and how often it had to bail out
+        // to a full rebuild (and why — the reason label distinguishes
+        // resyncs from compaction races from fact rewrites).
+        let folds = snap.counter_total("warehouse_delta_folds_total");
+        let folded = snap.counter_total("warehouse_delta_folded_records_total");
+        let cold = snap.counter_total("warehouse_delta_cold_builds_total");
+        let fallbacks = snap.counter_total("warehouse_delta_fallback_rebuilds_total");
+        report = report
+            .section(Section::Heading("Incremental aggregation".into()))
+            .section(Section::Text(format!(
+                "delta-fold engine {}; {folds} incremental fold(s) covering \
+                 {folded} binlog record(s); {cold} cold/full rebuild(s); \
+                 {fallbacks} fallback(s) to full rebuild.",
+                if self.db.read().incremental_enabled() {
+                    "enabled"
+                } else {
+                    "disabled"
+                },
+            )));
+
         // Replication lag over time, one series per link, from the
         // `replication.lag` events the live replicators emit.
         let lag_events = snap
@@ -828,6 +863,8 @@ mod tests {
         assert!(text.contains("federation-hub operations"));
         assert!(text.contains("Durability"));
         assert!(text.contains("storage backend `memory`"));
+        assert!(text.contains("Incremental aggregation"));
+        assert!(text.contains("delta-fold engine enabled"));
         assert!(text.contains("Replication lag"));
         assert!(text.contains("Operation latency quantiles"));
 
@@ -917,6 +954,79 @@ mod tests {
         parallel.aggregate_all().unwrap();
         let snap = parallel.telemetry().snapshot();
         assert!(snap.counter_total("warehouse_aggcache_hits_total") > 0);
+    }
+
+    #[test]
+    fn incremental_aggregate_all_folds_deltas_and_matches_full_rebuild() {
+        let pool = xdmod_warehouse::PoolConfig::new(4).with_shards(8);
+        let incr = staged_jobs_hub(pool);
+        let mut full = staged_jobs_hub(pool);
+        full.set_incremental_aggregation(false);
+        assert!(incr.incremental_aggregation());
+        assert!(!full.incremental_aggregation());
+        incr.aggregate_all().unwrap();
+        full.aggregate_all().unwrap();
+
+        // A late day of jobs lands on satellite x; re-aggregate.
+        let base = xdmod_warehouse::CivilDate::new(2017, 2, 10).to_epoch();
+        let late_rows = || {
+            (0..4i64)
+                .map(|i| {
+                    let t = base + i * 3_600;
+                    vec![
+                        Value::Int(100 + i),
+                        Value::Str(format!("res-{}", i % 3)),
+                        Value::Str("u".into()),
+                        Value::Str("pi".into()),
+                        Value::Str("q1".into()),
+                        Value::Int(2),
+                        Value::Int(8),
+                        Value::Time(t),
+                        Value::Time(t),
+                        Value::Time(t + 1_800),
+                        Value::Float(i as f64 / 64.0),
+                        Value::Float(0.0),
+                        Value::Float(i as f64 / 32.0),
+                        Value::Float(i as f64 / 16.0),
+                        Value::Str("0".into()),
+                        Value::Null,
+                    ]
+                })
+                .collect::<Vec<_>>()
+        };
+        for hub in [&incr, &full] {
+            let db = hub.database();
+            let mut db = db.write();
+            db.insert(&FederationHub::schema_for("x"), "jobfact", late_rows())
+                .unwrap();
+        }
+        incr.aggregate_all().unwrap();
+        full.aggregate_all().unwrap();
+
+        // The incremental hub folded the late rows; the disabled hub
+        // rebuilt from scratch and never touched the delta engine.
+        let isnap = incr.telemetry().snapshot();
+        assert!(isnap.counter_total("warehouse_delta_folds_total") > 0);
+        assert!(isnap.counter_total("warehouse_delta_folded_records_total") > 0);
+        let fsnap = full.telemetry().snapshot();
+        assert_eq!(fsnap.counter_total("warehouse_delta_folds_total"), 0);
+
+        // Either way the materialized aggregates are byte-identical.
+        let spec = jobs::aggregation_spec(incr.levels());
+        for sat in ["x", "y"] {
+            let schema = FederationHub::schema_for(sat);
+            for &period in &spec.periods {
+                let name = spec.table_name(period);
+                let idb = incr.database();
+                let fdb = full.database();
+                let (idb, fdb) = (idb.read(), fdb.read());
+                assert_eq!(
+                    idb.table(&schema, &name).unwrap().content_checksum(),
+                    fdb.table(&schema, &name).unwrap().content_checksum(),
+                    "{schema}.{name} diverged between incremental and full rebuild"
+                );
+            }
+        }
     }
 
     #[test]

@@ -319,13 +319,16 @@ impl Replicator {
                 }
             }
             let source = &self.source;
-            let resolved = self.config.filter.apply_resolved(&ev.payload, |table, column| {
-                let src = source.read();
-                let schema_name = ev.payload.schema();
-                src.table(schema_name, table)
-                    .ok()
-                    .and_then(|t| t.schema().column_index(column).ok())
-            });
+            let resolved = self
+                .config
+                .filter
+                .apply_resolved(&ev.payload, |table, column| {
+                    let src = source.read();
+                    let schema_name = ev.payload.schema();
+                    src.table(schema_name, table)
+                        .ok()
+                        .and_then(|t| t.schema().column_index(column).ok())
+                });
             let Some(filtered) = resolved else {
                 self.stats.events_filtered += 1;
                 // A drop the config declared *required* downstream is the
@@ -379,10 +382,7 @@ impl Replicator {
     /// match a record, so the link would silently stall forever — the
     /// caller must resync instead. Rewinds (including to an older epoch,
     /// the restore case) remain accepted.
-    pub fn seek(
-        &mut self,
-        position: LogPosition,
-    ) -> std::result::Result<(), ReplicationError> {
+    pub fn seek(&mut self, position: LogPosition) -> std::result::Result<(), ReplicationError> {
         let tail = self.source.read().binlog_position();
         if position.epoch > tail.epoch
             || (position.epoch == tail.epoch && position.seqno > tail.seqno)
@@ -456,8 +456,11 @@ impl Replicator {
         // (same lock-ordering rule as poll_inner).
         let (copies, head) = {
             let src = self.source.read();
-            let mut copies: Vec<(String, xdmod_warehouse::TableSchema, Vec<xdmod_warehouse::Row>)> =
-                Vec::new();
+            let mut copies: Vec<(
+                String,
+                xdmod_warehouse::TableSchema,
+                Vec<xdmod_warehouse::Row>,
+            )> = Vec::new();
             for def in src.describe_schema(&source_schema)? {
                 if !self.config.filter.table_passes(&def.name) {
                     continue;
@@ -761,10 +764,7 @@ impl LiveReplicator {
                             &[("link", rep.link_name())],
                         )
                         .inc();
-                    telemetry.event(
-                        "replication.error",
-                        &format!("{}: {e}", rep.link_name()),
-                    );
+                    telemetry.event("replication.error", &format!("{}: {e}", rep.link_name()));
                 }
             };
             let record_retry = |rep: &Replicator, attempt: u32, backoff: Duration| {
@@ -887,10 +887,12 @@ impl LiveReplicator {
             });
         };
         handle.thread().unpark();
-        handle.join().map_err(|payload| ReplicationError::LinkPanicked {
-            link: self.link_name.clone(),
-            detail: panic_detail(payload.as_ref()),
-        })
+        handle
+            .join()
+            .map_err(|payload| ReplicationError::LinkPanicked {
+                link: self.link_name.clone(),
+                detail: panic_detail(payload.as_ref()),
+            })
     }
 }
 
@@ -955,7 +957,10 @@ mod tests {
         assert_eq!(dst.table("hub_x", "jobfact").unwrap().len(), 1);
         // Raw data unaltered.
         assert_eq!(
-            src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
+            src.read()
+                .table("xdmod_x", "jobfact")
+                .unwrap()
+                .content_checksum(),
             dst.table("hub_x", "jobfact").unwrap().content_checksum()
         );
     }
@@ -971,7 +976,7 @@ mod tests {
         );
         rep.poll().unwrap();
         assert_eq!(rep.poll().unwrap(), 0); // nothing new
-        // New write replicates exactly once.
+                                            // New write replicates exactly once.
         src.write()
             .insert(
                 "xdmod_x",
@@ -1053,8 +1058,16 @@ mod tests {
         let x = satellite("xdmod_x", &["resource-l"]);
         let y = satellite("xdmod_y", &["resource-m", "resource-n"]);
         let hub = shared(Database::new());
-        let mut rx = Replicator::new(x, Arc::clone(&hub), LinkConfig::renaming("xdmod_x", "hub_x"));
-        let mut ry = Replicator::new(y, Arc::clone(&hub), LinkConfig::renaming("xdmod_y", "hub_y"));
+        let mut rx = Replicator::new(
+            x,
+            Arc::clone(&hub),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        let mut ry = Replicator::new(
+            y,
+            Arc::clone(&hub),
+            LinkConfig::renaming("xdmod_y", "hub_y"),
+        );
         rx.poll().unwrap();
         ry.poll().unwrap();
         let hub = hub.read();
@@ -1084,8 +1097,16 @@ mod tests {
         ra.poll().unwrap();
         rb.poll().unwrap();
         assert_eq!(
-            hub_a.read().table("hub_x", "jobfact").unwrap().content_checksum(),
-            hub_b.read().table("hub_x", "jobfact").unwrap().content_checksum()
+            hub_a
+                .read()
+                .table("hub_x", "jobfact")
+                .unwrap()
+                .content_checksum(),
+            hub_b
+                .read()
+                .table("hub_x", "jobfact")
+                .unwrap()
+                .content_checksum()
         );
     }
 
@@ -1112,8 +1133,14 @@ mod tests {
         assert!(rep.stats().events_applied >= 52); // 50 inserts + DDL
         assert_eq!(dst.read().table("hub_x", "jobfact").unwrap().len(), 51);
         assert_eq!(
-            src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
-            dst.read().table("hub_x", "jobfact").unwrap().content_checksum()
+            src.read()
+                .table("xdmod_x", "jobfact")
+                .unwrap()
+                .content_checksum(),
+            dst.read()
+                .table("hub_x", "jobfact")
+                .unwrap()
+                .content_checksum()
         );
     }
 
@@ -1195,9 +1222,10 @@ mod tests {
             .snapshot()
             .gauge("replication_lag_events", link)
             == Some(5.0)));
-        assert!(eventually(
-            || reg.snapshot().gauge("replication_lag_seconds", link) > Some(0.0)
-        ));
+        assert!(eventually(|| reg
+            .snapshot()
+            .gauge("replication_lag_seconds", link)
+            > Some(0.0)));
         let lag_events = reg.events_of_kind("replication.lag");
         assert!(!lag_events.is_empty());
         assert!(lag_events
@@ -1235,12 +1263,8 @@ mod tests {
             .unwrap();
         let dst = shared(poisoned);
         let reg = MetricsRegistry::new();
-        let rep = Replicator::new(
-            src,
-            dst,
-            LinkConfig::renaming("xdmod_x", "hub_x"),
-        )
-        .with_telemetry(reg.clone(), "site-x");
+        let rep = Replicator::new(src, dst, LinkConfig::renaming("xdmod_x", "hub_x"))
+            .with_telemetry(reg.clone(), "site-x");
         let live = LiveReplicator::start(rep, Duration::from_millis(1));
         // The loop keeps retrying (counter grows past 1) instead of dying
         // on the first failure, and the error is inspectable live.
@@ -1456,6 +1480,61 @@ mod tests {
     }
 
     #[test]
+    fn resync_resets_delta_fold_cursors_never_serving_stale_partials() {
+        use xdmod_warehouse::{AggFn, Aggregate, CacheKey, DeltaOutcome, Query};
+        let src = satellite("xdmod_x", &["comet", "gordon", "comet"]);
+        let dst = shared(Database::new());
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        rep.poll().unwrap();
+
+        // An aggregation pass leaves a retained delta-fold partial with a
+        // cursor into the target's binlog.
+        let q = Query::new()
+            .aggregate(Aggregate::count("jobs"))
+            .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+        dst.read()
+            .run_delta_fold("hub_x", "jobfact", &q, "agg")
+            .unwrap();
+        let key = CacheKey {
+            schema: "hub_x".into(),
+            table: "jobfact".into(),
+            fingerprint: q.fingerprint(),
+        };
+        assert!(dst.read().delta_cache().cursor_of(&key).is_some());
+
+        // Source moves on; a full resync rewrites the target's tables
+        // outside normal DML accounting.
+        src.write()
+            .insert(
+                "xdmod_x",
+                "jobfact",
+                vec![vec![Value::Str("trestles".into()), Value::Float(4.0)]],
+            )
+            .unwrap();
+        rep.resync_target().unwrap();
+
+        // The regression under test: resync must reset the delta cursor
+        // along with the rebuild generation. A surviving cursor would let
+        // the next fold start from pre-resync partials and double-count
+        // every row the resync re-copied.
+        assert_eq!(dst.read().delta_cache().cursor_of(&key), None);
+        assert!(dst.read().delta_cache().is_empty());
+
+        let d = dst.read();
+        let (rs, report) = d.run_delta_fold("hub_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Cold);
+        assert_eq!(rs, d.query_sharded("hub_x", "jobfact", &q).unwrap());
+        // 3 original rows at 1.0 cpu-hour each + the resynced 4.0 row;
+        // a stale partial would have reported 10.0 (the originals twice).
+        assert_eq!(rs.scalar_f64("total"), Some(7.0));
+        assert_eq!(rs.scalar_f64("jobs"), Some(4.0));
+    }
+
+    #[test]
     fn resync_preserves_table_selection_and_resource_routing() {
         let src = satellite("xdmod_x", &["open", "secret"]);
         let dst = shared(Database::new());
@@ -1527,7 +1606,10 @@ mod tests {
         let retries = snap
             .counter("replication_retries_total", &[("link", "site-x")])
             .unwrap_or(0);
-        assert!(retries >= 1, "expected at least one fast retry, got {retries}");
+        assert!(
+            retries >= 1,
+            "expected at least one fast retry, got {retries}"
+        );
         assert!(!reg.events_of_kind("replication.retry").is_empty());
     }
 
@@ -1602,8 +1684,14 @@ mod tests {
         assert!(!rep.is_compacted_away());
         assert_eq!(rep.poll().unwrap(), 0);
         assert_eq!(
-            src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
-            dst.read().table("hub_x", "jobfact").unwrap().content_checksum()
+            src.read()
+                .table("xdmod_x", "jobfact")
+                .unwrap()
+                .content_checksum(),
+            dst.read()
+                .table("hub_x", "jobfact")
+                .unwrap()
+                .content_checksum()
         );
     }
 
@@ -1633,7 +1721,7 @@ mod tests {
             assert!(s.compaction_horizon() > 0);
         }
         full_rep.poll().unwrap(); // full replica stays caught up
-        // The late replica can't replay the compacted prefix; it resyncs.
+                                  // The late replica can't replay the compacted prefix; it resyncs.
         let late = shared(Database::new());
         let mut late_rep = Replicator::new(
             Arc::clone(&src),

@@ -238,10 +238,10 @@ impl AggregationSpec {
         let ticket = db.rebuild_ticket(schema, &self.fact_table);
         let telemetry = db.telemetry().clone();
         if !self.periods.is_empty()
-            && self
-                .periods
-                .iter()
-                .all(|&p| db.aggregate_cache().is_fresh(&self.period_cache_key(schema, p), ticket))
+            && self.periods.iter().all(|&p| {
+                db.aggregate_cache()
+                    .is_fresh(&self.period_cache_key(schema, p), ticket)
+            })
         {
             if telemetry.is_enabled() {
                 for &period in &self.periods {
@@ -270,13 +270,28 @@ impl AggregationSpec {
             }
             let span = telemetry.span("warehouse_aggregation_seconds", &[("table", &table_name)]);
             let out_schema = self.output_schema(fact.schema(), period)?;
-            let rs = parallel::run_sharded(
-                &self.period_query(period),
-                fact,
-                db.parallelism(),
-                &telemetry,
-                &table_name,
-            )?;
+            // The delta-fold engine reuses retained per-shard partials and
+            // folds only the binlog records appended since the last pass;
+            // byte-identical to `run_sharded` (same per-shard fold order,
+            // same ascending merge), so flipping `incremental` off is a
+            // pure-diagnostics switch, never a results change.
+            let rs = if db.incremental_enabled() {
+                db.run_delta_fold(
+                    schema,
+                    &self.fact_table,
+                    &self.period_query(period),
+                    &table_name,
+                )?
+                .0
+            } else {
+                parallel::run_sharded(
+                    &self.period_query(period),
+                    fact,
+                    db.parallelism(),
+                    &telemetry,
+                    &table_name,
+                )?
+            };
             let rows = self.transform_rows(period, rs)?;
             span.finish();
             tables.push((out_schema, rows));
@@ -448,11 +463,7 @@ mod tests {
         assert_eq!(t.len(), 4);
         let schema = t.schema();
         let cpu_idx = schema.column_index("total_cpu_hours").unwrap();
-        let total: f64 = t
-            .rows()
-            .iter()
-            .map(|r| r[cpu_idx].as_f64().unwrap())
-            .sum();
+        let total: f64 = t.rows().iter().map(|r| r[cpu_idx].as_f64().unwrap()).sum();
         assert_eq!(total, 8.0 + 96.0 + 144.0 + 32.0);
     }
 
@@ -512,7 +523,8 @@ mod tests {
 
         // Changing the *layout* (adding a measure) must be rejected while
         // the old table exists.
-        spec.measures.push(Aggregate::of(AggFn::Avg, "cpu_hours", "avg_cpu"));
+        spec.measures
+            .push(Aggregate::of(AggFn::Avg, "cpu_hours", "avg_cpu"));
         let err = spec.materialize(&mut db, "xdmod_a").unwrap_err();
         assert!(matches!(err, WarehouseError::SchemaMismatch(_)));
     }
@@ -576,6 +588,60 @@ mod tests {
             .unwrap()
             .content_checksum();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn incremental_materialization_is_byte_identical_and_rides_the_delta() {
+        let extra = || {
+            vec![
+                vec![
+                    Value::Str("gordon".into()),
+                    Value::Float(0.25),
+                    Value::Float(4.0),
+                    Value::Time(CivilDate::new(2017, 3, 3).to_epoch() + 7200),
+                ],
+                vec![
+                    Value::Str("comet".into()),
+                    Value::Float(2.5),
+                    Value::Float(80.0),
+                    Value::Time(CivilDate::new(2017, 1, 28).to_epoch() + 60),
+                ],
+            ]
+        };
+        let pool = crate::parallel::PoolConfig::new(3).with_shards(5);
+
+        // Incremental path: cold build, ingest, delta-folded rebuild.
+        let (mut db, spec) = setup();
+        let reg = xdmod_telemetry::MetricsRegistry::new();
+        db.set_telemetry(reg.clone());
+        db.set_parallelism(pool);
+        assert!(db.incremental_enabled());
+        spec.materialize_parallel(&mut db, "xdmod_a").unwrap();
+        db.insert("xdmod_a", "jobfact", extra()).unwrap();
+        spec.materialize_parallel(&mut db, "xdmod_a").unwrap();
+        let snap = reg.snapshot();
+        assert!(
+            snap.counter_total("warehouse_delta_folds_total") > 0,
+            "second materialization must ride the delta, not rebuild"
+        );
+        assert!(snap.counter_total("warehouse_delta_folded_records_total") > 0);
+
+        // Same workload with the engine disabled: full rebuilds only.
+        let (mut db2, _) = setup();
+        db2.set_parallelism(pool);
+        db2.set_incremental(false);
+        spec.materialize_parallel(&mut db2, "xdmod_a").unwrap();
+        db2.insert("xdmod_a", "jobfact", extra()).unwrap();
+        spec.materialize_parallel(&mut db2, "xdmod_a").unwrap();
+        assert!(db2.delta_cache().is_empty());
+
+        for table in ["jobfact_by_month", "jobfact_by_year"] {
+            assert_eq!(
+                db.table("xdmod_a", table).unwrap().content_checksum(),
+                db2.table("xdmod_a", table).unwrap().content_checksum(),
+                "{table}: incremental and full-rebuild materializations diverged"
+            );
+        }
     }
 
     #[test]

@@ -573,6 +573,33 @@ impl Binlog {
         Ok(out)
     }
 
+    /// Decode every record strictly after `after` that touches
+    /// `schema.table` — the delta-fold read path: a per-table cursor
+    /// advances over exactly the records an incremental aggregation must
+    /// fold, skipping mutations of other tables.
+    ///
+    /// Epoch and compaction semantics match [`Binlog::read_after`]: an
+    /// older-epoch cursor replays the whole log, a future-epoch cursor is
+    /// an error, and a cursor below the compaction horizon yields
+    /// [`WarehouseError::CompactedAway`] — the caller must fall back to a
+    /// full rebuild from the live table.
+    pub fn read_table_after(
+        &self,
+        after: LogPosition,
+        schema: &str,
+        table: &str,
+    ) -> Result<Vec<BinlogEvent>> {
+        let start_seqno = self.replay_start(after)?;
+        let mut out = Vec::new();
+        for seqno in (start_seqno + 1)..=self.last_seqno {
+            let ev = self.record_at(seqno)?;
+            if ev.payload.schema() == schema && ev.payload.table() == Some(table) {
+                out.push(ev);
+            }
+        }
+        Ok(out)
+    }
+
     /// Resolve `after` to the seqno replay starts from (exclusive),
     /// rejecting future epochs and compacted-away ranges.
     fn replay_start(&self, after: LogPosition) -> Result<u64> {
@@ -806,11 +833,7 @@ mod tests {
             schema: "xdmod_x".into(),
             table: "jobfact".into(),
             rows: vec![
-                vec![
-                    Value::Str("comet".into()),
-                    Value::Float(12.5),
-                    Value::Null,
-                ],
+                vec![Value::Str("comet".into()), Value::Float(12.5), Value::Null],
                 vec![
                     Value::Str("stampede".into()),
                     Value::Float(0.25),
@@ -847,9 +870,7 @@ mod tests {
     fn append_and_read_after() {
         let mut log = Binlog::new();
         assert!(log.is_empty());
-        let p1 = log.append(&EventPayload::CreateSchema {
-            schema: "s".into(),
-        });
+        let p1 = log.append(&EventPayload::CreateSchema { schema: "s".into() });
         let p2 = log.append(&sample_insert());
         assert_eq!(p1.seqno, 1);
         assert_eq!(p2.seqno, 2);
@@ -865,6 +886,66 @@ mod tests {
 
         let none = log.read_after(p2).unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn read_table_after_filters_to_one_table() {
+        let mut log = Binlog::new();
+        log.append(&EventPayload::CreateSchema { schema: "s".into() });
+        let cursor = log.position();
+        log.append(&sample_insert()); // xdmod_x.jobfact
+        log.append(&EventPayload::InsertBatch {
+            schema: "xdmod_x".into(),
+            table: "other".into(),
+            rows: vec![],
+        });
+        log.append(&EventPayload::InsertBatch {
+            schema: "xdmod_y".into(),
+            table: "jobfact".into(),
+            rows: vec![],
+        });
+        log.append(&EventPayload::Truncate {
+            schema: "xdmod_x".into(),
+            table: "jobfact".into(),
+        });
+
+        let events = log.read_table_after(cursor, "xdmod_x", "jobfact").unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0].payload,
+            EventPayload::InsertBatch { .. }
+        ));
+        assert!(matches!(events[1].payload, EventPayload::Truncate { .. }));
+        // Nothing after the head.
+        assert!(log
+            .read_table_after(log.position(), "xdmod_x", "jobfact")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn read_table_after_respects_compaction_horizon() {
+        let mut log = Binlog::new();
+        let early = log.append(&sample_insert());
+        log.append(&sample_insert());
+        log.append(&sample_insert());
+        log.compact_before(2);
+        assert!(matches!(
+            log.read_table_after(LogPosition::START, "xdmod_x", "jobfact"),
+            Err(WarehouseError::CompactedAway { .. })
+        ));
+        assert!(matches!(
+            log.read_table_after(early, "xdmod_x", "jobfact"),
+            Err(WarehouseError::CompactedAway { .. })
+        ));
+        // A cursor at or past the horizon still reads the tail.
+        let horizon = LogPosition { epoch: 0, seqno: 2 };
+        assert_eq!(
+            log.read_table_after(horizon, "xdmod_x", "jobfact")
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -887,9 +968,7 @@ mod tests {
     #[test]
     fn export_and_decode_stream() {
         let mut log = Binlog::new();
-        log.append(&EventPayload::CreateSchema {
-            schema: "s".into(),
-        });
+        log.append(&EventPayload::CreateSchema { schema: "s".into() });
         let mid = log.position();
         log.append(&sample_insert());
         log.append(&sample_insert());
@@ -1064,9 +1143,7 @@ mod tests {
         assert_eq!(log.byte_len(), full_len - stats.dropped_bytes);
         assert_eq!(log.position(), LogPosition { epoch: 0, seqno: 5 });
         // The retained tail is readable and correctly numbered.
-        let tail = log
-            .read_after(LogPosition { epoch: 0, seqno: 3 })
-            .unwrap();
+        let tail = log.read_after(LogPosition { epoch: 0, seqno: 3 }).unwrap();
         assert_eq!(tail.len(), 2);
         assert_eq!(tail[0].position.seqno, 4);
         // Reads below the horizon are refused with a typed error.

@@ -6,8 +6,9 @@
 //! rename-on-transfer pattern, §II-C1) plus its own aggregate schemas.
 
 use crate::binlog::{Binlog, BinlogEvent, EventPayload, LogPosition, TailRepair};
+use crate::delta::{DeltaEntry, DeltaFoldCache, DeltaOutcome, DeltaReport, FallbackReason};
 use crate::error::{Result, WarehouseError};
-use crate::parallel::{self, AggregateCache, CacheKey, PoolConfig, RebuildTicket};
+use crate::parallel::{self, AggregateCache, CacheKey, PoolConfig, RebuildTicket, ShardedPartials};
 use crate::persist::Snapshot;
 use crate::query::{Query, ResultSet};
 use crate::schema::TableSchema;
@@ -60,6 +61,14 @@ pub struct Database {
     /// Invalidation-aware cache over [`Database::query_cached`] results
     /// and materialized aggregates.
     agg_cache: AggregateCache,
+    /// Retained per-shard partials for the delta-fold engine
+    /// ([`Database::run_delta_fold`]), keyed by (schema, fact table,
+    /// query fingerprint) with a per-entry binlog cursor.
+    delta: DeltaFoldCache,
+    /// When false, materialization bypasses the delta-fold engine and
+    /// always rebuilds from the full table (the forced full-rebuild
+    /// escape hatch; see [`Database::set_incremental`]).
+    incremental: bool,
 }
 
 impl Default for Database {
@@ -76,6 +85,8 @@ impl Default for Database {
             rebuild_generation: 0,
             pool: PoolConfig::default(),
             agg_cache: AggregateCache::default(),
+            delta: DeltaFoldCache::default(),
+            incremental: true,
         }
     }
 }
@@ -125,7 +136,8 @@ impl Database {
             snapshot_pos = Some(*pos);
             self.last_snapshot_seqno = pos.seqno;
         }
-        self.binlog.restore_frames(rec.epoch, rec.base_seqno, &rec.tail)?;
+        self.binlog
+            .restore_frames(rec.epoch, rec.base_seqno, &rec.tail)?;
         let replay_from = LogPosition {
             epoch: rec.epoch,
             seqno: rec.base_seqno,
@@ -137,7 +149,9 @@ impl Database {
         }
         if self.telemetry.is_enabled() {
             let ms = started.elapsed().as_secs_f64() * 1e3;
-            self.telemetry.histogram("warehouse_recovery_ms", &[]).observe(ms);
+            self.telemetry
+                .histogram("warehouse_recovery_ms", &[])
+                .observe(ms);
             if rec.truncated_records > 0 {
                 self.telemetry
                     .counter("warehouse_recovery_truncated_records_total", &[])
@@ -206,13 +220,11 @@ impl Database {
                 rows,
             } => {
                 self.table_mut(schema, table)?.insert_checked(rows.clone());
-                self.watermarks
-                    .insert((schema.clone(), table.clone()), pos);
+                self.watermarks.insert((schema.clone(), table.clone()), pos);
             }
             EventPayload::Truncate { schema, table } => {
                 self.table_mut(schema, table)?.truncate();
-                self.watermarks
-                    .insert((schema.clone(), table.clone()), pos);
+                self.watermarks.insert((schema.clone(), table.clone()), pos);
             }
         }
         Ok(())
@@ -583,11 +595,22 @@ impl Database {
 
     /// Record that table contents were rewritten by an external actor
     /// (replication resync, restore): bumps the rebuild generation so
-    /// every outstanding [`RebuildTicket`] and cache entry goes stale.
-    /// Returns the new generation.
+    /// every outstanding [`RebuildTicket`] and cache entry goes stale,
+    /// and **drops every delta-fold cursor** — retained partials were
+    /// folded from pre-rewrite records and must never be served or
+    /// advanced again. Returns the new generation.
     pub fn note_external_rebuild(&mut self) -> u64 {
         self.rebuild_generation += 1;
         self.agg_cache.clear();
+        let dropped = self.delta.clear();
+        if dropped > 0 && self.telemetry.is_enabled() {
+            self.telemetry
+                .counter(
+                    "warehouse_delta_fallback_rebuilds_total",
+                    &[("reason", FallbackReason::ExternalRebuild.label())],
+                )
+                .add(dropped as u64);
+        }
         self.rebuild_generation
     }
 
@@ -603,6 +626,188 @@ impl Database {
     /// The aggregate cache (for direct marking by the materializer).
     pub fn aggregate_cache(&self) -> &AggregateCache {
         &self.agg_cache
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental aggregation: the delta-fold engine
+    // ------------------------------------------------------------------
+
+    /// Enable or disable the delta-fold engine. Disabled, the
+    /// materializer always rebuilds aggregates from the full fact table
+    /// — the operator escape hatch (`"incremental": false` in the
+    /// federation config) for ruling incremental maintenance in or out
+    /// while diagnosing a discrepancy.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled;
+        if !enabled {
+            self.delta.clear();
+        }
+    }
+
+    /// True when materialization may ride the delta-fold engine.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental
+    }
+
+    /// The retained delta-fold state (introspection: entry counts and
+    /// cursors; tests prove cursors reset on resync through this).
+    pub fn delta_cache(&self) -> &DeltaFoldCache {
+        &self.delta
+    }
+
+    /// Execute `query` over `schema.table` through the **delta-fold
+    /// engine**: reuse the retained per-shard partials for this (table,
+    /// query) pair, fold only the binlog records appended since the
+    /// retained cursor into their day-bucket shards, and finalize.
+    ///
+    /// Falls back to a full rebuild — and says so in the returned
+    /// [`DeltaReport`] — whenever the retained state cannot be trusted:
+    /// the rebuild generation moved (resync/restore), snapshot
+    /// compaction outran the cursor ([`WarehouseError::CompactedAway`]),
+    /// the fact table itself was truncated or re-created, the shard
+    /// geometry changed, or the delta read failed transiently. A cold
+    /// start (no retained state) builds the partials from the live table
+    /// on the worker pool.
+    ///
+    /// The result is byte-identical to [`Database::query_sharded`] under
+    /// the same pool geometry whenever float inputs are exactly
+    /// representable, because each shard folds rows in table order in
+    /// both engines and shards merge in ascending order either way.
+    ///
+    /// `label` attributes the telemetry this emits
+    /// (`warehouse_delta_folded_records_total{table=..}`,
+    /// `warehouse_delta_dirty_shards_total{table=..}`,
+    /// `warehouse_delta_folds_total{table=..}`,
+    /// `warehouse_delta_cold_builds_total{table=..}`, and
+    /// `warehouse_delta_fallback_rebuilds_total{reason=..}`).
+    pub fn run_delta_fold(
+        &self,
+        schema: &str,
+        table: &str,
+        query: &Query,
+        label: &str,
+    ) -> Result<(ResultSet, DeltaReport)> {
+        let key = CacheKey {
+            schema: schema.to_owned(),
+            table: table.to_owned(),
+            fingerprint: query.fingerprint(),
+        };
+        let head = self.binlog.position();
+        let generation = self.rebuild_generation;
+        let t = self.table(schema, table)?;
+        let table_schema = t.schema();
+        let shards_now = self.pool.shards().max(1);
+
+        let mut fallback: Option<FallbackReason> = None;
+        let retained = match self.delta.take(&key) {
+            Some(e) if e.generation != generation => {
+                fallback = Some(FallbackReason::ExternalRebuild);
+                None
+            }
+            Some(e) if e.partials.shard_count() != shards_now => {
+                fallback = Some(FallbackReason::Resharded);
+                None
+            }
+            other => other,
+        };
+
+        if let Some(mut entry) = retained {
+            match self.binlog_for_table_after(entry.cursor, schema, table) {
+                Ok(events)
+                    if events
+                        .iter()
+                        .all(|e| matches!(e.payload, EventPayload::InsertBatch { .. })) =>
+                {
+                    let mut folded = 0usize;
+                    let mut dirty = 0usize;
+                    for ev in &events {
+                        if let EventPayload::InsertBatch { rows, .. } = &ev.payload {
+                            dirty += entry.partials.fold_batch(query, table_schema, rows)?;
+                            folded += rows.len();
+                        }
+                    }
+                    entry.cursor = head;
+                    let result = entry.partials.finalize(query, table_schema)?;
+                    self.delta.put(key, entry);
+                    if self.telemetry.is_enabled() {
+                        self.telemetry
+                            .counter("warehouse_delta_folds_total", &[("table", label)])
+                            .inc();
+                        self.telemetry
+                            .counter("warehouse_delta_folded_records_total", &[("table", label)])
+                            .add(folded as u64);
+                        self.telemetry
+                            .counter("warehouse_delta_dirty_shards_total", &[("table", label)])
+                            .add(dirty as u64);
+                    }
+                    return Ok((
+                        result,
+                        DeltaReport {
+                            outcome: DeltaOutcome::Incremental,
+                            rows_folded: folded,
+                            dirty_shards: dirty,
+                        },
+                    ));
+                }
+                // A truncate or re-create of the fact table is in the
+                // delta: folded state cannot unfold removed rows.
+                Ok(_) => fallback = Some(FallbackReason::FactRewrite),
+                Err(WarehouseError::CompactedAway { .. }) => {
+                    fallback = Some(FallbackReason::CompactedAway);
+                }
+                Err(WarehouseError::Io(_)) => fallback = Some(FallbackReason::ReadError),
+                // Real log damage is not a fallback condition — surface it.
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Cold start or fallback: rebuild the retained state from the
+        // live table on the worker pool, then finalize from it.
+        let partials = ShardedPartials::build(
+            query,
+            table_schema,
+            t.rows(),
+            self.pool,
+            &self.telemetry,
+            label,
+        )?;
+        let rows_folded = t.len();
+        let result = partials.finalize(query, table_schema)?;
+        self.delta.put(
+            key,
+            DeltaEntry {
+                cursor: head,
+                generation,
+                partials,
+            },
+        );
+        let outcome = match fallback {
+            Some(reason) => {
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter(
+                            "warehouse_delta_fallback_rebuilds_total",
+                            &[("reason", reason.label())],
+                        )
+                        .inc();
+                }
+                DeltaOutcome::Fallback(reason)
+            }
+            None => DeltaOutcome::Cold,
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_delta_cold_builds_total", &[("table", label)])
+                .inc();
+        }
+        Ok((
+            result,
+            DeltaReport {
+                outcome,
+                rows_folded,
+                dirty_shards: shards_now,
+            },
+        ))
     }
 
     fn table_mut(&mut self, schema: &str, table: &str) -> Result<&mut Table> {
@@ -638,6 +843,20 @@ impl Database {
     pub fn binlog_after(&self, after: LogPosition) -> Result<Vec<BinlogEvent>> {
         self.injected_fault(FaultPoint::BinlogRead)?;
         self.binlog.read_after(after)
+    }
+
+    /// Binlog records strictly after `after` touching `schema.table` —
+    /// the delta the incremental aggregation engine folds. Subject to
+    /// the same chaos fault point as [`Database::binlog_after`] and the
+    /// same [`WarehouseError::CompactedAway`] horizon check.
+    pub fn binlog_for_table_after(
+        &self,
+        after: LogPosition,
+        schema: &str,
+        table: &str,
+    ) -> Result<Vec<BinlogEvent>> {
+        self.injected_fault(FaultPoint::BinlogRead)?;
+        self.binlog.read_table_after(after, schema, table)
     }
 
     /// Flip a byte in the last binlog frame — simulated disk corruption,
@@ -695,10 +914,12 @@ impl Database {
         self.binlog.rotate_epoch();
         self.backend.start_epoch(self.binlog.position().epoch)?;
         self.last_snapshot_seqno = 0;
-        // Every cached result and in-flight rebuild ticket is now void.
+        // Every cached result, in-flight rebuild ticket, and delta-fold
+        // cursor is now void.
         self.watermarks.clear();
         self.rebuild_generation += 1;
         self.agg_cache.clear();
+        self.delta.clear();
         Ok(())
     }
 
@@ -932,9 +1153,7 @@ mod tests {
     #[test]
     fn apply_event_is_idempotent_for_ddl() {
         let mut db = Database::new();
-        let ev = EventPayload::CreateSchema {
-            schema: "s".into(),
-        };
+        let ev = EventPayload::CreateSchema { schema: "s".into() };
         db.apply_event(&ev).unwrap();
         db.apply_event(&ev).unwrap(); // replay tolerated
         let ev = EventPayload::CreateTable {
@@ -990,9 +1209,7 @@ mod tests {
         assert_eq!(snap.counter("warehouse_binlog_appends_total", &[]), Some(3));
         assert!(snap.counter("warehouse_binlog_bytes_total", &[]).unwrap() > 0);
 
-        let rs = db
-            .query("xdmod_x", "jobfact", &Query::new())
-            .unwrap();
+        let rs = db.query("xdmod_x", "jobfact", &Query::new()).unwrap();
         assert_eq!(rs.len(), 1);
         let snap = reg.snapshot();
         assert_eq!(
@@ -1339,8 +1556,7 @@ mod tests {
         let opts = || DiskOptions::new(&dir).fsync(false);
         let checksum_before;
         {
-            let mut db =
-                Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
+            let mut db = Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
             db.create_schema("xdmod_x").unwrap();
             db.create_table("xdmod_x", jobfact()).unwrap();
             for i in 0..10 {
@@ -1373,8 +1589,7 @@ mod tests {
         let checksum_before;
         let horizon;
         {
-            let mut db =
-                Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
+            let mut db = Database::open(Box::new(DiskBackend::open(opts()).unwrap())).unwrap();
             db.set_snapshot_policy(Some(3));
             db.create_schema("xdmod_x").unwrap();
             db.create_table("xdmod_x", jobfact()).unwrap();
@@ -1409,7 +1624,8 @@ mod tests {
         ));
         let snap = reg.snapshot();
         assert_eq!(
-            snap.histogram("warehouse_recovery_ms", &[]).map(|h| h.count),
+            snap.histogram("warehouse_recovery_ms", &[])
+                .map(|h| h.count),
             Some(1)
         );
         // Clean recovery: nothing was truncated.
@@ -1464,5 +1680,285 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.total_rows(), 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Delta-fold engine
+    // ------------------------------------------------------------------
+
+    fn delta_db() -> Database {
+        let mut db = Database::new();
+        db.set_parallelism(crate::parallel::PoolConfig::new(2).with_shards(4));
+        db.create_schema("xdmod_x").unwrap();
+        db.create_table(
+            "xdmod_x",
+            SchemaBuilder::new("jobfact")
+                .required("resource", ColumnType::Str)
+                .required("cpu_hours", ColumnType::Float)
+                .nullable("end_time", ColumnType::Time)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn delta_rows(seed: u64, n: usize) -> Vec<crate::value::Row> {
+        (0..n)
+            .map(|i| {
+                let k = seed.wrapping_mul(31).wrapping_add(i as u64);
+                let resource = if k % 3 == 0 { "comet" } else { "rush" };
+                let time = if k % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Time(86_400 * ((k % 9) as i64) + (k % 7_000) as i64)
+                };
+                vec![
+                    Value::Str(resource.into()),
+                    Value::Float(((k % 257) as f64) / 64.0),
+                    time,
+                ]
+            })
+            .collect()
+    }
+
+    fn delta_query() -> Query {
+        use crate::query::{AggFn, Aggregate};
+        use crate::time::Period;
+        Query::new()
+            .group_by_column("resource")
+            .group_by_period("end_time", Period::Day)
+            .aggregate(Aggregate::count("jobs"))
+            .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"))
+            .aggregate(Aggregate::of(AggFn::Avg, "cpu_hours", "avg"))
+    }
+
+    #[test]
+    fn delta_fold_matches_full_recompute_across_ingest() {
+        let mut db = delta_db();
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(1, 40)).unwrap();
+
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Cold);
+        assert_eq!(report.rows_folded, 40);
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+
+        for (step, batch) in [1usize, 7, 16].into_iter().enumerate() {
+            db.insert("xdmod_x", "jobfact", delta_rows(step as u64 + 2, batch))
+                .unwrap();
+            let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+            assert!(report.is_incremental(), "step {step}: {:?}", report.outcome);
+            assert_eq!(report.rows_folded, batch, "step {step}");
+            assert!(report.dirty_shards <= db.parallelism().shards());
+            assert_eq!(
+                rs,
+                db.query_sharded("xdmod_x", "jobfact", &q).unwrap(),
+                "step {step}"
+            );
+        }
+        // Cursor tracks the log head once folded through.
+        let key = CacheKey {
+            schema: "xdmod_x".into(),
+            table: "jobfact".into(),
+            fingerprint: q.fingerprint(),
+        };
+        assert_eq!(db.delta_cache().cursor_of(&key), Some(db.binlog_position()));
+        // No new records: a fold is incremental with nothing to do.
+        let (_, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert!(report.is_incremental());
+        assert_eq!(report.rows_folded, 0);
+        assert_eq!(report.dirty_shards, 0);
+    }
+
+    #[test]
+    fn external_rebuild_resets_delta_cursors_and_counts_fallbacks() {
+        use xdmod_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut db = delta_db();
+        db.set_telemetry(reg.clone());
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(3, 24)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(db.delta_cache().len(), 1);
+
+        // A resync/restore rewrites tables outside DML accounting: every
+        // retained cursor must die with it, counted as a fallback.
+        db.note_external_rebuild();
+        assert!(db.delta_cache().is_empty());
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(
+                "warehouse_delta_fallback_rebuilds_total",
+                &[("reason", "external-rebuild")]
+            ),
+            Some(1)
+        );
+        // The next pass rebuilds cold and still matches a recompute.
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(report.outcome, DeltaOutcome::Cold);
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+    }
+
+    #[test]
+    fn stale_generation_entry_is_discarded_not_served() {
+        // Belt and braces: an entry *held out* across a generation bump
+        // (the mid-fold resync race) is rejected on put-back... this
+        // test drives the read-side guard by reinserting a pre-bump
+        // entry and watching run_delta_fold refuse to advance it.
+        let mut db = delta_db();
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(5, 12)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        let key = CacheKey {
+            schema: "xdmod_x".into(),
+            table: "jobfact".into(),
+            fingerprint: q.fingerprint(),
+        };
+        let stale = db.delta_cache().take(&key).expect("retained entry");
+        db.note_external_rebuild();
+        db.delta_cache().put(key, stale);
+
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(
+            report.fallback_reason(),
+            Some(FallbackReason::ExternalRebuild)
+        );
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+    }
+
+    #[test]
+    fn compaction_outrunning_the_cursor_forces_full_rebuild() {
+        use xdmod_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut db = delta_db();
+        db.set_telemetry(reg.clone());
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(8, 20)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+
+        // More ingest, then snapshots compact the log past the cursor
+        // (the horizon trails one snapshot behind, so two are needed).
+        db.insert("xdmod_x", "jobfact", delta_rows(9, 10)).unwrap();
+        db.snapshot_now().unwrap();
+        db.insert("xdmod_x", "jobfact", delta_rows(9, 3)).unwrap();
+        db.snapshot_now().unwrap();
+        assert!(db.compaction_horizon() > 3, "cursor seqno 3 must be gone");
+
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(
+            report.fallback_reason(),
+            Some(FallbackReason::CompactedAway)
+        );
+        assert_eq!(report.rows_folded, 33);
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(
+                "warehouse_delta_fallback_rebuilds_total",
+                &[("reason", "compacted")]
+            ),
+            Some(1)
+        );
+        // The rebuilt entry folds incrementally again.
+        db.insert("xdmod_x", "jobfact", delta_rows(10, 5)).unwrap();
+        let (_, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert!(report.is_incremental());
+    }
+
+    #[test]
+    fn fact_truncate_in_the_delta_forces_full_rebuild() {
+        let mut db = delta_db();
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(11, 16)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+
+        db.truncate("xdmod_x", "jobfact").unwrap();
+        db.insert("xdmod_x", "jobfact", delta_rows(12, 6)).unwrap();
+
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(report.fallback_reason(), Some(FallbackReason::FactRewrite));
+        assert_eq!(report.rows_folded, 6);
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+    }
+
+    #[test]
+    fn reshard_forces_full_rebuild_under_the_new_geometry() {
+        let mut db = delta_db();
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(13, 32)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+
+        db.set_parallelism(crate::parallel::PoolConfig::new(3).with_shards(7));
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(report.fallback_reason(), Some(FallbackReason::Resharded));
+        assert_eq!(report.dirty_shards, 7);
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+    }
+
+    #[test]
+    fn transient_delta_read_fault_falls_back_instead_of_failing() {
+        use xdmod_chaos::{FaultKind, FaultPlan, FaultPoint, FaultSpec};
+        let mut db = delta_db();
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(14, 18)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        db.insert("xdmod_x", "jobfact", delta_rows(15, 4)).unwrap();
+
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(
+            FaultPoint::BinlogRead,
+            FaultKind::Transient,
+            &[1],
+        ));
+        db.set_fault_injector(plan.injector(7), "link-x");
+        let (rs, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(report.fallback_reason(), Some(FallbackReason::ReadError));
+        db.clear_fault_injector();
+        assert_eq!(rs, db.query_sharded("xdmod_x", "jobfact", &q).unwrap());
+    }
+
+    #[test]
+    fn disabling_incremental_drops_retained_state() {
+        let mut db = delta_db();
+        let q = delta_query();
+        assert!(db.incremental_enabled());
+        db.insert("xdmod_x", "jobfact", delta_rows(16, 8)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert_eq!(db.delta_cache().len(), 1);
+        db.set_incremental(false);
+        assert!(!db.incremental_enabled());
+        assert!(db.delta_cache().is_empty());
+    }
+
+    #[test]
+    fn delta_fold_telemetry_accounts_folded_rows_and_dirty_shards() {
+        use xdmod_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut db = delta_db();
+        db.set_telemetry(reg.clone());
+        let q = delta_query();
+        db.insert("xdmod_x", "jobfact", delta_rows(17, 20)).unwrap();
+        db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        db.insert("xdmod_x", "jobfact", delta_rows(18, 9)).unwrap();
+        let (_, report) = db.run_delta_fold("xdmod_x", "jobfact", &q, "agg").unwrap();
+        assert!(report.is_incremental());
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("warehouse_delta_cold_builds_total", &[("table", "agg")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("warehouse_delta_folds_total", &[("table", "agg")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("warehouse_delta_folded_records_total", &[("table", "agg")]),
+            Some(9)
+        );
+        assert_eq!(
+            snap.counter("warehouse_delta_dirty_shards_total", &[("table", "agg")]),
+            Some(report.dirty_shards as u64)
+        );
     }
 }

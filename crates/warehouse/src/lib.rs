@@ -20,6 +20,12 @@
 //!   day-bucket shards folded on a scoped worker pool, merged in stable
 //!   shard order (deterministic for any pool size), fronted by an
 //!   invalidation-aware aggregate cache keyed on binlog watermarks.
+//! - **Incremental aggregation** ([`delta`]): materialized aggregates
+//!   maintained by folding only the binlog records appended since a
+//!   per-(table, query) cursor into their day-bucket shards —
+//!   byte-identical to a full recompute, with automatic fallback to a
+//!   cold rebuild whenever the retained state cannot be trusted
+//!   (resync, compaction past the cursor, fact-table rewrite, reshard).
 //! - **Snapshots** ([`persist::Snapshot`]) for loose-federation dump
 //!   shipping and hub-side backup/restore, content-checksummed against
 //!   in-flight damage.
@@ -37,6 +43,7 @@ pub mod binlog;
 pub mod bins;
 pub mod checksum;
 pub mod database;
+pub mod delta;
 pub mod disk;
 pub mod error;
 pub mod parallel;
@@ -52,15 +59,18 @@ pub use aggregate::{AggregationOutputs, AggregationSpec, DimSpec};
 pub use binlog::{BinlogEvent, EventPayload, LogPosition, PrefixCompaction, TailRepair};
 pub use bins::{Bin, Bins};
 pub use database::Database;
+pub use delta::{DeltaFoldCache, DeltaOutcome, DeltaReport, FallbackReason};
 pub use disk::{DiskBackend, DiskOptions};
 pub use error::{Result, WarehouseError};
-pub use parallel::{run_sharded, AggregateCache, CacheKey, PoolConfig, RebuildTicket};
+pub use parallel::{
+    run_sharded, AggregateCache, CacheKey, PoolConfig, RebuildTicket, ShardedPartials,
+};
 pub use persist::Snapshot;
-pub use storage::{CompactionReport, MemoryBackend, Recovery, StorageBackend};
 pub use query::{
     AggFn, Aggregate, GroupKey, OrderBy, PartialAggregation, Predicate, Query, ResultSet,
 };
 pub use schema::{ColumnDef, RowBuilder, SchemaBuilder, TableSchema};
+pub use storage::{CompactionReport, MemoryBackend, Recovery, StorageBackend};
 pub use table::Table;
 pub use time::{CivilDate, Period};
 pub use value::{ColumnType, Row, Value};

@@ -20,7 +20,8 @@
 
 use crate::binlog::LogPosition;
 use crate::error::{Result, WarehouseError};
-use crate::query::{AggPlan, Groups, Query, ResultSet};
+use crate::query::{AggPlan, Groups, PartialAggregation, Query, ResultSet};
+use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::time::Period;
 use crate::value::Row;
@@ -130,12 +131,35 @@ pub fn run_sharded(
     label: &str,
 ) -> Result<ResultSet> {
     let plan = AggPlan::resolve(query, table.schema())?;
-    let rows = table.rows();
-    let n_shards = pool.shards().max(1);
     let time_idx = query
         .shard_hint()
         .and_then(|c| table.schema().column_index(c).ok());
+    let per_shard = fold_shards_pooled(&plan, table.rows(), time_idx, pool, telemetry, label)?;
 
+    // Deterministic merge: ascending shard order, independent of which
+    // worker folded which shard.
+    let mut merged = Groups::new();
+    for groups in per_shard {
+        AggPlan::merge_groups(&mut merged, groups);
+    }
+    plan.finish(merged)
+}
+
+/// Partition `rows` into day-bucket shards and fold each shard on the
+/// worker pool, returning per-shard group maps in ascending shard order.
+/// Within a shard rows fold in table order, so the per-shard accumulator
+/// state is bitwise identical to a serial fold of that shard — the
+/// property that lets [`ShardedPartials`] retain the result and continue
+/// folding deltas into it later.
+fn fold_shards_pooled(
+    plan: &AggPlan<'_>,
+    rows: &[Row],
+    time_idx: Option<usize>,
+    pool: PoolConfig,
+    telemetry: &MetricsRegistry,
+    label: &str,
+) -> Result<Vec<Groups>> {
+    let n_shards = pool.shards().max(1);
     let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
     for (i, row) in rows.iter().enumerate() {
         shards[shard_of(row, time_idx, i, n_shards)].push(i);
@@ -186,9 +210,8 @@ pub fn run_sharded(
             handles
                 .into_iter()
                 .map(|h| {
-                    h.join().map_err(|_| {
-                        WarehouseError::Io("aggregation worker panicked".to_owned())
-                    })
+                    h.join()
+                        .map_err(|_| WarehouseError::Io("aggregation worker panicked".to_owned()))
                 })
                 .collect()
         });
@@ -197,14 +220,105 @@ pub fn run_sharded(
         }
     }
 
-    // Deterministic merge: ascending shard order, independent of which
-    // worker folded which shard.
     partials.sort_by_key(|(i, _)| *i);
-    let mut merged = Groups::new();
-    for (_, groups) in partials {
-        AggPlan::merge_groups(&mut merged, groups);
+    Ok(partials.into_iter().map(|(_, groups)| groups).collect())
+}
+
+/// Retained per-shard partial state for one query over one fact table —
+/// the delta-fold engine's working set.
+///
+/// A cold [`ShardedPartials::build`] folds every live row on the worker
+/// pool, leaving each shard exactly the accumulator state a serial fold
+/// of that shard would produce. [`ShardedPartials::fold_batch`] then
+/// routes appended rows to the same day-bucket shards and continues each
+/// shard's accumulator sequence in arrival order, so finalizing after
+/// any number of delta folds yields the same bytes as a full recompute
+/// over the grown table (exactly for counts/min/max/distinct; for float
+/// sums because the per-shard addition *sequence* matches, not merely
+/// the operand set). Only shards that receive delta rows are touched —
+/// quiet shards carry their state forward untouched.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedPartials {
+    partials: Vec<PartialAggregation>,
+    rows_folded: usize,
+}
+
+impl ShardedPartials {
+    /// Empty state partitioned into `shards` day-bucket shards (clamped
+    /// to at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedPartials {
+            partials: vec![PartialAggregation::default(); shards.max(1)],
+            rows_folded: 0,
+        }
     }
-    plan.finish(merged)
+
+    /// Cold build: fold every row of a table on the worker pool. The
+    /// resulting per-shard state is bitwise identical to what
+    /// [`run_sharded`] folds internally for the same pool geometry.
+    pub fn build(
+        query: &Query,
+        schema: &TableSchema,
+        rows: &[Row],
+        pool: PoolConfig,
+        telemetry: &MetricsRegistry,
+        label: &str,
+    ) -> Result<Self> {
+        let plan = AggPlan::resolve(query, schema)?;
+        let time_idx = query.shard_hint().and_then(|c| schema.column_index(c).ok());
+        let per_shard = fold_shards_pooled(&plan, rows, time_idx, pool, telemetry, label)?;
+        Ok(ShardedPartials {
+            partials: per_shard
+                .into_iter()
+                .map(PartialAggregation::from_groups)
+                .collect(),
+            rows_folded: rows.len(),
+        })
+    }
+
+    /// Number of shards the state is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Total rows folded so far (cold build plus every delta batch);
+    /// keeps round-robin routing stable for queries with no time column.
+    pub fn rows_folded(&self) -> usize {
+        self.rows_folded
+    }
+
+    /// Fold a batch of rows appended to the fact table since the last
+    /// fold, routing each to its day-bucket shard. Returns the number of
+    /// distinct shards dirtied by this batch.
+    pub fn fold_batch(
+        &mut self,
+        query: &Query,
+        schema: &TableSchema,
+        rows: &[Row],
+    ) -> Result<usize> {
+        let plan = AggPlan::resolve(query, schema)?;
+        let time_idx = query.shard_hint().and_then(|c| schema.column_index(c).ok());
+        let n = self.partials.len();
+        let mut dirty = vec![false; n];
+        for (i, row) in rows.iter().enumerate() {
+            let s = shard_of(row, time_idx, self.rows_folded + i, n);
+            self.partials[s].fold_row_with(&plan, row);
+            dirty[s] = true;
+        }
+        self.rows_folded += rows.len();
+        Ok(dirty.into_iter().filter(|d| *d).count())
+    }
+
+    /// Finalize: merge shard clones in ascending shard order and finish.
+    /// The retained state is untouched, ready for the next delta.
+    pub fn finalize(&self, query: &Query, schema: &TableSchema) -> Result<ResultSet> {
+        let plan = AggPlan::resolve(query, schema)?;
+        let mut merged = Groups::new();
+        for partial in &self.partials {
+            AggPlan::merge_groups(&mut merged, partial.groups_clone());
+        }
+        plan.finish(merged)
+    }
 }
 
 /// Identity of a cached aggregate result: which table was read and what
@@ -275,7 +389,9 @@ impl AggregateCache {
 
     /// Store (or supersede) an entry.
     pub fn put(&self, key: CacheKey, ticket: RebuildTicket, result: Option<ResultSet>) {
-        self.entries.lock().insert(key, CacheEntry { ticket, result });
+        self.entries
+            .lock()
+            .insert(key, CacheEntry { ticket, result });
     }
 
     /// Drop every entry touching `schema` (used on destructive schema
@@ -363,7 +479,10 @@ mod tests {
             .aggregate(Aggregate::of(AggFn::Max, "cpu_hours", "peak"));
         let reference = query.run(&t).unwrap();
         let pool = PoolConfig::new(4).with_shards(5);
-        assert_eq!(run_sharded(&query, &t, pool, &reg, "jobfact").unwrap(), reference);
+        assert_eq!(
+            run_sharded(&query, &t, pool, &reg, "jobfact").unwrap(),
+            reference
+        );
     }
 
     #[test]
@@ -389,7 +508,10 @@ mod tests {
         run_sharded(&q(), &t, pool, &reg, "jobfact").unwrap();
         let snap = reg.snapshot();
         let hist = snap
-            .histogram("warehouse_shard_aggregation_seconds", &[("table", "jobfact")])
+            .histogram(
+                "warehouse_shard_aggregation_seconds",
+                &[("table", "jobfact")],
+            )
             .expect("per-shard histogram");
         assert_eq!(hist.count, 4);
         // 8 workers over 4 shards: half the pool is wasted.
@@ -430,6 +552,67 @@ mod tests {
         cache.invalidate_schema("s");
         assert!(!cache.is_fresh(&key, t0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_partials_cold_build_matches_run_sharded() {
+        let t = facts(300);
+        let reg = MetricsRegistry::disabled();
+        let pool = PoolConfig::new(3).with_shards(8);
+        let reference = run_sharded(&q(), &t, pool, &reg, "jobfact").unwrap();
+        let partials =
+            ShardedPartials::build(&q(), t.schema(), t.rows(), pool, &reg, "jobfact").unwrap();
+        assert_eq!(partials.shard_count(), 8);
+        assert_eq!(partials.rows_folded(), 300);
+        assert_eq!(partials.finalize(&q(), t.schema()).unwrap(), reference);
+    }
+
+    #[test]
+    fn delta_folds_match_full_recompute_at_every_step() {
+        let reg = MetricsRegistry::disabled();
+        let pool = PoolConfig::new(2).with_shards(5);
+        let full = facts(256);
+        let rows = full.rows();
+
+        // Cold-build over a prefix, then fold the rest in uneven batches,
+        // checking against a from-scratch recompute after every batch.
+        let mut grown = facts(64);
+        let mut partials =
+            ShardedPartials::build(&q(), grown.schema(), grown.rows(), pool, &reg, "jobfact")
+                .unwrap();
+        let mut upto = 64;
+        for batch in [1usize, 7, 40, 88] {
+            let delta: Vec<_> = rows[upto..upto + batch].to_vec();
+            grown.insert_batch(delta.clone()).unwrap();
+            let dirty = partials.fold_batch(&q(), grown.schema(), &delta).unwrap();
+            assert!(dirty >= 1 && dirty <= 5.min(batch));
+            upto += batch;
+            let recompute = run_sharded(&q(), &grown, pool, &reg, "jobfact").unwrap();
+            assert_eq!(
+                partials.finalize(&q(), grown.schema()).unwrap(),
+                recompute,
+                "after growing to {upto} rows"
+            );
+        }
+        assert_eq!(partials.rows_folded(), 256);
+    }
+
+    #[test]
+    fn empty_delta_batch_dirties_nothing() {
+        let t = facts(32);
+        let reg = MetricsRegistry::disabled();
+        let mut partials = ShardedPartials::build(
+            &q(),
+            t.schema(),
+            t.rows(),
+            PoolConfig::serial(),
+            &reg,
+            "jobfact",
+        )
+        .unwrap();
+        let before = partials.finalize(&q(), t.schema()).unwrap();
+        assert_eq!(partials.fold_batch(&q(), t.schema(), &[]).unwrap(), 0);
+        assert_eq!(partials.finalize(&q(), t.schema()).unwrap(), before);
     }
 
     #[test]

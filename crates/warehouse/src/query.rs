@@ -280,13 +280,7 @@ impl Acc {
                 }
             }
             (Acc::Distinct(a), Acc::Distinct(b)) => a.extend(b),
-            (
-                Acc::Weighted { num, den },
-                Acc::Weighted {
-                    num: n2,
-                    den: d2,
-                },
-            ) => {
+            (Acc::Weighted { num, den }, Acc::Weighted { num: n2, den: d2 }) => {
                 *num += n2;
                 *den += d2;
             }
@@ -433,6 +427,31 @@ impl Query {
             plan.fold_row(&mut groups, row);
         }
         Ok(PartialAggregation { groups })
+    }
+
+    /// Fold additional rows into an existing partial — the
+    /// incremental-maintenance primitive behind the delta-fold engine.
+    ///
+    /// Folding batch `a` and then batch `b` into a partial leaves exactly
+    /// the accumulator state of folding `a ++ b` in one pass: each row is
+    /// applied to its group's accumulator in arrival order, so
+    /// `fold(fold(P, a), b) == recompute(a ++ b)` holds bitwise — counts,
+    /// min/max, and distinct sets always; float sums because the
+    /// *sequence* of additions is identical, not merely the operand set.
+    pub fn fold_partial<'a, I>(
+        &self,
+        schema: &TableSchema,
+        partial: &mut PartialAggregation,
+        rows: I,
+    ) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Row>,
+    {
+        let plan = AggPlan::resolve(self, schema)?;
+        for row in rows {
+            plan.fold_row(&mut partial.groups, row);
+        }
+        Ok(())
     }
 
     /// Turn a (merged) partial state into the final result set: SQL
@@ -657,6 +676,24 @@ impl PartialAggregation {
     /// Number of distinct group keys folded so far.
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Wrap an already-folded group map (the sharded engine's per-shard
+    /// state) as a retainable partial.
+    pub(crate) fn from_groups(groups: Groups) -> Self {
+        PartialAggregation { groups }
+    }
+
+    /// Fold one more row through a resolved plan — the delta-fold hot
+    /// path, continuing the accumulator sequence a cold build started.
+    pub(crate) fn fold_row_with(&mut self, plan: &AggPlan<'_>, row: &Row) {
+        plan.fold_row(&mut self.groups, row);
+    }
+
+    /// Clone the group map (finalization merges clones so the retained
+    /// state survives for the next delta).
+    pub(crate) fn groups_clone(&self) -> Groups {
+        self.groups.clone()
     }
 }
 
@@ -981,6 +1018,29 @@ mod tests {
             .run(&t)
             .unwrap();
         assert_eq!(rs.scalar_f64("n"), Some(2.0));
+    }
+
+    #[test]
+    fn fold_partial_matches_single_pass_recompute() {
+        let t = jobs_table();
+        let query = Query::new()
+            .group_by_column("resource")
+            .aggregate(Aggregate::count("jobs"))
+            .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"))
+            .aggregate(Aggregate::of(AggFn::Avg, "wall_hours", "avg_wall"))
+            .aggregate(Aggregate::of(AggFn::CountDistinct, "user", "users"));
+        let rows = t.rows();
+        for split in 0..=rows.len() {
+            let mut partial = PartialAggregation::default();
+            query
+                .fold_partial(t.schema(), &mut partial, &rows[..split])
+                .unwrap();
+            query
+                .fold_partial(t.schema(), &mut partial, &rows[split..])
+                .unwrap();
+            let folded = query.finalize_partials(t.schema(), partial).unwrap();
+            assert_eq!(folded, query.run(&t).unwrap(), "split at {split}");
+        }
     }
 
     #[test]

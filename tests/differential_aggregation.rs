@@ -16,17 +16,28 @@
 //! noise. On mismatch the harness greedily shrinks the table to a
 //! minimal reproducing row set and panics with a replayable report.
 //!
+//! A fifth arm proves **incremental aggregation**: ingest-heavy seeded
+//! schedules drive `Database::run_delta_fold` batch by batch, and after
+//! every batch the delta-folded answer must be byte-identical to a full
+//! sharded recompute and semantically equal to the brute-force oracle —
+//! while the engine stays on the incremental path (any silent fallback
+//! is itself a failure). Divergences shrink to a minimal reproducing
+//! *ingest schedule*. When `INCR_ORACLE_REPORT` names a path, the sweep
+//! writes a JSON report (including any shrunk reproducer) there for the
+//! CI artifact.
+//!
 //! Run one seed with `DIFF_SEED=<n> cargo test --test
 //! differential_aggregation`.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use xdmod::chaos::DeterministicRng;
 use xdmod::telemetry::MetricsRegistry;
 use xdmod::warehouse::{
-    run_sharded, shared, AggFn, Aggregate, CivilDate, ColumnType, Database, GroupKey, Period,
-    PoolConfig, Predicate, Query, Row, SchemaBuilder, Table, Value,
+    run_sharded, shared, AggFn, Aggregate, CacheKey, CivilDate, ColumnType, Database, DeltaOutcome,
+    DiskBackend, DiskOptions, FallbackReason, GroupKey, Period, PoolConfig, Predicate, Query, Row,
+    SchemaBuilder, Table, Value,
 };
 
 /// Seeds swept by default; `DIFF_SEED` narrows the run to one seed.
@@ -561,4 +572,452 @@ fn oracle_holds_under_concurrent_ingest_and_cache_invalidation() {
         misses >= 1,
         "expected at least one aggregate-cache miss, got {misses}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-vs-recompute arm: delta folds riding the binlog
+// ---------------------------------------------------------------------------
+
+/// Batches of rows applied in order — the unit the incremental arm
+/// generates, checks after, and shrinks over.
+type IngestSchedule = Vec<Vec<Row>>;
+
+fn random_schedule(rng: &mut DeterministicRng) -> IngestSchedule {
+    let batches = rng.gen_range(2, 8) as usize;
+    (0..batches)
+        .map(|_| {
+            let n = rng.gen_range(0, 60) as usize;
+            (0..n).map(|_| random_row(rng)).collect()
+        })
+        .collect()
+}
+
+fn fresh_incremental_db(pool: PoolConfig) -> Database {
+    let mut db = Database::new();
+    db.set_parallelism(pool);
+    db.create_schema("s").expect("schema creates");
+    db.create_table("s", fact_schema()).expect("table creates");
+    db
+}
+
+/// Replay `schedule` into a fresh database, delta-folding after every
+/// batch, and report the first step where the incremental answer
+/// diverges from a full sharded recompute or the brute-force oracle —
+/// or where the engine silently left the incremental path. This is both
+/// the oracle check and the schedule-shrinking predicate.
+fn incremental_divergence(schedule: &[Vec<Row>], spec: &Spec, pool: PoolConfig) -> Option<String> {
+    let mut db = fresh_incremental_db(pool);
+    let query = spec.query();
+    let mut accumulated: Vec<Row> = Vec::new();
+    for (step, batch) in schedule.iter().enumerate() {
+        if let Err(e) = db.insert("s", "fact", batch.clone()) {
+            return Some(format!("step {step}: ingest errored: {e}"));
+        }
+        accumulated.extend(batch.iter().cloned());
+        let (incr, report) = match db.run_delta_fold("s", "fact", &query, "fact") {
+            Ok(r) => r,
+            Err(e) => return Some(format!("step {step}: delta fold errored: {e}")),
+        };
+        // Nothing in an insert-only schedule justifies a fallback: the
+        // first pass must be a cold build and every later one a fold.
+        let expected_incremental = step > 0;
+        if expected_incremental != report.is_incremental() {
+            return Some(format!(
+                "step {step}: engine left the incremental path: expected {}, got {:?}",
+                if expected_incremental {
+                    "Incremental"
+                } else {
+                    "Cold"
+                },
+                report.outcome,
+            ));
+        }
+        if report.is_incremental() && report.rows_folded != batch.len() {
+            return Some(format!(
+                "step {step}: folded {} record(s), batch had {}",
+                report.rows_folded,
+                batch.len()
+            ));
+        }
+        let recompute = match db.query_sharded("s", "fact", &query) {
+            Ok(rs) => rs,
+            Err(e) => return Some(format!("step {step}: recompute errored: {e}")),
+        };
+        if incr != recompute {
+            return Some(format!(
+                "step {step}: incremental diverged from full recompute\n  incremental: {:?}\n  recompute:   {:?}",
+                incr.rows, recompute.rows
+            ));
+        }
+        let mut oracle_table = Table::new(fact_schema());
+        oracle_table
+            .insert_batch(accumulated.clone())
+            .expect("accumulated rows fit the schema");
+        let brute = brute_force(&oracle_table, spec);
+        if incr.rows != brute {
+            return Some(format!(
+                "step {step}: incremental diverged from brute-force oracle\n  incremental: {:?}\n  brute:       {:?}",
+                incr.rows, brute
+            ));
+        }
+    }
+    None
+}
+
+/// Greedily shrink a diverging ingest schedule: drop whole batches, then
+/// single rows within batches, while the divergence persists.
+fn shrink_schedule(
+    seed: u64,
+    schedule: &IngestSchedule,
+    spec: &Spec,
+    pool: PoolConfig,
+    first: String,
+) -> String {
+    let mut schedule = schedule.to_vec();
+    loop {
+        let mut shrunk = false;
+        for i in 0..schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            if incremental_divergence(&candidate, spec, pool).is_some() {
+                schedule = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        'rows: for b in 0..schedule.len() {
+            for r in 0..schedule[b].len() {
+                let mut candidate = schedule.clone();
+                candidate[b].remove(r);
+                if incremental_divergence(&candidate, spec, pool).is_some() {
+                    schedule = candidate;
+                    shrunk = true;
+                    break 'rows;
+                }
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    let last = incremental_divergence(&schedule, spec, pool)
+        .unwrap_or_else(|| "(not reproducible after shrink)".to_owned());
+    format!(
+        "seed {seed}: {first}\n\nminimal reproducing ingest schedule ({} batch(es), {} row(s)):\n{}\nquery spec: {spec:?}\npool: workers={} shards={}\nfinal divergence: {last}\nreplay with: DIFF_SEED={seed} cargo test --test differential_aggregation incremental",
+        schedule.len(),
+        schedule.iter().map(Vec::len).sum::<usize>(),
+        schedule
+            .iter()
+            .enumerate()
+            .map(|(i, b)| format!("  batch {i}: {b:?}\n"))
+            .collect::<String>(),
+        pool.workers(),
+        pool.shards(),
+    )
+}
+
+/// Per-seed results accumulated for the `INCR_ORACLE_REPORT` artifact.
+static INCR_REPORT: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn record_incr_case(seed: u64, batches: usize, rows: usize, failure: Option<&str>) {
+    let status = match failure {
+        None => r#""ok""#.to_owned(),
+        Some(report) => format!(
+            r#""diverged","reproducer":{:?}"#,
+            report // JSON-escaped via Debug
+        ),
+    };
+    INCR_REPORT.lock().expect("report lock").push(format!(
+        r#"{{"seed":{seed},"batches":{batches},"rows":{rows},"status":{status}}}"#
+    ));
+}
+
+/// Write the accumulated sweep to `INCR_ORACLE_REPORT` when set (the CI
+/// incremental-oracle job archives it).
+fn flush_incr_report() {
+    let Ok(path) = std::env::var("INCR_ORACLE_REPORT") else {
+        return;
+    };
+    let cases = INCR_REPORT.lock().expect("report lock");
+    let doc = format!(
+        r#"{{"oracle":"incremental-vs-recompute","cases":[{}],"total":{}}}"#,
+        cases.join(","),
+        cases.len(),
+    );
+    let _ = std::fs::write(&path, doc);
+}
+
+#[test]
+fn incremental_and_full_recompute_agree_across_ingest_schedules() {
+    let mut failures = Vec::new();
+    for seed in seeds_under_test() {
+        // Distinct stream from the table-shape arm so the two sweeps
+        // explore independent workloads.
+        let mut rng = DeterministicRng::new(seed.wrapping_mul(2_654_435_761).wrapping_add(101));
+        let schedule = random_schedule(&mut rng);
+        let batches = schedule.len();
+        let rows = schedule.iter().map(Vec::len).sum();
+        let mut seed_failure: Option<String> = None;
+        'specs: for _ in 0..3 {
+            let spec = Spec::random(&mut rng);
+            for pool in [pools()[1], pools()[3]] {
+                if let Some(first) = incremental_divergence(&schedule, &spec, pool) {
+                    let report = shrink_schedule(seed, &schedule, &spec, pool, first);
+                    seed_failure = Some(report);
+                    break 'specs;
+                }
+            }
+        }
+        record_incr_case(seed, batches, rows, seed_failure.as_deref());
+        if let Some(report) = seed_failure {
+            failures.push(report);
+        }
+    }
+    flush_incr_report();
+    assert!(
+        failures.is_empty(),
+        "{} seed(s) diverged on the incremental arm:\n\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn incremental_fallback_triggers_rebuild_not_stale_results() {
+    // External rebuild: the fold must restart cold, never serve partials
+    // folded before the rewrite.
+    let mut rng = DeterministicRng::new(99);
+    let spec = Spec {
+        filters: Vec::new(),
+        group: vec![
+            GroupKey::Column("resource".to_owned()),
+            GroupKey::PeriodOf("end_time".to_owned(), Period::Day),
+        ],
+        aggs: vec![
+            (Fun::Count, None),
+            (Fun::Sum, Some("cpu_hours")),
+            (Fun::CountDistinct, Some("cores")),
+        ],
+    };
+    let query = spec.query();
+    let mut db = fresh_incremental_db(PoolConfig::new(3).with_shards(6));
+    let first: Vec<Row> = (0..50).map(|_| random_row(&mut rng)).collect();
+    db.insert("s", "fact", first.clone()).expect("ingest");
+    db.run_delta_fold("s", "fact", &query, "fact")
+        .expect("cold fold");
+
+    let second: Vec<Row> = (0..20).map(|_| random_row(&mut rng)).collect();
+    db.insert("s", "fact", second.clone()).expect("ingest");
+    db.note_external_rebuild();
+    let (rs, report) = db
+        .run_delta_fold("s", "fact", &query, "fact")
+        .expect("fold");
+    assert_eq!(
+        report.outcome,
+        DeltaOutcome::Cold,
+        "cursors must not survive an external rebuild"
+    );
+    let mut oracle_table = Table::new(fact_schema());
+    let mut all = first;
+    all.extend(second);
+    oracle_table.insert_batch(all).expect("rows fit");
+    assert_eq!(rs.rows, brute_force(&oracle_table, &spec));
+    assert_eq!(
+        rs,
+        db.query_sharded("s", "fact", &query).expect("recompute")
+    );
+
+    // Fact-table truncate arriving in the delta: fold cannot unfold
+    // removed rows and must rebuild.
+    db.truncate("s", "fact").expect("truncate");
+    let third: Vec<Row> = (0..10).map(|_| random_row(&mut rng)).collect();
+    db.insert("s", "fact", third.clone()).expect("ingest");
+    let (rs, report) = db
+        .run_delta_fold("s", "fact", &query, "fact")
+        .expect("fold");
+    assert_eq!(
+        report.fallback_reason(),
+        Some(FallbackReason::FactRewrite),
+        "a truncate in the delta must force a full rebuild"
+    );
+    let mut oracle_table = Table::new(fact_schema());
+    oracle_table.insert_batch(third).expect("rows fit");
+    assert_eq!(rs.rows, brute_force(&oracle_table, &spec));
+}
+
+#[test]
+fn incremental_compaction_fallback_against_disk_backend() {
+    // Snapshot-triggered binlog compaction can outrun a retained cursor;
+    // against the durable backend the fold must detect `CompactedAway`
+    // and rebuild from the live table, never half-apply a vanished delta.
+    static DIR_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "xdmod-incr-oracle-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let opts = DiskOptions::new(&dir).fsync(false).segment_max_bytes(512);
+    let backend = DiskBackend::open(opts).expect("open backend");
+    let mut db = Database::open(Box::new(backend)).expect("open db");
+    db.set_parallelism(PoolConfig::new(2).with_shards(5));
+    db.create_schema("s").expect("schema");
+    db.create_table("s", fact_schema()).expect("table");
+
+    let mut rng = DeterministicRng::new(4242);
+    let spec = Spec {
+        filters: Vec::new(),
+        group: vec![GroupKey::PeriodOf("end_time".to_owned(), Period::Month)],
+        aggs: vec![(Fun::Count, None), (Fun::Avg, Some("cpu_hours"))],
+    };
+    let query = spec.query();
+    let mut all: Vec<Row> = (0..40).map(|_| random_row(&mut rng)).collect();
+    db.insert("s", "fact", all.clone()).expect("ingest");
+    let (_, report) = db
+        .run_delta_fold("s", "fact", &query, "fact")
+        .expect("fold");
+    assert_eq!(report.outcome, DeltaOutcome::Cold);
+    let cursor = db.binlog_position();
+
+    // Ingest + snapshot twice: the compaction horizon trails one
+    // snapshot behind, so the second pass pushes it past the cursor.
+    for _ in 0..2 {
+        let batch: Vec<Row> = (0..15).map(|_| random_row(&mut rng)).collect();
+        db.insert("s", "fact", batch.clone()).expect("ingest");
+        all.extend(batch);
+        db.snapshot_now().expect("snapshot");
+    }
+    assert!(
+        db.compaction_horizon() > cursor.seqno,
+        "compaction must have outrun the cursor for this test to bite"
+    );
+
+    let (rs, report) = db
+        .run_delta_fold("s", "fact", &query, "fact")
+        .expect("fold");
+    assert_eq!(
+        report.fallback_reason(),
+        Some(FallbackReason::CompactedAway),
+        "a cursor below the compaction horizon must force a full rebuild"
+    );
+    let mut oracle_table = Table::new(fact_schema());
+    oracle_table.insert_batch(all).expect("rows fit");
+    assert_eq!(rs.rows, brute_force(&oracle_table, &spec));
+    assert_eq!(
+        rs,
+        db.query_sharded("s", "fact", &query).expect("recompute")
+    );
+
+    // The rebuilt cursor folds incrementally again.
+    db.insert("s", "fact", vec![random_row(&mut rng)])
+        .expect("ingest");
+    let (_, report) = db
+        .run_delta_fold("s", "fact", &query, "fact")
+        .expect("fold");
+    assert!(report.is_incremental());
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn incremental_folds_race_cached_reads_without_serving_stale_state() {
+    let registry = MetricsRegistry::new();
+    let mut db = Database::new();
+    db.set_telemetry(registry.clone());
+    db.set_parallelism(PoolConfig::new(4).with_shards(6));
+    db.create_schema("s").expect("schema creates");
+    db.create_table("s", fact_schema()).expect("table creates");
+    let db = shared(db);
+
+    let query = Query::new()
+        .group_by_period("end_time", Period::Day)
+        .aggregate(Aggregate::count("n"))
+        .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let mut rng = DeterministicRng::new(23);
+            for _ in 0..30 {
+                let rows = (0..8).map(|_| random_row(&mut rng)).collect();
+                db.write()
+                    .insert("s", "fact", rows)
+                    .expect("ingest succeeds");
+            }
+        })
+    };
+    let folder = {
+        let db = Arc::clone(&db);
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let mut incremental_passes = 0usize;
+            for _ in 0..30 {
+                // One read guard spans the fold and its check recompute,
+                // so both see the same snapshot: a delta fold racing
+                // ingest must still match a from-scratch answer at the
+                // instant it ran.
+                let d = db.read();
+                let (rs, report) = d
+                    .run_delta_fold("s", "fact", &query, "fact")
+                    .expect("fold succeeds");
+                let recompute = d.query_sharded("s", "fact", &query).expect("recompute");
+                assert_eq!(rs, recompute, "mid-race fold diverged from recompute");
+                if report.is_incremental() {
+                    incremental_passes += 1;
+                }
+            }
+            incremental_passes
+        })
+    };
+    let reader = {
+        let db = Arc::clone(&db);
+        let query = query.clone();
+        std::thread::spawn(move || {
+            for _ in 0..30 {
+                db.read()
+                    .query_cached("s", "fact", &query)
+                    .expect("cached query under racing folds succeeds");
+            }
+        })
+    };
+    writer.join().expect("writer completes");
+    let incremental_passes = folder.join().expect("folder completes");
+    reader.join().expect("reader completes");
+    assert!(
+        incremental_passes >= 1,
+        "at least one racing fold should have taken the incremental path"
+    );
+
+    // Quiescent: the retained cursor has caught up with the fact table's
+    // rebuild ticket — a cache entry is only valid at exactly this pair.
+    let d = db.read();
+    let (rs, _) = d
+        .run_delta_fold("s", "fact", &query, "fact")
+        .expect("final fold");
+    let key = CacheKey {
+        schema: "s".to_owned(),
+        table: "fact".to_owned(),
+        fingerprint: query.fingerprint(),
+    };
+    let cursor = d.delta_cache().cursor_of(&key).expect("retained entry");
+    assert_eq!(
+        cursor,
+        d.binlog_position(),
+        "cursor must sit at the log head"
+    );
+    let ticket = d.rebuild_ticket("s", "fact");
+    assert_eq!(
+        ticket.watermark,
+        Some(cursor),
+        "fact watermark and delta cursor must agree at quiescence"
+    );
+    let cached = d.query_cached("s", "fact", &query).expect("cached query");
+    assert_eq!(
+        rs, cached,
+        "cached entry served at a ticket the cursor does not match"
+    );
+    assert_eq!(rs, d.query_sharded("s", "fact", &query).expect("recompute"));
+    assert_eq!(d.table("s", "fact").expect("fact").len(), 30 * 8);
 }

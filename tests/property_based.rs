@@ -3,10 +3,12 @@
 
 use proptest::prelude::*;
 use xdmod::warehouse::binlog::{decode_payload, decode_stream, encode_payload, Binlog};
-use xdmod::warehouse::time::{civil_from_days, days_from_civil, parse_iso_datetime, format_iso_datetime};
+use xdmod::warehouse::time::{
+    civil_from_days, days_from_civil, format_iso_datetime, parse_iso_datetime,
+};
 use xdmod::warehouse::{
     run_sharded, AggFn, Aggregate, Bin, Bins, ColumnType, EventPayload, LogPosition, Period,
-    PoolConfig, Query, Row, SchemaBuilder, Snapshot, Table, Value,
+    PoolConfig, Query, Row, SchemaBuilder, ShardedPartials, Snapshot, Table, Value,
 };
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -377,6 +379,77 @@ proptest! {
         )
         .unwrap();
         prop_assert_eq!(got, query.run(&table).unwrap());
+    }
+
+    // The incremental-aggregation algebra: folding rows into retained
+    // state in two stages, split at an arbitrary watermark point, must
+    // finalize byte-identically to a single-pass recompute of the whole
+    // stream — for every aggregation function at once. Dyadic values
+    // (n/64) keep float sums exact, so equality is `==`, not epsilon.
+    #[test]
+    fn delta_fold_equals_recompute_at_any_watermark_split(
+        raw in prop::collection::vec((0u32..4096, 0u8..5, 0i64..200, any::<bool>()), 0..200),
+        split in 0usize..201,
+        workers in 0usize..5,
+        shards in 0usize..9,
+    ) {
+        let mut table = Table::new(
+            SchemaBuilder::new("t")
+                .required("k", ColumnType::Str)
+                .required("v", ColumnType::Float)
+                .nullable("ts", ColumnType::Time)
+                .build()
+                .unwrap(),
+        );
+        table
+            .insert_batch(
+                raw.iter()
+                    .map(|(v, k, d, null_ts)| {
+                        vec![
+                            Value::Str(format!("k{k}")),
+                            Value::Float(*v as f64 / 64.0),
+                            if *null_ts { Value::Null } else { Value::Time(*d * 86_400) },
+                        ]
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        let query = Query::new()
+            .group_by_period("ts", Period::Month)
+            .group_by_column("k")
+            .aggregate(Aggregate::count("n"))
+            .aggregate(Aggregate::of(AggFn::Sum, "v", "sum"))
+            .aggregate(Aggregate::of(AggFn::Avg, "v", "avg"))
+            .aggregate(Aggregate::of(AggFn::Min, "v", "min"))
+            .aggregate(Aggregate::of(AggFn::Max, "v", "max"))
+            .aggregate(Aggregate::of(AggFn::CountDistinct, "v", "uniq"));
+        let schema = table.schema();
+        let rows = table.rows();
+        let split = split.min(rows.len());
+        let (a, b) = rows.split_at(split);
+        let whole = query.run(&table).unwrap();
+
+        // fold(fold(P, a), b) == recompute(a ++ b), serial primitive.
+        let mut partial = xdmod::warehouse::PartialAggregation::default();
+        query.fold_partial(schema, &mut partial, a.iter()).unwrap();
+        query.fold_partial(schema, &mut partial, b.iter()).unwrap();
+        prop_assert_eq!(&query.finalize_partials(schema, partial).unwrap(), &whole);
+
+        // The same algebra through the sharded retained state the delta
+        // engine actually keeps: cold build over the prefix, one delta
+        // batch for the suffix, finalize.
+        let pool = PoolConfig::new(workers).with_shards(shards);
+        let telemetry = xdmod::telemetry::MetricsRegistry::disabled();
+        let mut sp = ShardedPartials::build(&query, schema, a, pool, &telemetry, "t").unwrap();
+        let dirty = sp.fold_batch(&query, schema, b).unwrap();
+        prop_assert!(dirty <= sp.shard_count());
+        prop_assert_eq!(sp.rows_folded(), rows.len());
+        prop_assert_eq!(&sp.finalize(&query, schema).unwrap(), &whole);
+        // And against the one-shot sharded engine, same pool geometry.
+        prop_assert_eq!(
+            &run_sharded(&query, &table, pool, &telemetry, "t").unwrap(),
+            &whole
+        );
     }
 
     #[test]
