@@ -23,7 +23,9 @@ pub fn parse_log(log: &str) -> Result<Vec<KernelRun>, String> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 6 || fields[0] != "ak" {
-            return Err(format!("line {lineno}: expected 'ak <kernel> <resource> <nodes> <ts> <value>'"));
+            return Err(format!(
+                "line {lineno}: expected 'ak <kernel> <resource> <nodes> <ts> <value>'"
+            ));
         }
         let nodes: i64 = fields[3]
             .parse()
@@ -38,7 +40,9 @@ pub fn parse_log(log: &str) -> Result<Vec<KernelRun>, String> {
             return Err(format!("line {lineno}: node count must be positive"));
         }
         if !value.is_finite() || value < 0.0 {
-            return Err(format!("line {lineno}: value must be finite and non-negative"));
+            return Err(format!(
+                "line {lineno}: value must be finite and non-negative"
+            ));
         }
         runs.push(KernelRun {
             kernel: fields[1].to_owned(),
@@ -78,8 +82,8 @@ pub fn series(
     let n = s.column_index("nodes")?;
     let ts = s.column_index("ts")?;
     let v = s.column_index("value")?;
-    let mut rows: Vec<(i64, f64)> = t
-        .rows()
+    let table_rows = t.rows()?;
+    let mut rows: Vec<(i64, f64)> = table_rows
         .iter()
         .filter(|row| {
             row[k].as_str() == Some(kernel)
@@ -123,12 +127,12 @@ ak hpcc_dgemm rush 1 1483228800 21.5
     #[test]
     fn malformed_lines_error() {
         for bad in [
-            "ak nwchem rush 4 1483228800",       // missing value
-            "xx nwchem rush 4 1483228800 1.0",   // wrong tag
-            "ak nwchem rush 0 1483228800 1.0",   // zero nodes
-            "ak nwchem rush 4 soon 1.0",         // bad ts
-            "ak nwchem rush 4 1483228800 -1.0",  // negative value
-            "ak nwchem rush 4 1483228800 inf",   // non-finite
+            "ak nwchem rush 4 1483228800",      // missing value
+            "xx nwchem rush 4 1483228800 1.0",  // wrong tag
+            "ak nwchem rush 0 1483228800 1.0",  // zero nodes
+            "ak nwchem rush 4 soon 1.0",        // bad ts
+            "ak nwchem rush 4 1483228800 -1.0", // negative value
+            "ak nwchem rush 4 1483228800 inf",  // non-finite
         ] {
             assert!(parse_log(bad).is_err(), "{bad} accepted");
         }

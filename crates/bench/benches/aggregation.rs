@@ -325,6 +325,84 @@ fn bench_aggregation_incremental(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_aggregation_paged(c: &mut Criterion) {
+    // The cold-shard paging engine vs the fully-resident store, same
+    // 12-month fact table and the same sharded query. The paged variants
+    // run under working-set budgets far below the table's footprint, so
+    // every scan pays spill fault-ins; the gap is the price of running a
+    // warehouse larger than RAM.
+    let mut g = c.benchmark_group("aggregation_paged");
+    g.sample_size(10);
+    let inst = instance_with_jobs(12);
+    let db = inst.database();
+    let schema = inst.schema_name();
+    let query = Query::new()
+        .group_by_period("end_time", Period::Day)
+        .group_by_column("resource")
+        .aggregate(Aggregate::count("jobs"))
+        .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "cpu"));
+    let (table_def, rows, resident_result) = {
+        let db = db.read();
+        let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
+        (
+            t.schema().clone(),
+            t.rows().unwrap().into_vec(),
+            query.run(t).unwrap(),
+        )
+    };
+
+    g.bench_function("resident_baseline", |b| {
+        b.iter(|| {
+            let db = db.read();
+            let t = db.table(&schema, jobs::FACT_TABLE).unwrap();
+            black_box(query.run(t).unwrap().len())
+        })
+    });
+
+    for (name, budget) in [
+        ("paged_64k_budget", 64 * 1024u64),
+        ("paged_4k_budget", 4 * 1024),
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("xdmod-bench-paged-{}-{name}", std::process::id()));
+        let mut paged = xdmod_warehouse::Database::new();
+        paged.set_parallelism(PoolConfig::new(4).with_shards(8));
+        paged
+            .enable_paging(
+                xdmod_warehouse::PagingConfig::new(&dir)
+                    .budget_bytes(budget)
+                    .pages_per_table(16),
+            )
+            .unwrap();
+        paged.create_schema(&schema).unwrap();
+        paged.create_table(&schema, table_def.clone()).unwrap();
+        paged
+            .insert(&schema, jobs::FACT_TABLE, rows.clone())
+            .unwrap();
+        // Paged and resident engines must agree byte-for-byte before the
+        // timing means anything.
+        assert_eq!(
+            paged
+                .query_sharded(&schema, jobs::FACT_TABLE, &query)
+                .unwrap(),
+            resident_result
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    paged
+                        .query_sharded(&schema, jobs::FACT_TABLE, &query)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+        drop(paged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
 fn bench_su_conversion(c: &mut Criterion) {
     // Ingest-time SU conversion overhead: parse+shred with and without a
     // configured conversion factor (the factor path multiplies per row).
@@ -368,6 +446,7 @@ criterion_group!(
     bench_parallel_vs_serial_engine,
     bench_materialize_cache,
     bench_aggregation_incremental,
+    bench_aggregation_paged,
     bench_su_conversion
 );
 criterion_main!(benches);

@@ -110,6 +110,22 @@ fn main() {
         "incremental aggregation diverged from full rebuild"
     );
 
+    let paged = timed(&mut timings, "paged_aggregation", || {
+        exp::paged_aggregation(exp::SEED, 12, 4, 64 * 1024)
+    });
+    println!(
+        "  table {} B under a {} B budget: resident {:.4}s vs paged {:.4}s ({:.1}x), {} fault-ins, {} evictions, identical: {}",
+        paged.table_bytes,
+        paged.budget_bytes,
+        paged.resident_seconds,
+        paged.paged_seconds,
+        paged.paged_seconds / paged.resident_seconds.max(1e-9),
+        paged.fault_ins,
+        paged.evictions,
+        paged.identical
+    );
+    assert!(paged.identical, "paged aggregation diverged from resident");
+
     let gw = timed(&mut timings, "gateway_throughput", || {
         exp::gateway_throughput(exp::SEED, 200)
     });
@@ -145,6 +161,18 @@ fn main() {
             "records_folded": incr.records_folded,
             "speedup_vs_full_rebuild": incr.full_rebuild_seconds / incr.incremental_seconds.max(1e-9),
             "identical_output": incr.identical,
+        },
+        "paged_aggregation": {
+            "months": 12,
+            "workers": 4,
+            "budget_bytes": paged.budget_bytes,
+            "table_bytes": paged.table_bytes,
+            "resident_seconds": paged.resident_seconds,
+            "paged_seconds": paged.paged_seconds,
+            "slowdown_vs_resident": paged.paged_seconds / paged.resident_seconds.max(1e-9),
+            "fault_ins": paged.fault_ins,
+            "evictions": paged.evictions,
+            "identical_output": paged.identical,
         },
         "gateway_throughput": {
             "requests_per_regime": gw.requests,

@@ -100,6 +100,12 @@ pub enum FaultPoint {
     /// The disk storage backend writing a snapshot file
     /// (`DiskBackend::write_snapshot`).
     SnapshotWrite,
+    /// The paging engine spilling a cold page to its per-shard spill file
+    /// (`SpillFile::write`).
+    SpillWrite,
+    /// The paging engine reading a spilled page back in on the query path
+    /// (`SpillFile::read`).
+    SpillRead,
 }
 
 impl fmt::Display for FaultPoint {
@@ -112,6 +118,8 @@ impl fmt::Display for FaultPoint {
             FaultPoint::SocketRead => "socket-read",
             FaultPoint::SegmentAppend => "segment-append",
             FaultPoint::SnapshotWrite => "snapshot-write",
+            FaultPoint::SpillWrite => "spill-write",
+            FaultPoint::SpillRead => "spill-read",
         })
     }
 }
@@ -691,6 +699,8 @@ mod tests {
         assert_eq!(FaultPoint::SocketRead.to_string(), "socket-read");
         assert_eq!(FaultPoint::SegmentAppend.to_string(), "segment-append");
         assert_eq!(FaultPoint::SnapshotWrite.to_string(), "snapshot-write");
+        assert_eq!(FaultPoint::SpillWrite.to_string(), "spill-write");
+        assert_eq!(FaultPoint::SpillRead.to_string(), "spill-read");
         let record = FaultRecord {
             seq: 3,
             op: 17,

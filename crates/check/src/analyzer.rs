@@ -9,7 +9,7 @@
 use crate::diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 use crate::model::{
     alert_families, FederationModel, SatelliteModel, DEFAULT_ALERT_DEBOUNCE_MS,
-    DEFAULT_ALERT_RESOLVE_TIMEOUT_MS,
+    DEFAULT_ALERT_RESOLVE_TIMEOUT_MS, PAGING_UNBOUNDED_BUDGET_MB,
 };
 
 /// Run every check over the model.
@@ -29,6 +29,7 @@ pub fn analyze(model: &FederationModel) -> Diagnostics {
     check_gateway_pool(model, &mut diags);
     check_alert_rules(model, &mut diags);
     check_storage_config(model, &mut diags);
+    check_paging_config(model, &mut diags);
     diags
 }
 
@@ -680,6 +681,74 @@ fn check_storage_config(model: &FederationModel, diags: &mut Diagnostics) {
     }
 }
 
+/// XC0015 — the `storage.paging` stanza is unusable or self-defeating.
+///
+/// Paging makes the warehouse larger than RAM by spilling cold
+/// day-bucket shards to disk. A spill file is a *cache*: when one is
+/// lost or corrupt, the residency manager declares the shard Lost and
+/// the only repair source is the durable write-ahead log. Classes:
+///
+/// - **paging without a durable disk backend** — a Lost shard could
+///   never be rebuilt; the first evicted shard is one disk hiccup away
+///   from permanent data loss (error);
+/// - **zero working-set budget / zero pages** — a budget too small to
+///   hold even one resident shard means every scan faults its shard in
+///   and immediately evicts it again; nothing can stay resident (error);
+/// - **unbounded budget** — at or above
+///   [`PAGING_UNBOUNDED_BUDGET_MB`], the budget can never fill, no
+///   shard ever spills, and paging is pure bookkeeping overhead
+///   (warning).
+fn check_paging_config(model: &FederationModel, diags: &mut Diagnostics) {
+    let Some(storage) = model.storage.as_ref() else {
+        return;
+    };
+    let Some(paging) = storage.paging.as_ref() else {
+        return;
+    };
+    let durable = storage.backend.as_deref() == Some("disk") && storage.dir.is_some();
+    if !durable {
+        diags.push(
+            Diagnostic::new(
+                Code::PagingConfigInvalid,
+                Span::federation(),
+                "storage.paging is configured without a durable disk backend: a \
+                 corrupt or missing spill file can only be repaired by replaying \
+                 the write-ahead log, and the memory backend has none — the first \
+                 evicted shard risks permanent loss",
+            )
+            .with_help("set storage.backend to \"disk\" with a dir, or drop the paging stanza"),
+        );
+    }
+    if paging.budget_mb == Some(0) || paging.pages_per_table == Some(0) {
+        diags.push(
+            Diagnostic::new(
+                Code::PagingConfigInvalid,
+                Span::federation(),
+                "storage.paging budget is smaller than a single shard: no page can \
+                 stay resident, so every scan faults its shard in from disk and \
+                 immediately evicts it again",
+            )
+            .with_help("budget at least a few shards' worth of MiB (and nonzero pages_per_table)"),
+        );
+    }
+    if let Some(mb) = paging.budget_mb {
+        if mb >= PAGING_UNBOUNDED_BUDGET_MB {
+            let mut d = Diagnostic::new(
+                Code::PagingConfigInvalid,
+                Span::federation(),
+                format!(
+                    "storage.paging budget_mb {mb} is at or above the unbounded \
+                     sentinel ({PAGING_UNBOUNDED_BUDGET_MB}): the budget can never \
+                     fill, no shard ever spills, and paging is pure overhead"
+                ),
+            )
+            .with_help("size the budget to the hub's real memory ceiling, or drop the stanza");
+            d.severity = Severity::Warning;
+            diags.push(d);
+        }
+    }
+}
+
 fn excluded(sat: &SatelliteModel, resource: &str) -> bool {
     sat.excluded_resources.iter().any(|r| r == resource)
 }
@@ -826,6 +895,7 @@ mod tests {
             segment_max_kb: Some(0),
             snapshot_every_records: Some(0),
             fsync: None,
+            paging: None,
         });
         let diags = analyze(&m);
         let findings = diags.with_code(Code::StorageConfigInvalid);
@@ -834,15 +904,13 @@ mod tests {
         assert!(findings.iter().any(|d| d.message.contains("papyrus")));
         assert!(findings
             .iter()
-            .any(|d| d.message.contains("never written")
-                && d.severity == Severity::Warning));
+            .any(|d| d.message.contains("never written") && d.severity == Severity::Warning));
         assert!(findings
             .iter()
             .any(|d| d.message.contains("silently disabled")));
         assert!(findings
             .iter()
-            .any(|d| d.message.contains("segment_max_kb")
-                && d.severity == Severity::Warning));
+            .any(|d| d.message.contains("segment_max_kb") && d.severity == Severity::Warning));
 
         // Disk without a directory is the flagship silent-memory case.
         let mut m = clean_model();
@@ -881,6 +949,7 @@ mod tests {
             segment_max_kb: Some(1024),
             snapshot_every_records: Some(5000),
             fsync: Some(true),
+            paging: None,
         });
         assert!(analyze(&m).is_empty());
         // Explicit memory backend with no stray fields is fine too.
@@ -891,6 +960,85 @@ mod tests {
         assert!(analyze(&m).is_empty());
         // An empty stanza is "defaults everywhere" — also fine.
         m.storage = Some(StorageModel::default());
+        assert!(analyze(&m).is_empty());
+    }
+
+    #[test]
+    fn paging_config_problems_are_flagged() {
+        use crate::model::{PagingModel, StorageModel, PAGING_UNBOUNDED_BUDGET_MB};
+        // Paging over the memory backend: the flagship unrepairable case.
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            paging: Some(PagingModel {
+                budget_mb: Some(64),
+                ..PagingModel::default()
+            }),
+            ..StorageModel::default()
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::PagingConfigInvalid);
+        assert_eq!(findings.len(), 1, "got: {}", diags.render_text());
+        assert!(findings[0].message.contains("durable disk backend"));
+        assert_eq!(findings[0].severity, Severity::Error);
+
+        // Zero budget on a proper disk backend: nothing can stay resident.
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            dir: Some("/var/lib/xdmod/wal".into()),
+            paging: Some(PagingModel {
+                budget_mb: Some(0),
+                ..PagingModel::default()
+            }),
+            ..StorageModel::default()
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::PagingConfigInvalid);
+        assert_eq!(findings.len(), 1, "got: {}", diags.render_text());
+        assert!(findings[0].message.contains("smaller than a single shard"));
+        assert_eq!(findings[0].severity, Severity::Error);
+
+        // Unbounded budget: flagged, but only as a warning.
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            dir: Some("/var/lib/xdmod/wal".into()),
+            paging: Some(PagingModel {
+                budget_mb: Some(PAGING_UNBOUNDED_BUDGET_MB),
+                ..PagingModel::default()
+            }),
+            ..StorageModel::default()
+        });
+        let diags = analyze(&m);
+        let findings = diags.with_code(Code::PagingConfigInvalid);
+        assert_eq!(findings.len(), 1, "got: {}", diags.render_text());
+        assert_eq!(findings[0].severity, Severity::Warning);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn valid_paging_config_is_clean() {
+        use crate::model::{PagingModel, StorageModel};
+        let mut m = clean_model();
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            dir: Some("/var/lib/xdmod/wal".into()),
+            paging: Some(PagingModel {
+                budget_mb: Some(256),
+                pages_per_table: Some(8),
+                spill_dir: Some("/var/lib/xdmod/wal/paging".into()),
+                fsync: Some(false),
+            }),
+            ..StorageModel::default()
+        });
+        assert!(analyze(&m).is_empty());
+        // An empty paging stanza over disk is "defaults everywhere" — fine.
+        m.storage = Some(StorageModel {
+            backend: Some("disk".into()),
+            dir: Some("/var/lib/xdmod/wal".into()),
+            paging: Some(PagingModel::default()),
+            ..StorageModel::default()
+        });
         assert!(analyze(&m).is_empty());
     }
 

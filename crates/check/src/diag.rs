@@ -75,11 +75,17 @@ pub enum Code {
     /// absurd snapshot interval, or a directory configured for the
     /// memory backend (which persists nothing).
     StorageConfigInvalid,
+    /// The `storage.paging` stanza is unusable or self-defeating: paging
+    /// over the memory backend (no durable log to repair lost spill files
+    /// from), a working-set budget too small to hold even one shard, or a
+    /// budget at or above the unbounded sentinel (paging overhead with no
+    /// memory bound in return).
+    PagingConfigInvalid,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 14] = [
+    pub const ALL: [Code; 15] = [
         Code::HubSchemaCollision,
         Code::SelfReplication,
         Code::DuplicateLinkId,
@@ -94,6 +100,7 @@ impl Code {
         Code::GatewayPoolExceedsAggregation,
         Code::AlertRuleInvalid,
         Code::StorageConfigInvalid,
+        Code::PagingConfigInvalid,
     ];
 
     /// The stable `XCnnnn` identifier.
@@ -113,6 +120,7 @@ impl Code {
             Code::GatewayPoolExceedsAggregation => "XC0012",
             Code::AlertRuleInvalid => "XC0013",
             Code::StorageConfigInvalid => "XC0014",
+            Code::PagingConfigInvalid => "XC0015",
         }
     }
 
@@ -131,7 +139,10 @@ impl Code {
             | Code::AlertRuleInvalid
             // A broken storage stanza means the operator believes data is
             // durable when the hub silently stayed on the memory backend.
-            | Code::StorageConfigInvalid => Severity::Error,
+            | Code::StorageConfigInvalid
+            // Paging findings default to Error; the analyzer downgrades
+            // the unbounded-budget case to Warning at emission time.
+            | Code::PagingConfigInvalid => Severity::Error,
             Code::MissingSuFactor
             | Code::UnknownExcludedResource
             | Code::ZeroRetryTightLink
@@ -161,6 +172,7 @@ impl Code {
             }
             Code::AlertRuleInvalid => "invalid alert rule configuration",
             Code::StorageConfigInvalid => "invalid durable-storage configuration",
+            Code::PagingConfigInvalid => "invalid storage.paging configuration",
         }
     }
 }
@@ -434,6 +446,11 @@ mod tests {
         assert_eq!(Code::StorageConfigInvalid.ident(), "XC0014");
         assert_eq!(
             Code::StorageConfigInvalid.default_severity(),
+            Severity::Error
+        );
+        assert_eq!(Code::PagingConfigInvalid.ident(), "XC0015");
+        assert_eq!(
+            Code::PagingConfigInvalid.default_severity(),
             Severity::Error
         );
     }

@@ -209,6 +209,32 @@ pub struct StorageModel {
     pub snapshot_every_records: Option<u64>,
     /// Whether segment appends fsync.
     pub fsync: Option<bool>,
+    /// Cold-shard paging stanza (`storage.paging`), when present.
+    pub paging: Option<PagingModel>,
+}
+
+/// Budgets at or above this many MiB are treated as "unbounded": the
+/// residency manager would never evict, so paging is pure bookkeeping
+/// overhead. 1 TiB — far past any real working-set budget.
+pub const PAGING_UNBOUNDED_BUDGET_MB: u64 = 1 << 20;
+
+/// The `storage.paging` stanza: a working-set byte budget for the hub's
+/// fact tables, with cold day-bucket shards spilled to disk and faulted
+/// back in on demand.
+///
+/// Mirrors `xdmod_core::config::PagingEntry`. `None` fields mean
+/// "unspecified, runtime default applies"; the analyzer only reasons
+/// about values actually configured.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PagingModel {
+    /// Working-set budget in MiB.
+    pub budget_mb: Option<u64>,
+    /// Day-bucket pages per fact table.
+    pub pages_per_table: Option<u64>,
+    /// Spill directory override.
+    pub spill_dir: Option<String>,
+    /// Whether spill writes fsync.
+    pub fsync: Option<bool>,
 }
 
 /// One group-by query the hub's canned reports issue.
@@ -410,6 +436,18 @@ impl FederationModel {
                 .and_then(JsonValue::as_f64)
                 .map(|v| v as u64),
             fsync: entry.get("fsync").and_then(JsonValue::as_bool),
+            paging: entry.get("paging").map(|p| PagingModel {
+                budget_mb: p
+                    .get("budget_mb")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v as u64),
+                pages_per_table: p
+                    .get("pages_per_table")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v as u64),
+                spill_dir: opt_str(p, "spill_dir"),
+                fsync: p.get("fsync").and_then(JsonValue::as_bool),
+            }),
         });
 
         Ok(FederationModel {
@@ -664,6 +702,26 @@ mod tests {
         assert_eq!(storage.segment_max_kb, Some(1024));
         assert_eq!(storage.snapshot_every_records, Some(5000));
         assert_eq!(storage.fsync, Some(false));
+        assert_eq!(storage.paging, None);
+        // A paging stanza parses field-for-field.
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [], "storage": {
+                "backend": "disk", "dir": "/wal",
+                "paging": {"budget_mb": 64, "pages_per_table": 8,
+                           "spill_dir": "/wal/paging", "fsync": true}}}"#,
+        )
+        .unwrap();
+        let paging = m.storage.unwrap().paging.unwrap();
+        assert_eq!(paging.budget_mb, Some(64));
+        assert_eq!(paging.pages_per_table, Some(8));
+        assert_eq!(paging.spill_dir.as_deref(), Some("/wal/paging"));
+        assert_eq!(paging.fsync, Some(true));
+        // An empty paging object is "present but unspecified".
+        let m = FederationModel::from_json(
+            r#"{"hub": "h", "satellites": [], "storage": {"backend": "disk", "dir": "/wal", "paging": {}}}"#,
+        )
+        .unwrap();
+        assert_eq!(m.storage.unwrap().paging, Some(PagingModel::default()));
         // An empty storage object is "present but unspecified".
         let m =
             FederationModel::from_json(r#"{"hub": "h", "satellites": [], "storage": {}}"#).unwrap();

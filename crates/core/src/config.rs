@@ -183,6 +183,40 @@ pub struct StorageEntry {
     /// crash durability of the newest records for throughput).
     #[serde(default)]
     pub fsync: Option<bool>,
+    /// Cold-shard paging: spill cold day-bucket shards to disk once the
+    /// working-set budget fills (absent = everything stays resident).
+    #[serde(default)]
+    pub paging: Option<PagingEntry>,
+}
+
+/// The `storage.paging` stanza:
+/// `"paging": {"budget_mb": 256, "pages_per_table": 8,
+/// "spill_dir": "/var/lib/xdmod/wal/paging", "fsync": false}`.
+///
+/// With paging on, each hub fact table is striped into
+/// `pages_per_table` day-bucket pages; once resident rows exceed
+/// `budget_mb`, cold pages spill to CRC-framed files under `spill_dir`
+/// (default: `<storage.dir>/paging`) and queries fault them back in on
+/// demand. Spill files are caches — a lost one is rebuilt from the
+/// write-ahead log — which is why build only honors the stanza over a
+/// successfully opened disk backend; the pre-flight analyzer refuses
+/// the rest as XC0015.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PagingEntry {
+    /// Working-set budget in MiB (absent = 256).
+    #[serde(default)]
+    pub budget_mb: Option<u64>,
+    /// Day-bucket pages per fact table (absent = 8).
+    #[serde(default)]
+    pub pages_per_table: Option<u64>,
+    /// Spill-file directory (absent = `<storage.dir>/paging`).
+    #[serde(default)]
+    pub spill_dir: Option<String>,
+    /// fsync each spill write (absent = false; spill files are
+    /// rederivable caches, so losing one to a crash only costs a
+    /// rebuild).
+    #[serde(default)]
+    pub fsync: Option<bool>,
 }
 
 /// The federation configuration file.
@@ -261,6 +295,27 @@ impl FederationFile {
                     }
                     let backend = xdmod_warehouse::DiskBackend::open(opts)?;
                     hub.set_storage(Box::new(backend))?;
+                    // Paging rides the disk backend only: a lost spill
+                    // file is repaired by replaying the durable log, and
+                    // the memory backend has none (XC0015 refuses that
+                    // combination at preflight).
+                    if let Some(paging) = &storage.paging {
+                        let spill = paging
+                            .spill_dir
+                            .clone()
+                            .unwrap_or_else(|| format!("{dir}/paging"));
+                        let mut cfg = xdmod_warehouse::PagingConfig::new(spill);
+                        if let Some(mb) = paging.budget_mb {
+                            cfg = cfg.budget_bytes(mb.saturating_mul(1024 * 1024));
+                        }
+                        if let Some(pages) = paging.pages_per_table {
+                            cfg = cfg.pages_per_table(pages.min(u32::MAX as u64) as u32);
+                        }
+                        if let Some(on) = paging.fsync {
+                            cfg = cfg.fsync(on);
+                        }
+                        hub.enable_paging(cfg)?;
+                    }
                 }
             }
             if let Some(every) = storage.snapshot_every_records {
@@ -381,6 +436,7 @@ mod tests {
             segment_max_kb: Some(64),
             snapshot_every_records: Some(100),
             fsync: Some(false),
+            paging: None,
         });
         let back = FederationFile::from_json(&cfg.to_json()).unwrap();
         assert_eq!(cfg, back);
@@ -392,6 +448,68 @@ mod tests {
         assert_eq!(fed.hub().database().read().storage_name(), "disk");
         assert!(dir.is_dir(), "disk backend must create its directory");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paging_entry_round_trips_and_builds_paged_disk_hub() {
+        let dir = std::env::temp_dir().join(format!("xdmod-cfg-paging-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = sample();
+        cfg.storage = Some(StorageEntry {
+            backend: Some("disk".into()),
+            dir: Some(dir.to_string_lossy().into_owned()),
+            fsync: Some(false),
+            paging: Some(PagingEntry {
+                budget_mb: Some(16),
+                pages_per_table: Some(4),
+                spill_dir: None,
+                fsync: Some(false),
+            }),
+            ..StorageEntry::default()
+        });
+        let back = FederationFile::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
+        let fed = cfg.build(&instances).unwrap();
+        let db = fed.hub().database();
+        let db = db.read();
+        assert_eq!(db.storage_name(), "disk");
+        assert!(db.paging_enabled());
+        let paging = db.paging_config().unwrap();
+        assert_eq!(paging.budget_bytes, 16 * 1024 * 1024);
+        assert_eq!(paging.pages_per_table, 4);
+        // Default spill dir lands under the WAL directory.
+        assert!(paging.spill_dir.starts_with(&dir));
+        drop(db);
+        drop(fed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paging_without_disk_backend_is_ignored_at_build() {
+        // Build never edits operator intent: the stanza is kept in the
+        // parsed file and XC0015 refuses it at preflight, but a forced
+        // build still works — unpaged, on the memory backend.
+        let x = XdmodInstance::new("x");
+        let y = XdmodInstance::new("y");
+        let instances = BTreeMap::from([("x".to_owned(), &x), ("y".to_owned(), &y)]);
+        let mut cfg = sample();
+        cfg.storage = Some(StorageEntry {
+            backend: Some("memory".into()),
+            paging: Some(PagingEntry {
+                budget_mb: Some(16),
+                ..PagingEntry::default()
+            }),
+            ..StorageEntry::default()
+        });
+        let fed = cfg.build(&instances).unwrap();
+        let db = fed.hub().database();
+        let db = db.read();
+        assert_eq!(db.storage_name(), "memory");
+        assert!(!db.paging_enabled());
     }
 
     #[test]

@@ -1529,7 +1529,7 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         assert_eq!(summary.len(), 1);
         let cpu_idx = summary.schema().column_index("avg_cpu_user").unwrap();
         assert_eq!(
-            summary.rows()[0][cpu_idx],
+            summary.rows().unwrap()[0][cpu_idx],
             xdmod_warehouse::Value::Float(0.9)
         );
         // Raw realm tables did not.
@@ -1932,7 +1932,12 @@ JobID|User|Account|Partition|NNodes|NCPUS|Submit|Start|End|State|AllocGPUs
         {
             let db = x.database();
             let mut db = db.write();
-            let row = db.table(&x.schema_name(), "jobfact").unwrap().rows()[0].clone();
+            let row = db
+                .table(&x.schema_name(), "jobfact")
+                .unwrap()
+                .rows()
+                .unwrap()[0]
+                .clone();
             db.insert(&x.schema_name(), "jobfact", vec![row]).unwrap();
             db.truncate_binlog_tail(6);
         }

@@ -116,6 +116,14 @@ impl FederationHub {
         self.db.write().set_snapshot_policy(every);
     }
 
+    /// Enable cold-shard paging on the hub warehouse: fact tables are
+    /// striped into day-bucket pages, cold pages spill to disk when the
+    /// working-set byte budget fills, and queries fault them back in
+    /// transparently. See [`xdmod_warehouse::Database::enable_paging`].
+    pub fn enable_paging(&mut self, config: xdmod_warehouse::PagingConfig) -> Result<()> {
+        self.db.write().enable_paging(config)
+    }
+
     /// Hub name.
     pub fn name(&self) -> &str {
         &self.name
@@ -438,7 +446,7 @@ impl FederationHub {
             match &mut union {
                 None => {
                     let mut t = Table::new(table.schema().clone());
-                    t.insert_checked(table.rows().to_vec());
+                    t.insert_checked(table.rows()?.into_vec());
                     union = Some(t);
                 }
                 Some(u) => {
@@ -447,7 +455,7 @@ impl FederationHub {
                             "satellite {sat} has an incompatible {fact} layout"
                         )));
                     }
-                    u.insert_checked(table.rows().to_vec());
+                    u.insert_checked(table.rows()?.into_vec());
                 }
             }
             span.finish();
@@ -524,6 +532,30 @@ impl FederationHub {
                  {snap_failures} auto-snapshot failure(s).",
                 self.db.read().storage_name(),
             )));
+
+        // Residency posture: only rendered when cold-shard paging is on.
+        // The point-in-time stats come from the residency manager (budget,
+        // resident/spilled/lost pages); the motion counters (fault-ins,
+        // evictions, spill writes) from the telemetry registry.
+        if let Some(stats) = self.db.read().residency_stats() {
+            let fault_ins = snap.counter_total("warehouse_page_faultins_total");
+            let evictions = snap.counter_total("warehouse_page_evictions_total");
+            let spill_writes = snap.counter_total("warehouse_page_spill_writes_total");
+            let lost = snap.counter_total("warehouse_page_spill_lost_total");
+            report = report
+                .section(Section::Heading("Residency".into()))
+                .section(Section::Text(format!(
+                    "paging enabled: {} of {} byte(s) resident; \
+                     {} resident / {} spilled / {} lost page(s); \
+                     {fault_ins} fault-in(s); {evictions} eviction(s); \
+                     {spill_writes} spill write(s); {lost} spill file(s) lost.",
+                    stats.resident_bytes,
+                    stats.budget_bytes,
+                    stats.resident_pages,
+                    stats.spilled_pages,
+                    stats.lost_pages,
+                )));
+        }
 
         // Incremental aggregation posture: how much materialization work
         // the delta-fold engine saved, and how often it had to bail out
@@ -637,7 +669,7 @@ impl FederationHub {
                     .required("elapsed_ms", ColumnType::Int)
                     .required("link", ColumnType::Str)
                     .required("lag_events", ColumnType::Float)
-                    .required("lag_seconds", ColumnType::Float)
+                    .required("lag_seconds", ColumnType::Float) // xc-allow: truncate's page-slot mutexes are leaves under the db write lock held here
                     .build()?,
             )?;
         } else {
@@ -880,6 +912,27 @@ mod tests {
         let db = hub.database();
         let db = db.read();
         assert_eq!(db.table("xdmod_meta", "ops_lag_samples").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ops_report_shows_residency_only_when_paging_is_on() {
+        let dir = std::env::temp_dir().join(format!("xdmod-hub-paging-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut hub = hub_with_two_satellites();
+        // Unpaged hub: no Residency section.
+        assert!(!hub.ops_report().unwrap().render().contains("Residency"));
+        hub.enable_paging(xdmod_warehouse::PagingConfig::new(&dir).budget_bytes(1))
+            .unwrap();
+        // Force page motion: a federated query scans (and, at a one-byte
+        // budget, immediately evicts) every satellite fact page.
+        let q = Query::new().aggregate(Aggregate::count("n"));
+        hub.federated_query(RealmKind::Jobs, &q).unwrap();
+        let text = hub.ops_report().unwrap().render();
+        assert!(text.contains("Residency"), "got: {text}");
+        assert!(text.contains("paging enabled"));
+        assert!(text.contains("fault-in(s)"));
+        assert!(text.contains("eviction(s)"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Stage two satellites with full Jobs-realm fact tables so

@@ -78,7 +78,7 @@ impl XdmodInstance {
         let find_row = |table: &str| -> Result<Option<BTreeMap<String, Value>>> {
             let t = db.table(&schema, table)?;
             let idx = t.schema().column_index("job_id")?;
-            Ok(t.rows()
+            Ok(t.rows()?
                 .iter()
                 .find(|r| r[idx] == Value::Int(job_id))
                 .map(|row| {
@@ -100,7 +100,7 @@ impl XdmodInstance {
             let t = db.table(&schema, supremm::JOBSCRIPT_TABLE)?;
             let id_idx = t.schema().column_index("job_id")?;
             let s_idx = t.schema().column_index("script")?;
-            t.rows()
+            t.rows()?
                 .iter()
                 .find(|r| r[id_idx] == Value::Int(job_id))
                 .and_then(|r| r[s_idx].as_str().map(str::to_owned))
@@ -113,7 +113,7 @@ impl XdmodInstance {
             let ts_idx = t.schema().column_index("ts")?;
             let m_idx = t.schema().column_index("metric")?;
             let v_idx = t.schema().column_index("value")?;
-            for row in t.rows() {
+            for row in t.rows()?.iter() {
                 if row[id_idx] != Value::Int(job_id) {
                     continue;
                 }

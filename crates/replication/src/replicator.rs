@@ -472,7 +472,7 @@ impl Replicator {
                 let payload = xdmod_warehouse::EventPayload::InsertBatch {
                     schema: source_schema.clone(),
                     table: def.name.clone(),
-                    rows: table.rows().to_vec(),
+                    rows: table.rows()?.into_vec(),
                 };
                 let rows = match self.config.filter.apply_resolved(&payload, |t, column| {
                     src.table(&source_schema, t)
@@ -492,6 +492,7 @@ impl Replicator {
             if !dst.has_schema(&target_schema) {
                 dst.create_schema(&target_schema)?;
             }
+            // xc-allow: truncate's page-slot mutexes are leaves under the target write lock held here
             for (name, schema, rows) in copies {
                 if dst.table(&target_schema, &name).is_ok() {
                     dst.truncate(&target_schema, &name)?;
@@ -1022,7 +1023,7 @@ mod tests {
         let dst = dst.read();
         let t = dst.table("hub_x", "jobfact").unwrap();
         assert_eq!(t.len(), 2);
-        for row in t.rows() {
+        for row in t.rows().unwrap().iter() {
             assert_ne!(row[0], Value::Str("secret".into()));
         }
     }
@@ -1567,6 +1568,103 @@ mod tests {
             Some(1)
         );
         assert!(!telemetry.events_of_kind("replication.resync").is_empty());
+    }
+
+    #[test]
+    fn resync_invalidates_spilled_pages_of_rewritten_tables() {
+        use xdmod_warehouse::{AggFn, Aggregate, PagingConfig, Query};
+        let dir = std::env::temp_dir().join(format!(
+            "xdmod-repl-spill-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let src = satellite("xdmod_x", &["comet", "gordon"]);
+        let mut target = Database::new();
+        // Pathological budget: every page evicts as soon as it is unpinned,
+        // so the replicated facts live on disk, not in memory.
+        target
+            .enable_paging(PagingConfig::new(&dir).budget_bytes(1).pages_per_table(2))
+            .unwrap();
+        let dst = shared(target);
+        let mut rep = Replicator::new(
+            Arc::clone(&src),
+            Arc::clone(&dst),
+            LinkConfig::renaming("xdmod_x", "hub_x"),
+        );
+        rep.poll().unwrap();
+        let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
+        assert_eq!(
+            dst.read()
+                .query_sharded("hub_x", "jobfact", &q)
+                .unwrap()
+                .scalar_f64("total"),
+            Some(2.0)
+        );
+        let stats = dst.read().residency_stats().unwrap();
+        assert!(
+            stats.spilled_pages > 0,
+            "a one-byte budget must leave pages spilled: {stats:?}"
+        );
+        let spill_dir = dst.read().paging_config().unwrap().spill_path();
+        let spilled_before: Vec<String> = std::fs::read_dir(&spill_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(!spilled_before.is_empty());
+
+        // The source rewrites its facts with entirely different values.
+        {
+            let mut s = src.write();
+            s.truncate("xdmod_x", "jobfact").unwrap();
+            s.insert(
+                "xdmod_x",
+                "jobfact",
+                vec![
+                    vec![Value::Str("expanse".into()), Value::Float(40.0)],
+                    vec![Value::Str("bridges".into()), Value::Float(2.0)],
+                ],
+            )
+            .unwrap();
+        }
+        rep.resync_target().unwrap();
+
+        // The regression under test: resync truncates each rewritten table,
+        // which must drop its spilled shard files. A stale spill surviving
+        // the rewrite would fault old rows back in on the next query.
+        let d = dst.read();
+        assert_eq!(
+            d.query_sharded("hub_x", "jobfact", &q)
+                .unwrap()
+                .scalar_f64("total"),
+            Some(42.0)
+        );
+        assert_eq!(
+            d.table("hub_x", "jobfact").unwrap().content_checksum(),
+            src.read()
+                .table("xdmod_x", "jobfact")
+                .unwrap()
+                .content_checksum(),
+            "resync'd paged table must match the source byte-for-byte"
+        );
+        assert!(!d.has_lost_pages());
+        // Every pre-resync spill file is gone; whatever spilled since
+        // carries a newer generation and therefore a different name.
+        let now: std::collections::BTreeSet<String> = std::fs::read_dir(&spill_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        for stale in &spilled_before {
+            assert!(
+                !now.contains(stale),
+                "pre-resync spill file {stale} survived the rewrite"
+            );
+        }
+        drop(d);
+        drop(dst);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

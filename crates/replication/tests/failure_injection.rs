@@ -5,9 +5,7 @@
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
-use xdmod_replication::{
-    LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, Replicator,
-};
+use xdmod_replication::{LinkConfig, LiveReplicator, LooseReceiver, LooseShipper, Replicator};
 use xdmod_warehouse::{
     shared, AggFn, Aggregate, AggregationSpec, CivilDate, ColumnType, Database, DimSpec,
     LogPosition, Period, SchemaBuilder, SharedDatabase, Value,
@@ -73,10 +71,8 @@ fn corrupted_loose_batch_leaves_receiver_consistent() {
     let src = satellite(3);
     let hub = shared(Database::new());
     let mut shipper = LooseShipper::new(Arc::clone(&src));
-    let mut receiver = LooseReceiver::new(
-        Arc::clone(&hub),
-        LinkConfig::renaming("xdmod_x", "hub_x"),
-    );
+    let mut receiver =
+        LooseReceiver::new(Arc::clone(&hub), LinkConfig::renaming("xdmod_x", "hub_x"));
     let batch = shipper.export_batch().unwrap();
     // Corrupt the middle of the batch in transit.
     let mut bytes = batch.to_vec();
@@ -89,8 +85,14 @@ fn corrupted_loose_batch_leaves_receiver_consistent() {
     assert!(applied > 0);
     assert_eq!(hub.read().table("hub_x", "jobfact").unwrap().len(), 3);
     assert_eq!(
-        src.read().table("xdmod_x", "jobfact").unwrap().content_checksum(),
-        hub.read().table("hub_x", "jobfact").unwrap().content_checksum()
+        src.read()
+            .table("xdmod_x", "jobfact")
+            .unwrap()
+            .content_checksum(),
+        hub.read()
+            .table("hub_x", "jobfact")
+            .unwrap()
+            .content_checksum()
     );
 }
 
@@ -177,7 +179,10 @@ fn live_replicator_surfaces_worker_errors() {
         std::thread::sleep(Duration::from_millis(2));
     }
     let err = live.last_error().expect("worker error surfaced");
-    assert!(err.to_string().contains("different definition"), "actual: {err}");
+    assert!(
+        err.to_string().contains("different definition"),
+        "actual: {err}"
+    );
     let _ = live.stop();
 }
 
@@ -269,6 +274,7 @@ fn resync_takes_the_rebuild_guard_against_parallel_aggregation() {
     let idx = agg.schema().column_index("total").unwrap();
     let total: f64 = agg
         .rows()
+        .unwrap()
         .iter()
         .map(|r| r[idx].as_f64().unwrap())
         .sum();
@@ -287,11 +293,20 @@ fn future_epoch_watermark_is_rejected() {
     // A watermark beyond the source tail is rejected at seek time with a
     // typed error, before a poll can silently read an empty tail.
     let err = rep
-        .seek(LogPosition { epoch: 42, seqno: 7 })
+        .seek(LogPosition {
+            epoch: 42,
+            seqno: 7,
+        })
         .expect_err("beyond-tail seek must be rejected");
     match err {
         xdmod_replication::ReplicationError::SeekBeyondTail { requested, .. } => {
-            assert_eq!(requested, LogPosition { epoch: 42, seqno: 7 });
+            assert_eq!(
+                requested,
+                LogPosition {
+                    epoch: 42,
+                    seqno: 7
+                }
+            );
         }
         other => panic!("expected SeekBeyondTail, got {other}"),
     }

@@ -463,7 +463,8 @@ mod tests {
         assert_eq!(t.len(), 4);
         let schema = t.schema();
         let cpu_idx = schema.column_index("total_cpu_hours").unwrap();
-        let total: f64 = t.rows().iter().map(|r| r[cpu_idx].as_f64().unwrap()).sum();
+        let rows = t.rows().unwrap();
+        let total: f64 = rows.iter().map(|r| r[cpu_idx].as_f64().unwrap()).sum();
         assert_eq!(total, 8.0 + 96.0 + 144.0 + 32.0);
     }
 
@@ -484,7 +485,7 @@ mod tests {
         let s = t.schema();
         let id_idx = s.column_index("period_id").unwrap();
         let start_idx = s.column_index("period_start").unwrap();
-        for row in t.rows() {
+        for row in t.rows().unwrap().iter() {
             let id = row[id_idx].as_i64().unwrap();
             let start = row[start_idx].as_time().unwrap();
             assert_eq!(Period::Month.bucket_start(id), start);

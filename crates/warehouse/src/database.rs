@@ -11,11 +11,13 @@ use crate::error::{Result, WarehouseError};
 use crate::parallel::{self, AggregateCache, CacheKey, PoolConfig, RebuildTicket, ShardedPartials};
 use crate::persist::Snapshot;
 use crate::query::{Query, ResultSet};
+use crate::resident::{PagingConfig, ResidencyManager, ResidencyStats};
 use crate::schema::TableSchema;
 use crate::storage::{CompactionReport, MemoryBackend, Recovery, StorageBackend};
 use crate::table::Table;
 use crate::value::Row;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 use xdmod_chaos::{FaultInjector, FaultKind, FaultPoint};
 use xdmod_telemetry::MetricsRegistry;
@@ -69,6 +71,25 @@ pub struct Database {
     /// always rebuilds from the full table (the forced full-rebuild
     /// escape hatch; see [`Database::set_incremental`]).
     incremental: bool,
+    /// Cold-shard paging runtime ([`Database::enable_paging`]): `None`
+    /// keeps every table fully resident (the historical behaviour).
+    paging: Option<PagingRuntime>,
+}
+
+/// Live paging state: the shared residency manager plus the config it
+/// was built from (kept so [`Database::repair_paging`] can re-enable
+/// paging identically after a WAL rebuild).
+struct PagingRuntime {
+    manager: Arc<ResidencyManager>,
+    config: PagingConfig,
+}
+
+impl std::fmt::Debug for PagingRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagingRuntime")
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 impl Default for Database {
@@ -87,6 +108,7 @@ impl Default for Database {
             agg_cache: AggregateCache::default(),
             delta: DeltaFoldCache::default(),
             incremental: true,
+            paging: None,
         }
     }
 }
@@ -187,14 +209,30 @@ impl Database {
     /// the snapshot point").
     fn restore_snapshot_unlogged(&mut self, snap: &Snapshot, pos: LogPosition) -> Result<()> {
         snap.verify()?;
+        let paging = self.paging_hook();
         for (schema, tables) in &snap.schemas {
             let dst = self.schemas.entry(schema.clone()).or_default();
             for (name, table) in tables {
-                dst.insert(name.clone(), table.clone());
+                // Snapshot tables deserialize dense; re-page them when
+                // the paging engine is on.
+                let mut table = table.clone();
+                if let Some((manager, pages)) = &paging {
+                    table.enable_paging(manager, *pages);
+                }
+                dst.insert(name.clone(), table);
                 self.watermarks.insert((schema.clone(), name.clone()), pos);
             }
         }
         Ok(())
+    }
+
+    /// The residency manager and page count new/restored tables should be
+    /// paged with, if paging is enabled. Cloned out so callers can hold
+    /// it across mutable borrows of the schema map.
+    fn paging_hook(&self) -> Option<(Arc<ResidencyManager>, u32)> {
+        self.paging
+            .as_ref()
+            .map(|p| (p.manager.clone(), p.config.pages_per_table))
     }
 
     /// Apply a recovered binlog event to tables *without* re-logging it —
@@ -207,11 +245,16 @@ impl Database {
                 self.schemas.entry(schema.clone()).or_default();
             }
             EventPayload::CreateTable { schema, def } => {
+                let paging = self.paging_hook();
                 let tables = self.schemas.entry(schema.clone()).or_default();
                 let name = def.name.clone();
-                tables
-                    .entry(name.clone())
-                    .or_insert_with(|| Table::new(def.clone()));
+                tables.entry(name.clone()).or_insert_with(|| {
+                    let mut t = Table::new(def.clone());
+                    if let Some((manager, pages)) = &paging {
+                        t.enable_paging(manager, *pages);
+                    }
+                    t
+                });
                 self.watermarks.insert((schema.clone(), name), pos);
             }
             EventPayload::InsertBatch {
@@ -233,6 +276,9 @@ impl Database {
     /// Attach a metrics registry. All binlog/query instrumentation becomes
     /// live; with the default (disabled) registry it costs one branch.
     pub fn set_telemetry(&mut self, telemetry: MetricsRegistry) {
+        if let Some(p) = &self.paging {
+            p.manager.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -253,6 +299,9 @@ impl Database {
     pub fn set_fault_injector(&mut self, injector: FaultInjector, target: impl Into<String>) {
         let target = target.into();
         self.backend.set_chaos(injector.clone(), target.clone());
+        if let Some(p) = &self.paging {
+            p.manager.set_chaos(injector.clone(), target.clone());
+        }
         self.chaos = Some((injector, target));
     }
 
@@ -260,6 +309,9 @@ impl Database {
     pub fn clear_fault_injector(&mut self) {
         self.chaos = None;
         self.backend.clear_chaos();
+        if let Some(p) = &self.paging {
+            p.manager.clear_chaos();
+        }
     }
 
     /// Consult the chaos injector (if any) at a fault point. Stalls are
@@ -345,11 +397,16 @@ impl Database {
             def: def.clone(),
         })?;
         let name = def.name.clone();
+        let paging = self.paging_hook();
         let tables = self
             .schemas
             .get_mut(schema)
             .ok_or_else(|| WarehouseError::UnknownSchema(schema.to_owned()))?;
-        tables.insert(name.clone(), Table::new(def));
+        let mut table = Table::new(def);
+        if let Some((manager, pages)) = &paging {
+            table.enable_paging(manager, *pages);
+        }
+        tables.insert(name.clone(), table);
         self.watermarks.insert((schema.to_owned(), name), pos);
         Ok(pos)
     }
@@ -762,15 +819,20 @@ impl Database {
         }
 
         // Cold start or fallback: rebuild the retained state from the
-        // live table on the worker pool, then finalize from it.
+        // live table on the worker pool, then finalize from it. A paged
+        // table materializes here (faulting spilled pages in) so the
+        // cold build folds rows in exact insertion order — the property
+        // the incremental-vs-recompute oracle depends on.
+        let rows = t.rows()?;
         let partials = ShardedPartials::build(
             query,
             table_schema,
-            t.rows(),
+            &rows,
             self.pool,
             &self.telemetry,
             label,
         )?;
+        drop(rows);
         let rows_folded = t.len();
         let result = partials.finalize(query, table_schema)?;
         self.delta.put(
@@ -1011,6 +1073,142 @@ impl Database {
     /// [`WarehouseError::CompactedAway`] and must resume from a snapshot.
     pub fn compaction_horizon(&self) -> u64 {
         self.binlog.base_seqno()
+    }
+
+    // ------------------------------------------------------------------
+    // Paging: working-set residency
+    // ------------------------------------------------------------------
+
+    /// Enable the cold-shard paging engine: every current and future
+    /// table's rows are partitioned into day-bucket pages managed by a
+    /// shared [`ResidencyManager`] enforcing `config`'s byte budget —
+    /// cold pages spill to CRC-framed files under `config.spill_dir` and
+    /// fault back in transparently on the query path.
+    ///
+    /// Stale spill files in the directory (from a previous process) are
+    /// deleted first: spill files are caches keyed by store ids this
+    /// process will reuse, and the write-ahead log already holds every
+    /// row durably.
+    pub fn enable_paging(&mut self, config: PagingConfig) -> Result<()> {
+        if let Ok(entries) = std::fs::read_dir(config.spill_path()) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().ends_with(".spl") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let manager = ResidencyManager::new(&config, self.telemetry.clone());
+        if let Some((injector, target)) = &self.chaos {
+            manager.set_chaos(injector.clone(), target.clone());
+        }
+        let pages = config.pages_per_table;
+        for tables in self.schemas.values_mut() {
+            for table in tables.values_mut() {
+                table.enable_paging(&manager, pages);
+            }
+        }
+        self.paging = Some(PagingRuntime { manager, config });
+        if self.telemetry.is_enabled() {
+            if let Some(p) = &self.paging {
+                self.telemetry.event_with(
+                    "warehouse.paging_enabled",
+                    &format!(
+                        "paging enabled: budget {} bytes, {} pages per table",
+                        p.config.budget_bytes, p.config.pages_per_table
+                    ),
+                    &[("budget_bytes", p.config.budget_bytes as f64)],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the paging engine is managing this database's tables.
+    pub fn paging_enabled(&self) -> bool {
+        self.paging.is_some()
+    }
+
+    /// The active paging configuration, if paging is enabled.
+    pub fn paging_config(&self) -> Option<&PagingConfig> {
+        self.paging.as_ref().map(|p| &p.config)
+    }
+
+    /// Replace the working-set byte budget at runtime and immediately
+    /// enforce it (shrinking spills cold pages in-line). No-op when
+    /// paging is disabled.
+    pub fn set_memory_budget(&mut self, bytes: u64) {
+        if let Some(p) = &mut self.paging {
+            p.config.budget_bytes = bytes;
+            p.manager.set_budget(bytes);
+        }
+    }
+
+    /// Point-in-time residency counters (budget, resident bytes, page
+    /// states, fault-in/evict totals), or `None` when paging is off.
+    pub fn residency_stats(&self) -> Option<ResidencyStats> {
+        self.paging.as_ref().map(|p| p.manager.stats())
+    }
+
+    /// True if any paged table has a lost page (its spill file failed
+    /// validation) and needs [`Database::repair_paging`].
+    pub fn has_lost_pages(&self) -> bool {
+        self.schemas
+            .values()
+            .flat_map(|t| t.values())
+            .filter_map(Table::paged_store)
+            .any(|s| s.has_lost_pages())
+    }
+
+    /// Rebuild every table from the write-ahead log after spill-file
+    /// loss, then re-enable paging with the same configuration.
+    ///
+    /// Spill files are caches: the WAL ordering contract guarantees that
+    /// every row of every page — lost or not — was durably appended
+    /// before it was admitted to memory, so a full backend recovery
+    /// (snapshot restore plus validated tail replay) reproduces the
+    /// exact logical state with zero data loss. Requires a durable
+    /// backend; with [`MemoryBackend`] there is no log to rebuild from.
+    pub fn repair_paging(&mut self) -> Result<()> {
+        let Some(runtime) = self.paging.take() else {
+            return Ok(());
+        };
+        let config = runtime.config.clone();
+        if self.backend.name() == "memory" {
+            // Put the runtime back: the caller's tables are still
+            // servable except for their lost pages.
+            self.paging = Some(runtime);
+            return Err(WarehouseError::Io(
+                "repair_paging requires a durable storage backend".to_owned(),
+            ));
+        }
+        drop(runtime);
+        let started = Instant::now();
+        // Dropping the tables drops their paged stores, which delete
+        // their spill files — nothing stale survives the rebuild.
+        self.schemas.clear();
+        self.watermarks.clear();
+        self.agg_cache.clear();
+        self.delta.clear();
+        self.rebuild_generation += 1;
+        self.binlog = Binlog::default();
+        self.last_snapshot_seqno = 0;
+        let rec = self.backend.recover()?;
+        self.finish_recovery(rec, started)?;
+        self.enable_paging(config)?;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("warehouse_paging_repairs_total", &[])
+                .inc();
+            self.telemetry.event_with(
+                "warehouse.paging_repaired",
+                &format!(
+                    "paged tables rebuilt from the log: {} rows restored",
+                    self.total_rows()
+                ),
+                &[("rows", self.total_rows() as f64)],
+            );
+        }
+        Ok(())
     }
 }
 

@@ -42,6 +42,7 @@
 //! is soak-tested deterministically.
 
 pub mod format;
+pub mod spill;
 
 use crate::binlog::LogPosition;
 use crate::checksum::crc32;
@@ -49,8 +50,8 @@ use crate::error::{Result, WarehouseError};
 use crate::storage::{CompactionReport, Recovery, StorageBackend};
 use format::{
     encode_segment_header, encode_snapshot_header, parse_segment_header, parse_segment_name,
-    parse_snapshot_header, parse_snapshot_name, scan_frames, segment_file_name,
-    snapshot_file_name, SEG_HEADER_LEN, SNAP_HEADER_LEN,
+    parse_snapshot_header, parse_snapshot_name, scan_frames, segment_file_name, snapshot_file_name,
+    SEG_HEADER_LEN, SNAP_HEADER_LEN,
 };
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -285,7 +286,8 @@ impl StorageBackend for DiskBackend {
                     .map_err(|e| io_err("write frame", e))?;
             }
             Some(FaultKind::TruncateTail { bytes }) => {
-                file.write_all(frame).map_err(|e| io_err("write frame", e))?;
+                file.write_all(frame)
+                    .map_err(|e| io_err("write frame", e))?;
                 let cut = (bytes.max(1)).min(frame.len() as u64 - 1);
                 let physical = file
                     .metadata()
@@ -299,11 +301,13 @@ impl StorageBackend for DiskBackend {
                     .metadata()
                     .map_err(|e| io_err("stat segment", e))?
                     .len();
-                file.write_all(frame).map_err(|e| io_err("write frame", e))?;
+                file.write_all(frame)
+                    .map_err(|e| io_err("write frame", e))?;
                 file.set_len(before).map_err(|e| io_err("drop fsync", e))?;
             }
             _ => {
-                file.write_all(frame).map_err(|e| io_err("write frame", e))?;
+                file.write_all(frame)
+                    .map_err(|e| io_err("write frame", e))?;
                 if self.opts.fsync {
                     file.sync_data().map_err(|e| io_err("sync frame", e))?;
                 }
@@ -350,9 +354,11 @@ impl StorageBackend for DiskBackend {
         // Make everything the snapshot covers durable before the snapshot
         // itself claims to cover it.
         self.sync_active()?;
-        let final_path = self.opts.dir.join(snapshot_file_name(self.epoch, pos.seqno));
-        let mut bytes =
-            Vec::with_capacity(SNAP_HEADER_LEN + snapshot.len());
+        let final_path = self
+            .opts
+            .dir
+            .join(snapshot_file_name(self.epoch, pos.seqno));
+        let mut bytes = Vec::with_capacity(SNAP_HEADER_LEN + snapshot.len());
         bytes.extend_from_slice(&encode_snapshot_header(
             self.epoch,
             pos.seqno,
@@ -487,7 +493,12 @@ impl StorageBackend for DiskBackend {
                     && h.body_crc == crc32(body)
             });
             if valid {
-                best_snap = Some((*epoch, *seqno, path.clone(), data[SNAP_HEADER_LEN..].to_vec()));
+                best_snap = Some((
+                    *epoch,
+                    *seqno,
+                    path.clone(),
+                    data[SNAP_HEADER_LEN..].to_vec(),
+                ));
                 break;
             }
             rec.corrupt_snapshots += 1;
@@ -525,7 +536,9 @@ impl StorageBackend for DiskBackend {
         // Segments entirely before the anchor are covered by the snapshot
         // and need no validation; the chain is anchored at the last
         // segment that starts at or before `base`.
-        let anchor = seg_files.iter().rposition(|(_, seg_base, ..)| *seg_base <= base);
+        let anchor = seg_files
+            .iter()
+            .rposition(|(_, seg_base, ..)| *seg_base <= base);
         let mut tail: Vec<u8> = Vec::new();
         let mut chain_last: u64 = base;
         let mut broken = false;
@@ -617,9 +630,7 @@ impl StorageBackend for DiskBackend {
 
         rec.epoch = target_epoch;
         rec.base_seqno = base;
-        rec.snapshot = snap.map(|(epoch, seqno, _, body)| {
-            (LogPosition { epoch, seqno }, body)
-        });
+        rec.snapshot = snap.map(|(epoch, seqno, _, body)| (LogPosition { epoch, seqno }, body));
         rec.tail = tail;
         Ok(rec)
     }
@@ -655,10 +666,7 @@ mod tests {
 
     fn temp_dir(tag: &str) -> PathBuf {
         let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!(
-            "xdmod-disk-{}-{tag}-{n}",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("xdmod-disk-{}-{tag}-{n}", std::process::id()))
     }
 
     fn frame(epoch: u32, seqno: u64, payload: &[u8]) -> Vec<u8> {
@@ -719,13 +727,15 @@ mod tests {
     #[test]
     fn segment_rotation_spreads_frames_across_files_and_chains_back() {
         let dir = temp_dir("rotate");
-        let mut be = DiskBackend::open(
-            DiskOptions::new(&dir).fsync(false).segment_max_bytes(128),
-        )
-        .unwrap();
+        let mut be =
+            DiskBackend::open(DiskOptions::new(&dir).fsync(false).segment_max_bytes(128)).unwrap();
         be.recover().unwrap();
         let written = drive(&mut be, 1, 30);
-        assert!(be.segments.len() > 2, "expected rotation, got {} segments", be.segments.len());
+        assert!(
+            be.segments.len() > 2,
+            "expected rotation, got {} segments",
+            be.segments.len()
+        );
         drop(be);
 
         let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
@@ -820,10 +830,7 @@ mod tests {
         let f1 = frame(0, 1, b"one");
         be.append(pos(1), &f1).unwrap();
         let f2 = frame(0, 2, b"two");
-        assert!(matches!(
-            be.append(pos(2), &f2),
-            Err(WarehouseError::Io(_))
-        ));
+        assert!(matches!(be.append(pos(2), &f2), Err(WarehouseError::Io(_))));
         // The retry (same seqno) succeeds: the failed write left no trace.
         be.append(pos(2), &f2).unwrap();
         drop(be);
@@ -837,10 +844,8 @@ mod tests {
     #[test]
     fn snapshot_compaction_deletes_covered_segments_and_recovery_uses_snapshot() {
         let dir = temp_dir("compact");
-        let mut be = DiskBackend::open(
-            DiskOptions::new(&dir).fsync(false).segment_max_bytes(96),
-        )
-        .unwrap();
+        let mut be =
+            DiskBackend::open(DiskOptions::new(&dir).fsync(false).segment_max_bytes(96)).unwrap();
         be.recover().unwrap();
         drive(&mut be, 1, 10);
         let r1 = be.write_snapshot(pos(10), b"snapshot-at-10").unwrap();
@@ -849,7 +854,10 @@ mod tests {
         let mut tail_frames = drive(&mut be, 11, 20);
         let r2 = be.write_snapshot(pos(20), b"snapshot-at-20").unwrap();
         assert_eq!(r2.horizon, 10); // trails the previous snapshot
-        assert!(r2.segments_deleted > 0, "covered segments should be deleted");
+        assert!(
+            r2.segments_deleted > 0,
+            "covered segments should be deleted"
+        );
         assert!(r2.bytes_reclaimed > 0);
         tail_frames.extend_from_slice(&drive(&mut be, 21, 23));
         drop(be);
@@ -876,10 +884,8 @@ mod tests {
             FaultKind::CorruptTailByte,
             &[2],
         ));
-        let mut be = DiskBackend::open(
-            DiskOptions::new(&dir).fsync(false).segment_max_bytes(96),
-        )
-        .unwrap();
+        let mut be =
+            DiskBackend::open(DiskOptions::new(&dir).fsync(false).segment_max_bytes(96)).unwrap();
         be.recover().unwrap();
         be.set_chaos(plan.injector(7), "wal".into());
         drive(&mut be, 1, 10);
@@ -983,7 +989,11 @@ mod tests {
         let written = drive(&mut be, 1, 3);
         drop(be);
         fs::write(dir.join("README.txt"), b"not ours").unwrap();
-        fs::write(dir.join("snap-0000000000-00000000000000000099.snap.tmp"), b"half").unwrap();
+        fs::write(
+            dir.join("snap-0000000000-00000000000000000099.snap.tmp"),
+            b"half",
+        )
+        .unwrap();
 
         let mut be = DiskBackend::open(DiskOptions::new(&dir).fsync(false)).unwrap();
         let rec = be.recover().unwrap();

@@ -57,6 +57,17 @@ pub enum WarehouseError {
         /// `horizon.epoch` are gone.
         horizon: LogPosition,
     },
+    /// A spilled page's file was corrupt or missing at fault-in time.
+    /// The rows themselves are still durable in the write-ahead log —
+    /// the caller must rebuild via
+    /// [`crate::database::Database::repair_paging`]; the paging engine
+    /// never serves rows that failed their spill-file checksum.
+    SpillLost {
+        /// Table whose page was lost.
+        table: String,
+        /// Page index within the table.
+        page: u32,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -79,6 +90,13 @@ impl fmt::Display for WarehouseError {
             WarehouseError::InvalidTime(s) => write!(f, "invalid time: {s}"),
             WarehouseError::CompactedAway { horizon } => {
                 write!(f, "records at or before {horizon} were compacted away")
+            }
+            WarehouseError::SpillLost { table, page } => {
+                write!(
+                    f,
+                    "spilled page {page} of table '{table}' is corrupt or missing; \
+                     rebuild it from the log (repair_paging)"
+                )
             }
         }
     }

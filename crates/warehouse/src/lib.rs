@@ -35,6 +35,11 @@
 //!   ([`disk::DiskBackend`]) with CRC-framed segment files, crash
 //!   recovery that truncates torn tails, and snapshot-triggered binlog
 //!   compaction.
+//! - A **cold-shard paging engine** ([`resident`]): a working-set
+//!   residency manager that bounds the warehouse's memory footprint by
+//!   a byte budget, spilling cold day-bucket pages to CRC-framed files
+//!   ([`disk::spill`]) with clock/second-chance eviction and
+//!   transparent, pin-protected fault-in on the query path.
 
 #![warn(missing_docs)]
 
@@ -49,6 +54,7 @@ pub mod error;
 pub mod parallel;
 pub mod persist;
 pub mod query;
+pub mod resident;
 pub mod schema;
 pub mod storage;
 pub mod table;
@@ -69,9 +75,10 @@ pub use persist::Snapshot;
 pub use query::{
     AggFn, Aggregate, GroupKey, OrderBy, PartialAggregation, Predicate, Query, ResultSet,
 };
+pub use resident::{PagingConfig, ResidencyManager, ResidencyStats};
 pub use schema::{ColumnDef, RowBuilder, SchemaBuilder, TableSchema};
 pub use storage::{CompactionReport, MemoryBackend, Recovery, StorageBackend};
-pub use table::Table;
+pub use table::{RowsRef, Table};
 pub use time::{CivilDate, Period};
 pub use value::{ColumnType, Row, Value};
 

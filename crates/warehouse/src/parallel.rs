@@ -134,7 +134,31 @@ pub fn run_sharded(
     let time_idx = query
         .shard_hint()
         .and_then(|c| table.schema().column_index(c).ok());
-    let per_shard = fold_shards_pooled(&plan, table.rows(), time_idx, pool, telemetry, label)?;
+    if table.is_paged() {
+        // Paged tables fold one page at a time — pin, fault in, route
+        // the page's rows to their day-bucket shards, release — so the
+        // scan stays inside the residency budget plus one pinned page.
+        // Shard routing uses the row's insertion sequence, matching the
+        // dense path's enumeration index.
+        let n_shards = pool.shards().max(1);
+        let mut per_shard: Vec<Groups> = vec![Groups::new(); n_shards];
+        table.scan_pages(&mut |rows| {
+            let span = telemetry.span("warehouse_shard_aggregation_seconds", &[("table", label)]);
+            for (seq, row) in rows {
+                let s = shard_of(row, time_idx, *seq as usize, n_shards);
+                plan.fold_row(&mut per_shard[s], row);
+            }
+            span.finish();
+            Ok(())
+        })?;
+        let mut merged = Groups::new();
+        for groups in per_shard {
+            AggPlan::merge_groups(&mut merged, groups);
+        }
+        return plan.finish(merged);
+    }
+    let rows = table.rows()?;
+    let per_shard = fold_shards_pooled(&plan, &rows, time_idx, pool, telemetry, label)?;
 
     // Deterministic merge: ascending shard order, independent of which
     // worker folded which shard.
@@ -561,7 +585,8 @@ mod tests {
         let pool = PoolConfig::new(3).with_shards(8);
         let reference = run_sharded(&q(), &t, pool, &reg, "jobfact").unwrap();
         let partials =
-            ShardedPartials::build(&q(), t.schema(), t.rows(), pool, &reg, "jobfact").unwrap();
+            ShardedPartials::build(&q(), t.schema(), &t.rows().unwrap(), pool, &reg, "jobfact")
+                .unwrap();
         assert_eq!(partials.shard_count(), 8);
         assert_eq!(partials.rows_folded(), 300);
         assert_eq!(partials.finalize(&q(), t.schema()).unwrap(), reference);
@@ -572,14 +597,20 @@ mod tests {
         let reg = MetricsRegistry::disabled();
         let pool = PoolConfig::new(2).with_shards(5);
         let full = facts(256);
-        let rows = full.rows();
+        let rows = full.rows().unwrap();
 
         // Cold-build over a prefix, then fold the rest in uneven batches,
         // checking against a from-scratch recompute after every batch.
         let mut grown = facts(64);
-        let mut partials =
-            ShardedPartials::build(&q(), grown.schema(), grown.rows(), pool, &reg, "jobfact")
-                .unwrap();
+        let mut partials = ShardedPartials::build(
+            &q(),
+            grown.schema(),
+            &grown.rows().unwrap(),
+            pool,
+            &reg,
+            "jobfact",
+        )
+        .unwrap();
         let mut upto = 64;
         for batch in [1usize, 7, 40, 88] {
             let delta: Vec<_> = rows[upto..upto + batch].to_vec();
@@ -604,7 +635,7 @@ mod tests {
         let mut partials = ShardedPartials::build(
             &q(),
             t.schema(),
-            t.rows(),
+            &t.rows().unwrap(),
             PoolConfig::serial(),
             &reg,
             "jobfact",

@@ -107,7 +107,7 @@ impl Snapshot {
             db.ensure_schema(schema)?;
             for table in tables.values() {
                 db.ensure_table(schema, table.schema().clone())?;
-                db.insert(schema, table.name(), table.rows().to_vec())?;
+                db.insert(schema, table.name(), table.rows()?.into_vec())?;
             }
         }
         Ok(())

@@ -392,11 +392,27 @@ impl Query {
     }
 
     /// Execute against a table.
+    ///
+    /// Paged tables are folded one page at a time (pin → fault-in →
+    /// fold → release), so the scan's memory footprint stays bounded by
+    /// the residency budget plus the one pinned page. The result is
+    /// identical to the dense path: a fold over any partition of the
+    /// same multiset of rows merges to the same groups.
     pub fn run(&self, table: &Table) -> Result<ResultSet> {
         let plan = AggPlan::resolve(self, table.schema())?;
+        if table.is_paged() {
+            let mut groups = Groups::new();
+            table.scan_pages(&mut |rows| {
+                for (_, row) in rows {
+                    plan.fold_row(&mut groups, row);
+                }
+                Ok(())
+            })?;
+            return plan.finish(groups);
+        }
         // Data-parallel fold/reduce over row partitions (rayon idiom).
         let groups: Groups = table
-            .rows()
+            .rows()?
             .par_iter()
             .fold(Groups::new, |mut acc, row| {
                 plan.fold_row(&mut acc, row);
@@ -1029,7 +1045,7 @@ mod tests {
             .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"))
             .aggregate(Aggregate::of(AggFn::Avg, "wall_hours", "avg_wall"))
             .aggregate(Aggregate::of(AggFn::CountDistinct, "user", "users"));
-        let rows = t.rows();
+        let rows = t.rows().unwrap();
         for split in 0..=rows.len() {
             let mut partial = PartialAggregation::default();
             query

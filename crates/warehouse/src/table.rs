@@ -1,12 +1,75 @@
-//! In-memory tables: schema-validated row storage.
+//! In-memory tables: schema-validated row storage, optionally paged.
+//!
+//! A table's rows live in one of two stores. The default **dense** store
+//! is a plain `Vec<Row>` — zero overhead, always fully resident. When
+//! the database enables paging ([`crate::resident`]), the store becomes
+//! a [`PagedStore`]: rows partitioned into day-bucket pages whose cold
+//! members spill to disk under a shared byte budget. Either way the
+//! logical contents are identical; [`Table::rows`] is fallible only
+//! because a paged table may need to fault pages back in (and a corrupt
+//! spill file surfaces [`crate::error::WarehouseError::SpillLost`]
+//! rather than wrong rows).
 
 use crate::binlog::encode_payload;
 use crate::binlog::EventPayload;
 use crate::checksum::crc32;
 use crate::error::Result;
+use crate::resident::{PagedStore, ResidencyManager};
 use crate::schema::TableSchema;
 use crate::value::{Row, Value};
-use serde::{Deserialize, Serialize};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Row storage behind a table: fully resident or paged under a budget.
+#[derive(Debug, Clone)]
+enum Store {
+    /// All rows in a plain vector, in insertion order.
+    Dense(Vec<Row>),
+    /// Rows partitioned into budget-managed pages. The `Arc` makes
+    /// clones *share* the store (cloning cannot fault pages in and must
+    /// not fail); the only cloner of live database tables is the
+    /// read-only snapshot capture path.
+    Paged(Arc<PagedStore>),
+}
+
+/// A borrowed-or-materialized view of a table's rows, in insertion
+/// order. Dense tables lend their backing slice; paged tables fault
+/// everything in and hand back an owned vector. Derefs to `[Row]`, so
+/// slicing, indexing, iteration, and rayon's `par_iter` all work
+/// unchanged — but `for row in table.rows()?` becomes
+/// `for row in table.rows()?.iter()`.
+#[derive(Debug)]
+pub struct RowsRef<'a>(RowsRefInner<'a>);
+
+#[derive(Debug)]
+enum RowsRefInner<'a> {
+    Dense(&'a [Row]),
+    Owned(Vec<Row>),
+}
+
+impl Deref for RowsRef<'_> {
+    type Target = [Row];
+
+    fn deref(&self) -> &[Row] {
+        match &self.0 {
+            RowsRefInner::Dense(rows) => rows,
+            RowsRefInner::Owned(rows) => rows,
+        }
+    }
+}
+
+impl RowsRef<'_> {
+    /// The rows as an owned vector (avoids a second copy when the view
+    /// is already materialized).
+    pub fn into_vec(self) -> Vec<Row> {
+        match self.0 {
+            RowsRefInner::Dense(rows) => rows.to_vec(),
+            RowsRefInner::Owned(rows) => rows,
+        }
+    }
+}
 
 /// A table: a schema plus row storage.
 ///
@@ -14,10 +77,10 @@ use serde::{Deserialize, Serialize};
 /// fact level (XDMoD ingests logs; it does not update history); the only
 /// destructive operation is [`Table::truncate`], used when aggregation
 /// tables are rebuilt.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Row>,
+    store: Store,
 }
 
 impl Table {
@@ -25,7 +88,7 @@ impl Table {
     pub fn new(schema: TableSchema) -> Self {
         Table {
             schema,
-            rows: Vec::new(),
+            store: Store::Dense(Vec::new()),
         }
     }
 
@@ -41,17 +104,73 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.store {
+            Store::Dense(rows) => rows.len(),
+            Store::Paged(store) => store.len(),
+        }
     }
 
     /// True if the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// All rows, in insertion order.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    ///
+    /// Dense tables return a borrow and cannot fail. Paged tables fault
+    /// every page in (the unbounded path — used by snapshots, dumps, and
+    /// whole-table viewers; budget-bounded consumers use
+    /// [`Table::scan_pages`] instead) and fail if a spilled page was
+    /// lost to corruption.
+    pub fn rows(&self) -> Result<RowsRef<'_>> {
+        match &self.store {
+            Store::Dense(rows) => Ok(RowsRef(RowsRefInner::Dense(rows))),
+            Store::Paged(store) => Ok(RowsRef(RowsRefInner::Owned(store.materialize()?))),
+        }
+    }
+
+    /// True if this table's rows are managed by the paging engine.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.store, Store::Paged(_))
+    }
+
+    /// The paged store, if paging is enabled for this table.
+    pub(crate) fn paged_store(&self) -> Option<&Arc<PagedStore>> {
+        match &self.store {
+            Store::Paged(store) => Some(store),
+            Store::Dense(_) => None,
+        }
+    }
+
+    /// Visit a paged table's rows one page at a time — the
+    /// budget-bounded scan: each page is pinned, faulted in if spilled,
+    /// handed to `f` as `(sequence, row)` pairs, then released so the
+    /// residency manager can re-enforce the budget before the next page.
+    /// Returns an error (and stops) on a dense table — callers branch on
+    /// [`Table::is_paged`].
+    pub fn scan_pages(&self, f: &mut dyn FnMut(&[(u64, Row)]) -> Result<()>) -> Result<()> {
+        match &self.store {
+            Store::Paged(store) => store.scan_pages(f),
+            Store::Dense(_) => Err(crate::error::WarehouseError::InvalidQuery(format!(
+                "scan_pages on dense table {}",
+                self.schema.name
+            ))),
+        }
+    }
+
+    /// Convert a dense table to paged storage under `manager`'s budget.
+    /// In-memory only (nothing spills until the manager next enforces);
+    /// a no-op if the table is already paged.
+    pub(crate) fn enable_paging(&mut self, manager: &Arc<ResidencyManager>, pages: u32) {
+        if let Store::Dense(rows) = &mut self.store {
+            let rows = std::mem::take(rows);
+            self.store = Store::Paged(PagedStore::from_rows(
+                manager.clone(),
+                &self.schema,
+                rows,
+                pages,
+            ));
+        }
     }
 
     /// Validate a batch without storing it; returns the rows after type
@@ -72,12 +191,17 @@ impl Table {
     /// they were stored (after type coercion) so callers can log them.
     pub fn insert_batch(&mut self, rows: Vec<Row>) -> Result<Vec<Row>> {
         let checked = self.check_batch(rows)?;
-        self.rows.extend(checked.iter().cloned());
+        self.insert_checked(checked.clone());
         Ok(checked)
     }
 
     /// Append rows that are already canonical (came out of a binlog and
     /// were validated at the source). Still re-checked in debug builds.
+    ///
+    /// Infallible by contract: the database appends to the write-ahead
+    /// log *before* calling this, so the mutation must succeed. Paged
+    /// tables honor that by staging rows for spilled pages in an
+    /// in-memory tail rather than faulting anything in.
     pub fn insert_checked(&mut self, rows: Vec<Row>) {
         #[cfg(debug_assertions)]
         for row in &rows {
@@ -87,18 +211,27 @@ impl Table {
                 self.schema.name
             );
         }
-        self.rows.extend(rows);
+        match &mut self.store {
+            Store::Dense(dense) => dense.extend(rows),
+            Store::Paged(store) => store.insert(rows),
+        }
     }
 
-    /// Delete all rows (schema is retained).
+    /// Delete all rows (schema is retained). For paged tables this also
+    /// deletes the table's spill files — a truncate precedes every
+    /// rewrite (aggregation rebuilds, replication resync), and stale
+    /// spill data must never survive one.
     pub fn truncate(&mut self) {
-        self.rows.clear();
+        match &mut self.store {
+            Store::Dense(rows) => rows.clear(),
+            Store::Paged(store) => store.truncate(),
+        }
     }
 
     /// Values of one column across all rows.
     pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
         let idx = self.schema.column_index(column)?;
-        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+        Ok(self.rows()?.iter().map(|r| r[idx].clone()).collect())
     }
 
     /// Order-independent content checksum.
@@ -108,29 +241,77 @@ impl Table {
     /// agree) and the row count is mixed in. Used to verify that satellite
     /// data replicated to the federation hub is unaltered ("the federation
     /// hub does not alter the raw, replicated data", §II-B).
+    ///
+    /// Paged tables maintain the identical sum incrementally per page, so
+    /// checksumming never faults anything in; a *lost* page deliberately
+    /// perturbs its contribution so consistency checks flag the table for
+    /// resync instead of vouching for unreadable rows.
     pub fn content_checksum(&self) -> u64 {
-        let mut acc: u64 = 0x9E37_79B9_7F4A_7C15 ^ self.rows.len() as u64;
-        for row in &self.rows {
-            let payload = EventPayload::InsertBatch {
-                schema: String::new(),
-                table: String::new(),
-                rows: vec![row.clone()],
-            };
-            let digest = crc32(&encode_payload(&payload)) as u64;
-            // Spread the 32-bit CRC over 64 bits before summing so
-            // collisions require matching both halves.
-            let spread = digest.wrapping_mul(0x0100_0000_01B3);
-            acc = acc.wrapping_add(spread ^ digest.rotate_left(17));
+        match &self.store {
+            Store::Dense(rows) => {
+                let mut acc: u64 = 0x9E37_79B9_7F4A_7C15 ^ rows.len() as u64;
+                for row in rows {
+                    let payload = EventPayload::InsertBatch {
+                        schema: String::new(),
+                        table: String::new(),
+                        rows: vec![row.clone()],
+                    };
+                    let digest = crc32(&encode_payload(&payload)) as u64;
+                    // Spread the 32-bit CRC over 64 bits before summing so
+                    // collisions require matching both halves.
+                    let spread = digest.wrapping_mul(0x0100_0000_01B3);
+                    acc = acc.wrapping_add(spread ^ digest.rotate_left(17));
+                }
+                acc
+            }
+            Store::Paged(store) => store.content_checksum(),
         }
-        acc
+    }
+}
+
+/// The serialized form is `{schema, rows}` regardless of the store, so
+/// snapshots and dumps produced before paging existed restore unchanged
+/// (and a paged table's snapshot restores as dense on a reader without
+/// paging enabled). Serializing a paged table materializes it and can
+/// therefore fail on a lost page — the snapshot layer surfaces that as a
+/// serialization error rather than dumping wrong rows.
+impl Serialize for Table {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Table", 2)?;
+        st.serialize_field("schema", &self.schema)?;
+        match &self.store {
+            Store::Dense(rows) => st.serialize_field("rows", rows)?,
+            Store::Paged(store) => {
+                let rows = store.materialize().map_err(serde::ser::Error::custom)?;
+                st.serialize_field("rows", &rows)?;
+            }
+        }
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Table {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct TableRepr {
+            schema: TableSchema,
+            rows: Vec<Row>,
+        }
+        let repr = TableRepr::deserialize(deserializer)?;
+        Ok(Table {
+            schema: repr.schema,
+            store: Store::Dense(repr.rows),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resident::PagingConfig;
     use crate::schema::SchemaBuilder;
     use crate::value::ColumnType;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn table() -> Table {
         Table::new(
@@ -174,7 +355,7 @@ mod tests {
             .insert_batch(vec![vec![Value::Str("comet".into()), Value::Int(4)]])
             .unwrap();
         assert_eq!(stored[0][1], Value::Float(4.0));
-        assert_eq!(t.rows()[0][1], Value::Float(4.0));
+        assert_eq!(t.rows().unwrap()[0][1], Value::Float(4.0));
     }
 
     #[test]
@@ -219,5 +400,76 @@ mod tests {
     #[test]
     fn empty_tables_with_same_schema_agree() {
         assert_eq!(table().content_checksum(), table().content_checksum());
+    }
+
+    // --- paged-store integration ---
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn tiny_manager(tag: &str) -> std::sync::Arc<ResidencyManager> {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("xdmod-table-{}-{tag}-{n}", std::process::id()));
+        ResidencyManager::new(
+            &PagingConfig::new(dir).budget_bytes(1),
+            xdmod_telemetry::MetricsRegistry::disabled(),
+        )
+    }
+
+    #[test]
+    fn paged_table_round_trips_rows_len_and_checksum() {
+        let mut dense = table();
+        dense
+            .insert_batch(vec![row("comet", 1.0), row("stampede", 2.0)])
+            .unwrap();
+        let mut paged = dense.clone();
+        paged.enable_paging(&tiny_manager("roundtrip"), 4);
+        assert!(paged.is_paged());
+        assert_eq!(paged.len(), 2);
+        assert_eq!(
+            paged.rows().unwrap().to_vec(),
+            dense.rows().unwrap().to_vec()
+        );
+        assert_eq!(paged.content_checksum(), dense.content_checksum());
+        assert_eq!(
+            paged.column_values("resource").unwrap(),
+            dense.column_values("resource").unwrap()
+        );
+    }
+
+    #[test]
+    fn paged_table_serializes_like_its_dense_twin() {
+        let mut dense = table();
+        dense
+            .insert_batch(vec![row("comet", 1.0), row("stampede", 2.0)])
+            .unwrap();
+        let mut paged = dense.clone();
+        paged.enable_paging(&tiny_manager("serde"), 4);
+        let dense_json = serde_json::to_string(&dense).unwrap();
+        let paged_json = serde_json::to_string(&paged).unwrap();
+        assert_eq!(dense_json, paged_json);
+        let restored: Table = serde_json::from_str(&paged_json).unwrap();
+        assert!(!restored.is_paged());
+        assert_eq!(restored.content_checksum(), dense.content_checksum());
+    }
+
+    #[test]
+    fn paged_insert_and_truncate_mirror_dense() {
+        let mut paged = table();
+        paged.enable_paging(&tiny_manager("mutate"), 4);
+        paged
+            .insert_batch(vec![row("comet", 1.0), row("stampede", 2.0)])
+            .unwrap();
+        paged.insert_checked(vec![row("bridges", 3.0)]);
+        assert_eq!(paged.len(), 3);
+        paged.truncate();
+        assert!(paged.is_empty());
+        assert_eq!(paged.content_checksum(), table().content_checksum());
+    }
+
+    #[test]
+    fn scan_pages_errors_on_dense_tables() {
+        let t = table();
+        assert!(t.scan_pages(&mut |_| Ok(())).is_err());
     }
 }

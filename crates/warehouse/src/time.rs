@@ -228,8 +228,12 @@ impl Period {
 /// input or out-of-range fields.
 pub fn parse_iso_datetime(s: &str) -> Option<i64> {
     let bytes = s.as_bytes();
-    if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
-        || bytes[13] != b':' || bytes[16] != b':'
+    if bytes.len() != 19
+        || bytes[4] != b'-'
+        || bytes[7] != b'-'
+        || bytes[10] != b'T'
+        || bytes[13] != b':'
+        || bytes[16] != b':'
     {
         return None;
     }

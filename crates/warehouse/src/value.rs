@@ -324,10 +324,7 @@ mod tests {
             Value::Int(4).coerce(ColumnType::Float),
             Some(Value::Float(4.0))
         );
-        assert_eq!(
-            Value::Int(4).coerce(ColumnType::Time),
-            Some(Value::Time(4))
-        );
+        assert_eq!(Value::Int(4).coerce(ColumnType::Time), Some(Value::Time(4)));
         assert_eq!(Value::Str("s".into()).coerce(ColumnType::Int), None);
     }
 

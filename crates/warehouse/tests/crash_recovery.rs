@@ -41,7 +41,10 @@ static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 fn temp_dir(tag: &str) -> PathBuf {
     let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!("xdmod-crashmatrix-{}-{tag}-{n}", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "xdmod-crashmatrix-{}-{tag}-{n}",
+        std::process::id()
+    ))
 }
 
 fn seed() -> u64 {
@@ -56,6 +59,7 @@ fn table_def() -> TableSchema {
         .required("id", ColumnType::Int)
         .required("val", ColumnType::Str)
         .build()
+        .expect("static schema literal is valid")
 }
 
 /// Apply workload step `step` (1-based). Returns the step's log position.
@@ -109,7 +113,11 @@ fn oracle_log(seed: u64) -> (Vec<u8>, Vec<usize>) {
 /// checksum and row count per table.
 fn assert_matches_oracle(recovered: &Database, upto: u64, seed: u64, ctx: &str) {
     let oracle = oracle_at(upto, seed);
-    let mut want: Vec<String> = oracle.schema_names().iter().map(|s| s.to_string()).collect();
+    let mut want: Vec<String> = oracle
+        .schema_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut got: Vec<String> = recovered
         .schema_names()
         .iter()
@@ -211,11 +219,8 @@ fn every_append_fault_point_recovers_to_durable_prefix() {
         for op in 1..=STEPS {
             let ctx = format!("fault {name} at record {op} (seed {seed})");
             let dir = temp_dir(name);
-            let plan = FaultPlan::new().with(FaultSpec::at_ops(
-                FaultPoint::SegmentAppend,
-                kind,
-                &[op],
-            ));
+            let plan =
+                FaultPlan::new().with(FaultSpec::at_ops(FaultPoint::SegmentAppend, kind, &[op]));
             let mut db = disk_db(&dir);
             db.set_fault_injector(plan.injector(seed), "wal");
             // Silent faults report success to the writer — every step
@@ -278,11 +283,7 @@ fn every_snapshot_fault_point_falls_back_without_data_loss() {
         let ctx = format!("snapshot fault {name} (seed {seed})");
         let dir = temp_dir(name);
         // The *second* snapshot is damaged; the first must carry recovery.
-        let plan = FaultPlan::new().with(FaultSpec::at_ops(
-            FaultPoint::SnapshotWrite,
-            kind,
-            &[2],
-        ));
+        let plan = FaultPlan::new().with(FaultSpec::at_ops(FaultPoint::SnapshotWrite, kind, &[2]));
         let mut db = disk_db(&dir);
         db.set_fault_injector(plan.injector(seed), "wal");
         for step in 1..=8 {
@@ -378,4 +379,76 @@ fn repeated_crashes_converge_to_a_stable_store() {
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_fault_matrix_holds_with_paging_enabled() {
+    // The same kill-at-every-append matrix, but with cold-shard paging on
+    // at a one-byte budget: every table page lives in a spill file (not
+    // RAM) at crash time. Paging must be invisible to durability — the
+    // binlog is written ahead of any page mutation, spill files are
+    // rederivable caches, and recovery plus re-enabling paging must land
+    // on the exact oracle state.
+    use xdmod_warehouse::PagingConfig;
+    let seed = seed();
+    let (full_log, cum) = oracle_log(seed);
+    let kinds: [(&'static str, FaultKind); 3] = [
+        ("paged-corrupt-tail-byte", FaultKind::CorruptTailByte),
+        (
+            "paged-truncate-tail",
+            FaultKind::TruncateTail {
+                bytes: 1 + seed % 9,
+            },
+        ),
+        ("paged-drop-fsync", FaultKind::DropFsync),
+    ];
+    for (name, kind) in kinds {
+        for op in 1..=STEPS {
+            let ctx = format!("fault {name} at record {op} (seed {seed}, paging on)");
+            let dir = temp_dir(name);
+            let paging = || {
+                PagingConfig::new(dir.join("paging"))
+                    .budget_bytes(1)
+                    .pages_per_table(4)
+            };
+            let plan =
+                FaultPlan::new().with(FaultSpec::at_ops(FaultPoint::SegmentAppend, kind, &[op]));
+            let mut db = disk_db(&dir);
+            db.enable_paging(paging()).expect("paging enables");
+            db.set_fault_injector(plan.injector(seed), "wal");
+            for step in 1..=STEPS {
+                apply_step(&mut db, step, seed);
+            }
+            assert_eq!(db.binlog_position().seqno, STEPS, "{ctx}: pre-crash head");
+            drop(db); // crash
+
+            let mut db = reopen(&dir);
+            let recovered = db.binlog_position().seqno;
+            assert_eq!(recovered, op - 1, "{ctx}: durable prefix length");
+            let replayed = db
+                .binlog_export(LogPosition::START)
+                .expect("export recovered log")
+                .to_vec();
+            let want = &full_log[..cum[recovered as usize]];
+            assert_eq!(replayed, want, "{ctx}: recovered prefix bytes");
+            assert_matches_oracle(&db, recovered, seed, &ctx);
+
+            // Re-enabling paging over the recovered store (with the
+            // crash's stale spill files still on disk) must not change
+            // its content.
+            db.enable_paging(paging()).expect("paging re-enables");
+            assert_matches_oracle(&db, recovered, seed, &format!("{ctx}, re-paged"));
+            if recovered >= 2 {
+                db.insert(
+                    "s",
+                    "t",
+                    vec![vec![Value::Int(999), Value::Str("post-crash".into())]],
+                )
+                .expect("post-recovery insert on the paged store");
+            }
+            record_case(name, op, recovered, crc32(&replayed));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    flush_report();
 }

@@ -256,7 +256,7 @@ fn brute_force(table: &Table, spec: &Spec) -> Vec<Row> {
             spec.aggs.iter().map(|_| Acc::default()).collect(),
         );
     }
-    for row in table.rows() {
+    for row in table.rows().expect("oracle table rows readable").iter() {
         if !passes(row) {
             continue;
         }
@@ -401,8 +401,9 @@ fn check_seed(seed: u64) -> Result<(), String> {
     let table = random_table(&mut rng);
     for _ in 0..QUERIES_PER_SEED {
         let spec = Spec::random(&mut rng);
-        if let Some(first) = divergence(table.rows(), &spec) {
-            return Err(shrink_report(seed, table.rows(), &spec, first));
+        let rows = table.rows().expect("seed table rows readable");
+        if let Some(first) = divergence(&rows, &spec) {
+            return Err(shrink_report(seed, &rows, &spec, first));
         }
     }
     Ok(())
@@ -553,7 +554,7 @@ fn oracle_holds_under_concurrent_ingest_and_cache_invalidation() {
     assert_eq!(cached, serial);
     assert_eq!(cached, rayon);
     assert_eq!(cached, repeat);
-    assert_eq!(table.rows().len(), 40 * 8);
+    assert_eq!(table.rows().expect("rows readable").len(), 40 * 8);
 
     // The repeat after quiescence must be a cache hit, and concurrent
     // invalidation must have produced at least one miss.
@@ -1020,4 +1021,138 @@ fn incremental_folds_race_cached_reads_without_serving_stale_state() {
     );
     assert_eq!(rs, d.query_sharded("s", "fact", &query).expect("recompute"));
     assert_eq!(d.table("s", "fact").expect("fact").len(), 30 * 8);
+}
+
+// ---------------------------------------------------------------------------
+// Paged-vs-resident differential arm
+// ---------------------------------------------------------------------------
+
+/// A fresh database with cold-shard paging enabled at a pathologically
+/// tiny working-set budget — at most a couple of shards (and the one
+/// pinned by an in-flight scan) can ever stay resident, so every query
+/// crosses the spill/fault-in machinery.
+fn fresh_paged_db(pool: PoolConfig, dir: &std::path::Path, budget: u64) -> Database {
+    let mut db = Database::new();
+    db.set_parallelism(pool);
+    db.enable_paging(
+        xdmod::warehouse::PagingConfig::new(dir)
+            .budget_bytes(budget)
+            .pages_per_table(8),
+    )
+    .expect("paging enables on a fresh database");
+    db.create_schema("s").expect("schema creates");
+    db.create_table("s", fact_schema()).expect("table creates");
+    db
+}
+
+fn paged_twin_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "xdmod-diff-paged-{tag}-{}-{seed}",
+        std::process::id()
+    ))
+}
+
+/// Serial and parallel arms: the same rows behind the paging engine at a
+/// one-byte budget must agree byte-for-byte with the fully resident
+/// table on `Query::run` and on `run_sharded` across every pool
+/// geometry.
+#[test]
+fn paged_and_resident_twins_agree_on_every_engine() {
+    let quiet = MetricsRegistry::disabled();
+    for seed in seeds_under_test() {
+        // Same stream as the dense four-way arm, so both sweeps see the
+        // same tables and query specs.
+        let mut rng = DeterministicRng::new(seed);
+        let dense = random_table(&mut rng);
+        let rows = dense.rows().expect("dense rows readable");
+        let dir = paged_twin_dir("engines", seed);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = fresh_paged_db(pools()[1], &dir, 1);
+        db.insert("s", "fact", rows.to_vec()).expect("paged ingest");
+        for _ in 0..QUERIES_PER_SEED {
+            let spec = Spec::random(&mut rng);
+            let query = spec.query();
+            let reference = query.run(&dense).expect("dense run");
+            let table = db.table("s", "fact").expect("paged table");
+            assert!(table.is_paged(), "twin table must actually be paged");
+            let paged = query.run(table).expect("paged run");
+            assert_eq!(
+                paged, reference,
+                "seed {seed}: paged Query::run diverged from the resident twin\nspec: {spec:?}"
+            );
+            for pool in pools() {
+                let got =
+                    run_sharded(&query, table, pool, &quiet, "fact").expect("paged sharded run");
+                assert_eq!(
+                    got, reference,
+                    "seed {seed}: paged run_sharded(workers={}, shards={}) diverged\nspec: {spec:?}",
+                    pool.workers(),
+                    pool.shards()
+                );
+            }
+        }
+        let stats = db.residency_stats().expect("paging is on");
+        if !rows.is_empty() {
+            assert!(
+                stats.spilled_pages > 0,
+                "seed {seed}: a one-byte budget must leave pages spilled: {stats:?}"
+            );
+        }
+        // Checksum parity through arbitrary spill/fault-in cycles: the
+        // replication consistency checker relies on this.
+        assert_eq!(
+            db.table("s", "fact")
+                .expect("paged table")
+                .content_checksum(),
+            dense.content_checksum(),
+            "seed {seed}: paged content checksum diverged from the dense twin"
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Incremental arm: a paged database replaying an ingest schedule with
+/// delta folds after every batch must stay on the incremental path
+/// exactly when the unbounded twin does, and return byte-identical
+/// results at every step.
+#[test]
+fn paged_incremental_folds_agree_with_unbounded_twin() {
+    for seed in seeds_under_test() {
+        // Same stream as the incremental arm, so both sweeps replay the
+        // same schedules.
+        let mut rng = DeterministicRng::new(seed.wrapping_mul(2_654_435_761).wrapping_add(101));
+        let schedule = random_schedule(&mut rng);
+        let spec = Spec::random(&mut rng);
+        let query = spec.query();
+        let pool = pools()[1];
+        let dir = paged_twin_dir("incr", seed);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut unbounded = fresh_incremental_db(pool);
+        let mut paged = fresh_paged_db(pool, &dir, 1);
+        for (step, batch) in schedule.iter().enumerate() {
+            unbounded
+                .insert("s", "fact", batch.clone())
+                .expect("unbounded ingest");
+            paged
+                .insert("s", "fact", batch.clone())
+                .expect("paged ingest");
+            let (want, want_report) = unbounded
+                .run_delta_fold("s", "fact", &query, "fact")
+                .expect("unbounded fold");
+            let (got, got_report) = paged
+                .run_delta_fold("s", "fact", &query, "fact")
+                .expect("paged fold");
+            assert_eq!(
+                got, want,
+                "seed {seed} step {step}: paged delta fold diverged\nspec: {spec:?}"
+            );
+            assert_eq!(
+                got_report.outcome, want_report.outcome,
+                "seed {seed} step {step}: paging changed the fold outcome"
+            );
+        }
+        drop(paged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -9,7 +9,12 @@ use xdmod::realms::RealmKind;
 use xdmod::sim::{CloudSim, ClusterSim, ResourceProfile, StorageSim};
 use xdmod::warehouse::{AggFn, Aggregate, Period, Query};
 
-fn hpc_instance(name: &str, resource: &str, seed: u64, months: std::ops::RangeInclusive<u8>) -> XdmodInstance {
+fn hpc_instance(
+    name: &str,
+    resource: &str,
+    seed: u64,
+    months: std::ops::RangeInclusive<u8>,
+) -> XdmodInstance {
     let mut inst = XdmodInstance::new(name);
     inst.set_su_factor(resource, 1.5);
     let sim = ClusterSim::new(ResourceProfile::generic(resource, 256, 48.0, 1.5), seed);
@@ -29,8 +34,16 @@ fn federated_totals_equal_sum_of_satellite_totals() {
     fed.sync().unwrap();
 
     let q = Query::new().aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total"));
-    let local_x = x.query(RealmKind::Jobs, &q).unwrap().scalar_f64("total").unwrap();
-    let local_y = y.query(RealmKind::Jobs, &q).unwrap().scalar_f64("total").unwrap();
+    let local_x = x
+        .query(RealmKind::Jobs, &q)
+        .unwrap()
+        .scalar_f64("total")
+        .unwrap();
+    let local_y = y
+        .query(RealmKind::Jobs, &q)
+        .unwrap()
+        .scalar_f64("total")
+        .unwrap();
     let fed_total = fed
         .hub()
         .federated_query(RealmKind::Jobs, &q)
@@ -59,7 +72,12 @@ fn hub_aggregates_with_its_own_levels_losslessly() {
         .table(&FederationHub::schema_for("x"), "jobfact_by_year")
         .unwrap();
     let cpu_idx = agg.schema().column_index("total_cpu_hours").unwrap();
-    let agg_sum: f64 = agg.rows().iter().map(|r| r[cpu_idx].as_f64().unwrap()).sum();
+    let agg_sum: f64 = agg
+        .rows()
+        .expect("rows readable")
+        .iter()
+        .map(|r| r[cpu_idx].as_f64().unwrap())
+        .sum();
     drop(hub);
 
     let raw_sum = fed
@@ -90,20 +108,26 @@ fn live_threaded_replication_matches_polled() {
 
     // Keep ingesting while the replicator streams.
     let sim = ClusterSim::new(ResourceProfile::generic("res-x", 256, 48.0, 1.5), 5);
-    inst.ingest_sacct("res-x", &sim.sacct_log(2017, 2..=2)).unwrap();
-    inst.ingest_sacct("res-x", &sim.sacct_log(2017, 3..=3)).unwrap();
+    inst.ingest_sacct("res-x", &sim.sacct_log(2017, 2..=2))
+        .unwrap();
+    inst.ingest_sacct("res-x", &sim.sacct_log(2017, 3..=3))
+        .unwrap();
 
     let rep = live.stop().unwrap();
     assert!(rep.stats().events_applied > 0);
     let expected = inst.fact_rows(RealmKind::Jobs).unwrap();
-    assert_eq!(hub.read().table("inst_x", "jobfact").unwrap().len(), expected);
+    assert_eq!(
+        hub.read().table("inst_x", "jobfact").unwrap().len(),
+        expected
+    );
 }
 
 #[test]
 fn all_three_heterogeneous_realms_federate() {
     let mut ccr = XdmodInstance::new("ccr");
     let hpc = ClusterSim::new(ResourceProfile::generic("rush", 128, 48.0, 1.0), 6);
-    ccr.ingest_sacct("rush", &hpc.sacct_log(2017, 1..=2)).unwrap();
+    ccr.ingest_sacct("rush", &hpc.sacct_log(2017, 1..=2))
+        .unwrap();
     ccr.ingest_storage_json(&StorageSim::ccr(6).json_document(2017, 1))
         .unwrap();
     let cloud = CloudSim::new("ccr-cloud", 10, 6);
@@ -114,7 +138,8 @@ fn all_three_heterogeneous_realms_federate() {
     ccr.ingest_pcp(&hpc.pcp_archive(&jobs[..5])).unwrap();
 
     let mut fed = Federation::new(FederationHub::new("hub"));
-    fed.join_tight(&ccr, FederationConfig::default_realms()).unwrap();
+    fed.join_tight(&ccr, FederationConfig::default_realms())
+        .unwrap();
     fed.sync().unwrap();
 
     assert!(fed.hub().federated_fact_rows(RealmKind::Jobs) > 0);

@@ -302,7 +302,7 @@ proptest! {
             .aggregate(Aggregate::of(AggFn::Min, "v", "min"))
             .aggregate(Aggregate::of(AggFn::Max, "v", "max"));
         let schema = table.schema();
-        let rows = table.rows();
+        let rows = table.rows().expect("rows readable");
 
         // Split the row stream at arbitrary (sorted, deduped) cut points.
         let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(rows.len())).collect();
@@ -424,7 +424,7 @@ proptest! {
             .aggregate(Aggregate::of(AggFn::Max, "v", "max"))
             .aggregate(Aggregate::of(AggFn::CountDistinct, "v", "uniq"));
         let schema = table.schema();
-        let rows = table.rows();
+        let rows = table.rows().expect("rows readable");
         let split = split.min(rows.len());
         let (a, b) = rows.split_at(split);
         let whole = query.run(&table).unwrap();
@@ -658,5 +658,103 @@ proptest! {
                 prop_assert!(alert.acked_by.is_none() || alert.state == AlertState::Acknowledged);
             }
         }
+    }
+
+    // ---------------- cold-shard paging ----------------
+
+    // An arbitrary interleaving of ingests and queries against a paged
+    // database, with an arbitrary — and, under shrinking, pathologically
+    // tiny — byte budget and page count, must be indistinguishable from
+    // a fully-resident twin fed the same rows: every query result, the
+    // final row stream, and the content checksum are byte-identical.
+    // Between operations nothing is pinned, so the working set obeys the
+    // budget outright (scans may transiently hold one pinned page above
+    // it, but never past their own completion). Dyadic values (n/64)
+    // keep float sums exact, so equality is `==`, not epsilon.
+    #[test]
+    fn paged_database_is_indistinguishable_from_resident_twin(
+        ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec((0u8..5, 0u32..4096, 0i64..60), 1..8)),
+            1..30,
+        ),
+        budget in 0u64..4096,
+        pages in 1u32..10,
+    ) {
+        use xdmod::warehouse::{Database, PagingConfig};
+        static PAGING_DIR_SEQ: std::sync::atomic::AtomicUsize =
+            std::sync::atomic::AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "xdmod-paging-prop-{}-{}",
+            std::process::id(),
+            PAGING_DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        let schema = SchemaBuilder::new("jobfact")
+            .required("resource", ColumnType::Str)
+            .required("end_time", ColumnType::Time)
+            .required("cpu_hours", ColumnType::Float)
+            .build()
+            .unwrap();
+        let mut paged = Database::new();
+        paged
+            .enable_paging(
+                PagingConfig::new(&dir)
+                    .budget_bytes(budget)
+                    .pages_per_table(pages),
+            )
+            .unwrap();
+        let mut resident = Database::new();
+        for db in [&mut paged, &mut resident] {
+            db.create_schema("s").unwrap();
+            db.create_table("s", schema.clone()).unwrap();
+        }
+        for (op, payload) in &ops {
+            if *op == 0 {
+                let batch: Vec<Row> = payload
+                    .iter()
+                    .map(|(k, v, d)| {
+                        vec![
+                            Value::Str(format!("res-{k}")),
+                            Value::Time(*d * 86_400),
+                            Value::Float(*v as f64 / 64.0),
+                        ]
+                    })
+                    .collect();
+                paged.insert("s", "jobfact", batch.clone()).unwrap();
+                resident.insert("s", "jobfact", batch).unwrap();
+            } else {
+                let query = match (*op, payload[0].0 % 2) {
+                    (1, 0) => Query::new()
+                        .group_by_column("resource")
+                        .aggregate(Aggregate::count("n"))
+                        .aggregate(Aggregate::of(AggFn::Sum, "cpu_hours", "total")),
+                    (1, _) => Query::new()
+                        .group_by_period("end_time", Period::Day)
+                        .aggregate(Aggregate::count("n"))
+                        .aggregate(Aggregate::of(AggFn::Max, "cpu_hours", "peak")),
+                    _ => Query::new()
+                        .aggregate(Aggregate::count("n"))
+                        .aggregate(Aggregate::of(AggFn::Min, "cpu_hours", "low")),
+                };
+                let got = paged.query_sharded("s", "jobfact", &query).unwrap();
+                let want = resident.query_sharded("s", "jobfact", &query).unwrap();
+                prop_assert_eq!(got, want, "paged result diverged (budget {})", budget);
+            }
+            let stats = paged.residency_stats().unwrap();
+            prop_assert!(
+                stats.resident_bytes <= budget,
+                "resident {} bytes over the {}-byte budget between ops: {:?}",
+                stats.resident_bytes, budget, stats
+            );
+        }
+        {
+            let got = paged.table("s", "jobfact").unwrap();
+            let want = resident.table("s", "jobfact").unwrap();
+            prop_assert_eq!(got.len(), want.len());
+            prop_assert_eq!(got.content_checksum(), want.content_checksum());
+            let got_rows = got.rows().unwrap();
+            let want_rows = want.rows().unwrap();
+            prop_assert_eq!(&got_rows[..], &want_rows[..]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

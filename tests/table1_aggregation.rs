@@ -5,8 +5,7 @@
 
 use xdmod::core::{Federation, FederationConfig, FederationHub, XdmodInstance};
 use xdmod::realms::levels::{
-    hub_walltime, instance_a_walltime, instance_b_walltime, AggregationLevelsConfig,
-    DIM_WALL_TIME,
+    hub_walltime, instance_a_walltime, instance_b_walltime, AggregationLevelsConfig, DIM_WALL_TIME,
 };
 use xdmod::realms::RealmKind;
 use xdmod::sim::{ClusterSim, ResourceProfile};
@@ -51,6 +50,7 @@ fn bins_used(db: &xdmod::warehouse::Database, schema: &str) -> Vec<String> {
     let idx = t.schema().column_index("wall_hours_bin").unwrap();
     let mut labels: Vec<String> = t
         .rows()
+        .expect("rows readable")
         .iter()
         .map(|r| r[idx].as_str().unwrap_or("NULL").to_owned())
         .collect();
@@ -152,6 +152,7 @@ fn rebinning_is_lossless() {
         let idx = t.schema().column_index("job_count").unwrap();
         agg_jobs += t
             .rows()
+            .expect("rows readable")
             .iter()
             .map(|r| r[idx].as_i64().unwrap())
             .sum::<i64>();
@@ -189,7 +190,9 @@ fn changing_hub_levels_and_reaggregating() {
     let hub_db = fed.hub().database();
     let db = hub_db.read();
     let labels = bins_used(&db, &FederationHub::schema_for("instance-a"));
-    assert!(labels.iter().all(|l| l == "0-24 hours" || l == "24-100 hours" || l == "other"));
+    assert!(labels
+        .iter()
+        .all(|l| l == "0-24 hours" || l == "24-100 hours" || l == "other"));
     drop(db);
 
     let total_after: f64 = fed
